@@ -1,0 +1,477 @@
+//! Emptiness of A-automata (Theorem 4.6).
+//!
+//! The paper's proof goes through the chain decomposition (Lemma 4.9,
+//! implemented in [`crate::progressive`]) and a reduction of each progressive
+//! automaton to containment of a Datalog program in a positive query (Lemma
+//! 4.10, with Proposition 4.11's containment test implemented in
+//! `accltl-relational::datalog_containment`).  As recorded in `DESIGN.md`,
+//! this crate replaces the middle step by a direct, bounded product search:
+//! automaton states are explored jointly with the facts revealed so far,
+//! drawn from the canonical databases of the guards' positive parts — the
+//! same witness space the Datalog program of Lemma 4.10 ranges over (its
+//! `Background` relations are populated by homomorphic images of the guard
+//! queries).  A witness path returned by the search is always genuine;
+//! emptiness verdicts are exact relative to the configured caps.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use accltl_logic::vocabulary::{base_relation, isbind_name, post_name, pre_name};
+use accltl_paths::{Access, AccessPath, AccessSchema, Response};
+use accltl_relational::{Instance, Tuple, Value};
+
+use crate::a_automaton::AAutomaton;
+use crate::progressive::chain_decomposition;
+
+/// Configuration for the bounded emptiness search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EmptinessConfig {
+    /// Maximum number of (automaton state, revealed facts) pairs explored.
+    pub max_states: usize,
+    /// Maximum number of tuples revealed by one response.
+    pub max_response_size: usize,
+    /// Cap on candidate bindings for empty responses, per method.
+    pub max_empty_bindings: usize,
+}
+
+impl Default for EmptinessConfig {
+    fn default() -> Self {
+        EmptinessConfig {
+            max_states: 100_000,
+            max_response_size: 3,
+            max_empty_bindings: 16,
+        }
+    }
+}
+
+/// Outcome of the emptiness check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EmptinessOutcome {
+    /// The language is non-empty; a witness access path is returned.
+    NonEmpty {
+        /// An access path accepted by the automaton.
+        witness: AccessPath,
+    },
+    /// No accepted path exists within the bounded witness space.
+    Empty,
+    /// The state budget was exhausted.
+    Unknown,
+}
+
+impl EmptinessOutcome {
+    /// True if a witness was found.
+    #[must_use]
+    pub fn is_nonempty(&self) -> bool {
+        matches!(self, EmptinessOutcome::NonEmpty { .. })
+    }
+}
+
+/// Checks emptiness of the automaton over access paths of the given schema,
+/// starting from the given initial instance.
+///
+/// The automaton is first decomposed into progressive chains (Lemma 4.9); the
+/// language is non-empty iff some chain is non-empty, and the chains are
+/// searched in order.
+#[must_use]
+pub fn bounded_emptiness(
+    automaton: &AAutomaton,
+    schema: &AccessSchema,
+    initial: &Instance,
+    config: &EmptinessConfig,
+) -> EmptinessOutcome {
+    let chains = chain_decomposition(automaton);
+    if chains.is_empty() {
+        return EmptinessOutcome::Empty;
+    }
+    let mut any_unknown = false;
+    for chain in &chains {
+        match search_chain(chain, schema, initial, config) {
+            EmptinessOutcome::NonEmpty { witness } => {
+                return EmptinessOutcome::NonEmpty { witness }
+            }
+            EmptinessOutcome::Unknown => any_unknown = true,
+            EmptinessOutcome::Empty => {}
+        }
+    }
+    if any_unknown {
+        EmptinessOutcome::Unknown
+    } else {
+        EmptinessOutcome::Empty
+    }
+}
+
+fn search_chain(
+    automaton: &AAutomaton,
+    schema: &AccessSchema,
+    initial: &Instance,
+    config: &EmptinessConfig,
+) -> EmptinessOutcome {
+    // The empty path is accepted iff the initial state is accepting.
+    if automaton.accepting.contains(&automaton.initial) {
+        return EmptinessOutcome::NonEmpty {
+            witness: AccessPath::new(),
+        };
+    }
+
+    let universe = guard_fact_universe(automaton, schema, initial);
+    let constants: BTreeSet<Value> = automaton.constants.clone();
+
+    type State = (usize, BTreeSet<usize>);
+    let start: State = (
+        automaton.initial,
+        universe
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| initial.contains(&f.0, &f.1))
+            .map(|(i, _)| i)
+            .collect(),
+    );
+    let mut parents: BTreeMap<State, Option<(State, Access, Vec<usize>)>> = BTreeMap::new();
+    let mut queue = VecDeque::new();
+    parents.insert(start.clone(), None);
+    queue.push_back(start);
+
+    while let Some(state) = queue.pop_front() {
+        let (automaton_state, revealed) = &state;
+        let before = instance_of(initial, &universe, revealed);
+        for (method, binding, added) in
+            candidate_transitions(schema, &universe, revealed, &constants, config)
+        {
+            let mut after = before.clone();
+            for &i in &added {
+                after.add_fact(universe[i].0.clone(), universe[i].1.clone());
+            }
+            let structure = transition_structure(&before, &after, &method, &binding);
+            for transition in automaton.outgoing(*automaton_state) {
+                if !transition.guard.satisfied_by(&structure) {
+                    continue;
+                }
+                let access = Access::new(method.clone(), binding.clone());
+                if automaton.accepting.contains(&transition.to) {
+                    let mut witness = reconstruct(&parents, &state, &universe);
+                    let response: Response =
+                        added.iter().map(|&i| universe[i].1.clone()).collect();
+                    witness.push(access, response);
+                    return EmptinessOutcome::NonEmpty { witness };
+                }
+                let mut new_revealed = revealed.clone();
+                new_revealed.extend(added.iter().copied());
+                let next: State = (transition.to, new_revealed);
+                if parents.contains_key(&next) {
+                    continue;
+                }
+                parents.insert(next.clone(), Some((state.clone(), access, added.clone())));
+                if parents.len() >= config.max_states {
+                    return EmptinessOutcome::Unknown;
+                }
+                queue.push_back(next);
+            }
+        }
+    }
+    EmptinessOutcome::Empty
+}
+
+/// The canonical fact universe of an automaton: canonical databases of every
+/// guard's positive part, mapped back to the base relations, plus the initial
+/// instance.
+///
+/// When a guard conjoins an `IsBind_AcM(c̄)` atom with constant arguments and
+/// a data atom over the method's relation, the canonical fact is additionally
+/// added with the method's input positions overwritten by those constants: a
+/// well-formed response to that access must agree with the binding, so the
+/// witness fact the guard is looking for carries the constants (this is how
+/// the Example 2.3 long-term-relevance automata find their witnesses).
+fn guard_fact_universe(
+    automaton: &AAutomaton,
+    schema: &AccessSchema,
+    initial: &Instance,
+) -> Vec<(String, Tuple)> {
+    let mut facts: BTreeSet<(String, Tuple)> = initial
+        .facts()
+        .map(|(r, t)| (r.to_owned(), t.clone()))
+        .collect();
+    for (index, transition) in automaton.transitions.iter().enumerate() {
+        let positive = &transition.guard.positive;
+        for (disjunct_index, icq) in positive.to_inequality_union().iter().enumerate() {
+            let renamed = icq
+                .cq
+                .rename_vars(&|v| format!("g{index}d{disjunct_index}\u{1fa}{v}"));
+            // Constant bindings asserted by IsBind atoms of this disjunct.
+            let mut constant_bindings: Vec<(String, Vec<Value>)> = Vec::new();
+            for atom in &renamed.atoms {
+                if let Some(method) = accltl_logic::vocabulary::parse_isbind(&atom.predicate) {
+                    let values: Option<Vec<Value>> = atom
+                        .terms
+                        .iter()
+                        .map(|t| t.as_const().cloned())
+                        .collect();
+                    if let Some(values) = values {
+                        constant_bindings.push((method.to_owned(), values));
+                    }
+                }
+            }
+            let (canonical, _) = renamed.canonical_instance();
+            for (predicate, tuple) in canonical.facts() {
+                if let Some(base) = base_relation(predicate) {
+                    facts.insert((base.to_owned(), tuple.clone()));
+                    for (method_name, values) in &constant_bindings {
+                        let Some(method) = schema.method(method_name) else {
+                            continue;
+                        };
+                        if method.relation() != base || values.len() != method.input_arity() {
+                            continue;
+                        }
+                        let mut overwritten = tuple.values().to_vec();
+                        for (&position, value) in method.input_positions().iter().zip(values) {
+                            if position < overwritten.len() {
+                                overwritten[position] = value.clone();
+                            }
+                        }
+                        facts.insert((base.to_owned(), Tuple::new(overwritten)));
+                    }
+                }
+            }
+        }
+    }
+    facts.into_iter().collect()
+}
+
+fn instance_of(initial: &Instance, universe: &[(String, Tuple)], revealed: &BTreeSet<usize>) -> Instance {
+    let mut instance = initial.clone();
+    for &i in revealed {
+        instance.add_fact(universe[i].0.clone(), universe[i].1.clone());
+    }
+    instance
+}
+
+fn transition_structure(
+    before: &Instance,
+    after: &Instance,
+    method: &str,
+    binding: &Tuple,
+) -> Instance {
+    let mut structure = before.rename_relations(&|r| pre_name(r));
+    structure.union_in_place(&after.rename_relations(&|r| post_name(r)));
+    structure.add_fact(isbind_name(method), binding.clone());
+    structure
+}
+
+fn candidate_transitions(
+    schema: &AccessSchema,
+    universe: &[(String, Tuple)],
+    revealed: &BTreeSet<usize>,
+    constants: &BTreeSet<Value>,
+    config: &EmptinessConfig,
+) -> Vec<(String, Tuple, Vec<usize>)> {
+    let mut candidates = Vec::new();
+    let universe_values: BTreeSet<Value> = universe
+        .iter()
+        .flat_map(|(_, t)| t.values().iter().cloned())
+        .collect();
+    for method in schema.methods() {
+        let mut groups: BTreeMap<Tuple, Vec<usize>> = BTreeMap::new();
+        for (i, (relation, tuple)) in universe.iter().enumerate() {
+            if relation != method.relation() || revealed.contains(&i) {
+                continue;
+            }
+            groups
+                .entry(tuple.project(method.input_positions()))
+                .or_default()
+                .push(i);
+        }
+        for (binding, members) in &groups {
+            let size = members.len().min(12);
+            for mask in 1u32..(1 << size) {
+                if (mask.count_ones() as usize) > config.max_response_size {
+                    continue;
+                }
+                let added: Vec<usize> = (0..size)
+                    .filter(|i| mask & (1 << i) != 0)
+                    .map(|i| members[i])
+                    .collect();
+                candidates.push((method.name().to_owned(), binding.clone(), added));
+            }
+        }
+        // Empty responses with bounded candidate bindings.
+        let mut values: BTreeSet<Value> = universe_values.clone();
+        values.extend(constants.iter().cloned());
+        values.insert(Value::str("\u{2606}any"));
+        let values: Vec<Value> = values.into_iter().collect();
+        let mut bindings: Vec<Vec<Value>> = vec![Vec::new()];
+        for _ in 0..method.input_arity() {
+            let mut next = Vec::new();
+            for prefix in &bindings {
+                for v in &values {
+                    if next.len() >= config.max_empty_bindings {
+                        break;
+                    }
+                    let mut extended = prefix.clone();
+                    extended.push(v.clone());
+                    next.push(extended);
+                }
+            }
+            bindings = next;
+        }
+        bindings.truncate(config.max_empty_bindings);
+        for binding in bindings {
+            candidates.push((method.name().to_owned(), Tuple::new(binding), Vec::new()));
+        }
+    }
+    candidates
+}
+
+fn reconstruct(
+    parents: &BTreeMap<(usize, BTreeSet<usize>), Option<((usize, BTreeSet<usize>), Access, Vec<usize>)>>,
+    end: &(usize, BTreeSet<usize>),
+    universe: &[(String, Tuple)],
+) -> AccessPath {
+    let mut steps: Vec<(Access, Response)> = Vec::new();
+    let mut cursor = end.clone();
+    while let Some(Some((previous, access, added))) = parents.get(&cursor) {
+        let response: Response = added.iter().map(|&i| universe[i].1.clone()).collect();
+        steps.push((access.clone(), response));
+        cursor = previous.clone();
+    }
+    steps.reverse();
+    AccessPath::from_steps(steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::a_automaton::Guard;
+    use crate::translate::accltl_plus_to_automaton;
+    use accltl_logic::vocabulary::{isbind_atom, post_atom, pre_atom};
+    use accltl_logic::AccLtl;
+    use accltl_paths::access::phone_directory_access_schema;
+    use accltl_relational::{PosFormula, Term};
+
+    fn jones_post() -> PosFormula {
+        PosFormula::exists(
+            vec!["s", "p", "h"],
+            post_atom(
+                "Address",
+                vec![
+                    Term::var("s"),
+                    Term::var("p"),
+                    Term::constant("Jones"),
+                    Term::var("h"),
+                ],
+            ),
+        )
+    }
+
+    #[test]
+    fn satisfiable_formula_gives_nonempty_automaton() {
+        let schema = phone_directory_access_schema();
+        let f = AccLtl::finally(AccLtl::atom(jones_post()));
+        let automaton = accltl_plus_to_automaton(&f);
+        let outcome = bounded_emptiness(
+            &automaton,
+            &schema,
+            &Instance::new(),
+            &EmptinessConfig::default(),
+        );
+        let EmptinessOutcome::NonEmpty { witness } = outcome else {
+            panic!("expected a witness");
+        };
+        // The witness is accepted by the automaton and satisfies the formula.
+        let transitions = witness.transitions(&schema, &Instance::new()).unwrap();
+        assert!(automaton.accepts_transitions(&transitions));
+        assert!(f.satisfied_by_transitions(&transitions, false));
+    }
+
+    #[test]
+    fn contradictory_formula_gives_empty_automaton() {
+        let schema = phone_directory_access_schema();
+        let jones = AccLtl::atom(jones_post());
+        let f = AccLtl::and(vec![
+            AccLtl::globally(AccLtl::not(jones.clone())),
+            AccLtl::finally(jones),
+        ]);
+        let automaton = accltl_plus_to_automaton(&f);
+        assert_eq!(
+            bounded_emptiness(&automaton, &schema, &Instance::new(), &EmptinessConfig::default()),
+            EmptinessOutcome::Empty
+        );
+    }
+
+    #[test]
+    fn dataflow_automaton_needs_two_stages() {
+        // Accept paths where an AcM1 access uses a name already present in
+        // Address^pre: built directly as an automaton (state 0 = waiting,
+        // state 1 = done).
+        let schema = phone_directory_access_schema();
+        let mut automaton = AAutomaton::new(2, 0);
+        automaton.add_transition(0, Guard::always(), 0);
+        let dataflow_guard = PosFormula::exists(
+            vec!["n"],
+            PosFormula::and(vec![
+                isbind_atom("AcM1", vec![Term::var("n")]),
+                PosFormula::exists(
+                    vec!["s", "p", "h"],
+                    pre_atom(
+                        "Address",
+                        vec![Term::var("s"), Term::var("p"), Term::var("n"), Term::var("h")],
+                    ),
+                ),
+            ]),
+        );
+        automaton.add_transition(0, Guard::positive(dataflow_guard), 1);
+        automaton.mark_accepting(1);
+
+        let outcome = bounded_emptiness(
+            &automaton,
+            &schema,
+            &Instance::new(),
+            &EmptinessConfig::default(),
+        );
+        let EmptinessOutcome::NonEmpty { witness } = outcome else {
+            panic!("expected a witness");
+        };
+        assert!(witness.len() >= 2);
+        let transitions = witness.transitions(&schema, &Instance::new()).unwrap();
+        assert!(automaton.accepts_transitions(&transitions));
+    }
+
+    #[test]
+    fn empty_automaton_with_no_accepting_state() {
+        let schema = phone_directory_access_schema();
+        let mut automaton = AAutomaton::new(2, 0);
+        automaton.add_transition(0, Guard::always(), 1);
+        assert_eq!(
+            bounded_emptiness(&automaton, &schema, &Instance::new(), &EmptinessConfig::default()),
+            EmptinessOutcome::Empty
+        );
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_unknown() {
+        let schema = phone_directory_access_schema();
+        let f = AccLtl::and(vec![
+            AccLtl::finally(AccLtl::atom(jones_post())),
+            AccLtl::finally(AccLtl::atom(PosFormula::exists(
+                vec!["n", "p", "s", "ph"],
+                pre_atom(
+                    "Mobile#",
+                    vec![
+                        Term::var("n"),
+                        Term::var("p"),
+                        Term::var("s"),
+                        Term::var("ph"),
+                    ],
+                ),
+            ))),
+        ]);
+        let automaton = accltl_plus_to_automaton(&f);
+        let outcome = bounded_emptiness(
+            &automaton,
+            &schema,
+            &Instance::new(),
+            &EmptinessConfig {
+                max_states: 1,
+                ..EmptinessConfig::default()
+            },
+        );
+        assert_eq!(outcome, EmptinessOutcome::Unknown);
+    }
+}

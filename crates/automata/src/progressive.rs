@@ -1,0 +1,332 @@
+//! Strongly-connected-component analysis, the chain decomposition of
+//! Lemma 4.9 and the Definition 4.8 progressiveness checks.
+//!
+//! Lemma 4.9 reduces emptiness of an arbitrary A-automaton to emptiness of a
+//! union of *progressive* automata, whose strongly connected components form
+//! a chain.  The load-bearing part of that reduction — and the part this
+//! module implements exactly — is the chain decomposition: every accepting
+//! run traverses a sequence of SCCs of the condensation DAG, so the language
+//! of the automaton is empty iff the language of every "chain" sub-automaton
+//! (one per simple path of SCCs from the initial component to an accepting
+//! component) is empty.  The remaining conditions of Definition 4.8 (per-state
+//! post-types, constant bindings on bridge transitions) are checked by
+//! [`is_progressive_chain`] and reported, because the paper's Datalog
+//! reduction (Lemma 4.10) applies to automata in that normal form.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::a_automaton::AAutomaton;
+
+/// Computes the strongly connected components of the automaton's transition
+/// graph (Tarjan-style iterative algorithm).  Returns, for every state, the
+/// index of its component, and the number of components.
+#[must_use]
+pub fn condensation(automaton: &AAutomaton) -> (Vec<usize>, usize) {
+    let n = automaton.state_count;
+    let mut adjacency: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for t in &automaton.transitions {
+        adjacency[t.from].push(t.to);
+    }
+
+    // Iterative Tarjan.
+    let mut index_counter = 0usize;
+    let mut indices: Vec<Option<usize>> = vec![None; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut component: Vec<usize> = vec![usize::MAX; n];
+    let mut component_count = 0usize;
+
+    #[derive(Clone)]
+    struct Frame {
+        node: usize,
+        next_child: usize,
+    }
+
+    for start in 0..n {
+        if indices[start].is_some() {
+            continue;
+        }
+        let mut call_stack = vec![Frame {
+            node: start,
+            next_child: 0,
+        }];
+        indices[start] = Some(index_counter);
+        lowlink[start] = index_counter;
+        index_counter += 1;
+        stack.push(start);
+        on_stack[start] = true;
+
+        while let Some(frame) = call_stack.last().cloned() {
+            let v = frame.node;
+            if frame.next_child < adjacency[v].len() {
+                let w = adjacency[v][frame.next_child];
+                call_stack.last_mut().expect("nonempty").next_child += 1;
+                if indices[w].is_none() {
+                    indices[w] = Some(index_counter);
+                    lowlink[w] = index_counter;
+                    index_counter += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    call_stack.push(Frame {
+                        node: w,
+                        next_child: 0,
+                    });
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(indices[w].expect("visited"));
+                }
+            } else {
+                call_stack.pop();
+                if let Some(parent) = call_stack.last() {
+                    let p = parent.node;
+                    lowlink[p] = lowlink[p].min(lowlink[v]);
+                }
+                if lowlink[v] == indices[v].expect("visited") {
+                    loop {
+                        let w = stack.pop().expect("stack nonempty");
+                        on_stack[w] = false;
+                        component[w] = component_count;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    component_count += 1;
+                }
+            }
+        }
+    }
+    (component, component_count)
+}
+
+/// Lemma 4.9-style decomposition: one sub-automaton per simple path of SCCs
+/// from the initial state's component to a component containing an accepting
+/// state.  The union of the chains' languages equals the original language,
+/// and each chain's components form a sequence (condition 5/6 of
+/// Definition 4.8).
+#[must_use]
+pub fn chain_decomposition(automaton: &AAutomaton) -> Vec<AAutomaton> {
+    let (component, component_count) = condensation(automaton);
+    if automaton.state_count == 0 {
+        return Vec::new();
+    }
+    // Condensation DAG edges.
+    let mut dag: BTreeMap<usize, BTreeSet<usize>> = BTreeMap::new();
+    for t in &automaton.transitions {
+        let (a, b) = (component[t.from], component[t.to]);
+        if a != b {
+            dag.entry(a).or_default().insert(b);
+        }
+    }
+    let initial_component = component[automaton.initial];
+    let accepting_components: BTreeSet<usize> = automaton
+        .accepting
+        .iter()
+        .map(|&s| component[s])
+        .collect();
+
+    // Enumerate simple paths in the DAG from the initial component to each
+    // accepting component (the DAG has at most `component_count` nodes, and
+    // condensations of the automata we build are small).
+    let mut chains: Vec<Vec<usize>> = Vec::new();
+    let mut path = vec![initial_component];
+    enumerate_chains(
+        initial_component,
+        &dag,
+        &accepting_components,
+        &mut path,
+        &mut chains,
+        component_count,
+    );
+
+    chains
+        .into_iter()
+        .map(|chain| restrict_to_components(automaton, &component, &chain))
+        .collect()
+}
+
+fn enumerate_chains(
+    current: usize,
+    dag: &BTreeMap<usize, BTreeSet<usize>>,
+    accepting: &BTreeSet<usize>,
+    path: &mut Vec<usize>,
+    chains: &mut Vec<Vec<usize>>,
+    limit: usize,
+) {
+    if accepting.contains(&current) {
+        chains.push(path.clone());
+    }
+    if path.len() >= limit {
+        return;
+    }
+    if let Some(successors) = dag.get(&current) {
+        for &next in successors {
+            if path.contains(&next) {
+                continue;
+            }
+            path.push(next);
+            enumerate_chains(next, dag, accepting, path, chains, limit);
+            path.pop();
+        }
+    }
+}
+
+/// Restricts the automaton to the states of the given component chain,
+/// keeping only transitions between consecutive (or equal) components of the
+/// chain and marking as accepting only the accepting states of the final
+/// component.
+fn restrict_to_components(
+    automaton: &AAutomaton,
+    component: &[usize],
+    chain: &[usize],
+) -> AAutomaton {
+    let position: BTreeMap<usize, usize> = chain
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| (c, i))
+        .collect();
+    let kept_states: Vec<usize> = (0..automaton.state_count)
+        .filter(|&s| position.contains_key(&component[s]))
+        .collect();
+    let renumber: BTreeMap<usize, usize> = kept_states
+        .iter()
+        .enumerate()
+        .map(|(new, &old)| (old, new))
+        .collect();
+
+    let mut restricted = AAutomaton::new(kept_states.len(), renumber[&automaton.initial]);
+    for t in &automaton.transitions {
+        let (Some(&from_pos), Some(&to_pos)) = (
+            position.get(&component[t.from]),
+            position.get(&component[t.to]),
+        ) else {
+            continue;
+        };
+        // Keep transitions within a component or to the next component of the
+        // chain only.
+        if to_pos == from_pos || to_pos == from_pos + 1 {
+            restricted.add_transition(renumber[&t.from], t.guard.clone(), renumber[&t.to]);
+        }
+    }
+    let last_component = *chain.last().expect("chains are non-empty");
+    for &s in &automaton.accepting {
+        if component[s] == last_component {
+            restricted.mark_accepting(renumber[&s]);
+        }
+    }
+    restricted
+}
+
+/// Checks the chain-shape conditions of Definition 4.8 that the decomposition
+/// establishes: the SCCs form a sequence with exactly one bridge transition
+/// position between consecutive components, the initial state lies in the
+/// first component and all accepting states in the last.
+#[must_use]
+pub fn is_progressive_chain(automaton: &AAutomaton) -> bool {
+    if automaton.state_count == 0 {
+        return false;
+    }
+    let (component, component_count) = condensation(automaton);
+    // Components must be linearly ordered by the transitions.
+    let mut order: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); component_count];
+    for t in &automaton.transitions {
+        let (a, b) = (component[t.from], component[t.to]);
+        if a != b {
+            order[a].insert(b);
+        }
+    }
+    // Each component has at most one successor component, and the successor
+    // relation is acyclic by construction of the condensation.
+    if order.iter().any(|s| s.len() > 1) {
+        return false;
+    }
+    // The initial component must reach every accepting component through the
+    // unique successor chain, and accepting states must all be in the final
+    // component of that chain.
+    let mut current = component[automaton.initial];
+    let mut chain = vec![current];
+    while let Some(&next) = order[current].iter().next() {
+        chain.push(next);
+        current = next;
+    }
+    let last = *chain.last().expect("chain non-empty");
+    automaton
+        .accepting
+        .iter()
+        .all(|&s| component[s] == last)
+        && !automaton.accepting.is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::a_automaton::Guard;
+    use accltl_logic::vocabulary::isbind_prop;
+    use accltl_relational::PosFormula;
+
+    /// Two-phase automaton: loop in state 0, bridge to state 1, loop there,
+    /// accept in state 1; plus a dead branch to state 2.
+    fn two_phase() -> AAutomaton {
+        let mut a = AAutomaton::new(3, 0);
+        a.add_transition(0, Guard::always(), 0);
+        a.add_transition(0, Guard::positive(isbind_prop("AcM1")), 1);
+        a.add_transition(1, Guard::always(), 1);
+        a.add_transition(0, Guard::positive(isbind_prop("AcM2")), 2);
+        a.mark_accepting(1);
+        a
+    }
+
+    #[test]
+    fn condensation_groups_loops() {
+        let a = two_phase();
+        let (component, count) = condensation(&a);
+        assert_eq!(count, 3);
+        assert_ne!(component[0], component[1]);
+        assert_ne!(component[1], component[2]);
+    }
+
+    #[test]
+    fn chain_decomposition_keeps_accepting_chains_only() {
+        let a = two_phase();
+        let chains = chain_decomposition(&a);
+        assert_eq!(chains.len(), 1);
+        let chain = &chains[0];
+        assert!(is_progressive_chain(chain));
+        assert!(chain.is_well_formed());
+        // The dead state 2 is dropped.
+        assert_eq!(chain.state_count, 2);
+        assert_eq!(chain.accepting.len(), 1);
+    }
+
+    #[test]
+    fn multiple_accepting_branches_yield_multiple_chains() {
+        let mut a = two_phase();
+        a.mark_accepting(2);
+        let chains = chain_decomposition(&a);
+        assert_eq!(chains.len(), 2);
+        assert!(chains.iter().all(is_progressive_chain));
+    }
+
+    #[test]
+    fn accepting_initial_state_is_its_own_chain() {
+        let mut a = AAutomaton::new(1, 0);
+        a.add_transition(0, Guard::positive(PosFormula::True), 0);
+        a.mark_accepting(0);
+        let chains = chain_decomposition(&a);
+        assert_eq!(chains.len(), 1);
+        assert!(is_progressive_chain(&chains[0]));
+    }
+
+    #[test]
+    fn non_chain_automata_are_detected() {
+        // A branching automaton with two distinct successor components is not
+        // a progressive chain.
+        let mut a = AAutomaton::new(3, 0);
+        a.add_transition(0, Guard::positive(isbind_prop("AcM1")), 1);
+        a.add_transition(0, Guard::positive(isbind_prop("AcM2")), 2);
+        a.mark_accepting(1);
+        a.mark_accepting(2);
+        assert!(!is_progressive_chain(&a));
+        // But its decomposition produces progressive chains.
+        assert!(chain_decomposition(&a).iter().all(is_progressive_chain));
+    }
+}

@@ -1,0 +1,85 @@
+//! Containment under access patterns (Example 2.2, Proposition 4.4, and the
+//! discussion after Theorem 4.6): the A-automaton route decides containment,
+//! and disjointness constraints change the verdicts.
+//!
+//! Prints the verdicts for the paper's example queries and measures the cost
+//! of the automaton-based check against plain (access-unaware) CQ containment
+//! as the schema grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use accltl_core::analyzer::ContainmentOutcome;
+use accltl_core::prelude::*;
+use accltl_core::relational::cq_contained_in_cq;
+
+fn verdict_label(outcome: &ContainmentOutcome) -> &'static str {
+    match outcome {
+        ContainmentOutcome::Contained => "contained",
+        ContainmentOutcome::NotContained { .. } => "not contained",
+        ContainmentOutcome::Unknown => "unknown",
+    }
+}
+
+fn print_paper_cases() {
+    println!("\n=== Containment under access patterns (Example 2.2 / Prop. 4.4) ===");
+    let analyzer = AccessAnalyzer::new(phone_directory_access_schema());
+    let jones = cq!(<- atom!("Address"; s, p, @"Jones", h));
+    let any_address = cq!(<- atom!("Address"; s, p, n, h));
+    let name_is_street = cq!(<- atom!("Mobile#"; n, p, s, ph), atom!("Address"; n, p2, m, h));
+    let impossible = cq!(<- atom!("Mobile#"; @"⊥none", p, s, ph));
+
+    println!(
+        "  Q_Jones ⊑ Q_anyAddress : {}",
+        verdict_label(&analyzer.contained_under_access_patterns(&jones, &any_address))
+    );
+    println!(
+        "  Q_anyAddress ⊑ Q_Jones : {}",
+        verdict_label(&analyzer.contained_under_access_patterns(&any_address, &jones))
+    );
+    println!(
+        "  Q_nameIsStreet ⊑ Q_⊥ (no constraints) : {}",
+        verdict_label(&analyzer.contained_under_access_patterns(&name_is_street, &impossible))
+    );
+    let constrained = AccessAnalyzer::new(phone_directory_access_schema())
+        .with_disjointness(DisjointnessConstraint::new("Mobile#", 0, "Address", 0));
+    println!(
+        "  Q_nameIsStreet ⊑ Q_⊥ (names ∩ streets = ∅) : {}",
+        verdict_label(&constrained.contained_under_access_patterns(&name_is_street, &impossible))
+    );
+}
+
+fn bench_containment(c: &mut Criterion) {
+    print_paper_cases();
+    let mut group = c.benchmark_group("containment_access_patterns");
+    group.sample_size(10);
+
+    for relations in [2usize, 3, 4] {
+        let workload = generate_workload(&WorkloadConfig {
+            relations,
+            arity: 2,
+            methods: relations,
+            max_inputs: 1,
+            domain_size: 4,
+            facts_per_relation: 4,
+            query_atoms: 2,
+            seed: 11,
+        });
+        let analyzer = AccessAnalyzer::new(workload.schema.clone());
+        let q1 = workload.queries[0].clone();
+        let q2 = workload.queries[1].clone();
+        group.bench_with_input(
+            BenchmarkId::new("automaton_route", relations),
+            &relations,
+            |b, _| b.iter(|| analyzer.contained_under_access_patterns(&q1, &q2)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("plain_cq_containment", relations),
+            &relations,
+            |b, _| b.iter(|| cq_contained_in_cq(&q1, &q2)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_containment);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Figure 1: the tree of possible access paths of the phone-directory schema.
+//!
+//! Prints the node/edge counts per depth (the shape of Figure 1) and measures
+//! the cost of materialising the LTS fragment as the depth and the response
+//! policy vary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use accltl_core::prelude::*;
+
+fn explore(depth: usize, partial_responses: bool) -> accltl_core::paths::LtsTree {
+    let schema = phone_directory_access_schema();
+    let hidden = phone_directory_hidden_instance();
+    let options = LtsOptions {
+        max_depth: depth,
+        grounded_only: false,
+        response_policy: if partial_responses {
+            ResponsePolicy::SubsetsOfHidden {
+                max_response_size: 2,
+            }
+        } else {
+            ResponsePolicy::ExactFromHidden
+        },
+        max_bindings_per_method: 6,
+        max_nodes: 20_000,
+    };
+    LtsExplorer::new(&schema, &hidden, options)
+        .explore(&Instance::new())
+        .expect("phone-directory schema is well-formed")
+}
+
+fn print_figure1_shape() {
+    println!("\n=== Figure 1: tree of possible access paths (phone-directory schema) ===");
+    for (label, partial) in [("exact responses", false), ("partial responses (Figure 1)", true)] {
+        for depth in 1..=3 {
+            let tree = explore(depth, partial);
+            println!(
+                "  {label:30} depth {depth}: {:6} nodes, {:6} transitions, per depth {:?}{}",
+                tree.node_count(),
+                tree.edge_count(),
+                tree.nodes_per_depth(),
+                if tree.truncated { " (truncated)" } else { "" }
+            );
+        }
+    }
+    let tree = explore(2, true);
+    println!("\nRendered fragment (cf. Figure 1):\n{}", tree.render(24));
+}
+
+fn bench_lts(c: &mut Criterion) {
+    print_figure1_shape();
+    let mut group = c.benchmark_group("fig1_lts_tree");
+    group.sample_size(10);
+    for depth in 1..=3usize {
+        group.bench_with_input(BenchmarkId::new("exact", depth), &depth, |b, &d| {
+            b.iter(|| explore(d, false).node_count());
+        });
+        group.bench_with_input(BenchmarkId::new("partial", depth), &depth, |b, &d| {
+            b.iter(|| explore(d, true).node_count());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lts);
+criterion_main!(benches);

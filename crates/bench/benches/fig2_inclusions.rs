@@ -1,0 +1,66 @@
+//! Figure 2: the inclusion diagram between the language classes.
+//!
+//! Prints the inclusion matrix (✓ for every edge of Figure 2, verified by the
+//! fragment lattice) and measures the two executable conversions that realise
+//! the non-trivial edges: the 0-ary → AccLTL+ lifting and the AccLTL+ →
+//! A-automaton translation (Lemma 4.5).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use accltl_bench::{table1_formula, table1_rows};
+use accltl_core::automata::accltl_plus_to_automaton;
+use accltl_core::logic::fragment::lift_zero_ary_to_binding_positive;
+use accltl_core::prelude::*;
+
+fn print_inclusion_matrix() {
+    println!("\n=== Figure 2: inclusions between language classes ===");
+    let rows = table1_rows();
+    print!("{:28}", "");
+    for f in &rows {
+        print!("{:>14}", short(*f));
+    }
+    println!();
+    for smaller in &rows {
+        print!("{:28}", smaller.to_string());
+        for larger in &rows {
+            let included = smaller == larger || smaller.included_in().contains(larger);
+            print!("{:>14}", if included { "⊆" } else { "·" });
+        }
+        println!();
+    }
+    println!("(rows ⊆ columns; matches the edges of Figure 2 plus reflexivity)");
+}
+
+fn short(fragment: Fragment) -> &'static str {
+    match fragment {
+        Fragment::XZeroAry => "X,0-ary,≠",
+        Fragment::ZeroAry => "0-ary",
+        Fragment::ZeroAryWithInequalities => "0-ary,≠",
+        Fragment::BindingPositive => "AccLTL+",
+        Fragment::Full => "full",
+        Fragment::FullWithInequalities => "full,≠",
+    }
+}
+
+fn bench_conversions(c: &mut Criterion) {
+    print_inclusion_matrix();
+    let schema = phone_directory_access_schema();
+    let zero_formula = AccLtl::until(
+        AccLtl::not(AccLtl::atom(isbind_prop("AcM1"))),
+        AccLtl::atom(isbind_prop("AcM2")),
+    );
+    let plus_formula = table1_formula(Fragment::BindingPositive, 2);
+
+    let mut group = c.benchmark_group("fig2_inclusions");
+    group.sample_size(20);
+    group.bench_function("lift_zero_ary_to_accltl_plus", |b| {
+        b.iter(|| lift_zero_ary_to_binding_positive(&zero_formula, &schema));
+    });
+    group.bench_function("translate_accltl_plus_to_a_automaton", |b| {
+        b.iter(|| accltl_plus_to_automaton(&plus_formula).state_count);
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_conversions);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Long-term relevance (Example 2.3, Section 4.2): cost of deciding LTR under
+//! independent (unrestricted) and dependent (grounded) access semantics, and
+//! the fraction of accesses pruned on a synthetic workload.
+//!
+//! The paper's point is that LTR over all accesses only needs
+//! polynomial-length witnesses (it sits in the X fragment), while the
+//! grounded variant is harder; the bench shows the measured gap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use accltl_core::prelude::*;
+
+fn print_pruning_summary() {
+    println!("\n=== Long-term relevance: pruning summary (Example 2.3) ===");
+    for seed in [3u64, 7, 13] {
+        let workload = generate_workload(&WorkloadConfig {
+            relations: 3,
+            arity: 3,
+            methods: 3,
+            max_inputs: 1,
+            domain_size: 6,
+            facts_per_relation: 6,
+            query_atoms: 2,
+            seed,
+        });
+        let analyzer = AccessAnalyzer::new(workload.schema.clone());
+        let query = UnionOfCqs::single(workload.queries[0].clone());
+        let total = workload.accesses.len();
+        let relevant = workload
+            .accesses
+            .iter()
+            .filter(|a| analyzer.long_term_relevant(a, &query, false).is_relevant())
+            .count();
+        let grounded_relevant = workload
+            .accesses
+            .iter()
+            .filter(|a| analyzer.long_term_relevant(a, &query, true).is_relevant())
+            .count();
+        println!(
+            "  seed {seed:2}: {total} candidate accesses, {relevant} LTR (independent), {grounded_relevant} LTR (grounded)"
+        );
+    }
+    println!("(grounded relevance is never larger than independent relevance — dependent\n accesses need a dataflow chain, as in the paper's introduction)");
+}
+
+fn bench_ltr(c: &mut Criterion) {
+    print_pruning_summary();
+    let mut group = c.benchmark_group("ltr");
+    group.sample_size(10);
+    for query_atoms in [1usize, 2, 3] {
+        let workload = generate_workload(&WorkloadConfig {
+            relations: 3,
+            arity: 3,
+            methods: 3,
+            max_inputs: 1,
+            domain_size: 6,
+            facts_per_relation: 6,
+            query_atoms,
+            seed: 5,
+        });
+        let analyzer = AccessAnalyzer::new(workload.schema.clone());
+        let query = UnionOfCqs::single(workload.queries[0].clone());
+        let access = workload.accesses[0].clone();
+        group.bench_with_input(
+            BenchmarkId::new("independent", query_atoms),
+            &query_atoms,
+            |b, _| b.iter(|| analyzer.long_term_relevant(&access, &query, false)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("grounded", query_atoms),
+            &query_atoms,
+            |b, _| b.iter(|| analyzer.long_term_relevant(&access, &query, true)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ltr);
+criterion_main!(benches);

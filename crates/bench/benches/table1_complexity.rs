@@ -1,0 +1,74 @@
+//! Table 1 (complexity column): satisfiability cost per language fragment.
+//!
+//! The paper states worst-case complexities (ΣP2 ⊂ PSPACE ⊂ 2/3EXPTIME,
+//! undecidable at the top).  The reproduction measures the running time of
+//! each fragment's decision procedure on size-parameterised workloads over
+//! the phone-directory schema and prints one row per fragment, so the *shape*
+//! — which rows are cheap, which explode, which are only semi-decided — can
+//! be compared with the table.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use accltl_bench::{table1_formula, table1_rows};
+use accltl_core::prelude::*;
+
+fn solve(fragment: Fragment, size: usize) -> SatOutcome {
+    let analyzer = AccessAnalyzer::new(phone_directory_access_schema());
+    analyzer
+        .check_satisfiable(&table1_formula(fragment, size))
+        .outcome
+}
+
+fn print_table1_rows() {
+    println!("\n=== Table 1 (complexity): measured satisfiability cost per fragment ===");
+    println!(
+        "{:28} {:28} {:>14} {:>14} {:>14}",
+        "language", "paper complexity", "size 1 (µs)", "size 2 (µs)", "size 3 (µs)"
+    );
+    for fragment in table1_rows() {
+        let mut timings = Vec::new();
+        for size in 1..=3usize {
+            let start = Instant::now();
+            let outcome = solve(fragment, size);
+            let micros = start.elapsed().as_micros();
+            // Undecidable rows only ever produce witnesses or Unknown.
+            if !fragment.is_decidable() {
+                assert!(!matches!(outcome, SatOutcome::Unsatisfiable));
+            }
+            timings.push(micros);
+        }
+        println!(
+            "{:28} {:28} {:>14} {:>14} {:>14}",
+            fragment.to_string(),
+            fragment.complexity(),
+            timings[0],
+            timings[1],
+            timings[2]
+        );
+    }
+    println!(
+        "(decidable rows return definite verdicts; the undecidable rows run the bounded\n\
+         semi-decision procedure, matching the table's `undecidable` entries)"
+    );
+}
+
+fn bench_fragments(c: &mut Criterion) {
+    print_table1_rows();
+    let mut group = c.benchmark_group("table1_complexity");
+    group.sample_size(10);
+    for fragment in table1_rows() {
+        for size in [1usize, 2, 3] {
+            group.bench_with_input(
+                BenchmarkId::new(fragment.to_string(), size),
+                &size,
+                |b, &s| b.iter(|| solve(fragment, s)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fragments);
+criterion_main!(benches);

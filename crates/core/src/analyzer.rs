@@ -1,0 +1,380 @@
+//! The high-level analyzer: one object holding a schema, an initial instance
+//! and constraints, dispatching each question to the appropriate decision
+//! procedure.
+
+use accltl_automata::applications::{containment_automaton, ltr_automaton};
+use accltl_automata::{accltl_plus_to_automaton, bounded_emptiness, EmptinessConfig, EmptinessOutcome};
+use accltl_logic::bounded::{BoundedSearchConfig, SatOutcome};
+use accltl_logic::fragment::{classify, Fragment};
+use accltl_logic::solver;
+use accltl_logic::AccLtl;
+use accltl_paths::relevance::{long_term_relevant, LtrOptions, LtrVerdict};
+use accltl_paths::{Access, AccessPath, AccessSchema};
+use accltl_relational::{
+    cq_contained_in_cq, ConjunctiveQuery, DisjointnessConstraint, Instance, UnionOfCqs,
+};
+
+/// Which engine answered a question (reported for transparency and used by
+/// the pipeline-ablation benchmark).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// The ΣP2 procedure for the `AccLTL(X)` fragment (Theorem 4.14).
+    XFragment,
+    /// The PSPACE procedure for the 0-ary `IsBind` fragment (Theorem 4.12).
+    ZeroFragment,
+    /// The A-automaton pipeline for `AccLTL+` (Theorems 4.2/4.6).
+    AutomatonPipeline,
+    /// The bounded witness search for the undecidable languages.
+    BoundedSearch,
+}
+
+/// The outcome of an analyzer question, together with the engine that
+/// produced it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalyzerReport {
+    /// The satisfiability outcome.
+    pub outcome: SatOutcome,
+    /// The fragment the formula was classified into.
+    pub fragment: Fragment,
+    /// The engine used.
+    pub engine: Engine,
+}
+
+impl AnalyzerReport {
+    /// True if a witness path was found.
+    #[must_use]
+    pub fn is_satisfiable(&self) -> bool {
+        self.outcome.is_satisfiable()
+    }
+
+    /// The witness path, if any.
+    #[must_use]
+    pub fn witness(&self) -> Option<&AccessPath> {
+        match &self.outcome {
+            SatOutcome::Satisfiable { witness } => Some(witness),
+            _ => None,
+        }
+    }
+}
+
+/// The verdict of a containment question.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ContainmentOutcome {
+    /// `Q1 ⊑ Q2` under the access restrictions (and constraints).
+    Contained,
+    /// Containment fails; a counterexample access path is returned.
+    NotContained {
+        /// A path reaching a configuration satisfying `Q1` but not `Q2`.
+        counterexample: AccessPath,
+    },
+    /// The bounded engine could not settle the question.
+    Unknown,
+}
+
+/// The analyzer: a schema with access methods, an initial instance, the
+/// disjointness constraints assumed on the data, and engine budgets.
+#[derive(Debug, Clone)]
+pub struct AccessAnalyzer {
+    schema: AccessSchema,
+    initial: Instance,
+    disjointness: Vec<DisjointnessConstraint>,
+    search_config: BoundedSearchConfig,
+    emptiness_config: EmptinessConfig,
+}
+
+impl AccessAnalyzer {
+    /// Creates an analyzer over a schema with an empty initial instance and
+    /// no constraints.
+    #[must_use]
+    pub fn new(schema: AccessSchema) -> Self {
+        AccessAnalyzer {
+            schema,
+            initial: Instance::new(),
+            disjointness: Vec::new(),
+            search_config: BoundedSearchConfig::default(),
+            emptiness_config: EmptinessConfig::default(),
+        }
+    }
+
+    /// Sets the initial instance (the information known before any access).
+    #[must_use]
+    pub fn with_initial(mut self, initial: Instance) -> Self {
+        self.initial = initial;
+        self
+    }
+
+    /// Adds a disjointness constraint assumed to hold on the hidden data.
+    #[must_use]
+    pub fn with_disjointness(mut self, constraint: DisjointnessConstraint) -> Self {
+        self.disjointness.push(constraint);
+        self
+    }
+
+    /// Overrides the bounded-search budgets.
+    #[must_use]
+    pub fn with_search_config(mut self, config: BoundedSearchConfig) -> Self {
+        self.search_config = config;
+        self
+    }
+
+    /// Overrides the automaton-emptiness budgets.
+    #[must_use]
+    pub fn with_emptiness_config(mut self, config: EmptinessConfig) -> Self {
+        self.emptiness_config = config;
+        self
+    }
+
+    /// The schema under analysis.
+    #[must_use]
+    pub fn schema(&self) -> &AccessSchema {
+        &self.schema
+    }
+
+    /// The initial instance.
+    #[must_use]
+    pub fn initial(&self) -> &Instance {
+        &self.initial
+    }
+
+    /// Checks satisfiability of an `AccLTL` formula over the schema's access
+    /// paths, dispatching on the formula's fragment: the `X` fragment and the
+    /// 0-ary fragment use the Theorem 4.12/4.14 procedures, `AccLTL+` uses
+    /// the Lemma 4.5 translation plus A-automaton emptiness, and anything
+    /// else falls back to the (sound, incomplete) bounded search.
+    #[must_use]
+    pub fn check_satisfiable(&self, formula: &AccLtl) -> AnalyzerReport {
+        let fragment = classify(formula);
+        match fragment {
+            Fragment::XZeroAry => AnalyzerReport {
+                outcome: solver::sat_x_fragment(formula, &self.schema, &self.initial, &self.search_config)
+                    .expect("fragment checked by classify"),
+                fragment,
+                engine: Engine::XFragment,
+            },
+            Fragment::ZeroAry | Fragment::ZeroAryWithInequalities => AnalyzerReport {
+                outcome: solver::sat_zero_fragment(
+                    formula,
+                    &self.schema,
+                    &self.initial,
+                    &self.search_config,
+                )
+                .expect("fragment checked by classify"),
+                fragment,
+                engine: Engine::ZeroFragment,
+            },
+            Fragment::BindingPositive => {
+                let automaton = accltl_plus_to_automaton(formula);
+                let outcome = match bounded_emptiness(
+                    &automaton,
+                    &self.schema,
+                    &self.initial,
+                    &self.emptiness_config,
+                ) {
+                    EmptinessOutcome::NonEmpty { witness } => SatOutcome::Satisfiable { witness },
+                    EmptinessOutcome::Empty => SatOutcome::Unsatisfiable,
+                    EmptinessOutcome::Unknown => SatOutcome::Unknown { explored: 0 },
+                };
+                AnalyzerReport {
+                    outcome,
+                    fragment,
+                    engine: Engine::AutomatonPipeline,
+                }
+            }
+            Fragment::Full | Fragment::FullWithInequalities => AnalyzerReport {
+                outcome: solver::sat_full_bounded(
+                    formula,
+                    &self.schema,
+                    &self.initial,
+                    &self.search_config,
+                ),
+                fragment,
+                engine: Engine::BoundedSearch,
+            },
+        }
+    }
+
+    /// Checks containment of `q1` in `q2` under the schema's access patterns
+    /// and the analyzer's disjointness constraints, via the Proposition 4.4
+    /// automaton.  Plain (access-unaware) CQ containment is checked first as
+    /// a shortcut: it implies containment under access patterns.
+    #[must_use]
+    pub fn contained_under_access_patterns(
+        &self,
+        q1: &ConjunctiveQuery,
+        q2: &ConjunctiveQuery,
+    ) -> ContainmentOutcome {
+        if cq_contained_in_cq(q1, q2) {
+            return ContainmentOutcome::Contained;
+        }
+        let automaton = containment_automaton(&self.schema, q1, q2, &self.disjointness);
+        match bounded_emptiness(&automaton, &self.schema, &self.initial, &self.emptiness_config) {
+            EmptinessOutcome::Empty => ContainmentOutcome::Contained,
+            EmptinessOutcome::NonEmpty { witness } => ContainmentOutcome::NotContained {
+                counterexample: witness,
+            },
+            EmptinessOutcome::Unknown => ContainmentOutcome::Unknown,
+        }
+    }
+
+    /// Long-term relevance of an access for a (boolean) query, under the
+    /// analyzer's disjointness constraints.  When no constraints are present
+    /// the combinatorial procedure of `accltl-paths` is used (it also returns
+    /// grounded-semantics verdicts); with constraints the Proposition 4.4
+    /// automaton is used.
+    #[must_use]
+    pub fn long_term_relevant(
+        &self,
+        access: &Access,
+        query: &UnionOfCqs,
+        grounded: bool,
+    ) -> LtrVerdict {
+        if self.disjointness.is_empty() {
+            let options = LtrOptions {
+                grounded,
+                ..LtrOptions::default()
+            };
+            return long_term_relevant(&self.schema, access, query, &self.initial, &options)
+                .unwrap_or(LtrVerdict::Unknown);
+        }
+        // With constraints: build one automaton per disjunct and take the
+        // union of verdicts.
+        for disjunct in &query.disjuncts {
+            let automaton = ltr_automaton(&self.schema, access, disjunct, &self.disjointness);
+            match bounded_emptiness(&automaton, &self.schema, &self.initial, &self.emptiness_config)
+            {
+                EmptinessOutcome::NonEmpty { witness } => {
+                    return LtrVerdict::Relevant { witness }
+                }
+                EmptinessOutcome::Unknown => return LtrVerdict::Unknown,
+                EmptinessOutcome::Empty => {}
+            }
+        }
+        LtrVerdict::NotRelevant
+    }
+
+    /// Maximal answers of a query under the access restrictions, relative to
+    /// a hidden instance (the actual content of the source).
+    pub fn maximal_answers(
+        &self,
+        query: &ConjunctiveQuery,
+        hidden: &Instance,
+    ) -> accltl_paths::Result<accltl_paths::AnswerabilityReport> {
+        accltl_paths::maximal_answers(&self.schema, query, hidden, &self.initial)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accltl_logic::properties;
+    use accltl_logic::vocabulary::{isbind_atom, isbind_prop};
+    use accltl_paths::access::phone_directory_access_schema;
+    use accltl_paths::generator::phone_directory_hidden_instance;
+    use accltl_relational::{atom, cq, tuple, PosFormula, Term};
+
+    fn analyzer() -> AccessAnalyzer {
+        AccessAnalyzer::new(phone_directory_access_schema())
+    }
+
+    #[test]
+    fn dispatch_selects_the_cheapest_engine() {
+        let a = analyzer();
+
+        let x_formula = AccLtl::next(AccLtl::atom(isbind_prop("AcM1")));
+        assert_eq!(a.check_satisfiable(&x_formula).engine, Engine::XFragment);
+
+        let zero_formula = AccLtl::finally(AccLtl::atom(isbind_prop("AcM1")));
+        assert_eq!(a.check_satisfiable(&zero_formula).engine, Engine::ZeroFragment);
+
+        let plus_formula = AccLtl::finally(AccLtl::atom(PosFormula::exists(
+            vec!["n"],
+            isbind_atom("AcM1", vec![Term::var("n")]),
+        )));
+        assert_eq!(
+            a.check_satisfiable(&plus_formula).engine,
+            Engine::AutomatonPipeline
+        );
+
+        let full_formula = AccLtl::globally(AccLtl::not(plus_formula.clone()));
+        assert_eq!(
+            a.check_satisfiable(&full_formula).engine,
+            Engine::BoundedSearch
+        );
+    }
+
+    #[test]
+    fn satisfiability_reports_carry_witnesses() {
+        let a = analyzer();
+        let jones = cq!(<- atom!("Address"; s, p, @"Jones", h));
+        let formula = properties::eventually_answered_formula(&jones);
+        let report = a.check_satisfiable(&formula);
+        assert!(report.is_satisfiable());
+        let witness = report.witness().expect("witness available");
+        assert!(jones.holds(
+            &witness
+                .configuration(a.schema(), a.initial())
+                .expect("valid witness path")
+        ));
+    }
+
+    #[test]
+    fn containment_under_access_patterns_matches_plain_containment_when_it_holds() {
+        let a = analyzer();
+        let q1 = cq!(<- atom!("Address"; s, p, @"Jones", h));
+        let q2 = cq!(<- atom!("Address"; s, p, n, h));
+        assert_eq!(
+            a.contained_under_access_patterns(&q1, &q2),
+            ContainmentOutcome::Contained
+        );
+        let reverse = a.contained_under_access_patterns(&q2, &q1);
+        assert!(matches!(reverse, ContainmentOutcome::NotContained { .. }));
+    }
+
+    #[test]
+    fn disjointness_constraints_flow_into_containment() {
+        let q1 = cq!(<- atom!("Mobile#"; n, p, s, ph), atom!("Address"; n, p2, m, h));
+        let q_false = cq!(<- atom!("Mobile#"; @"⊥no", p, s, ph));
+        let unconstrained = analyzer();
+        assert!(matches!(
+            unconstrained.contained_under_access_patterns(&q1, &q_false),
+            ContainmentOutcome::NotContained { .. }
+        ));
+        let constrained = analyzer()
+            .with_disjointness(DisjointnessConstraint::new("Mobile#", 0, "Address", 0));
+        assert_eq!(
+            constrained.contained_under_access_patterns(&q1, &q_false),
+            ContainmentOutcome::Contained
+        );
+    }
+
+    #[test]
+    fn relevance_with_and_without_constraints() {
+        let jones = UnionOfCqs::single(cq!(<- atom!("Address"; s, p, @"Jones", h)));
+        let access = Access::new("AcM2", tuple!["Parks Rd", "OX13QD"]);
+        let plain = analyzer();
+        assert!(plain.long_term_relevant(&access, &jones, false).is_relevant());
+
+        let constrained = analyzer()
+            .with_disjointness(DisjointnessConstraint::new("Mobile#", 0, "Address", 0));
+        assert!(constrained
+            .long_term_relevant(&access, &jones, false)
+            .is_relevant());
+
+        let irrelevant = Access::new("AcM1", tuple!["Jones"]);
+        assert_eq!(
+            plain.long_term_relevant(&irrelevant, &jones, false),
+            LtrVerdict::NotRelevant
+        );
+    }
+
+    #[test]
+    fn maximal_answers_are_exposed() {
+        let a = analyzer();
+        let q = cq!([x, y, z] <- atom!("Address"; x, y, @"Jones", z));
+        let report = a
+            .maximal_answers(&q, &phone_directory_hidden_instance())
+            .unwrap();
+        assert!(report.answers.is_empty());
+        assert!(!report.is_complete());
+    }
+}

@@ -1,0 +1,68 @@
+//! # accltl-core
+//!
+//! The public facade of the `accltl` workspace — a Rust implementation of
+//! *"Querying Schemas With Access Restrictions"* (Benedikt, Bourhis, Ley;
+//! VLDB 2012).
+//!
+//! The crate re-exports the substrate crates under stable module names and
+//! provides [`AccessAnalyzer`], a single entry point that holds a schema with
+//! access methods, an initial instance and a set of integrity constraints,
+//! and answers the paper's static-analysis questions:
+//!
+//! * satisfiability / validity of `AccLTL` path specifications, dispatched to
+//!   the cheapest decision procedure for the formula's fragment (Table 1);
+//! * query containment under access patterns (Example 2.2 / Proposition 4.4);
+//! * long-term relevance of an access (Example 2.3);
+//! * maximal answers of a query under the access restrictions ([15]).
+//!
+//! ```
+//! use accltl_core::prelude::*;
+//!
+//! let schema = phone_directory_access_schema();
+//! let analyzer = AccessAnalyzer::new(schema);
+//!
+//! // Is Jones's address reachable through the Web forms?  Ask whether the
+//! // path property "eventually the configuration satisfies the query" is
+//! // satisfiable.
+//! let jones = cq!(<- atom!("Address"; s, p, @"Jones", h));
+//! let formula = properties::eventually_answered_formula(&jones);
+//! let outcome = analyzer.check_satisfiable(&formula);
+//! assert!(outcome.is_satisfiable());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use accltl_automata as automata;
+pub use accltl_logic as logic;
+pub use accltl_paths as paths;
+pub use accltl_relational as relational;
+
+pub use accltl_logic::properties;
+
+pub mod analyzer;
+
+pub use analyzer::{AccessAnalyzer, AnalyzerReport, ContainmentOutcome};
+
+/// A convenience prelude re-exporting the types most programs need.
+pub mod prelude {
+    pub use crate::analyzer::{AccessAnalyzer, AnalyzerReport, ContainmentOutcome};
+    pub use accltl_automata::{AAutomaton, Guard};
+    pub use accltl_logic::fragment::{classify, Fragment};
+    pub use accltl_logic::properties;
+    pub use accltl_logic::vocabulary::{
+        isbind_atom, isbind_prop, post_atom, pre_atom, query_post, query_pre,
+    };
+    pub use accltl_logic::{AccLtl, BoundedSearchConfig, SatOutcome};
+    pub use accltl_paths::access::phone_directory_access_schema;
+    pub use accltl_paths::generator::{
+        generate_workload, phone_directory_hidden_instance, Workload, WorkloadConfig,
+    };
+    pub use accltl_paths::{
+        Access, AccessMethod, AccessPath, AccessSchema, LtsExplorer, LtsOptions, ResponsePolicy,
+    };
+    pub use accltl_relational::{
+        atom, cq, tuple, Atom, ConjunctiveQuery, DisjointnessConstraint, FunctionalDependency,
+        Instance, PosFormula, Schema, Term, Tuple, UnionOfCqs, Value,
+    };
+}

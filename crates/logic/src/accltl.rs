@@ -1,0 +1,538 @@
+//! `AccLTL(L)`: linear temporal logic over access paths (Definition 2.1).
+//!
+//! An `AccLTL(L)` formula is built from sentences of a transition language
+//! `L` (here: positive existential formulas over `SchAcc`, represented by
+//! [`PosFormula`]) with the LTL constructors `¬, ∧, ∨, X, U`.  Its models are
+//! finite access paths, viewed as sequences of transition structures.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use accltl_paths::{AccessPath, AccessSchema, Transition};
+use accltl_relational::{Instance, PosFormula};
+
+use crate::vocabulary::{self, path_structures};
+
+/// An `AccLTL` formula.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AccLtl {
+    /// An atomic transition sentence (a sentence of `L` over `SchAcc`).
+    Atom(PosFormula),
+    /// Negation.
+    Not(Box<AccLtl>),
+    /// Conjunction.
+    And(Vec<AccLtl>),
+    /// Disjunction.
+    Or(Vec<AccLtl>),
+    /// "Next": the rest of the path, starting at the next transition,
+    /// satisfies the formula.
+    Next(Box<AccLtl>),
+    /// "Until": the second formula holds at some later (or the current)
+    /// transition, and the first holds at every transition before it.
+    Until(Box<AccLtl>, Box<AccLtl>),
+}
+
+impl AccLtl {
+    /// Atom constructor.
+    #[must_use]
+    pub fn atom(sentence: PosFormula) -> Self {
+        AccLtl::Atom(sentence)
+    }
+
+    /// The atom that is true on every transition.
+    #[must_use]
+    pub fn top() -> Self {
+        AccLtl::Atom(PosFormula::True)
+    }
+
+    /// The atom that is false on every transition.
+    #[must_use]
+    pub fn bottom() -> Self {
+        AccLtl::Atom(PosFormula::False)
+    }
+
+    /// Negation constructor (collapses double negation and the constants).
+    #[must_use]
+    pub fn not(formula: AccLtl) -> Self {
+        match formula {
+            AccLtl::Not(inner) => *inner,
+            AccLtl::Atom(PosFormula::True) => AccLtl::bottom(),
+            AccLtl::Atom(PosFormula::False) => AccLtl::top(),
+            other => AccLtl::Not(Box::new(other)),
+        }
+    }
+
+    /// Conjunction constructor (flattens nested conjunctions and simplifies
+    /// the constant atoms ⊤/⊥).
+    #[must_use]
+    pub fn and(parts: Vec<AccLtl>) -> Self {
+        let mut flattened = Vec::new();
+        for p in parts {
+            match p {
+                AccLtl::Atom(PosFormula::True) => {}
+                AccLtl::Atom(PosFormula::False) => return AccLtl::bottom(),
+                AccLtl::And(inner) => flattened.extend(inner),
+                other => flattened.push(other),
+            }
+        }
+        match flattened.len() {
+            0 => AccLtl::top(),
+            1 => flattened.into_iter().next().expect("len checked"),
+            _ => AccLtl::And(flattened),
+        }
+    }
+
+    /// Disjunction constructor (flattens nested disjunctions and simplifies
+    /// the constant atoms ⊤/⊥).
+    #[must_use]
+    pub fn or(parts: Vec<AccLtl>) -> Self {
+        let mut flattened = Vec::new();
+        for p in parts {
+            match p {
+                AccLtl::Atom(PosFormula::False) => {}
+                AccLtl::Atom(PosFormula::True) => return AccLtl::top(),
+                AccLtl::Or(inner) => flattened.extend(inner),
+                other => flattened.push(other),
+            }
+        }
+        match flattened.len() {
+            0 => AccLtl::bottom(),
+            1 => flattened.into_iter().next().expect("len checked"),
+            _ => AccLtl::Or(flattened),
+        }
+    }
+
+    /// `X φ`.
+    #[must_use]
+    pub fn next(formula: AccLtl) -> Self {
+        AccLtl::Next(Box::new(formula))
+    }
+
+    /// `φ U ψ`.
+    #[must_use]
+    pub fn until(left: AccLtl, right: AccLtl) -> Self {
+        AccLtl::Until(Box::new(left), Box::new(right))
+    }
+
+    /// `F φ ≡ ⊤ U φ` ("eventually").
+    #[must_use]
+    pub fn finally(formula: AccLtl) -> Self {
+        AccLtl::until(AccLtl::top(), formula)
+    }
+
+    /// `G φ ≡ ¬F¬φ` ("globally").
+    #[must_use]
+    pub fn globally(formula: AccLtl) -> Self {
+        AccLtl::not(AccLtl::finally(AccLtl::not(formula)))
+    }
+
+    /// `φ → ψ ≡ ¬φ ∨ ψ`.
+    #[must_use]
+    pub fn implies(antecedent: AccLtl, consequent: AccLtl) -> Self {
+        AccLtl::or(vec![AccLtl::not(antecedent), consequent])
+    }
+
+    /// The number of atoms and temporal/boolean connectives (a size measure).
+    #[must_use]
+    pub fn size(&self) -> usize {
+        match self {
+            AccLtl::Atom(sentence) => sentence.size().max(1),
+            AccLtl::Not(inner) | AccLtl::Next(inner) => 1 + inner.size(),
+            AccLtl::And(parts) | AccLtl::Or(parts) => {
+                1 + parts.iter().map(AccLtl::size).sum::<usize>()
+            }
+            AccLtl::Until(l, r) => 1 + l.size() + r.size(),
+        }
+    }
+
+    /// The nesting depth of `X` operators (the only temporal operator of the
+    /// `AccLTL(X)` fragment); an upper bound on the path length that fragment
+    /// can inspect.
+    #[must_use]
+    pub fn x_depth(&self) -> usize {
+        match self {
+            AccLtl::Atom(_) => 0,
+            AccLtl::Not(inner) => inner.x_depth(),
+            AccLtl::Next(inner) => 1 + inner.x_depth(),
+            AccLtl::And(parts) | AccLtl::Or(parts) => {
+                parts.iter().map(AccLtl::x_depth).max().unwrap_or(0)
+            }
+            AccLtl::Until(l, r) => l.x_depth().max(r.x_depth()),
+        }
+    }
+
+    /// True if the formula uses only the `X` temporal operator (no `U`), i.e.
+    /// belongs to the `AccLTL(X)` fragment.
+    #[must_use]
+    pub fn is_x_only(&self) -> bool {
+        match self {
+            AccLtl::Atom(_) => true,
+            AccLtl::Not(inner) | AccLtl::Next(inner) => inner.is_x_only(),
+            AccLtl::And(parts) | AccLtl::Or(parts) => parts.iter().all(AccLtl::is_x_only),
+            AccLtl::Until(..) => false,
+        }
+    }
+
+    /// All atomic transition sentences occurring in the formula.
+    #[must_use]
+    pub fn atom_sentences(&self) -> BTreeSet<PosFormula> {
+        let mut out = BTreeSet::new();
+        self.collect_atoms(&mut out);
+        out
+    }
+
+    fn collect_atoms(&self, out: &mut BTreeSet<PosFormula>) {
+        match self {
+            AccLtl::Atom(sentence) => {
+                out.insert(sentence.clone());
+            }
+            AccLtl::Not(inner) | AccLtl::Next(inner) => inner.collect_atoms(out),
+            AccLtl::And(parts) | AccLtl::Or(parts) => {
+                for p in parts {
+                    p.collect_atoms(out);
+                }
+            }
+            AccLtl::Until(l, r) => {
+                l.collect_atoms(out);
+                r.collect_atoms(out);
+            }
+        }
+    }
+
+    /// The atomic transition sentences together with the polarity (even/odd
+    /// number of enclosing negations) at which they occur.  Used by the
+    /// binding-positivity check of Definition 4.1.
+    #[must_use]
+    pub fn atoms_with_polarity(&self) -> Vec<(PosFormula, bool)> {
+        let mut out = Vec::new();
+        self.collect_polarity(true, &mut out);
+        out
+    }
+
+    fn collect_polarity(&self, positive: bool, out: &mut Vec<(PosFormula, bool)>) {
+        match self {
+            AccLtl::Atom(sentence) => out.push((sentence.clone(), positive)),
+            AccLtl::Not(inner) => inner.collect_polarity(!positive, out),
+            AccLtl::Next(inner) => inner.collect_polarity(positive, out),
+            AccLtl::And(parts) | AccLtl::Or(parts) => {
+                for p in parts {
+                    p.collect_polarity(positive, out);
+                }
+            }
+            AccLtl::Until(l, r) => {
+                l.collect_polarity(positive, out);
+                r.collect_polarity(positive, out);
+            }
+        }
+    }
+
+    /// Evaluates the formula at position `position` (0-based) of the sequence
+    /// of transition structures (Definition 2.1's semantics, over finite
+    /// paths).
+    #[must_use]
+    pub fn satisfied_at(&self, structures: &[Instance], position: usize) -> bool {
+        match self {
+            AccLtl::Atom(sentence) => position < structures.len() && sentence.holds(&structures[position]),
+            AccLtl::Not(inner) => !inner.satisfied_at(structures, position),
+            AccLtl::And(parts) => parts.iter().all(|p| p.satisfied_at(structures, position)),
+            AccLtl::Or(parts) => parts.iter().any(|p| p.satisfied_at(structures, position)),
+            AccLtl::Next(inner) => {
+                position + 1 < structures.len() && inner.satisfied_at(structures, position + 1)
+            }
+            AccLtl::Until(left, right) => (position..structures.len()).any(|j| {
+                right.satisfied_at(structures, j)
+                    && (position..j).all(|k| left.satisfied_at(structures, k))
+            }),
+        }
+    }
+
+    /// Evaluates the formula on a sequence of transitions (position 1 of the
+    /// path, i.e. index 0).
+    #[must_use]
+    pub fn satisfied_by_transitions(&self, transitions: &[Transition], zero_ary: bool) -> bool {
+        let structures = path_structures(transitions, zero_ary);
+        self.satisfied_at(&structures, 0)
+    }
+
+    /// Evaluates the formula on an access path over an initial instance.
+    ///
+    /// `zero_ary` selects the `Sch0−Acc` interpretation of the `IsBind`
+    /// predicates (Section 4.2).
+    pub fn holds_on_path(
+        &self,
+        path: &AccessPath,
+        schema: &AccessSchema,
+        initial: &Instance,
+        zero_ary: bool,
+    ) -> accltl_paths::Result<bool> {
+        let transitions = path.transitions(schema, initial)?;
+        Ok(self.satisfied_by_transitions(&transitions, zero_ary))
+    }
+
+    /// True if every `IsBind` atom (of positive arity or not) occurs under an
+    /// even number of negations: the *binding-positive* condition defining
+    /// `AccLTL+` (Definition 4.1).
+    #[must_use]
+    pub fn is_binding_positive(&self) -> bool {
+        self.atoms_with_polarity()
+            .iter()
+            .all(|(sentence, positive)| *positive || !vocabulary::mentions_isbind(sentence))
+    }
+}
+
+impl fmt::Display for AccLtl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccLtl::Atom(sentence) => write!(f, "[{sentence}]"),
+            AccLtl::Not(inner) => write!(f, "¬{inner}"),
+            AccLtl::And(parts) => {
+                write!(f, "(")?;
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∧ ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+            AccLtl::Or(parts) => {
+                write!(f, "(")?;
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∨ ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+            AccLtl::Next(inner) => write!(f, "X {inner}"),
+            AccLtl::Until(l, r) => write!(f, "({l} U {r})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocabulary::{isbind_atom, isbind_prop, post_atom, pre_atom};
+    use accltl_paths::access::phone_directory_access_schema;
+    use accltl_paths::path::response;
+    use accltl_paths::Access;
+    use accltl_relational::{tuple, Term};
+
+    fn mobile_pre_nonempty() -> PosFormula {
+        PosFormula::exists(
+            vec!["n", "p", "s", "ph"],
+            pre_atom(
+                "Mobile#",
+                vec![
+                    Term::var("n"),
+                    Term::var("p"),
+                    Term::var("s"),
+                    Term::var("ph"),
+                ],
+            ),
+        )
+    }
+
+    fn address_post_has_jones() -> PosFormula {
+        PosFormula::exists(
+            vec!["s", "p", "h"],
+            post_atom(
+                "Address",
+                vec![
+                    Term::var("s"),
+                    Term::var("p"),
+                    Term::constant("Jones"),
+                    Term::var("h"),
+                ],
+            ),
+        )
+    }
+
+    fn figure1_path() -> AccessPath {
+        AccessPath::new()
+            .with_step(
+                Access::new("AcM1", tuple!["Smith"]),
+                response([tuple!["Smith", "OX13QD", "Parks Rd", 5551212]]),
+            )
+            .with_step(
+                Access::new("AcM2", tuple!["Parks Rd", "OX13QD"]),
+                response([
+                    tuple!["Parks Rd", "OX13QD", "Smith", 13],
+                    tuple!["Parks Rd", "OX13QD", "Jones", 16],
+                ]),
+            )
+    }
+
+    #[test]
+    fn constructors_simplify() {
+        assert_eq!(AccLtl::and(vec![]), AccLtl::top());
+        assert_eq!(AccLtl::or(vec![]), AccLtl::bottom());
+        assert_eq!(
+            AccLtl::not(AccLtl::not(AccLtl::top())),
+            AccLtl::top()
+        );
+        let a = AccLtl::atom(mobile_pre_nonempty());
+        assert_eq!(AccLtl::and(vec![a.clone()]), a);
+    }
+
+    #[test]
+    fn eventually_formula_holds_on_figure1_path() {
+        let schema = phone_directory_access_schema();
+        // F [Address^post contains a Jones tuple].
+        let f = AccLtl::finally(AccLtl::atom(address_post_has_jones()));
+        assert!(f
+            .holds_on_path(&figure1_path(), &schema, &Instance::new(), false)
+            .unwrap());
+        // It does not hold at the first transition alone.
+        let first_only = figure1_path().prefix(1);
+        assert!(!f
+            .holds_on_path(&first_only, &schema, &Instance::new(), false)
+            .unwrap());
+    }
+
+    #[test]
+    fn until_semantics_follow_the_paper_example() {
+        let schema = phone_directory_access_schema();
+        // (¬∃ Mobile#^pre) U (IsBind_AcM2 with a street already in Mobile#^pre):
+        // "nothing was known from Mobile# until an AcM2 access was made whose
+        // street binding already appeared in the Mobile# table".
+        let no_mobile_pre = AccLtl::not(AccLtl::atom(mobile_pre_nonempty()));
+        let acm2_uses_known_street = AccLtl::atom(PosFormula::exists(
+            vec!["s", "p"],
+            PosFormula::and(vec![
+                isbind_atom("AcM2", vec![Term::var("s"), Term::var("p")]),
+                PosFormula::exists(
+                    vec!["n", "pc", "ph"],
+                    pre_atom(
+                        "Mobile#",
+                        vec![
+                            Term::var("n"),
+                            Term::var("pc"),
+                            Term::var("s"),
+                            Term::var("ph"),
+                        ],
+                    ),
+                ),
+            ]),
+        ));
+        let f = AccLtl::until(no_mobile_pre, acm2_uses_known_street);
+        // On the Figure 1 path: the first transition has empty Mobile#^pre, and
+        // the second transition's AcM2 binding uses "Parks Rd" which appears in
+        // Mobile#^pre — so the Until holds.
+        assert!(f
+            .holds_on_path(&figure1_path(), &schema, &Instance::new(), false)
+            .unwrap());
+
+        // Swap the order of the steps: now the AcM2 access happens while
+        // Mobile#^pre is still empty, so the right-hand side never holds.
+        let swapped = AccessPath::new()
+            .with_step(
+                Access::new("AcM2", tuple!["Parks Rd", "OX13QD"]),
+                response([tuple!["Parks Rd", "OX13QD", "Jones", 16]]),
+            )
+            .with_step(
+                Access::new("AcM1", tuple!["Smith"]),
+                response([tuple!["Smith", "OX13QD", "Parks Rd", 5551212]]),
+            );
+        assert!(!f
+            .holds_on_path(&swapped, &schema, &Instance::new(), false)
+            .unwrap());
+    }
+
+    #[test]
+    fn next_requires_a_successor_transition() {
+        let schema = phone_directory_access_schema();
+        let f = AccLtl::next(AccLtl::atom(address_post_has_jones()));
+        assert!(f
+            .holds_on_path(&figure1_path(), &schema, &Instance::new(), false)
+            .unwrap());
+        assert!(!f
+            .holds_on_path(&figure1_path().prefix(1), &schema, &Instance::new(), false)
+            .unwrap());
+    }
+
+    #[test]
+    fn globally_and_empty_path_semantics() {
+        let schema = phone_directory_access_schema();
+        let g = AccLtl::globally(AccLtl::atom(PosFormula::True));
+        assert!(g
+            .holds_on_path(&AccessPath::new(), &schema, &Instance::new(), false)
+            .unwrap());
+        // An atom is not satisfied on the empty path (there is no transition).
+        let a = AccLtl::atom(PosFormula::True);
+        assert!(!a
+            .holds_on_path(&AccessPath::new(), &schema, &Instance::new(), false)
+            .unwrap());
+    }
+
+    #[test]
+    fn zero_ary_interpretation_sees_the_method_but_not_the_binding() {
+        let schema = phone_directory_access_schema();
+        let used_acm1 = AccLtl::finally(AccLtl::atom(isbind_prop("AcM1")));
+        assert!(used_acm1
+            .holds_on_path(&figure1_path(), &schema, &Instance::new(), true)
+            .unwrap());
+        let used_acm1_nary = AccLtl::finally(AccLtl::atom(PosFormula::exists(
+            vec!["n"],
+            isbind_atom("AcM1", vec![Term::var("n")]),
+        )));
+        // Under the 0-ary interpretation the n-ary IsBind atom never matches.
+        assert!(!used_acm1_nary
+            .holds_on_path(&figure1_path(), &schema, &Instance::new(), true)
+            .unwrap());
+        // Under the full interpretation it does.
+        assert!(used_acm1_nary
+            .holds_on_path(&figure1_path(), &schema, &Instance::new(), false)
+            .unwrap());
+    }
+
+    #[test]
+    fn binding_positivity_is_detected() {
+        let positive = AccLtl::finally(AccLtl::atom(PosFormula::exists(
+            vec!["n"],
+            isbind_atom("AcM1", vec![Term::var("n")]),
+        )));
+        assert!(positive.is_binding_positive());
+
+        let negative = AccLtl::globally(AccLtl::not(AccLtl::atom(PosFormula::exists(
+            vec!["n"],
+            isbind_atom("AcM1", vec![Term::var("n")]),
+        ))));
+        assert!(!negative.is_binding_positive());
+
+        // Negating a pure data sentence is fine.
+        let negated_data = AccLtl::not(AccLtl::atom(mobile_pre_nonempty()));
+        assert!(negated_data.is_binding_positive());
+
+        // G is a double negation, so IsBind under G is still positive.
+        let under_g = AccLtl::globally(AccLtl::atom(isbind_prop("AcM1")));
+        assert!(under_g.is_binding_positive());
+    }
+
+    #[test]
+    fn size_depth_and_fragment_helpers() {
+        let f = AccLtl::next(AccLtl::and(vec![
+            AccLtl::atom(mobile_pre_nonempty()),
+            AccLtl::next(AccLtl::atom(address_post_has_jones())),
+        ]));
+        assert!(f.is_x_only());
+        assert_eq!(f.x_depth(), 2);
+        assert!(f.size() > 3);
+        let u = AccLtl::until(AccLtl::top(), AccLtl::atom(mobile_pre_nonempty()));
+        assert!(!u.is_x_only());
+        assert_eq!(u.atom_sentences().len(), 2);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let f = AccLtl::until(
+            AccLtl::not(AccLtl::atom(mobile_pre_nonempty())),
+            AccLtl::atom(isbind_prop("AcM1")),
+        );
+        let s = f.to_string();
+        assert!(s.contains(" U "));
+        assert!(s.contains("¬"));
+    }
+}

@@ -1,0 +1,712 @@
+//! The bounded-universe path-search engine behind the decision procedures.
+//!
+//! The Boundedness Lemma (Lemma 4.13) shows that a satisfiable
+//! `AccLTL(FO∃+0−Acc)` formula has a witness path whose instances contain
+//! only homomorphic images of the formula's positive sentences, and whose
+//! binding set is polynomial.  The paper then *guesses* such a sequence and
+//! verifies it through a propositional LTL abstraction.  This module replaces
+//! the guess by a deterministic, memoised search over exactly that witness
+//! space:
+//!
+//! * the **fact universe** is the union of the canonical databases of the
+//!   (IsBind-erased) positive sentences of the formula, mapped back to the
+//!   base relations (Lemma 4.13's `I'_f`);
+//! * **states** are pairs (set of revealed facts, progressed formula); the
+//!   formula is progressed transition by transition, in the style of the
+//!   propositional reduction of Theorem 4.12;
+//! * **transitions** are generated per access method by grouping the not yet
+//!   revealed facts of its relation by their projection onto the input
+//!   positions (a well-formed response must agree with the binding), plus
+//!   empty responses with candidate bindings drawn from the formula's
+//!   constants and the universe values.
+//!
+//! The same engine, with bindings materialised (`zero_ary = false`), is used
+//! as the bounded witness-search procedure for `AccLTL+` and the full
+//! (undecidable) language: finding a witness is always sound; exhausting the
+//! space without finding one is a completeness certificate only for the
+//! fragments covered by the Boundedness Lemma, which is how the solver
+//! front-ends in [`crate::solver`] report their verdicts.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use accltl_paths::{Access, AccessPath, AccessSchema, Response};
+use accltl_relational::{Instance, PosFormula, Tuple, Value};
+
+use crate::accltl::AccLtl;
+use crate::vocabulary::{self, erase_isbind, isbind_name, post_name, pre_name};
+
+/// Configuration of the bounded satisfiability search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BoundedSearchConfig {
+    /// Maximum number of distinct (facts, formula) states explored.
+    pub max_states: usize,
+    /// Maximum number of tuples added by a single response.
+    pub max_response_size: usize,
+    /// Cap on candidate bindings enumerated per method for empty responses.
+    pub max_empty_bindings: usize,
+    /// Accept the empty access path as a witness when the formula holds on it.
+    pub allow_empty_path: bool,
+    /// Restrict the search to grounded paths (every binding value must occur
+    /// in the initial instance or in an earlier response).
+    pub grounded: bool,
+}
+
+impl Default for BoundedSearchConfig {
+    fn default() -> Self {
+        BoundedSearchConfig {
+            max_states: 200_000,
+            max_response_size: 3,
+            max_empty_bindings: 16,
+            allow_empty_path: false,
+            grounded: false,
+        }
+    }
+}
+
+/// Outcome of a satisfiability check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SatOutcome {
+    /// A witness access path was found.
+    Satisfiable {
+        /// The witness path (its transitions satisfy the formula at position
+        /// one).
+        witness: AccessPath,
+    },
+    /// The bounded witness space contains no satisfying path.  For the
+    /// fragments covered by the Boundedness Lemma this certifies
+    /// unsatisfiability; the solver front-ends downgrade it to
+    /// [`SatOutcome::Unknown`] where that guarantee does not apply.
+    Unsatisfiable,
+    /// The state budget was exhausted before the search completed.
+    Unknown {
+        /// Number of states explored before giving up.
+        explored: usize,
+    },
+}
+
+impl SatOutcome {
+    /// True if a witness was found.
+    #[must_use]
+    pub fn is_satisfiable(&self) -> bool {
+        matches!(self, SatOutcome::Satisfiable { .. })
+    }
+}
+
+/// One fact of the bounded universe.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct UniverseFact {
+    relation: String,
+    tuple: Tuple,
+}
+
+/// Builds the bounded fact universe of a formula: the canonical databases of
+/// its IsBind-erased positive sentences, mapped to base relations, together
+/// with the facts of the initial instance.
+fn fact_universe(formula: &AccLtl, initial: &Instance) -> Vec<UniverseFact> {
+    let mut facts: BTreeSet<UniverseFact> = initial
+        .facts()
+        .map(|(rel, tuple)| UniverseFact {
+            relation: rel.to_owned(),
+            tuple: tuple.clone(),
+        })
+        .collect();
+
+    for (sentence_index, sentence) in formula.atom_sentences().iter().enumerate() {
+        let erased = erase_isbind(sentence);
+        for (disjunct_index, icq) in erased.to_inequality_union().iter().enumerate() {
+            // Rename the variables apart so that witnesses of distinct
+            // sentences/disjuncts never share frozen values.
+            let renamed = icq
+                .cq
+                .rename_vars(&|v| format!("s{sentence_index}d{disjunct_index}\u{1f9}{v}"));
+            let (canonical, _) = renamed.canonical_instance();
+            for (predicate, tuple) in canonical.facts() {
+                if let Some(base) = vocabulary::base_relation(predicate) {
+                    facts.insert(UniverseFact {
+                        relation: base.to_owned(),
+                        tuple: tuple.clone(),
+                    });
+                }
+            }
+        }
+    }
+    facts.into_iter().collect()
+}
+
+/// The constants mentioned anywhere in the formula (used as candidate binding
+/// values for empty responses).
+fn formula_constants(formula: &AccLtl) -> BTreeSet<Value> {
+    formula
+        .atom_sentences()
+        .iter()
+        .flat_map(PosFormula::constants)
+        .collect()
+}
+
+/// Normalises a formula so that structurally equal obligations compare equal
+/// (sorted, deduplicated boolean arguments).
+fn normalize(formula: &AccLtl) -> AccLtl {
+    match formula {
+        AccLtl::Atom(_) => formula.clone(),
+        AccLtl::Not(inner) => AccLtl::not(normalize(inner)),
+        AccLtl::And(parts) => {
+            let mut normalized: Vec<AccLtl> = parts.iter().map(normalize).collect();
+            normalized.sort();
+            normalized.dedup();
+            AccLtl::and(normalized)
+        }
+        AccLtl::Or(parts) => {
+            let mut normalized: Vec<AccLtl> = parts.iter().map(normalize).collect();
+            normalized.sort();
+            normalized.dedup();
+            AccLtl::or(normalized)
+        }
+        AccLtl::Next(inner) => AccLtl::next(normalize(inner)),
+        AccLtl::Until(l, r) => AccLtl::until(normalize(l), normalize(r)),
+    }
+}
+
+/// Progresses an `AccLTL` formula through one transition structure.
+fn progress(formula: &AccLtl, structure: &Instance) -> AccLtl {
+    match formula {
+        AccLtl::Atom(sentence) => {
+            if sentence.holds(structure) {
+                AccLtl::top()
+            } else {
+                AccLtl::bottom()
+            }
+        }
+        AccLtl::Not(inner) => AccLtl::not(progress(inner, structure)),
+        AccLtl::And(parts) => AccLtl::and(parts.iter().map(|p| progress(p, structure)).collect()),
+        AccLtl::Or(parts) => AccLtl::or(parts.iter().map(|p| progress(p, structure)).collect()),
+        AccLtl::Next(inner) => inner.as_ref().clone(),
+        AccLtl::Until(l, r) => AccLtl::or(vec![
+            progress(r, structure),
+            AccLtl::and(vec![progress(l, structure), formula.clone()]),
+        ]),
+    }
+}
+
+/// Whether a (progressed) formula is satisfied by the empty remainder of a
+/// path.
+fn accepts_empty(formula: &AccLtl) -> bool {
+    match formula {
+        AccLtl::Atom(sentence) => matches!(sentence, PosFormula::True),
+        AccLtl::Not(inner) => !accepts_empty(inner),
+        AccLtl::And(parts) => parts.iter().all(accepts_empty),
+        AccLtl::Or(parts) => parts.iter().any(accepts_empty),
+        AccLtl::Next(_) | AccLtl::Until(..) => false,
+    }
+}
+
+/// A candidate transition produced by the enumerator.
+#[derive(Debug, Clone)]
+struct CandidateTransition {
+    method: String,
+    binding: Tuple,
+    added: Vec<usize>,
+}
+
+/// The bounded satisfiability search.
+pub struct BoundedSearcher<'a> {
+    schema: &'a AccessSchema,
+    initial: Instance,
+    zero_ary: bool,
+    config: BoundedSearchConfig,
+}
+
+impl<'a> BoundedSearcher<'a> {
+    /// Creates a searcher.  `zero_ary` selects the `Sch0−Acc` interpretation
+    /// of the `IsBind` predicates.
+    #[must_use]
+    pub fn new(
+        schema: &'a AccessSchema,
+        initial: &Instance,
+        zero_ary: bool,
+        config: BoundedSearchConfig,
+    ) -> Self {
+        BoundedSearcher {
+            schema,
+            initial: initial.clone(),
+            zero_ary,
+            config,
+        }
+    }
+
+    /// Runs the search for the given formula.
+    #[must_use]
+    pub fn search(&self, formula: &AccLtl) -> SatOutcome {
+        let universe = fact_universe(formula, &self.initial);
+        let constants = formula_constants(formula);
+        let start_formula = normalize(formula);
+
+        let initially_revealed: BTreeSet<usize> = universe
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| self.initial.contains(&f.relation, &f.tuple))
+            .map(|(i, _)| i)
+            .collect();
+
+        if self.config.allow_empty_path && accepts_empty(&start_formula) {
+            return SatOutcome::Satisfiable {
+                witness: AccessPath::new(),
+            };
+        }
+
+        type State = (BTreeSet<usize>, AccLtl);
+        // parent: state -> (previous state, access, response fact indices)
+        let mut parents: BTreeMap<State, Option<(State, Access, Vec<usize>)>> = BTreeMap::new();
+        let mut queue: VecDeque<State> = VecDeque::new();
+        let start: State = (initially_revealed, start_formula);
+        parents.insert(start.clone(), None);
+        queue.push_back(start);
+
+        while let Some(state) = queue.pop_front() {
+            let (revealed, obligation) = &state;
+            let current_instance = self.instance_of(&universe, revealed);
+            for candidate in self.candidate_transitions(&universe, revealed, &current_instance, &constants) {
+                let mut new_revealed = revealed.clone();
+                let mut after = current_instance.clone();
+                for &index in &candidate.added {
+                    new_revealed.insert(index);
+                    after.add_fact(universe[index].relation.clone(), universe[index].tuple.clone());
+                }
+                let structure = self.transition_structure(&current_instance, &after, &candidate);
+                let progressed = normalize(&progress(obligation, &structure));
+                if progressed == AccLtl::bottom() {
+                    continue;
+                }
+                let access = Access::new(candidate.method.clone(), candidate.binding.clone());
+                if accepts_empty(&progressed) {
+                    // The path leading to the current state, extended by this
+                    // transition, is a witness (checked before deduplication:
+                    // the successor state may coincide with an earlier one,
+                    // e.g. when an obligation like `G ψ` is already
+                    // dischargeable).
+                    let mut witness = self.reconstruct(&parents, &state, &universe);
+                    let response: Response = candidate
+                        .added
+                        .iter()
+                        .map(|&i| universe[i].tuple.clone())
+                        .collect();
+                    witness.push(access, response);
+                    return SatOutcome::Satisfiable { witness };
+                }
+                let next_state: State = (new_revealed, progressed.clone());
+                if parents.contains_key(&next_state) {
+                    continue;
+                }
+                parents.insert(
+                    next_state.clone(),
+                    Some((state.clone(), access, candidate.added.clone())),
+                );
+                if parents.len() >= self.config.max_states {
+                    return SatOutcome::Unknown {
+                        explored: parents.len(),
+                    };
+                }
+                queue.push_back(next_state);
+            }
+        }
+        SatOutcome::Unsatisfiable
+    }
+
+    fn instance_of(&self, universe: &[UniverseFact], revealed: &BTreeSet<usize>) -> Instance {
+        let mut instance = self.initial.clone();
+        for &index in revealed {
+            instance.add_fact(universe[index].relation.clone(), universe[index].tuple.clone());
+        }
+        instance
+    }
+
+    fn transition_structure(
+        &self,
+        before: &Instance,
+        after: &Instance,
+        candidate: &CandidateTransition,
+    ) -> Instance {
+        let mut structure = before.rename_relations(&|r| pre_name(r));
+        structure.union_in_place(&after.rename_relations(&|r| post_name(r)));
+        let bind_predicate = isbind_name(&candidate.method);
+        if self.zero_ary {
+            structure.add_fact(bind_predicate, Tuple::default());
+        } else {
+            structure.add_fact(bind_predicate, candidate.binding.clone());
+        }
+        structure
+    }
+
+    fn candidate_transitions(
+        &self,
+        universe: &[UniverseFact],
+        revealed: &BTreeSet<usize>,
+        current: &Instance,
+        constants: &BTreeSet<Value>,
+    ) -> Vec<CandidateTransition> {
+        let mut candidates = Vec::new();
+        let known_values: BTreeSet<Value> = current.active_domain();
+
+        for method in self.schema.methods() {
+            let relation = method.relation();
+            // Group unrevealed facts of the relation by their projection onto
+            // the method's input positions (a well-formed response must agree
+            // with the binding on those positions).
+            let mut groups: BTreeMap<Tuple, Vec<usize>> = BTreeMap::new();
+            for (index, fact) in universe.iter().enumerate() {
+                if fact.relation != relation || revealed.contains(&index) {
+                    continue;
+                }
+                let projection = fact.tuple.project(method.input_positions());
+                groups.entry(projection).or_default().push(index);
+            }
+            for (binding, members) in &groups {
+                if self.config.grounded
+                    && !binding.values().iter().all(|v| known_values.contains(v))
+                {
+                    continue;
+                }
+                // Enumerate non-empty subsets of the group up to the response
+                // size cap.
+                let size = members.len().min(12);
+                for mask in 1u32..(1 << size) {
+                    if (mask.count_ones() as usize) > self.config.max_response_size {
+                        continue;
+                    }
+                    let added: Vec<usize> = (0..size)
+                        .filter(|i| mask & (1 << i) != 0)
+                        .map(|i| members[i])
+                        .collect();
+                    candidates.push(CandidateTransition {
+                        method: method.name().to_owned(),
+                        binding: binding.clone(),
+                        added,
+                    });
+                }
+            }
+            // Empty responses: the access is made but reveals nothing.  In the
+            // 0-ary interpretation the binding is irrelevant; otherwise
+            // enumerate a bounded set of candidate bindings.
+            if self.zero_ary {
+                candidates.push(CandidateTransition {
+                    method: method.name().to_owned(),
+                    binding: dummy_binding(method.input_arity()),
+                    added: Vec::new(),
+                });
+            } else {
+                for binding in
+                    self.empty_response_bindings(universe, method, constants, &known_values)
+                {
+                    candidates.push(CandidateTransition {
+                        method: method.name().to_owned(),
+                        binding,
+                        added: Vec::new(),
+                    });
+                }
+            }
+        }
+        candidates
+    }
+
+    fn empty_response_bindings(
+        &self,
+        universe: &[UniverseFact],
+        method: &accltl_paths::AccessMethod,
+        constants: &BTreeSet<Value>,
+        known_values: &BTreeSet<Value>,
+    ) -> Vec<Tuple> {
+        // Candidate values per input position: every value occurring anywhere
+        // in the universe (any of them may flow into a binding via dataflow
+        // atoms), the formula constants, and (when not grounded) one fresh
+        // placeholder value.
+        let universe_values: BTreeSet<Value> = universe
+            .iter()
+            .flat_map(|f| f.tuple.values().iter().cloned())
+            .collect();
+        let mut per_position: Vec<Vec<Value>> = Vec::new();
+        for _position in method.input_positions() {
+            let mut values: BTreeSet<Value> = universe_values.clone();
+            values.extend(constants.iter().cloned());
+            if self.config.grounded {
+                values.retain(|v| known_values.contains(v));
+            } else {
+                values.insert(Value::str("\u{2606}any"));
+            }
+            per_position.push(values.into_iter().collect());
+        }
+        let mut bindings: Vec<Vec<Value>> = vec![Vec::new()];
+        for values in &per_position {
+            let mut next = Vec::new();
+            for prefixix in &bindings {
+                for v in values {
+                    if next.len() >= self.config.max_empty_bindings {
+                        break;
+                    }
+                    let mut extended = prefixix.clone();
+                    extended.push(v.clone());
+                    next.push(extended);
+                }
+            }
+            bindings = next;
+        }
+        bindings.truncate(self.config.max_empty_bindings);
+        bindings.into_iter().map(Tuple::new).collect()
+    }
+
+    fn reconstruct(
+        &self,
+        parents: &BTreeMap<(BTreeSet<usize>, AccLtl), Option<((BTreeSet<usize>, AccLtl), Access, Vec<usize>)>>,
+        end: &(BTreeSet<usize>, AccLtl),
+        universe: &[UniverseFact],
+    ) -> AccessPath {
+        let mut steps: Vec<(Access, Response)> = Vec::new();
+        let mut cursor = end.clone();
+        while let Some(Some((previous, access, added))) = parents.get(&cursor) {
+            let response: Response = added
+                .iter()
+                .map(|&i| universe[i].tuple.clone())
+                .collect();
+            steps.push((access.clone(), response));
+            cursor = previous.clone();
+        }
+        steps.reverse();
+        AccessPath::from_steps(steps)
+    }
+}
+
+fn dummy_binding(arity: usize) -> Tuple {
+    Tuple::new(vec![Value::str("\u{2606}any"); arity])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocabulary::{isbind_atom, isbind_prop, post_atom, pre_atom};
+    use accltl_paths::access::phone_directory_access_schema;
+    use accltl_relational::{tuple, Term};
+
+    fn schema() -> AccessSchema {
+        phone_directory_access_schema()
+    }
+
+    fn address_post_has_jones() -> PosFormula {
+        PosFormula::exists(
+            vec!["s", "p", "h"],
+            post_atom(
+                "Address",
+                vec![
+                    Term::var("s"),
+                    Term::var("p"),
+                    Term::constant("Jones"),
+                    Term::var("h"),
+                ],
+            ),
+        )
+    }
+
+    fn mobile_pre_nonempty() -> PosFormula {
+        PosFormula::exists(
+            vec!["n", "p", "s", "ph"],
+            pre_atom(
+                "Mobile#",
+                vec![
+                    Term::var("n"),
+                    Term::var("p"),
+                    Term::var("s"),
+                    Term::var("ph"),
+                ],
+            ),
+        )
+    }
+
+    fn check_witness(formula: &AccLtl, outcome: &SatOutcome, zero_ary: bool) {
+        let SatOutcome::Satisfiable { witness } = outcome else {
+            panic!("expected satisfiable, got {outcome:?}");
+        };
+        let schema = schema();
+        assert!(witness.validate(&schema).is_ok());
+        assert!(formula
+            .holds_on_path(witness, &schema, &Instance::new(), zero_ary)
+            .unwrap());
+    }
+
+    #[test]
+    fn eventually_jones_is_satisfiable_with_a_valid_witness() {
+        let schema = schema();
+        let f = AccLtl::finally(AccLtl::atom(address_post_has_jones()));
+        let searcher =
+            BoundedSearcher::new(&schema, &Instance::new(), true, BoundedSearchConfig::default());
+        let outcome = searcher.search(&f);
+        check_witness(&f, &outcome, true);
+    }
+
+    #[test]
+    fn globally_nothing_and_eventually_something_is_unsatisfiable() {
+        let schema = schema();
+        // G ¬[∃ Address^post …Jones…] ∧ F [∃ Address^post …Jones…]
+        let jones = AccLtl::atom(address_post_has_jones());
+        let f = AccLtl::and(vec![
+            AccLtl::globally(AccLtl::not(jones.clone())),
+            AccLtl::finally(jones),
+        ]);
+        let searcher =
+            BoundedSearcher::new(&schema, &Instance::new(), true, BoundedSearchConfig::default());
+        assert_eq!(searcher.search(&f), SatOutcome::Unsatisfiable);
+    }
+
+    #[test]
+    fn order_constraints_are_satisfiable_in_the_right_order_only() {
+        let schema = schema();
+        // "Nothing is known from Mobile# until an AcM2 access happens" and
+        // eventually a Mobile# fact appears: satisfiable (AcM2 first, then
+        // AcM1).
+        let f = AccLtl::and(vec![
+            AccLtl::until(
+                AccLtl::not(AccLtl::atom(mobile_pre_nonempty())),
+                AccLtl::atom(isbind_prop("AcM2")),
+            ),
+            AccLtl::finally(AccLtl::atom(mobile_pre_nonempty())),
+        ]);
+        let searcher =
+            BoundedSearcher::new(&schema, &Instance::new(), true, BoundedSearchConfig::default());
+        let outcome = searcher.search(&f);
+        check_witness(&f, &outcome, true);
+        if let SatOutcome::Satisfiable { witness } = &outcome {
+            // A Mobile# fact must eventually appear in a pre-instance, so the
+            // witness needs at least two transitions, and the Until part
+            // forces an AcM2 access no later than the first transition with a
+            // non-empty Mobile# pre-instance.
+            assert!(witness.len() >= 2);
+            assert!(witness.accesses().any(|a| a.method == "AcM2"));
+        }
+
+        // Forcing the first access to be AcM1 while also requiring the above
+        // is unsatisfiable (Mobile#^pre would stay empty only if no Mobile#
+        // fact was revealed, but the first transition must reveal one for F to
+        // hold... more precisely the conjunction below is contradictory).
+        let contradictory = AccLtl::and(vec![
+            AccLtl::atom(isbind_prop("AcM1")),
+            AccLtl::until(
+                AccLtl::not(AccLtl::atom(isbind_prop("AcM1"))),
+                AccLtl::atom(isbind_prop("AcM2")),
+            ),
+        ]);
+        assert_eq!(searcher.search(&contradictory), SatOutcome::Unsatisfiable);
+    }
+
+    #[test]
+    fn binding_aware_search_finds_dataflow_witnesses() {
+        let schema = schema();
+        // An AcM1 access whose bound name already occurs in Address^pre — the
+        // paper's running dataflow example.  Requires revealing an Address
+        // fact first, then accessing Mobile# with that name.
+        let dataflow = AccLtl::finally(AccLtl::atom(PosFormula::exists(
+            vec!["n"],
+            PosFormula::and(vec![
+                isbind_atom("AcM1", vec![Term::var("n")]),
+                PosFormula::exists(
+                    vec!["s", "p", "h"],
+                    pre_atom(
+                        "Address",
+                        vec![Term::var("s"), Term::var("p"), Term::var("n"), Term::var("h")],
+                    ),
+                ),
+            ]),
+        )));
+        let searcher = BoundedSearcher::new(
+            &schema,
+            &Instance::new(),
+            false,
+            BoundedSearchConfig::default(),
+        );
+        let outcome = searcher.search(&dataflow);
+        check_witness(&dataflow, &outcome, false);
+    }
+
+    #[test]
+    fn grounded_search_requires_known_values() {
+        let schema = schema();
+        // Eventually an AcM1 access is made with some (n-ary) binding.  Under
+        // grounded semantics over the empty initial instance, no binding value
+        // is known, and AcM1 needs one input value — yet a grounded path can
+        // still never *reveal* a text value without first making an access...
+        // in fact no grounded access with a non-empty binding can ever be the
+        // first access, so requiring the very first transition to use AcM1 is
+        // unsatisfiable under groundedness.
+        let f = AccLtl::atom(PosFormula::exists(
+            vec!["n"],
+            isbind_atom("AcM1", vec![Term::var("n")]),
+        ));
+        let grounded_config = BoundedSearchConfig {
+            grounded: true,
+            ..BoundedSearchConfig::default()
+        };
+        let searcher = BoundedSearcher::new(&schema, &Instance::new(), false, grounded_config);
+        assert_eq!(searcher.search(&f), SatOutcome::Unsatisfiable);
+
+        // With an initial instance supplying the value, it becomes satisfiable.
+        let mut initial = Instance::new();
+        initial.add_fact("Address", tuple!["Parks Rd", "OX13QD", "Smith", 13]);
+        let searcher = BoundedSearcher::new(&schema, &initial, false, grounded_config);
+        let outcome = searcher.search(&f);
+        assert!(outcome.is_satisfiable());
+    }
+
+    #[test]
+    fn state_budget_exhaustion_reports_unknown() {
+        let schema = schema();
+        let f = AccLtl::and(vec![
+            AccLtl::finally(AccLtl::atom(address_post_has_jones())),
+            AccLtl::finally(AccLtl::atom(mobile_pre_nonempty())),
+        ]);
+        let searcher = BoundedSearcher::new(
+            &schema,
+            &Instance::new(),
+            true,
+            BoundedSearchConfig {
+                max_states: 2,
+                ..BoundedSearchConfig::default()
+            },
+        );
+        assert!(matches!(searcher.search(&f), SatOutcome::Unknown { .. }));
+    }
+
+    #[test]
+    fn empty_path_witness_is_only_allowed_when_enabled() {
+        let schema = schema();
+        let g_false = AccLtl::globally(AccLtl::bottom());
+        let default_searcher =
+            BoundedSearcher::new(&schema, &Instance::new(), true, BoundedSearchConfig::default());
+        assert_eq!(default_searcher.search(&g_false), SatOutcome::Unsatisfiable);
+
+        let allow_empty = BoundedSearchConfig {
+            allow_empty_path: true,
+            ..BoundedSearchConfig::default()
+        };
+        let empty_searcher = BoundedSearcher::new(&schema, &Instance::new(), true, allow_empty);
+        let outcome = empty_searcher.search(&g_false);
+        assert!(matches!(
+            outcome,
+            SatOutcome::Satisfiable { ref witness } if witness.is_empty()
+        ));
+    }
+
+    #[test]
+    fn initial_instance_facts_are_visible_in_pre() {
+        let schema = schema();
+        let mut initial = Instance::new();
+        initial.add_fact("Mobile#", tuple!["Smith", "OX13QD", "Parks Rd", 5551212]);
+        // The very first transition already sees the initial Mobile# fact in
+        // its pre-instance.
+        let f = AccLtl::atom(mobile_pre_nonempty());
+        let searcher =
+            BoundedSearcher::new(&schema, &initial, true, BoundedSearchConfig::default());
+        let outcome = searcher.search(&f);
+        assert!(outcome.is_satisfiable());
+
+        // Over the empty initial instance the same formula is unsatisfiable:
+        // the first transition's pre-instance is always empty.
+        let searcher =
+            BoundedSearcher::new(&schema, &Instance::new(), true, BoundedSearchConfig::default());
+        assert_eq!(searcher.search(&f), SatOutcome::Unsatisfiable);
+    }
+}

@@ -1,0 +1,260 @@
+//! The one-step branching logic `CTL_EX(FO∃+0−Acc)` of Section 5.2.
+//!
+//! The paper shows that even this minimal branching-time logic — boolean
+//! combinations of transition sentences closed under a single existential
+//! next-step modality `EX` — is undecidable over the LTS of a schema with
+//! access restrictions (Theorem 5.3).  This module provides the syntax,
+//! semantics over a materialised LTS fragment, and a *bounded* model-checking
+//! / satisfiability procedure, which is the honest substitute for an
+//! impossible complete one.
+
+use accltl_paths::lts::{LtsNode, LtsTree};
+use accltl_paths::Transition;
+use accltl_relational::{Instance, PosFormula, Tuple};
+
+use crate::vocabulary::{isbind_name, post_name, pre_name};
+
+/// A `CTL_EX` formula over the 0-ary transition vocabulary.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CtlEx {
+    /// An atomic transition sentence.
+    Atom(PosFormula),
+    /// Negation.
+    Not(Box<CtlEx>),
+    /// Conjunction.
+    And(Vec<CtlEx>),
+    /// Disjunction.
+    Or(Vec<CtlEx>),
+    /// `EX φ`: some successor transition satisfies `φ`.
+    Ex(Box<CtlEx>),
+}
+
+impl CtlEx {
+    /// Atom constructor.
+    #[must_use]
+    pub fn atom(sentence: PosFormula) -> Self {
+        CtlEx::Atom(sentence)
+    }
+
+    /// Negation constructor.
+    #[must_use]
+    pub fn not(formula: CtlEx) -> Self {
+        CtlEx::Not(Box::new(formula))
+    }
+
+    /// Conjunction constructor.
+    #[must_use]
+    pub fn and(parts: Vec<CtlEx>) -> Self {
+        CtlEx::And(parts)
+    }
+
+    /// Disjunction constructor.
+    #[must_use]
+    pub fn or(parts: Vec<CtlEx>) -> Self {
+        CtlEx::Or(parts)
+    }
+
+    /// `EX φ` constructor.
+    #[must_use]
+    pub fn ex(formula: CtlEx) -> Self {
+        CtlEx::Ex(Box::new(formula))
+    }
+
+    /// `AX φ ≡ ¬EX¬φ` (the derived universal next-step modality used in the
+    /// Theorem 5.3 gadget).
+    #[must_use]
+    pub fn ax(formula: CtlEx) -> Self {
+        CtlEx::not(CtlEx::ex(CtlEx::not(formula)))
+    }
+
+    /// The nesting depth of `EX` modalities: a lower bound on the LTS depth
+    /// needed to evaluate the formula.
+    #[must_use]
+    pub fn ex_depth(&self) -> usize {
+        match self {
+            CtlEx::Atom(_) => 0,
+            CtlEx::Not(inner) => inner.ex_depth(),
+            CtlEx::And(parts) | CtlEx::Or(parts) => {
+                parts.iter().map(CtlEx::ex_depth).max().unwrap_or(0)
+            }
+            CtlEx::Ex(inner) => 1 + inner.ex_depth(),
+        }
+    }
+}
+
+/// Evaluates the formula at a transition of the materialised LTS: the edge
+/// `edge_index` out of node `node_index`.
+///
+/// The transition structure interprets the `IsBind` predicate of the edge's
+/// method as a 0-ary proposition, following `Sch0−Acc`.
+#[must_use]
+pub fn satisfied_at_edge(
+    formula: &CtlEx,
+    tree: &LtsTree,
+    node_index: usize,
+    edge_index: usize,
+) -> bool {
+    let node = &tree.nodes[node_index];
+    let (access, response, child) = &node.edges[edge_index];
+    let transition = Transition {
+        before: node.instance.clone(),
+        access: access.clone(),
+        response: response.clone(),
+        after: tree.nodes[*child].instance.clone(),
+    };
+    let structure = zero_ary_structure(&transition);
+    satisfied(formula, tree, *child, &structure)
+}
+
+fn zero_ary_structure(transition: &Transition) -> Instance {
+    let mut structure = transition.before.rename_relations(&|r| pre_name(r));
+    structure.union_in_place(&transition.after.rename_relations(&|r| post_name(r)));
+    structure.add_fact(isbind_name(&transition.access.method), Tuple::default());
+    structure
+}
+
+fn satisfied(formula: &CtlEx, tree: &LtsTree, child_node: usize, structure: &Instance) -> bool {
+    match formula {
+        CtlEx::Atom(sentence) => sentence.holds(structure),
+        CtlEx::Not(inner) => !satisfied(inner, tree, child_node, structure),
+        CtlEx::And(parts) => parts.iter().all(|p| satisfied(p, tree, child_node, structure)),
+        CtlEx::Or(parts) => parts.iter().any(|p| satisfied(p, tree, child_node, structure)),
+        CtlEx::Ex(inner) => {
+            let node: &LtsNode = &tree.nodes[child_node];
+            (0..node.edges.len()).any(|edge| satisfied_at_edge(inner, tree, child_node, edge))
+        }
+    }
+}
+
+/// Bounded satisfiability of a `CTL_EX` formula over a materialised LTS
+/// fragment: is there a transition of the fragment at which the formula
+/// holds?  Returns the `(node, edge)` coordinates of a witness transition.
+///
+/// This is a *bounded* procedure: the LTS fragment must be deep enough
+/// (`formula.ex_depth() + 1` levels below the witness) for the verdict to be
+/// meaningful, and a `None` answer over a truncated fragment proves nothing —
+/// Theorem 5.3 shows no complete procedure can exist.
+#[must_use]
+pub fn bounded_satisfiability(formula: &CtlEx, tree: &LtsTree) -> Option<(usize, usize)> {
+    for (node_index, node) in tree.nodes.iter().enumerate() {
+        for edge_index in 0..node.edges.len() {
+            if satisfied_at_edge(formula, tree, node_index, edge_index) {
+                return Some((node_index, edge_index));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocabulary::isbind_prop;
+    use accltl_paths::access::phone_directory_access_schema;
+    use accltl_paths::lts::{LtsExplorer, LtsOptions};
+    use accltl_paths::AccessSchema;
+    use accltl_relational::{tuple, Term};
+
+    fn tree(depth: usize) -> (AccessSchema, LtsTree) {
+        let schema = phone_directory_access_schema();
+        let mut hidden = Instance::new();
+        hidden.add_fact("Mobile#", tuple!["Smith", "OX13QD", "Parks Rd", 5551212]);
+        hidden.add_fact("Address", tuple!["Parks Rd", "OX13QD", "Jones", 16]);
+        let explorer_options = LtsOptions {
+            max_depth: depth,
+            max_bindings_per_method: 16,
+            ..LtsOptions::default()
+        };
+        let tree = LtsExplorer::new(&schema, &hidden, explorer_options)
+            .explore(&Instance::new())
+            .unwrap();
+        (schema, tree)
+    }
+
+    fn jones_post() -> PosFormula {
+        PosFormula::exists(
+            vec!["s", "p", "h"],
+            crate::vocabulary::post_atom(
+                "Address",
+                vec![
+                    Term::var("s"),
+                    Term::var("p"),
+                    Term::constant("Jones"),
+                    Term::var("h"),
+                ],
+            ),
+        )
+    }
+
+    #[test]
+    fn atomic_formulas_hold_at_the_revealing_transition() {
+        let (_schema, tree) = tree(2);
+        let f = CtlEx::atom(jones_post());
+        let witness = bounded_satisfiability(&f, &tree);
+        assert!(witness.is_some());
+    }
+
+    #[test]
+    fn ex_looks_one_step_ahead() {
+        let (_schema, tree) = tree(3);
+        // There is a transition after which some further access reveals the
+        // Jones tuple.
+        let f = CtlEx::ex(CtlEx::atom(jones_post()));
+        assert!(bounded_satisfiability(&f, &tree).is_some());
+        // Nested EX beyond the materialised depth finds nothing.
+        let mut deep = CtlEx::atom(jones_post());
+        for _ in 0..5 {
+            deep = CtlEx::ex(deep);
+        }
+        assert_eq!(deep.ex_depth(), 5);
+        assert!(bounded_satisfiability(&deep, &tree).is_none());
+    }
+
+    #[test]
+    fn ax_is_the_dual_of_ex() {
+        let (_schema, tree) = tree(2);
+        // AX ⊥ holds exactly at transitions whose target node has no expanded
+        // successor (the leaves of the fragment).
+        let at_leaf = CtlEx::ax(CtlEx::atom(PosFormula::False));
+        assert!(bounded_satisfiability(&at_leaf, &tree).is_some());
+        // EX ⊤ ∧ AX ⊥ is contradictory.
+        let contradiction = CtlEx::and(vec![
+            CtlEx::ex(CtlEx::atom(PosFormula::True)),
+            at_leaf,
+        ]);
+        assert!(bounded_satisfiability(&contradiction, &tree).is_none());
+    }
+
+    #[test]
+    fn boolean_connectives_and_isbind_propositions() {
+        let (_schema, tree) = tree(2);
+        // A transition made with AcM2 after which Jones is known.
+        let f = CtlEx::and(vec![
+            CtlEx::atom(isbind_prop("AcM2")),
+            CtlEx::atom(jones_post()),
+        ]);
+        assert!(bounded_satisfiability(&f, &tree).is_some());
+        // A transition made with AcM1 revealing a Jones address tuple does not
+        // exist (AcM1 accesses Mobile#).
+        let g = CtlEx::and(vec![
+            CtlEx::atom(isbind_prop("AcM1")),
+            CtlEx::not(CtlEx::atom(isbind_prop("AcM2"))),
+            CtlEx::atom(jones_post()),
+            // ... and the Address fact must have been revealed by *this*
+            // access, i.e. not already known before.
+            CtlEx::not(CtlEx::atom(PosFormula::exists(
+                vec!["s", "p", "h"],
+                crate::vocabulary::pre_atom(
+                    "Address",
+                    vec![
+                        Term::var("s"),
+                        Term::var("p"),
+                        Term::constant("Jones"),
+                        Term::var("h"),
+                    ],
+                ),
+            ))),
+        ]);
+        assert!(bounded_satisfiability(&g, &tree).is_none());
+    }
+}

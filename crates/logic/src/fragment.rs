@@ -1,0 +1,533 @@
+//! The fragment lattice of Figure 2 and Table 1.
+//!
+//! The paper studies a family of languages ordered by expressiveness:
+//!
+//! ```text
+//! AccLTL(X)(FO∃+0−Acc) ⊆ AccLTL(FO∃+0−Acc) ⊆ AccLTL+ ⊆ AccLTL(FO∃+Acc)
+//!                          AccLTL(FO∃+0−Acc) ⊆ AccLTL(FO∃+,≠0−Acc)
+//!                          AccLTL+            ⊆ A-automata (up to emptiness)
+//!                          AccLTL(FO∃+Acc)    ⊆ AccLTL(FO∃+,≠Acc)
+//! ```
+//!
+//! This module classifies a formula into the smallest fragment that contains
+//! it, reports the syntactic traits that matter (binding positivity, 0-ary
+//! `IsBind` atoms, inequalities, X-only temporal operators), and provides the
+//! explicit conversion used in the paper's Figure 2 discussion: lifting a
+//! 0-ary `IsBind` formula into the binding-positive language `AccLTL+`.
+
+use std::fmt;
+
+use accltl_paths::AccessSchema;
+use accltl_relational::{PosFormula, Term};
+
+use crate::accltl::AccLtl;
+use crate::vocabulary::{self, isbind_atom};
+
+/// The syntactic traits of an `AccLTL` formula that determine its fragment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FormulaTraits {
+    /// Every `IsBind` atom occurs under an even number of negations.
+    pub binding_positive: bool,
+    /// Every `IsBind` atom is 0-ary (mentions the method, not the binding).
+    pub zero_ary_isbind: bool,
+    /// Some transition sentence uses an inequality.
+    pub uses_inequalities: bool,
+    /// Only the `X` temporal operator is used (no `U`).
+    pub x_only: bool,
+    /// The formula mentions `IsBind` at all.
+    pub mentions_isbind: bool,
+}
+
+/// The language fragments of Table 1 (linear-time rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Fragment {
+    /// `AccLTL(X)(FO∃+,≠0−Acc)` — X-only, 0-ary `IsBind`, inequalities allowed.
+    /// Satisfiability is ΣP2-complete (Theorems 4.14, 5.1).
+    XZeroAry,
+    /// `AccLTL(FO∃+0−Acc)` — 0-ary `IsBind`, no inequalities.
+    /// Satisfiability is PSPACE-complete (Theorem 4.12).
+    ZeroAry,
+    /// `AccLTL(FO∃+,≠0−Acc)` — 0-ary `IsBind` with inequalities.
+    /// Satisfiability is PSPACE-complete (Theorem 5.1).
+    ZeroAryWithInequalities,
+    /// `AccLTL+` — binding-positive `AccLTL(FO∃+Acc)`.
+    /// Satisfiability is decidable in 3EXPTIME and 2EXPTIME-hard
+    /// (Theorems 4.2, 4.7).
+    BindingPositive,
+    /// `AccLTL(FO∃+Acc)` — full binding predicates, no positivity restriction.
+    /// Satisfiability is undecidable (Theorem 3.1).
+    Full,
+    /// `AccLTL(FO∃+,≠Acc)` — full binding predicates with inequalities.
+    /// Satisfiability is undecidable even for binding-positive formulas
+    /// (Theorem 5.2).
+    FullWithInequalities,
+}
+
+impl Fragment {
+    /// True if satisfiability for this fragment is decidable.
+    #[must_use]
+    pub fn is_decidable(&self) -> bool {
+        !matches!(self, Fragment::Full | Fragment::FullWithInequalities)
+    }
+
+    /// The paper's complexity statement for the fragment's satisfiability
+    /// problem (Table 1).
+    #[must_use]
+    pub fn complexity(&self) -> &'static str {
+        match self {
+            Fragment::XZeroAry => "ΣP2-complete",
+            Fragment::ZeroAry | Fragment::ZeroAryWithInequalities => "PSPACE-complete",
+            Fragment::BindingPositive => "in 3EXPTIME (2EXPTIME-hard)",
+            Fragment::Full | Fragment::FullWithInequalities => "undecidable",
+        }
+    }
+
+    /// The fragments that syntactically include this one (the edges of
+    /// Figure 2 reachable from it), excluding itself.
+    #[must_use]
+    pub fn included_in(&self) -> Vec<Fragment> {
+        match self {
+            Fragment::XZeroAry => vec![
+                Fragment::ZeroAryWithInequalities,
+                Fragment::ZeroAry,
+                Fragment::BindingPositive,
+                Fragment::Full,
+                Fragment::FullWithInequalities,
+            ],
+            Fragment::ZeroAry => vec![
+                Fragment::ZeroAryWithInequalities,
+                Fragment::BindingPositive,
+                Fragment::Full,
+                Fragment::FullWithInequalities,
+            ],
+            Fragment::ZeroAryWithInequalities => vec![Fragment::FullWithInequalities],
+            Fragment::BindingPositive => vec![Fragment::Full, Fragment::FullWithInequalities],
+            Fragment::Full => vec![Fragment::FullWithInequalities],
+            Fragment::FullWithInequalities => vec![],
+        }
+    }
+
+    /// Table 1's expressiveness columns for the fragment: can it express
+    /// relevance under disjointness constraints (DjC), functional
+    /// dependencies (FD), dataflow restrictions (DF) and access-order
+    /// restrictions (AccOr)?
+    #[must_use]
+    pub fn expressiveness(&self) -> ExpressivenessRow {
+        match self {
+            Fragment::FullWithInequalities => ExpressivenessRow {
+                disjointness: true,
+                functional_dependencies: true,
+                dataflow: true,
+                access_order: true,
+            },
+            Fragment::Full | Fragment::BindingPositive => ExpressivenessRow {
+                disjointness: true,
+                functional_dependencies: false,
+                dataflow: true,
+                access_order: true,
+            },
+            Fragment::ZeroAry => ExpressivenessRow {
+                disjointness: true,
+                functional_dependencies: false,
+                dataflow: false,
+                access_order: true,
+            },
+            Fragment::ZeroAryWithInequalities => ExpressivenessRow {
+                disjointness: true,
+                functional_dependencies: true,
+                dataflow: false,
+                access_order: true,
+            },
+            Fragment::XZeroAry => ExpressivenessRow {
+                disjointness: true,
+                functional_dependencies: true,
+                dataflow: false,
+                access_order: false,
+            },
+        }
+    }
+}
+
+impl fmt::Display for Fragment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Fragment::XZeroAry => "AccLTL(X)(FO∃+,≠0−Acc)",
+            Fragment::ZeroAry => "AccLTL(FO∃+0−Acc)",
+            Fragment::ZeroAryWithInequalities => "AccLTL(FO∃+,≠0−Acc)",
+            Fragment::BindingPositive => "AccLTL+",
+            Fragment::Full => "AccLTL(FO∃+Acc)",
+            Fragment::FullWithInequalities => "AccLTL(FO∃+,≠Acc)",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// One row of Table 1's application-example columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExpressivenessRow {
+    /// Relevance in the presence of disjointness constraints.
+    pub disjointness: bool,
+    /// Functional dependencies.
+    pub functional_dependencies: bool,
+    /// Dataflow restrictions (e.g. groundedness).
+    pub dataflow: bool,
+    /// Access-order restrictions.
+    pub access_order: bool,
+}
+
+/// Computes the syntactic traits of a formula.
+#[must_use]
+pub fn traits_of(formula: &AccLtl) -> FormulaTraits {
+    let sentences = formula.atom_sentences();
+    FormulaTraits {
+        binding_positive: formula.is_binding_positive(),
+        zero_ary_isbind: sentences
+            .iter()
+            .all(vocabulary::isbind_atoms_are_zero_ary),
+        uses_inequalities: sentences.iter().any(PosFormula::has_inequalities),
+        x_only: formula.is_x_only(),
+        mentions_isbind: sentences.iter().any(vocabulary::mentions_isbind),
+    }
+}
+
+/// Classifies a formula into the most specific fragment of Table 1 that
+/// contains it.
+#[must_use]
+pub fn classify(formula: &AccLtl) -> Fragment {
+    let traits = traits_of(formula);
+    if traits.zero_ary_isbind {
+        if traits.x_only {
+            return Fragment::XZeroAry;
+        }
+        return if traits.uses_inequalities {
+            Fragment::ZeroAryWithInequalities
+        } else {
+            Fragment::ZeroAry
+        };
+    }
+    if traits.uses_inequalities {
+        return Fragment::FullWithInequalities;
+    }
+    if traits.binding_positive {
+        Fragment::BindingPositive
+    } else {
+        Fragment::Full
+    }
+}
+
+/// True if the formula belongs to the given fragment (not necessarily the
+/// most specific one).
+#[must_use]
+pub fn belongs_to(formula: &AccLtl, fragment: Fragment) -> bool {
+    let most_specific = classify(formula);
+    most_specific == fragment || most_specific.included_in().contains(&fragment)
+}
+
+/// Lifts a formula of `AccLTL(FO∃+0−Acc)` into `AccLTL+` over the given
+/// schema, following the construction sketched in the paper's conclusion:
+///
+/// * negations are pushed through the boolean connectives (De Morgan), and a
+///   directly negated standalone 0-ary `IsBind_AcM` proposition occurring at
+///   positive polarity is rewritten into the disjunction of the *other*
+///   methods' propositions (each transition performs exactly one access),
+///   eliminating the negative occurrence;
+/// * every remaining 0-ary `IsBind_AcM` proposition is replaced by the
+///   existentially quantified n-ary atom `∃x̄ IsBind_AcM(x̄)`.
+///
+/// The rewriting preserves the set of satisfying *non-empty* access paths (on
+/// the empty path a negated atom is vacuously true while the disjunction of
+/// the other methods is not); this is checked empirically by the Figure 2
+/// harness (`fig2_inclusions`).  Negations that guard temporal operators
+/// (e.g. `G`) are left in place — that is sound because an `IsBind` atom
+/// beneath such a guard sits under an *even* number of negations whenever the
+/// input formula was expressible in the fragment the conversion targets; the
+/// caller can verify the result with [`AccLtl::is_binding_positive`].
+#[must_use]
+pub fn lift_zero_ary_to_binding_positive(formula: &AccLtl, schema: &AccessSchema) -> AccLtl {
+    let rewritten = rewrite_negated_isbind(formula, schema, true);
+    replace_zero_ary_atoms(&rewritten, schema)
+}
+
+/// Rewrites standalone 0-ary `IsBind` atoms that occur at *negative* polarity
+/// into the doubly negated disjunction of the other methods' propositions,
+/// using the "exactly one access per transition" law
+/// (`IsBind_AcM ≡ ¬⋁_{AcM'≠AcM} IsBind_AcM'` on every transition): the
+/// rewritten atom then sits under an even number of negations.
+fn rewrite_negated_isbind(formula: &AccLtl, schema: &AccessSchema, positive: bool) -> AccLtl {
+    match formula {
+        AccLtl::Atom(sentence) => {
+            if !positive {
+                if let Some(method) = standalone_isbind_method(sentence) {
+                    let others: Vec<AccLtl> = schema
+                        .methods()
+                        .filter(|m| m.name() != method)
+                        .map(|m| AccLtl::atom(vocabulary::isbind_prop(m.name())))
+                        .collect();
+                    return AccLtl::Not(Box::new(AccLtl::or(others)));
+                }
+            }
+            AccLtl::Atom(sentence.clone())
+        }
+        AccLtl::Not(inner) => AccLtl::not(rewrite_negated_isbind(inner, schema, !positive)),
+        AccLtl::And(parts) => AccLtl::and(
+            parts
+                .iter()
+                .map(|p| rewrite_negated_isbind(p, schema, positive))
+                .collect(),
+        ),
+        AccLtl::Or(parts) => AccLtl::or(
+            parts
+                .iter()
+                .map(|p| rewrite_negated_isbind(p, schema, positive))
+                .collect(),
+        ),
+        AccLtl::Next(inner) => AccLtl::next(rewrite_negated_isbind(inner, schema, positive)),
+        AccLtl::Until(l, r) => AccLtl::until(
+            rewrite_negated_isbind(l, schema, positive),
+            rewrite_negated_isbind(r, schema, positive),
+        ),
+    }
+}
+
+/// If the sentence is exactly a standalone 0-ary `IsBind_AcM` atom, returns
+/// the method name.
+fn standalone_isbind_method(sentence: &PosFormula) -> Option<String> {
+    match sentence {
+        PosFormula::Atom(a) if a.terms.is_empty() => {
+            vocabulary::parse_isbind(&a.predicate).map(str::to_owned)
+        }
+        _ => None,
+    }
+}
+
+/// Replaces 0-ary `IsBind_AcM` atoms by `∃x̄ IsBind_AcM(x̄)` inside every
+/// transition sentence.
+fn replace_zero_ary_atoms(formula: &AccLtl, schema: &AccessSchema) -> AccLtl {
+    match formula {
+        AccLtl::Atom(sentence) => AccLtl::Atom(expand_sentence(sentence, schema)),
+        AccLtl::Not(inner) => AccLtl::not(replace_zero_ary_atoms(inner, schema)),
+        AccLtl::And(parts) => AccLtl::and(
+            parts
+                .iter()
+                .map(|p| replace_zero_ary_atoms(p, schema))
+                .collect(),
+        ),
+        AccLtl::Or(parts) => AccLtl::or(
+            parts
+                .iter()
+                .map(|p| replace_zero_ary_atoms(p, schema))
+                .collect(),
+        ),
+        AccLtl::Next(inner) => AccLtl::next(replace_zero_ary_atoms(inner, schema)),
+        AccLtl::Until(l, r) => AccLtl::until(
+            replace_zero_ary_atoms(l, schema),
+            replace_zero_ary_atoms(r, schema),
+        ),
+    }
+}
+
+fn expand_sentence(sentence: &PosFormula, schema: &AccessSchema) -> PosFormula {
+    match sentence {
+        PosFormula::Atom(a) if a.terms.is_empty() => {
+            if let Some(method_name) = vocabulary::parse_isbind(&a.predicate) {
+                let arity = schema
+                    .method(method_name)
+                    .map(|m| m.input_arity())
+                    .unwrap_or(0);
+                if arity == 0 {
+                    return sentence.clone();
+                }
+                let vars: Vec<String> = (0..arity).map(|i| format!("b\u{00df}{i}")).collect();
+                let terms: Vec<Term> = vars.iter().map(Term::var).collect();
+                return PosFormula::exists(vars, isbind_atom(method_name, terms));
+            }
+            sentence.clone()
+        }
+        PosFormula::Atom(_)
+        | PosFormula::Eq(..)
+        | PosFormula::Neq(..)
+        | PosFormula::True
+        | PosFormula::False => sentence.clone(),
+        PosFormula::And(ps) => {
+            PosFormula::and(ps.iter().map(|p| expand_sentence(p, schema)).collect())
+        }
+        PosFormula::Or(ps) => {
+            PosFormula::or(ps.iter().map(|p| expand_sentence(p, schema)).collect())
+        }
+        PosFormula::Exists(vars, body) => {
+            PosFormula::exists(vars.clone(), expand_sentence(body, schema))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocabulary::{isbind_prop, pre_atom};
+    use accltl_paths::access::phone_directory_access_schema;
+    use accltl_paths::path::response;
+    use accltl_paths::{Access, AccessPath};
+    use accltl_relational::{tuple, Instance};
+
+    fn data_sentence() -> PosFormula {
+        PosFormula::exists(
+            vec!["n", "p", "s", "ph"],
+            pre_atom(
+                "Mobile#",
+                vec![
+                    Term::var("n"),
+                    Term::var("p"),
+                    Term::var("s"),
+                    Term::var("ph"),
+                ],
+            ),
+        )
+    }
+
+    #[test]
+    fn classification_matches_table1_rows() {
+        // X-only, 0-ary IsBind.
+        let x_zero = AccLtl::next(AccLtl::atom(isbind_prop("AcM1")));
+        assert_eq!(classify(&x_zero), Fragment::XZeroAry);
+
+        // 0-ary IsBind with Until.
+        let zero = AccLtl::until(AccLtl::top(), AccLtl::atom(isbind_prop("AcM1")));
+        assert_eq!(classify(&zero), Fragment::ZeroAry);
+
+        // 0-ary with an inequality.
+        let zero_neq = AccLtl::finally(AccLtl::atom(PosFormula::and(vec![
+            isbind_prop("AcM1"),
+            PosFormula::Neq(Term::var("x"), Term::var("y")),
+        ])));
+        assert_eq!(classify(&zero_neq), Fragment::ZeroAryWithInequalities);
+
+        // Binding-positive with n-ary IsBind.
+        let positive = AccLtl::finally(AccLtl::atom(PosFormula::exists(
+            vec!["n"],
+            isbind_atom("AcM1", vec![Term::var("n")]),
+        )));
+        assert_eq!(classify(&positive), Fragment::BindingPositive);
+
+        // Negated n-ary IsBind: the full, undecidable language.
+        let full = AccLtl::globally(AccLtl::not(AccLtl::atom(PosFormula::exists(
+            vec!["n"],
+            isbind_atom("AcM1", vec![Term::var("n")]),
+        ))));
+        assert_eq!(classify(&full), Fragment::Full);
+
+        // ... and with inequalities.
+        let full_neq = AccLtl::and(vec![
+            full.clone(),
+            AccLtl::atom(PosFormula::Neq(Term::var("x"), Term::var("y"))),
+        ]);
+        assert_eq!(classify(&full_neq), Fragment::FullWithInequalities);
+    }
+
+    #[test]
+    fn pure_data_formulas_are_zero_ary() {
+        // A formula that never mentions IsBind lies in the 0-ary fragment.
+        let f = AccLtl::globally(AccLtl::not(AccLtl::atom(data_sentence())));
+        assert_eq!(classify(&f), Fragment::ZeroAry);
+        assert!(belongs_to(&f, Fragment::BindingPositive));
+        assert!(belongs_to(&f, Fragment::Full));
+        assert!(!belongs_to(&f, Fragment::XZeroAry));
+    }
+
+    #[test]
+    fn decidability_and_complexity_labels() {
+        assert!(Fragment::ZeroAry.is_decidable());
+        assert!(Fragment::BindingPositive.is_decidable());
+        assert!(!Fragment::Full.is_decidable());
+        assert!(!Fragment::FullWithInequalities.is_decidable());
+        assert_eq!(Fragment::XZeroAry.complexity(), "ΣP2-complete");
+        assert!(Fragment::BindingPositive.complexity().contains("3EXPTIME"));
+    }
+
+    #[test]
+    fn inclusion_edges_match_figure2() {
+        assert!(Fragment::XZeroAry.included_in().contains(&Fragment::ZeroAry));
+        assert!(Fragment::ZeroAry
+            .included_in()
+            .contains(&Fragment::BindingPositive));
+        assert!(Fragment::BindingPositive
+            .included_in()
+            .contains(&Fragment::Full));
+        assert!(Fragment::ZeroAry
+            .included_in()
+            .contains(&Fragment::ZeroAryWithInequalities));
+        // Inequalities over 0-ary do not embed into the (equality-free) full
+        // positive language.
+        assert!(!Fragment::ZeroAryWithInequalities
+            .included_in()
+            .contains(&Fragment::Full));
+    }
+
+    #[test]
+    fn expressiveness_matrix_matches_table1() {
+        let plus = Fragment::BindingPositive.expressiveness();
+        assert!(plus.disjointness && plus.dataflow && plus.access_order);
+        assert!(!plus.functional_dependencies);
+
+        let zero = Fragment::ZeroAry.expressiveness();
+        assert!(zero.disjointness && zero.access_order);
+        assert!(!zero.dataflow && !zero.functional_dependencies);
+
+        let zero_neq = Fragment::ZeroAryWithInequalities.expressiveness();
+        assert!(zero_neq.functional_dependencies);
+        assert!(!zero_neq.dataflow);
+
+        let x = Fragment::XZeroAry.expressiveness();
+        assert!(!x.access_order);
+
+        let full_neq = Fragment::FullWithInequalities.expressiveness();
+        assert!(
+            full_neq.disjointness
+                && full_neq.functional_dependencies
+                && full_neq.dataflow
+                && full_neq.access_order
+        );
+    }
+
+    #[test]
+    fn lifting_preserves_satisfaction_on_sample_paths() {
+        let schema = phone_directory_access_schema();
+        // "Some access is made with AcM2 before any access with AcM1":
+        // ¬IsBind_AcM1 U IsBind_AcM2, a 0-ary formula with a negated IsBind.
+        let f = AccLtl::until(
+            AccLtl::not(AccLtl::atom(isbind_prop("AcM1"))),
+            AccLtl::atom(isbind_prop("AcM2")),
+        );
+        assert_eq!(classify(&f), Fragment::ZeroAry);
+        let lifted = lift_zero_ary_to_binding_positive(&f, &schema);
+        assert!(lifted.is_binding_positive());
+        assert_eq!(classify(&lifted), Fragment::BindingPositive);
+
+        let acm1 = Access::new("AcM1", tuple!["Smith"]);
+        let acm2 = Access::new("AcM2", tuple!["Parks Rd", "OX13QD"]);
+        let paths = [
+            AccessPath::new().with_step(acm2.clone(), response([])),
+            AccessPath::new().with_step(acm1.clone(), response([])),
+            AccessPath::new()
+                .with_step(acm2.clone(), response([]))
+                .with_step(acm1.clone(), response([])),
+            AccessPath::new()
+                .with_step(acm1, response([]))
+                .with_step(acm2, response([])),
+        ];
+        for path in &paths {
+            let original = f
+                .holds_on_path(path, &schema, &Instance::new(), true)
+                .unwrap();
+            let lifted_result = lifted
+                .holds_on_path(path, &schema, &Instance::new(), false)
+                .unwrap();
+            assert_eq!(original, lifted_result, "path: {path}");
+        }
+    }
+
+    #[test]
+    fn fragment_display_names() {
+        assert_eq!(Fragment::BindingPositive.to_string(), "AccLTL+");
+        assert!(Fragment::ZeroAry.to_string().contains("0−Acc"));
+    }
+}

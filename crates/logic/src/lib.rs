@@ -1,0 +1,47 @@
+//! # accltl-logic
+//!
+//! The paper's specification languages over access paths and their decision
+//! procedures:
+//!
+//! * the transition vocabulary `SchAcc` (pre/post copies of every relation
+//!   plus `IsBind` predicates) and the relational structure associated with a
+//!   transition ([`vocabulary`]);
+//! * `AccLTL(L)` — LTL whose atoms are positive existential sentences over
+//!   `SchAcc` — with finite-path semantics ([`accltl`]);
+//! * the fragment lattice of Figure 2: binding-positive `AccLTL+`, the 0-ary
+//!   `IsBind` fragment `AccLTL(FO∃+0−Acc)`, the X-only fragment, and the
+//!   inequality extensions ([`fragment`]);
+//! * propositional LTL over finite words, the target of the Theorem 4.12
+//!   reduction ([`ltl`]);
+//! * the Boundedness-Lemma fact universe and the bounded path-search engine
+//!   shared by the decision procedures ([`bounded`]);
+//! * the satisfiability procedures for the decidable fragments and the
+//!   bounded procedures for the undecidable ones ([`solver`]);
+//! * builders for the paper's application properties: containment under
+//!   access patterns, long-term relevance, groundedness, data-integrity,
+//!   access-order and dataflow restrictions ([`properties`]);
+//! * the one-step branching logic `CTL_EX` of Section 5.2 ([`ctl`]);
+//! * executable versions of the undecidability gadgets of Theorems 3.1 and
+//!   5.2 ([`undecidability`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accltl;
+pub mod bounded;
+pub mod ctl;
+pub mod fragment;
+pub mod ltl;
+pub mod properties;
+pub mod solver;
+pub mod undecidability;
+pub mod vocabulary;
+
+pub use accltl::AccLtl;
+pub use bounded::{BoundedSearchConfig, SatOutcome};
+pub use fragment::{classify, Fragment, FormulaTraits};
+pub use ltl::Ltl;
+pub use solver::{
+    sat_binding_positive_bounded, sat_full_bounded, sat_x_fragment, sat_zero_fragment,
+};
+pub use vocabulary::{isbind_name, post_name, pre_name, transition_structure};

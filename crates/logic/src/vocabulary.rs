@@ -1,0 +1,380 @@
+//! The transition vocabulary `SchAcc` and the relational structure `M(t)`
+//! associated with a transition.
+//!
+//! For a schema `Sch`, the vocabulary `SchAcc` has two copies `Rpre`, `Rpost`
+//! of each relation `R` and a predicate `IsBind_AcM` per access method, whose
+//! arity is the number of input positions of the method (Section 2).  The
+//! 0-ary variant `Sch0−Acc` replaces each `IsBind_AcM` by a proposition that
+//! merely records *which* method was used (Section 4.2).
+//!
+//! A transition `t = (I, (AcM, b̄), I')` is turned into an instance over this
+//! vocabulary by interpreting `Rpre` as `R` in `I`, `Rpost` as `R` in `I'`,
+//! and `IsBind_AcM` as the singleton `{b̄}` (all other `IsBind` predicates
+//! empty).  Formulas of the transition language are then ordinary positive
+//! existential sentences evaluated over that instance by `accltl-relational`.
+
+use accltl_paths::{AccessSchema, Transition};
+use accltl_relational::{Atom, Instance, PosFormula, Term, Tuple};
+
+/// The `Rpre` predicate name for relation `relation`.
+#[must_use]
+pub fn pre_name(relation: &str) -> String {
+    format!("{relation}\u{2039}pre\u{203a}")
+}
+
+/// The `Rpost` predicate name for relation `relation`.
+#[must_use]
+pub fn post_name(relation: &str) -> String {
+    format!("{relation}\u{2039}post\u{203a}")
+}
+
+/// The `IsBind_AcM` predicate name for access method `method`.
+#[must_use]
+pub fn isbind_name(method: &str) -> String {
+    format!("IsBind\u{2039}{method}\u{203a}")
+}
+
+/// If `predicate` is a `Rpre` name, returns the base relation.
+#[must_use]
+pub fn parse_pre(predicate: &str) -> Option<&str> {
+    predicate.strip_suffix("\u{2039}pre\u{203a}")
+}
+
+/// If `predicate` is a `Rpost` name, returns the base relation.
+#[must_use]
+pub fn parse_post(predicate: &str) -> Option<&str> {
+    predicate.strip_suffix("\u{2039}post\u{203a}")
+}
+
+/// If `predicate` is an `IsBind_AcM` name, returns the access method name.
+#[must_use]
+pub fn parse_isbind(predicate: &str) -> Option<&str> {
+    predicate
+        .strip_prefix("IsBind\u{2039}")
+        .and_then(|rest| rest.strip_suffix('\u{203a}'))
+}
+
+/// True if the predicate is an `IsBind` predicate.
+#[must_use]
+pub fn is_isbind(predicate: &str) -> bool {
+    parse_isbind(predicate).is_some()
+}
+
+/// Builds the relational structure `M(t)` associated with a transition.
+///
+/// When `zero_ary` is true the `IsBind` predicate of the transition's method
+/// is interpreted as a 0-ary proposition (the empty tuple) rather than by the
+/// binding, matching the `Sch0−Acc` vocabulary of Section 4.2.
+#[must_use]
+pub fn transition_structure(transition: &Transition, zero_ary: bool) -> Instance {
+    let mut structure = transition.before.rename_relations(&|r| pre_name(r));
+    structure.union_in_place(&transition.after.rename_relations(&|r| post_name(r)));
+    let bind_predicate = isbind_name(&transition.access.method);
+    if zero_ary {
+        structure.add_fact(bind_predicate, Tuple::default());
+    } else {
+        structure.add_fact(bind_predicate, transition.access.binding.clone());
+    }
+    structure
+}
+
+/// Builds the sequence of `SchAcc` structures for every transition of a path.
+#[must_use]
+pub fn path_structures(transitions: &[Transition], zero_ary: bool) -> Vec<Instance> {
+    transitions
+        .iter()
+        .map(|t| transition_structure(t, zero_ary))
+        .collect()
+}
+
+/// Convenience constructor for an atom over the `Rpre` copy of a relation.
+#[must_use]
+pub fn pre_atom(relation: &str, terms: Vec<Term>) -> PosFormula {
+    PosFormula::Atom(Atom::new(pre_name(relation), terms))
+}
+
+/// Convenience constructor for an atom over the `Rpost` copy of a relation.
+#[must_use]
+pub fn post_atom(relation: &str, terms: Vec<Term>) -> PosFormula {
+    PosFormula::Atom(Atom::new(post_name(relation), terms))
+}
+
+/// Convenience constructor for an `IsBind_AcM(t̄)` atom.
+#[must_use]
+pub fn isbind_atom(method: &str, terms: Vec<Term>) -> PosFormula {
+    PosFormula::Atom(Atom::new(isbind_name(method), terms))
+}
+
+/// Convenience constructor for the 0-ary `IsBind_AcM` proposition.
+#[must_use]
+pub fn isbind_prop(method: &str) -> PosFormula {
+    PosFormula::Atom(Atom::new(isbind_name(method), Vec::new()))
+}
+
+/// Rewrites a conjunctive query over the base schema into the same query over
+/// the `Rpre` copies (the `Q^pre` of Example 2.2), as a positive formula.
+#[must_use]
+pub fn query_pre(query: &accltl_relational::ConjunctiveQuery) -> PosFormula {
+    query_over(query, &pre_name)
+}
+
+/// Rewrites a conjunctive query over the base schema into the same query over
+/// the `Rpost` copies (the `Q^post` of Example 2.3).
+#[must_use]
+pub fn query_post(query: &accltl_relational::ConjunctiveQuery) -> PosFormula {
+    query_over(query, &post_name)
+}
+
+fn query_over(
+    query: &accltl_relational::ConjunctiveQuery,
+    rename: &dyn Fn(&str) -> String,
+) -> PosFormula {
+    PosFormula::and(
+        query
+            .atoms
+            .iter()
+            .map(|a| PosFormula::Atom(a.with_predicate(rename(&a.predicate))))
+            .collect(),
+    )
+    .existential_closure()
+}
+
+/// Erases `IsBind` atoms from a positive formula, following the `Qf(φ)`
+/// rewriting of Lemma 4.13: `IsBind ∧ ψ ⇒ ψ` and `IsBind ∨ ψ ⇒ ψ`.  The
+/// result mentions only `Rpre`/`Rpost` predicates and is what the bounded
+/// fact universe is built from.
+#[must_use]
+pub fn erase_isbind(formula: &PosFormula) -> PosFormula {
+    match formula {
+        PosFormula::Atom(a) if is_isbind(&a.predicate) => PosFormula::True,
+        PosFormula::Atom(_)
+        | PosFormula::Eq(..)
+        | PosFormula::Neq(..)
+        | PosFormula::True
+        | PosFormula::False => formula.clone(),
+        PosFormula::And(ps) => PosFormula::and(ps.iter().map(erase_isbind).collect()),
+        PosFormula::Or(ps) => PosFormula::or(
+            ps.iter()
+                .map(|p| {
+                    let erased = erase_isbind(p);
+                    // An IsBind disjunct is dropped (it imposes nothing on the
+                    // data), matching the paper's `IsBind ∨ ψ ⇒ ψ` rule.
+                    if mentions_isbind(p) && erased == PosFormula::True {
+                        PosFormula::False
+                    } else {
+                        erased
+                    }
+                })
+                .collect(),
+        ),
+        PosFormula::Exists(vars, body) => PosFormula::exists(vars.clone(), erase_isbind(body)),
+    }
+}
+
+/// True if the formula mentions any `IsBind` predicate.
+#[must_use]
+pub fn mentions_isbind(formula: &PosFormula) -> bool {
+    formula.predicates().iter().any(|p| is_isbind(p))
+}
+
+/// The access-method names whose `IsBind` predicate the formula mentions.
+#[must_use]
+pub fn isbind_methods(formula: &PosFormula) -> Vec<String> {
+    formula
+        .predicates()
+        .iter()
+        .filter_map(|p| parse_isbind(p).map(str::to_owned))
+        .collect()
+}
+
+/// True if every `IsBind` atom in the formula is 0-ary (the `Sch0−Acc`
+/// vocabulary of Section 4.2).
+#[must_use]
+pub fn isbind_atoms_are_zero_ary(formula: &PosFormula) -> bool {
+    fn walk(formula: &PosFormula) -> bool {
+        match formula {
+            PosFormula::Atom(a) => !is_isbind(&a.predicate) || a.arity() == 0,
+            PosFormula::Eq(..)
+            | PosFormula::Neq(..)
+            | PosFormula::True
+            | PosFormula::False => true,
+            PosFormula::And(ps) | PosFormula::Or(ps) => ps.iter().all(walk),
+            PosFormula::Exists(_, body) => walk(body),
+        }
+    }
+    walk(formula)
+}
+
+/// Re-export of the base-relation projection of a `SchAcc` predicate: returns
+/// the base relation for `Rpre`/`Rpost` names and `None` for `IsBind`.
+#[must_use]
+pub fn base_relation(predicate: &str) -> Option<&str> {
+    parse_pre(predicate).or_else(|| parse_post(predicate))
+}
+
+/// Validates (lightweight) that a formula only mentions predicates derivable
+/// from the given access schema's vocabulary.
+#[must_use]
+pub fn uses_only_schema_vocabulary(formula: &PosFormula, schema: &AccessSchema) -> bool {
+    formula.predicates().iter().all(|p| {
+        if let Some(rel) = base_relation(p) {
+            schema.schema().relation(rel).is_some()
+        } else if let Some(m) = parse_isbind(p) {
+            schema.method(m).is_some()
+        } else {
+            false
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accltl_paths::access::phone_directory_access_schema;
+    use accltl_paths::path::response;
+    use accltl_paths::{Access, AccessPath};
+    use accltl_relational::{atom, cq, tuple};
+
+    fn example_transitions() -> Vec<Transition> {
+        let schema = phone_directory_access_schema();
+        let path = AccessPath::new()
+            .with_step(
+                Access::new("AcM1", tuple!["Smith"]),
+                response([tuple!["Smith", "OX13QD", "Parks Rd", 5551212]]),
+            )
+            .with_step(
+                Access::new("AcM2", tuple!["Parks Rd", "OX13QD"]),
+                response([tuple!["Parks Rd", "OX13QD", "Jones", 16]]),
+            );
+        path.transitions(&schema, &Instance::new()).unwrap()
+    }
+
+    #[test]
+    fn name_mangling_roundtrips() {
+        assert_eq!(parse_pre(&pre_name("Address")), Some("Address"));
+        assert_eq!(parse_post(&post_name("Address")), Some("Address"));
+        assert_eq!(parse_isbind(&isbind_name("AcM1")), Some("AcM1"));
+        assert!(is_isbind(&isbind_name("AcM1")));
+        assert!(!is_isbind(&pre_name("Address")));
+        assert_eq!(base_relation(&pre_name("R")), Some("R"));
+        assert_eq!(base_relation(&isbind_name("M")), None);
+    }
+
+    #[test]
+    fn transition_structure_interprets_pre_post_and_binding() {
+        let transitions = example_transitions();
+        let m0 = transition_structure(&transitions[0], false);
+        // Before the first access nothing is known: no pre facts.
+        assert_eq!(m0.relation_size(&pre_name("Mobile#")), 0);
+        assert_eq!(m0.relation_size(&post_name("Mobile#")), 1);
+        assert!(m0.contains(&isbind_name("AcM1"), &tuple!["Smith"]));
+        assert_eq!(m0.relation_size(&isbind_name("AcM2")), 0);
+
+        let m1 = transition_structure(&transitions[1], false);
+        assert_eq!(m1.relation_size(&pre_name("Mobile#")), 1);
+        assert_eq!(m1.relation_size(&post_name("Address")), 1);
+        assert!(m1.contains(&isbind_name("AcM2"), &tuple!["Parks Rd", "OX13QD"]));
+    }
+
+    #[test]
+    fn zero_ary_structure_forgets_the_binding() {
+        let transitions = example_transitions();
+        let m0 = transition_structure(&transitions[0], true);
+        assert!(m0.contains(&isbind_name("AcM1"), &Tuple::default()));
+        assert!(!m0.contains(&isbind_name("AcM1"), &tuple!["Smith"]));
+    }
+
+    #[test]
+    fn formulas_evaluate_on_transition_structures() {
+        let transitions = example_transitions();
+        let m1 = transition_structure(&transitions[1], false);
+        // The paper's example: an AcM1 access was done with a name appearing
+        // in Address^pre — false here (this transition uses AcM2).
+        let f = PosFormula::exists(
+            vec!["n"],
+            PosFormula::and(vec![
+                isbind_atom("AcM1", vec![Term::var("n")]),
+                PosFormula::exists(
+                    vec!["s", "p", "h"],
+                    pre_atom(
+                        "Address",
+                        vec![Term::var("s"), Term::var("p"), Term::var("n"), Term::var("h")],
+                    ),
+                ),
+            ]),
+        );
+        assert!(!f.holds(&m1));
+
+        // But "there is a Mobile# fact before the access" does hold.
+        let g = PosFormula::exists(
+            vec!["n", "p", "s", "ph"],
+            pre_atom(
+                "Mobile#",
+                vec![
+                    Term::var("n"),
+                    Term::var("p"),
+                    Term::var("s"),
+                    Term::var("ph"),
+                ],
+            ),
+        );
+        assert!(g.holds(&m1));
+        assert!(!g.holds(&transition_structure(&transitions[0], false)));
+    }
+
+    #[test]
+    fn query_pre_and_post_rename_predicates_and_close_existentially() {
+        let q = cq!(<- atom!("Address"; s, p, @"Jones", h));
+        let pre = query_pre(&q);
+        assert!(pre.predicates().contains(&pre_name("Address")));
+        assert!(pre.free_variables().is_empty());
+        let post = query_post(&q);
+        assert!(post.predicates().contains(&post_name("Address")));
+    }
+
+    #[test]
+    fn erase_isbind_follows_the_qf_rules() {
+        let with_bind = PosFormula::and(vec![
+            isbind_prop("AcM1"),
+            PosFormula::exists(vec!["x"], pre_atom("Address", vec![Term::var("x")])),
+        ]);
+        let erased = erase_isbind(&with_bind);
+        assert!(!mentions_isbind(&erased));
+        assert!(erased.predicates().contains(&pre_name("Address")));
+
+        let or_bind = PosFormula::or(vec![
+            isbind_prop("AcM1"),
+            PosFormula::exists(vec!["x"], pre_atom("Address", vec![Term::var("x")])),
+        ]);
+        let erased_or = erase_isbind(&or_bind);
+        assert!(!mentions_isbind(&erased_or));
+        // The IsBind disjunct is dropped, not turned into "true".
+        assert_ne!(erased_or, PosFormula::True);
+    }
+
+    #[test]
+    fn zero_ary_detection_and_method_collection() {
+        let zero = PosFormula::and(vec![isbind_prop("AcM1"), isbind_prop("AcM2")]);
+        assert!(isbind_atoms_are_zero_ary(&zero));
+        assert_eq!(isbind_methods(&zero), vec!["AcM1", "AcM2"]);
+
+        let nary = isbind_atom("AcM1", vec![Term::var("x")]);
+        assert!(!isbind_atoms_are_zero_ary(&nary));
+    }
+
+    #[test]
+    fn vocabulary_validation_against_schema() {
+        let schema = phone_directory_access_schema();
+        let ok = PosFormula::and(vec![
+            isbind_prop("AcM1"),
+            PosFormula::exists(vec!["x"], pre_atom("Address", vec![Term::var("x")])),
+        ]);
+        assert!(uses_only_schema_vocabulary(&ok, &schema));
+        let bad_method = isbind_prop("Nope");
+        assert!(!uses_only_schema_vocabulary(&bad_method, &schema));
+        let bad_relation = pre_atom("Nope", vec![Term::var("x")]);
+        assert!(!uses_only_schema_vocabulary(&bad_relation, &schema));
+        let base_predicate = PosFormula::Atom(atom!("Address"; x));
+        assert!(!uses_only_schema_vocabulary(&base_predicate, &schema));
+    }
+}

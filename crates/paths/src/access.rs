@@ -1,0 +1,473 @@
+//! Access methods, accesses and schemas with access restrictions.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use accltl_relational::schema::phone_directory_schema;
+use accltl_relational::{Instance, Schema, Tuple, Value};
+
+use crate::error::PathError;
+use crate::Result;
+
+/// An access method: a relation plus a set of input positions (0-based), with
+/// optional exactness / idempotence markers prescribed by the schema
+/// (Section 2 of the paper).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AccessMethod {
+    name: String,
+    relation: String,
+    input_positions: Vec<usize>,
+    exact: bool,
+    idempotent: bool,
+}
+
+impl AccessMethod {
+    /// Creates an access method.  Input positions are sorted and deduplicated.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        relation: impl Into<String>,
+        mut input_positions: Vec<usize>,
+    ) -> Self {
+        input_positions.sort_unstable();
+        input_positions.dedup();
+        AccessMethod {
+            name: name.into(),
+            relation: relation.into(),
+            input_positions,
+            exact: false,
+            idempotent: false,
+        }
+    }
+
+    /// Creates a boolean access method: every position of the relation is an
+    /// input position, so an access is a membership test.
+    #[must_use]
+    pub fn boolean(name: impl Into<String>, relation: impl Into<String>, arity: usize) -> Self {
+        AccessMethod::new(name, relation, (0..arity).collect())
+    }
+
+    /// Creates an input-free access method (no input positions); an access
+    /// simply asks for tuples of the relation.
+    #[must_use]
+    pub fn free(name: impl Into<String>, relation: impl Into<String>) -> Self {
+        AccessMethod::new(name, relation, Vec::new())
+    }
+
+    /// Marks the method as exact (its responses are complete views of the
+    /// underlying data).
+    #[must_use]
+    pub fn exact(mut self) -> Self {
+        self.exact = true;
+        self
+    }
+
+    /// Marks the method as idempotent (repeating the same access yields the
+    /// same response).
+    #[must_use]
+    pub fn idempotent(mut self) -> Self {
+        self.idempotent = true;
+        self
+    }
+
+    /// The method name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The relation accessed by the method.
+    #[must_use]
+    pub fn relation(&self) -> &str {
+        &self.relation
+    }
+
+    /// The input positions (0-based, sorted).
+    #[must_use]
+    pub fn input_positions(&self) -> &[usize] {
+        &self.input_positions
+    }
+
+    /// The number of input positions (the arity of bindings).
+    #[must_use]
+    pub fn input_arity(&self) -> usize {
+        self.input_positions.len()
+    }
+
+    /// True if the schema declares this method exact.
+    #[must_use]
+    pub fn is_exact(&self) -> bool {
+        self.exact
+    }
+
+    /// True if the schema declares this method idempotent.  Exact methods are
+    /// idempotent by definition.
+    #[must_use]
+    pub fn is_idempotent(&self) -> bool {
+        self.idempotent || self.exact
+    }
+}
+
+impl fmt::Display for AccessMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inputs: Vec<String> = self
+            .input_positions
+            .iter()
+            .map(|p| (p + 1).to_string())
+            .collect();
+        write!(
+            f,
+            "{} on {}[{}]{}{}",
+            self.name,
+            self.relation,
+            inputs.join(","),
+            if self.exact { " (exact)" } else { "" },
+            if self.idempotent { " (idempotent)" } else { "" }
+        )
+    }
+}
+
+/// An access: an access method plus a binding for its input positions.
+///
+/// The binding's `i`-th value is the value for the method's `i`-th input
+/// position (in sorted position order).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Access {
+    /// The access method name.
+    pub method: String,
+    /// The binding: one value per input position of the method.
+    pub binding: Tuple,
+}
+
+impl Access {
+    /// Creates an access.
+    #[must_use]
+    pub fn new(method: impl Into<String>, binding: Tuple) -> Self {
+        Access {
+            method: method.into(),
+            binding,
+        }
+    }
+
+    /// Creates an access from raw values.
+    #[must_use]
+    pub fn with_values(method: impl Into<String>, values: Vec<Value>) -> Self {
+        Access::new(method, Tuple::new(values))
+    }
+}
+
+impl fmt::Display for Access {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.method, self.binding)
+    }
+}
+
+/// A schema extended with access methods: the central object of the paper.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AccessSchema {
+    schema: Schema,
+    methods: BTreeMap<String, AccessMethod>,
+}
+
+impl AccessSchema {
+    /// Creates an access schema over the given relational schema, with no
+    /// access methods yet.
+    #[must_use]
+    pub fn new(schema: Schema) -> Self {
+        AccessSchema {
+            schema,
+            methods: BTreeMap::new(),
+        }
+    }
+
+    /// Adds an access method.
+    ///
+    /// # Errors
+    /// Fails if the method's relation is unknown, an input position is out of
+    /// range, or the method name is already taken.
+    pub fn add_method(&mut self, method: AccessMethod) -> Result<()> {
+        let relation = self.schema.require_relation(method.relation())?;
+        for &p in method.input_positions() {
+            if p >= relation.arity() {
+                return Err(PathError::InputPositionOutOfRange {
+                    method: method.name().to_owned(),
+                    position: p + 1,
+                });
+            }
+        }
+        if self.methods.contains_key(method.name()) {
+            return Err(PathError::DuplicateAccessMethod(method.name().to_owned()));
+        }
+        self.methods.insert(method.name().to_owned(), method);
+        Ok(())
+    }
+
+    /// Builder-style variant of [`AccessSchema::add_method`].
+    ///
+    /// # Errors
+    /// Same as [`AccessSchema::add_method`].
+    pub fn with_method(mut self, method: AccessMethod) -> Result<Self> {
+        self.add_method(method)?;
+        Ok(self)
+    }
+
+    /// The underlying relational schema.
+    #[must_use]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Looks up an access method by name.
+    #[must_use]
+    pub fn method(&self, name: &str) -> Option<&AccessMethod> {
+        self.methods.get(name)
+    }
+
+    /// Looks up an access method by name, failing when absent.
+    pub fn require_method(&self, name: &str) -> Result<&AccessMethod> {
+        self.method(name)
+            .ok_or_else(|| PathError::UnknownAccessMethod(name.to_owned()))
+    }
+
+    /// Iterates over the access methods in name order.
+    pub fn methods(&self) -> impl Iterator<Item = &AccessMethod> {
+        self.methods.values()
+    }
+
+    /// The access methods on a given relation.
+    pub fn methods_for_relation<'a>(
+        &'a self,
+        relation: &'a str,
+    ) -> impl Iterator<Item = &'a AccessMethod> {
+        self.methods
+            .values()
+            .filter(move |m| m.relation() == relation)
+    }
+
+    /// Number of access methods.
+    #[must_use]
+    pub fn method_count(&self) -> usize {
+        self.methods.len()
+    }
+
+    /// Validates an access: the method must exist and the binding must have
+    /// one value per input position, with types matching the relation's
+    /// declared column types.
+    pub fn validate_access(&self, access: &Access) -> Result<()> {
+        let method = self.require_method(&access.method)?;
+        if access.binding.arity() != method.input_arity() {
+            return Err(PathError::InvalidBinding {
+                method: access.method.clone(),
+                reason: format!(
+                    "expected {} value(s), got {}",
+                    method.input_arity(),
+                    access.binding.arity()
+                ),
+            });
+        }
+        let relation = self.schema.require_relation(method.relation())?;
+        for (value, &position) in access.binding.values().iter().zip(method.input_positions()) {
+            let expected = relation.column_types()[position];
+            if !value.is_labelled_null() && value.data_type() != expected {
+                return Err(PathError::InvalidBinding {
+                    method: access.method.clone(),
+                    reason: format!(
+                        "value {value} at input position {} should have type {expected}",
+                        position + 1
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// True if a tuple of the accessed relation is compatible with the
+    /// access's binding (agrees with it on every input position).
+    #[must_use]
+    pub fn tuple_matches_access(&self, access: &Access, tuple: &Tuple) -> bool {
+        let Some(method) = self.method(&access.method) else {
+            return false;
+        };
+        method
+            .input_positions()
+            .iter()
+            .zip(access.binding.values())
+            .all(|(&p, bound)| tuple.get(p) == Some(bound))
+    }
+
+    /// The exact response to an access on a (hidden) instance: all tuples of
+    /// the accessed relation that agree with the binding.
+    #[must_use]
+    pub fn exact_response(&self, access: &Access, hidden: &Instance) -> std::collections::BTreeSet<Tuple> {
+        let Some(method) = self.method(&access.method) else {
+            return std::collections::BTreeSet::new();
+        };
+        hidden
+            .tuples(method.relation())
+            .filter(|t| self.tuple_matches_access(access, t))
+            .cloned()
+            .collect()
+    }
+
+    /// Checks that a response is well formed for an access: every tuple has
+    /// the relation's arity and agrees with the binding on the input
+    /// positions.
+    pub fn validate_response(&self, access: &Access, response: &[Tuple]) -> Result<()> {
+        let method = self.require_method(&access.method)?;
+        let relation = self.schema.require_relation(method.relation())?;
+        for tuple in response {
+            if tuple.arity() != relation.arity() {
+                return Err(PathError::MalformedResponse {
+                    method: access.method.clone(),
+                    reason: format!(
+                        "tuple {tuple} has arity {}, relation {} has arity {}",
+                        tuple.arity(),
+                        method.relation(),
+                        relation.arity()
+                    ),
+                });
+            }
+            if !self.tuple_matches_access(access, tuple) {
+                return Err(PathError::MalformedResponse {
+                    method: access.method.clone(),
+                    reason: format!("tuple {tuple} disagrees with binding {}", access.binding),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The paper's running example: the phone-directory schema with access method
+/// `AcM1` on `Mobile#` (input: name) and `AcM2` on `Address` (inputs: street
+/// and postcode).
+#[must_use]
+pub fn phone_directory_access_schema() -> AccessSchema {
+    let mut schema = AccessSchema::new(phone_directory_schema());
+    schema
+        .add_method(AccessMethod::new("AcM1", "Mobile#", vec![0]))
+        .expect("AcM1 is well-formed");
+    schema
+        .add_method(AccessMethod::new("AcM2", "Address", vec![0, 1]))
+        .expect("AcM2 is well-formed");
+    schema
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accltl_relational::tuple;
+
+    #[test]
+    fn method_constructors_normalise_positions() {
+        let m = AccessMethod::new("A", "R", vec![2, 0, 2]);
+        assert_eq!(m.input_positions(), &[0, 2]);
+        assert_eq!(m.input_arity(), 2);
+        let b = AccessMethod::boolean("B", "R", 3);
+        assert_eq!(b.input_positions(), &[0, 1, 2]);
+        let f = AccessMethod::free("F", "R");
+        assert_eq!(f.input_arity(), 0);
+    }
+
+    #[test]
+    fn exactness_implies_idempotence() {
+        let m = AccessMethod::new("A", "R", vec![0]).exact();
+        assert!(m.is_exact());
+        assert!(m.is_idempotent());
+        let i = AccessMethod::new("B", "R", vec![0]).idempotent();
+        assert!(!i.is_exact());
+        assert!(i.is_idempotent());
+    }
+
+    #[test]
+    fn phone_directory_schema_has_paper_methods() {
+        let schema = phone_directory_access_schema();
+        assert_eq!(schema.method_count(), 2);
+        assert_eq!(schema.require_method("AcM1").unwrap().relation(), "Mobile#");
+        assert_eq!(schema.require_method("AcM2").unwrap().input_positions(), &[0, 1]);
+        assert_eq!(schema.methods_for_relation("Address").count(), 1);
+    }
+
+    #[test]
+    fn add_method_validates_relation_and_positions() {
+        let mut schema = AccessSchema::new(phone_directory_schema());
+        assert!(matches!(
+            schema.add_method(AccessMethod::new("A", "Nope", vec![0])),
+            Err(PathError::Relational(_))
+        ));
+        assert!(matches!(
+            schema.add_method(AccessMethod::new("A", "Address", vec![7])),
+            Err(PathError::InputPositionOutOfRange { .. })
+        ));
+        schema
+            .add_method(AccessMethod::new("A", "Address", vec![0]))
+            .unwrap();
+        assert!(matches!(
+            schema.add_method(AccessMethod::new("A", "Mobile#", vec![0])),
+            Err(PathError::DuplicateAccessMethod(_))
+        ));
+    }
+
+    #[test]
+    fn access_validation_checks_binding_arity_and_types() {
+        let schema = phone_directory_access_schema();
+        assert!(schema
+            .validate_access(&Access::new("AcM1", tuple!["Smith"]))
+            .is_ok());
+        assert!(matches!(
+            schema.validate_access(&Access::new("AcM1", tuple!["Smith", "extra"])),
+            Err(PathError::InvalidBinding { .. })
+        ));
+        assert!(matches!(
+            schema.validate_access(&Access::new("AcM1", tuple![42])),
+            Err(PathError::InvalidBinding { .. })
+        ));
+        assert!(matches!(
+            schema.validate_access(&Access::new("Nope", tuple!["Smith"])),
+            Err(PathError::UnknownAccessMethod(_))
+        ));
+    }
+
+    #[test]
+    fn matching_and_exact_responses() {
+        let schema = phone_directory_access_schema();
+        let access = Access::new("AcM1", tuple!["Smith"]);
+        let smith = tuple!["Smith", "OX13QD", "Parks Rd", 5551212];
+        let jones = tuple!["Jones", "OX13QD", "Parks Rd", 5550000];
+        assert!(schema.tuple_matches_access(&access, &smith));
+        assert!(!schema.tuple_matches_access(&access, &jones));
+
+        let mut hidden = Instance::new();
+        hidden.add_fact("Mobile#", smith.clone());
+        hidden.add_fact("Mobile#", jones);
+        let response = schema.exact_response(&access, &hidden);
+        assert_eq!(response.len(), 1);
+        assert!(response.contains(&smith));
+    }
+
+    #[test]
+    fn response_validation_rejects_incompatible_tuples() {
+        let schema = phone_directory_access_schema();
+        let access = Access::new("AcM1", tuple!["Smith"]);
+        let ok = vec![tuple!["Smith", "OX13QD", "Parks Rd", 5551212]];
+        assert!(schema.validate_response(&access, &ok).is_ok());
+        let wrong_binding = vec![tuple!["Jones", "OX13QD", "Parks Rd", 5551212]];
+        assert!(matches!(
+            schema.validate_response(&access, &wrong_binding),
+            Err(PathError::MalformedResponse { .. })
+        ));
+        let wrong_arity = vec![tuple!["Smith", "OX13QD"]];
+        assert!(matches!(
+            schema.validate_response(&access, &wrong_arity),
+            Err(PathError::MalformedResponse { .. })
+        ));
+    }
+
+    #[test]
+    fn displays_are_compact() {
+        let m = AccessMethod::new("AcM1", "Mobile#", vec![0]).exact();
+        assert_eq!(m.to_string(), "AcM1 on Mobile#[1] (exact)");
+        let a = Access::new("AcM1", tuple!["Smith"]);
+        assert_eq!(a.to_string(), "AcM1(\"Smith\")");
+    }
+}

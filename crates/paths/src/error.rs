@@ -1,0 +1,106 @@
+//! Error type for access-path construction and validation.
+
+use std::fmt;
+
+use accltl_relational::RelationalError;
+
+/// Errors produced while building schemas with access methods, accesses and
+/// access paths.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PathError {
+    /// An underlying relational error (unknown relation, arity mismatch, ...).
+    Relational(RelationalError),
+    /// An access method name was used that is not declared.
+    UnknownAccessMethod(String),
+    /// An access method was declared twice.
+    DuplicateAccessMethod(String),
+    /// An input position of an access method is out of range for its relation.
+    InputPositionOutOfRange {
+        /// The access method.
+        method: String,
+        /// The offending 1-based position.
+        position: usize,
+    },
+    /// A binding does not match the access method's input positions (wrong
+    /// arity or wrong type).
+    InvalidBinding {
+        /// The access method.
+        method: String,
+        /// Human-readable description of the mismatch.
+        reason: String,
+    },
+    /// A response tuple is not compatible with the access (wrong relation
+    /// arity, or disagrees with the binding on an input position).
+    MalformedResponse {
+        /// The access method.
+        method: String,
+        /// Human-readable description of the mismatch.
+        reason: String,
+    },
+}
+
+impl fmt::Display for PathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PathError::Relational(e) => write!(f, "{e}"),
+            PathError::UnknownAccessMethod(name) => {
+                write!(f, "unknown access method `{name}`")
+            }
+            PathError::DuplicateAccessMethod(name) => {
+                write!(f, "access method `{name}` declared twice")
+            }
+            PathError::InputPositionOutOfRange { method, position } => {
+                write!(
+                    f,
+                    "input position {position} out of range for access method `{method}`"
+                )
+            }
+            PathError::InvalidBinding { method, reason } => {
+                write!(f, "invalid binding for access method `{method}`: {reason}")
+            }
+            PathError::MalformedResponse { method, reason } => {
+                write!(f, "malformed response for access method `{method}`: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PathError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PathError::Relational(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RelationalError> for PathError {
+    fn from(e: RelationalError) -> Self {
+        PathError::Relational(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = PathError::InvalidBinding {
+            method: "AcM1".into(),
+            reason: "expected 1 value, got 2".into(),
+        };
+        assert!(e.to_string().contains("AcM1"));
+        assert!(e.to_string().contains("expected 1 value"));
+        assert!(PathError::UnknownAccessMethod("X".into())
+            .to_string()
+            .contains("X"));
+    }
+
+    #[test]
+    fn relational_errors_convert_and_chain() {
+        let e: PathError = RelationalError::UnknownRelation("R".into()).into();
+        assert!(e.to_string().contains("R"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,247 @@
+//! Seeded workload generators for tests and benchmarks.
+//!
+//! The paper has no experimental section, so the benchmark harness needs
+//! synthetic workloads: schemas with access methods, hidden instances,
+//! conjunctive queries and accesses.  Everything here is driven by a seeded
+//! RNG so that benchmark runs are reproducible.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use accltl_relational::{
+    Atom, ConjunctiveQuery, DataType, Instance, RelationSchema, Schema, Term, Tuple, Value,
+};
+
+use crate::access::{Access, AccessMethod, AccessSchema};
+
+/// Parameters of the synthetic workload generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadConfig {
+    /// Number of relations in the schema.
+    pub relations: usize,
+    /// Arity of every relation.
+    pub arity: usize,
+    /// Number of access methods (at least one per relation is created when
+    /// this is larger than `relations`).
+    pub methods: usize,
+    /// Maximum number of input positions per access method.
+    pub max_inputs: usize,
+    /// Number of distinct data values in the hidden instance.
+    pub domain_size: usize,
+    /// Number of facts per relation in the hidden instance.
+    pub facts_per_relation: usize,
+    /// Number of atoms in generated conjunctive queries.
+    pub query_atoms: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            relations: 3,
+            arity: 3,
+            methods: 4,
+            max_inputs: 2,
+            domain_size: 8,
+            facts_per_relation: 10,
+            query_atoms: 3,
+            seed: 42,
+        }
+    }
+}
+
+/// A generated workload: a schema with access methods, a hidden instance and
+/// a batch of conjunctive queries.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The schema with access methods.
+    pub schema: AccessSchema,
+    /// The hidden instance (the actual content of the data source).
+    pub hidden: Instance,
+    /// Generated conjunctive queries over the schema.
+    pub queries: Vec<ConjunctiveQuery>,
+    /// Generated accesses (all valid for the schema).
+    pub accesses: Vec<Access>,
+}
+
+/// Generates a reproducible workload from the configuration.
+#[must_use]
+pub fn generate_workload(config: &WorkloadConfig) -> Workload {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // Schema: R0..R{n-1}, all text columns (the paper's examples are
+    // homogeneous and text values keep bindings readable in reports).
+    let schema = Schema::from_relations(
+        (0..config.relations).map(|i| RelationSchema::new(format!("R{i}"), vec![DataType::Text; config.arity])),
+    )
+    .expect("generated relation names are unique");
+
+    let mut access_schema = AccessSchema::new(schema);
+    for m in 0..config.methods.max(config.relations) {
+        let relation = format!("R{}", m % config.relations);
+        let input_count = rng.gen_range(0..=config.max_inputs.min(config.arity));
+        let mut positions: Vec<usize> = (0..config.arity).collect();
+        positions.shuffle(&mut rng);
+        positions.truncate(input_count);
+        access_schema
+            .add_method(AccessMethod::new(format!("M{m}"), relation, positions))
+            .expect("generated methods are valid");
+    }
+
+    // Hidden instance over a bounded value domain.
+    let domain: Vec<Value> = (0..config.domain_size)
+        .map(|i| Value::Str(format!("v{i}")))
+        .collect();
+    let mut hidden = Instance::new();
+    for r in 0..config.relations {
+        for _ in 0..config.facts_per_relation {
+            let tuple: Tuple = (0..config.arity)
+                .map(|_| domain[rng.gen_range(0..domain.len())].clone())
+                .collect();
+            hidden.add_fact(format!("R{r}"), tuple);
+        }
+    }
+
+    // Queries: chain-shaped conjunctive queries sharing variables between
+    // consecutive atoms (the classical "path join" workload), with an
+    // occasional constant.
+    let mut queries = Vec::new();
+    for q in 0..4 {
+        let mut atoms = Vec::new();
+        for a in 0..config.query_atoms {
+            let relation = format!("R{}", rng.gen_range(0..config.relations));
+            let terms: Vec<Term> = (0..config.arity)
+                .map(|p| {
+                    if p == 0 && a > 0 {
+                        // Join with the previous atom.
+                        Term::var(format!("x{}_{}", q, a - 1))
+                    } else if rng.gen_bool(0.15) {
+                        Term::constant(domain[rng.gen_range(0..domain.len())].clone())
+                    } else if p == config.arity - 1 {
+                        Term::var(format!("x{q}_{a}"))
+                    } else {
+                        Term::var(format!("y{q}_{a}_{p}"))
+                    }
+                })
+                .collect();
+            atoms.push(Atom::new(relation, terms));
+        }
+        queries.push(ConjunctiveQuery::boolean(atoms));
+    }
+
+    // Accesses: one per method, with binding values drawn from the domain.
+    let mut accesses = Vec::new();
+    for method in access_schema.methods() {
+        let binding: Tuple = method
+            .input_positions()
+            .iter()
+            .map(|_| domain[rng.gen_range(0..domain.len())].clone())
+            .collect();
+        accesses.push(Access::new(method.name().to_owned(), binding));
+    }
+
+    Workload {
+        schema: access_schema,
+        hidden,
+        queries,
+        accesses,
+    }
+}
+
+/// The hidden instance used throughout the paper's running example: Smith's
+/// mobile entry and the Parks Road addresses of Smith and Jones (Figure 1).
+#[must_use]
+pub fn phone_directory_hidden_instance() -> Instance {
+    let mut inst = Instance::new();
+    inst.add_fact(
+        "Mobile#",
+        Tuple::new(vec![
+            Value::str("Smith"),
+            Value::str("OX13QD"),
+            Value::str("Parks Rd"),
+            Value::Int(5551212),
+        ]),
+    );
+    inst.add_fact(
+        "Address",
+        Tuple::new(vec![
+            Value::str("Parks Rd"),
+            Value::str("OX13QD"),
+            Value::str("Smith"),
+            Value::Int(13),
+        ]),
+    );
+    inst.add_fact(
+        "Address",
+        Tuple::new(vec![
+            Value::str("Parks Rd"),
+            Value::str("OX13QD"),
+            Value::str("Jones"),
+            Value::Int(16),
+        ]),
+    );
+    inst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_are_reproducible() {
+        let config = WorkloadConfig::default();
+        let w1 = generate_workload(&config);
+        let w2 = generate_workload(&config);
+        assert_eq!(w1.hidden, w2.hidden);
+        assert_eq!(w1.queries, w2.queries);
+        assert_eq!(w1.accesses, w2.accesses);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let w1 = generate_workload(&WorkloadConfig::default());
+        let w2 = generate_workload(&WorkloadConfig {
+            seed: 7,
+            ..WorkloadConfig::default()
+        });
+        assert_ne!(w1.hidden, w2.hidden);
+    }
+
+    #[test]
+    fn generated_objects_are_well_formed() {
+        let w = generate_workload(&WorkloadConfig::default());
+        assert!(w.hidden.validate_against(w.schema.schema()).is_ok());
+        for access in &w.accesses {
+            assert!(w.schema.validate_access(access).is_ok());
+        }
+        for query in &w.queries {
+            assert!(query.validate().is_ok());
+            assert!(!query.atoms.is_empty());
+        }
+        assert!(w.schema.method_count() >= 3);
+    }
+
+    #[test]
+    fn config_knobs_change_sizes() {
+        let w = generate_workload(&WorkloadConfig {
+            relations: 5,
+            facts_per_relation: 3,
+            ..WorkloadConfig::default()
+        });
+        assert_eq!(w.schema.schema().len(), 5);
+        // Duplicates may collapse a couple of facts, but the order of
+        // magnitude must match.
+        assert!(w.hidden.fact_count() <= 15);
+        assert!(w.hidden.fact_count() >= 10);
+    }
+
+    #[test]
+    fn paper_hidden_instance_matches_figure1() {
+        let inst = phone_directory_hidden_instance();
+        assert_eq!(inst.fact_count(), 3);
+        assert_eq!(inst.relation_size("Address"), 2);
+        assert_eq!(inst.relation_size("Mobile#"), 1);
+    }
+}

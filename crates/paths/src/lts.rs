@@ -1,0 +1,450 @@
+//! The labelled transition system (LTS) of a schema with access restrictions.
+//!
+//! With any schema and initial instance the paper associates an LTS whose
+//! nodes are instances (the information revealed so far), whose labels are
+//! accesses, and whose transitions add a well-formed response to the accessed
+//! relation.  Figure 1 shows a fragment of this (infinite) tree for the
+//! phone-directory schema; [`LtsExplorer`] materialises a bounded fragment of
+//! it, which is what the `fig1_lts_tree` benchmark and the `lts_explorer`
+//! example regenerate.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use accltl_relational::{Instance, Tuple, Value};
+
+use crate::access::{Access, AccessSchema};
+use crate::path::Response;
+use crate::Result;
+
+/// How responses are enumerated when expanding a node of the LTS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResponsePolicy {
+    /// Only the exact response from the hidden instance (the access returns
+    /// precisely the matching tuples).  This models exact access methods.
+    ExactFromHidden,
+    /// Every subset of the matching tuples of the hidden instance with at most
+    /// the given number of tuples.  This models sound-but-incomplete sources
+    /// and produces the branching of Figure 1.
+    SubsetsOfHidden {
+        /// Maximum number of tuples in a response.
+        max_response_size: usize,
+    },
+}
+
+/// Options bounding the LTS exploration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LtsOptions {
+    /// Maximum path depth (number of accesses from the root).
+    pub max_depth: usize,
+    /// Only expand accesses whose binding values are already known (grounded
+    /// accesses).
+    pub grounded_only: bool,
+    /// How responses are enumerated.
+    pub response_policy: ResponsePolicy,
+    /// Cap on the number of bindings enumerated per access method per node.
+    pub max_bindings_per_method: usize,
+    /// Cap on the total number of nodes in the materialised tree.
+    pub max_nodes: usize,
+}
+
+impl Default for LtsOptions {
+    fn default() -> Self {
+        LtsOptions {
+            max_depth: 3,
+            grounded_only: false,
+            response_policy: ResponsePolicy::ExactFromHidden,
+            max_bindings_per_method: 32,
+            max_nodes: 10_000,
+        }
+    }
+}
+
+/// A node of the materialised LTS tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LtsNode {
+    /// The instance (revealed information) at this node.
+    pub instance: Instance,
+    /// Distance from the root in accesses.
+    pub depth: usize,
+    /// Outgoing edges: the access, its response, and the index of the child
+    /// node in [`LtsTree::nodes`].
+    pub edges: Vec<(Access, Response, usize)>,
+}
+
+/// A bounded fragment of the LTS, materialised as a tree rooted at the initial
+/// instance (Figure 1 of the paper).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LtsTree {
+    /// The nodes, in creation (BFS) order; index 0 is the root.
+    pub nodes: Vec<LtsNode>,
+    /// True if a bound (depth, node or binding cap) truncated the exploration.
+    pub truncated: bool,
+}
+
+impl LtsTree {
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges (transitions).
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.nodes.iter().map(|n| n.edges.len()).sum()
+    }
+
+    /// Number of nodes at each depth, from the root downwards.
+    #[must_use]
+    pub fn nodes_per_depth(&self) -> Vec<usize> {
+        let max_depth = self.nodes.iter().map(|n| n.depth).max().unwrap_or(0);
+        let mut counts = vec![0usize; max_depth + 1];
+        for node in &self.nodes {
+            counts[node.depth] += 1;
+        }
+        counts
+    }
+
+    /// Renders the tree fragment as indented text (the textual analogue of
+    /// Figure 1), limited to the given number of lines.
+    #[must_use]
+    pub fn render(&self, max_lines: usize) -> String {
+        let mut out = String::new();
+        let mut lines = 0usize;
+        self.render_node(0, 0, &mut out, &mut lines, max_lines);
+        if lines >= max_lines {
+            out.push_str("  …\n");
+        }
+        out
+    }
+
+    fn render_node(
+        &self,
+        index: usize,
+        indent: usize,
+        out: &mut String,
+        lines: &mut usize,
+        max_lines: usize,
+    ) {
+        if *lines >= max_lines {
+            return;
+        }
+        let node = &self.nodes[index];
+        out.push_str(&"  ".repeat(indent));
+        out.push_str(&format!(
+            "[depth {}] known facts: {}\n",
+            node.depth,
+            node.instance.fact_count()
+        ));
+        *lines += 1;
+        for (access, response, child) in &node.edges {
+            if *lines >= max_lines {
+                return;
+            }
+            out.push_str(&"  ".repeat(indent + 1));
+            out.push_str(&format!("--{access} / {} tuple(s)-->\n", response.len()));
+            *lines += 1;
+            self.render_node(*child, indent + 2, out, lines, max_lines);
+        }
+    }
+}
+
+impl fmt::Display for LtsTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render(200))
+    }
+}
+
+/// Bounded explorer of the LTS of a schema with access restrictions.
+///
+/// The LTS itself is infinite (every access has infinitely many well-formed
+/// responses); the explorer bounds it by drawing responses from a *hidden
+/// instance* (the actual content of the data source) and bindings from a
+/// finite value domain, exactly the way Figure 1 is drawn in the paper.
+#[derive(Debug, Clone)]
+pub struct LtsExplorer<'a> {
+    schema: &'a AccessSchema,
+    hidden: &'a Instance,
+    options: LtsOptions,
+}
+
+impl<'a> LtsExplorer<'a> {
+    /// Creates an explorer for the schema with the given hidden instance.
+    #[must_use]
+    pub fn new(schema: &'a AccessSchema, hidden: &'a Instance, options: LtsOptions) -> Self {
+        LtsExplorer {
+            schema,
+            hidden,
+            options,
+        }
+    }
+
+    /// Explores the LTS from the given initial instance, producing a bounded
+    /// tree fragment.
+    pub fn explore(&self, initial: &Instance) -> Result<LtsTree> {
+        let mut nodes = vec![LtsNode {
+            instance: initial.clone(),
+            depth: 0,
+            edges: Vec::new(),
+        }];
+        let mut truncated = false;
+        let mut frontier = vec![0usize];
+
+        while let Some(index) = frontier.pop() {
+            let (depth, instance) = {
+                let node = &nodes[index];
+                (node.depth, node.instance.clone())
+            };
+            if depth >= self.options.max_depth {
+                continue;
+            }
+            let mut edges = Vec::new();
+            for method in self.schema.methods() {
+                let bindings = self.candidate_bindings(method.name(), &instance)?;
+                if bindings.len() >= self.options.max_bindings_per_method {
+                    truncated = true;
+                }
+                for binding in bindings {
+                    let access = Access::new(method.name().to_owned(), binding);
+                    for response in self.candidate_responses(&access) {
+                        if nodes.len() + edges.len() >= self.options.max_nodes {
+                            truncated = true;
+                            break;
+                        }
+                        let mut successor = instance.clone();
+                        for tuple in &response {
+                            successor.add_fact(method.relation().to_owned(), tuple.clone());
+                        }
+                        edges.push((access.clone(), response, successor));
+                    }
+                }
+            }
+            for (access, response, successor) in edges {
+                let child_index = nodes.len();
+                nodes.push(LtsNode {
+                    instance: successor,
+                    depth: depth + 1,
+                    edges: Vec::new(),
+                });
+                nodes[index].edges.push((access, response, child_index));
+                frontier.push(child_index);
+            }
+            if nodes.len() >= self.options.max_nodes {
+                truncated = true;
+                break;
+            }
+        }
+
+        Ok(LtsTree { nodes, truncated })
+    }
+
+    /// Enumerates candidate bindings for an access method at a node.
+    ///
+    /// Values are drawn from the active domain of the current instance plus
+    /// (unless `grounded_only`) the active domain of the hidden instance, and
+    /// filtered by the declared column type of each input position.
+    fn candidate_bindings(&self, method_name: &str, current: &Instance) -> Result<Vec<Tuple>> {
+        let method = self.schema.require_method(method_name)?;
+        let relation = self.schema.schema().require_relation(method.relation())?;
+        let mut domain: BTreeSet<Value> = current.active_domain();
+        if !self.options.grounded_only {
+            domain.extend(self.hidden.active_domain());
+        }
+        let per_position: Vec<Vec<Value>> = method
+            .input_positions()
+            .iter()
+            .map(|&p| {
+                let ty = relation.column_types()[p];
+                domain
+                    .iter()
+                    .filter(|v| v.data_type() == ty)
+                    .cloned()
+                    .collect()
+            })
+            .collect();
+        // Cartesian product, capped.
+        let mut bindings: Vec<Vec<Value>> = vec![Vec::new()];
+        for values in &per_position {
+            let mut next = Vec::new();
+            for prefix in &bindings {
+                for v in values {
+                    if next.len() + bindings.len() > self.options.max_bindings_per_method * 4 {
+                        break;
+                    }
+                    let mut extended = prefix.clone();
+                    extended.push(v.clone());
+                    next.push(extended);
+                }
+            }
+            bindings = next;
+        }
+        bindings.truncate(self.options.max_bindings_per_method);
+        Ok(bindings.into_iter().map(Tuple::new).collect())
+    }
+
+    /// Enumerates candidate responses for an access according to the response
+    /// policy.
+    fn candidate_responses(&self, access: &Access) -> Vec<Response> {
+        let matching: Vec<Tuple> = self
+            .schema
+            .exact_response(access, self.hidden)
+            .into_iter()
+            .collect();
+        match self.options.response_policy {
+            ResponsePolicy::ExactFromHidden => {
+                vec![matching.into_iter().collect()]
+            }
+            ResponsePolicy::SubsetsOfHidden { max_response_size } => {
+                // Enumerate all subsets of the matching tuples up to the size
+                // cap (including the empty response).
+                let n = matching.len().min(16);
+                let mut responses = Vec::new();
+                for mask in 0u32..(1 << n) {
+                    if (mask.count_ones() as usize) > max_response_size {
+                        continue;
+                    }
+                    let subset: Response = (0..n)
+                        .filter(|i| mask & (1 << i) != 0)
+                        .map(|i| matching[i].clone())
+                        .collect();
+                    responses.push(subset);
+                }
+                responses
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::phone_directory_access_schema;
+    use accltl_relational::tuple;
+
+    fn hidden() -> Instance {
+        let mut inst = Instance::new();
+        inst.add_fact("Mobile#", tuple!["Smith", "OX13QD", "Parks Rd", 5551212]);
+        inst.add_fact("Address", tuple!["Parks Rd", "OX13QD", "Smith", 13]);
+        inst.add_fact("Address", tuple!["Parks Rd", "OX13QD", "Jones", 16]);
+        inst
+    }
+
+    #[test]
+    fn exact_exploration_reveals_the_hidden_instance() {
+        let schema = phone_directory_access_schema();
+        let hidden = hidden();
+        let explorer = LtsExplorer::new(
+            &schema,
+            &hidden,
+            LtsOptions {
+                max_depth: 2,
+                max_bindings_per_method: 64,
+                ..LtsOptions::default()
+            },
+        );
+        let tree = explorer.explore(&Instance::new()).unwrap();
+        assert!(tree.node_count() > 1);
+        assert_eq!(tree.node_count(), tree.edge_count() + 1);
+        // Some depth-2 node knows all three hidden facts (access Smith's
+        // mobile entry, then the Parks Rd / OX13QD address form).
+        assert!(tree
+            .nodes
+            .iter()
+            .any(|n| n.depth == 2 && n.instance.fact_count() == 3));
+    }
+
+    #[test]
+    fn grounded_exploration_starts_empty_handed() {
+        let schema = phone_directory_access_schema();
+        let hidden = hidden();
+        let explorer = LtsExplorer::new(
+            &schema,
+            &hidden,
+            LtsOptions {
+                grounded_only: true,
+                max_depth: 2,
+                ..LtsOptions::default()
+            },
+        );
+        // With an empty initial instance there are no known values, so no
+        // grounded access can be made at all: the tree is just the root.
+        let tree = explorer.explore(&Instance::new()).unwrap();
+        assert_eq!(tree.node_count(), 1);
+        assert_eq!(tree.edge_count(), 0);
+
+        // Seeding the initial instance with an Address fact provides values to
+        // enter into the forms, so the tree grows.
+        let mut initial = Instance::new();
+        initial.add_fact("Address", tuple!["Parks Rd", "OX13QD", "Smith", 13]);
+        let tree = explorer.explore(&initial).unwrap();
+        assert!(tree.node_count() > 1);
+    }
+
+    #[test]
+    fn subset_responses_branch_like_figure1() {
+        let schema = phone_directory_access_schema();
+        let hidden = hidden();
+        let explorer = LtsExplorer::new(
+            &schema,
+            &hidden,
+            LtsOptions {
+                max_depth: 1,
+                response_policy: ResponsePolicy::SubsetsOfHidden {
+                    max_response_size: 2,
+                },
+                max_bindings_per_method: 8,
+                ..LtsOptions::default()
+            },
+        );
+        let tree = explorer.explore(&Instance::new()).unwrap();
+        // For the access AcM2("Parks Rd","OX13QD") there are two matching
+        // address tuples, so subsets {}, {t1}, {t2}, {t1,t2} all appear: the
+        // tree branches more than under the exact policy.
+        let exact_tree = LtsExplorer::new(
+            &schema,
+            &hidden,
+            LtsOptions {
+                max_depth: 1,
+                max_bindings_per_method: 8,
+                ..LtsOptions::default()
+            },
+        )
+        .explore(&Instance::new())
+        .unwrap();
+        assert!(tree.edge_count() > exact_tree.edge_count());
+    }
+
+    #[test]
+    fn node_budget_truncates_exploration() {
+        let schema = phone_directory_access_schema();
+        let hidden = hidden();
+        let explorer = LtsExplorer::new(
+            &schema,
+            &hidden,
+            LtsOptions {
+                max_depth: 4,
+                max_nodes: 10,
+                max_bindings_per_method: 64,
+                ..LtsOptions::default()
+            },
+        );
+        let tree = explorer.explore(&Instance::new()).unwrap();
+        assert!(tree.truncated);
+        assert!(tree.node_count() <= 11);
+    }
+
+    #[test]
+    fn nodes_per_depth_and_render() {
+        let schema = phone_directory_access_schema();
+        let hidden = hidden();
+        let explorer = LtsExplorer::new(&schema, &hidden, LtsOptions::default());
+        let tree = explorer.explore(&Instance::new()).unwrap();
+        let per_depth = tree.nodes_per_depth();
+        assert_eq!(per_depth[0], 1);
+        assert_eq!(per_depth.iter().sum::<usize>(), tree.node_count());
+        let rendering = tree.render(40);
+        assert!(rendering.contains("known facts"));
+        assert!(rendering.contains("AcM"));
+    }
+}

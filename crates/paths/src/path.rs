@@ -1,0 +1,312 @@
+//! Access paths: sequences of accesses and well-formed responses, and the
+//! configurations (revealed instances) they induce.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use accltl_relational::{Instance, Tuple};
+
+use crate::access::{Access, AccessSchema};
+use crate::Result;
+
+/// A response to an access: a set of tuples of the accessed relation that are
+/// compatible with the binding.
+pub type Response = BTreeSet<Tuple>;
+
+/// One transition of the LTS induced by an access path: the instance before
+/// the access, the access itself, its response, and the instance afterwards.
+///
+/// This is exactly the object the paper's transition formulas (`FO∃+Acc`) are
+/// evaluated on: `(Iᵢ, (AcMᵢ, b̄ᵢ), Iᵢ₊₁)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transition {
+    /// The instance before the access (`Iᵢ`).
+    pub before: Instance,
+    /// The access performed.
+    pub access: Access,
+    /// The response returned.
+    pub response: Response,
+    /// The instance after the access (`Iᵢ₊₁`).
+    pub after: Instance,
+}
+
+/// An access path: a sequence of accesses and their responses.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AccessPath {
+    steps: Vec<(Access, Response)>,
+}
+
+impl AccessPath {
+    /// The empty access path.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a path from a sequence of steps.
+    #[must_use]
+    pub fn from_steps(steps: Vec<(Access, Response)>) -> Self {
+        AccessPath { steps }
+    }
+
+    /// Appends an access and its response.
+    pub fn push(&mut self, access: Access, response: Response) {
+        self.steps.push((access, response));
+    }
+
+    /// Builder-style variant of [`AccessPath::push`].
+    #[must_use]
+    pub fn with_step(mut self, access: Access, response: Response) -> Self {
+        self.push(access, response);
+        self
+    }
+
+    /// The number of accesses in the path.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True if the path contains no accesses.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The steps of the path.
+    #[must_use]
+    pub fn steps(&self) -> &[(Access, Response)] {
+        &self.steps
+    }
+
+    /// Iterates over the accesses of the path, in order.
+    pub fn accesses(&self) -> impl Iterator<Item = &Access> {
+        self.steps.iter().map(|(a, _)| a)
+    }
+
+    /// The path with its first access dropped (used by the long-term
+    /// relevance definition, Example 2.3).
+    #[must_use]
+    pub fn without_first(&self) -> AccessPath {
+        AccessPath {
+            steps: self.steps.iter().skip(1).cloned().collect(),
+        }
+    }
+
+    /// The prefix of the path with the given number of steps.
+    #[must_use]
+    pub fn prefix(&self, len: usize) -> AccessPath {
+        AccessPath {
+            steps: self.steps.iter().take(len).cloned().collect(),
+        }
+    }
+
+    /// Validates every access and response of the path against the schema.
+    pub fn validate(&self, schema: &AccessSchema) -> Result<()> {
+        for (access, response) in &self.steps {
+            schema.validate_access(access)?;
+            let tuples: Vec<Tuple> = response.iter().cloned().collect();
+            schema.validate_response(access, &tuples)?;
+        }
+        Ok(())
+    }
+
+    /// The sequence of configurations `I0 = Conf(ε), Conf(p[..1]), ...,
+    /// Conf(p)` induced by the path over the initial instance `I0`.
+    ///
+    /// `Conf(p, I0)` unions `I0` with every tuple returned by an access, added
+    /// to the relation of that access's method (paper, Section 2).
+    pub fn configurations(&self, schema: &AccessSchema, initial: &Instance) -> Result<Vec<Instance>> {
+        let mut configs = Vec::with_capacity(self.steps.len() + 1);
+        let mut current = initial.clone();
+        configs.push(current.clone());
+        for (access, response) in &self.steps {
+            let method = schema.require_method(&access.method)?;
+            for tuple in response {
+                current.add_fact(method.relation().to_owned(), tuple.clone());
+            }
+            configs.push(current.clone());
+        }
+        Ok(configs)
+    }
+
+    /// The final configuration `Conf(p, I0)`.
+    pub fn configuration(&self, schema: &AccessSchema, initial: &Instance) -> Result<Instance> {
+        Ok(self
+            .configurations(schema, initial)?
+            .pop()
+            .expect("configurations always returns at least the initial instance"))
+    }
+
+    /// The transitions of the path (before/access/response/after), the
+    /// structures on which transition formulas are evaluated.
+    pub fn transitions(&self, schema: &AccessSchema, initial: &Instance) -> Result<Vec<Transition>> {
+        let configs = self.configurations(schema, initial)?;
+        Ok(self
+            .steps
+            .iter()
+            .enumerate()
+            .map(|(i, (access, response))| Transition {
+                before: configs[i].clone(),
+                access: access.clone(),
+                response: response.clone(),
+                after: configs[i + 1].clone(),
+            })
+            .collect())
+    }
+}
+
+impl fmt::Display for AccessPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.steps.is_empty() {
+            return write!(f, "ε");
+        }
+        for (i, (access, response)) in self.steps.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ; ")?;
+            }
+            write!(f, "{access} ⇒ {{")?;
+            for (j, t) in response.iter().enumerate() {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{t}")?;
+            }
+            write!(f, "}}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Builds a [`Response`] from an iterator of tuples.
+#[must_use]
+pub fn response(tuples: impl IntoIterator<Item = Tuple>) -> Response {
+    tuples.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::phone_directory_access_schema;
+    use accltl_relational::tuple;
+
+    fn smith() -> Tuple {
+        tuple!["Smith", "OX13QD", "Parks Rd", 5551212]
+    }
+
+    fn smith_address() -> Tuple {
+        tuple!["Parks Rd", "OX13QD", "Smith", 13]
+    }
+
+    fn jones_address() -> Tuple {
+        tuple!["Parks Rd", "OX13QD", "Jones", 16]
+    }
+
+    /// The path from Figure 1: an access to Mobile# with "Smith" revealing
+    /// Smith's tuple, then an access to Address with the discovered street and
+    /// postcode revealing two address tuples.
+    fn figure1_path() -> AccessPath {
+        AccessPath::new()
+            .with_step(
+                Access::new("AcM1", tuple!["Smith"]),
+                response([smith()]),
+            )
+            .with_step(
+                Access::new("AcM2", tuple!["Parks Rd", "OX13QD"]),
+                response([smith_address(), jones_address()]),
+            )
+    }
+
+    #[test]
+    fn path_accessors() {
+        let p = figure1_path();
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+        assert_eq!(p.accesses().count(), 2);
+        assert_eq!(p.prefix(1).len(), 1);
+        assert_eq!(p.without_first().len(), 1);
+        assert_eq!(
+            p.without_first().accesses().next().unwrap().method,
+            "AcM2"
+        );
+    }
+
+    #[test]
+    fn path_validates_against_schema() {
+        let schema = phone_directory_access_schema();
+        assert!(figure1_path().validate(&schema).is_ok());
+
+        let bad = AccessPath::new().with_step(
+            Access::new("AcM1", tuple!["Smith"]),
+            response([jones_address()]),
+        );
+        assert!(bad.validate(&schema).is_err());
+    }
+
+    #[test]
+    fn configurations_accumulate_facts() {
+        let schema = phone_directory_access_schema();
+        let p = figure1_path();
+        let configs = p.configurations(&schema, &Instance::new()).unwrap();
+        assert_eq!(configs.len(), 3);
+        assert!(configs[0].is_empty());
+        assert_eq!(configs[1].fact_count(), 1);
+        assert!(configs[1].contains("Mobile#", &smith()));
+        assert_eq!(configs[2].fact_count(), 3);
+        assert!(configs[2].contains("Address", &jones_address()));
+
+        let final_config = p.configuration(&schema, &Instance::new()).unwrap();
+        assert_eq!(final_config, configs[2]);
+    }
+
+    #[test]
+    fn configurations_respect_initial_instance() {
+        let schema = phone_directory_access_schema();
+        let mut initial = Instance::new();
+        initial.add_fact("Address", tuple!["High St", "OX26NN", "Doe", 1]);
+        let configs = figure1_path().configurations(&schema, &initial).unwrap();
+        assert!(configs
+            .iter()
+            .all(|c| c.contains("Address", &tuple!["High St", "OX26NN", "Doe", 1])));
+        assert_eq!(configs[2].fact_count(), 4);
+    }
+
+    #[test]
+    fn transitions_expose_before_and_after() {
+        let schema = phone_directory_access_schema();
+        let transitions = figure1_path()
+            .transitions(&schema, &Instance::new())
+            .unwrap();
+        assert_eq!(transitions.len(), 2);
+        assert!(transitions[0].before.is_empty());
+        assert_eq!(transitions[0].after.fact_count(), 1);
+        assert_eq!(transitions[1].before, transitions[0].after);
+        assert_eq!(transitions[1].access.method, "AcM2");
+        assert_eq!(transitions[1].response.len(), 2);
+    }
+
+    #[test]
+    fn empty_response_still_advances_the_path() {
+        let schema = phone_directory_access_schema();
+        let p = AccessPath::new().with_step(Access::new("AcM1", tuple!["Nobody"]), Response::new());
+        let configs = p.configurations(&schema, &Instance::new()).unwrap();
+        assert_eq!(configs.len(), 2);
+        assert!(configs[1].is_empty());
+    }
+
+    #[test]
+    fn unknown_method_in_path_is_an_error() {
+        let schema = phone_directory_access_schema();
+        let p = AccessPath::new().with_step(Access::new("Nope", tuple!["x"]), Response::new());
+        assert!(p.configurations(&schema, &Instance::new()).is_err());
+    }
+
+    #[test]
+    fn display_shows_steps() {
+        assert_eq!(AccessPath::new().to_string(), "ε");
+        let p = figure1_path();
+        let s = p.to_string();
+        assert!(s.contains("AcM1"));
+        assert!(s.contains("⇒"));
+    }
+}

@@ -1,0 +1,257 @@
+//! Sanity conditions on access paths: groundedness, idempotence and
+//! (S-)exactness (paper, Section 2).
+
+use std::collections::BTreeSet;
+
+use accltl_relational::{Instance, Value};
+
+use crate::access::AccessSchema;
+use crate::path::AccessPath;
+use crate::Result;
+
+/// True if the path is *grounded* in `initial`: every value used in a binding
+/// occurs either in the initial instance or in the response of an earlier
+/// access.
+#[must_use]
+pub fn is_grounded(path: &AccessPath, initial: &Instance) -> bool {
+    let mut known: BTreeSet<Value> = initial.active_domain();
+    for (access, response) in path.steps() {
+        if !access.binding.values().iter().all(|v| known.contains(v)) {
+            return false;
+        }
+        for tuple in response {
+            known.extend(tuple.values().iter().cloned());
+        }
+    }
+    true
+}
+
+/// True if the path is *idempotent*: whenever it repeats the same access
+/// (method and binding), it obtains the same response.
+#[must_use]
+pub fn is_idempotent(path: &AccessPath) -> bool {
+    let steps = path.steps();
+    for (i, (access_i, response_i)) in steps.iter().enumerate() {
+        for (access_j, response_j) in &steps[i + 1..] {
+            if access_i == access_j && response_i != response_j {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// True if the path is *exact* for the access methods in `exact_methods`:
+/// there is an instance `I` such that every access whose method is in the set
+/// returns exactly the tuples of `I` that agree with its binding.
+///
+/// Any witnessing instance must contain every tuple returned anywhere along
+/// the path (plus the initial instance), so it suffices to check exactness
+/// against the minimal candidate `Conf(p, I0)`: if an exact-method access
+/// failed to return a matching tuple that some step of the path (or the
+/// initial instance) reveals, no larger instance can repair that, and
+/// conversely `Conf(p, I0)` itself witnesses exactness when the check passes.
+pub fn is_exact_for(
+    path: &AccessPath,
+    schema: &AccessSchema,
+    initial: &Instance,
+    exact_methods: &BTreeSet<String>,
+) -> Result<bool> {
+    let final_config = path.configuration(schema, initial)?;
+    for (access, response) in path.steps() {
+        if !exact_methods.contains(&access.method) {
+            continue;
+        }
+        let expected = schema.exact_response(access, &final_config);
+        if *response != expected {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// The path-semantics options of a schema: which sanity conditions paths are
+/// required to satisfy.  The paper allows mixing: some methods exact, some
+/// idempotent, optionally all paths grounded.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PathSemantics {
+    /// Require paths to be grounded in the initial instance.
+    pub grounded: bool,
+    /// Require paths to be idempotent.
+    pub idempotent: bool,
+    /// The access methods whose responses must be exact.
+    pub exact_methods: BTreeSet<String>,
+}
+
+impl PathSemantics {
+    /// No restrictions: arbitrary well-formed access paths.
+    #[must_use]
+    pub fn unrestricted() -> Self {
+        Self::default()
+    }
+
+    /// Grounded paths only.
+    #[must_use]
+    pub fn grounded_only() -> Self {
+        PathSemantics {
+            grounded: true,
+            ..Self::default()
+        }
+    }
+
+    /// Collects the exactness/idempotence markers declared on the schema's
+    /// access methods.
+    #[must_use]
+    pub fn from_schema(schema: &AccessSchema) -> Self {
+        PathSemantics {
+            grounded: false,
+            idempotent: schema.methods().any(|m| m.is_idempotent()),
+            exact_methods: schema
+                .methods()
+                .filter(|m| m.is_exact())
+                .map(|m| m.name().to_owned())
+                .collect(),
+        }
+    }
+
+    /// True if the path satisfies every required sanity condition.
+    pub fn satisfied_by(
+        &self,
+        path: &AccessPath,
+        schema: &AccessSchema,
+        initial: &Instance,
+    ) -> Result<bool> {
+        if self.grounded && !is_grounded(path, initial) {
+            return Ok(false);
+        }
+        if self.idempotent && !is_idempotent(path) {
+            return Ok(false);
+        }
+        if !self.exact_methods.is_empty()
+            && !is_exact_for(path, schema, initial, &self.exact_methods)?
+        {
+            return Ok(false);
+        }
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::{phone_directory_access_schema, Access};
+    use crate::path::response;
+    use accltl_relational::tuple;
+
+    fn smith() -> accltl_relational::Tuple {
+        tuple!["Smith", "OX13QD", "Parks Rd", 5551212]
+    }
+
+    #[test]
+    fn groundedness_requires_known_binding_values() {
+        let p = AccessPath::new()
+            .with_step(Access::new("AcM1", tuple!["Smith"]), response([smith()]))
+            .with_step(
+                Access::new("AcM2", tuple!["Parks Rd", "OX13QD"]),
+                response([]),
+            );
+        // "Smith" is not known initially: not grounded over the empty instance.
+        assert!(!is_grounded(&p, &Instance::new()));
+
+        // With "Smith" known initially (e.g. from an Address fact), the whole
+        // path is grounded because the second access only uses values revealed
+        // by the first response.
+        let mut initial = Instance::new();
+        initial.add_fact("Address", tuple!["High St", "OX26NN", "Smith", 2]);
+        assert!(is_grounded(&p, &initial));
+    }
+
+    #[test]
+    fn groundedness_of_empty_path() {
+        assert!(is_grounded(&AccessPath::new(), &Instance::new()));
+    }
+
+    #[test]
+    fn idempotence_detects_conflicting_repeats() {
+        let a = Access::new("AcM1", tuple!["Smith"]);
+        let consistent = AccessPath::new()
+            .with_step(a.clone(), response([smith()]))
+            .with_step(a.clone(), response([smith()]));
+        assert!(is_idempotent(&consistent));
+
+        let conflicting = AccessPath::new()
+            .with_step(a.clone(), response([smith()]))
+            .with_step(a, response([]));
+        assert!(!is_idempotent(&conflicting));
+    }
+
+    #[test]
+    fn exactness_checked_against_final_configuration() {
+        let schema = phone_directory_access_schema();
+        let exact: BTreeSet<String> = BTreeSet::from(["AcM1".to_owned()]);
+
+        // One access to Mobile# returning Smith's tuple: exact (the final
+        // configuration has no other matching tuple).
+        let ok = AccessPath::new().with_step(Access::new("AcM1", tuple!["Smith"]), response([smith()]));
+        assert!(is_exact_for(&ok, &schema, &Instance::new(), &exact).unwrap());
+
+        // Two accesses with the same binding where the first returns nothing:
+        // not exact, because the final configuration contains a matching tuple
+        // the first access failed to return.
+        let not_ok = AccessPath::new()
+            .with_step(Access::new("AcM1", tuple!["Smith"]), response([]))
+            .with_step(Access::new("AcM1", tuple!["Smith"]), response([smith()]));
+        assert!(!is_exact_for(&not_ok, &schema, &Instance::new(), &exact).unwrap());
+
+        // The same path is fine if AcM1 is not required to be exact.
+        assert!(is_exact_for(&not_ok, &schema, &Instance::new(), &BTreeSet::new()).unwrap());
+    }
+
+    #[test]
+    fn exactness_accounts_for_initial_instance() {
+        let schema = phone_directory_access_schema();
+        let exact: BTreeSet<String> = BTreeSet::from(["AcM1".to_owned()]);
+        let mut initial = Instance::new();
+        initial.add_fact("Mobile#", smith());
+        // An empty response to AcM1("Smith") cannot be exact when the initial
+        // instance already contains a matching tuple.
+        let p = AccessPath::new().with_step(Access::new("AcM1", tuple!["Smith"]), response([]));
+        assert!(!is_exact_for(&p, &schema, &initial, &exact).unwrap());
+    }
+
+    #[test]
+    fn path_semantics_combine_conditions() {
+        let schema = phone_directory_access_schema();
+        let p = AccessPath::new().with_step(Access::new("AcM1", tuple!["Smith"]), response([smith()]));
+
+        assert!(PathSemantics::unrestricted()
+            .satisfied_by(&p, &schema, &Instance::new())
+            .unwrap());
+        // Grounded-only rejects it (the binding "Smith" is guessed).
+        assert!(!PathSemantics::grounded_only()
+            .satisfied_by(&p, &schema, &Instance::new())
+            .unwrap());
+
+        let mut with_exact = PathSemantics::unrestricted();
+        with_exact.exact_methods.insert("AcM1".to_owned());
+        assert!(with_exact
+            .satisfied_by(&p, &schema, &Instance::new())
+            .unwrap());
+    }
+
+    #[test]
+    fn path_semantics_from_schema_reads_markers() {
+        let mut schema = AccessSchema::new(accltl_relational::schema::phone_directory_schema());
+        schema
+            .add_method(crate::access::AccessMethod::new("AcM1", "Mobile#", vec![0]).exact())
+            .unwrap();
+        schema
+            .add_method(crate::access::AccessMethod::new("AcM2", "Address", vec![0, 1]))
+            .unwrap();
+        let semantics = PathSemantics::from_schema(&schema);
+        assert!(semantics.exact_methods.contains("AcM1"));
+        assert!(!semantics.exact_methods.contains("AcM2"));
+        assert!(semantics.idempotent);
+        assert!(!semantics.grounded);
+    }
+}

@@ -1,0 +1,160 @@
+//! Relational atoms `R(t1, ..., tn)`.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::term::Term;
+use crate::value::Value;
+
+/// A relational atom: a predicate name applied to a sequence of terms.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Atom {
+    /// The predicate (relation) name.
+    pub predicate: String,
+    /// The argument terms.
+    pub terms: Vec<Term>,
+}
+
+impl Atom {
+    /// Creates an atom.
+    #[must_use]
+    pub fn new(predicate: impl Into<String>, terms: Vec<Term>) -> Self {
+        Atom {
+            predicate: predicate.into(),
+            terms,
+        }
+    }
+
+    /// The arity of the atom.
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// The set of variable names occurring in the atom.
+    #[must_use]
+    pub fn variables(&self) -> BTreeSet<String> {
+        self.terms
+            .iter()
+            .filter_map(|t| t.as_var().map(str::to_owned))
+            .collect()
+    }
+
+    /// The set of constants occurring in the atom.
+    #[must_use]
+    pub fn constants(&self) -> BTreeSet<Value> {
+        self.terms
+            .iter()
+            .filter_map(|t| t.as_const().cloned())
+            .collect()
+    }
+
+    /// Renames every variable in the atom.
+    #[must_use]
+    pub fn rename_vars(&self, f: &dyn Fn(&str) -> String) -> Atom {
+        Atom {
+            predicate: self.predicate.clone(),
+            terms: self.terms.iter().map(|t| t.rename_var(f)).collect(),
+        }
+    }
+
+    /// Replaces the predicate name, keeping the terms.
+    #[must_use]
+    pub fn with_predicate(&self, predicate: impl Into<String>) -> Atom {
+        Atom {
+            predicate: predicate.into(),
+            terms: self.terms.clone(),
+        }
+    }
+
+    /// Substitutes variables by terms according to `subst`; unmapped variables
+    /// are kept.
+    #[must_use]
+    pub fn substitute(&self, subst: &dyn Fn(&str) -> Option<Term>) -> Atom {
+        Atom {
+            predicate: self.predicate.clone(),
+            terms: self
+                .terms
+                .iter()
+                .map(|t| match t {
+                    Term::Var(name) => subst(name).unwrap_or_else(|| t.clone()),
+                    Term::Const(_) => t.clone(),
+                })
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.predicate)?;
+        for (i, t) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Convenience macro building an [`Atom`]: `atom!("R"; x, y, @"c")`.
+///
+/// Bare identifiers become variables, `@expr` becomes a constant.
+///
+/// ```
+/// use accltl_relational::{atom, Term, Value};
+/// let a = atom!("Address"; s, p, @"Jones", h);
+/// assert_eq!(a.predicate, "Address");
+/// assert_eq!(a.terms[2], Term::Const(Value::str("Jones")));
+/// ```
+#[macro_export]
+macro_rules! atom {
+    ($pred:expr $(; $($rest:tt)*)?) => {
+        $crate::Atom::new($pred, $crate::terms![$($($rest)*)?])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variables_and_constants_are_collected() {
+        let a = atom!("R"; x, @"c", y, x);
+        assert_eq!(a.arity(), 4);
+        assert_eq!(
+            a.variables(),
+            BTreeSet::from(["x".to_owned(), "y".to_owned()])
+        );
+        assert_eq!(a.constants(), BTreeSet::from([Value::str("c")]));
+    }
+
+    #[test]
+    fn renaming_and_substitution() {
+        let a = atom!("R"; x, y);
+        let renamed = a.rename_vars(&|v| format!("{v}_7"));
+        assert_eq!(renamed, atom!("R"; x_7, y_7));
+
+        let substituted = a.substitute(&|v| {
+            if v == "x" {
+                Some(Term::constant(1))
+            } else {
+                None
+            }
+        });
+        assert_eq!(substituted, atom!("R"; @1, y));
+    }
+
+    #[test]
+    fn with_predicate_changes_only_the_name() {
+        let a = atom!("R"; x);
+        assert_eq!(a.with_predicate("R_pre"), atom!("R_pre"; x));
+    }
+
+    #[test]
+    fn display_renders_prolog_style() {
+        assert_eq!(atom!("R"; x, @1).to_string(), "R(x, 1)");
+        assert_eq!(atom!("P").to_string(), "P()");
+    }
+}

@@ -1,0 +1,181 @@
+//! Query containment for conjunctive queries and unions of conjunctive
+//! queries.
+//!
+//! Containment is the workhorse of the paper's decision procedures: the
+//! A-automaton emptiness test reduces to containment of a Datalog program in
+//! a positive query ([`crate::datalog_containment`]), whose base case is the
+//! classical CQ-in-UCQ containment test implemented here via canonical
+//! databases (Chandra–Merlin).
+
+use crate::cq::{Assignment, ConjunctiveQuery};
+use crate::ucq::UnionOfCqs;
+
+/// True if `q1 ⊑ q2`: every database where `q1` has an answer tuple also has
+/// that tuple as an answer of `q2`.
+///
+/// Both queries must have the same head arity; containment of queries with
+/// different arities is vacuously `false`.
+#[must_use]
+pub fn cq_contained_in_cq(q1: &ConjunctiveQuery, q2: &ConjunctiveQuery) -> bool {
+    cq_contained_in_ucq(q1, &UnionOfCqs::single(q2.clone()))
+}
+
+/// True if `q1 ⊑ u`: the conjunctive query is contained in the union of
+/// conjunctive queries.
+///
+/// By the Chandra–Merlin / Sagiv–Yannakakis theorem, `q1 ⊑ u` iff some
+/// disjunct of `u` has a homomorphism into the canonical database of `q1`
+/// mapping head variables to the frozen head of `q1`.  Constants are handled
+/// by freezing them to themselves.
+#[must_use]
+pub fn cq_contained_in_ucq(q1: &ConjunctiveQuery, u: &UnionOfCqs) -> bool {
+    let (canonical, freeze) = q1.canonical_instance();
+    u.disjuncts.iter().any(|q2| {
+        if q2.head.len() != q1.head.len() {
+            return false;
+        }
+        // The homomorphism must send q2's i-th head variable to the frozen
+        // image of q1's i-th head variable.
+        let mut initial = Assignment::new();
+        for (v2, v1) in q2.head.iter().zip(&q1.head) {
+            let Some(frozen) = freeze.get(v1) else {
+                return false;
+            };
+            // If v2 repeats in the head with conflicting targets, there is no
+            // such homomorphism.
+            if let Some(previous) = initial.get(v2) {
+                if previous != frozen {
+                    return false;
+                }
+            }
+            initial.insert(v2.clone(), frozen.clone());
+        }
+        q2.find_homomorphism(&canonical, &initial).is_some()
+    })
+}
+
+/// True if `u1 ⊑ u2`: every disjunct of `u1` is contained in `u2`.
+#[must_use]
+pub fn ucq_contained_in_ucq(u1: &UnionOfCqs, u2: &UnionOfCqs) -> bool {
+    u1.disjuncts.iter().all(|q| cq_contained_in_ucq(q, u2))
+}
+
+/// True if the two UCQs are equivalent (mutual containment).
+#[must_use]
+pub fn ucq_equivalent(u1: &UnionOfCqs, u2: &UnionOfCqs) -> bool {
+    ucq_contained_in_ucq(u1, u2) && ucq_contained_in_ucq(u2, u1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{atom, cq};
+
+    #[test]
+    fn more_constrained_query_is_contained_in_less_constrained() {
+        // Q1(x) :- R(x,y), S(y)  ⊑  Q2(x) :- R(x,y)
+        let q1 = cq!([x] <- atom!("R"; x, y), atom!("S"; y));
+        let q2 = cq!([x] <- atom!("R"; x, y));
+        assert!(cq_contained_in_cq(&q1, &q2));
+        assert!(!cq_contained_in_cq(&q2, &q1));
+    }
+
+    #[test]
+    fn identical_queries_are_equivalent() {
+        let q = cq!([x] <- atom!("R"; x, y));
+        assert!(cq_contained_in_cq(&q, &q));
+        assert!(ucq_equivalent(
+            &UnionOfCqs::single(q.clone()),
+            &UnionOfCqs::single(q)
+        ));
+    }
+
+    #[test]
+    fn renamed_variables_do_not_matter() {
+        let q1 = cq!([a] <- atom!("R"; a, b));
+        let q2 = cq!([x] <- atom!("R"; x, y));
+        assert!(cq_contained_in_cq(&q1, &q2));
+        assert!(cq_contained_in_cq(&q2, &q1));
+    }
+
+    #[test]
+    fn constants_constrain_containment() {
+        // Q1(x) :- R(x, "c")  ⊑  Q2(x) :- R(x, y), but not vice versa.
+        let q1 = cq!([x] <- atom!("R"; x, @"c"));
+        let q2 = cq!([x] <- atom!("R"; x, y));
+        assert!(cq_contained_in_cq(&q1, &q2));
+        assert!(!cq_contained_in_cq(&q2, &q1));
+
+        // Containment between queries with different constants fails.
+        let q3 = cq!([x] <- atom!("R"; x, @"d"));
+        assert!(!cq_contained_in_cq(&q1, &q3));
+        assert!(!cq_contained_in_cq(&q3, &q1));
+    }
+
+    #[test]
+    fn head_mapping_is_respected() {
+        // Q1(x, y) :- R(x, y) is not contained in Q2(x, y) :- R(y, x).
+        let q1 = cq!([x, y] <- atom!("R"; x, y));
+        let q2 = cq!([x, y] <- atom!("R"; y, x));
+        assert!(!cq_contained_in_cq(&q1, &q2));
+        // But the "swap" query is contained in itself.
+        assert!(cq_contained_in_cq(&q2, &q2));
+    }
+
+    #[test]
+    fn differing_head_arity_is_never_contained() {
+        let q1 = cq!([x] <- atom!("R"; x, y));
+        let q2 = cq!([x, y] <- atom!("R"; x, y));
+        assert!(!cq_contained_in_cq(&q1, &q2));
+    }
+
+    #[test]
+    fn cq_in_ucq_uses_any_disjunct() {
+        let q = cq!([x] <- atom!("S"; x));
+        let u = UnionOfCqs::new(vec![
+            cq!([x] <- atom!("R"; x)),
+            cq!([x] <- atom!("S"; x)),
+        ]);
+        assert!(cq_contained_in_ucq(&q, &u));
+        let u_without = UnionOfCqs::new(vec![cq!([x] <- atom!("R"; x))]);
+        assert!(!cq_contained_in_ucq(&q, &u_without));
+    }
+
+    #[test]
+    fn ucq_containment_requires_all_disjuncts() {
+        let u1 = UnionOfCqs::new(vec![
+            cq!([x] <- atom!("R"; x)),
+            cq!([x] <- atom!("S"; x)),
+        ]);
+        let u2 = UnionOfCqs::new(vec![
+            cq!([x] <- atom!("R"; x)),
+            cq!([x] <- atom!("S"; x)),
+            cq!([x] <- atom!("T"; x)),
+        ]);
+        assert!(ucq_contained_in_ucq(&u1, &u2));
+        assert!(!ucq_contained_in_ucq(&u2, &u1));
+    }
+
+    #[test]
+    fn boolean_query_containment() {
+        let q1 = cq!(<- atom!("R"; x, x));
+        let q2 = cq!(<- atom!("R"; x, y));
+        assert!(cq_contained_in_cq(&q1, &q2));
+        assert!(!cq_contained_in_cq(&q2, &q1));
+    }
+
+    #[test]
+    fn repeated_head_variable() {
+        // Q1(x, x) :- R(x, x) ⊑ Q2(x, y) :- R(x, y); the reverse fails.
+        let q1 = ConjunctiveQuery::with_head(vec!["x", "x"], vec![atom!("R"; x, x)]);
+        let q2 = cq!([x, y] <- atom!("R"; x, y));
+        assert!(cq_contained_in_cq(&q1, &q2));
+        assert!(!cq_contained_in_cq(&q2, &q1));
+    }
+
+    #[test]
+    fn containment_in_empty_union_is_false() {
+        let q = cq!([x] <- atom!("R"; x));
+        assert!(!cq_contained_in_ucq(&q, &UnionOfCqs::default()));
+    }
+}

@@ -1,0 +1,448 @@
+//! Conjunctive queries: evaluation, homomorphisms, canonical databases.
+//!
+//! Conjunctive queries (CQs) are the paper's basic query class: query
+//! containment under access patterns (Example 2.2), long-term relevance
+//! (Example 2.3) and the canonical-database arguments behind the Boundedness
+//! Lemma (Lemma 4.13) all manipulate CQs through homomorphisms.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::atom::Atom;
+use crate::error::RelationalError;
+use crate::instance::Instance;
+use crate::term::Term;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use crate::Result;
+
+/// A variable assignment: variable name → value.
+pub type Assignment = BTreeMap<String, Value>;
+
+/// A conjunctive query.
+///
+/// The `head` lists the distinguished (free) variables; a query with an empty
+/// head is a boolean query.  All other variables are implicitly existentially
+/// quantified.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ConjunctiveQuery {
+    /// The distinguished variables (free variables of the query).
+    pub head: Vec<String>,
+    /// The body atoms, implicitly conjoined.
+    pub atoms: Vec<Atom>,
+}
+
+impl ConjunctiveQuery {
+    /// Creates a boolean conjunctive query.
+    #[must_use]
+    pub fn boolean(atoms: Vec<Atom>) -> Self {
+        ConjunctiveQuery {
+            head: Vec::new(),
+            atoms,
+        }
+    }
+
+    /// Creates a conjunctive query with distinguished variables.
+    #[must_use]
+    pub fn with_head(head: Vec<impl Into<String>>, atoms: Vec<Atom>) -> Self {
+        ConjunctiveQuery {
+            head: head.into_iter().map(Into::into).collect(),
+            atoms,
+        }
+    }
+
+    /// True if the query has no distinguished variables.
+    #[must_use]
+    pub fn is_boolean(&self) -> bool {
+        self.head.is_empty()
+    }
+
+    /// The set of all variables occurring in the body.
+    #[must_use]
+    pub fn body_variables(&self) -> BTreeSet<String> {
+        self.atoms.iter().flat_map(|a| a.variables()).collect()
+    }
+
+    /// The set of constants occurring in the body.
+    #[must_use]
+    pub fn constants(&self) -> BTreeSet<Value> {
+        self.atoms.iter().flat_map(|a| a.constants()).collect()
+    }
+
+    /// The relation names mentioned by the query.
+    #[must_use]
+    pub fn relations(&self) -> BTreeSet<String> {
+        self.atoms.iter().map(|a| a.predicate.clone()).collect()
+    }
+
+    /// Checks the query is safe: every head variable occurs in the body.
+    ///
+    /// # Errors
+    /// Returns [`RelationalError::MalformedQuery`] naming the offending
+    /// variable.
+    pub fn validate(&self) -> Result<()> {
+        let body_vars = self.body_variables();
+        for v in &self.head {
+            if !body_vars.contains(v) {
+                return Err(RelationalError::MalformedQuery(format!(
+                    "head variable `{v}` does not occur in the body"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// The total number of atoms (a standard size measure).
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Renames every variable of the query (head and body) with `f`.
+    #[must_use]
+    pub fn rename_vars(&self, f: &dyn Fn(&str) -> String) -> ConjunctiveQuery {
+        ConjunctiveQuery {
+            head: self.head.iter().map(|v| f(v)).collect(),
+            atoms: self.atoms.iter().map(|a| a.rename_vars(f)).collect(),
+        }
+    }
+
+    /// Renames every predicate of the query with `f` (used to build the
+    /// `Q^pre`/`Q^post` variants of Section 2).
+    #[must_use]
+    pub fn rename_predicates(&self, f: &dyn Fn(&str) -> String) -> ConjunctiveQuery {
+        ConjunctiveQuery {
+            head: self.head.clone(),
+            atoms: self
+                .atoms
+                .iter()
+                .map(|a| a.with_predicate(f(&a.predicate)))
+                .collect(),
+        }
+    }
+
+    /// Evaluates the query on an instance, returning the set of head-variable
+    /// bindings projected as tuples.  A boolean query returns either the empty
+    /// set or the singleton set containing the empty tuple.
+    #[must_use]
+    pub fn evaluate(&self, instance: &Instance) -> BTreeSet<Tuple> {
+        let mut results = BTreeSet::new();
+        for_each_homomorphism(&self.atoms, instance, &Assignment::new(), &mut |assignment| {
+            let tuple: Tuple = self
+                .head
+                .iter()
+                .map(|v| {
+                    assignment
+                        .get(v)
+                        .cloned()
+                        .expect("validated query: head variables are bound by the body")
+                })
+                .collect();
+            results.insert(tuple);
+            // Keep enumerating: we want all answers.
+            false
+        });
+        results
+    }
+
+    /// True if the (boolean) query holds on the instance.  For a non-boolean
+    /// query this means "has at least one answer".
+    #[must_use]
+    pub fn holds(&self, instance: &Instance) -> bool {
+        exists_homomorphism(&self.atoms, instance, &Assignment::new())
+    }
+
+    /// Finds one homomorphism from the query body into the instance extending
+    /// the given partial assignment, if any.
+    #[must_use]
+    pub fn find_homomorphism(
+        &self,
+        instance: &Instance,
+        initial: &Assignment,
+    ) -> Option<Assignment> {
+        let mut found = None;
+        for_each_homomorphism(&self.atoms, instance, initial, &mut |assignment| {
+            found = Some(assignment.clone());
+            true
+        });
+        found
+    }
+
+    /// The canonical database (frozen body) of the query together with the
+    /// freezing assignment variable → frozen constant.
+    ///
+    /// Constants in the query are kept as themselves; every variable `x` is
+    /// frozen to a distinct labelled value that cannot collide with ordinary
+    /// values.
+    #[must_use]
+    pub fn canonical_instance(&self) -> (Instance, Assignment) {
+        let mut freeze = Assignment::new();
+        for (i, var) in self.body_variables().iter().enumerate() {
+            freeze.insert(var.clone(), frozen_value(var, i));
+        }
+        let mut instance = Instance::new();
+        for atom in &self.atoms {
+            let tuple: Tuple = atom
+                .terms
+                .iter()
+                .map(|t| match t {
+                    Term::Var(v) => freeze[v].clone(),
+                    Term::Const(c) => c.clone(),
+                })
+                .collect();
+            instance.add_fact(atom.predicate.clone(), tuple);
+        }
+        (instance, freeze)
+    }
+}
+
+/// The frozen constant representing variable `var` in a canonical database.
+#[must_use]
+pub fn frozen_value(var: &str, index: usize) -> Value {
+    Value::Str(format!("\u{2744}{index}_{var}"))
+}
+
+impl fmt::Display for ConjunctiveQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Q(")?;
+        for (i, v) in self.head.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ") :- ")?;
+        for (i, a) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Enumerates homomorphisms from `atoms` into `instance` extending `initial`.
+///
+/// The callback is invoked once per homomorphism; returning `true` stops the
+/// enumeration early (used by existence checks).
+pub fn for_each_homomorphism(
+    atoms: &[Atom],
+    instance: &Instance,
+    initial: &Assignment,
+    callback: &mut dyn FnMut(&Assignment) -> bool,
+) {
+    let mut assignment = initial.clone();
+    // Order atoms so that the most constrained (fewest candidate tuples) come
+    // first; a cheap heuristic that materially helps on larger instances.
+    let mut order: Vec<&Atom> = atoms.iter().collect();
+    order.sort_by_key(|a| instance.relation_size(&a.predicate));
+    search(&order, 0, instance, &mut assignment, callback);
+}
+
+fn search(
+    atoms: &[&Atom],
+    index: usize,
+    instance: &Instance,
+    assignment: &mut Assignment,
+    callback: &mut dyn FnMut(&Assignment) -> bool,
+) -> bool {
+    if index == atoms.len() {
+        return callback(assignment);
+    }
+    let atom = atoms[index];
+    let candidates: Vec<&Tuple> = instance.tuples(&atom.predicate).collect();
+    'tuples: for tuple in candidates {
+        if tuple.arity() != atom.arity() {
+            continue;
+        }
+        let mut newly_bound: Vec<String> = Vec::new();
+        for (term, value) in atom.terms.iter().zip(tuple.values()) {
+            match term {
+                Term::Const(c) => {
+                    if c != value {
+                        undo(assignment, &newly_bound);
+                        continue 'tuples;
+                    }
+                }
+                Term::Var(v) => match assignment.get(v) {
+                    Some(bound) => {
+                        if bound != value {
+                            undo(assignment, &newly_bound);
+                            continue 'tuples;
+                        }
+                    }
+                    None => {
+                        assignment.insert(v.clone(), value.clone());
+                        newly_bound.push(v.clone());
+                    }
+                },
+            }
+        }
+        if search(atoms, index + 1, instance, assignment, callback) {
+            return true;
+        }
+        undo(assignment, &newly_bound);
+    }
+    false
+}
+
+fn undo(assignment: &mut Assignment, newly_bound: &[String]) {
+    for v in newly_bound {
+        assignment.remove(v);
+    }
+}
+
+/// True if there is a homomorphism from `atoms` into `instance` extending
+/// `initial`.
+#[must_use]
+pub fn exists_homomorphism(atoms: &[Atom], instance: &Instance, initial: &Assignment) -> bool {
+    let mut found = false;
+    for_each_homomorphism(atoms, instance, initial, &mut |_| {
+        found = true;
+        true
+    });
+    found
+}
+
+/// Macro building a [`ConjunctiveQuery`]: `cq!([x, y] <- atom1, atom2)` for a
+/// query with head variables, or `cq!(<- atom1, atom2)` for a boolean query.
+///
+/// ```
+/// use accltl_relational::{atom, cq};
+/// let q = cq!([n] <- atom!("Address"; s, p, n, h));
+/// assert_eq!(q.head, vec!["n".to_string()]);
+/// let b = cq!(<- atom!("Mobile#"; n, p, s, ph));
+/// assert!(b.is_boolean());
+/// ```
+#[macro_export]
+macro_rules! cq {
+    ([$($h:ident),* $(,)?] <- $($a:expr),+ $(,)?) => {
+        $crate::ConjunctiveQuery::with_head(vec![$(stringify!($h)),*], vec![$($a),+])
+    };
+    (<- $($a:expr),+ $(,)?) => {
+        $crate::ConjunctiveQuery::boolean(vec![$($a),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{atom, tuple};
+
+    fn directory_instance() -> Instance {
+        let mut inst = Instance::new();
+        inst.add_fact("Mobile#", tuple!["Smith", "OX13QD", "Parks Rd", 5551212]);
+        inst.add_fact("Address", tuple!["Parks Rd", "OX13QD", "Smith", 13]);
+        inst.add_fact("Address", tuple!["Parks Rd", "OX13QD", "Jones", 16]);
+        inst
+    }
+
+    #[test]
+    fn boolean_query_evaluation() {
+        let inst = directory_instance();
+        let q = cq!(<- atom!("Address"; s, p, @"Jones", h));
+        assert!(q.holds(&inst));
+        let q_missing = cq!(<- atom!("Address"; s, p, @"Nobody", h));
+        assert!(!q_missing.holds(&inst));
+    }
+
+    #[test]
+    fn query_with_head_projects_answers() {
+        let inst = directory_instance();
+        let q = cq!([n] <- atom!("Address"; s, p, n, h));
+        let answers = q.evaluate(&inst);
+        assert_eq!(answers.len(), 2);
+        assert!(answers.contains(&tuple!["Smith"]));
+        assert!(answers.contains(&tuple!["Jones"]));
+    }
+
+    #[test]
+    fn join_across_relations() {
+        let inst = directory_instance();
+        // Names that have both a mobile entry and an address entry.
+        let q = cq!([n] <-
+            atom!("Mobile#"; n, p, s, ph),
+            atom!("Address"; s2, p2, n, h));
+        let answers = q.evaluate(&inst);
+        assert_eq!(answers.len(), 1);
+        assert!(answers.contains(&tuple!["Smith"]));
+    }
+
+    #[test]
+    fn join_variable_forces_agreement() {
+        let mut inst = Instance::new();
+        inst.add_fact("R", tuple!["a", "b"]);
+        inst.add_fact("S", tuple!["c", "d"]);
+        let q = cq!(<- atom!("R"; x, y), atom!("S"; y, z));
+        assert!(!q.holds(&inst));
+        inst.add_fact("S", tuple!["b", "d"]);
+        assert!(q.holds(&inst));
+    }
+
+    #[test]
+    fn validation_detects_unsafe_head() {
+        let ok = cq!([x] <- atom!("R"; x, y));
+        assert!(ok.validate().is_ok());
+        let bad = ConjunctiveQuery::with_head(vec!["z"], vec![atom!("R"; x, y)]);
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn canonical_instance_freezes_variables_and_keeps_constants() {
+        let q = cq!(<- atom!("R"; x, @"c"), atom!("S"; x, y));
+        let (canon, freeze) = q.canonical_instance();
+        assert_eq!(canon.fact_count(), 2);
+        assert_eq!(freeze.len(), 2);
+        // The query itself maps homomorphically into its canonical database.
+        assert!(q.holds(&canon));
+        // The constant survives freezing.
+        assert!(canon
+            .tuples("R")
+            .any(|t| t.get(1) == Some(&Value::str("c"))));
+    }
+
+    #[test]
+    fn find_homomorphism_respects_initial_assignment() {
+        let inst = directory_instance();
+        let q = cq!([n] <- atom!("Address"; s, p, n, h));
+        let mut fixed = Assignment::new();
+        fixed.insert("n".to_owned(), Value::str("Jones"));
+        let hom = q.find_homomorphism(&inst, &fixed).unwrap();
+        assert_eq!(hom["n"], Value::str("Jones"));
+        assert_eq!(hom["h"], Value::Int(16));
+
+        fixed.insert("n".to_owned(), Value::str("Nobody"));
+        assert!(q.find_homomorphism(&inst, &fixed).is_none());
+    }
+
+    #[test]
+    fn rename_predicates_builds_pre_variant() {
+        let q = cq!(<- atom!("Address"; s, p, n, h));
+        let pre = q.rename_predicates(&|r| format!("{r}_pre"));
+        assert_eq!(pre.atoms[0].predicate, "Address_pre");
+    }
+
+    #[test]
+    fn evaluation_on_empty_instance_is_empty() {
+        let q = cq!([x] <- atom!("R"; x));
+        assert!(q.evaluate(&Instance::new()).is_empty());
+        assert!(!q.holds(&Instance::new()));
+    }
+
+    #[test]
+    fn duplicate_variable_in_atom_requires_equal_columns() {
+        let mut inst = Instance::new();
+        inst.add_fact("R", tuple!["a", "b"]);
+        let q = cq!(<- atom!("R"; x, x));
+        assert!(!q.holds(&inst));
+        inst.add_fact("R", tuple!["c", "c"]);
+        assert!(q.holds(&inst));
+    }
+
+    #[test]
+    fn display_is_rule_like() {
+        let q = cq!([x] <- atom!("R"; x, y));
+        assert_eq!(q.to_string(), "Q(x) :- R(x, y)");
+    }
+}

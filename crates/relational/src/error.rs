@@ -1,0 +1,91 @@
+//! Error type shared across the relational substrate.
+
+use std::fmt;
+
+/// Errors produced while building or manipulating relational objects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelationalError {
+    /// A relation name was used that is not declared in the schema.
+    UnknownRelation(String),
+    /// A tuple of the wrong arity was supplied for a relation.
+    ArityMismatch {
+        /// The relation involved.
+        relation: String,
+        /// The declared arity.
+        expected: usize,
+        /// The arity that was supplied.
+        found: usize,
+    },
+    /// A value of the wrong datatype was supplied for a position.
+    TypeMismatch {
+        /// The relation involved.
+        relation: String,
+        /// The 1-based position.
+        position: usize,
+    },
+    /// A position index was out of range for a relation.
+    PositionOutOfRange {
+        /// The relation involved.
+        relation: String,
+        /// The offending 1-based position.
+        position: usize,
+    },
+    /// A relation was declared twice.
+    DuplicateRelation(String),
+    /// A Datalog rule is unsafe (a head variable does not occur in the body).
+    UnsafeRule(String),
+    /// A query or formula is malformed.
+    MalformedQuery(String),
+}
+
+impl fmt::Display for RelationalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelationalError::UnknownRelation(name) => {
+                write!(f, "unknown relation `{name}`")
+            }
+            RelationalError::ArityMismatch {
+                relation,
+                expected,
+                found,
+            } => write!(
+                f,
+                "arity mismatch for `{relation}`: expected {expected}, found {found}"
+            ),
+            RelationalError::TypeMismatch { relation, position } => {
+                write!(f, "type mismatch for `{relation}` at position {position}")
+            }
+            RelationalError::PositionOutOfRange { relation, position } => {
+                write!(f, "position {position} out of range for `{relation}`")
+            }
+            RelationalError::DuplicateRelation(name) => {
+                write!(f, "relation `{name}` declared twice")
+            }
+            RelationalError::UnsafeRule(msg) => write!(f, "unsafe Datalog rule: {msg}"),
+            RelationalError::MalformedQuery(msg) => write!(f, "malformed query: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RelationalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_human_readable_messages() {
+        let e = RelationalError::ArityMismatch {
+            relation: "R".into(),
+            expected: 2,
+            found: 3,
+        };
+        assert!(e.to_string().contains("arity mismatch"));
+        assert!(RelationalError::UnknownRelation("X".into())
+            .to_string()
+            .contains("X"));
+        assert!(RelationalError::UnsafeRule("v not bound".into())
+            .to_string()
+            .contains("unsafe"));
+    }
+}

@@ -1,0 +1,313 @@
+//! Database instances: finite collections of tuples per relation.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use crate::Result;
+
+/// A database instance.
+///
+/// Facts are stored in ordered sets keyed by relation name, so iteration order
+/// (and therefore every algorithm built on top) is deterministic.  An instance
+/// is not tied to a [`Schema`]; validation against a schema is explicit via
+/// [`Instance::validate_against`], because the paper frequently works with
+/// *extended* vocabularies (the `SchAcc` pre/post copies, the Datalog
+/// `Background`/`View` predicates) that are derived from a base schema.
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Instance {
+    facts: BTreeMap<String, BTreeSet<Tuple>>,
+}
+
+impl Instance {
+    /// Creates an empty instance.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a fact. Returns `true` if the fact was not already present.
+    pub fn add_fact(&mut self, relation: impl Into<String>, tuple: Tuple) -> bool {
+        self.facts.entry(relation.into()).or_default().insert(tuple)
+    }
+
+    /// Adds every fact from an iterator of `(relation, tuple)` pairs.
+    pub fn extend_facts(
+        &mut self,
+        facts: impl IntoIterator<Item = (String, Tuple)>,
+    ) {
+        for (rel, tuple) in facts {
+            self.add_fact(rel, tuple);
+        }
+    }
+
+    /// Removes a fact. Returns `true` if it was present.
+    pub fn remove_fact(&mut self, relation: &str, tuple: &Tuple) -> bool {
+        match self.facts.get_mut(relation) {
+            Some(set) => {
+                let removed = set.remove(tuple);
+                if set.is_empty() {
+                    self.facts.remove(relation);
+                }
+                removed
+            }
+            None => false,
+        }
+    }
+
+    /// True if the instance contains the given fact.
+    #[must_use]
+    pub fn contains(&self, relation: &str, tuple: &Tuple) -> bool {
+        self.facts
+            .get(relation)
+            .map_or(false, |set| set.contains(tuple))
+    }
+
+    /// The tuples of a relation (empty slice view when the relation is empty).
+    #[must_use]
+    pub fn relation(&self, relation: &str) -> Option<&BTreeSet<Tuple>> {
+        self.facts.get(relation)
+    }
+
+    /// Iterates over the tuples of a relation (empty iterator when absent).
+    pub fn tuples(&self, relation: &str) -> impl Iterator<Item = &Tuple> {
+        self.facts.get(relation).into_iter().flatten()
+    }
+
+    /// Iterates over all facts as `(relation, tuple)` pairs.
+    pub fn facts(&self) -> impl Iterator<Item = (&str, &Tuple)> {
+        self.facts
+            .iter()
+            .flat_map(|(rel, tuples)| tuples.iter().map(move |t| (rel.as_str(), t)))
+    }
+
+    /// The relation names that have at least one tuple.
+    pub fn nonempty_relations(&self) -> impl Iterator<Item = &str> {
+        self.facts.keys().map(String::as_str)
+    }
+
+    /// The number of facts across all relations.
+    #[must_use]
+    pub fn fact_count(&self) -> usize {
+        self.facts.values().map(BTreeSet::len).sum()
+    }
+
+    /// The number of facts in one relation.
+    #[must_use]
+    pub fn relation_size(&self, relation: &str) -> usize {
+        self.facts.get(relation).map_or(0, BTreeSet::len)
+    }
+
+    /// True if the instance has no facts at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.facts.values().all(BTreeSet::is_empty)
+    }
+
+    /// The active domain: every value appearing in some fact.
+    #[must_use]
+    pub fn active_domain(&self) -> BTreeSet<Value> {
+        let mut dom = BTreeSet::new();
+        for (_, tuple) in self.facts() {
+            dom.extend(tuple.values().iter().cloned());
+        }
+        dom
+    }
+
+    /// True if every fact of `self` is also a fact of `other`.
+    #[must_use]
+    pub fn is_subinstance_of(&self, other: &Instance) -> bool {
+        self.facts().all(|(rel, t)| other.contains(rel, t))
+    }
+
+    /// The union of two instances.
+    #[must_use]
+    pub fn union(&self, other: &Instance) -> Instance {
+        let mut result = self.clone();
+        result.union_in_place(other);
+        result
+    }
+
+    /// Unions `other` into `self`.
+    pub fn union_in_place(&mut self, other: &Instance) {
+        for (rel, tuples) in &other.facts {
+            let entry = self.facts.entry(rel.clone()).or_default();
+            entry.extend(tuples.iter().cloned());
+        }
+    }
+
+    /// The intersection of two instances.
+    #[must_use]
+    pub fn intersection(&self, other: &Instance) -> Instance {
+        let mut result = Instance::new();
+        for (rel, tuple) in self.facts() {
+            if other.contains(rel, tuple) {
+                result.add_fact(rel.to_owned(), tuple.clone());
+            }
+        }
+        result
+    }
+
+    /// Restricts the instance to the given relation names.
+    #[must_use]
+    pub fn restrict_to(&self, relations: &BTreeSet<String>) -> Instance {
+        let mut result = Instance::new();
+        for (rel, tuples) in &self.facts {
+            if relations.contains(rel) {
+                result.facts.insert(rel.clone(), tuples.clone());
+            }
+        }
+        result
+    }
+
+    /// Renames relations according to `rename` (unlisted relations keep their
+    /// name).  Used to build the `Rpre`/`Rpost` copies of the `SchAcc`
+    /// vocabulary.
+    #[must_use]
+    pub fn rename_relations(&self, rename: &dyn Fn(&str) -> String) -> Instance {
+        let mut result = Instance::new();
+        for (rel, tuples) in &self.facts {
+            let new_name = rename(rel);
+            let entry = result.facts.entry(new_name).or_default();
+            entry.extend(tuples.iter().cloned());
+        }
+        result
+    }
+
+    /// Applies a value substitution to every fact (used by the chase when a
+    /// labelled null is equated with another value).
+    #[must_use]
+    pub fn map_values(&self, f: &dyn Fn(&Value) -> Value) -> Instance {
+        let mut result = Instance::new();
+        for (rel, tuple) in self.facts() {
+            result.add_fact(rel.to_owned(), tuple.map_values(f));
+        }
+        result
+    }
+
+    /// Validates every fact against a schema (arity and types).
+    ///
+    /// # Errors
+    /// Returns the first violation found, or an error for a relation not in
+    /// the schema.
+    pub fn validate_against(&self, schema: &Schema) -> Result<()> {
+        for (rel, tuple) in self.facts() {
+            let rel_schema = schema.require_relation(rel)?;
+            rel_schema.validate_tuple(tuple)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "∅");
+        }
+        let mut first = true;
+        for (rel, tuple) in self.facts() {
+            if !first {
+                writeln!(f)?;
+            }
+            first = false;
+            write!(f, "{rel}{tuple}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<(String, Tuple)> for Instance {
+    fn from_iter<T: IntoIterator<Item = (String, Tuple)>>(iter: T) -> Self {
+        let mut inst = Instance::new();
+        inst.extend_facts(iter);
+        inst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{phone_directory_schema, RelationSchema, Schema};
+    use crate::tuple;
+    use crate::value::DataType;
+
+    fn sample() -> Instance {
+        let mut inst = Instance::new();
+        inst.add_fact("Mobile#", tuple!["Smith", "OX13QD", "Parks Rd", 5551212]);
+        inst.add_fact("Address", tuple!["Parks Rd", "OX13QD", "Smith", 13]);
+        inst.add_fact("Address", tuple!["Parks Rd", "OX13QD", "Jones", 16]);
+        inst
+    }
+
+    #[test]
+    fn add_contains_remove_roundtrip() {
+        let mut inst = Instance::new();
+        let t = tuple!["a", 1];
+        assert!(inst.add_fact("R", t.clone()));
+        assert!(!inst.add_fact("R", t.clone()));
+        assert!(inst.contains("R", &t));
+        assert_eq!(inst.fact_count(), 1);
+        assert!(inst.remove_fact("R", &t));
+        assert!(!inst.remove_fact("R", &t));
+        assert!(inst.is_empty());
+    }
+
+    #[test]
+    fn union_and_intersection_behave_set_theoretically() {
+        let a = sample();
+        let mut b = Instance::new();
+        b.add_fact("Address", tuple!["Parks Rd", "OX13QD", "Smith", 13]);
+        b.add_fact("Extra", tuple![1]);
+
+        let u = a.union(&b);
+        assert_eq!(u.fact_count(), 4);
+        assert!(b.is_subinstance_of(&u));
+        assert!(a.is_subinstance_of(&u));
+
+        let i = a.intersection(&b);
+        assert_eq!(i.fact_count(), 1);
+        assert!(i.contains("Address", &tuple!["Parks Rd", "OX13QD", "Smith", 13]));
+    }
+
+    #[test]
+    fn active_domain_collects_all_values() {
+        let dom = sample().active_domain();
+        assert!(dom.contains(&Value::str("Smith")));
+        assert!(dom.contains(&Value::Int(16)));
+        // Distinct values: Smith, Jones, OX13QD, Parks Rd, 5551212, 13, 16.
+        assert_eq!(dom.len(), 7);
+    }
+
+    #[test]
+    fn restriction_and_renaming() {
+        let inst = sample();
+        let only_address =
+            inst.restrict_to(&BTreeSet::from(["Address".to_owned()]));
+        assert_eq!(only_address.relation_size("Address"), 2);
+        assert_eq!(only_address.relation_size("Mobile#"), 0);
+
+        let renamed = inst.rename_relations(&|r| format!("{r}_pre"));
+        assert_eq!(renamed.relation_size("Address_pre"), 2);
+        assert_eq!(renamed.relation_size("Address"), 0);
+    }
+
+    #[test]
+    fn validation_against_schema() {
+        let inst = sample();
+        assert!(inst.validate_against(&phone_directory_schema()).is_ok());
+
+        let bad_schema = Schema::from_relations([
+            RelationSchema::new("Mobile#", vec![DataType::Text; 4]),
+            RelationSchema::new("Address", vec![DataType::Text; 3]),
+        ])
+        .unwrap();
+        assert!(inst.validate_against(&bad_schema).is_err());
+    }
+
+    #[test]
+    fn display_of_empty_instance_is_empty_set_symbol() {
+        assert_eq!(Instance::new().to_string(), "∅");
+    }
+}

@@ -1,0 +1,67 @@
+//! # accltl-relational
+//!
+//! The relational and query-theory substrate for the `accltl` workspace, a
+//! reproduction of *"Querying Schemas With Access Restrictions"* (Benedikt,
+//! Bourhis, Ley; VLDB 2012).
+//!
+//! The paper's specification languages and automata are interpreted over
+//! relational structures, and its decision procedures bottom out in classical
+//! database-theory machinery.  This crate provides all of it, from scratch:
+//!
+//! * values, types, relation schemas and instances ([`value`], [`schema`],
+//!   [`tuple`], [`instance`]);
+//! * conjunctive queries, unions of conjunctive queries and positive
+//!   existential first-order formulas, with evaluation, homomorphisms and
+//!   canonical databases ([`cq`], [`ucq`]);
+//! * conjunctive queries with inequalities, used by the paper's Section 5
+//!   extensions ([`inequality`]);
+//! * query containment for CQs and UCQs ([`containment`]);
+//! * integrity constraints — functional dependencies, inclusion dependencies
+//!   and disjointness constraints — together with the chase ([`constraints`],
+//!   [`chase`]);
+//! * a Datalog engine with semi-naive evaluation ([`datalog`]) and the
+//!   containment test of a Datalog program in a positive query used by the
+//!   paper's A-automaton emptiness reduction ([`datalog_containment`]).
+//!
+//! Everything is deterministic: collections are ordered (`BTreeMap`/`BTreeSet`)
+//! so that repeated runs, tests and benchmarks produce identical results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod atom;
+pub mod chase;
+pub mod constraints;
+pub mod containment;
+pub mod cq;
+pub mod datalog;
+pub mod datalog_containment;
+pub mod error;
+pub mod inequality;
+pub mod instance;
+pub mod schema;
+pub mod term;
+pub mod tuple;
+pub mod ucq;
+pub mod value;
+
+pub use atom::Atom;
+pub use chase::{chase, ChaseConfig, ChaseOutcome};
+pub use constraints::{
+    Constraint, DisjointnessConstraint, FunctionalDependency, InclusionDependency,
+};
+pub use containment::{cq_contained_in_cq, cq_contained_in_ucq, ucq_contained_in_ucq};
+pub use cq::ConjunctiveQuery;
+pub use datalog::{DatalogProgram, DatalogRule};
+pub use datalog_containment::{datalog_contained_in_ucq, ContainmentVerdict, UnfoldingConfig};
+pub use error::RelationalError;
+pub use inequality::InequalityCq;
+pub use instance::Instance;
+pub use schema::{RelationSchema, Schema};
+pub use term::Term;
+pub use tuple::Tuple;
+pub use ucq::{PosFormula, UnionOfCqs};
+pub use value::{DataType, Value};
+
+/// Result alias used across the crate.
+pub type Result<T> = std::result::Result<T, RelationalError>;

@@ -1,0 +1,288 @@
+//! Relation schemas and database schemas.
+//!
+//! A schema (paper, Section 2) is a set of relations, each mapping positions
+//! `1..n_i` to datatypes.  Access methods live one level up, in the
+//! `accltl-paths` crate; this module only knows about the purely relational
+//! part.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::error::RelationalError;
+use crate::tuple::Tuple;
+use crate::value::DataType;
+use crate::Result;
+
+/// The schema of a single relation: a name plus a datatype per position.
+///
+/// Positions are 1-based in the paper; internally we index from 0 and expose
+/// helpers that keep the two views consistent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelationSchema {
+    name: String,
+    column_types: Vec<DataType>,
+}
+
+impl RelationSchema {
+    /// Creates a relation schema with the given name and column types.
+    #[must_use]
+    pub fn new(name: impl Into<String>, column_types: Vec<DataType>) -> Self {
+        Self {
+            name: name.into(),
+            column_types,
+        }
+    }
+
+    /// Creates a relation schema whose positions are all of type `Text`.
+    ///
+    /// The paper's examples (phone directory, dependency gadgets) are
+    /// homogeneous, so this is the most common constructor in practice.
+    #[must_use]
+    pub fn text(name: impl Into<String>, arity: usize) -> Self {
+        Self::new(name, vec![DataType::Text; arity])
+    }
+
+    /// The relation name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The arity (number of positions).
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.column_types.len()
+    }
+
+    /// The declared column types, in position order.
+    #[must_use]
+    pub fn column_types(&self) -> &[DataType] {
+        &self.column_types
+    }
+
+    /// Checks that a tuple matches this relation's arity and column types.
+    ///
+    /// Labelled nulls (see [`crate::value::Value::is_labelled_null`]) are
+    /// accepted at any position regardless of the declared type, because the
+    /// chase introduces them as typed placeholders.
+    pub fn validate_tuple(&self, tuple: &Tuple) -> Result<()> {
+        if tuple.arity() != self.arity() {
+            return Err(RelationalError::ArityMismatch {
+                relation: self.name.clone(),
+                expected: self.arity(),
+                found: tuple.arity(),
+            });
+        }
+        for (i, (value, ty)) in tuple.values().iter().zip(&self.column_types).enumerate() {
+            if value.is_labelled_null() {
+                continue;
+            }
+            if value.data_type() != *ty {
+                return Err(RelationalError::TypeMismatch {
+                    relation: self.name.clone(),
+                    position: i + 1,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for RelationSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, ty) in self.column_types.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{ty}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A database schema: a collection of named relation schemas.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Schema {
+    relations: BTreeMap<String, RelationSchema>,
+}
+
+impl Schema {
+    /// Creates an empty schema.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a schema from an iterator of relation schemas.
+    ///
+    /// # Errors
+    /// Returns [`RelationalError::DuplicateRelation`] if two relations share a
+    /// name.
+    pub fn from_relations(relations: impl IntoIterator<Item = RelationSchema>) -> Result<Self> {
+        let mut schema = Self::new();
+        for rel in relations {
+            schema.add_relation(rel)?;
+        }
+        Ok(schema)
+    }
+
+    /// Adds a relation to the schema.
+    ///
+    /// # Errors
+    /// Returns [`RelationalError::DuplicateRelation`] if the name is taken.
+    pub fn add_relation(&mut self, relation: RelationSchema) -> Result<()> {
+        if self.relations.contains_key(relation.name()) {
+            return Err(RelationalError::DuplicateRelation(
+                relation.name().to_owned(),
+            ));
+        }
+        self.relations
+            .insert(relation.name().to_owned(), relation);
+        Ok(())
+    }
+
+    /// Looks up a relation by name.
+    #[must_use]
+    pub fn relation(&self, name: &str) -> Option<&RelationSchema> {
+        self.relations.get(name)
+    }
+
+    /// Looks up a relation by name, failing with an error when absent.
+    pub fn require_relation(&self, name: &str) -> Result<&RelationSchema> {
+        self.relation(name)
+            .ok_or_else(|| RelationalError::UnknownRelation(name.to_owned()))
+    }
+
+    /// Iterates over the relations in name order.
+    pub fn relations(&self) -> impl Iterator<Item = &RelationSchema> {
+        self.relations.values()
+    }
+
+    /// The relation names, in order.
+    pub fn relation_names(&self) -> impl Iterator<Item = &str> {
+        self.relations.keys().map(String::as_str)
+    }
+
+    /// The number of relations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// True if the schema has no relations.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// Total arity across all relations (a convenient size measure used by the
+    /// complexity benchmarks).
+    #[must_use]
+    pub fn total_arity(&self) -> usize {
+        self.relations.values().map(RelationSchema::arity).sum()
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, rel) in self.relations().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{rel}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Builds the phone-directory schema from the paper's introduction:
+/// `Mobile#(name, postcode, street, phoneno)` and
+/// `Address(street, postcode, name, houseno)`.
+#[must_use]
+pub fn phone_directory_schema() -> Schema {
+    Schema::from_relations([
+        RelationSchema::new(
+            "Mobile#",
+            vec![
+                DataType::Text,
+                DataType::Text,
+                DataType::Text,
+                DataType::Integer,
+            ],
+        ),
+        RelationSchema::new(
+            "Address",
+            vec![
+                DataType::Text,
+                DataType::Text,
+                DataType::Text,
+                DataType::Integer,
+            ],
+        ),
+    ])
+    .expect("phone directory schema is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn relation_schema_reports_shape() {
+        let rel = RelationSchema::text("R", 3);
+        assert_eq!(rel.name(), "R");
+        assert_eq!(rel.arity(), 3);
+        assert_eq!(rel.column_types(), &[DataType::Text; 3]);
+        assert_eq!(rel.to_string(), "R(text, text, text)");
+    }
+
+    #[test]
+    fn tuple_validation_checks_arity_and_types() {
+        let rel = RelationSchema::new("R", vec![DataType::Text, DataType::Integer]);
+        assert!(rel
+            .validate_tuple(&Tuple::new(vec![Value::str("a"), Value::Int(1)]))
+            .is_ok());
+        assert!(matches!(
+            rel.validate_tuple(&Tuple::new(vec![Value::str("a")])),
+            Err(RelationalError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            rel.validate_tuple(&Tuple::new(vec![Value::Int(1), Value::Int(1)])),
+            Err(RelationalError::TypeMismatch { position: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn labelled_nulls_pass_type_validation() {
+        let rel = RelationSchema::new("R", vec![DataType::Integer]);
+        assert!(rel
+            .validate_tuple(&Tuple::new(vec![Value::labelled_null(3)]))
+            .is_ok());
+    }
+
+    #[test]
+    fn schema_rejects_duplicates_and_resolves_names() {
+        let mut schema = Schema::new();
+        schema.add_relation(RelationSchema::text("R", 2)).unwrap();
+        assert!(matches!(
+            schema.add_relation(RelationSchema::text("R", 4)),
+            Err(RelationalError::DuplicateRelation(_))
+        ));
+        assert!(schema.relation("R").is_some());
+        assert!(schema.relation("S").is_none());
+        assert!(schema.require_relation("S").is_err());
+        assert_eq!(schema.len(), 1);
+        assert!(!schema.is_empty());
+    }
+
+    #[test]
+    fn phone_directory_schema_matches_paper() {
+        let schema = phone_directory_schema();
+        assert_eq!(schema.len(), 2);
+        assert_eq!(schema.require_relation("Mobile#").unwrap().arity(), 4);
+        assert_eq!(schema.require_relation("Address").unwrap().arity(), 4);
+        assert_eq!(schema.total_arity(), 8);
+    }
+}

@@ -1,0 +1,163 @@
+//! Terms: variables and constants appearing in query atoms.
+
+use std::fmt;
+
+use crate::value::Value;
+
+/// A term in a query atom: either a variable (identified by name) or a
+/// constant value.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Term {
+    /// A first-order variable.
+    Var(String),
+    /// A constant value.
+    Const(Value),
+}
+
+impl Term {
+    /// Convenience constructor for variables.
+    #[must_use]
+    pub fn var(name: impl Into<String>) -> Self {
+        Term::Var(name.into())
+    }
+
+    /// Convenience constructor for constants.
+    #[must_use]
+    pub fn constant(value: impl Into<Value>) -> Self {
+        Term::Const(value.into())
+    }
+
+    /// Returns the variable name if this term is a variable.
+    #[must_use]
+    pub fn as_var(&self) -> Option<&str> {
+        match self {
+            Term::Var(name) => Some(name),
+            Term::Const(_) => None,
+        }
+    }
+
+    /// Returns the constant value if this term is a constant.
+    #[must_use]
+    pub fn as_const(&self) -> Option<&Value> {
+        match self {
+            Term::Var(_) => None,
+            Term::Const(v) => Some(v),
+        }
+    }
+
+    /// True if the term is a variable.
+    #[must_use]
+    pub fn is_var(&self) -> bool {
+        matches!(self, Term::Var(_))
+    }
+
+    /// Renames the variable (if any) using the provided function.
+    #[must_use]
+    pub fn rename_var(&self, f: &dyn Fn(&str) -> String) -> Term {
+        match self {
+            Term::Var(name) => Term::Var(f(name)),
+            Term::Const(v) => Term::Const(v.clone()),
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(name) => write!(f, "{name}"),
+            Term::Const(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<Value> for Term {
+    fn from(v: Value) -> Self {
+        Term::Const(v)
+    }
+}
+
+/// Convenience macro building a `Vec<Term>` where bare identifiers become
+/// variables and `@expr` becomes a constant.
+///
+/// ```
+/// use accltl_relational::{terms, Term, Value};
+/// let ts = terms![x, y, @"Jones", @7];
+/// assert_eq!(ts[0], Term::var("x"));
+/// assert_eq!(ts[2], Term::Const(Value::str("Jones")));
+/// assert_eq!(ts[3], Term::Const(Value::Int(7)));
+/// ```
+#[macro_export]
+macro_rules! terms {
+    () => { Vec::<$crate::Term>::new() };
+    ($($rest:tt)+) => {{
+        let mut __terms: Vec<$crate::Term> = Vec::new();
+        $crate::terms_push!(__terms; $($rest)+);
+        __terms
+    }};
+}
+
+/// Internal helper for [`terms!`]; not intended for direct use.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! terms_push {
+    ($v:ident;) => {};
+    ($v:ident; @ $c:expr, $($rest:tt)*) => {
+        $v.push($crate::Term::Const($crate::Value::from($c)));
+        $crate::terms_push!($v; $($rest)*);
+    };
+    ($v:ident; @ $c:expr) => {
+        $v.push($crate::Term::Const($crate::Value::from($c)));
+    };
+    ($v:ident; $x:ident, $($rest:tt)*) => {
+        $v.push($crate::Term::var(stringify!($x)));
+        $crate::terms_push!($v; $($rest)*);
+    };
+    ($v:ident; $x:ident) => {
+        $v.push($crate::Term::var(stringify!($x)));
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        let v = Term::var("x");
+        let c = Term::constant("Jones");
+        assert!(v.is_var());
+        assert!(!c.is_var());
+        assert_eq!(v.as_var(), Some("x"));
+        assert_eq!(c.as_const(), Some(&Value::str("Jones")));
+        assert_eq!(v.as_const(), None);
+        assert_eq!(c.as_var(), None);
+    }
+
+    #[test]
+    fn renaming_only_touches_variables() {
+        let v = Term::var("x").rename_var(&|n| format!("{n}_1"));
+        let c = Term::constant(3).rename_var(&|n| format!("{n}_1"));
+        assert_eq!(v, Term::var("x_1"));
+        assert_eq!(c, Term::constant(3));
+    }
+
+    #[test]
+    fn terms_macro_mixes_vars_and_constants() {
+        let ts = terms![a, @"k", b, @42];
+        assert_eq!(
+            ts,
+            vec![
+                Term::var("a"),
+                Term::constant("k"),
+                Term::var("b"),
+                Term::constant(42),
+            ]
+        );
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Term::var("x").to_string(), "x");
+        assert_eq!(Term::constant(5).to_string(), "5");
+    }
+}

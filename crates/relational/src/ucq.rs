@@ -1,0 +1,757 @@
+//! Positive existential first-order formulas and unions of conjunctive
+//! queries.
+//!
+//! The paper's transition language `FO∃+Acc` consists of positive existential
+//! sentences over the `SchAcc` vocabulary; this module provides the generic
+//! formula AST ([`PosFormula`]) over *any* relational vocabulary, its
+//! evaluation, and its compilation into a union of conjunctive queries
+//! (disjunctive normal form), which is what the containment and
+//! canonical-database machinery operates on.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::atom::Atom;
+use crate::cq::ConjunctiveQuery;
+use crate::error::RelationalError;
+use crate::inequality::InequalityCq;
+use crate::instance::Instance;
+use crate::term::Term;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use crate::Result;
+
+/// A positive existential first-order formula, optionally with inequalities
+/// (`FO∃+` / `FO∃+,≠` in the paper's notation).
+///
+/// Negation is *not* part of this AST: the paper's languages apply negation
+/// only at the level of whole sentences (inside `AccLTL` formulas or
+/// A-automaton guards), which is handled by the `accltl-logic` and
+/// `accltl-automata` crates.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PosFormula {
+    /// A relational atom.
+    Atom(Atom),
+    /// Equality between two terms.
+    Eq(Term, Term),
+    /// Inequality between two terms (only in the `≠` extension of Section 5).
+    Neq(Term, Term),
+    /// Conjunction.
+    And(Vec<PosFormula>),
+    /// Disjunction.
+    Or(Vec<PosFormula>),
+    /// Existential quantification.
+    Exists(Vec<String>, Box<PosFormula>),
+    /// The formula that is always true (empty conjunction).
+    True,
+    /// The formula that is always false (empty disjunction).
+    False,
+}
+
+impl PosFormula {
+    /// Atom constructor.
+    #[must_use]
+    pub fn atom(atom: Atom) -> Self {
+        PosFormula::Atom(atom)
+    }
+
+    /// Conjunction constructor, flattening trivial cases.
+    #[must_use]
+    pub fn and(parts: Vec<PosFormula>) -> Self {
+        let mut flattened = Vec::new();
+        for p in parts {
+            match p {
+                PosFormula::True => {}
+                PosFormula::False => return PosFormula::False,
+                PosFormula::And(inner) => flattened.extend(inner),
+                other => flattened.push(other),
+            }
+        }
+        match flattened.len() {
+            0 => PosFormula::True,
+            1 => flattened.into_iter().next().expect("len checked"),
+            _ => PosFormula::And(flattened),
+        }
+    }
+
+    /// Disjunction constructor, flattening trivial cases.
+    #[must_use]
+    pub fn or(parts: Vec<PosFormula>) -> Self {
+        let mut flattened = Vec::new();
+        for p in parts {
+            match p {
+                PosFormula::False => {}
+                PosFormula::True => return PosFormula::True,
+                PosFormula::Or(inner) => flattened.extend(inner),
+                other => flattened.push(other),
+            }
+        }
+        match flattened.len() {
+            0 => PosFormula::False,
+            1 => flattened.into_iter().next().expect("len checked"),
+            _ => PosFormula::Or(flattened),
+        }
+    }
+
+    /// Existential quantification constructor.
+    #[must_use]
+    pub fn exists(vars: Vec<impl Into<String>>, body: PosFormula) -> Self {
+        let vars: Vec<String> = vars.into_iter().map(Into::into).collect();
+        if vars.is_empty() {
+            body
+        } else {
+            PosFormula::Exists(vars, Box::new(body))
+        }
+    }
+
+    /// Existentially closes the formula over all its free variables,
+    /// producing a sentence.
+    #[must_use]
+    pub fn existential_closure(self) -> Self {
+        let free: Vec<String> = self.free_variables().into_iter().collect();
+        PosFormula::exists(free, self)
+    }
+
+    /// The number of atoms, equalities and inequalities (a size measure used
+    /// in complexity sweeps).
+    #[must_use]
+    pub fn size(&self) -> usize {
+        match self {
+            PosFormula::Atom(_) | PosFormula::Eq(..) | PosFormula::Neq(..) => 1,
+            PosFormula::And(ps) | PosFormula::Or(ps) => ps.iter().map(PosFormula::size).sum(),
+            PosFormula::Exists(_, body) => body.size(),
+            PosFormula::True | PosFormula::False => 0,
+        }
+    }
+
+    /// True if the formula contains at least one inequality.
+    #[must_use]
+    pub fn has_inequalities(&self) -> bool {
+        match self {
+            PosFormula::Neq(..) => true,
+            PosFormula::Atom(_) | PosFormula::Eq(..) | PosFormula::True | PosFormula::False => {
+                false
+            }
+            PosFormula::And(ps) | PosFormula::Or(ps) => ps.iter().any(PosFormula::has_inequalities),
+            PosFormula::Exists(_, body) => body.has_inequalities(),
+        }
+    }
+
+    /// The predicate names mentioned in the formula.
+    #[must_use]
+    pub fn predicates(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.collect_predicates(&mut out);
+        out
+    }
+
+    fn collect_predicates(&self, out: &mut BTreeSet<String>) {
+        match self {
+            PosFormula::Atom(a) => {
+                out.insert(a.predicate.clone());
+            }
+            PosFormula::And(ps) | PosFormula::Or(ps) => {
+                for p in ps {
+                    p.collect_predicates(out);
+                }
+            }
+            PosFormula::Exists(_, body) => body.collect_predicates(out),
+            PosFormula::Eq(..) | PosFormula::Neq(..) | PosFormula::True | PosFormula::False => {}
+        }
+    }
+
+    /// The constants mentioned in the formula.
+    #[must_use]
+    pub fn constants(&self) -> BTreeSet<Value> {
+        let mut out = BTreeSet::new();
+        self.collect_constants(&mut out);
+        out
+    }
+
+    fn collect_constants(&self, out: &mut BTreeSet<Value>) {
+        match self {
+            PosFormula::Atom(a) => out.extend(a.constants()),
+            PosFormula::Eq(l, r) | PosFormula::Neq(l, r) => {
+                for t in [l, r] {
+                    if let Term::Const(c) = t {
+                        out.insert(c.clone());
+                    }
+                }
+            }
+            PosFormula::And(ps) | PosFormula::Or(ps) => {
+                for p in ps {
+                    p.collect_constants(out);
+                }
+            }
+            PosFormula::Exists(_, body) => body.collect_constants(out),
+            PosFormula::True | PosFormula::False => {}
+        }
+    }
+
+    /// The free variables of the formula.
+    #[must_use]
+    pub fn free_variables(&self) -> BTreeSet<String> {
+        match self {
+            PosFormula::Atom(a) => a.variables(),
+            PosFormula::Eq(l, r) | PosFormula::Neq(l, r) => [l, r]
+                .into_iter()
+                .filter_map(|t| t.as_var().map(str::to_owned))
+                .collect(),
+            PosFormula::And(ps) | PosFormula::Or(ps) => {
+                ps.iter().flat_map(PosFormula::free_variables).collect()
+            }
+            PosFormula::Exists(vars, body) => {
+                let mut free = body.free_variables();
+                for v in vars {
+                    free.remove(v);
+                }
+                free
+            }
+            PosFormula::True | PosFormula::False => BTreeSet::new(),
+        }
+    }
+
+    /// Renames every predicate of the formula with `f`.
+    #[must_use]
+    pub fn rename_predicates(&self, f: &dyn Fn(&str) -> String) -> PosFormula {
+        match self {
+            PosFormula::Atom(a) => PosFormula::Atom(a.with_predicate(f(&a.predicate))),
+            PosFormula::Eq(l, r) => PosFormula::Eq(l.clone(), r.clone()),
+            PosFormula::Neq(l, r) => PosFormula::Neq(l.clone(), r.clone()),
+            PosFormula::And(ps) => {
+                PosFormula::And(ps.iter().map(|p| p.rename_predicates(f)).collect())
+            }
+            PosFormula::Or(ps) => {
+                PosFormula::Or(ps.iter().map(|p| p.rename_predicates(f)).collect())
+            }
+            PosFormula::Exists(vars, body) => {
+                PosFormula::Exists(vars.clone(), Box::new(body.rename_predicates(f)))
+            }
+            PosFormula::True => PosFormula::True,
+            PosFormula::False => PosFormula::False,
+        }
+    }
+
+    /// Compiles the (inequality-free) formula into a union of conjunctive
+    /// queries in disjunctive normal form.  Free variables become the head of
+    /// every disjunct (in sorted order).
+    ///
+    /// # Errors
+    /// Returns [`RelationalError::MalformedQuery`] if the formula contains an
+    /// inequality; use [`PosFormula::to_inequality_union`] instead.
+    pub fn to_ucq(&self) -> Result<UnionOfCqs> {
+        if self.has_inequalities() {
+            return Err(RelationalError::MalformedQuery(
+                "formula contains inequalities; use to_inequality_union".into(),
+            ));
+        }
+        let union = self.to_inequality_union();
+        Ok(UnionOfCqs {
+            disjuncts: union.into_iter().map(|icq| icq.cq).collect(),
+        })
+    }
+
+    /// Compiles the formula into a union of conjunctive queries with
+    /// inequalities (DNF).  Free variables become the head of every disjunct.
+    #[must_use]
+    pub fn to_inequality_union(&self) -> Vec<InequalityCq> {
+        let head: Vec<String> = self.free_variables().into_iter().collect();
+        let mut counter = 0usize;
+        let disjuncts = dnf(self, &mut counter);
+        disjuncts
+            .into_iter()
+            .filter_map(|d| d.into_inequality_cq(&head))
+            .collect()
+    }
+
+    /// Evaluates the *sentence* (closed formula) on an instance.
+    ///
+    /// Formulas with free variables are existentially closed first, matching
+    /// the paper's convention that `L` atoms inside `AccLTL` are sentences.
+    #[must_use]
+    pub fn holds(&self, instance: &Instance) -> bool {
+        let closed = self.clone().existential_closure();
+        closed
+            .to_inequality_union()
+            .iter()
+            .any(|icq| icq.holds(instance))
+    }
+
+    /// Evaluates the formula's free variables on an instance, returning the
+    /// set of satisfying assignments projected onto the sorted free-variable
+    /// list.
+    #[must_use]
+    pub fn evaluate(&self, instance: &Instance) -> BTreeSet<Tuple> {
+        self.to_inequality_union()
+            .iter()
+            .flat_map(|icq| icq.evaluate(instance))
+            .collect()
+    }
+}
+
+impl fmt::Display for PosFormula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PosFormula::Atom(a) => write!(f, "{a}"),
+            PosFormula::Eq(l, r) => write!(f, "{l} = {r}"),
+            PosFormula::Neq(l, r) => write!(f, "{l} ≠ {r}"),
+            PosFormula::And(ps) => {
+                write!(f, "(")?;
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∧ ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+            PosFormula::Or(ps) => {
+                write!(f, "(")?;
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∨ ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+            PosFormula::Exists(vars, body) => {
+                write!(f, "∃{} {body}", vars.join(" "))
+            }
+            PosFormula::True => write!(f, "⊤"),
+            PosFormula::False => write!(f, "⊥"),
+        }
+    }
+}
+
+/// A DNF disjunct under construction.
+#[derive(Debug, Clone, Default)]
+struct Disjunct {
+    atoms: Vec<Atom>,
+    eqs: Vec<(Term, Term)>,
+    neqs: Vec<(Term, Term)>,
+}
+
+impl Disjunct {
+    fn merge(mut self, other: Disjunct) -> Disjunct {
+        self.atoms.extend(other.atoms);
+        self.eqs.extend(other.eqs);
+        self.neqs.extend(other.neqs);
+        self
+    }
+
+    /// Resolves equality atoms by substitution and produces a conjunctive
+    /// query with inequalities; returns `None` if an equality between two
+    /// distinct constants makes the disjunct unsatisfiable.
+    fn into_inequality_cq(self, head: &[String]) -> Option<InequalityCq> {
+        let mut atoms = self.atoms;
+        let mut neqs = self.neqs;
+        let mut eqs = self.eqs;
+        // Iteratively apply equalities as substitutions.
+        while let Some((l, r)) = eqs.pop() {
+            match (l, r) {
+                (Term::Const(a), Term::Const(b)) => {
+                    if a != b {
+                        return None;
+                    }
+                }
+                (Term::Var(v), t) | (t, Term::Var(v)) => {
+                    // Never substitute away a head variable in favour of
+                    // another variable; prefer replacing the non-head one.
+                    let (from, to) = match &t {
+                        Term::Var(other) if head.contains(&v) && !head.contains(other) => {
+                            (other.clone(), Term::Var(v))
+                        }
+                        _ => (v, t),
+                    };
+                    let subst = |name: &str| -> Option<Term> {
+                        (name == from).then(|| to.clone())
+                    };
+                    atoms = atoms.iter().map(|a| a.substitute(&subst)).collect();
+                    let map_term = |term: &Term| -> Term {
+                        match term {
+                            Term::Var(name) if *name == from => to.clone(),
+                            other => other.clone(),
+                        }
+                    };
+                    eqs = eqs
+                        .iter()
+                        .map(|(a, b)| (map_term(a), map_term(b)))
+                        .collect();
+                    neqs = neqs
+                        .iter()
+                        .map(|(a, b)| (map_term(a), map_term(b)))
+                        .collect();
+                }
+            }
+        }
+        // A syntactic inequality between identical terms is unsatisfiable.
+        if neqs.iter().any(|(a, b)| a == b) {
+            return None;
+        }
+        // Head variables eliminated by equality substitution are re-introduced
+        // via a generated equality atom: this only happens when a head
+        // variable was equated to a constant, in which case the head variable
+        // is simply absent from the disjunct. We keep such disjuncts only when
+        // every head variable is still present (the paper's sentences have no
+        // free variables, so this corner case does not arise there).
+        let cq = ConjunctiveQuery::with_head(head.to_vec(), atoms);
+        let body_vars = cq.body_variables();
+        if !cq.head.iter().all(|h| body_vars.contains(h)) {
+            return None;
+        }
+        Some(InequalityCq::new(cq, neqs))
+    }
+}
+
+/// Converts a formula to DNF, renaming bound variables apart to avoid capture.
+fn dnf(formula: &PosFormula, counter: &mut usize) -> Vec<Disjunct> {
+    match formula {
+        PosFormula::Atom(a) => vec![Disjunct {
+            atoms: vec![a.clone()],
+            ..Disjunct::default()
+        }],
+        PosFormula::Eq(l, r) => vec![Disjunct {
+            eqs: vec![(l.clone(), r.clone())],
+            ..Disjunct::default()
+        }],
+        PosFormula::Neq(l, r) => vec![Disjunct {
+            neqs: vec![(l.clone(), r.clone())],
+            ..Disjunct::default()
+        }],
+        PosFormula::True => vec![Disjunct::default()],
+        PosFormula::False => Vec::new(),
+        PosFormula::Or(ps) => ps.iter().flat_map(|p| dnf(p, counter)).collect(),
+        PosFormula::And(ps) => {
+            let mut acc = vec![Disjunct::default()];
+            for p in ps {
+                let branches = dnf(p, counter);
+                let mut next = Vec::with_capacity(acc.len() * branches.len());
+                for a in &acc {
+                    for b in &branches {
+                        next.push(a.clone().merge(b.clone()));
+                    }
+                }
+                acc = next;
+            }
+            acc
+        }
+        PosFormula::Exists(vars, body) => {
+            // Rename the bound variables apart so that distinct quantifier
+            // scopes never clash after flattening.
+            *counter += 1;
+            let tag = *counter;
+            let renamed = rename_bound(body, vars, tag);
+            dnf(&renamed, counter)
+        }
+    }
+}
+
+fn rename_bound(body: &PosFormula, vars: &[String], tag: usize) -> PosFormula {
+    let rename = |name: &str| -> String {
+        if vars.iter().any(|v| v == name) {
+            format!("{name}\u{B7}{tag}")
+        } else {
+            name.to_owned()
+        }
+    };
+    map_vars(body, &rename)
+}
+
+fn map_vars(formula: &PosFormula, rename: &dyn Fn(&str) -> String) -> PosFormula {
+    match formula {
+        PosFormula::Atom(a) => PosFormula::Atom(a.rename_vars(rename)),
+        PosFormula::Eq(l, r) => PosFormula::Eq(l.rename_var(rename), r.rename_var(rename)),
+        PosFormula::Neq(l, r) => PosFormula::Neq(l.rename_var(rename), r.rename_var(rename)),
+        PosFormula::And(ps) => PosFormula::And(ps.iter().map(|p| map_vars(p, rename)).collect()),
+        PosFormula::Or(ps) => PosFormula::Or(ps.iter().map(|p| map_vars(p, rename)).collect()),
+        PosFormula::Exists(vars, body) => {
+            // Bound variables of inner quantifiers are renamed consistently.
+            let new_vars: Vec<String> = vars.iter().map(|v| rename(v)).collect();
+            PosFormula::Exists(new_vars, Box::new(map_vars(body, rename)))
+        }
+        PosFormula::True => PosFormula::True,
+        PosFormula::False => PosFormula::False,
+    }
+}
+
+/// A union of conjunctive queries (all sharing the same head arity).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct UnionOfCqs {
+    /// The disjuncts.
+    pub disjuncts: Vec<ConjunctiveQuery>,
+}
+
+impl UnionOfCqs {
+    /// Creates a UCQ from disjuncts.
+    #[must_use]
+    pub fn new(disjuncts: Vec<ConjunctiveQuery>) -> Self {
+        UnionOfCqs { disjuncts }
+    }
+
+    /// A UCQ with a single disjunct.
+    #[must_use]
+    pub fn single(cq: ConjunctiveQuery) -> Self {
+        UnionOfCqs {
+            disjuncts: vec![cq],
+        }
+    }
+
+    /// True if some disjunct holds on the instance.
+    #[must_use]
+    pub fn holds(&self, instance: &Instance) -> bool {
+        self.disjuncts.iter().any(|d| d.holds(instance))
+    }
+
+    /// Evaluates all disjuncts and unions their answers.
+    #[must_use]
+    pub fn evaluate(&self, instance: &Instance) -> BTreeSet<Tuple> {
+        self.disjuncts
+            .iter()
+            .flat_map(|d| d.evaluate(instance))
+            .collect()
+    }
+
+    /// The number of disjuncts.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.disjuncts.len()
+    }
+
+    /// True if the union is empty (the always-false query).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.disjuncts.is_empty()
+    }
+
+    /// Total number of atoms across disjuncts.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.disjuncts.iter().map(ConjunctiveQuery::size).sum()
+    }
+}
+
+impl fmt::Display for UnionOfCqs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, d) in self.disjuncts.iter().enumerate() {
+            if i > 0 {
+                write!(f, "  ∪  ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{atom, tuple};
+
+    fn inst() -> Instance {
+        let mut inst = Instance::new();
+        inst.add_fact("R", tuple!["a", "b"]);
+        inst.add_fact("S", tuple!["b"]);
+        inst
+    }
+
+    #[test]
+    fn constructors_simplify_trivial_cases() {
+        assert_eq!(PosFormula::and(vec![]), PosFormula::True);
+        assert_eq!(PosFormula::or(vec![]), PosFormula::False);
+        assert_eq!(
+            PosFormula::and(vec![PosFormula::True, PosFormula::atom(atom!("R"; x))]),
+            PosFormula::atom(atom!("R"; x))
+        );
+        assert_eq!(
+            PosFormula::and(vec![PosFormula::False, PosFormula::atom(atom!("R"; x))]),
+            PosFormula::False
+        );
+        assert_eq!(
+            PosFormula::or(vec![PosFormula::True, PosFormula::atom(atom!("R"; x))]),
+            PosFormula::True
+        );
+    }
+
+    #[test]
+    fn atom_sentence_evaluation() {
+        let f = PosFormula::exists(
+            vec!["x", "y"],
+            PosFormula::atom(atom!("R"; x, y)),
+        );
+        assert!(f.holds(&inst()));
+        let g = PosFormula::exists(vec!["x"], PosFormula::atom(atom!("T"; x)));
+        assert!(!g.holds(&inst()));
+    }
+
+    #[test]
+    fn conjunction_with_join_and_disjunction() {
+        // ∃x∃y R(x,y) ∧ S(y)
+        let f = PosFormula::exists(
+            vec!["x", "y"],
+            PosFormula::and(vec![
+                PosFormula::atom(atom!("R"; x, y)),
+                PosFormula::atom(atom!("S"; y)),
+            ]),
+        );
+        assert!(f.holds(&inst()));
+
+        // ∃x∃y R(x,y) ∧ S(x) — fails since S only holds of "b".
+        let g = PosFormula::exists(
+            vec!["x", "y"],
+            PosFormula::and(vec![
+                PosFormula::atom(atom!("R"; x, y)),
+                PosFormula::atom(atom!("S"; x)),
+            ]),
+        );
+        assert!(!g.holds(&inst()));
+
+        let h = PosFormula::or(vec![g.clone(), f.clone()]);
+        assert!(h.holds(&inst()));
+    }
+
+    #[test]
+    fn equality_forces_identification() {
+        // ∃x∃y R(x,y) ∧ x = y — no tuple has equal components.
+        let f = PosFormula::exists(
+            vec!["x", "y"],
+            PosFormula::and(vec![
+                PosFormula::atom(atom!("R"; x, y)),
+                PosFormula::Eq(Term::var("x"), Term::var("y")),
+            ]),
+        );
+        assert!(!f.holds(&inst()));
+        let mut richer = inst();
+        richer.add_fact("R", tuple!["c", "c"]);
+        assert!(f.holds(&richer));
+    }
+
+    #[test]
+    fn constant_equality_is_resolved_statically() {
+        let sat = PosFormula::and(vec![
+            PosFormula::Eq(Term::constant(1), Term::constant(1)),
+            PosFormula::exists(vec!["x", "y"], PosFormula::atom(atom!("R"; x, y))),
+        ]);
+        assert!(sat.holds(&inst()));
+        let unsat = PosFormula::and(vec![
+            PosFormula::Eq(Term::constant(1), Term::constant(2)),
+            PosFormula::exists(vec!["x", "y"], PosFormula::atom(atom!("R"; x, y))),
+        ]);
+        assert!(!unsat.holds(&inst()));
+    }
+
+    #[test]
+    fn inequality_evaluation() {
+        // ∃x∃y R(x,y) ∧ x ≠ y holds; with equal components only it fails.
+        let f = PosFormula::exists(
+            vec!["x", "y"],
+            PosFormula::and(vec![
+                PosFormula::atom(atom!("R"; x, y)),
+                PosFormula::Neq(Term::var("x"), Term::var("y")),
+            ]),
+        );
+        assert!(f.has_inequalities());
+        assert!(f.holds(&inst()));
+
+        let mut only_diag = Instance::new();
+        only_diag.add_fact("R", tuple!["c", "c"]);
+        assert!(!f.holds(&only_diag));
+    }
+
+    #[test]
+    fn to_ucq_rejects_inequalities_and_builds_dnf() {
+        let with_neq = PosFormula::Neq(Term::var("x"), Term::var("y"));
+        assert!(with_neq.to_ucq().is_err());
+
+        let f = PosFormula::or(vec![
+            PosFormula::exists(vec!["x"], PosFormula::atom(atom!("S"; x))),
+            PosFormula::exists(
+                vec!["x", "y"],
+                PosFormula::and(vec![
+                    PosFormula::atom(atom!("R"; x, y)),
+                    PosFormula::atom(atom!("S"; y)),
+                ]),
+            ),
+        ]);
+        let ucq = f.to_ucq().unwrap();
+        assert_eq!(ucq.len(), 2);
+        assert!(ucq.holds(&inst()));
+    }
+
+    #[test]
+    fn nested_quantifiers_do_not_capture() {
+        // (∃x R(x,x)) ∨ (∃x S(x)) — the two x's are independent.
+        let f = PosFormula::or(vec![
+            PosFormula::exists(vec!["x"], PosFormula::atom(atom!("R"; x, x))),
+            PosFormula::exists(vec!["x"], PosFormula::atom(atom!("S"; x))),
+        ]);
+        let ucq = f.to_ucq().unwrap();
+        assert_eq!(ucq.len(), 2);
+        assert!(f.holds(&inst()));
+    }
+
+    #[test]
+    fn free_variable_evaluation_projects_answers() {
+        // R(x, y) with free x: answers are first components.
+        let f = PosFormula::exists(vec!["y"], PosFormula::atom(atom!("R"; x, y)));
+        let answers = f.evaluate(&inst());
+        assert_eq!(answers.len(), 1);
+        assert!(answers.contains(&tuple!["a"]));
+    }
+
+    #[test]
+    fn size_and_predicates_and_constants() {
+        let f = PosFormula::and(vec![
+            PosFormula::atom(atom!("R"; x, @"k")),
+            PosFormula::or(vec![
+                PosFormula::atom(atom!("S"; x)),
+                PosFormula::Eq(Term::var("x"), Term::constant(3)),
+            ]),
+        ]);
+        assert_eq!(f.size(), 3);
+        assert_eq!(
+            f.predicates(),
+            BTreeSet::from(["R".to_owned(), "S".to_owned()])
+        );
+        assert_eq!(
+            f.constants(),
+            BTreeSet::from([Value::str("k"), Value::Int(3)])
+        );
+    }
+
+    #[test]
+    fn rename_predicates_recurses() {
+        let f = PosFormula::exists(
+            vec!["x"],
+            PosFormula::or(vec![
+                PosFormula::atom(atom!("R"; x)),
+                PosFormula::atom(atom!("S"; x)),
+            ]),
+        );
+        let renamed = f.rename_predicates(&|p| format!("{p}_post"));
+        assert_eq!(
+            renamed.predicates(),
+            BTreeSet::from(["R_post".to_owned(), "S_post".to_owned()])
+        );
+    }
+
+    #[test]
+    fn true_and_false_evaluate_correctly() {
+        assert!(PosFormula::True.holds(&Instance::new()));
+        assert!(!PosFormula::False.holds(&inst()));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let f = PosFormula::exists(
+            vec!["x"],
+            PosFormula::and(vec![
+                PosFormula::atom(atom!("R"; x, x)),
+                PosFormula::Neq(Term::var("x"), Term::constant(1)),
+            ]),
+        );
+        let s = f.to_string();
+        assert!(s.contains("∃x"));
+        assert!(s.contains("≠"));
+    }
+}

@@ -1,0 +1,167 @@
+//! Data values and data types.
+//!
+//! The paper fixes a set `Types` of datatypes containing at least the integers
+//! and booleans (Section 2).  We additionally support text values since the
+//! running example (a Web telephone directory) binds names, street names and
+//! postcodes.
+
+use std::fmt;
+
+/// A datatype for a relation position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DataType {
+    /// 64-bit signed integers.
+    Integer,
+    /// Unicode text.
+    Text,
+    /// Booleans.
+    Boolean,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Integer => write!(f, "int"),
+            DataType::Text => write!(f, "text"),
+            DataType::Boolean => write!(f, "bool"),
+        }
+    }
+}
+
+/// A concrete data value stored in a tuple or used in a binding.
+///
+/// Values are totally ordered (lexicographically across variants) so that
+/// instances can be kept in ordered sets and all algorithms are deterministic.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// An integer value.
+    Int(i64),
+    /// A text value.
+    Str(String),
+    /// A boolean value.
+    Bool(bool),
+}
+
+impl Value {
+    /// Returns the datatype of this value.
+    #[must_use]
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Value::Int(_) => DataType::Integer,
+            Value::Str(_) => DataType::Text,
+            Value::Bool(_) => DataType::Boolean,
+        }
+    }
+
+    /// Convenience constructor for text values.
+    #[must_use]
+    pub fn str(s: impl Into<String>) -> Self {
+        Value::Str(s.into())
+    }
+
+    /// True if this value is a "labelled null" produced by the chase or by
+    /// canonical-database freezing (reserved `⊥` prefix).
+    #[must_use]
+    pub fn is_labelled_null(&self) -> bool {
+        matches!(self, Value::Str(s) if s.starts_with(NULL_PREFIX))
+    }
+
+    /// Creates a fresh labelled null with the given numeric identifier.
+    #[must_use]
+    pub fn labelled_null(id: u64) -> Self {
+        Value::Str(format!("{NULL_PREFIX}{id}"))
+    }
+}
+
+/// Reserved prefix identifying labelled nulls.
+pub const NULL_PREFIX: &str = "\u{22a5}n";
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_types_match_variants() {
+        assert_eq!(Value::Int(3).data_type(), DataType::Integer);
+        assert_eq!(Value::str("x").data_type(), DataType::Text);
+        assert_eq!(Value::Bool(true).data_type(), DataType::Boolean);
+    }
+
+    #[test]
+    fn conversions_produce_expected_variants() {
+        assert_eq!(Value::from(7), Value::Int(7));
+        assert_eq!(Value::from("abc"), Value::Str("abc".into()));
+        assert_eq!(Value::from(String::from("abc")), Value::Str("abc".into()));
+        assert_eq!(Value::from(false), Value::Bool(false));
+    }
+
+    #[test]
+    fn labelled_nulls_are_recognised() {
+        let n = Value::labelled_null(17);
+        assert!(n.is_labelled_null());
+        assert!(!Value::str("ordinary").is_labelled_null());
+        assert!(!Value::Int(17).is_labelled_null());
+    }
+
+    #[test]
+    fn ordering_is_total_and_stable() {
+        let mut vals = vec![
+            Value::str("b"),
+            Value::Int(2),
+            Value::Bool(true),
+            Value::Int(1),
+            Value::str("a"),
+        ];
+        vals.sort();
+        let sorted_again = {
+            let mut v = vals.clone();
+            v.sort();
+            v
+        };
+        assert_eq!(vals, sorted_again);
+    }
+
+    #[test]
+    fn display_renders_each_variant() {
+        assert_eq!(Value::Int(5).to_string(), "5");
+        assert_eq!(Value::str("hi").to_string(), "\"hi\"");
+        assert_eq!(Value::Bool(true).to_string(), "true");
+        assert_eq!(DataType::Integer.to_string(), "int");
+        assert_eq!(DataType::Text.to_string(), "text");
+        assert_eq!(DataType::Boolean.to_string(), "bool");
+    }
+}

@@ -1,0 +1,88 @@
+//! Quickstart: the paper's running example end to end.
+//!
+//! Builds the phone-directory schema with its two Web-form access methods,
+//! replays the access path of Figure 1, evaluates `AccLTL` properties on it,
+//! and asks the analyzer the headline static-analysis questions.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use accltl_core::prelude::*;
+
+fn main() {
+    // 1. The schema of the introduction: Mobile#(name, postcode, street,
+    //    phoneno) accessed by name, Address(street, postcode, name, houseno)
+    //    accessed by street + postcode.
+    let schema = phone_directory_access_schema();
+    println!("Schema:\n{}", schema.schema());
+    for method in schema.methods() {
+        println!("  access method: {method}");
+    }
+
+    // 2. An access path: enter "Smith" into the Mobile# form, then enter the
+    //    discovered street and postcode into the Address form (Figure 1).
+    let path = AccessPath::new()
+        .with_step(
+            Access::new("AcM1", tuple!["Smith"]),
+            [tuple!["Smith", "OX13QD", "Parks Rd", 5551212]].into_iter().collect(),
+        )
+        .with_step(
+            Access::new("AcM2", tuple!["Parks Rd", "OX13QD"]),
+            [
+                tuple!["Parks Rd", "OX13QD", "Smith", 13],
+                tuple!["Parks Rd", "OX13QD", "Jones", 16],
+            ]
+            .into_iter()
+            .collect(),
+        );
+    path.validate(&schema).expect("the path is well-formed");
+    let final_config = path
+        .configuration(&schema, &Instance::new())
+        .expect("methods are declared");
+    println!("\nAccess path:\n  {path}");
+    println!("Final configuration ({} facts):\n{final_config}", final_config.fact_count());
+
+    // 3. Evaluate an AccLTL property on the path: eventually the revealed data
+    //    answers "does Jones have an address entry?".
+    let jones = cq!(<- atom!("Address"; s, p, @"Jones", h));
+    let eventually_jones = properties::eventually_answered_formula(&jones);
+    let holds = eventually_jones
+        .holds_on_path(&path, &schema, &Instance::new(), false)
+        .expect("evaluation succeeds");
+    println!("\nF [Jones revealed] holds on the path: {holds}");
+
+    // 4. Ask the analyzer: is that property satisfiable at all, which fragment
+    //    does it live in, and which engine decided it?
+    let analyzer = AccessAnalyzer::new(schema.clone());
+    let report = analyzer.check_satisfiable(&eventually_jones);
+    println!(
+        "satisfiable: {} (fragment {}, witness length {:?})",
+        report.is_satisfiable(),
+        report.fragment,
+        report.witness().map(AccessPath::len)
+    );
+
+    // 5. Long-term relevance: is entering (Parks Rd, OX13QD) into the Address
+    //    form worth it for the Jones query?
+    let access = Access::new("AcM2", tuple!["Parks Rd", "OX13QD"]);
+    let verdict = analyzer.long_term_relevant(
+        &access,
+        &UnionOfCqs::single(jones.clone()),
+        false,
+    );
+    println!("AcM2(Parks Rd, OX13QD) long-term relevant for the Jones query: {verdict:?}");
+
+    // 6. Maximal answers under the access restrictions: starting from nothing,
+    //    Jones's address is *not* obtainable (the paper's opening observation).
+    let report = analyzer
+        .maximal_answers(
+            &cq!([x, y, z] <- atom!("Address"; x, y, @"Jones", z)),
+            &phone_directory_hidden_instance(),
+        )
+        .expect("answerability analysis succeeds");
+    println!(
+        "maximal answers from an empty start: {} (complete: {}, accesses tried: {})",
+        report.answers.len(),
+        report.is_complete(),
+        report.accesses_performed
+    );
+}

@@ -1,0 +1,7 @@
+//! Shared helpers for the `accltl-suite` examples and integration tests.
+//!
+//! The library part of the suite only re-exports the workspace facade so the
+//! examples can be read top-to-bottom without extra imports.
+
+pub use accltl_core::prelude;
+pub use accltl_core::{analyzer, automata, logic, paths, relational};

@@ -1,0 +1,164 @@
+//! Figure 2: the inclusion diagram between the language classes, verified by
+//! (a) the fragment lattice, (b) the executable conversions (0-ary → AccLTL+
+//! lifting, AccLTL+ → A-automata translation), and (c) a strictness witness
+//! for the A-automata vs AccLTL+ edge (parity of path length).
+
+use accltl_core::prelude::*;
+use accltl_core::automata::{accltl_plus_to_automaton, AAutomaton, Guard};
+use accltl_core::logic::fragment::{belongs_to, lift_zero_ary_to_binding_positive};
+
+fn sample_paths() -> Vec<AccessPath> {
+    let acm1 = Access::new("AcM1", tuple!["Smith"]);
+    let acm2 = Access::new("AcM2", tuple!["Parks Rd", "OX13QD"]);
+    let hit1 = (
+        acm1.clone(),
+        [tuple!["Smith", "OX13QD", "Parks Rd", 5551212]]
+            .into_iter()
+            .collect(),
+    );
+    let hit2 = (
+        acm2.clone(),
+        [tuple!["Parks Rd", "OX13QD", "Jones", 16]]
+            .into_iter()
+            .collect(),
+    );
+    let miss1 = (acm1, [].into_iter().collect());
+    let miss2 = (acm2, [].into_iter().collect());
+    vec![
+        AccessPath::from_steps(vec![hit1.clone()]),
+        AccessPath::from_steps(vec![hit2.clone()]),
+        AccessPath::from_steps(vec![hit1.clone(), hit2.clone()]),
+        AccessPath::from_steps(vec![hit2.clone(), hit1.clone()]),
+        AccessPath::from_steps(vec![miss1.clone(), hit2.clone()]),
+        AccessPath::from_steps(vec![miss2, miss1, hit2, hit1]),
+    ]
+}
+
+/// Every inclusion edge of Figure 2 holds in the fragment lattice, and the
+/// lattice has no spurious edges (e.g. the inequality fragments do not embed
+/// into the inequality-free ones).
+#[test]
+fn figure2_edges_in_the_fragment_lattice() {
+    use Fragment::*;
+    let edges = [
+        (XZeroAry, ZeroAry),
+        (XZeroAry, ZeroAryWithInequalities),
+        (ZeroAry, ZeroAryWithInequalities),
+        (ZeroAry, BindingPositive),
+        (BindingPositive, Full),
+        (Full, FullWithInequalities),
+        (ZeroAryWithInequalities, FullWithInequalities),
+    ];
+    for (smaller, larger) in edges {
+        assert!(
+            smaller == larger || smaller.included_in().contains(&larger),
+            "{smaller} should be included in {larger}"
+        );
+    }
+    // Non-edges.
+    assert!(!ZeroAryWithInequalities.included_in().contains(&ZeroAry));
+    assert!(!Full.included_in().contains(&BindingPositive));
+    assert!(!BindingPositive.included_in().contains(&ZeroAry));
+}
+
+/// The 0-ary fragment embeds into AccLTL+ via the executable lifting, which
+/// preserves satisfaction on (non-empty) sample paths.
+#[test]
+fn zero_ary_lifts_into_accltl_plus() {
+    let schema = phone_directory_access_schema();
+    let formulas = vec![
+        AccLtl::until(
+            AccLtl::not(AccLtl::atom(isbind_prop("AcM1"))),
+            AccLtl::atom(isbind_prop("AcM2")),
+        ),
+        AccLtl::finally(AccLtl::atom(isbind_prop("AcM1"))),
+        properties::access_order_formula("AcM2", "AcM1"),
+        AccLtl::next(AccLtl::atom(isbind_prop("AcM2"))),
+    ];
+    for formula in formulas {
+        assert!(belongs_to(&formula, Fragment::ZeroAryWithInequalities));
+        let lifted = lift_zero_ary_to_binding_positive(&formula, &schema);
+        assert!(
+            lifted.is_binding_positive(),
+            "lift of {formula} must be binding-positive"
+        );
+        for path in sample_paths() {
+            let original = formula
+                .holds_on_path(&path, &schema, &Instance::new(), true)
+                .unwrap();
+            let lifted_result = lifted
+                .holds_on_path(&path, &schema, &Instance::new(), false)
+                .unwrap();
+            assert_eq!(original, lifted_result, "formula {formula}, path {path}");
+        }
+    }
+}
+
+/// AccLTL+ embeds into A-automata via the Lemma 4.5 translation, which agrees
+/// with the formula on the sample paths.
+#[test]
+fn accltl_plus_embeds_into_a_automata() {
+    let schema = phone_directory_access_schema();
+    let formulas = vec![
+        properties::eventually_answered_formula(&cq!(<- atom!("Address"; s, p, @"Jones", h))),
+        AccLtl::globally(AccLtl::not(AccLtl::atom(PosFormula::exists(
+            vec!["n", "p", "s", "ph"],
+            pre_atom(
+                "Mobile#",
+                vec![
+                    Term::var("n"),
+                    Term::var("p"),
+                    Term::var("s"),
+                    Term::var("ph"),
+                ],
+            ),
+        )))),
+        properties::dataflow_formula(&schema, "AcM1", 0, "Address", 2),
+    ];
+    for formula in formulas {
+        let automaton = accltl_plus_to_automaton(&formula);
+        assert!(automaton.is_well_formed());
+        for path in sample_paths() {
+            let transitions = path.transitions(&schema, &Instance::new()).unwrap();
+            assert_eq!(
+                formula.satisfied_by_transitions(&transitions, false),
+                automaton.accepts_transitions(&transitions),
+                "formula {formula}, path {path}"
+            );
+        }
+    }
+}
+
+/// Strictness of the A-automata edge: the even-length-path automaton
+/// distinguishes paths that every AccLTL formula of the corpus treats alike —
+/// the executable counterpart of the paper's parity remark in Section 6.
+#[test]
+fn parity_automaton_witnesses_strictness() {
+    let schema = phone_directory_access_schema();
+    let mut parity = AAutomaton::new(2, 0);
+    parity.add_transition(0, Guard::always(), 1);
+    parity.add_transition(1, Guard::always(), 0);
+    parity.mark_accepting(0);
+
+    // Two paths performing the same access with the same (empty) response,
+    // once and twice: indistinguishable by any transition sentence, but the
+    // parity automaton separates them.
+    let step = (
+        Access::new("AcM1", tuple!["Smith"]),
+        [].into_iter().collect::<std::collections::BTreeSet<_>>(),
+    );
+    let once = AccessPath::from_steps(vec![step.clone()]);
+    let twice = AccessPath::from_steps(vec![step.clone(), step]);
+    let t_once = once.transitions(&schema, &Instance::new()).unwrap();
+    let t_twice = twice.transitions(&schema, &Instance::new()).unwrap();
+    assert!(!parity.accepts_transitions(&t_once));
+    assert!(parity.accepts_transitions(&t_twice));
+    // Both transitions of the length-two path are structurally identical to
+    // the single transition of the length-one path, so any single transition
+    // sentence evaluates identically on them.
+    let s1 = accltl_core::logic::vocabulary::transition_structure(&t_once[0], false);
+    let s2 = accltl_core::logic::vocabulary::transition_structure(&t_twice[0], false);
+    let s3 = accltl_core::logic::vocabulary::transition_structure(&t_twice[1], false);
+    assert_eq!(s1, s2);
+    assert_eq!(s2, s3);
+}

@@ -1,0 +1,183 @@
+//! Property-based tests on the core invariants, spanning all crates.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use accltl_core::prelude::*;
+use accltl_core::automata::accltl_plus_to_automaton;
+use accltl_core::relational::cq_contained_in_cq;
+
+/// Strategy: a small random instance over relations R0(arity 2) and R1(arity 1)
+/// with values drawn from a tiny domain.
+fn small_instance() -> impl Strategy<Value = Instance> {
+    let value = prop_oneof![Just("a"), Just("b"), Just("c")];
+    let r0_fact = (value.clone(), value.clone()).prop_map(|(x, y)| ("R0".to_owned(), tuple![x, y]));
+    let r1_fact = value.prop_map(|x| ("R1".to_owned(), tuple![x]));
+    let fact = prop_oneof![r0_fact, r1_fact];
+    proptest::collection::vec(fact, 0..8).prop_map(|facts| {
+        let mut instance = Instance::new();
+        instance.extend_facts(facts);
+        instance
+    })
+}
+
+/// Strategy: a small boolean CQ over R0/R1 with variables from {x, y, z} and
+/// occasional constants.
+fn small_cq() -> impl Strategy<Value = ConjunctiveQuery> {
+    let term = prop_oneof![
+        Just(Term::var("x")),
+        Just(Term::var("y")),
+        Just(Term::var("z")),
+        Just(Term::constant("a")),
+        Just(Term::constant("b")),
+    ];
+    let r0_atom = (term.clone(), term.clone()).prop_map(|(s, t)| Atom::new("R0", vec![s, t]));
+    let r1_atom = term.prop_map(|s| Atom::new("R1", vec![s]));
+    let atom = prop_oneof![r0_atom, r1_atom];
+    proptest::collection::vec(atom, 1..4).prop_map(ConjunctiveQuery::boolean)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A CQ always holds on its own canonical database (Chandra–Merlin).
+    #[test]
+    fn cq_holds_on_its_canonical_database(q in small_cq()) {
+        let (canonical, _) = q.canonical_instance();
+        prop_assert!(q.holds(&canonical));
+    }
+
+    /// Containment is sound for evaluation: if q1 ⊑ q2 then on every instance
+    /// where q1 holds, q2 holds as well.
+    #[test]
+    fn containment_is_sound_for_evaluation(
+        q1 in small_cq(),
+        q2 in small_cq(),
+        instance in small_instance(),
+    ) {
+        if cq_contained_in_cq(&q1, &q2) && q1.holds(&instance) {
+            prop_assert!(q2.holds(&instance));
+        }
+    }
+
+    /// Evaluation is monotone for positive queries: adding facts never makes a
+    /// satisfied CQ unsatisfied.
+    #[test]
+    fn cq_evaluation_is_monotone(
+        q in small_cq(),
+        smaller in small_instance(),
+        extra in small_instance(),
+    ) {
+        let larger = smaller.union(&extra);
+        if q.holds(&smaller) {
+            prop_assert!(q.holds(&larger));
+        }
+    }
+
+    /// Conf(p, I0) always contains I0 and grows along the path; groundedness
+    /// is monotone in the initial instance.
+    #[test]
+    fn configurations_grow_and_groundedness_is_monotone(
+        names in proptest::collection::vec(prop_oneof![Just("Smith"), Just("Jones"), Just("Doe")], 1..4),
+        reveal in proptest::collection::vec(any::<bool>(), 1..4),
+    ) {
+        let schema = phone_directory_access_schema();
+        let mut path = AccessPath::new();
+        for (name, hit) in names.iter().zip(&reveal) {
+            let response: BTreeSet<Tuple> = if *hit {
+                [tuple![*name, "OX13QD", "Parks Rd", 5551212]].into_iter().collect()
+            } else {
+                BTreeSet::new()
+            };
+            path.push(Access::new("AcM1", tuple![*name]), response);
+        }
+        let configs = path.configurations(&schema, &Instance::new()).unwrap();
+        for window in configs.windows(2) {
+            prop_assert!(window[0].is_subinstance_of(&window[1]));
+        }
+        // Groundedness: if grounded over I0 then grounded over any superset.
+        let mut seed = Instance::new();
+        for name in &names {
+            seed.add_fact("Address", tuple!["High St", "OX26NN", *name, 1]);
+        }
+        if accltl_core::paths::is_grounded(&path, &Instance::new()) {
+            prop_assert!(accltl_core::paths::is_grounded(&path, &seed));
+        }
+    }
+
+    /// The Lemma 4.5 translation agrees with the formula on random short
+    /// paths over the phone-directory schema.
+    #[test]
+    fn automaton_translation_agrees_with_formula(
+        choices in proptest::collection::vec((any::<bool>(), any::<bool>()), 1..4),
+    ) {
+        let schema = phone_directory_access_schema();
+        let mut path = AccessPath::new();
+        for (use_acm1, hit) in choices {
+            if use_acm1 {
+                let response: BTreeSet<Tuple> = if hit {
+                    [tuple!["Smith", "OX13QD", "Parks Rd", 5551212]].into_iter().collect()
+                } else {
+                    BTreeSet::new()
+                };
+                path.push(Access::new("AcM1", tuple!["Smith"]), response);
+            } else {
+                let response: BTreeSet<Tuple> = if hit {
+                    [tuple!["Parks Rd", "OX13QD", "Jones", 16]].into_iter().collect()
+                } else {
+                    BTreeSet::new()
+                };
+                path.push(Access::new("AcM2", tuple!["Parks Rd", "OX13QD"]), response);
+            }
+        }
+        let formula = AccLtl::and(vec![
+            properties::eventually_answered_formula(&cq!(<- atom!("Address"; s, p, @"Jones", h))),
+            AccLtl::finally(AccLtl::atom(PosFormula::exists(
+                vec!["n"],
+                isbind_atom("AcM1", vec![Term::var("n")]),
+            ))),
+        ]);
+        let automaton = accltl_plus_to_automaton(&formula);
+        let transitions = path.transitions(&schema, &Instance::new()).unwrap();
+        prop_assert_eq!(
+            formula.satisfied_by_transitions(&transitions, false),
+            automaton.accepts_transitions(&transitions)
+        );
+    }
+
+    /// Satisfiability witnesses returned by the analyzer really satisfy the
+    /// formula they were produced for (checked on the 0-ary fragment where
+    /// the engine is complete).
+    #[test]
+    fn analyzer_witnesses_are_genuine(acm2_first in any::<bool>(), require_mobile in any::<bool>()) {
+        let schema = phone_directory_access_schema();
+        let analyzer = AccessAnalyzer::new(schema.clone());
+        let jones = properties::eventually_answered_formula(
+            &cq!(<- atom!("Address"; s, p, @"Jones", h)),
+        );
+        let mut parts = vec![jones];
+        if require_mobile {
+            parts.push(AccLtl::finally(AccLtl::atom(PosFormula::exists(
+                vec!["n", "p", "s", "ph"],
+                pre_atom("Mobile#", vec![
+                    Term::var("n"), Term::var("p"), Term::var("s"), Term::var("ph"),
+                ]),
+            ))));
+        }
+        if acm2_first {
+            parts.push(properties::access_order_formula("AcM2", "AcM1"));
+        }
+        let formula = AccLtl::and(parts);
+        let report = analyzer.check_satisfiable(&formula);
+        if let Some(witness) = report.witness() {
+            prop_assert!(witness.validate(&schema).is_ok());
+            prop_assert!(formula
+                .holds_on_path(witness, &schema, &Instance::new(), true)
+                .unwrap());
+        } else {
+            // All these combinations are satisfiable; anything else is a bug.
+            prop_assert!(false, "expected a witness for {}", formula);
+        }
+    }
+}
