@@ -138,7 +138,12 @@ impl AAutomaton {
     /// Total guard size (a size measure used by the pipeline-ablation bench).
     #[must_use]
     pub fn size(&self) -> usize {
-        self.state_count + self.transitions.iter().map(|t| t.guard.size()).sum::<usize>()
+        self.state_count
+            + self
+                .transitions
+                .iter()
+                .map(|t| t.guard.size())
+                .sum::<usize>()
     }
 
     /// Runs the automaton on a sequence of transition structures and returns
@@ -281,7 +286,12 @@ mod tests {
             vec!["s", "p", "n", "h"],
             accltl_logic::vocabulary::pre_atom(
                 "Address",
-                vec![Term::var("s"), Term::var("p"), Term::var("n"), Term::var("h")],
+                vec![
+                    Term::var("s"),
+                    Term::var("p"),
+                    Term::var("n"),
+                    Term::var("h"),
+                ],
             ),
         );
         automaton.add_transition(

@@ -18,7 +18,10 @@ use crate::a_automaton::{AAutomaton, Guard};
 /// The violation sentence of a disjointness constraint over the
 /// *post*-instance of a transition (so that constraint violations are caught
 /// as soon as the offending fact is revealed).
-fn disjointness_violation(schema: &AccessSchema, constraint: &DisjointnessConstraint) -> PosFormula {
+fn disjointness_violation(
+    schema: &AccessSchema,
+    constraint: &DisjointnessConstraint,
+) -> PosFormula {
     let (left_rel, left_pos) = &constraint.left;
     let (right_rel, right_pos) = &constraint.right;
     let left_arity = schema

@@ -22,6 +22,11 @@ use accltl_relational::{Instance, Tuple, Value};
 use crate::a_automaton::AAutomaton;
 use crate::progressive::chain_decomposition;
 
+/// A search state: the automaton state plus the set of revealed fact indices.
+type SearchState = (usize, BTreeSet<usize>);
+/// Parent links of the product search, used to reconstruct witness paths.
+type SearchParents = BTreeMap<SearchState, Option<(SearchState, Access, Vec<usize>)>>;
+
 /// Configuration for the bounded emptiness search.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EmptinessConfig {
@@ -31,6 +36,11 @@ pub struct EmptinessConfig {
     pub max_response_size: usize,
     /// Cap on candidate bindings for empty responses, per method.
     pub max_empty_bindings: usize,
+    /// Cap on total guard evaluations across the whole search.  Guard
+    /// evaluation is a homomorphism test, so this bounds the dominant cost;
+    /// exceeding it yields [`EmptinessOutcome::Unknown`], never a wrong
+    /// verdict.
+    pub max_guard_checks: usize,
 }
 
 impl Default for EmptinessConfig {
@@ -39,6 +49,7 @@ impl Default for EmptinessConfig {
             max_states: 100_000,
             max_response_size: 3,
             max_empty_bindings: 16,
+            max_guard_checks: 500_000,
         }
     }
 }
@@ -83,8 +94,15 @@ pub fn bounded_emptiness(
         return EmptinessOutcome::Empty;
     }
     let mut any_unknown = false;
+    // Split the guard budget evenly across chains so one expensive chain
+    // cannot starve a cheaply non-empty later chain into Unknown.
+    let chain_config = EmptinessConfig {
+        max_guard_checks: (config.max_guard_checks / chains.len()).max(1),
+        ..*config
+    };
     for chain in &chains {
-        match search_chain(chain, schema, initial, config) {
+        let mut guard_checks = 0usize;
+        match search_chain(chain, schema, initial, &chain_config, &mut guard_checks) {
             EmptinessOutcome::NonEmpty { witness } => {
                 return EmptinessOutcome::NonEmpty { witness }
             }
@@ -104,6 +122,7 @@ fn search_chain(
     schema: &AccessSchema,
     initial: &Instance,
     config: &EmptinessConfig,
+    guard_checks: &mut usize,
 ) -> EmptinessOutcome {
     // The empty path is accepted iff the initial state is accepting.
     if automaton.accepting.contains(&automaton.initial) {
@@ -115,8 +134,7 @@ fn search_chain(
     let universe = guard_fact_universe(automaton, schema, initial);
     let constants: BTreeSet<Value> = automaton.constants.clone();
 
-    type State = (usize, BTreeSet<usize>);
-    let start: State = (
+    let start: SearchState = (
         automaton.initial,
         universe
             .iter()
@@ -125,7 +143,7 @@ fn search_chain(
             .map(|(i, _)| i)
             .collect(),
     );
-    let mut parents: BTreeMap<State, Option<(State, Access, Vec<usize>)>> = BTreeMap::new();
+    let mut parents: SearchParents = BTreeMap::new();
     let mut queue = VecDeque::new();
     parents.insert(start.clone(), None);
     queue.push_back(start);
@@ -142,20 +160,23 @@ fn search_chain(
             }
             let structure = transition_structure(&before, &after, &method, &binding);
             for transition in automaton.outgoing(*automaton_state) {
+                *guard_checks += 1;
+                if *guard_checks > config.max_guard_checks {
+                    return EmptinessOutcome::Unknown;
+                }
                 if !transition.guard.satisfied_by(&structure) {
                     continue;
                 }
                 let access = Access::new(method.clone(), binding.clone());
                 if automaton.accepting.contains(&transition.to) {
                     let mut witness = reconstruct(&parents, &state, &universe);
-                    let response: Response =
-                        added.iter().map(|&i| universe[i].1.clone()).collect();
+                    let response: Response = added.iter().map(|&i| universe[i].1.clone()).collect();
                     witness.push(access, response);
                     return EmptinessOutcome::NonEmpty { witness };
                 }
                 let mut new_revealed = revealed.clone();
                 new_revealed.extend(added.iter().copied());
-                let next: State = (transition.to, new_revealed);
+                let next: SearchState = (transition.to, new_revealed);
                 if parents.contains_key(&next) {
                     continue;
                 }
@@ -199,11 +220,8 @@ fn guard_fact_universe(
             let mut constant_bindings: Vec<(String, Vec<Value>)> = Vec::new();
             for atom in &renamed.atoms {
                 if let Some(method) = accltl_logic::vocabulary::parse_isbind(&atom.predicate) {
-                    let values: Option<Vec<Value>> = atom
-                        .terms
-                        .iter()
-                        .map(|t| t.as_const().cloned())
-                        .collect();
+                    let values: Option<Vec<Value>> =
+                        atom.terms.iter().map(|t| t.as_const().cloned()).collect();
                     if let Some(values) = values {
                         constant_bindings.push((method.to_owned(), values));
                     }
@@ -235,7 +253,11 @@ fn guard_fact_universe(
     facts.into_iter().collect()
 }
 
-fn instance_of(initial: &Instance, universe: &[(String, Tuple)], revealed: &BTreeSet<usize>) -> Instance {
+fn instance_of(
+    initial: &Instance,
+    universe: &[(String, Tuple)],
+    revealed: &BTreeSet<usize>,
+) -> Instance {
     let mut instance = initial.clone();
     for &i in revealed {
         instance.add_fact(universe[i].0.clone(), universe[i].1.clone());
@@ -320,8 +342,8 @@ fn candidate_transitions(
 }
 
 fn reconstruct(
-    parents: &BTreeMap<(usize, BTreeSet<usize>), Option<((usize, BTreeSet<usize>), Access, Vec<usize>)>>,
-    end: &(usize, BTreeSet<usize>),
+    parents: &SearchParents,
+    end: &SearchState,
     universe: &[(String, Tuple)],
 ) -> AccessPath {
     let mut steps: Vec<(Access, Response)> = Vec::new();
@@ -390,7 +412,12 @@ mod tests {
         ]);
         let automaton = accltl_plus_to_automaton(&f);
         assert_eq!(
-            bounded_emptiness(&automaton, &schema, &Instance::new(), &EmptinessConfig::default()),
+            bounded_emptiness(
+                &automaton,
+                &schema,
+                &Instance::new(),
+                &EmptinessConfig::default()
+            ),
             EmptinessOutcome::Empty
         );
     }
@@ -411,7 +438,12 @@ mod tests {
                     vec!["s", "p", "h"],
                     pre_atom(
                         "Address",
-                        vec![Term::var("s"), Term::var("p"), Term::var("n"), Term::var("h")],
+                        vec![
+                            Term::var("s"),
+                            Term::var("p"),
+                            Term::var("n"),
+                            Term::var("h"),
+                        ],
                     ),
                 ),
             ]),
@@ -439,7 +471,12 @@ mod tests {
         let mut automaton = AAutomaton::new(2, 0);
         automaton.add_transition(0, Guard::always(), 1);
         assert_eq!(
-            bounded_emptiness(&automaton, &schema, &Instance::new(), &EmptinessConfig::default()),
+            bounded_emptiness(
+                &automaton,
+                &schema,
+                &Instance::new(),
+                &EmptinessConfig::default()
+            ),
             EmptinessOutcome::Empty
         );
     }

@@ -118,11 +118,8 @@ pub fn chain_decomposition(automaton: &AAutomaton) -> Vec<AAutomaton> {
         }
     }
     let initial_component = component[automaton.initial];
-    let accepting_components: BTreeSet<usize> = automaton
-        .accepting
-        .iter()
-        .map(|&s| component[s])
-        .collect();
+    let accepting_components: BTreeSet<usize> =
+        automaton.accepting.iter().map(|&s| component[s]).collect();
 
     // Enumerate simple paths in the DAG from the initial component to each
     // accepting component (the DAG has at most `component_count` nodes, and
@@ -179,11 +176,7 @@ fn restrict_to_components(
     component: &[usize],
     chain: &[usize],
 ) -> AAutomaton {
-    let position: BTreeMap<usize, usize> = chain
-        .iter()
-        .enumerate()
-        .map(|(i, &c)| (c, i))
-        .collect();
+    let position: BTreeMap<usize, usize> = chain.iter().enumerate().map(|(i, &c)| (c, i)).collect();
     let kept_states: Vec<usize> = (0..automaton.state_count)
         .filter(|&s| position.contains_key(&component[s]))
         .collect();
@@ -249,11 +242,7 @@ pub fn is_progressive_chain(automaton: &AAutomaton) -> bool {
         current = next;
     }
     let last = *chain.last().expect("chain non-empty");
-    automaton
-        .accepting
-        .iter()
-        .all(|&s| component[s] == last)
-        && !automaton.accepting.is_empty()
+    automaton.accepting.iter().all(|&s| component[s] == last) && !automaton.accepting.is_empty()
 }
 
 #[cfg(test)]

@@ -31,7 +31,10 @@ fn explore(depth: usize, partial_responses: bool) -> accltl_core::paths::LtsTree
 
 fn print_figure1_shape() {
     println!("\n=== Figure 1: tree of possible access paths (phone-directory schema) ===");
-    for (label, partial) in [("exact responses", false), ("partial responses (Figure 1)", true)] {
+    for (label, partial) in [
+        ("exact responses", false),
+        ("partial responses (Figure 1)", true),
+    ] {
         for depth in 1..=3 {
             let tree = explore(depth, partial);
             println!(

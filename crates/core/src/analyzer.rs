@@ -3,7 +3,9 @@
 //! procedure.
 
 use accltl_automata::applications::{containment_automaton, ltr_automaton};
-use accltl_automata::{accltl_plus_to_automaton, bounded_emptiness, EmptinessConfig, EmptinessOutcome};
+use accltl_automata::{
+    accltl_plus_to_automaton, bounded_emptiness, EmptinessConfig, EmptinessOutcome,
+};
 use accltl_logic::bounded::{BoundedSearchConfig, SatOutcome};
 use accltl_logic::fragment::{classify, Fragment};
 use accltl_logic::solver;
@@ -146,8 +148,13 @@ impl AccessAnalyzer {
         let fragment = classify(formula);
         match fragment {
             Fragment::XZeroAry => AnalyzerReport {
-                outcome: solver::sat_x_fragment(formula, &self.schema, &self.initial, &self.search_config)
-                    .expect("fragment checked by classify"),
+                outcome: solver::sat_x_fragment(
+                    formula,
+                    &self.schema,
+                    &self.initial,
+                    &self.search_config,
+                )
+                .expect("fragment checked by classify"),
                 fragment,
                 engine: Engine::XFragment,
             },
@@ -207,7 +214,12 @@ impl AccessAnalyzer {
             return ContainmentOutcome::Contained;
         }
         let automaton = containment_automaton(&self.schema, q1, q2, &self.disjointness);
-        match bounded_emptiness(&automaton, &self.schema, &self.initial, &self.emptiness_config) {
+        match bounded_emptiness(
+            &automaton,
+            &self.schema,
+            &self.initial,
+            &self.emptiness_config,
+        ) {
             EmptinessOutcome::Empty => ContainmentOutcome::Contained,
             EmptinessOutcome::NonEmpty { witness } => ContainmentOutcome::NotContained {
                 counterexample: witness,
@@ -240,11 +252,13 @@ impl AccessAnalyzer {
         // union of verdicts.
         for disjunct in &query.disjuncts {
             let automaton = ltr_automaton(&self.schema, access, disjunct, &self.disjointness);
-            match bounded_emptiness(&automaton, &self.schema, &self.initial, &self.emptiness_config)
-            {
-                EmptinessOutcome::NonEmpty { witness } => {
-                    return LtrVerdict::Relevant { witness }
-                }
+            match bounded_emptiness(
+                &automaton,
+                &self.schema,
+                &self.initial,
+                &self.emptiness_config,
+            ) {
+                EmptinessOutcome::NonEmpty { witness } => return LtrVerdict::Relevant { witness },
                 EmptinessOutcome::Unknown => return LtrVerdict::Unknown,
                 EmptinessOutcome::Empty => {}
             }
@@ -284,7 +298,10 @@ mod tests {
         assert_eq!(a.check_satisfiable(&x_formula).engine, Engine::XFragment);
 
         let zero_formula = AccLtl::finally(AccLtl::atom(isbind_prop("AcM1")));
-        assert_eq!(a.check_satisfiable(&zero_formula).engine, Engine::ZeroFragment);
+        assert_eq!(
+            a.check_satisfiable(&zero_formula).engine,
+            Engine::ZeroFragment
+        );
 
         let plus_formula = AccLtl::finally(AccLtl::atom(PosFormula::exists(
             vec!["n"],
@@ -339,8 +356,8 @@ mod tests {
             unconstrained.contained_under_access_patterns(&q1, &q_false),
             ContainmentOutcome::NotContained { .. }
         ));
-        let constrained = analyzer()
-            .with_disjointness(DisjointnessConstraint::new("Mobile#", 0, "Address", 0));
+        let constrained =
+            analyzer().with_disjointness(DisjointnessConstraint::new("Mobile#", 0, "Address", 0));
         assert_eq!(
             constrained.contained_under_access_patterns(&q1, &q_false),
             ContainmentOutcome::Contained
@@ -352,10 +369,12 @@ mod tests {
         let jones = UnionOfCqs::single(cq!(<- atom!("Address"; s, p, @"Jones", h)));
         let access = Access::new("AcM2", tuple!["Parks Rd", "OX13QD"]);
         let plain = analyzer();
-        assert!(plain.long_term_relevant(&access, &jones, false).is_relevant());
+        assert!(plain
+            .long_term_relevant(&access, &jones, false)
+            .is_relevant());
 
-        let constrained = analyzer()
-            .with_disjointness(DisjointnessConstraint::new("Mobile#", 0, "Address", 0));
+        let constrained =
+            analyzer().with_disjointness(DisjointnessConstraint::new("Mobile#", 0, "Address", 0));
         assert!(constrained
             .long_term_relevant(&access, &jones, false)
             .is_relevant());

@@ -52,6 +52,7 @@ impl AccLtl {
     }
 
     /// Negation constructor (collapses double negation and the constants).
+    #[allow(clippy::should_implement_trait)] // deliberate builder, not `!`
     #[must_use]
     pub fn not(formula: AccLtl) -> Self {
         match formula {
@@ -232,7 +233,9 @@ impl AccLtl {
     #[must_use]
     pub fn satisfied_at(&self, structures: &[Instance], position: usize) -> bool {
         match self {
-            AccLtl::Atom(sentence) => position < structures.len() && sentence.holds(&structures[position]),
+            AccLtl::Atom(sentence) => {
+                position < structures.len() && sentence.holds(&structures[position])
+            }
             AccLtl::Not(inner) => !inner.satisfied_at(structures, position),
             AccLtl::And(parts) => parts.iter().all(|p| p.satisfied_at(structures, position)),
             AccLtl::Or(parts) => parts.iter().any(|p| p.satisfied_at(structures, position)),
@@ -369,10 +372,7 @@ mod tests {
     fn constructors_simplify() {
         assert_eq!(AccLtl::and(vec![]), AccLtl::top());
         assert_eq!(AccLtl::or(vec![]), AccLtl::bottom());
-        assert_eq!(
-            AccLtl::not(AccLtl::not(AccLtl::top())),
-            AccLtl::top()
-        );
+        assert_eq!(AccLtl::not(AccLtl::not(AccLtl::top())), AccLtl::top());
         let a = AccLtl::atom(mobile_pre_nonempty());
         assert_eq!(AccLtl::and(vec![a.clone()]), a);
     }

@@ -35,6 +35,12 @@ use accltl_relational::{Instance, PosFormula, Tuple, Value};
 use crate::accltl::AccLtl;
 use crate::vocabulary::{self, erase_isbind, isbind_name, post_name, pre_name};
 
+/// A bounded-search state: revealed universe-fact indices plus the formula
+/// still to satisfy.
+type SearchState = (BTreeSet<usize>, AccLtl);
+/// Parent links of the bounded search, used to reconstruct witness paths.
+type SearchParents = BTreeMap<SearchState, Option<(SearchState, Access, Vec<usize>)>>;
+
 /// Configuration of the bounded satisfiability search.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BoundedSearchConfig {
@@ -264,12 +270,17 @@ impl<'a> BoundedSearcher<'a> {
         while let Some(state) = queue.pop_front() {
             let (revealed, obligation) = &state;
             let current_instance = self.instance_of(&universe, revealed);
-            for candidate in self.candidate_transitions(&universe, revealed, &current_instance, &constants) {
+            for candidate in
+                self.candidate_transitions(&universe, revealed, &current_instance, &constants)
+            {
                 let mut new_revealed = revealed.clone();
                 let mut after = current_instance.clone();
                 for &index in &candidate.added {
                     new_revealed.insert(index);
-                    after.add_fact(universe[index].relation.clone(), universe[index].tuple.clone());
+                    after.add_fact(
+                        universe[index].relation.clone(),
+                        universe[index].tuple.clone(),
+                    );
                 }
                 let structure = self.transition_structure(&current_instance, &after, &candidate);
                 let progressed = normalize(&progress(obligation, &structure));
@@ -314,7 +325,10 @@ impl<'a> BoundedSearcher<'a> {
     fn instance_of(&self, universe: &[UniverseFact], revealed: &BTreeSet<usize>) -> Instance {
         let mut instance = self.initial.clone();
         for &index in revealed {
-            instance.add_fact(universe[index].relation.clone(), universe[index].tuple.clone());
+            instance.add_fact(
+                universe[index].relation.clone(),
+                universe[index].tuple.clone(),
+            );
         }
         instance
     }
@@ -454,17 +468,14 @@ impl<'a> BoundedSearcher<'a> {
 
     fn reconstruct(
         &self,
-        parents: &BTreeMap<(BTreeSet<usize>, AccLtl), Option<((BTreeSet<usize>, AccLtl), Access, Vec<usize>)>>,
+        parents: &SearchParents,
         end: &(BTreeSet<usize>, AccLtl),
         universe: &[UniverseFact],
     ) -> AccessPath {
         let mut steps: Vec<(Access, Response)> = Vec::new();
         let mut cursor = end.clone();
         while let Some(Some((previous, access, added))) = parents.get(&cursor) {
-            let response: Response = added
-                .iter()
-                .map(|&i| universe[i].tuple.clone())
-                .collect();
+            let response: Response = added.iter().map(|&i| universe[i].tuple.clone()).collect();
             steps.push((access.clone(), response));
             cursor = previous.clone();
         }
@@ -533,8 +544,12 @@ mod tests {
     fn eventually_jones_is_satisfiable_with_a_valid_witness() {
         let schema = schema();
         let f = AccLtl::finally(AccLtl::atom(address_post_has_jones()));
-        let searcher =
-            BoundedSearcher::new(&schema, &Instance::new(), true, BoundedSearchConfig::default());
+        let searcher = BoundedSearcher::new(
+            &schema,
+            &Instance::new(),
+            true,
+            BoundedSearchConfig::default(),
+        );
         let outcome = searcher.search(&f);
         check_witness(&f, &outcome, true);
     }
@@ -548,8 +563,12 @@ mod tests {
             AccLtl::globally(AccLtl::not(jones.clone())),
             AccLtl::finally(jones),
         ]);
-        let searcher =
-            BoundedSearcher::new(&schema, &Instance::new(), true, BoundedSearchConfig::default());
+        let searcher = BoundedSearcher::new(
+            &schema,
+            &Instance::new(),
+            true,
+            BoundedSearchConfig::default(),
+        );
         assert_eq!(searcher.search(&f), SatOutcome::Unsatisfiable);
     }
 
@@ -566,8 +585,12 @@ mod tests {
             ),
             AccLtl::finally(AccLtl::atom(mobile_pre_nonempty())),
         ]);
-        let searcher =
-            BoundedSearcher::new(&schema, &Instance::new(), true, BoundedSearchConfig::default());
+        let searcher = BoundedSearcher::new(
+            &schema,
+            &Instance::new(),
+            true,
+            BoundedSearchConfig::default(),
+        );
         let outcome = searcher.search(&f);
         check_witness(&f, &outcome, true);
         if let SatOutcome::Satisfiable { witness } = &outcome {
@@ -607,7 +630,12 @@ mod tests {
                     vec!["s", "p", "h"],
                     pre_atom(
                         "Address",
-                        vec![Term::var("s"), Term::var("p"), Term::var("n"), Term::var("h")],
+                        vec![
+                            Term::var("s"),
+                            Term::var("p"),
+                            Term::var("n"),
+                            Term::var("h"),
+                        ],
                     ),
                 ),
             ]),
@@ -674,8 +702,12 @@ mod tests {
     fn empty_path_witness_is_only_allowed_when_enabled() {
         let schema = schema();
         let g_false = AccLtl::globally(AccLtl::bottom());
-        let default_searcher =
-            BoundedSearcher::new(&schema, &Instance::new(), true, BoundedSearchConfig::default());
+        let default_searcher = BoundedSearcher::new(
+            &schema,
+            &Instance::new(),
+            true,
+            BoundedSearchConfig::default(),
+        );
         assert_eq!(default_searcher.search(&g_false), SatOutcome::Unsatisfiable);
 
         let allow_empty = BoundedSearchConfig {
@@ -705,8 +737,12 @@ mod tests {
 
         // Over the empty initial instance the same formula is unsatisfiable:
         // the first transition's pre-instance is always empty.
-        let searcher =
-            BoundedSearcher::new(&schema, &Instance::new(), true, BoundedSearchConfig::default());
+        let searcher = BoundedSearcher::new(
+            &schema,
+            &Instance::new(),
+            true,
+            BoundedSearchConfig::default(),
+        );
         assert_eq!(searcher.search(&f), SatOutcome::Unsatisfiable);
     }
 }

@@ -37,6 +37,7 @@ impl CtlEx {
     }
 
     /// Negation constructor.
+    #[allow(clippy::should_implement_trait)] // deliberate builder, not `!`
     #[must_use]
     pub fn not(formula: CtlEx) -> Self {
         CtlEx::Not(Box::new(formula))
@@ -117,8 +118,12 @@ fn satisfied(formula: &CtlEx, tree: &LtsTree, child_node: usize, structure: &Ins
     match formula {
         CtlEx::Atom(sentence) => sentence.holds(structure),
         CtlEx::Not(inner) => !satisfied(inner, tree, child_node, structure),
-        CtlEx::And(parts) => parts.iter().all(|p| satisfied(p, tree, child_node, structure)),
-        CtlEx::Or(parts) => parts.iter().any(|p| satisfied(p, tree, child_node, structure)),
+        CtlEx::And(parts) => parts
+            .iter()
+            .all(|p| satisfied(p, tree, child_node, structure)),
+        CtlEx::Or(parts) => parts
+            .iter()
+            .any(|p| satisfied(p, tree, child_node, structure)),
         CtlEx::Ex(inner) => {
             let node: &LtsNode = &tree.nodes[child_node];
             (0..node.edges.len()).any(|edge| satisfied_at_edge(inner, tree, child_node, edge))
@@ -218,10 +223,7 @@ mod tests {
         let at_leaf = CtlEx::ax(CtlEx::atom(PosFormula::False));
         assert!(bounded_satisfiability(&at_leaf, &tree).is_some());
         // EX ⊤ ∧ AX ⊥ is contradictory.
-        let contradiction = CtlEx::and(vec![
-            CtlEx::ex(CtlEx::atom(PosFormula::True)),
-            at_leaf,
-        ]);
+        let contradiction = CtlEx::and(vec![CtlEx::ex(CtlEx::atom(PosFormula::True)), at_leaf]);
         assert!(bounded_satisfiability(&contradiction, &tree).is_none());
     }
 

@@ -181,9 +181,7 @@ pub fn traits_of(formula: &AccLtl) -> FormulaTraits {
     let sentences = formula.atom_sentences();
     FormulaTraits {
         binding_positive: formula.is_binding_positive(),
-        zero_ary_isbind: sentences
-            .iter()
-            .all(vocabulary::isbind_atoms_are_zero_ary),
+        zero_ary_isbind: sentences.iter().all(vocabulary::isbind_atoms_are_zero_ary),
         uses_inequalities: sentences.iter().any(PosFormula::has_inequalities),
         x_only: formula.is_x_only(),
         mentions_isbind: sentences.iter().any(vocabulary::mentions_isbind),
@@ -445,7 +443,9 @@ mod tests {
 
     #[test]
     fn inclusion_edges_match_figure2() {
-        assert!(Fragment::XZeroAry.included_in().contains(&Fragment::ZeroAry));
+        assert!(Fragment::XZeroAry
+            .included_in()
+            .contains(&Fragment::ZeroAry));
         assert!(Fragment::ZeroAry
             .included_in()
             .contains(&Fragment::BindingPositive));

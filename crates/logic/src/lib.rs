@@ -39,7 +39,7 @@ pub mod vocabulary;
 
 pub use accltl::AccLtl;
 pub use bounded::{BoundedSearchConfig, SatOutcome};
-pub use fragment::{classify, Fragment, FormulaTraits};
+pub use fragment::{classify, FormulaTraits, Fragment};
 pub use ltl::Ltl;
 pub use solver::{
     sat_binding_positive_bounded, sat_full_bounded, sat_x_fragment, sat_zero_fragment,

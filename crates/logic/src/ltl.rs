@@ -38,6 +38,7 @@ impl Ltl {
     }
 
     /// Negation (collapsing double negation and constants).
+    #[allow(clippy::should_implement_trait)] // deliberate builder, not `!`
     #[must_use]
     pub fn not(formula: Ltl) -> Self {
         match formula {
@@ -164,9 +165,8 @@ impl Ltl {
             Ltl::And(parts) => parts.iter().all(|p| p.satisfied_at(word, position)),
             Ltl::Or(parts) => parts.iter().any(|p| p.satisfied_at(word, position)),
             Ltl::Next(inner) => position + 1 < word.len() && inner.satisfied_at(word, position + 1),
-            Ltl::Until(l, r) => (position..word.len()).any(|j| {
-                r.satisfied_at(word, j) && (position..j).all(|k| l.satisfied_at(word, k))
-            }),
+            Ltl::Until(l, r) => (position..word.len())
+                .any(|j| r.satisfied_at(word, j) && (position..j).all(|k| l.satisfied_at(word, k))),
         }
     }
 
@@ -359,10 +359,7 @@ mod tests {
     #[test]
     fn satisfiability_finds_a_witness() {
         let alphabet = vec![letter(&["a"]), letter(&["b"])];
-        let f = Ltl::and(vec![
-            Ltl::prop("a"),
-            Ltl::finally(Ltl::prop("b")),
-        ]);
+        let f = Ltl::and(vec![Ltl::prop("a"), Ltl::finally(Ltl::prop("b"))]);
         let LtlSatResult::Satisfiable(word) = satisfiable_over(&f, &alphabet, 10_000) else {
             panic!("expected satisfiable");
         };
@@ -403,8 +400,7 @@ mod tests {
     fn budget_exhaustion_is_reported() {
         // A formula requiring a long word (nested X) exceeds a tiny state
         // budget before a witness can be completed.
-        let alphabet: Vec<BTreeSet<String>> =
-            (0..4).map(|i| letter(&[&format!("p{i}")])).collect();
+        let alphabet: Vec<BTreeSet<String>> = (0..4).map(|i| letter(&[&format!("p{i}")])).collect();
         let mut f = Ltl::prop("p0");
         for _ in 0..5 {
             f = Ltl::next(f);

@@ -13,7 +13,9 @@ use accltl_relational::{
 };
 
 use crate::accltl::AccLtl;
-use crate::vocabulary::{isbind_atom, isbind_prop, post_name, pre_atom, pre_name, query_post, query_pre};
+use crate::vocabulary::{
+    isbind_atom, isbind_prop, post_name, pre_atom, pre_name, query_post, query_pre,
+};
 
 /// Example 2.2: `Q1` is contained in `Q2` under (grounded) access patterns iff
 /// this formula is valid over (grounded) access paths:
@@ -276,7 +278,10 @@ pub fn functional_dependency_formula(schema: &AccessSchema, fd: &FunctionalDepen
         Term::var(zs[fd.rhs].clone()),
     ));
     let violation = PosFormula::exists(
-        ys.iter().cloned().chain(zs.iter().cloned()).collect::<Vec<_>>(),
+        ys.iter()
+            .cloned()
+            .chain(zs.iter().cloned())
+            .collect::<Vec<_>>(),
         PosFormula::and(conjuncts),
     );
     AccLtl::globally(AccLtl::not(AccLtl::atom(violation)))
@@ -332,7 +337,7 @@ mod tests {
     use crate::fragment::{classify, Fragment};
     use accltl_paths::access::phone_directory_access_schema;
     use accltl_paths::path::response;
-    use accltl_paths::{AccessPath, Access};
+    use accltl_paths::{Access, AccessPath};
     use accltl_relational::{atom, cq, tuple, Instance};
 
     fn schema() -> AccessSchema {
@@ -385,12 +390,11 @@ mod tests {
         // Boolean access to Address asking whether Jones lives at Parks Rd 16.
         let mut schema = schema();
         schema
-            .add_method(accltl_paths::AccessMethod::boolean("BoolAddr", "Address", 4))
+            .add_method(accltl_paths::AccessMethod::boolean(
+                "BoolAddr", "Address", 4,
+            ))
             .unwrap();
-        let access = Access::new(
-            "BoolAddr",
-            tuple!["Parks Rd", "OX13QD", "Jones", 16],
-        );
+        let access = Access::new("BoolAddr", tuple!["Parks Rd", "OX13QD", "Jones", 16]);
         let q = cq!(<- atom!("Address"; s, p, @"Jones", h));
         let f = long_term_relevance_formula(&access, &q);
         assert_eq!(classify(&f), Fragment::BindingPositive);
@@ -433,7 +437,10 @@ mod tests {
             .unwrap());
         // And the semantic groundedness check agrees.
         assert!(accltl_paths::is_grounded(&figure1_path(), &initial));
-        assert!(!accltl_paths::is_grounded(&figure1_path(), &Instance::new()));
+        assert!(!accltl_paths::is_grounded(
+            &figure1_path(),
+            &Instance::new()
+        ));
     }
 
     #[test]

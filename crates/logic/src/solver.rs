@@ -187,18 +187,26 @@ mod tests {
     fn zero_fragment_solver_accepts_and_decides() {
         let schema = phone_directory_access_schema();
         let f = AccLtl::finally(AccLtl::atom(jones_post()));
-        let outcome =
-            sat_zero_fragment(&f, &schema, &Instance::new(), &BoundedSearchConfig::default())
-                .unwrap();
+        let outcome = sat_zero_fragment(
+            &f,
+            &schema,
+            &Instance::new(),
+            &BoundedSearchConfig::default(),
+        )
+        .unwrap();
         assert!(outcome.is_satisfiable());
 
         let unsat = AccLtl::and(vec![
             AccLtl::globally(AccLtl::not(AccLtl::atom(jones_post()))),
             AccLtl::finally(AccLtl::atom(jones_post())),
         ]);
-        let outcome =
-            sat_zero_fragment(&unsat, &schema, &Instance::new(), &BoundedSearchConfig::default())
-                .unwrap();
+        let outcome = sat_zero_fragment(
+            &unsat,
+            &schema,
+            &Instance::new(),
+            &BoundedSearchConfig::default(),
+        )
+        .unwrap();
         assert_eq!(outcome, SatOutcome::Unsatisfiable);
     }
 
@@ -282,8 +290,12 @@ mod tests {
             vec!["n"],
             isbind_atom("AcM1", vec![Term::var("n")]),
         ))));
-        let outcome =
-            sat_full_bounded(&no_acm1, &schema, &Instance::new(), &BoundedSearchConfig::default());
+        let outcome = sat_full_bounded(
+            &no_acm1,
+            &schema,
+            &Instance::new(),
+            &BoundedSearchConfig::default(),
+        );
         assert!(outcome.is_satisfiable());
 
         // A contradiction in the full language: the engine cannot find a
@@ -313,15 +325,24 @@ mod tests {
             AccLtl::not(AccLtl::finally(AccLtl::atom(isbind_prop("AcM1")))),
         ]);
         assert_eq!(
-            valid_bounded(&tautology, &schema, &Instance::new(), &BoundedSearchConfig::default()),
+            valid_bounded(
+                &tautology,
+                &schema,
+                &Instance::new(),
+                &BoundedSearchConfig::default()
+            ),
             ValidityOutcome::Valid
         );
 
         // "Every path eventually uses AcM1" — not valid; the counterexample
         // uses only AcM2.
         let not_valid = AccLtl::finally(AccLtl::atom(isbind_prop("AcM1")));
-        let outcome =
-            valid_bounded(&not_valid, &schema, &Instance::new(), &BoundedSearchConfig::default());
+        let outcome = valid_bounded(
+            &not_valid,
+            &schema,
+            &Instance::new(),
+            &BoundedSearchConfig::default(),
+        );
         let ValidityOutcome::NotValid { counterexample } = outcome else {
             panic!("expected a counterexample");
         };

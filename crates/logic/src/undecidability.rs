@@ -74,8 +74,7 @@ mod tests {
     use std::collections::BTreeMap;
 
     fn chase_oracle(gamma: &[FunctionalDependency], sigma: &FunctionalDependency) -> Implication {
-        let constraints: Vec<Constraint> =
-            gamma.iter().cloned().map(Constraint::Fd).collect();
+        let constraints: Vec<Constraint> = gamma.iter().cloned().map(Constraint::Fd).collect();
         let arities = BTreeMap::from([("R".to_owned(), 3usize)]);
         implies_fd(&constraints, sigma, &arities, &ChaseConfig::default())
     }

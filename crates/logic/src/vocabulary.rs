@@ -194,10 +194,7 @@ pub fn isbind_atoms_are_zero_ary(formula: &PosFormula) -> bool {
     fn walk(formula: &PosFormula) -> bool {
         match formula {
             PosFormula::Atom(a) => !is_isbind(&a.predicate) || a.arity() == 0,
-            PosFormula::Eq(..)
-            | PosFormula::Neq(..)
-            | PosFormula::True
-            | PosFormula::False => true,
+            PosFormula::Eq(..) | PosFormula::Neq(..) | PosFormula::True | PosFormula::False => true,
             PosFormula::And(ps) | PosFormula::Or(ps) => ps.iter().all(walk),
             PosFormula::Exists(_, body) => walk(body),
         }
@@ -298,7 +295,12 @@ mod tests {
                     vec!["s", "p", "h"],
                     pre_atom(
                         "Address",
-                        vec![Term::var("s"), Term::var("p"), Term::var("n"), Term::var("h")],
+                        vec![
+                            Term::var("s"),
+                            Term::var("p"),
+                            Term::var("n"),
+                            Term::var("h"),
+                        ],
                     ),
                 ),
             ]),

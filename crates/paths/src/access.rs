@@ -298,7 +298,11 @@ impl AccessSchema {
     /// The exact response to an access on a (hidden) instance: all tuples of
     /// the accessed relation that agree with the binding.
     #[must_use]
-    pub fn exact_response(&self, access: &Access, hidden: &Instance) -> std::collections::BTreeSet<Tuple> {
+    pub fn exact_response(
+        &self,
+        access: &Access,
+        hidden: &Instance,
+    ) -> std::collections::BTreeSet<Tuple> {
         let Some(method) = self.method(&access.method) else {
             return std::collections::BTreeSet::new();
         };
@@ -384,7 +388,10 @@ mod tests {
         let schema = phone_directory_access_schema();
         assert_eq!(schema.method_count(), 2);
         assert_eq!(schema.require_method("AcM1").unwrap().relation(), "Mobile#");
-        assert_eq!(schema.require_method("AcM2").unwrap().input_positions(), &[0, 1]);
+        assert_eq!(
+            schema.require_method("AcM2").unwrap().input_positions(),
+            &[0, 1]
+        );
         assert_eq!(schema.methods_for_relation("Address").count(), 1);
     }
 

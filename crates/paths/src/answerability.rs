@@ -199,15 +199,15 @@ mod tests {
     #[test]
     fn witness_path_is_grounded_and_exact() {
         let schema = phone_directory_access_schema();
-        let q = cq!([s, p, h] <- atom!("Mobile#"; @"Smith", p, s, ph), atom!("Address"; s, p, n, h));
+        let q =
+            cq!([s, p, h] <- atom!("Mobile#"; @"Smith", p, s, ph), atom!("Address"; s, p, n, h));
         let report = maximal_answers(&schema, &q, &hidden(), &Instance::new()).unwrap();
         let mut initial_with_seed = Instance::new();
         // Groundedness is relative to the query constants being known; model
         // that by seeding a dummy fact carrying the constant.
         initial_with_seed.add_fact("Address", tuple!["seed", "seed", "Smith", 0]);
         assert!(is_grounded(&report.witness_path, &initial_with_seed));
-        let all_methods: BTreeSet<String> =
-            schema.methods().map(|m| m.name().to_owned()).collect();
+        let all_methods: BTreeSet<String> = schema.methods().map(|m| m.name().to_owned()).collect();
         assert!(is_exact_for(
             &report.witness_path,
             &schema,

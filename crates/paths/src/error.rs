@@ -59,7 +59,10 @@ impl fmt::Display for PathError {
                 write!(f, "invalid binding for access method `{method}`: {reason}")
             }
             PathError::MalformedResponse { method, reason } => {
-                write!(f, "malformed response for access method `{method}`: {reason}")
+                write!(
+                    f,
+                    "malformed response for access method `{method}`: {reason}"
+                )
             }
         }
     }

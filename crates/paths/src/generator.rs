@@ -5,15 +5,12 @@
 //! conjunctive queries and accesses.  Everything here is driven by a seeded
 //! RNG so that benchmark runs are reproducible.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
-
 use accltl_relational::{
     Atom, ConjunctiveQuery, DataType, Instance, RelationSchema, Schema, Term, Tuple, Value,
 };
 
 use crate::access::{Access, AccessMethod, AccessSchema};
+use crate::rng::SeededRng;
 
 /// Parameters of the synthetic workload generator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,21 +66,22 @@ pub struct Workload {
 /// Generates a reproducible workload from the configuration.
 #[must_use]
 pub fn generate_workload(config: &WorkloadConfig) -> Workload {
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = SeededRng::new(config.seed);
 
     // Schema: R0..R{n-1}, all text columns (the paper's examples are
     // homogeneous and text values keep bindings readable in reports).
     let schema = Schema::from_relations(
-        (0..config.relations).map(|i| RelationSchema::new(format!("R{i}"), vec![DataType::Text; config.arity])),
+        (0..config.relations)
+            .map(|i| RelationSchema::new(format!("R{i}"), vec![DataType::Text; config.arity])),
     )
     .expect("generated relation names are unique");
 
     let mut access_schema = AccessSchema::new(schema);
     for m in 0..config.methods.max(config.relations) {
         let relation = format!("R{}", m % config.relations);
-        let input_count = rng.gen_range(0..=config.max_inputs.min(config.arity));
+        let input_count = rng.usize_up_to(config.max_inputs.min(config.arity));
         let mut positions: Vec<usize> = (0..config.arity).collect();
-        positions.shuffle(&mut rng);
+        rng.shuffle(&mut positions);
         positions.truncate(input_count);
         access_schema
             .add_method(AccessMethod::new(format!("M{m}"), relation, positions))
@@ -98,7 +96,7 @@ pub fn generate_workload(config: &WorkloadConfig) -> Workload {
     for r in 0..config.relations {
         for _ in 0..config.facts_per_relation {
             let tuple: Tuple = (0..config.arity)
-                .map(|_| domain[rng.gen_range(0..domain.len())].clone())
+                .map(|_| domain[rng.usize_below(domain.len())].clone())
                 .collect();
             hidden.add_fact(format!("R{r}"), tuple);
         }
@@ -111,14 +109,14 @@ pub fn generate_workload(config: &WorkloadConfig) -> Workload {
     for q in 0..4 {
         let mut atoms = Vec::new();
         for a in 0..config.query_atoms {
-            let relation = format!("R{}", rng.gen_range(0..config.relations));
+            let relation = format!("R{}", rng.usize_below(config.relations));
             let terms: Vec<Term> = (0..config.arity)
                 .map(|p| {
                     if p == 0 && a > 0 {
                         // Join with the previous atom.
                         Term::var(format!("x{}_{}", q, a - 1))
-                    } else if rng.gen_bool(0.15) {
-                        Term::constant(domain[rng.gen_range(0..domain.len())].clone())
+                    } else if rng.bool_with(0.15) {
+                        Term::constant(domain[rng.usize_below(domain.len())].clone())
                     } else if p == config.arity - 1 {
                         Term::var(format!("x{q}_{a}"))
                     } else {
@@ -137,7 +135,7 @@ pub fn generate_workload(config: &WorkloadConfig) -> Workload {
         let binding: Tuple = method
             .input_positions()
             .iter()
-            .map(|_| domain[rng.gen_range(0..domain.len())].clone())
+            .map(|_| domain[rng.usize_below(domain.len())].clone())
             .collect();
         accesses.push(Access::new(method.name().to_owned(), binding));
     }

@@ -44,6 +44,7 @@ pub mod generator;
 pub mod lts;
 pub mod path;
 pub mod relevance;
+pub mod rng;
 pub mod sanity;
 
 pub use access::{Access, AccessMethod, AccessSchema};

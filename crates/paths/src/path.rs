@@ -116,7 +116,11 @@ impl AccessPath {
     ///
     /// `Conf(p, I0)` unions `I0` with every tuple returned by an access, added
     /// to the relation of that access's method (paper, Section 2).
-    pub fn configurations(&self, schema: &AccessSchema, initial: &Instance) -> Result<Vec<Instance>> {
+    pub fn configurations(
+        &self,
+        schema: &AccessSchema,
+        initial: &Instance,
+    ) -> Result<Vec<Instance>> {
         let mut configs = Vec::with_capacity(self.steps.len() + 1);
         let mut current = initial.clone();
         configs.push(current.clone());
@@ -140,7 +144,11 @@ impl AccessPath {
 
     /// The transitions of the path (before/access/response/after), the
     /// structures on which transition formulas are evaluated.
-    pub fn transitions(&self, schema: &AccessSchema, initial: &Instance) -> Result<Vec<Transition>> {
+    pub fn transitions(
+        &self,
+        schema: &AccessSchema,
+        initial: &Instance,
+    ) -> Result<Vec<Transition>> {
         let configs = self.configurations(schema, initial)?;
         Ok(self
             .steps
@@ -207,10 +215,7 @@ mod tests {
     /// postcode revealing two address tuples.
     fn figure1_path() -> AccessPath {
         AccessPath::new()
-            .with_step(
-                Access::new("AcM1", tuple!["Smith"]),
-                response([smith()]),
-            )
+            .with_step(Access::new("AcM1", tuple!["Smith"]), response([smith()]))
             .with_step(
                 Access::new("AcM2", tuple!["Parks Rd", "OX13QD"]),
                 response([smith_address(), jones_address()]),
@@ -225,10 +230,7 @@ mod tests {
         assert_eq!(p.accesses().count(), 2);
         assert_eq!(p.prefix(1).len(), 1);
         assert_eq!(p.without_first().len(), 1);
-        assert_eq!(
-            p.without_first().accesses().next().unwrap().method,
-            "AcM2"
-        );
+        assert_eq!(p.without_first().accesses().next().unwrap().method, "AcM2");
     }
 
     #[test]

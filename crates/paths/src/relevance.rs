@@ -119,14 +119,7 @@ pub fn long_term_relevant(
                 continue;
             };
             match search_assignments(
-                schema,
-                access,
-                disjunct,
-                atom_index,
-                &forced,
-                query,
-                initial,
-                options,
+                schema, access, disjunct, atom_index, &forced, query, initial, options,
             )? {
                 SearchOutcome::Found(witness) => {
                     return Ok(LtrVerdict::Relevant { witness });
@@ -242,9 +235,16 @@ fn search_assignments(
         for (var, &index) in variables.iter().zip(&indices) {
             assignment.insert(var.clone(), candidates[index].clone());
         }
-        if let Some(witness) =
-            try_witness(schema, access, disjunct, critical_atom, &assignment, query, initial, options)?
-        {
+        if let Some(witness) = try_witness(
+            schema,
+            access,
+            disjunct,
+            critical_atom,
+            &assignment,
+            query,
+            initial,
+            options,
+        )? {
             return Ok(SearchOutcome::Found(witness));
         }
         if variables.is_empty() {
@@ -303,7 +303,7 @@ fn try_witness(
     let remaining: Vec<(String, Tuple)> = facts
         .iter()
         .filter(|(rel, tuple)| {
-            !(rel == &critical.0 && tuple == &critical.1) && !initial.contains(rel, tuple)
+            !(initial.contains(rel, tuple) || (rel == &critical.0 && tuple == &critical.1))
         })
         .cloned()
         .collect();
@@ -324,10 +324,7 @@ fn try_witness(
     for (method_name, fact) in ordered {
         let method = schema.require_method(&method_name)?;
         let binding = fact.project(method.input_positions());
-        witness.push(
-            Access::new(method_name, binding),
-            Response::from([fact]),
-        );
+        witness.push(Access::new(method_name, binding), Response::from([fact]));
     }
     Ok(Some(witness))
 }
@@ -373,11 +370,8 @@ fn reveal_order_grounded(
     known.extend(access_under_test.binding.values().iter().cloned());
     known.extend(critical.1.values().iter().cloned());
 
-    let mut pending: BTreeMap<usize, (String, Tuple)> = remaining
-        .iter()
-        .cloned()
-        .enumerate()
-        .collect();
+    let mut pending: BTreeMap<usize, (String, Tuple)> =
+        remaining.iter().cloned().enumerate().collect();
     let mut ordered = Vec::with_capacity(remaining.len());
 
     while !pending.is_empty() {
@@ -512,9 +506,14 @@ mod tests {
             atom!("Mobile#"; n, p, s, ph),
             atom!("Address"; s2, p2, n, h)));
         let access = Access::new("AcM1", tuple!["Smith"]);
-        let verdict =
-            long_term_relevant(&schema, &access, &q, &Instance::new(), &LtrOptions::default())
-                .unwrap();
+        let verdict = long_term_relevant(
+            &schema,
+            &access,
+            &q,
+            &Instance::new(),
+            &LtrOptions::default(),
+        )
+        .unwrap();
         assert!(verdict.is_relevant());
         if let LtrVerdict::Relevant { witness } = verdict {
             // Witness has the Mobile# access first and then an Address access.
@@ -532,9 +531,14 @@ mod tests {
         };
         // Over the empty initial instance the binding values are unknown, so
         // no grounded witness path can start with this access.
-        let verdict =
-            long_term_relevant(&schema, &access, &jones_query(), &Instance::new(), &grounded)
-                .unwrap();
+        let verdict = long_term_relevant(
+            &schema,
+            &access,
+            &jones_query(),
+            &Instance::new(),
+            &grounded,
+        )
+        .unwrap();
         assert_eq!(verdict, LtrVerdict::NotRelevant);
 
         // Once the street and postcode are known (say from a Mobile# fact for
@@ -587,9 +591,14 @@ mod tests {
             cq!(<- atom!("Address"; s, p, @"Jones", h)),
         ]);
         let access = Access::new("AcM2", tuple!["Parks Rd", "OX13QD"]);
-        let verdict =
-            long_term_relevant(&schema, &access, &q, &Instance::new(), &LtrOptions::default())
-                .unwrap();
+        let verdict = long_term_relevant(
+            &schema,
+            &access,
+            &q,
+            &Instance::new(),
+            &LtrOptions::default(),
+        )
+        .unwrap();
         assert!(verdict.is_relevant());
     }
 

@@ -1,0 +1,92 @@
+//! A small seeded pseudo-random generator for the workload generators.
+//!
+//! The container builds offline, so the crate carries its own splitmix64
+//! generator instead of depending on `rand`.  This also makes workloads
+//! stable across dependency upgrades: the byte stream is fixed by this file,
+//! not by whichever `rand` version is resolved.
+
+/// A deterministic splitmix64 generator.
+#[derive(Debug, Clone)]
+pub struct SeededRng {
+    state: u64,
+}
+
+impl SeededRng {
+    /// A generator with the given seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        SeededRng { state: seed }
+    }
+
+    /// The next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform value in `0..bound` (`0` when `bound == 0`).
+    pub fn usize_below(&mut self, bound: usize) -> usize {
+        if bound == 0 {
+            0
+        } else {
+            (self.next_u64() % bound as u64) as usize
+        }
+    }
+
+    /// A uniform value in `0..=max`.
+    pub fn usize_up_to(&mut self, max: usize) -> usize {
+        self.usize_below(max + 1)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn bool_with(&mut self, p: f64) -> bool {
+        let threshold = (p.clamp(0.0, 1.0) * (u64::MAX as f64)) as u64;
+        self.next_u64() <= threshold
+    }
+
+    /// An unbiased Fisher–Yates shuffle of `items`.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.usize_below(i + 1);
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_reproducible() {
+        let mut a = SeededRng::new(42);
+        let mut b = SeededRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = SeededRng::new(7);
+        for bound in 1..20 {
+            for _ in 0..50 {
+                assert!(rng.usize_below(bound) < bound);
+            }
+        }
+        assert_eq!(rng.usize_below(0), 0);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SeededRng::new(3);
+        let mut items: Vec<usize> = (0..10).collect();
+        rng.shuffle(&mut items);
+        let mut sorted = items.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..10).collect::<Vec<_>>());
+    }
+}

@@ -192,7 +192,8 @@ mod tests {
 
         // One access to Mobile# returning Smith's tuple: exact (the final
         // configuration has no other matching tuple).
-        let ok = AccessPath::new().with_step(Access::new("AcM1", tuple!["Smith"]), response([smith()]));
+        let ok =
+            AccessPath::new().with_step(Access::new("AcM1", tuple!["Smith"]), response([smith()]));
         assert!(is_exact_for(&ok, &schema, &Instance::new(), &exact).unwrap());
 
         // Two accesses with the same binding where the first returns nothing:
@@ -222,7 +223,8 @@ mod tests {
     #[test]
     fn path_semantics_combine_conditions() {
         let schema = phone_directory_access_schema();
-        let p = AccessPath::new().with_step(Access::new("AcM1", tuple!["Smith"]), response([smith()]));
+        let p =
+            AccessPath::new().with_step(Access::new("AcM1", tuple!["Smith"]), response([smith()]));
 
         assert!(PathSemantics::unrestricted()
             .satisfied_by(&p, &schema, &Instance::new())
@@ -246,7 +248,11 @@ mod tests {
             .add_method(crate::access::AccessMethod::new("AcM1", "Mobile#", vec![0]).exact())
             .unwrap();
         schema
-            .add_method(crate::access::AccessMethod::new("AcM2", "Address", vec![0, 1]))
+            .add_method(crate::access::AccessMethod::new(
+                "AcM2",
+                "Address",
+                vec![0, 1],
+            ))
             .unwrap();
         let semantics = PathSemantics::from_schema(&schema);
         assert!(semantics.exact_methods.contains("AcM1"));

@@ -63,7 +63,11 @@ impl ChaseOutcome {
 
 /// Runs the bounded chase of `instance` with `constraints`.
 #[must_use]
-pub fn chase(instance: &Instance, constraints: &[Constraint], config: &ChaseConfig) -> ChaseOutcome {
+pub fn chase(
+    instance: &Instance,
+    constraints: &[Constraint],
+    config: &ChaseConfig,
+) -> ChaseOutcome {
     let mut current = instance.clone();
     let mut null_counter = next_null_id(&current);
     let mut steps = 0usize;
@@ -115,11 +119,7 @@ pub fn chase(instance: &Instance, constraints: &[Constraint], config: &ChaseConf
                                 Value::labelled_null(null_counter)
                             })
                             .collect();
-                        for (sp, tp) in ind
-                            .source_positions
-                            .iter()
-                            .zip(&ind.target_positions)
-                        {
+                        for (sp, tp) in ind.source_positions.iter().zip(&ind.target_positions) {
                             if let Some(v) = src_tuple.get(*sp) {
                                 values[*tp] = v.clone();
                             }
@@ -288,7 +288,10 @@ mod tests {
     #[test]
     fn chase_equates_nulls_for_fd() {
         let mut inst = Instance::new();
-        inst.add_fact("R", Tuple::new(vec![Value::str("a"), Value::labelled_null(1)]));
+        inst.add_fact(
+            "R",
+            Tuple::new(vec![Value::str("a"), Value::labelled_null(1)]),
+        );
         inst.add_fact("R", Tuple::new(vec![Value::str("a"), Value::str("b")]));
         let constraints = vec![Constraint::Fd(FunctionalDependency::new("R", vec![0], 1))];
         let result = chase(&inst, &constraints, &ChaseConfig::default())
@@ -354,7 +357,12 @@ mod tests {
 
         let not_implied = FunctionalDependency::new("R", vec![2], 0);
         assert_eq!(
-            implies_fd(&constraints, &not_implied, &arities, &ChaseConfig::default()),
+            implies_fd(
+                &constraints,
+                &not_implied,
+                &arities,
+                &ChaseConfig::default()
+            ),
             Implication::NotImplied
         );
     }

@@ -91,13 +91,7 @@ impl FunctionalDependency {
 impl fmt::Display for FunctionalDependency {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let lhs: Vec<String> = self.lhs.iter().map(|p| (p + 1).to_string()).collect();
-        write!(
-            f,
-            "{}: {} → {}",
-            self.relation,
-            lhs.join(","),
-            self.rhs + 1
-        )
+        write!(f, "{}: {} → {}", self.relation, lhs.join(","), self.rhs + 1)
     }
 }
 
@@ -171,9 +165,9 @@ impl InclusionDependency {
     pub fn find_violation(&self, instance: &Instance) -> Option<crate::tuple::Tuple> {
         for src_tuple in instance.tuples(&self.source) {
             let projected = src_tuple.project(&self.source_positions);
-            let matched = instance.tuples(&self.target).any(|tgt_tuple| {
-                tgt_tuple.project(&self.target_positions) == projected
-            });
+            let matched = instance
+                .tuples(&self.target)
+                .any(|tgt_tuple| tgt_tuple.project(&self.target_positions) == projected);
             if !matched {
                 return Some(src_tuple.clone());
             }

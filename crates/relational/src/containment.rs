@@ -132,10 +132,7 @@ mod tests {
     #[test]
     fn cq_in_ucq_uses_any_disjunct() {
         let q = cq!([x] <- atom!("S"; x));
-        let u = UnionOfCqs::new(vec![
-            cq!([x] <- atom!("R"; x)),
-            cq!([x] <- atom!("S"; x)),
-        ]);
+        let u = UnionOfCqs::new(vec![cq!([x] <- atom!("R"; x)), cq!([x] <- atom!("S"; x))]);
         assert!(cq_contained_in_ucq(&q, &u));
         let u_without = UnionOfCqs::new(vec![cq!([x] <- atom!("R"; x))]);
         assert!(!cq_contained_in_ucq(&q, &u_without));
@@ -143,10 +140,7 @@ mod tests {
 
     #[test]
     fn ucq_containment_requires_all_disjuncts() {
-        let u1 = UnionOfCqs::new(vec![
-            cq!([x] <- atom!("R"; x)),
-            cq!([x] <- atom!("S"; x)),
-        ]);
+        let u1 = UnionOfCqs::new(vec![cq!([x] <- atom!("R"; x)), cq!([x] <- atom!("S"; x))]);
         let u2 = UnionOfCqs::new(vec![
             cq!([x] <- atom!("R"; x)),
             cq!([x] <- atom!("S"; x)),

@@ -127,21 +127,26 @@ impl ConjunctiveQuery {
     #[must_use]
     pub fn evaluate(&self, instance: &Instance) -> BTreeSet<Tuple> {
         let mut results = BTreeSet::new();
-        for_each_homomorphism(&self.atoms, instance, &Assignment::new(), &mut |assignment| {
-            let tuple: Tuple = self
-                .head
-                .iter()
-                .map(|v| {
-                    assignment
-                        .get(v)
-                        .cloned()
-                        .expect("validated query: head variables are bound by the body")
-                })
-                .collect();
-            results.insert(tuple);
-            // Keep enumerating: we want all answers.
-            false
-        });
+        for_each_homomorphism(
+            &self.atoms,
+            instance,
+            &Assignment::new(),
+            &mut |assignment| {
+                let tuple: Tuple = self
+                    .head
+                    .iter()
+                    .map(|v| {
+                        assignment
+                            .get(v)
+                            .cloned()
+                            .expect("validated query: head variables are bound by the body")
+                    })
+                    .collect();
+                results.insert(tuple);
+                // Keep enumerating: we want all answers.
+                false
+            },
+        );
         results
     }
 

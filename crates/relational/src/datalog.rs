@@ -126,7 +126,10 @@ impl DatalogProgram {
             let from = rule.head.predicate.as_str();
             for atom in &rule.body {
                 if idb.contains(&atom.predicate) {
-                    edges.entry(from).or_default().insert(atom.predicate.as_str());
+                    edges
+                        .entry(from)
+                        .or_default()
+                        .insert(atom.predicate.as_str());
                 }
             }
         }
@@ -343,7 +346,11 @@ mod tests {
                 DatalogRule::new(atom!("SG"; x, x), vec![atom!("Person"; x)]),
                 DatalogRule::new(
                     atom!("SG"; x, y),
-                    vec![atom!("Par"; x, xp), atom!("SG"; xp, yp), atom!("Par"; y, yp)],
+                    vec![
+                        atom!("Par"; x, xp),
+                        atom!("SG"; xp, yp),
+                        atom!("Par"; y, yp),
+                    ],
                 ),
                 DatalogRule::new(atom!("Goal"), vec![atom!("SG"; @"ann", @"bob")]),
             ],

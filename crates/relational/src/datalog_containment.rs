@@ -316,7 +316,8 @@ mod tests {
         // Reachability from "a" to "b"; the one-step expansion E(a,b) is not
         // contained in a query demanding a two-step path.
         let program = reachability_program("a", "b");
-        let two_step = UnionOfCqs::single(cq!(<- atom!("E"; x, y), atom!("E"; y, z), atom!("E"; z, w)));
+        let two_step =
+            UnionOfCqs::single(cq!(<- atom!("E"; x, y), atom!("E"; y, z), atom!("E"; z, w)));
         let verdict = datalog_contained_in_ucq(&program, &two_step, &UnfoldingConfig::default());
         assert!(verdict.is_not_contained());
     }
@@ -430,6 +431,8 @@ mod tests {
     #[test]
     fn verdict_display() {
         assert_eq!(ContainmentVerdict::Contained.to_string(), "contained");
-        assert!(ContainmentVerdict::BoundReached.to_string().contains("bound"));
+        assert!(ContainmentVerdict::BoundReached
+            .to_string()
+            .contains("bound"));
     }
 }

@@ -34,10 +34,7 @@ impl Instance {
     }
 
     /// Adds every fact from an iterator of `(relation, tuple)` pairs.
-    pub fn extend_facts(
-        &mut self,
-        facts: impl IntoIterator<Item = (String, Tuple)>,
-    ) {
+    pub fn extend_facts(&mut self, facts: impl IntoIterator<Item = (String, Tuple)>) {
         for (rel, tuple) in facts {
             self.add_fact(rel, tuple);
         }
@@ -62,7 +59,7 @@ impl Instance {
     pub fn contains(&self, relation: &str, tuple: &Tuple) -> bool {
         self.facts
             .get(relation)
-            .map_or(false, |set| set.contains(tuple))
+            .is_some_and(|set| set.contains(tuple))
     }
 
     /// The tuples of a relation (empty slice view when the relation is empty).
@@ -283,8 +280,7 @@ mod tests {
     #[test]
     fn restriction_and_renaming() {
         let inst = sample();
-        let only_address =
-            inst.restrict_to(&BTreeSet::from(["Address".to_owned()]));
+        let only_address = inst.restrict_to(&BTreeSet::from(["Address".to_owned()]));
         assert_eq!(only_address.relation_size("Address"), 2);
         assert_eq!(only_address.relation_size("Mobile#"), 0);
 

@@ -137,8 +137,7 @@ impl Schema {
                 relation.name().to_owned(),
             ));
         }
-        self.relations
-            .insert(relation.name().to_owned(), relation);
+        self.relations.insert(relation.name().to_owned(), relation);
         Ok(())
     }
 

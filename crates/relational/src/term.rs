@@ -90,9 +90,12 @@ impl From<Value> for Term {
 macro_rules! terms {
     () => { Vec::<$crate::Term>::new() };
     ($($rest:tt)+) => {{
-        let mut __terms: Vec<$crate::Term> = Vec::new();
-        $crate::terms_push!(__terms; $($rest)+);
-        __terms
+        #[allow(clippy::vec_init_then_push)]
+        {
+            let mut __terms: Vec<$crate::Term> = Vec::new();
+            $crate::terms_push!(__terms; $($rest)+);
+            __terms
+        }
     }};
 }
 

@@ -64,8 +64,8 @@ impl Tuple {
 
     /// Applies a value substitution to every component of the tuple.
     #[must_use]
-    pub fn map_values(&self, mut f: impl FnMut(&Value) -> Value) -> Tuple {
-        Tuple(self.0.iter().map(|v| f(v)).collect())
+    pub fn map_values(&self, f: impl FnMut(&Value) -> Value) -> Tuple {
+        Tuple(self.0.iter().map(f).collect())
     }
 }
 

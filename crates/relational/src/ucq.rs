@@ -364,9 +364,7 @@ impl Disjunct {
                         }
                         _ => (v, t),
                     };
-                    let subst = |name: &str| -> Option<Term> {
-                        (name == from).then(|| to.clone())
-                    };
+                    let subst = |name: &str| -> Option<Term> { (name == from).then(|| to.clone()) };
                     atoms = atoms.iter().map(|a| a.substitute(&subst)).collect();
                     let map_term = |term: &Term| -> Term {
                         match term {
@@ -575,10 +573,7 @@ mod tests {
 
     #[test]
     fn atom_sentence_evaluation() {
-        let f = PosFormula::exists(
-            vec!["x", "y"],
-            PosFormula::atom(atom!("R"; x, y)),
-        );
+        let f = PosFormula::exists(vec!["x", "y"], PosFormula::atom(atom!("R"; x, y)));
         assert!(f.holds(&inst()));
         let g = PosFormula::exists(vec!["x"], PosFormula::atom(atom!("T"; x)));
         assert!(!g.holds(&inst()));

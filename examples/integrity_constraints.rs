@@ -63,11 +63,16 @@ fn main() {
             .into_iter()
             .collect(),
         )
-        .with_step(Access::new("AcM1", tuple!["Jones"]), [].into_iter().collect());
+        .with_step(
+            Access::new("AcM1", tuple!["Jones"]),
+            [].into_iter().collect(),
+        );
     let respects_fd = fd_formula
         .holds_on_path(&conflicting, &schema, &Instance::new(), true)
         .expect("evaluation succeeds");
-    println!("path with two phone numbers for Smith respects the FD: {respects_fd} (expected false)");
+    println!(
+        "path with two phone numbers for Smith respects the FD: {respects_fd} (expected false)"
+    );
 
     // The FD-aware relevance question of Example 2.4: under the FD, a second
     // access asking for Smith's number is no longer long-term relevant once

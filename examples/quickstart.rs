@@ -23,7 +23,9 @@ fn main() {
     let path = AccessPath::new()
         .with_step(
             Access::new("AcM1", tuple!["Smith"]),
-            [tuple!["Smith", "OX13QD", "Parks Rd", 5551212]].into_iter().collect(),
+            [tuple!["Smith", "OX13QD", "Parks Rd", 5551212]]
+                .into_iter()
+                .collect(),
         )
         .with_step(
             Access::new("AcM2", tuple!["Parks Rd", "OX13QD"]),
@@ -39,7 +41,10 @@ fn main() {
         .configuration(&schema, &Instance::new())
         .expect("methods are declared");
     println!("\nAccess path:\n  {path}");
-    println!("Final configuration ({} facts):\n{final_config}", final_config.fact_count());
+    println!(
+        "Final configuration ({} facts):\n{final_config}",
+        final_config.fact_count()
+    );
 
     // 3. Evaluate an AccLTL property on the path: eventually the revealed data
     //    answers "does Jones have an address entry?".
@@ -64,11 +69,7 @@ fn main() {
     // 5. Long-term relevance: is entering (Parks Rd, OX13QD) into the Address
     //    form worth it for the Jones query?
     let access = Access::new("AcM2", tuple!["Parks Rd", "OX13QD"]);
-    let verdict = analyzer.long_term_relevant(
-        &access,
-        &UnionOfCqs::single(jones.clone()),
-        false,
-    );
+    let verdict = analyzer.long_term_relevant(&access, &UnionOfCqs::single(jones.clone()), false);
     println!("AcM2(Parks Rd, OX13QD) long-term relevant for the Jones query: {verdict:?}");
 
     // 6. Maximal answers under the access restrictions: starting from nothing,

@@ -13,8 +13,8 @@
 //!
 //! Run with `cargo run --example web_form_audit`.
 
-use accltl_core::prelude::*;
 use accltl_core::logic::AccLtl;
+use accltl_core::prelude::*;
 
 fn main() {
     let schema = phone_directory_access_schema();

@@ -3,9 +3,9 @@
 //! lifting, AccLTL+ → A-automata translation), and (c) a strictness witness
 //! for the A-automata vs AccLTL+ edge (parity of path length).
 
-use accltl_core::prelude::*;
 use accltl_core::automata::{accltl_plus_to_automaton, AAutomaton, Guard};
 use accltl_core::logic::fragment::{belongs_to, lift_zero_ary_to_binding_positive};
+use accltl_core::prelude::*;
 
 fn sample_paths() -> Vec<AccessPath> {
     let acm1 = Access::new("AcM1", tuple!["Smith"]);

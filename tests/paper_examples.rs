@@ -1,13 +1,15 @@
 //! Integration tests replaying the paper's worked examples across crates.
 
-use accltl_core::prelude::*;
 use accltl_core::analyzer::ContainmentOutcome;
+use accltl_core::prelude::*;
 
 fn figure1_path() -> AccessPath {
     AccessPath::new()
         .with_step(
             Access::new("AcM1", tuple!["Smith"]),
-            [tuple!["Smith", "OX13QD", "Parks Rd", 5551212]].into_iter().collect(),
+            [tuple!["Smith", "OX13QD", "Parks Rd", 5551212]]
+                .into_iter()
+                .collect(),
         )
         .with_step(
             Access::new("AcM2", tuple!["Parks Rd", "OX13QD"]),
@@ -70,8 +72,12 @@ fn example_2_2_containment() {
     // The counterexample path reaches a configuration satisfying the general
     // query but not the specific one.
     let schema = phone_directory_access_schema();
-    let configs = counterexample.configurations(&schema, &Instance::new()).unwrap();
-    assert!(configs.iter().any(|c| general.holds(c) && !specific.holds(c)));
+    let configs = counterexample
+        .configurations(&schema, &Instance::new())
+        .unwrap();
+    assert!(configs
+        .iter()
+        .any(|c| general.holds(c) && !specific.holds(c)));
 }
 
 /// Example 2.3: the AccLTL formulation of long-term relevance is satisfiable
@@ -120,11 +126,15 @@ fn example_2_3_restrictions() {
     let address_first = AccessPath::new()
         .with_step(
             Access::new("AcM2", tuple!["Parks Rd", "OX13QD"]),
-            [tuple!["Parks Rd", "OX13QD", "Smith", 13]].into_iter().collect(),
+            [tuple!["Parks Rd", "OX13QD", "Smith", 13]]
+                .into_iter()
+                .collect(),
         )
         .with_step(
             Access::new("AcM1", tuple!["Smith"]),
-            [tuple!["Smith", "OX13QD", "Parks Rd", 5551212]].into_iter().collect(),
+            [tuple!["Smith", "OX13QD", "Parks Rd", 5551212]]
+                .into_iter()
+                .collect(),
         );
 
     for (formula, zero_ary) in [(&dataflow, false), (&order, true)] {

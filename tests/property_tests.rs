@@ -4,8 +4,8 @@ use std::collections::BTreeSet;
 
 use proptest::prelude::*;
 
-use accltl_core::prelude::*;
 use accltl_core::automata::accltl_plus_to_automaton;
+use accltl_core::prelude::*;
 use accltl_core::relational::cq_contained_in_cq;
 
 /// Strategy: a small random instance over relations R0(arity 2) and R1(arity 1)
