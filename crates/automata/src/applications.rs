@@ -26,12 +26,12 @@ fn disjointness_violation(
     let (right_rel, right_pos) = &constraint.right;
     let left_arity = schema
         .schema()
-        .relation(left_rel)
+        .relation_by_id(*left_rel)
         .map(accltl_relational::RelationSchema::arity)
         .unwrap_or(left_pos + 1);
     let right_arity = schema
         .schema()
-        .relation(right_rel)
+        .relation_by_id(*right_rel)
         .map(accltl_relational::RelationSchema::arity)
         .unwrap_or(right_pos + 1);
     let left_vars: Vec<String> = (0..left_arity).map(|i| format!("l{i}")).collect();
@@ -48,11 +48,11 @@ fn disjointness_violation(
         all_vars,
         PosFormula::and(vec![
             PosFormula::Atom(accltl_relational::Atom::new(
-                accltl_logic::vocabulary::post_name(left_rel),
+                accltl_logic::vocabulary::post_rel(*left_rel),
                 left_vars.iter().map(Term::var).collect(),
             )),
             PosFormula::Atom(accltl_relational::Atom::new(
-                accltl_logic::vocabulary::post_name(right_rel),
+                accltl_logic::vocabulary::post_rel(*right_rel),
                 right_vars.iter().map(Term::var).collect(),
             )),
         ]),
@@ -131,7 +131,7 @@ pub fn ltr_automaton(
         .map(Term::Const)
         .collect();
     let flip = PosFormula::and(vec![
-        isbind_atom(&access.method, binding_terms),
+        isbind_atom(access.method, binding_terms),
         query_post(query),
     ]);
     let mut flip_negated = violations.clone();

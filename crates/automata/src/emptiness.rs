@@ -13,11 +13,11 @@
 //! queries).  A witness path returned by the search is always genuine;
 //! emptiness verdicts are exact relative to the configured caps.
 
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 
-use accltl_logic::vocabulary::{base_relation, isbind_name, post_name, pre_name};
+use accltl_logic::vocabulary::{base_relation, TransitionVocab};
 use accltl_paths::{Access, AccessPath, AccessSchema, Response};
-use accltl_relational::{Instance, Tuple, Value};
+use accltl_relational::{Instance, RelId, Sym, Tuple, Value};
 
 use crate::a_automaton::AAutomaton;
 use crate::progressive::chain_decomposition;
@@ -25,7 +25,9 @@ use crate::progressive::chain_decomposition;
 /// A search state: the automaton state plus the set of revealed fact indices.
 type SearchState = (usize, BTreeSet<usize>);
 /// Parent links of the product search, used to reconstruct witness paths.
-type SearchParents = BTreeMap<SearchState, Option<(SearchState, Access, Vec<usize>)>>;
+/// Hashed, not ordered: product states are only deduplicated and chased
+/// backwards, never iterated, so the BFS queue alone fixes exploration order.
+type SearchParents = HashMap<SearchState, Option<(SearchState, Access, Vec<usize>)>>;
 
 /// Configuration for the bounded emptiness search.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -133,17 +135,18 @@ fn search_chain(
 
     let universe = guard_fact_universe(automaton, schema, initial);
     let constants: BTreeSet<Value> = automaton.constants.clone();
+    let vocab = TransitionVocab::new(schema);
 
     let start: SearchState = (
         automaton.initial,
         universe
             .iter()
             .enumerate()
-            .filter(|(_, f)| initial.contains(&f.0, &f.1))
+            .filter(|(_, f)| initial.contains(f.0, &f.1))
             .map(|(i, _)| i)
             .collect(),
     );
-    let mut parents: SearchParents = BTreeMap::new();
+    let mut parents: SearchParents = SearchParents::new();
     let mut queue = VecDeque::new();
     parents.insert(start.clone(), None);
     queue.push_back(start);
@@ -156,9 +159,9 @@ fn search_chain(
         {
             let mut after = before.clone();
             for &i in &added {
-                after.add_fact(universe[i].0.clone(), universe[i].1.clone());
+                after.add_fact(universe[i].0, universe[i].1.clone());
             }
-            let structure = transition_structure(&before, &after, &method, &binding);
+            let structure = vocab.structure(&before, &after, method, Some(&binding));
             for transition in automaton.outgoing(*automaton_state) {
                 *guard_checks += 1;
                 if *guard_checks > config.max_guard_checks {
@@ -167,7 +170,7 @@ fn search_chain(
                 if !transition.guard.satisfied_by(&structure) {
                     continue;
                 }
-                let access = Access::new(method.clone(), binding.clone());
+                let access = Access::new(method, binding.clone());
                 if automaton.accepting.contains(&transition.to) {
                     let mut witness = reconstruct(&parents, &state, &universe);
                     let response: Response = added.iter().map(|&i| universe[i].1.clone()).collect();
@@ -205,46 +208,47 @@ fn guard_fact_universe(
     automaton: &AAutomaton,
     schema: &AccessSchema,
     initial: &Instance,
-) -> Vec<(String, Tuple)> {
-    let mut facts: BTreeSet<(String, Tuple)> = initial
-        .facts()
-        .map(|(r, t)| (r.to_owned(), t.clone()))
-        .collect();
+) -> Vec<(RelId, Tuple)> {
+    let mut facts: BTreeSet<(RelId, Tuple)> =
+        initial.facts().map(|(r, t)| (r, t.clone())).collect();
     for (index, transition) in automaton.transitions.iter().enumerate() {
         let positive = &transition.guard.positive;
         for (disjunct_index, icq) in positive.to_inequality_union().iter().enumerate() {
             let renamed = icq
                 .cq
-                .rename_vars(&|v| format!("g{index}d{disjunct_index}\u{1fa}{v}"));
+                .rename_vars(|v| format!("g{index}d{disjunct_index}\u{1fa}{v}"));
             // Constant bindings asserted by IsBind atoms of this disjunct.
-            let mut constant_bindings: Vec<(String, Vec<Value>)> = Vec::new();
+            let mut constant_bindings: Vec<(Sym, Vec<Value>)> = Vec::new();
             for atom in &renamed.atoms {
-                if let Some(method) = accltl_logic::vocabulary::parse_isbind(&atom.predicate) {
+                if let Some(method) =
+                    accltl_logic::vocabulary::parse_isbind(atom.predicate.as_str())
+                {
                     let values: Option<Vec<Value>> =
-                        atom.terms.iter().map(|t| t.as_const().cloned()).collect();
+                        atom.terms.iter().map(|t| t.as_const().copied()).collect();
                     if let Some(values) = values {
-                        constant_bindings.push((method.to_owned(), values));
+                        constant_bindings.push((Sym::new(method), values));
                     }
                 }
             }
             let (canonical, _) = renamed.canonical_instance();
             for (predicate, tuple) in canonical.facts() {
-                if let Some(base) = base_relation(predicate) {
-                    facts.insert((base.to_owned(), tuple.clone()));
+                if let Some(base) = base_relation(predicate.as_str()) {
+                    let base = RelId::new(base);
+                    facts.insert((base, tuple.clone()));
                     for (method_name, values) in &constant_bindings {
-                        let Some(method) = schema.method(method_name) else {
+                        let Some(method) = schema.method(*method_name) else {
                             continue;
                         };
-                        if method.relation() != base || values.len() != method.input_arity() {
+                        if method.relation_id() != base || values.len() != method.input_arity() {
                             continue;
                         }
                         let mut overwritten = tuple.values().to_vec();
                         for (&position, value) in method.input_positions().iter().zip(values) {
                             if position < overwritten.len() {
-                                overwritten[position] = value.clone();
+                                overwritten[position] = *value;
                             }
                         }
-                        facts.insert((base.to_owned(), Tuple::new(overwritten)));
+                        facts.insert((base, Tuple::new(overwritten)));
                     }
                 }
             }
@@ -255,44 +259,32 @@ fn guard_fact_universe(
 
 fn instance_of(
     initial: &Instance,
-    universe: &[(String, Tuple)],
+    universe: &[(RelId, Tuple)],
     revealed: &BTreeSet<usize>,
 ) -> Instance {
     let mut instance = initial.clone();
     for &i in revealed {
-        instance.add_fact(universe[i].0.clone(), universe[i].1.clone());
+        instance.add_fact(universe[i].0, universe[i].1.clone());
     }
     instance
 }
 
-fn transition_structure(
-    before: &Instance,
-    after: &Instance,
-    method: &str,
-    binding: &Tuple,
-) -> Instance {
-    let mut structure = before.rename_relations(&|r| pre_name(r));
-    structure.union_in_place(&after.rename_relations(&|r| post_name(r)));
-    structure.add_fact(isbind_name(method), binding.clone());
-    structure
-}
-
 fn candidate_transitions(
     schema: &AccessSchema,
-    universe: &[(String, Tuple)],
+    universe: &[(RelId, Tuple)],
     revealed: &BTreeSet<usize>,
     constants: &BTreeSet<Value>,
     config: &EmptinessConfig,
-) -> Vec<(String, Tuple, Vec<usize>)> {
+) -> Vec<(Sym, Tuple, Vec<usize>)> {
     let mut candidates = Vec::new();
     let universe_values: BTreeSet<Value> = universe
         .iter()
-        .flat_map(|(_, t)| t.values().iter().cloned())
+        .flat_map(|(_, t)| t.values().iter().copied())
         .collect();
     for method in schema.methods() {
         let mut groups: BTreeMap<Tuple, Vec<usize>> = BTreeMap::new();
         for (i, (relation, tuple)) in universe.iter().enumerate() {
-            if relation != method.relation() || revealed.contains(&i) {
+            if *relation != method.relation_id() || revealed.contains(&i) {
                 continue;
             }
             groups
@@ -310,12 +302,12 @@ fn candidate_transitions(
                     .filter(|i| mask & (1 << i) != 0)
                     .map(|i| members[i])
                     .collect();
-                candidates.push((method.name().to_owned(), binding.clone(), added));
+                candidates.push((method.name_sym(), binding.clone(), added));
             }
         }
         // Empty responses with bounded candidate bindings.
         let mut values: BTreeSet<Value> = universe_values.clone();
-        values.extend(constants.iter().cloned());
+        values.extend(constants.iter().copied());
         values.insert(Value::str("\u{2606}any"));
         let values: Vec<Value> = values.into_iter().collect();
         let mut bindings: Vec<Vec<Value>> = vec![Vec::new()];
@@ -327,7 +319,7 @@ fn candidate_transitions(
                         break;
                     }
                     let mut extended = prefix.clone();
-                    extended.push(v.clone());
+                    extended.push(*v);
                     next.push(extended);
                 }
             }
@@ -335,7 +327,7 @@ fn candidate_transitions(
         }
         bindings.truncate(config.max_empty_bindings);
         for binding in bindings {
-            candidates.push((method.name().to_owned(), Tuple::new(binding), Vec::new()));
+            candidates.push((method.name_sym(), Tuple::new(binding), Vec::new()));
         }
     }
     candidates
@@ -344,7 +336,7 @@ fn candidate_transitions(
 fn reconstruct(
     parents: &SearchParents,
     end: &SearchState,
-    universe: &[(String, Tuple)],
+    universe: &[(RelId, Tuple)],
 ) -> AccessPath {
     let mut steps: Vec<(Access, Response)> = Vec::new();
     let mut cursor = end.clone();

@@ -1,0 +1,86 @@
+//! Interned-representation microbench: chase steps and homomorphism search on
+//! the Figure 1 (phone-directory) schema, with the hidden-instance tuple
+//! count scaled 1×/4×/16×.
+//!
+//! These are exactly the inner loops the `relational::symbols` interning layer
+//! targets: chase violation scans and repairs (tuple-set membership, fact
+//! insertion, value rewriting) and backtracking homomorphism search (variable
+//! binding, per-relation candidate scans).  Before/after numbers for the
+//! interning refactor are recorded in `CHANGES.md`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use accltl_core::prelude::*;
+use accltl_core::relational::{
+    chase, ChaseConfig, Constraint, FunctionalDependency, InclusionDependency,
+};
+
+/// A phone-directory-shaped instance scaled by `scale`: `scale` streets, four
+/// houses per street, one mobile entry per even house.
+fn scaled_instance(scale: usize) -> Instance {
+    let mut inst = Instance::new();
+    for s in 0..scale {
+        let street = format!("Street{s}");
+        let postcode = format!("OX{s}QD");
+        for h in 0..4usize {
+            let name = format!("Resident{s}_{h}");
+            inst.add_fact(
+                "Address",
+                tuple![street.as_str(), postcode.as_str(), name.as_str(), h as i64],
+            );
+            if h % 2 == 0 {
+                inst.add_fact(
+                    "Mobile#",
+                    tuple![
+                        name.as_str(),
+                        postcode.as_str(),
+                        street.as_str(),
+                        5_551_000 + (s * 4 + h) as i64
+                    ],
+                );
+            }
+        }
+    }
+    inst
+}
+
+/// Constraints exercising both chase rules: every mobile entry needs an
+/// address row for its street/postcode, and postcode is functionally
+/// determined by street.
+fn constraints() -> Vec<Constraint> {
+    vec![
+        Constraint::Ind(InclusionDependency::new(
+            "Mobile#",
+            vec![2, 1],
+            "Address",
+            vec![0, 1],
+        )),
+        Constraint::Fd(FunctionalDependency::new("Address", vec![0], 1)),
+    ]
+}
+
+fn bench_interning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interning");
+    group.sample_size(20);
+    for scale in [1usize, 4, 16] {
+        let instance = scaled_instance(scale);
+        let cs = constraints();
+        group.bench_with_input(BenchmarkId::new("chase", scale), &scale, |b, _| {
+            b.iter(|| chase(&instance, &cs, &ChaseConfig::default()));
+        });
+
+        // Join query: names having both a mobile entry and an address entry on
+        // the same street (a 3-atom homomorphism search).
+        let join = cq!([n] <-
+            atom!("Mobile#"; n, p, s, ph),
+            atom!("Address"; s, p2, n, h),
+            atom!("Address"; s, p3, m, h2));
+        group.bench_with_input(BenchmarkId::new("homomorphism", scale), &scale, |b, _| {
+            b.iter(|| join.evaluate(&instance));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_interning);
+criterion_main!(benches);

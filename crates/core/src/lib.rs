@@ -13,7 +13,7 @@
 //!   the cheapest decision procedure for the formula's fragment (Table 1);
 //! * query containment under access patterns (Example 2.2 / Proposition 4.4);
 //! * long-term relevance of an access (Example 2.3);
-//! * maximal answers of a query under the access restrictions ([15]).
+//! * maximal answers of a query under the access restrictions (\[15\]).
 //!
 //! ```
 //! use accltl_core::prelude::*;
@@ -63,6 +63,7 @@ pub mod prelude {
     };
     pub use accltl_relational::{
         atom, cq, tuple, Atom, ConjunctiveQuery, DisjointnessConstraint, FunctionalDependency,
-        Instance, PosFormula, Schema, Term, Tuple, UnionOfCqs, Value,
+        Instance, PosFormula, RelId, Schema, Sym, SymbolTable, Term, Tuple, UnionOfCqs, Value,
+        VarId,
     };
 }

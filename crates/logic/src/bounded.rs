@@ -27,19 +27,22 @@
 //! fragments covered by the Boundedness Lemma, which is how the solver
 //! front-ends in [`crate::solver`] report their verdicts.
 
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 
 use accltl_paths::{Access, AccessPath, AccessSchema, Response};
-use accltl_relational::{Instance, PosFormula, Tuple, Value};
+use accltl_relational::{Instance, PosFormula, RelId, Sym, Tuple, Value};
 
 use crate::accltl::AccLtl;
-use crate::vocabulary::{self, erase_isbind, isbind_name, post_name, pre_name};
+use crate::vocabulary::{self, erase_isbind, TransitionVocab};
 
 /// A bounded-search state: revealed universe-fact indices plus the formula
 /// still to satisfy.
 type SearchState = (BTreeSet<usize>, AccLtl);
 /// Parent links of the bounded search, used to reconstruct witness paths.
-type SearchParents = BTreeMap<SearchState, Option<(SearchState, Access, Vec<usize>)>>;
+/// Hashed (not ordered): states are only deduplicated and chased backwards,
+/// and interned ids hash as integers — exploration order stays the BFS queue
+/// order, so determinism is unaffected.
+type SearchParents = HashMap<SearchState, Option<(SearchState, Access, Vec<usize>)>>;
 
 /// Configuration of the bounded satisfiability search.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -101,7 +104,7 @@ impl SatOutcome {
 /// One fact of the bounded universe.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 struct UniverseFact {
-    relation: String,
+    relation: RelId,
     tuple: Tuple,
 }
 
@@ -112,7 +115,7 @@ fn fact_universe(formula: &AccLtl, initial: &Instance) -> Vec<UniverseFact> {
     let mut facts: BTreeSet<UniverseFact> = initial
         .facts()
         .map(|(rel, tuple)| UniverseFact {
-            relation: rel.to_owned(),
+            relation: rel,
             tuple: tuple.clone(),
         })
         .collect();
@@ -124,12 +127,12 @@ fn fact_universe(formula: &AccLtl, initial: &Instance) -> Vec<UniverseFact> {
             // sentences/disjuncts never share frozen values.
             let renamed = icq
                 .cq
-                .rename_vars(&|v| format!("s{sentence_index}d{disjunct_index}\u{1f9}{v}"));
+                .rename_vars(|v| format!("s{sentence_index}d{disjunct_index}\u{1f9}{v}"));
             let (canonical, _) = renamed.canonical_instance();
             for (predicate, tuple) in canonical.facts() {
-                if let Some(base) = vocabulary::base_relation(predicate) {
+                if let Some(base) = vocabulary::base_relation(predicate.as_str()) {
                     facts.insert(UniverseFact {
-                        relation: base.to_owned(),
+                        relation: RelId::new(base),
                         tuple: tuple.clone(),
                     });
                 }
@@ -208,7 +211,7 @@ fn accepts_empty(formula: &AccLtl) -> bool {
 /// A candidate transition produced by the enumerator.
 #[derive(Debug, Clone)]
 struct CandidateTransition {
-    method: String,
+    method: Sym,
     binding: Tuple,
     added: Vec<usize>,
 }
@@ -245,11 +248,12 @@ impl<'a> BoundedSearcher<'a> {
         let universe = fact_universe(formula, &self.initial);
         let constants = formula_constants(formula);
         let start_formula = normalize(formula);
+        let vocab = TransitionVocab::new(self.schema);
 
         let initially_revealed: BTreeSet<usize> = universe
             .iter()
             .enumerate()
-            .filter(|(_, f)| self.initial.contains(&f.relation, &f.tuple))
+            .filter(|(_, f)| self.initial.contains(f.relation, &f.tuple))
             .map(|(i, _)| i)
             .collect();
 
@@ -259,11 +263,10 @@ impl<'a> BoundedSearcher<'a> {
             };
         }
 
-        type State = (BTreeSet<usize>, AccLtl);
         // parent: state -> (previous state, access, response fact indices)
-        let mut parents: BTreeMap<State, Option<(State, Access, Vec<usize>)>> = BTreeMap::new();
-        let mut queue: VecDeque<State> = VecDeque::new();
-        let start: State = (initially_revealed, start_formula);
+        let mut parents: SearchParents = SearchParents::new();
+        let mut queue: VecDeque<SearchState> = VecDeque::new();
+        let start: SearchState = (initially_revealed, start_formula);
         parents.insert(start.clone(), None);
         queue.push_back(start);
 
@@ -277,17 +280,16 @@ impl<'a> BoundedSearcher<'a> {
                 let mut after = current_instance.clone();
                 for &index in &candidate.added {
                     new_revealed.insert(index);
-                    after.add_fact(
-                        universe[index].relation.clone(),
-                        universe[index].tuple.clone(),
-                    );
+                    after.add_fact(universe[index].relation, universe[index].tuple.clone());
                 }
-                let structure = self.transition_structure(&current_instance, &after, &candidate);
+                let binding = (!self.zero_ary).then_some(&candidate.binding);
+                let structure =
+                    vocab.structure(&current_instance, &after, candidate.method, binding);
                 let progressed = normalize(&progress(obligation, &structure));
                 if progressed == AccLtl::bottom() {
                     continue;
                 }
-                let access = Access::new(candidate.method.clone(), candidate.binding.clone());
+                let access = Access::new(candidate.method, candidate.binding.clone());
                 if accepts_empty(&progressed) {
                     // The path leading to the current state, extended by this
                     // transition, is a witness (checked before deduplication:
@@ -303,7 +305,7 @@ impl<'a> BoundedSearcher<'a> {
                     witness.push(access, response);
                     return SatOutcome::Satisfiable { witness };
                 }
-                let next_state: State = (new_revealed, progressed.clone());
+                let next_state: SearchState = (new_revealed, progressed.clone());
                 if parents.contains_key(&next_state) {
                     continue;
                 }
@@ -325,29 +327,9 @@ impl<'a> BoundedSearcher<'a> {
     fn instance_of(&self, universe: &[UniverseFact], revealed: &BTreeSet<usize>) -> Instance {
         let mut instance = self.initial.clone();
         for &index in revealed {
-            instance.add_fact(
-                universe[index].relation.clone(),
-                universe[index].tuple.clone(),
-            );
+            instance.add_fact(universe[index].relation, universe[index].tuple.clone());
         }
         instance
-    }
-
-    fn transition_structure(
-        &self,
-        before: &Instance,
-        after: &Instance,
-        candidate: &CandidateTransition,
-    ) -> Instance {
-        let mut structure = before.rename_relations(&|r| pre_name(r));
-        structure.union_in_place(&after.rename_relations(&|r| post_name(r)));
-        let bind_predicate = isbind_name(&candidate.method);
-        if self.zero_ary {
-            structure.add_fact(bind_predicate, Tuple::default());
-        } else {
-            structure.add_fact(bind_predicate, candidate.binding.clone());
-        }
-        structure
     }
 
     fn candidate_transitions(
@@ -361,7 +343,7 @@ impl<'a> BoundedSearcher<'a> {
         let known_values: BTreeSet<Value> = current.active_domain();
 
         for method in self.schema.methods() {
-            let relation = method.relation();
+            let relation = method.relation_id();
             // Group unrevealed facts of the relation by their projection onto
             // the method's input positions (a well-formed response must agree
             // with the binding on those positions).
@@ -391,7 +373,7 @@ impl<'a> BoundedSearcher<'a> {
                         .map(|i| members[i])
                         .collect();
                     candidates.push(CandidateTransition {
-                        method: method.name().to_owned(),
+                        method: method.name_sym(),
                         binding: binding.clone(),
                         added,
                     });
@@ -402,7 +384,7 @@ impl<'a> BoundedSearcher<'a> {
             // enumerate a bounded set of candidate bindings.
             if self.zero_ary {
                 candidates.push(CandidateTransition {
-                    method: method.name().to_owned(),
+                    method: method.name_sym(),
                     binding: dummy_binding(method.input_arity()),
                     added: Vec::new(),
                 });
@@ -411,7 +393,7 @@ impl<'a> BoundedSearcher<'a> {
                     self.empty_response_bindings(universe, method, constants, &known_values)
                 {
                     candidates.push(CandidateTransition {
-                        method: method.name().to_owned(),
+                        method: method.name_sym(),
                         binding,
                         added: Vec::new(),
                     });
@@ -434,12 +416,12 @@ impl<'a> BoundedSearcher<'a> {
         // placeholder value.
         let universe_values: BTreeSet<Value> = universe
             .iter()
-            .flat_map(|f| f.tuple.values().iter().cloned())
+            .flat_map(|f| f.tuple.values().iter().copied())
             .collect();
         let mut per_position: Vec<Vec<Value>> = Vec::new();
         for _position in method.input_positions() {
             let mut values: BTreeSet<Value> = universe_values.clone();
-            values.extend(constants.iter().cloned());
+            values.extend(constants.iter().copied());
             if self.config.grounded {
                 values.retain(|v| known_values.contains(v));
             } else {
@@ -450,13 +432,13 @@ impl<'a> BoundedSearcher<'a> {
         let mut bindings: Vec<Vec<Value>> = vec![Vec::new()];
         for values in &per_position {
             let mut next = Vec::new();
-            for prefixix in &bindings {
+            for prefix in &bindings {
                 for v in values {
                     if next.len() >= self.config.max_empty_bindings {
                         break;
                     }
-                    let mut extended = prefixix.clone();
-                    extended.push(v.clone());
+                    let mut extended = prefix.clone();
+                    extended.push(*v);
                     next.push(extended);
                 }
             }

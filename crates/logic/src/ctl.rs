@@ -10,9 +10,7 @@
 
 use accltl_paths::lts::{LtsNode, LtsTree};
 use accltl_paths::Transition;
-use accltl_relational::{Instance, PosFormula, Tuple};
-
-use crate::vocabulary::{isbind_name, post_name, pre_name};
+use accltl_relational::{Instance, PosFormula};
 
 /// A `CTL_EX` formula over the 0-ary transition vocabulary.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -103,15 +101,8 @@ pub fn satisfied_at_edge(
         response: response.clone(),
         after: tree.nodes[*child].instance.clone(),
     };
-    let structure = zero_ary_structure(&transition);
+    let structure = crate::vocabulary::transition_structure(&transition, true);
     satisfied(formula, tree, *child, &structure)
-}
-
-fn zero_ary_structure(transition: &Transition) -> Instance {
-    let mut structure = transition.before.rename_relations(&|r| pre_name(r));
-    structure.union_in_place(&transition.after.rename_relations(&|r| post_name(r)));
-    structure.add_fact(isbind_name(&transition.access.method), Tuple::default());
-    structure
 }
 
 fn satisfied(formula: &CtlEx, tree: &LtsTree, child_node: usize, structure: &Instance) -> bool {

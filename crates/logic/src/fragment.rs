@@ -292,7 +292,7 @@ fn rewrite_negated_isbind(formula: &AccLtl, schema: &AccessSchema, positive: boo
 fn standalone_isbind_method(sentence: &PosFormula) -> Option<String> {
     match sentence {
         PosFormula::Atom(a) if a.terms.is_empty() => {
-            vocabulary::parse_isbind(&a.predicate).map(str::to_owned)
+            vocabulary::parse_isbind(a.predicate.as_str()).map(str::to_owned)
         }
         _ => None,
     }
@@ -327,7 +327,7 @@ fn replace_zero_ary_atoms(formula: &AccLtl, schema: &AccessSchema) -> AccLtl {
 fn expand_sentence(sentence: &PosFormula, schema: &AccessSchema) -> PosFormula {
     match sentence {
         PosFormula::Atom(a) if a.terms.is_empty() => {
-            if let Some(method_name) = vocabulary::parse_isbind(&a.predicate) {
+            if let Some(method_name) = vocabulary::parse_isbind(a.predicate.as_str()) {
                 let arity = schema
                     .method(method_name)
                     .map(|m| m.input_arity())

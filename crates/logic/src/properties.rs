@@ -52,7 +52,7 @@ pub fn long_term_relevance_formula(access: &Access, query: &ConjunctiveQuery) ->
         .collect();
     AccLtl::finally(AccLtl::and(vec![
         AccLtl::not(AccLtl::atom(query_pre(query))),
-        AccLtl::atom(isbind_atom(&access.method, binding_terms)),
+        AccLtl::atom(isbind_atom(access.method, binding_terms)),
         AccLtl::atom(query_post(query)),
     ]))
 }
@@ -222,12 +222,12 @@ pub fn disjointness_formula_for(
     let (right_rel, right_pos) = &constraint.right;
     let left_arity = schema
         .schema()
-        .relation(left_rel)
+        .relation_by_id(*left_rel)
         .map(accltl_relational::RelationSchema::arity)
         .unwrap_or(*left_pos + 1);
     let right_arity = schema
         .schema()
-        .relation(right_rel)
+        .relation_by_id(*right_rel)
         .map(accltl_relational::RelationSchema::arity)
         .unwrap_or(*right_pos + 1);
     let left_vars: Vec<String> = (0..left_arity).map(|i| format!("l{i}")).collect();
@@ -258,14 +258,14 @@ pub fn disjointness_formula_for(
 pub fn functional_dependency_formula(schema: &AccessSchema, fd: &FunctionalDependency) -> AccLtl {
     let arity = schema
         .schema()
-        .relation(&fd.relation)
+        .relation_by_id(fd.relation)
         .map(accltl_relational::RelationSchema::arity)
         .unwrap_or(fd.rhs + 1);
     let ys: Vec<String> = (0..arity).map(|i| format!("y{i}")).collect();
     let zs: Vec<String> = (0..arity).map(|i| format!("z{i}")).collect();
     let mut conjuncts = vec![
-        pre_atom(&fd.relation, ys.iter().map(Term::var).collect()),
-        pre_atom(&fd.relation, zs.iter().map(Term::var).collect()),
+        pre_atom(fd.relation, ys.iter().map(Term::var).collect()),
+        pre_atom(fd.relation, zs.iter().map(Term::var).collect()),
     ];
     for &p in &fd.lhs {
         conjuncts.push(PosFormula::Eq(
@@ -301,7 +301,7 @@ pub fn functional_dependency_post_formula(
 
 fn rename_pre_to_post(formula: &AccLtl, schema: &AccessSchema) -> AccLtl {
     let rename = |sentence: &PosFormula| -> PosFormula {
-        sentence.rename_predicates(&|p| {
+        sentence.rename_predicates(|p: &str| {
             if let Some(base) = crate::vocabulary::parse_pre(p) {
                 if schema.schema().relation(base).is_some() {
                     return post_name(base);

@@ -75,7 +75,7 @@ mod tests {
 
     fn chase_oracle(gamma: &[FunctionalDependency], sigma: &FunctionalDependency) -> Implication {
         let constraints: Vec<Constraint> = gamma.iter().cloned().map(Constraint::Fd).collect();
-        let arities = BTreeMap::from([("R".to_owned(), 3usize)]);
+        let arities = BTreeMap::from([(accltl_relational::RelId::new("R"), 3usize)]);
         implies_fd(&constraints, sigma, &arities, &ChaseConfig::default())
     }
 

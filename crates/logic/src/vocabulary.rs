@@ -14,7 +14,8 @@
 //! existential sentences evaluated over that instance by `accltl-relational`.
 
 use accltl_paths::{AccessSchema, Transition};
-use accltl_relational::{Atom, Instance, PosFormula, Term, Tuple};
+use accltl_relational::symbols::IdMap;
+use accltl_relational::{Atom, Instance, PosFormula, RelId, Sym, Term, Tuple};
 
 /// The `Rpre` predicate name for relation `relation`.
 #[must_use]
@@ -54,6 +55,108 @@ pub fn parse_isbind(predicate: &str) -> Option<&str> {
         .and_then(|rest| rest.strip_suffix('\u{203a}'))
 }
 
+/// The interned id of the `Rpre` copy of a relation.  Each call formats the
+/// mangled name (one short `String` allocation) before the memoised pool
+/// lookup; hot loops should go through a per-schema [`TransitionVocab`],
+/// which caches the resolved ids and only falls back here for relations
+/// outside the schema.
+#[must_use]
+pub fn pre_rel(relation: RelId) -> RelId {
+    RelId::new(&pre_name(relation.as_str()))
+}
+
+/// The interned id of the `Rpost` copy of a relation.
+#[must_use]
+pub fn post_rel(relation: RelId) -> RelId {
+    RelId::new(&post_name(relation.as_str()))
+}
+
+/// The interned id of the `IsBind_AcM` predicate of a method.
+#[must_use]
+pub fn isbind_rel(method: Sym) -> RelId {
+    RelId::new(&isbind_name(method.as_str()))
+}
+
+/// The id-level `SchAcc` vocabulary of an access schema, resolved once.
+///
+/// The bounded searches build one transition structure per candidate
+/// transition, in their innermost loop; with this table the whole
+/// construction — `Rpre`/`Rpost` renames and the `IsBind` predicate — is a
+/// `u32` binary search per relation, with no string formatting or pool
+/// traffic.  Unknown relations (extended vocabularies) fall back to interning.
+#[derive(Debug, Clone)]
+pub struct TransitionVocab {
+    /// Base relation raw id → `(pre id, post id)`.
+    relations: IdMap<(RelId, RelId)>,
+    /// Method name raw id → `IsBind` id.
+    methods: IdMap<RelId>,
+}
+
+impl TransitionVocab {
+    /// Resolves the pre/post/IsBind ids for every relation and method of the
+    /// schema.
+    #[must_use]
+    pub fn new(schema: &AccessSchema) -> Self {
+        let mut relations = IdMap::new();
+        for &rel in schema.symbols().relations() {
+            relations.insert(rel.id(), (pre_rel(rel), post_rel(rel)));
+        }
+        let mut methods = IdMap::new();
+        for &m in schema.symbols().methods() {
+            methods.insert(m.id(), isbind_rel(m));
+        }
+        TransitionVocab { relations, methods }
+    }
+
+    /// The `Rpre` id of a base relation.
+    #[must_use]
+    pub fn pre(&self, relation: RelId) -> RelId {
+        match self.relations.get(relation.id()) {
+            Some(&(pre, _)) => pre,
+            None => pre_rel(relation),
+        }
+    }
+
+    /// The `Rpost` id of a base relation.
+    #[must_use]
+    pub fn post(&self, relation: RelId) -> RelId {
+        match self.relations.get(relation.id()) {
+            Some(&(_, post)) => post,
+            None => post_rel(relation),
+        }
+    }
+
+    /// The `IsBind` id of a method.
+    #[must_use]
+    pub fn isbind(&self, method: Sym) -> RelId {
+        match self.methods.get(method.id()) {
+            Some(&isbind) => isbind,
+            None => isbind_rel(method),
+        }
+    }
+
+    /// Builds the transition structure `M(t)` for a `(before, access, after)`
+    /// triple entirely at the id level.  `binding` is `None` for the 0-ary
+    /// `Sch0−Acc` interpretation.
+    #[must_use]
+    pub fn structure(
+        &self,
+        before: &Instance,
+        after: &Instance,
+        method: Sym,
+        binding: Option<&Tuple>,
+    ) -> Instance {
+        let mut structure = before.rename_relations_by(|r| self.pre(r));
+        structure.union_in_place(&after.rename_relations_by(|r| self.post(r)));
+        let bind_predicate = self.isbind(method);
+        match binding {
+            Some(binding) => structure.add_fact(bind_predicate, binding.clone()),
+            None => structure.add_fact(bind_predicate, Tuple::default()),
+        };
+        structure
+    }
+}
+
 /// True if the predicate is an `IsBind` predicate.
 #[must_use]
 pub fn is_isbind(predicate: &str) -> bool {
@@ -67,9 +170,9 @@ pub fn is_isbind(predicate: &str) -> bool {
 /// binding, matching the `Sch0−Acc` vocabulary of Section 4.2.
 #[must_use]
 pub fn transition_structure(transition: &Transition, zero_ary: bool) -> Instance {
-    let mut structure = transition.before.rename_relations(&|r| pre_name(r));
-    structure.union_in_place(&transition.after.rename_relations(&|r| post_name(r)));
-    let bind_predicate = isbind_name(&transition.access.method);
+    let mut structure = transition.before.rename_relations_by(pre_rel);
+    structure.union_in_place(&transition.after.rename_relations_by(post_rel));
+    let bind_predicate = isbind_rel(transition.access.method);
     if zero_ary {
         structure.add_fact(bind_predicate, Tuple::default());
     } else {
@@ -89,26 +192,26 @@ pub fn path_structures(transitions: &[Transition], zero_ary: bool) -> Vec<Instan
 
 /// Convenience constructor for an atom over the `Rpre` copy of a relation.
 #[must_use]
-pub fn pre_atom(relation: &str, terms: Vec<Term>) -> PosFormula {
-    PosFormula::Atom(Atom::new(pre_name(relation), terms))
+pub fn pre_atom(relation: impl Into<RelId>, terms: Vec<Term>) -> PosFormula {
+    PosFormula::Atom(Atom::new(pre_rel(relation.into()), terms))
 }
 
 /// Convenience constructor for an atom over the `Rpost` copy of a relation.
 #[must_use]
-pub fn post_atom(relation: &str, terms: Vec<Term>) -> PosFormula {
-    PosFormula::Atom(Atom::new(post_name(relation), terms))
+pub fn post_atom(relation: impl Into<RelId>, terms: Vec<Term>) -> PosFormula {
+    PosFormula::Atom(Atom::new(post_rel(relation.into()), terms))
 }
 
 /// Convenience constructor for an `IsBind_AcM(t̄)` atom.
 #[must_use]
-pub fn isbind_atom(method: &str, terms: Vec<Term>) -> PosFormula {
-    PosFormula::Atom(Atom::new(isbind_name(method), terms))
+pub fn isbind_atom(method: impl Into<Sym>, terms: Vec<Term>) -> PosFormula {
+    PosFormula::Atom(Atom::new(isbind_rel(method.into()), terms))
 }
 
 /// Convenience constructor for the 0-ary `IsBind_AcM` proposition.
 #[must_use]
-pub fn isbind_prop(method: &str) -> PosFormula {
-    PosFormula::Atom(Atom::new(isbind_name(method), Vec::new()))
+pub fn isbind_prop(method: impl Into<Sym>) -> PosFormula {
+    PosFormula::Atom(Atom::new(isbind_rel(method.into()), Vec::new()))
 }
 
 /// Rewrites a conjunctive query over the base schema into the same query over
@@ -133,7 +236,7 @@ fn query_over(
         query
             .atoms
             .iter()
-            .map(|a| PosFormula::Atom(a.with_predicate(rename(&a.predicate))))
+            .map(|a| PosFormula::Atom(a.with_predicate(rename(a.predicate.as_str()))))
             .collect(),
     )
     .existential_closure()
@@ -146,7 +249,7 @@ fn query_over(
 #[must_use]
 pub fn erase_isbind(formula: &PosFormula) -> PosFormula {
     match formula {
-        PosFormula::Atom(a) if is_isbind(&a.predicate) => PosFormula::True,
+        PosFormula::Atom(a) if is_isbind(a.predicate.as_str()) => PosFormula::True,
         PosFormula::Atom(_)
         | PosFormula::Eq(..)
         | PosFormula::Neq(..)
@@ -174,7 +277,7 @@ pub fn erase_isbind(formula: &PosFormula) -> PosFormula {
 /// True if the formula mentions any `IsBind` predicate.
 #[must_use]
 pub fn mentions_isbind(formula: &PosFormula) -> bool {
-    formula.predicates().iter().any(|p| is_isbind(p))
+    formula.predicates().iter().any(|p| is_isbind(p.as_str()))
 }
 
 /// The access-method names whose `IsBind` predicate the formula mentions.
@@ -183,7 +286,7 @@ pub fn isbind_methods(formula: &PosFormula) -> Vec<String> {
     formula
         .predicates()
         .iter()
-        .filter_map(|p| parse_isbind(p).map(str::to_owned))
+        .filter_map(|p| parse_isbind(p.as_str()).map(str::to_owned))
         .collect()
 }
 
@@ -193,7 +296,7 @@ pub fn isbind_methods(formula: &PosFormula) -> Vec<String> {
 pub fn isbind_atoms_are_zero_ary(formula: &PosFormula) -> bool {
     fn walk(formula: &PosFormula) -> bool {
         match formula {
-            PosFormula::Atom(a) => !is_isbind(&a.predicate) || a.arity() == 0,
+            PosFormula::Atom(a) => !is_isbind(a.predicate.as_str()) || a.arity() == 0,
             PosFormula::Eq(..) | PosFormula::Neq(..) | PosFormula::True | PosFormula::False => true,
             PosFormula::And(ps) | PosFormula::Or(ps) => ps.iter().all(walk),
             PosFormula::Exists(_, body) => walk(body),
@@ -214,9 +317,9 @@ pub fn base_relation(predicate: &str) -> Option<&str> {
 #[must_use]
 pub fn uses_only_schema_vocabulary(formula: &PosFormula, schema: &AccessSchema) -> bool {
     formula.predicates().iter().all(|p| {
-        if let Some(rel) = base_relation(p) {
+        if let Some(rel) = base_relation(p.as_str()) {
             schema.schema().relation(rel).is_some()
-        } else if let Some(m) = parse_isbind(p) {
+        } else if let Some(m) = parse_isbind(p.as_str()) {
             schema.method(m).is_some()
         } else {
             false
@@ -262,23 +365,23 @@ mod tests {
         let transitions = example_transitions();
         let m0 = transition_structure(&transitions[0], false);
         // Before the first access nothing is known: no pre facts.
-        assert_eq!(m0.relation_size(&pre_name("Mobile#")), 0);
-        assert_eq!(m0.relation_size(&post_name("Mobile#")), 1);
-        assert!(m0.contains(&isbind_name("AcM1"), &tuple!["Smith"]));
-        assert_eq!(m0.relation_size(&isbind_name("AcM2")), 0);
+        assert_eq!(m0.relation_size(pre_name("Mobile#")), 0);
+        assert_eq!(m0.relation_size(post_name("Mobile#")), 1);
+        assert!(m0.contains(isbind_name("AcM1"), &tuple!["Smith"]));
+        assert_eq!(m0.relation_size(isbind_name("AcM2")), 0);
 
         let m1 = transition_structure(&transitions[1], false);
-        assert_eq!(m1.relation_size(&pre_name("Mobile#")), 1);
-        assert_eq!(m1.relation_size(&post_name("Address")), 1);
-        assert!(m1.contains(&isbind_name("AcM2"), &tuple!["Parks Rd", "OX13QD"]));
+        assert_eq!(m1.relation_size(pre_name("Mobile#")), 1);
+        assert_eq!(m1.relation_size(post_name("Address")), 1);
+        assert!(m1.contains(isbind_name("AcM2"), &tuple!["Parks Rd", "OX13QD"]));
     }
 
     #[test]
     fn zero_ary_structure_forgets_the_binding() {
         let transitions = example_transitions();
         let m0 = transition_structure(&transitions[0], true);
-        assert!(m0.contains(&isbind_name("AcM1"), &Tuple::default()));
-        assert!(!m0.contains(&isbind_name("AcM1"), &tuple!["Smith"]));
+        assert!(m0.contains(isbind_name("AcM1"), &Tuple::default()));
+        assert!(!m0.contains(isbind_name("AcM1"), &tuple!["Smith"]));
     }
 
     #[test]
@@ -328,10 +431,12 @@ mod tests {
     fn query_pre_and_post_rename_predicates_and_close_existentially() {
         let q = cq!(<- atom!("Address"; s, p, @"Jones", h));
         let pre = query_pre(&q);
-        assert!(pre.predicates().contains(&pre_name("Address")));
+        assert!(pre.predicates().contains(&RelId::new(&pre_name("Address"))));
         assert!(pre.free_variables().is_empty());
         let post = query_post(&q);
-        assert!(post.predicates().contains(&post_name("Address")));
+        assert!(post
+            .predicates()
+            .contains(&RelId::new(&post_name("Address"))));
     }
 
     #[test]
@@ -342,7 +447,9 @@ mod tests {
         ]);
         let erased = erase_isbind(&with_bind);
         assert!(!mentions_isbind(&erased));
-        assert!(erased.predicates().contains(&pre_name("Address")));
+        assert!(erased
+            .predicates()
+            .contains(&RelId::new(&pre_name("Address"))));
 
         let or_bind = PosFormula::or(vec![
             isbind_prop("AcM1"),

@@ -4,7 +4,8 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use accltl_relational::schema::phone_directory_schema;
-use accltl_relational::{Instance, Schema, Tuple, Value};
+use accltl_relational::symbols::{RelKey, SymKey};
+use accltl_relational::{Instance, RelId, Schema, Sym, SymbolTable, Tuple, Value};
 
 use crate::error::PathError;
 use crate::Result;
@@ -14,8 +15,8 @@ use crate::Result;
 /// (Section 2 of the paper).
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct AccessMethod {
-    name: String,
-    relation: String,
+    name: Sym,
+    relation: RelId,
     input_positions: Vec<usize>,
     exact: bool,
     idempotent: bool,
@@ -25,8 +26,8 @@ impl AccessMethod {
     /// Creates an access method.  Input positions are sorted and deduplicated.
     #[must_use]
     pub fn new(
-        name: impl Into<String>,
-        relation: impl Into<String>,
+        name: impl Into<Sym>,
+        relation: impl Into<RelId>,
         mut input_positions: Vec<usize>,
     ) -> Self {
         input_positions.sort_unstable();
@@ -43,14 +44,14 @@ impl AccessMethod {
     /// Creates a boolean access method: every position of the relation is an
     /// input position, so an access is a membership test.
     #[must_use]
-    pub fn boolean(name: impl Into<String>, relation: impl Into<String>, arity: usize) -> Self {
+    pub fn boolean(name: impl Into<Sym>, relation: impl Into<RelId>, arity: usize) -> Self {
         AccessMethod::new(name, relation, (0..arity).collect())
     }
 
     /// Creates an input-free access method (no input positions); an access
     /// simply asks for tuples of the relation.
     #[must_use]
-    pub fn free(name: impl Into<String>, relation: impl Into<String>) -> Self {
+    pub fn free(name: impl Into<Sym>, relation: impl Into<RelId>) -> Self {
         AccessMethod::new(name, relation, Vec::new())
     }
 
@@ -72,14 +73,26 @@ impl AccessMethod {
 
     /// The method name.
     #[must_use]
-    pub fn name(&self) -> &str {
-        &self.name
+    pub fn name(&self) -> &'static str {
+        self.name.as_str()
+    }
+
+    /// The method name as an interned symbol.
+    #[must_use]
+    pub fn name_sym(&self) -> Sym {
+        self.name
     }
 
     /// The relation accessed by the method.
     #[must_use]
-    pub fn relation(&self) -> &str {
-        &self.relation
+    pub fn relation(&self) -> &'static str {
+        self.relation.as_str()
+    }
+
+    /// The accessed relation's interned id.
+    #[must_use]
+    pub fn relation_id(&self) -> RelId {
+        self.relation
     }
 
     /// The input positions (0-based, sorted).
@@ -133,8 +146,8 @@ impl fmt::Display for AccessMethod {
 /// position (in sorted position order).
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Access {
-    /// The access method name.
-    pub method: String,
+    /// The access method name (interned).
+    pub method: Sym,
     /// The binding: one value per input position of the method.
     pub binding: Tuple,
 }
@@ -142,7 +155,7 @@ pub struct Access {
 impl Access {
     /// Creates an access.
     #[must_use]
-    pub fn new(method: impl Into<String>, binding: Tuple) -> Self {
+    pub fn new(method: impl Into<Sym>, binding: Tuple) -> Self {
         Access {
             method: method.into(),
             binding,
@@ -151,7 +164,7 @@ impl Access {
 
     /// Creates an access from raw values.
     #[must_use]
-    pub fn with_values(method: impl Into<String>, values: Vec<Value>) -> Self {
+    pub fn with_values(method: impl Into<Sym>, values: Vec<Value>) -> Self {
         Access::new(method, Tuple::new(values))
     }
 }
@@ -163,20 +176,33 @@ impl fmt::Display for Access {
 }
 
 /// A schema extended with access methods: the central object of the paper.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct AccessSchema {
     schema: Schema,
-    methods: BTreeMap<String, AccessMethod>,
+    methods: BTreeMap<Sym, AccessMethod>,
+    symbols: SymbolTable,
 }
+
+/// Access schemas are equal when their schemas and methods are; the symbol
+/// table's registration order is bookkeeping, not identity.
+impl PartialEq for AccessSchema {
+    fn eq(&self, other: &Self) -> bool {
+        self.schema == other.schema && self.methods == other.methods
+    }
+}
+
+impl Eq for AccessSchema {}
 
 impl AccessSchema {
     /// Creates an access schema over the given relational schema, with no
     /// access methods yet.
     #[must_use]
     pub fn new(schema: Schema) -> Self {
+        let symbols = schema.symbols().clone();
         AccessSchema {
             schema,
             methods: BTreeMap::new(),
+            symbols,
         }
     }
 
@@ -186,7 +212,7 @@ impl AccessSchema {
     /// Fails if the method's relation is unknown, an input position is out of
     /// range, or the method name is already taken.
     pub fn add_method(&mut self, method: AccessMethod) -> Result<()> {
-        let relation = self.schema.require_relation(method.relation())?;
+        let relation = self.schema.require_relation_id(method.relation_id())?;
         for &p in method.input_positions() {
             if p >= relation.arity() {
                 return Err(PathError::InputPositionOutOfRange {
@@ -195,10 +221,11 @@ impl AccessSchema {
                 });
             }
         }
-        if self.methods.contains_key(method.name()) {
+        if self.methods.contains_key(&method.name_sym()) {
             return Err(PathError::DuplicateAccessMethod(method.name().to_owned()));
         }
-        self.methods.insert(method.name().to_owned(), method);
+        self.symbols.add_method(method.name_sym());
+        self.methods.insert(method.name_sym(), method);
         Ok(())
     }
 
@@ -217,16 +244,27 @@ impl AccessSchema {
         &self.schema
     }
 
-    /// Looks up an access method by name.
+    /// The schema's symbol table, extended with this access schema's method
+    /// names (both resolved at build time).
     #[must_use]
-    pub fn method(&self, name: &str) -> Option<&AccessMethod> {
-        self.methods.get(name)
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
     }
 
-    /// Looks up an access method by name, failing when absent.
-    pub fn require_method(&self, name: &str) -> Result<&AccessMethod> {
-        self.method(name)
-            .ok_or_else(|| PathError::UnknownAccessMethod(name.to_owned()))
+    /// Looks up an access method by name.  String keys resolve without
+    /// growing the intern pool (unknown names answer `None`).
+    #[must_use]
+    pub fn method(&self, name: impl SymKey) -> Option<&AccessMethod> {
+        name.resolve_sym().and_then(|sym| self.methods.get(&sym))
+    }
+
+    /// Looks up an access method by name, failing when absent.  Like
+    /// [`AccessSchema::method`], unknown string names are reported without
+    /// being interned.
+    pub fn require_method(&self, name: impl SymKey + std::fmt::Display) -> Result<&AccessMethod> {
+        name.resolve_sym()
+            .and_then(|sym| self.methods.get(&sym))
+            .ok_or_else(|| PathError::UnknownAccessMethod(name.to_string()))
     }
 
     /// Iterates over the access methods in name order.
@@ -235,13 +273,14 @@ impl AccessSchema {
     }
 
     /// The access methods on a given relation.
-    pub fn methods_for_relation<'a>(
-        &'a self,
-        relation: &'a str,
-    ) -> impl Iterator<Item = &'a AccessMethod> {
+    pub fn methods_for_relation(
+        &self,
+        relation: impl RelKey,
+    ) -> impl Iterator<Item = &AccessMethod> {
+        let relation = relation.resolve_rel();
         self.methods
             .values()
-            .filter(move |m| m.relation() == relation)
+            .filter(move |m| Some(m.relation_id()) == relation)
     }
 
     /// Number of access methods.
@@ -254,10 +293,10 @@ impl AccessSchema {
     /// one value per input position, with types matching the relation's
     /// declared column types.
     pub fn validate_access(&self, access: &Access) -> Result<()> {
-        let method = self.require_method(&access.method)?;
+        let method = self.require_method(access.method)?;
         if access.binding.arity() != method.input_arity() {
             return Err(PathError::InvalidBinding {
-                method: access.method.clone(),
+                method: access.method.as_str().to_owned(),
                 reason: format!(
                     "expected {} value(s), got {}",
                     method.input_arity(),
@@ -265,12 +304,12 @@ impl AccessSchema {
                 ),
             });
         }
-        let relation = self.schema.require_relation(method.relation())?;
+        let relation = self.schema.require_relation_id(method.relation_id())?;
         for (value, &position) in access.binding.values().iter().zip(method.input_positions()) {
             let expected = relation.column_types()[position];
             if !value.is_labelled_null() && value.data_type() != expected {
                 return Err(PathError::InvalidBinding {
-                    method: access.method.clone(),
+                    method: access.method.as_str().to_owned(),
                     reason: format!(
                         "value {value} at input position {} should have type {expected}",
                         position + 1
@@ -285,7 +324,7 @@ impl AccessSchema {
     /// access's binding (agrees with it on every input position).
     #[must_use]
     pub fn tuple_matches_access(&self, access: &Access, tuple: &Tuple) -> bool {
-        let Some(method) = self.method(&access.method) else {
+        let Some(method) = self.method(access.method) else {
             return false;
         };
         method
@@ -303,11 +342,11 @@ impl AccessSchema {
         access: &Access,
         hidden: &Instance,
     ) -> std::collections::BTreeSet<Tuple> {
-        let Some(method) = self.method(&access.method) else {
+        let Some(method) = self.method(access.method) else {
             return std::collections::BTreeSet::new();
         };
         hidden
-            .tuples(method.relation())
+            .tuples(method.relation_id())
             .filter(|t| self.tuple_matches_access(access, t))
             .cloned()
             .collect()
@@ -317,12 +356,12 @@ impl AccessSchema {
     /// the relation's arity and agrees with the binding on the input
     /// positions.
     pub fn validate_response(&self, access: &Access, response: &[Tuple]) -> Result<()> {
-        let method = self.require_method(&access.method)?;
-        let relation = self.schema.require_relation(method.relation())?;
+        let method = self.require_method(access.method)?;
+        let relation = self.schema.require_relation_id(method.relation_id())?;
         for tuple in response {
             if tuple.arity() != relation.arity() {
                 return Err(PathError::MalformedResponse {
-                    method: access.method.clone(),
+                    method: access.method.as_str().to_owned(),
                     reason: format!(
                         "tuple {tuple} has arity {}, relation {} has arity {}",
                         tuple.arity(),
@@ -333,7 +372,7 @@ impl AccessSchema {
             }
             if !self.tuple_matches_access(access, tuple) {
                 return Err(PathError::MalformedResponse {
-                    method: access.method.clone(),
+                    method: access.method.as_str().to_owned(),
                     reason: format!("tuple {tuple} disagrees with binding {}", access.binding),
                 });
             }

@@ -1,6 +1,6 @@
 //! Maximal answers of a query under limited access patterns.
 //!
-//! The paper's introduction recalls the classical result ([15], Li 2003) that
+//! The paper's introduction recalls the classical result (\[15\], Li 2003) that
 //! the maximal answers of a conjunctive query obtainable through grounded,
 //! exact accesses can be computed by a Datalog-style saturation that "tries
 //! all possible valid accesses" — obtain every tuple reachable from the known
@@ -66,7 +66,7 @@ pub fn accessible_part(
     loop {
         let mut changed = false;
         for method in schema.methods() {
-            let relation = schema.schema().require_relation(method.relation())?;
+            let relation = schema.schema().require_relation_id(method.relation_id())?;
             // Enumerate bindings over known values, filtered by column type.
             let per_position: Vec<Vec<Value>> = method
                 .input_positions()
@@ -76,7 +76,7 @@ pub fn accessible_part(
                     known_values
                         .iter()
                         .filter(|v| v.data_type() == ty)
-                        .cloned()
+                        .copied()
                         .collect()
                 })
                 .collect();
@@ -86,14 +86,14 @@ pub fn accessible_part(
                 for prefix in &bindings {
                     for v in values {
                         let mut extended = prefix.clone();
-                        extended.push(v.clone());
+                        extended.push(*v);
                         next.push(extended);
                     }
                 }
                 bindings = next;
             }
             for binding in bindings {
-                let access = Access::new(method.name().to_owned(), Tuple::new(binding));
+                let access = Access::new(method.name_sym(), Tuple::new(binding));
                 if tried.contains(&access) {
                     continue;
                 }
@@ -102,9 +102,9 @@ pub fn accessible_part(
                 let response = schema.exact_response(&access, hidden);
                 let mut new_facts = false;
                 for tuple in &response {
-                    if revealed.add_fact(method.relation().to_owned(), tuple.clone()) {
+                    if revealed.add_fact(method.relation_id(), tuple.clone()) {
                         new_facts = true;
-                        known_values.extend(tuple.values().iter().cloned());
+                        known_values.extend(tuple.values().iter().copied());
                     }
                 }
                 path.push(access, response);
@@ -207,7 +207,7 @@ mod tests {
         // that by seeding a dummy fact carrying the constant.
         initial_with_seed.add_fact("Address", tuple!["seed", "seed", "Smith", 0]);
         assert!(is_grounded(&report.witness_path, &initial_with_seed));
-        let all_methods: BTreeSet<String> = schema.methods().map(|m| m.name().to_owned()).collect();
+        let all_methods: BTreeSet<_> = schema.methods().map(|m| m.name_sym()).collect();
         assert!(is_exact_for(
             &report.witness_path,
             &schema,

@@ -90,13 +90,13 @@ pub fn generate_workload(config: &WorkloadConfig) -> Workload {
 
     // Hidden instance over a bounded value domain.
     let domain: Vec<Value> = (0..config.domain_size)
-        .map(|i| Value::Str(format!("v{i}")))
+        .map(|i| Value::str(format!("v{i}")))
         .collect();
     let mut hidden = Instance::new();
     for r in 0..config.relations {
         for _ in 0..config.facts_per_relation {
             let tuple: Tuple = (0..config.arity)
-                .map(|_| domain[rng.usize_below(domain.len())].clone())
+                .map(|_| domain[rng.usize_below(domain.len())])
                 .collect();
             hidden.add_fact(format!("R{r}"), tuple);
         }
@@ -116,7 +116,7 @@ pub fn generate_workload(config: &WorkloadConfig) -> Workload {
                         // Join with the previous atom.
                         Term::var(format!("x{}_{}", q, a - 1))
                     } else if rng.bool_with(0.15) {
-                        Term::constant(domain[rng.usize_below(domain.len())].clone())
+                        Term::constant(domain[rng.usize_below(domain.len())])
                     } else if p == config.arity - 1 {
                         Term::var(format!("x{q}_{a}"))
                     } else {
@@ -135,9 +135,9 @@ pub fn generate_workload(config: &WorkloadConfig) -> Workload {
         let binding: Tuple = method
             .input_positions()
             .iter()
-            .map(|_| domain[rng.usize_below(domain.len())].clone())
+            .map(|_| domain[rng.usize_below(domain.len())])
             .collect();
-        accesses.push(Access::new(method.name().to_owned(), binding));
+        accesses.push(Access::new(method.name_sym(), binding));
     }
 
     Workload {

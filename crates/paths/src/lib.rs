@@ -26,9 +26,9 @@
 //! in the logics of `accltl-logic`):
 //!
 //! * computation of the **maximal answers** of a query under limited access
-//!   patterns, via the accessible-part saturation of Li [15]
+//!   patterns, via the accessible-part saturation of Li \[15\]
 //!   ([`answerability`]);
-//! * **long-term relevance** (LTR) of an access to a query, Example 2.3 / [3]
+//! * **long-term relevance** (LTR) of an access to a query, Example 2.3 / \[3\]
 //!   ([`relevance`]).
 //!
 //! [`generator`] provides seeded workload generators used by tests and by the

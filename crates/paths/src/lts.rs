@@ -201,12 +201,12 @@ impl<'a> LtsExplorer<'a> {
             }
             let mut edges = Vec::new();
             for method in self.schema.methods() {
-                let bindings = self.candidate_bindings(method.name(), &instance)?;
+                let bindings = self.candidate_bindings(method, &instance)?;
                 if bindings.len() >= self.options.max_bindings_per_method {
                     truncated = true;
                 }
                 for binding in bindings {
-                    let access = Access::new(method.name().to_owned(), binding);
+                    let access = Access::new(method.name_sym(), binding);
                     for response in self.candidate_responses(&access) {
                         if nodes.len() + edges.len() >= self.options.max_nodes {
                             truncated = true;
@@ -214,7 +214,7 @@ impl<'a> LtsExplorer<'a> {
                         }
                         let mut successor = instance.clone();
                         for tuple in &response {
-                            successor.add_fact(method.relation().to_owned(), tuple.clone());
+                            successor.add_fact(method.relation_id(), tuple.clone());
                         }
                         edges.push((access.clone(), response, successor));
                     }
@@ -244,9 +244,15 @@ impl<'a> LtsExplorer<'a> {
     /// Values are drawn from the active domain of the current instance plus
     /// (unless `grounded_only`) the active domain of the hidden instance, and
     /// filtered by the declared column type of each input position.
-    fn candidate_bindings(&self, method_name: &str, current: &Instance) -> Result<Vec<Tuple>> {
-        let method = self.schema.require_method(method_name)?;
-        let relation = self.schema.schema().require_relation(method.relation())?;
+    fn candidate_bindings(
+        &self,
+        method: &crate::access::AccessMethod,
+        current: &Instance,
+    ) -> Result<Vec<Tuple>> {
+        let relation = self
+            .schema
+            .schema()
+            .require_relation_id(method.relation_id())?;
         let mut domain: BTreeSet<Value> = current.active_domain();
         if !self.options.grounded_only {
             domain.extend(self.hidden.active_domain());
@@ -259,7 +265,7 @@ impl<'a> LtsExplorer<'a> {
                 domain
                     .iter()
                     .filter(|v| v.data_type() == ty)
-                    .cloned()
+                    .copied()
                     .collect()
             })
             .collect();
@@ -273,7 +279,7 @@ impl<'a> LtsExplorer<'a> {
                         break;
                     }
                     let mut extended = prefix.clone();
-                    extended.push(v.clone());
+                    extended.push(*v);
                     next.push(extended);
                 }
             }

@@ -125,9 +125,9 @@ impl AccessPath {
         let mut current = initial.clone();
         configs.push(current.clone());
         for (access, response) in &self.steps {
-            let method = schema.require_method(&access.method)?;
+            let relation = schema.require_method(access.method)?.relation_id();
             for tuple in response {
-                current.add_fact(method.relation().to_owned(), tuple.clone());
+                current.add_fact(relation, tuple.clone());
             }
             configs.push(current.clone());
         }

@@ -1,4 +1,4 @@
-//! Long-term relevance (LTR) of an access to a query (Example 2.3, [3]).
+//! Long-term relevance (LTR) of an access to a query (Example 2.3, \[3\]).
 //!
 //! An access `AC₁` is *long-term relevant* for a query `Q` on an initial
 //! instance `I₀` if there is an access path `p = AC₁,r₁,AC₂,r₂,…` such that
@@ -29,7 +29,9 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use accltl_relational::cq::Assignment;
-use accltl_relational::{Atom, ConjunctiveQuery, Instance, Term, Tuple, UnionOfCqs, Value};
+use accltl_relational::{
+    Atom, ConjunctiveQuery, Instance, RelId, Sym, Term, Tuple, UnionOfCqs, Value, VarId,
+};
 
 use crate::access::{Access, AccessSchema};
 use crate::path::{AccessPath, Response};
@@ -39,7 +41,7 @@ use crate::Result;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LtrOptions {
     /// Restrict witness paths to grounded accesses ("dependent accesses" in
-    /// [3]).  When false, arbitrary bindings may be guessed ("independent
+    /// \[3\]).  When false, arbitrary bindings may be guessed ("independent
     /// accesses").
     pub grounded: bool,
     /// Cap on the number of candidate variable assignments examined per query
@@ -94,8 +96,8 @@ pub fn long_term_relevant(
     options: &LtrOptions,
 ) -> Result<LtrVerdict> {
     schema.validate_access(access)?;
-    let method = schema.require_method(&access.method)?;
-    let relation = method.relation().to_owned();
+    let method = schema.require_method(access.method)?;
+    let relation = method.relation_id();
 
     // A grounded witness path must itself start with a grounded access.
     if options.grounded {
@@ -160,12 +162,12 @@ fn unify_with_binding(
                 }
             }
             Term::Var(v) => {
-                if let Some(existing) = forced.get(v) {
+                if let Some(existing) = forced.get(*v) {
                     if existing != value {
                         return None;
                     }
                 }
-                forced.insert(v.clone(), value.clone());
+                forced.insert(*v, *value);
             }
         }
     }
@@ -183,19 +185,19 @@ fn search_assignments(
     initial: &Instance,
     options: &LtrOptions,
 ) -> Result<SearchOutcome> {
-    let variables: Vec<String> = disjunct
+    let variables: Vec<VarId> = disjunct
         .body_variables()
         .into_iter()
-        .filter(|v| !forced.contains_key(v))
+        .filter(|v| !forced.contains_var(*v))
         .collect();
 
     // Candidate values: active domain of the initial instance, the binding
     // values, and one fresh value per remaining variable (fresh values are
     // interchangeable, so one per variable suffices for completeness).
     let mut candidates: Vec<Value> = initial.active_domain().into_iter().collect();
-    candidates.extend(access.binding.values().iter().cloned());
+    candidates.extend(access.binding.values().iter().copied());
     for (i, _) in variables.iter().enumerate() {
-        candidates.push(Value::Str(format!("\u{2605}fresh{i}")));
+        candidates.push(Value::str(format!("\u{2605}fresh{i}")));
     }
     candidates.sort();
     candidates.dedup();
@@ -233,7 +235,7 @@ fn search_assignments(
         }
         let mut assignment = forced.clone();
         for (var, &index) in variables.iter().zip(&indices) {
-            assignment.insert(var.clone(), candidates[index].clone());
+            assignment.insert(*var, candidates[index]);
         }
         if let Some(witness) = try_witness(
             schema,
@@ -272,16 +274,16 @@ fn try_witness(
     options: &LtrOptions,
 ) -> Result<Option<AccessPath>> {
     // The image of the disjunct under the assignment.
-    let facts: Vec<(String, Tuple)> = disjunct
+    let facts: Vec<(RelId, Tuple)> = disjunct
         .atoms
         .iter()
-        .map(|a| (a.predicate.clone(), ground_atom(a, assignment)))
+        .map(|a| (a.predicate, ground_atom(a, assignment)))
         .collect();
     let critical = facts[critical_atom].clone();
 
     // The critical fact must be new (otherwise dropping the access loses
     // nothing) and must actually be a legal response to the access.
-    if initial.contains(&critical.0, &critical.1) {
+    if initial.contains(critical.0, &critical.1) {
         return Ok(None);
     }
     if !schema.tuple_matches_access(access, &critical.1) {
@@ -292,7 +294,7 @@ fn try_witness(
     let mut without_critical = initial.clone();
     for (rel, tuple) in &facts {
         if (rel, tuple) != (&critical.0, &critical.1) {
-            without_critical.add_fact(rel.clone(), tuple.clone());
+            without_critical.add_fact(*rel, tuple.clone());
         }
     }
     if query.holds(&without_critical) {
@@ -300,10 +302,10 @@ fn try_witness(
     }
 
     // The remaining new facts must be revealable by accesses.
-    let remaining: Vec<(String, Tuple)> = facts
+    let remaining: Vec<(RelId, Tuple)> = facts
         .iter()
         .filter(|(rel, tuple)| {
-            !(initial.contains(rel, tuple) || (rel == &critical.0 && tuple == &critical.1))
+            !(initial.contains(*rel, tuple) || (*rel == critical.0 && tuple == &critical.1))
         })
         .cloned()
         .collect();
@@ -322,7 +324,7 @@ fn try_witness(
     let mut witness = AccessPath::new();
     witness.push(access.clone(), Response::from([critical.1.clone()]));
     for (method_name, fact) in ordered {
-        let method = schema.require_method(&method_name)?;
+        let method = schema.require_method(method_name)?;
         let binding = fact.project(method.input_positions());
         witness.push(Access::new(method_name, binding), Response::from([fact]));
     }
@@ -333,10 +335,10 @@ fn ground_atom(atom: &Atom, assignment: &Assignment) -> Tuple {
     atom.terms
         .iter()
         .map(|t| match t {
-            Term::Const(c) => c.clone(),
+            Term::Const(c) => *c,
             Term::Var(v) => assignment
-                .get(v)
-                .cloned()
+                .get(*v)
+                .copied()
                 .expect("assignment covers all variables of the disjunct"),
         })
         .collect()
@@ -346,12 +348,12 @@ fn ground_atom(atom: &Atom, assignment: &Assignment) -> Tuple {
 /// revealable iff its relation has at least one access method.
 fn reveal_order_unrestricted(
     schema: &AccessSchema,
-    remaining: &[(String, Tuple)],
-) -> Option<Vec<(String, Tuple)>> {
+    remaining: &[(RelId, Tuple)],
+) -> Option<Vec<(Sym, Tuple)>> {
     let mut ordered = Vec::with_capacity(remaining.len());
     for (relation, tuple) in remaining {
-        let method = schema.methods_for_relation(relation).next()?;
-        ordered.push((method.name().to_owned(), tuple.clone()));
+        let method = schema.methods_for_relation(*relation).next()?;
+        ordered.push((method.name_sym(), tuple.clone()));
     }
     Some(ordered)
 }
@@ -362,28 +364,28 @@ fn reveal_order_unrestricted(
 fn reveal_order_grounded(
     schema: &AccessSchema,
     access_under_test: &Access,
-    critical: &(String, Tuple),
-    remaining: &[(String, Tuple)],
+    critical: &(RelId, Tuple),
+    remaining: &[(RelId, Tuple)],
     initial: &Instance,
-) -> Option<Vec<(String, Tuple)>> {
+) -> Option<Vec<(Sym, Tuple)>> {
     let mut known: BTreeSet<Value> = initial.active_domain();
-    known.extend(access_under_test.binding.values().iter().cloned());
-    known.extend(critical.1.values().iter().cloned());
+    known.extend(access_under_test.binding.values().iter().copied());
+    known.extend(critical.1.values().iter().copied());
 
-    let mut pending: BTreeMap<usize, (String, Tuple)> =
+    let mut pending: BTreeMap<usize, (RelId, Tuple)> =
         remaining.iter().cloned().enumerate().collect();
     let mut ordered = Vec::with_capacity(remaining.len());
 
     while !pending.is_empty() {
         let mut progressed = None;
         'outer: for (&index, (relation, tuple)) in &pending {
-            for method in schema.methods_for_relation(relation) {
+            for method in schema.methods_for_relation(*relation) {
                 let groundable = method
                     .input_positions()
                     .iter()
                     .all(|&p| tuple.get(p).is_some_and(|v| known.contains(v)));
                 if groundable {
-                    progressed = Some((index, method.name().to_owned()));
+                    progressed = Some((index, method.name_sym()));
                     break 'outer;
                 }
             }
@@ -391,7 +393,7 @@ fn reveal_order_grounded(
         match progressed {
             Some((index, method_name)) => {
                 let (_, tuple) = pending.remove(&index).expect("index taken from the map");
-                known.extend(tuple.values().iter().cloned());
+                known.extend(tuple.values().iter().copied());
                 ordered.push((method_name, tuple));
             }
             None => return None,

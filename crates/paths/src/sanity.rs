@@ -3,7 +3,7 @@
 
 use std::collections::BTreeSet;
 
-use accltl_relational::{Instance, Value};
+use accltl_relational::{Instance, Sym, Value};
 
 use crate::access::AccessSchema;
 use crate::path::AccessPath;
@@ -55,7 +55,7 @@ pub fn is_exact_for(
     path: &AccessPath,
     schema: &AccessSchema,
     initial: &Instance,
-    exact_methods: &BTreeSet<String>,
+    exact_methods: &BTreeSet<Sym>,
 ) -> Result<bool> {
     let final_config = path.configuration(schema, initial)?;
     for (access, response) in path.steps() {
@@ -80,7 +80,7 @@ pub struct PathSemantics {
     /// Require paths to be idempotent.
     pub idempotent: bool,
     /// The access methods whose responses must be exact.
-    pub exact_methods: BTreeSet<String>,
+    pub exact_methods: BTreeSet<Sym>,
 }
 
 impl PathSemantics {
@@ -109,7 +109,7 @@ impl PathSemantics {
             exact_methods: schema
                 .methods()
                 .filter(|m| m.is_exact())
-                .map(|m| m.name().to_owned())
+                .map(|m| m.name_sym())
                 .collect(),
         }
     }
@@ -188,7 +188,7 @@ mod tests {
     #[test]
     fn exactness_checked_against_final_configuration() {
         let schema = phone_directory_access_schema();
-        let exact: BTreeSet<String> = BTreeSet::from(["AcM1".to_owned()]);
+        let exact: BTreeSet<Sym> = BTreeSet::from([Sym::new("AcM1")]);
 
         // One access to Mobile# returning Smith's tuple: exact (the final
         // configuration has no other matching tuple).
@@ -211,7 +211,7 @@ mod tests {
     #[test]
     fn exactness_accounts_for_initial_instance() {
         let schema = phone_directory_access_schema();
-        let exact: BTreeSet<String> = BTreeSet::from(["AcM1".to_owned()]);
+        let exact: BTreeSet<Sym> = BTreeSet::from([Sym::new("AcM1")]);
         let mut initial = Instance::new();
         initial.add_fact("Mobile#", smith());
         // An empty response to AcM1("Smith") cannot be exact when the initial
@@ -235,7 +235,7 @@ mod tests {
             .unwrap());
 
         let mut with_exact = PathSemantics::unrestricted();
-        with_exact.exact_methods.insert("AcM1".to_owned());
+        with_exact.exact_methods.insert(Sym::new("AcM1"));
         assert!(with_exact
             .satisfied_by(&p, &schema, &Instance::new())
             .unwrap());
@@ -255,8 +255,8 @@ mod tests {
             ))
             .unwrap();
         let semantics = PathSemantics::from_schema(&schema);
-        assert!(semantics.exact_methods.contains("AcM1"));
-        assert!(!semantics.exact_methods.contains("AcM2"));
+        assert!(semantics.exact_methods.contains(&Sym::new("AcM1")));
+        assert!(!semantics.exact_methods.contains(&Sym::new("AcM2")));
         assert!(semantics.idempotent);
         assert!(!semantics.grounded);
     }

@@ -3,14 +3,16 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
+use crate::symbols::{RelId, VarId};
 use crate::term::Term;
 use crate::value::Value;
 
-/// A relational atom: a predicate name applied to a sequence of terms.
+/// A relational atom: an interned predicate name applied to a sequence of
+/// terms.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Atom {
     /// The predicate (relation) name.
-    pub predicate: String,
+    pub predicate: RelId,
     /// The argument terms.
     pub terms: Vec<Term>,
 }
@@ -18,7 +20,7 @@ pub struct Atom {
 impl Atom {
     /// Creates an atom.
     #[must_use]
-    pub fn new(predicate: impl Into<String>, terms: Vec<Term>) -> Self {
+    pub fn new(predicate: impl Into<RelId>, terms: Vec<Term>) -> Self {
         Atom {
             predicate: predicate.into(),
             terms,
@@ -31,13 +33,10 @@ impl Atom {
         self.terms.len()
     }
 
-    /// The set of variable names occurring in the atom.
+    /// The set of variables occurring in the atom.
     #[must_use]
-    pub fn variables(&self) -> BTreeSet<String> {
-        self.terms
-            .iter()
-            .filter_map(|t| t.as_var().map(str::to_owned))
-            .collect()
+    pub fn variables(&self) -> BTreeSet<VarId> {
+        self.terms.iter().filter_map(Term::as_var_id).collect()
     }
 
     /// The set of constants occurring in the atom.
@@ -45,22 +44,22 @@ impl Atom {
     pub fn constants(&self) -> BTreeSet<Value> {
         self.terms
             .iter()
-            .filter_map(|t| t.as_const().cloned())
+            .filter_map(|t| t.as_const().copied())
             .collect()
     }
 
     /// Renames every variable in the atom.
     #[must_use]
-    pub fn rename_vars(&self, f: &dyn Fn(&str) -> String) -> Atom {
+    pub fn rename_vars(&self, f: impl Fn(&str) -> String) -> Atom {
         Atom {
-            predicate: self.predicate.clone(),
-            terms: self.terms.iter().map(|t| t.rename_var(f)).collect(),
+            predicate: self.predicate,
+            terms: self.terms.iter().map(|t| t.rename_var(&f)).collect(),
         }
     }
 
     /// Replaces the predicate name, keeping the terms.
     #[must_use]
-    pub fn with_predicate(&self, predicate: impl Into<String>) -> Atom {
+    pub fn with_predicate(&self, predicate: impl Into<RelId>) -> Atom {
         Atom {
             predicate: predicate.into(),
             terms: self.terms.clone(),
@@ -70,15 +69,15 @@ impl Atom {
     /// Substitutes variables by terms according to `subst`; unmapped variables
     /// are kept.
     #[must_use]
-    pub fn substitute(&self, subst: &dyn Fn(&str) -> Option<Term>) -> Atom {
+    pub fn substitute(&self, subst: impl Fn(VarId) -> Option<Term>) -> Atom {
         Atom {
-            predicate: self.predicate.clone(),
+            predicate: self.predicate,
             terms: self
                 .terms
                 .iter()
                 .map(|t| match t {
-                    Term::Var(name) => subst(name).unwrap_or_else(|| t.clone()),
-                    Term::Const(_) => t.clone(),
+                    Term::Var(name) => subst(*name).unwrap_or(*t),
+                    Term::Const(_) => *t,
                 })
                 .collect(),
         }
@@ -125,7 +124,7 @@ mod tests {
         assert_eq!(a.arity(), 4);
         assert_eq!(
             a.variables(),
-            BTreeSet::from(["x".to_owned(), "y".to_owned()])
+            BTreeSet::from([VarId::new("x"), VarId::new("y")])
         );
         assert_eq!(a.constants(), BTreeSet::from([Value::str("c")]));
     }
@@ -133,10 +132,10 @@ mod tests {
     #[test]
     fn renaming_and_substitution() {
         let a = atom!("R"; x, y);
-        let renamed = a.rename_vars(&|v| format!("{v}_7"));
+        let renamed = a.rename_vars(|v| format!("{v}_7"));
         assert_eq!(renamed, atom!("R"; x_7, y_7));
 
-        let substituted = a.substitute(&|v| {
+        let substituted = a.substitute(|v| {
             if v == "x" {
                 Some(Term::constant(1))
             } else {

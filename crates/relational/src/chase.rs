@@ -14,6 +14,7 @@ use std::collections::BTreeMap;
 
 use crate::constraints::{Constraint, FunctionalDependency};
 use crate::instance::Instance;
+use crate::symbols::RelId;
 use crate::tuple::Tuple;
 use crate::value::Value;
 
@@ -82,17 +83,11 @@ pub fn chase(
             match constraint {
                 Constraint::Fd(fd) => {
                     if let Some((t1, t2)) = fd.find_violation(&current) {
-                        let v1 = t1.get(fd.rhs).cloned().expect("validated position");
-                        let v2 = t2.get(fd.rhs).cloned().expect("validated position");
-                        match equate(&v1, &v2) {
+                        let v1 = t1.get(fd.rhs).copied().expect("validated position");
+                        let v2 = t2.get(fd.rhs).copied().expect("validated position");
+                        match equate(v1, v2) {
                             Some((from, to)) => {
-                                current = current.map_values(&|v| {
-                                    if *v == from {
-                                        to.clone()
-                                    } else {
-                                        v.clone()
-                                    }
-                                });
+                                current = current.map_values(|v| if *v == from { to } else { *v });
                                 changed = true;
                                 steps += 1;
                             }
@@ -107,7 +102,7 @@ pub fn chase(
                 Constraint::Ind(ind) => {
                     if let Some(src_tuple) = ind.find_violation(&current) {
                         let target_arity = current
-                            .tuples(&ind.target)
+                            .tuples(ind.target)
                             .next()
                             .map(Tuple::arity)
                             .unwrap_or_else(|| {
@@ -121,10 +116,10 @@ pub fn chase(
                             .collect();
                         for (sp, tp) in ind.source_positions.iter().zip(&ind.target_positions) {
                             if let Some(v) = src_tuple.get(*sp) {
-                                values[*tp] = v.clone();
+                                values[*tp] = *v;
                             }
                         }
-                        current.add_fact(ind.target.clone(), Tuple::new(values));
+                        current.add_fact(ind.target, Tuple::new(values));
                         changed = true;
                         steps += 1;
                     }
@@ -149,10 +144,10 @@ pub fn chase(
 ///
 /// Returns `Some((from, to))` meaning "replace `from` by `to` everywhere", or
 /// `None` if both are distinct non-null constants (a hard failure).
-fn equate(v1: &Value, v2: &Value) -> Option<(Value, Value)> {
+fn equate(v1: Value, v2: Value) -> Option<(Value, Value)> {
     match (v1.is_labelled_null(), v2.is_labelled_null()) {
-        (true, _) => Some((v1.clone(), v2.clone())),
-        (false, true) => Some((v2.clone(), v1.clone())),
+        (true, _) => Some((v1, v2)),
+        (false, true) => Some((v2, v1)),
         (false, false) => None,
     }
 }
@@ -160,12 +155,8 @@ fn equate(v1: &Value, v2: &Value) -> Option<(Value, Value)> {
 fn next_null_id(instance: &Instance) -> u64 {
     let mut max = 0u64;
     for value in instance.active_domain() {
-        if let Value::Str(s) = &value {
-            if let Some(rest) = s.strip_prefix(crate::value::NULL_PREFIX) {
-                if let Ok(id) = rest.parse::<u64>() {
-                    max = max.max(id);
-                }
-            }
+        if let Value::Null(id) = value {
+            max = max.max(id);
         }
     }
     max
@@ -192,7 +183,7 @@ pub enum Implication {
 pub fn implies_fd(
     constraints: &[Constraint],
     sigma: &FunctionalDependency,
-    arities: &BTreeMap<String, usize>,
+    arities: &BTreeMap<RelId, usize>,
     config: &ChaseConfig,
 ) -> Implication {
     let Some(&arity) = arities.get(&sigma.relation) else {
@@ -210,7 +201,7 @@ pub fn implies_fd(
     let t1: Vec<Value> = (0..arity)
         .map(|p| {
             if sigma.lhs.contains(&p) {
-                shared[p].clone()
+                shared[p]
             } else {
                 fresh()
             }
@@ -219,15 +210,15 @@ pub fn implies_fd(
     let t2: Vec<Value> = (0..arity)
         .map(|p| {
             if sigma.lhs.contains(&p) {
-                shared[p].clone()
+                shared[p]
             } else {
                 fresh()
             }
         })
         .collect();
-    let rhs_markers = (t1[sigma.rhs].clone(), t2[sigma.rhs].clone());
-    instance.add_fact(sigma.relation.clone(), Tuple::new(t1));
-    instance.add_fact(sigma.relation.clone(), Tuple::new(t2));
+    let rhs_markers = (t1[sigma.rhs], t2[sigma.rhs]);
+    instance.add_fact(sigma.relation, Tuple::new(t1));
+    instance.add_fact(sigma.relation, Tuple::new(t2));
 
     match chase(&instance, constraints, config) {
         ChaseOutcome::Completed(result) => {
@@ -349,7 +340,7 @@ mod tests {
             Constraint::Fd(FunctionalDependency::new("R", vec![1], 2)),
         ];
         let sigma = FunctionalDependency::new("R", vec![0], 2);
-        let arities = BTreeMap::from([("R".to_owned(), 3)]);
+        let arities = BTreeMap::from([(RelId::new("R"), 3)]);
         assert_eq!(
             implies_fd(&constraints, &sigma, &arities, &ChaseConfig::default()),
             Implication::Implied
@@ -375,7 +366,7 @@ mod tests {
             Constraint::Fd(FunctionalDependency::new("S", vec![0], 1)),
         ];
         let sigma = FunctionalDependency::new("R", vec![0], 1);
-        let arities = BTreeMap::from([("R".to_owned(), 2), ("S".to_owned(), 2)]);
+        let arities = BTreeMap::from([(RelId::new("R"), 2), (RelId::new("S"), 2)]);
         assert_eq!(
             implies_fd(&constraints, &sigma, &arities, &ChaseConfig::default()),
             Implication::Implied

@@ -15,6 +15,7 @@ use std::fmt;
 use crate::error::RelationalError;
 use crate::instance::Instance;
 use crate::schema::Schema;
+use crate::symbols::RelId;
 use crate::value::Value;
 use crate::Result;
 
@@ -22,7 +23,7 @@ use crate::Result;
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FunctionalDependency {
     /// The relation the dependency constrains.
-    pub relation: String,
+    pub relation: RelId,
     /// The determining positions (0-based).
     pub lhs: Vec<usize>,
     /// The determined position (0-based).
@@ -32,7 +33,7 @@ pub struct FunctionalDependency {
 impl FunctionalDependency {
     /// Creates a functional dependency.
     #[must_use]
-    pub fn new(relation: impl Into<String>, lhs: Vec<usize>, rhs: usize) -> Self {
+    pub fn new(relation: impl Into<RelId>, lhs: Vec<usize>, rhs: usize) -> Self {
         FunctionalDependency {
             relation: relation.into(),
             lhs,
@@ -42,21 +43,21 @@ impl FunctionalDependency {
 
     /// A key constraint: the given positions determine every position.
     #[must_use]
-    pub fn key(relation: impl Into<String>, key_positions: Vec<usize>, arity: usize) -> Vec<Self> {
+    pub fn key(relation: impl Into<RelId>, key_positions: Vec<usize>, arity: usize) -> Vec<Self> {
         let relation = relation.into();
         (0..arity)
             .filter(|p| !key_positions.contains(p))
-            .map(|p| FunctionalDependency::new(relation.clone(), key_positions.clone(), p))
+            .map(|p| FunctionalDependency::new(relation, key_positions.clone(), p))
             .collect()
     }
 
     /// Checks positions are within the relation's arity.
     pub fn validate(&self, schema: &Schema) -> Result<()> {
-        let rel = schema.require_relation(&self.relation)?;
+        let rel = schema.require_relation_id(self.relation)?;
         for &p in self.lhs.iter().chain(std::iter::once(&self.rhs)) {
             if p >= rel.arity() {
                 return Err(RelationalError::PositionOutOfRange {
-                    relation: self.relation.clone(),
+                    relation: self.relation.as_str().to_owned(),
                     position: p + 1,
                 });
             }
@@ -76,7 +77,7 @@ impl FunctionalDependency {
         &self,
         instance: &Instance,
     ) -> Option<(crate::tuple::Tuple, crate::tuple::Tuple)> {
-        let tuples: Vec<_> = instance.tuples(&self.relation).collect();
+        let tuples: Vec<_> = instance.tuples(self.relation).collect();
         for (i, t1) in tuples.iter().enumerate() {
             for t2 in &tuples[i..] {
                 if t1.agrees_on(t2, &self.lhs) && t1.get(self.rhs) != t2.get(self.rhs) {
@@ -99,11 +100,11 @@ impl fmt::Display for FunctionalDependency {
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct InclusionDependency {
     /// The source relation.
-    pub source: String,
+    pub source: RelId,
     /// Positions of the source relation (0-based).
     pub source_positions: Vec<usize>,
     /// The target relation.
-    pub target: String,
+    pub target: RelId,
     /// Positions of the target relation (0-based); same length as
     /// `source_positions`.
     pub target_positions: Vec<usize>,
@@ -113,9 +114,9 @@ impl InclusionDependency {
     /// Creates an inclusion dependency.
     #[must_use]
     pub fn new(
-        source: impl Into<String>,
+        source: impl Into<RelId>,
         source_positions: Vec<usize>,
-        target: impl Into<String>,
+        target: impl Into<RelId>,
         target_positions: Vec<usize>,
     ) -> Self {
         InclusionDependency {
@@ -133,12 +134,12 @@ impl InclusionDependency {
                 "inclusion dependency {self} has mismatched position lists"
             )));
         }
-        let src = schema.require_relation(&self.source)?;
-        let tgt = schema.require_relation(&self.target)?;
+        let src = schema.require_relation_id(self.source)?;
+        let tgt = schema.require_relation_id(self.target)?;
         for &p in &self.source_positions {
             if p >= src.arity() {
                 return Err(RelationalError::PositionOutOfRange {
-                    relation: self.source.clone(),
+                    relation: self.source.as_str().to_owned(),
                     position: p + 1,
                 });
             }
@@ -146,7 +147,7 @@ impl InclusionDependency {
         for &p in &self.target_positions {
             if p >= tgt.arity() {
                 return Err(RelationalError::PositionOutOfRange {
-                    relation: self.target.clone(),
+                    relation: self.target.as_str().to_owned(),
                     position: p + 1,
                 });
             }
@@ -163,10 +164,10 @@ impl InclusionDependency {
     /// Returns a source tuple with no matching target tuple, if any.
     #[must_use]
     pub fn find_violation(&self, instance: &Instance) -> Option<crate::tuple::Tuple> {
-        for src_tuple in instance.tuples(&self.source) {
+        for src_tuple in instance.tuples(self.source) {
             let projected = src_tuple.project(&self.source_positions);
             let matched = instance
-                .tuples(&self.target)
+                .tuples(self.target)
                 .any(|tgt_tuple| tgt_tuple.project(&self.target_positions) == projected);
             if !matched {
                 return Some(src_tuple.clone());
@@ -203,19 +204,19 @@ impl fmt::Display for InclusionDependency {
 /// pruned.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct DisjointnessConstraint {
-    /// The left side: relation name and 0-based position.
-    pub left: (String, usize),
-    /// The right side: relation name and 0-based position.
-    pub right: (String, usize),
+    /// The left side: relation and 0-based position.
+    pub left: (RelId, usize),
+    /// The right side: relation and 0-based position.
+    pub right: (RelId, usize),
 }
 
 impl DisjointnessConstraint {
     /// Creates a disjointness constraint.
     #[must_use]
     pub fn new(
-        left_relation: impl Into<String>,
+        left_relation: impl Into<RelId>,
         left_position: usize,
-        right_relation: impl Into<String>,
+        right_relation: impl Into<RelId>,
         right_position: usize,
     ) -> Self {
         DisjointnessConstraint {
@@ -227,10 +228,10 @@ impl DisjointnessConstraint {
     /// Checks the positions are within the relations' arities.
     pub fn validate(&self, schema: &Schema) -> Result<()> {
         for (rel, pos) in [&self.left, &self.right] {
-            let r = schema.require_relation(rel)?;
+            let r = schema.require_relation_id(*rel)?;
             if *pos >= r.arity() {
                 return Err(RelationalError::PositionOutOfRange {
-                    relation: rel.clone(),
+                    relation: rel.as_str().to_owned(),
                     position: pos + 1,
                 });
             }
@@ -248,14 +249,14 @@ impl DisjointnessConstraint {
     #[must_use]
     pub fn find_violation(&self, instance: &Instance) -> Option<Value> {
         let left_values: BTreeSet<&Value> = instance
-            .tuples(&self.left.0)
+            .tuples(self.left.0)
             .filter_map(|t| t.get(self.left.1))
             .collect();
         instance
-            .tuples(&self.right.0)
+            .tuples(self.right.0)
             .filter_map(|t| t.get(self.right.1))
             .find(|v| left_values.contains(v))
-            .cloned()
+            .copied()
     }
 }
 

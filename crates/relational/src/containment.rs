@@ -38,17 +38,17 @@ pub fn cq_contained_in_ucq(q1: &ConjunctiveQuery, u: &UnionOfCqs) -> bool {
         // image of q1's i-th head variable.
         let mut initial = Assignment::new();
         for (v2, v1) in q2.head.iter().zip(&q1.head) {
-            let Some(frozen) = freeze.get(v1) else {
+            let Some(frozen) = freeze.get(*v1).copied() else {
                 return false;
             };
             // If v2 repeats in the head with conflicting targets, there is no
             // such homomorphism.
-            if let Some(previous) = initial.get(v2) {
-                if previous != frozen {
+            if let Some(previous) = initial.get(*v2) {
+                if *previous != frozen {
                     return false;
                 }
             }
-            initial.insert(v2.clone(), frozen.clone());
+            initial.insert(*v2, frozen);
         }
         q2.find_homomorphism(&canonical, &initial).is_some()
     })

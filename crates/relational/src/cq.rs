@@ -4,20 +4,118 @@
 //! containment under access patterns (Example 2.2), long-term relevance
 //! (Example 2.3) and the canonical-database arguments behind the Boundedness
 //! Lemma (Lemma 4.13) all manipulate CQs through homomorphisms.
+//!
+//! The homomorphism-extension inner loop operates purely on interned ids:
+//! variables are [`VarId`]s, relation lookups go through [`RelId`]s, and
+//! binding a variable copies a `u32`-backed [`Value`] instead of cloning a
+//! heap string.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 use std::fmt;
+use std::ops::Index;
 
 use crate::atom::Atom;
 use crate::error::RelationalError;
 use crate::instance::Instance;
+use crate::symbols::{IdMap, RelId, VarId, VarKey};
 use crate::term::Term;
 use crate::tuple::Tuple;
 use crate::value::Value;
 use crate::Result;
 
-/// A variable assignment: variable name → value.
-pub type Assignment = BTreeMap<String, Value>;
+/// A variable assignment: interned variable → value.
+///
+/// Backed by the id-keyed sorted-vec [`IdMap`]: the homomorphism-extension
+/// inner loop binds, checks and unbinds variables constantly, and on the
+/// handful of variables a query has, a binary search over packed `u32`s
+/// beats any node-based map — no string is ever compared.  Equality is
+/// set-of-bindings equality (the canonical sorted form makes the derive
+/// correct); iteration order follows raw intern ids and carries no meaning
+/// across symbol tables.
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Assignment {
+    entries: IdMap<(VarId, Value)>,
+}
+
+impl Assignment {
+    /// Creates an empty assignment.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The value bound to a variable, if any.  String keys resolve without
+    /// growing the intern pool (unknown names answer `None`).
+    #[must_use]
+    pub fn get(&self, var: impl VarKey) -> Option<&Value> {
+        let var = var.resolve_var()?;
+        self.entries.get(var.id()).map(|(_, value)| value)
+    }
+
+    /// Binds a variable, returning the previous binding if present.
+    pub fn insert(&mut self, var: impl Into<VarId>, value: Value) -> Option<Value> {
+        let var = var.into();
+        self.entries
+            .insert(var.id(), (var, value))
+            .map(|(_, previous)| previous)
+    }
+
+    /// Removes a binding.
+    pub fn remove(&mut self, var: impl VarKey) -> Option<Value> {
+        let var = var.resolve_var()?;
+        self.entries.remove(var.id()).map(|(_, value)| value)
+    }
+
+    /// True if the variable is bound.
+    #[must_use]
+    pub fn contains_var(&self, var: impl VarKey) -> bool {
+        var.resolve_var()
+            .is_some_and(|v| self.entries.get(v.id()).is_some())
+    }
+
+    /// Number of bound variables.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is bound.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over the bindings (in raw intern-id order).
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, &Value)> {
+        self.entries.values().map(|(v, value)| (*v, value))
+    }
+}
+
+impl<V: Into<VarId>> FromIterator<(V, Value)> for Assignment {
+    fn from_iter<T: IntoIterator<Item = (V, Value)>>(iter: T) -> Self {
+        let mut assignment = Assignment::new();
+        for (v, value) in iter {
+            assignment.insert(v, value);
+        }
+        assignment
+    }
+}
+
+impl Index<&str> for Assignment {
+    type Output = Value;
+
+    fn index(&self, var: &str) -> &Value {
+        self.get(var).expect("variable not bound in assignment")
+    }
+}
+
+impl Index<VarId> for Assignment {
+    type Output = Value;
+
+    fn index(&self, var: VarId) -> &Value {
+        self.get(var).expect("variable not bound in assignment")
+    }
+}
 
 /// A conjunctive query.
 ///
@@ -27,7 +125,7 @@ pub type Assignment = BTreeMap<String, Value>;
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ConjunctiveQuery {
     /// The distinguished variables (free variables of the query).
-    pub head: Vec<String>,
+    pub head: Vec<VarId>,
     /// The body atoms, implicitly conjoined.
     pub atoms: Vec<Atom>,
 }
@@ -44,7 +142,7 @@ impl ConjunctiveQuery {
 
     /// Creates a conjunctive query with distinguished variables.
     #[must_use]
-    pub fn with_head(head: Vec<impl Into<String>>, atoms: Vec<Atom>) -> Self {
+    pub fn with_head(head: Vec<impl Into<VarId>>, atoms: Vec<Atom>) -> Self {
         ConjunctiveQuery {
             head: head.into_iter().map(Into::into).collect(),
             atoms,
@@ -59,7 +157,7 @@ impl ConjunctiveQuery {
 
     /// The set of all variables occurring in the body.
     #[must_use]
-    pub fn body_variables(&self) -> BTreeSet<String> {
+    pub fn body_variables(&self) -> BTreeSet<VarId> {
         self.atoms.iter().flat_map(|a| a.variables()).collect()
     }
 
@@ -69,10 +167,10 @@ impl ConjunctiveQuery {
         self.atoms.iter().flat_map(|a| a.constants()).collect()
     }
 
-    /// The relation names mentioned by the query.
+    /// The relations mentioned by the query.
     #[must_use]
-    pub fn relations(&self) -> BTreeSet<String> {
-        self.atoms.iter().map(|a| a.predicate.clone()).collect()
+    pub fn relations(&self) -> BTreeSet<RelId> {
+        self.atoms.iter().map(|a| a.predicate).collect()
     }
 
     /// Checks the query is safe: every head variable occurs in the body.
@@ -100,23 +198,27 @@ impl ConjunctiveQuery {
 
     /// Renames every variable of the query (head and body) with `f`.
     #[must_use]
-    pub fn rename_vars(&self, f: &dyn Fn(&str) -> String) -> ConjunctiveQuery {
+    pub fn rename_vars(&self, f: impl Fn(&str) -> String) -> ConjunctiveQuery {
         ConjunctiveQuery {
-            head: self.head.iter().map(|v| f(v)).collect(),
-            atoms: self.atoms.iter().map(|a| a.rename_vars(f)).collect(),
+            head: self
+                .head
+                .iter()
+                .map(|v| VarId::new(&f(v.as_str())))
+                .collect(),
+            atoms: self.atoms.iter().map(|a| a.rename_vars(&f)).collect(),
         }
     }
 
     /// Renames every predicate of the query with `f` (used to build the
     /// `Q^pre`/`Q^post` variants of Section 2).
     #[must_use]
-    pub fn rename_predicates(&self, f: &dyn Fn(&str) -> String) -> ConjunctiveQuery {
+    pub fn rename_predicates(&self, f: impl Fn(&str) -> String) -> ConjunctiveQuery {
         ConjunctiveQuery {
             head: self.head.clone(),
             atoms: self
                 .atoms
                 .iter()
-                .map(|a| a.with_predicate(f(&a.predicate)))
+                .map(|a| a.with_predicate(RelId::new(&f(a.predicate.as_str()))))
                 .collect(),
         }
     }
@@ -137,8 +239,8 @@ impl ConjunctiveQuery {
                     .iter()
                     .map(|v| {
                         assignment
-                            .get(v)
-                            .cloned()
+                            .get(*v)
+                            .copied()
                             .expect("validated query: head variables are bound by the body")
                     })
                     .collect();
@@ -183,7 +285,7 @@ impl ConjunctiveQuery {
     pub fn canonical_instance(&self) -> (Instance, Assignment) {
         let mut freeze = Assignment::new();
         for (i, var) in self.body_variables().iter().enumerate() {
-            freeze.insert(var.clone(), frozen_value(var, i));
+            freeze.insert(*var, frozen_value(var.as_str(), i));
         }
         let mut instance = Instance::new();
         for atom in &self.atoms {
@@ -191,11 +293,11 @@ impl ConjunctiveQuery {
                 .terms
                 .iter()
                 .map(|t| match t {
-                    Term::Var(v) => freeze[v].clone(),
-                    Term::Const(c) => c.clone(),
+                    Term::Var(v) => freeze[*v],
+                    Term::Const(c) => *c,
                 })
                 .collect();
-            instance.add_fact(atom.predicate.clone(), tuple);
+            instance.add_fact(atom.predicate, tuple);
         }
         (instance, freeze)
     }
@@ -204,7 +306,7 @@ impl ConjunctiveQuery {
 /// The frozen constant representing variable `var` in a canonical database.
 #[must_use]
 pub fn frozen_value(var: &str, index: usize) -> Value {
-    Value::Str(format!("\u{2744}{index}_{var}"))
+    Value::str(format!("\u{2744}{index}_{var}"))
 }
 
 impl fmt::Display for ConjunctiveQuery {
@@ -241,7 +343,7 @@ pub fn for_each_homomorphism(
     // Order atoms so that the most constrained (fewest candidate tuples) come
     // first; a cheap heuristic that materially helps on larger instances.
     let mut order: Vec<&Atom> = atoms.iter().collect();
-    order.sort_by_key(|a| instance.relation_size(&a.predicate));
+    order.sort_by_key(|a| instance.relation_size(a.predicate));
     search(&order, 0, instance, &mut assignment, callback);
 }
 
@@ -256,12 +358,12 @@ fn search(
         return callback(assignment);
     }
     let atom = atoms[index];
-    let candidates: Vec<&Tuple> = instance.tuples(&atom.predicate).collect();
+    let candidates: Vec<&Tuple> = instance.tuples(atom.predicate).collect();
     'tuples: for tuple in candidates {
         if tuple.arity() != atom.arity() {
             continue;
         }
-        let mut newly_bound: Vec<String> = Vec::new();
+        let mut newly_bound: Vec<VarId> = Vec::new();
         for (term, value) in atom.terms.iter().zip(tuple.values()) {
             match term {
                 Term::Const(c) => {
@@ -270,7 +372,7 @@ fn search(
                         continue 'tuples;
                     }
                 }
-                Term::Var(v) => match assignment.get(v) {
+                Term::Var(v) => match assignment.get(*v) {
                     Some(bound) => {
                         if bound != value {
                             undo(assignment, &newly_bound);
@@ -278,8 +380,8 @@ fn search(
                         }
                     }
                     None => {
-                        assignment.insert(v.clone(), value.clone());
-                        newly_bound.push(v.clone());
+                        assignment.insert(*v, *value);
+                        newly_bound.push(*v);
                     }
                 },
             }
@@ -292,9 +394,9 @@ fn search(
     false
 }
 
-fn undo(assignment: &mut Assignment, newly_bound: &[String]) {
+fn undo(assignment: &mut Assignment, newly_bound: &[VarId]) {
     for v in newly_bound {
-        assignment.remove(v);
+        assignment.remove(*v);
     }
 }
 
@@ -314,9 +416,9 @@ pub fn exists_homomorphism(atoms: &[Atom], instance: &Instance, initial: &Assign
 /// query with head variables, or `cq!(<- atom1, atom2)` for a boolean query.
 ///
 /// ```
-/// use accltl_relational::{atom, cq};
+/// use accltl_relational::{atom, cq, VarId};
 /// let q = cq!([n] <- atom!("Address"; s, p, n, h));
-/// assert_eq!(q.head, vec!["n".to_string()]);
+/// assert_eq!(q.head, vec![VarId::new("n")]);
 /// let b = cq!(<- atom!("Mobile#"; n, p, s, ph));
 /// assert!(b.is_boolean());
 /// ```
@@ -412,19 +514,19 @@ mod tests {
         let inst = directory_instance();
         let q = cq!([n] <- atom!("Address"; s, p, n, h));
         let mut fixed = Assignment::new();
-        fixed.insert("n".to_owned(), Value::str("Jones"));
+        fixed.insert("n", Value::str("Jones"));
         let hom = q.find_homomorphism(&inst, &fixed).unwrap();
         assert_eq!(hom["n"], Value::str("Jones"));
         assert_eq!(hom["h"], Value::Int(16));
 
-        fixed.insert("n".to_owned(), Value::str("Nobody"));
+        fixed.insert("n", Value::str("Nobody"));
         assert!(q.find_homomorphism(&inst, &fixed).is_none());
     }
 
     #[test]
     fn rename_predicates_builds_pre_variant() {
         let q = cq!(<- atom!("Address"; s, p, n, h));
-        let pre = q.rename_predicates(&|r| format!("{r}_pre"));
+        let pre = q.rename_predicates(|r| format!("{r}_pre"));
         assert_eq!(pre.atoms[0].predicate, "Address_pre");
     }
 

@@ -2,7 +2,7 @@
 //!
 //! The paper's decision procedure for A-automaton emptiness (Section 4.1)
 //! constructs a Datalog program whose fixpoint simulates the automaton's
-//! accesses; and the classical result of Li [15] computes the maximal answers
+//! accesses; and the classical result of Li \[15\] computes the maximal answers
 //! of a query under access patterns with a Datalog program that "tries all
 //! valid accesses".  Both use the engine in this module.
 
@@ -13,6 +13,7 @@ use crate::atom::Atom;
 use crate::cq::{for_each_homomorphism, Assignment};
 use crate::error::RelationalError;
 use crate::instance::Instance;
+use crate::symbols::{IdMap, RelId};
 use crate::term::Term;
 use crate::tuple::Tuple;
 use crate::Result;
@@ -35,7 +36,7 @@ impl DatalogRule {
 
     /// Checks the rule is safe: every head variable occurs in the body.
     pub fn validate(&self) -> Result<()> {
-        let body_vars: BTreeSet<String> = self.body.iter().flat_map(|a| a.variables()).collect();
+        let body_vars: BTreeSet<_> = self.body.iter().flat_map(|a| a.variables()).collect();
         for v in self.head.variables() {
             if !body_vars.contains(&v) {
                 return Err(RelationalError::UnsafeRule(format!(
@@ -64,7 +65,7 @@ impl fmt::Display for DatalogRule {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DatalogProgram {
     rules: Vec<DatalogRule>,
-    goal: String,
+    goal: RelId,
 }
 
 impl DatalogProgram {
@@ -72,7 +73,7 @@ impl DatalogProgram {
     ///
     /// # Errors
     /// Returns [`RelationalError::UnsafeRule`] if a rule is unsafe.
-    pub fn new(rules: Vec<DatalogRule>, goal: impl Into<String>) -> Result<Self> {
+    pub fn new(rules: Vec<DatalogRule>, goal: impl Into<RelId>) -> Result<Self> {
         for rule in &rules {
             rule.validate()?;
         }
@@ -90,27 +91,24 @@ impl DatalogProgram {
 
     /// The goal predicate.
     #[must_use]
-    pub fn goal(&self) -> &str {
-        &self.goal
+    pub fn goal(&self) -> RelId {
+        self.goal
     }
 
     /// The intensional predicates (those occurring in some rule head).
     #[must_use]
-    pub fn intensional_predicates(&self) -> BTreeSet<String> {
-        self.rules
-            .iter()
-            .map(|r| r.head.predicate.clone())
-            .collect()
+    pub fn intensional_predicates(&self) -> BTreeSet<RelId> {
+        self.rules.iter().map(|r| r.head.predicate).collect()
     }
 
     /// The extensional predicates (body predicates that never occur in a
     /// head).
     #[must_use]
-    pub fn extensional_predicates(&self) -> BTreeSet<String> {
+    pub fn extensional_predicates(&self) -> BTreeSet<RelId> {
         let idb = self.intensional_predicates();
         self.rules
             .iter()
-            .flat_map(|r| r.body.iter().map(|a| a.predicate.clone()))
+            .flat_map(|r| r.body.iter().map(|a| a.predicate))
             .filter(|p| !idb.contains(p))
             .collect()
     }
@@ -121,15 +119,12 @@ impl DatalogProgram {
     pub fn is_recursive(&self) -> bool {
         let idb = self.intensional_predicates();
         // Build the dependency graph among intensional predicates.
-        let mut edges: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+        let mut edges: BTreeMap<RelId, BTreeSet<RelId>> = BTreeMap::new();
         for rule in &self.rules {
-            let from = rule.head.predicate.as_str();
+            let from = rule.head.predicate;
             for atom in &rule.body {
                 if idb.contains(&atom.predicate) {
-                    edges
-                        .entry(from)
-                        .or_default()
-                        .insert(atom.predicate.as_str());
+                    edges.entry(from).or_default().insert(atom.predicate);
                 }
             }
         }
@@ -139,20 +134,20 @@ impl DatalogProgram {
             InProgress,
             Done,
         }
-        fn dfs<'a>(
-            node: &'a str,
-            edges: &BTreeMap<&'a str, BTreeSet<&'a str>>,
-            marks: &mut BTreeMap<&'a str, Mark>,
+        fn dfs(
+            node: RelId,
+            edges: &BTreeMap<RelId, BTreeSet<RelId>>,
+            marks: &mut BTreeMap<RelId, Mark>,
         ) -> bool {
-            match marks.get(node) {
+            match marks.get(&node) {
                 Some(Mark::InProgress) => return true,
                 Some(Mark::Done) => return false,
                 None => {}
             }
             marks.insert(node, Mark::InProgress);
-            if let Some(next) = edges.get(node) {
+            if let Some(next) = edges.get(&node) {
                 for n in next {
-                    if dfs(n, edges, marks) {
+                    if dfs(*n, edges, marks) {
                         return true;
                     }
                 }
@@ -161,7 +156,7 @@ impl DatalogProgram {
             false
         }
         let mut marks = BTreeMap::new();
-        edges.keys().any(|node| dfs(node, &edges, &mut marks))
+        edges.keys().any(|node| dfs(*node, &edges, &mut marks))
     }
 
     /// Number of rules (a size measure).
@@ -182,17 +177,18 @@ impl DatalogProgram {
     #[must_use]
     pub fn fixpoint(&self, edb: &Instance) -> Instance {
         let mut total = edb.clone();
+        let vocab = DeltaVocab::new(&self.rules);
         // Initial round: naive application of every rule on the EDB.
         let mut delta = Instance::new();
         for rule in &self.rules {
-            for fact in apply_rule(rule, &total, None) {
-                if !total.contains(&fact.0, &fact.1) {
-                    delta.add_fact(fact.0.clone(), fact.1.clone());
+            for fact in apply_rule(rule, &total, None, &vocab) {
+                if !total.contains(fact.0, &fact.1) {
+                    delta.add_fact(fact.0, fact.1);
                 }
             }
         }
         for (rel, tuple) in delta.facts() {
-            total.add_fact(rel.to_owned(), tuple.clone());
+            total.add_fact(rel, tuple.clone());
         }
 
         // Semi-naive rounds: each new derivation must use at least one fact
@@ -200,14 +196,14 @@ impl DatalogProgram {
         while !delta.is_empty() {
             let mut next_delta = Instance::new();
             for rule in &self.rules {
-                for fact in apply_rule(rule, &total, Some(&delta)) {
-                    if !total.contains(&fact.0, &fact.1) {
-                        next_delta.add_fact(fact.0.clone(), fact.1.clone());
+                for fact in apply_rule(rule, &total, Some(&delta), &vocab) {
+                    if !total.contains(fact.0, &fact.1) {
+                        next_delta.add_fact(fact.0, fact.1);
                     }
                 }
             }
             for (rel, tuple) in next_delta.facts() {
-                total.add_fact(rel.to_owned(), tuple.clone());
+                total.add_fact(rel, tuple.clone());
             }
             delta = next_delta;
         }
@@ -219,7 +215,7 @@ impl DatalogProgram {
     pub fn accepts(&self, edb: &Instance) -> bool {
         // Short-circuit: stop as soon as a goal fact appears.
         let fixpoint = self.fixpoint(edb);
-        fixpoint.relation_size(&self.goal) > 0
+        fixpoint.relation_size(self.goal) > 0
     }
 }
 
@@ -237,13 +233,48 @@ impl fmt::Display for DatalogProgram {
 /// evaluation.
 const DELTA_PREFIX: &str = "\u{0394}";
 
+/// The interned id of the Δ-view of a predicate.  Interning is memoised by the
+/// process-wide pool; [`DeltaVocab`] additionally caches the mapping per
+/// fixpoint run so the semi-naive inner loop never formats a string.
+fn delta_rel(rel: RelId) -> RelId {
+    RelId::new(&format!("{DELTA_PREFIX}{rel}"))
+}
+
+/// Per-fixpoint cache of `R → ΔR` ids, resolved once for every predicate the
+/// program mentions.
+struct DeltaVocab {
+    map: IdMap<RelId>,
+}
+
+impl DeltaVocab {
+    fn new(rules: &[DatalogRule]) -> Self {
+        let mut map = IdMap::new();
+        for rule in rules {
+            for atom in std::iter::once(&rule.head).chain(&rule.body) {
+                if map.get(atom.predicate.id()).is_none() {
+                    map.insert(atom.predicate.id(), delta_rel(atom.predicate));
+                }
+            }
+        }
+        DeltaVocab { map }
+    }
+
+    fn of(&self, rel: RelId) -> RelId {
+        match self.map.get(rel.id()) {
+            Some(delta) => *delta,
+            None => delta_rel(rel),
+        }
+    }
+}
+
 /// Applies a rule against `total`, optionally requiring that at least one body
 /// atom is matched against `delta` (semi-naive restriction).
 fn apply_rule(
     rule: &DatalogRule,
     total: &Instance,
     delta: Option<&Instance>,
-) -> Vec<(String, Tuple)> {
+    vocab: &DeltaVocab,
+) -> Vec<(RelId, Tuple)> {
     let mut derived = Vec::new();
     match delta {
         None => {
@@ -255,14 +286,14 @@ fn apply_rule(
             // position i rewrite that atom to use the Δ view.
             let mut combined = total.clone();
             for (rel, tuple) in delta.facts() {
-                combined.add_fact(format!("{DELTA_PREFIX}{rel}"), tuple.clone());
+                combined.add_fact(vocab.of(rel), tuple.clone());
             }
             for i in 0..rule.body.len() {
-                if delta.relation_size(&rule.body[i].predicate) == 0 {
+                if delta.relation_size(rule.body[i].predicate) == 0 {
                     continue;
                 }
                 let mut body = rule.body.clone();
-                body[i] = body[i].with_predicate(format!("{DELTA_PREFIX}{}", body[i].predicate));
+                body[i] = body[i].with_predicate(vocab.of(body[i].predicate));
                 collect_heads(rule, &body, &combined, &mut derived);
             }
         }
@@ -274,7 +305,7 @@ fn collect_heads(
     rule: &DatalogRule,
     body: &[Atom],
     instance: &Instance,
-    derived: &mut Vec<(String, Tuple)>,
+    derived: &mut Vec<(RelId, Tuple)>,
 ) {
     for_each_homomorphism(body, instance, &Assignment::new(), &mut |assignment| {
         let tuple: Tuple = rule
@@ -282,14 +313,14 @@ fn collect_heads(
             .terms
             .iter()
             .map(|t| match t {
-                Term::Const(c) => c.clone(),
+                Term::Const(c) => *c,
                 Term::Var(v) => assignment
-                    .get(v)
-                    .cloned()
+                    .get(*v)
+                    .copied()
                     .expect("safe rule: head variables bound by body"),
             })
             .collect();
-        derived.push((rule.head.predicate.clone(), tuple));
+        derived.push((rule.head.predicate, tuple));
         false
     });
 }
@@ -378,11 +409,11 @@ mod tests {
         let program = transitive_closure();
         assert_eq!(
             program.intensional_predicates(),
-            BTreeSet::from(["T".to_owned(), "Goal".to_owned()])
+            BTreeSet::from([RelId::new("T"), RelId::new("Goal")])
         );
         assert_eq!(
             program.extensional_predicates(),
-            BTreeSet::from(["E".to_owned()])
+            BTreeSet::from([RelId::new("E")])
         );
         assert!(program.is_recursive());
 

@@ -26,6 +26,7 @@ use crate::atom::Atom;
 use crate::containment::cq_contained_in_ucq;
 use crate::cq::ConjunctiveQuery;
 use crate::datalog::DatalogProgram;
+use crate::symbols::VarId;
 use crate::term::Term;
 use crate::ucq::UnionOfCqs;
 
@@ -119,10 +120,12 @@ pub fn datalog_contained_in_ucq(
     let idb = program.intensional_predicates();
 
     // Head variables of every expansion: g0, g1, ...
-    let head_vars: Vec<String> = (0..goal_arity).map(|i| format!("g{i}")).collect();
+    let head_vars: Vec<VarId> = (0..goal_arity)
+        .map(|i| VarId::new(&format!("g{i}")))
+        .collect();
     let goal_atom = Atom::new(
-        program.goal().to_owned(),
-        head_vars.iter().map(Term::var).collect(),
+        program.goal(),
+        head_vars.iter().map(|v| Term::Var(*v)).collect(),
     );
 
     let mut queue = VecDeque::new();
@@ -171,17 +174,17 @@ pub fn datalog_contained_in_ucq(
                     }
                     fresh_counter += 1;
                     let tag = fresh_counter;
-                    let renamed_head = rule.head.rename_vars(&|v| format!("{v}\u{2032}{tag}"));
+                    let renamed_head = rule.head.rename_vars(|v| format!("{v}\u{2032}{tag}"));
                     let renamed_body: Vec<Atom> = rule
                         .body
                         .iter()
-                        .map(|a| a.rename_vars(&|v| format!("{v}\u{2032}{tag}")))
+                        .map(|a| a.rename_vars(|v| format!("{v}\u{2032}{tag}")))
                         .collect();
                     let Some(mgu) = unify(&target.terms, &renamed_head.terms) else {
                         continue;
                     };
                     any_rule_applied = true;
-                    let apply = |a: &Atom| a.substitute(&|v| mgu.get(v).cloned());
+                    let apply = |a: &Atom| a.substitute(|v| mgu.get(&v).copied());
                     let mut new_atoms: Vec<Atom> = rest.iter().map(apply).collect();
                     new_atoms.extend(renamed_body.iter().map(apply));
                     queue.push_back(PartialExpansion {
@@ -215,17 +218,17 @@ fn goal_arity(program: &DatalogProgram) -> usize {
 
 /// Most general unifier of two term lists (no function symbols, so this is
 /// simple simultaneous unification of variables and constants).
-fn unify(left: &[Term], right: &[Term]) -> Option<BTreeMap<String, Term>> {
+fn unify(left: &[Term], right: &[Term]) -> Option<BTreeMap<VarId, Term>> {
     if left.len() != right.len() {
         return None;
     }
-    let mut subst: BTreeMap<String, Term> = BTreeMap::new();
+    let mut subst: BTreeMap<VarId, Term> = BTreeMap::new();
 
-    fn resolve(term: &Term, subst: &BTreeMap<String, Term>) -> Term {
-        let mut current = term.clone();
+    fn resolve(term: &Term, subst: &BTreeMap<VarId, Term>) -> Term {
+        let mut current = *term;
         while let Term::Var(v) = &current {
             match subst.get(v) {
-                Some(next) if next != &current => current = next.clone(),
+                Some(next) if next != &current => current = *next,
                 _ => break,
             }
         }
@@ -245,7 +248,7 @@ fn unify(left: &[Term], right: &[Term]) -> Option<BTreeMap<String, Term>> {
             // that the goal/target terms — in particular expansion head
             // variables — survive the substitution unchanged.
             (other, Term::Var(v)) => {
-                if Term::Var(v.clone()) != other {
+                if Term::Var(v) != other {
                     subst.insert(v, other);
                 }
             }
@@ -256,9 +259,9 @@ fn unify(left: &[Term], right: &[Term]) -> Option<BTreeMap<String, Term>> {
     }
     // Fully resolve the bindings so that applying the substitution once is
     // enough (no chains like y → x → 2 remain).
-    let resolved: BTreeMap<String, Term> = subst
+    let resolved: BTreeMap<VarId, Term> = subst
         .keys()
-        .map(|v| (v.clone(), resolve(&Term::Var(v.clone()), &subst)))
+        .map(|v| (*v, resolve(&Term::Var(*v), &subst)))
         .collect();
     Some(resolved)
 }
@@ -415,14 +418,14 @@ mod tests {
         let lhs = vec![Term::var("x"), Term::var("x"), Term::constant(1)];
         let rhs = vec![Term::constant(2), Term::var("y"), Term::var("z")];
         let mgu = unify(&lhs, &rhs).unwrap();
-        assert_eq!(mgu.get("x"), Some(&Term::constant(2)));
+        assert_eq!(mgu.get(&VarId::new("x")), Some(&Term::constant(2)));
         // y must resolve to 2 through x.
-        let resolved_y = match mgu.get("y") {
-            Some(Term::Var(v)) => mgu.get(v).cloned(),
-            other => other.cloned(),
+        let resolved_y = match mgu.get(&VarId::new("y")) {
+            Some(Term::Var(v)) => mgu.get(v).copied(),
+            other => other.copied(),
         };
         assert_eq!(resolved_y, Some(Term::constant(2)));
-        assert_eq!(mgu.get("z"), Some(&Term::constant(1)));
+        assert_eq!(mgu.get(&VarId::new("z")), Some(&Term::constant(1)));
 
         assert!(unify(&[Term::constant(1)], &[Term::constant(2)]).is_none());
         assert!(unify(&[Term::var("x")], &[Term::var("x"), Term::var("y")]).is_none());

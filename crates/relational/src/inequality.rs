@@ -53,8 +53,8 @@ impl InequalityCq {
 
     fn resolve(term: &Term, assignment: &Assignment) -> Option<Value> {
         match term {
-            Term::Const(v) => Some(v.clone()),
-            Term::Var(name) => assignment.get(name).cloned(),
+            Term::Const(v) => Some(*v),
+            Term::Var(name) => assignment.get(*name).copied(),
         }
     }
 
@@ -105,7 +105,7 @@ impl InequalityCq {
                         .cq
                         .head
                         .iter()
-                        .filter_map(|v| assignment.get(v).cloned())
+                        .filter_map(|v| assignment.get(*v).copied())
                         .collect();
                     if tuple.arity() == self.cq.head.len() {
                         results.insert(tuple);

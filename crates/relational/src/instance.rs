@@ -1,24 +1,41 @@
 //! Database instances: finite collections of tuples per relation.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 use std::fmt;
 
 use crate::schema::Schema;
+use crate::symbols::{RelId, RelKey};
 use crate::tuple::Tuple;
 use crate::value::Value;
 use crate::Result;
 
 /// A database instance.
 ///
-/// Facts are stored in ordered sets keyed by relation name, so iteration order
-/// (and therefore every algorithm built on top) is deterministic.  An instance
-/// is not tied to a [`Schema`]; validation against a schema is explicit via
-/// [`Instance::validate_against`], because the paper frequently works with
-/// *extended* vocabularies (the `SchAcc` pre/post copies, the Datalog
-/// `Background`/`View` predicates) that are derived from a base schema.
-#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord)]
+/// Facts are stored as a dense map keyed by interned relation id: a vector of
+/// `(RelId, tuple set)` entries sorted by relation *name* (the `RelId`
+/// ordering, which has an integer fast path for equality), looked up by
+/// binary search.  Relation keying never hashes or clones a string, and
+/// probing with an equal id is pure integer work; the name ordering keeps
+/// iteration — `facts()`, the chase's first-violation scan, `Display` — in
+/// exactly the order the previous `String`-keyed `BTreeMap` produced,
+/// independent of interning order.  Within a relation, tuple sets stay
+/// ordered (`BTreeSet` over [`Value`]'s order: lexicographic for text,
+/// numeric for labelled nulls — see [`Value`] for the one way this differs
+/// from the old `String` representation), so every algorithm built on top is
+/// deterministic across runs.
+///
+/// An instance is not tied to a [`Schema`]; validation against a schema is
+/// explicit via [`Instance::validate_against`], because the paper frequently
+/// works with *extended* vocabularies (the `SchAcc` pre/post copies, the
+/// Datalog `Background`/`View` predicates) that are derived from a base
+/// schema.  Relation ids are process-wide (see [`crate::symbols`]), so
+/// instances from different schemas can be unioned and compared safely.
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Instance {
-    facts: BTreeMap<String, BTreeSet<Tuple>>,
+    /// Sorted by relation name (`RelId` order); never contains an empty tuple
+    /// set (so that structural equality coincides with set-of-facts
+    /// equality, and the derived `Ord`/`Hash` are canonical).
+    facts: Vec<(RelId, BTreeSet<Tuple>)>,
 }
 
 impl Instance {
@@ -28,79 +45,111 @@ impl Instance {
         Self::default()
     }
 
+    fn slot(&self, relation: RelId) -> std::result::Result<usize, usize> {
+        self.facts.binary_search_by(|(r, _)| r.cmp(&relation))
+    }
+
+    fn tuple_set(&self, relation: RelId) -> Option<&BTreeSet<Tuple>> {
+        self.slot(relation).ok().map(|i| &self.facts[i].1)
+    }
+
+    fn tuple_set_mut(&mut self, relation: RelId) -> &mut BTreeSet<Tuple> {
+        match self.slot(relation) {
+            Ok(found) => &mut self.facts[found].1,
+            Err(insert_at) => {
+                self.facts.insert(insert_at, (relation, BTreeSet::new()));
+                &mut self.facts[insert_at].1
+            }
+        }
+    }
+
     /// Adds a fact. Returns `true` if the fact was not already present.
-    pub fn add_fact(&mut self, relation: impl Into<String>, tuple: Tuple) -> bool {
-        self.facts.entry(relation.into()).or_default().insert(tuple)
+    pub fn add_fact(&mut self, relation: impl Into<RelId>, tuple: Tuple) -> bool {
+        self.tuple_set_mut(relation.into()).insert(tuple)
     }
 
     /// Adds every fact from an iterator of `(relation, tuple)` pairs.
-    pub fn extend_facts(&mut self, facts: impl IntoIterator<Item = (String, Tuple)>) {
+    pub fn extend_facts<R: Into<RelId>>(&mut self, facts: impl IntoIterator<Item = (R, Tuple)>) {
         for (rel, tuple) in facts {
             self.add_fact(rel, tuple);
         }
     }
 
-    /// Removes a fact. Returns `true` if it was present.
-    pub fn remove_fact(&mut self, relation: &str, tuple: &Tuple) -> bool {
-        match self.facts.get_mut(relation) {
-            Some(set) => {
-                let removed = set.remove(tuple);
-                if set.is_empty() {
-                    self.facts.remove(relation);
+    /// Removes a fact. Returns `true` if it was present.  String keys resolve
+    /// without growing the intern pool (absent names answer `false`).
+    pub fn remove_fact(&mut self, relation: impl RelKey, tuple: &Tuple) -> bool {
+        let Some(relation) = relation.resolve_rel() else {
+            return false;
+        };
+        match self.slot(relation) {
+            Ok(found) => {
+                let removed = self.facts[found].1.remove(tuple);
+                if self.facts[found].1.is_empty() {
+                    self.facts.remove(found);
                 }
                 removed
             }
-            None => false,
+            Err(_) => false,
         }
     }
 
-    /// True if the instance contains the given fact.
+    /// True if the instance contains the given fact.  String keys resolve
+    /// without growing the intern pool (absent names answer `false`).
     #[must_use]
-    pub fn contains(&self, relation: &str, tuple: &Tuple) -> bool {
-        self.facts
-            .get(relation)
+    pub fn contains(&self, relation: impl RelKey, tuple: &Tuple) -> bool {
+        relation
+            .resolve_rel()
+            .and_then(|rel| self.tuple_set(rel))
             .is_some_and(|set| set.contains(tuple))
     }
 
-    /// The tuples of a relation (empty slice view when the relation is empty).
+    /// The tuples of a relation, when the relation is non-empty.
     #[must_use]
-    pub fn relation(&self, relation: &str) -> Option<&BTreeSet<Tuple>> {
-        self.facts.get(relation)
+    pub fn relation(&self, relation: impl RelKey) -> Option<&BTreeSet<Tuple>> {
+        relation.resolve_rel().and_then(|rel| self.tuple_set(rel))
     }
 
     /// Iterates over the tuples of a relation (empty iterator when absent).
-    pub fn tuples(&self, relation: &str) -> impl Iterator<Item = &Tuple> {
-        self.facts.get(relation).into_iter().flatten()
+    pub fn tuples(&self, relation: impl RelKey) -> impl Iterator<Item = &Tuple> {
+        relation
+            .resolve_rel()
+            .and_then(|rel| self.tuple_set(rel))
+            .into_iter()
+            .flatten()
     }
 
-    /// Iterates over all facts as `(relation, tuple)` pairs.
-    pub fn facts(&self) -> impl Iterator<Item = (&str, &Tuple)> {
+    /// Iterates over all facts as `(relation, tuple)` pairs, in relation-name
+    /// order (matching the pre-interning representation).
+    pub fn facts(&self) -> impl Iterator<Item = (RelId, &Tuple)> {
         self.facts
             .iter()
-            .flat_map(|(rel, tuples)| tuples.iter().map(move |t| (rel.as_str(), t)))
+            .flat_map(|(rel, tuples)| tuples.iter().map(move |t| (*rel, t)))
     }
 
-    /// The relation names that have at least one tuple.
-    pub fn nonempty_relations(&self) -> impl Iterator<Item = &str> {
-        self.facts.keys().map(String::as_str)
+    /// The relation ids that have at least one tuple.
+    pub fn nonempty_relations(&self) -> impl Iterator<Item = RelId> + '_ {
+        self.facts.iter().map(|(rel, _)| *rel)
     }
 
     /// The number of facts across all relations.
     #[must_use]
     pub fn fact_count(&self) -> usize {
-        self.facts.values().map(BTreeSet::len).sum()
+        self.facts.iter().map(|(_, set)| set.len()).sum()
     }
 
     /// The number of facts in one relation.
     #[must_use]
-    pub fn relation_size(&self, relation: &str) -> usize {
-        self.facts.get(relation).map_or(0, BTreeSet::len)
+    pub fn relation_size(&self, relation: impl RelKey) -> usize {
+        relation
+            .resolve_rel()
+            .and_then(|rel| self.tuple_set(rel))
+            .map_or(0, BTreeSet::len)
     }
 
     /// True if the instance has no facts at all.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.facts.values().all(BTreeSet::is_empty)
+        self.facts.is_empty()
     }
 
     /// The active domain: every value appearing in some fact.
@@ -108,7 +157,7 @@ impl Instance {
     pub fn active_domain(&self) -> BTreeSet<Value> {
         let mut dom = BTreeSet::new();
         for (_, tuple) in self.facts() {
-            dom.extend(tuple.values().iter().cloned());
+            dom.extend(tuple.values().iter().copied());
         }
         dom
     }
@@ -116,7 +165,12 @@ impl Instance {
     /// True if every fact of `self` is also a fact of `other`.
     #[must_use]
     pub fn is_subinstance_of(&self, other: &Instance) -> bool {
-        self.facts().all(|(rel, t)| other.contains(rel, t))
+        self.facts
+            .iter()
+            .all(|(rel, tuples)| match other.tuple_set(*rel) {
+                Some(theirs) => tuples.is_subset(theirs),
+                None => false,
+            })
     }
 
     /// The union of two instances.
@@ -130,7 +184,7 @@ impl Instance {
     /// Unions `other` into `self`.
     pub fn union_in_place(&mut self, other: &Instance) {
         for (rel, tuples) in &other.facts {
-            let entry = self.facts.entry(rel.clone()).or_default();
+            let entry = self.tuple_set_mut(*rel);
             entry.extend(tuples.iter().cloned());
         }
     }
@@ -139,35 +193,47 @@ impl Instance {
     #[must_use]
     pub fn intersection(&self, other: &Instance) -> Instance {
         let mut result = Instance::new();
-        for (rel, tuple) in self.facts() {
-            if other.contains(rel, tuple) {
-                result.add_fact(rel.to_owned(), tuple.clone());
+        for (rel, tuples) in &self.facts {
+            if let Some(theirs) = other.tuple_set(*rel) {
+                let common: BTreeSet<Tuple> = tuples.intersection(theirs).cloned().collect();
+                if !common.is_empty() {
+                    result.facts.push((*rel, common));
+                }
             }
         }
+        // `self.facts` is name-sorted, so `result.facts` is too.
         result
     }
 
-    /// Restricts the instance to the given relation names.
+    /// Restricts the instance to the given relations.
     #[must_use]
-    pub fn restrict_to(&self, relations: &BTreeSet<String>) -> Instance {
+    pub fn restrict_to(&self, relations: &BTreeSet<RelId>) -> Instance {
         let mut result = Instance::new();
         for (rel, tuples) in &self.facts {
             if relations.contains(rel) {
-                result.facts.insert(rel.clone(), tuples.clone());
+                result.facts.push((*rel, tuples.clone()));
             }
         }
         result
     }
 
-    /// Renames relations according to `rename` (unlisted relations keep their
-    /// name).  Used to build the `Rpre`/`Rpost` copies of the `SchAcc`
-    /// vocabulary.
+    /// Renames relations according to `rename` (by name; unlisted relations
+    /// keep their name).  Used to build the `Rpre`/`Rpost` copies of the
+    /// `SchAcc` vocabulary; hot paths should prefer
+    /// [`Instance::rename_relations_by`] with a precomputed id map.
     #[must_use]
-    pub fn rename_relations(&self, rename: &dyn Fn(&str) -> String) -> Instance {
+    pub fn rename_relations(&self, rename: impl Fn(&str) -> String) -> Instance {
+        self.rename_relations_by(|rel| RelId::new(&rename(rel.as_str())))
+    }
+
+    /// Renames relations by id.  The workhorse behind the transition-structure
+    /// construction in the bounded searches: with a precomputed `RelId →
+    /// RelId` map the whole operation is integer-keyed.
+    #[must_use]
+    pub fn rename_relations_by(&self, rename: impl Fn(RelId) -> RelId) -> Instance {
         let mut result = Instance::new();
         for (rel, tuples) in &self.facts {
-            let new_name = rename(rel);
-            let entry = result.facts.entry(new_name).or_default();
+            let entry = result.tuple_set_mut(rename(*rel));
             entry.extend(tuples.iter().cloned());
         }
         result
@@ -176,10 +242,11 @@ impl Instance {
     /// Applies a value substitution to every fact (used by the chase when a
     /// labelled null is equated with another value).
     #[must_use]
-    pub fn map_values(&self, f: &dyn Fn(&Value) -> Value) -> Instance {
+    pub fn map_values(&self, f: impl Fn(&Value) -> Value) -> Instance {
         let mut result = Instance::new();
-        for (rel, tuple) in self.facts() {
-            result.add_fact(rel.to_owned(), tuple.map_values(f));
+        for (rel, tuples) in &self.facts {
+            let mapped: BTreeSet<Tuple> = tuples.iter().map(|t| t.map_values(&f)).collect();
+            result.tuple_set_mut(*rel).extend(mapped);
         }
         result
     }
@@ -190,9 +257,11 @@ impl Instance {
     /// Returns the first violation found, or an error for a relation not in
     /// the schema.
     pub fn validate_against(&self, schema: &Schema) -> Result<()> {
-        for (rel, tuple) in self.facts() {
-            let rel_schema = schema.require_relation(rel)?;
-            rel_schema.validate_tuple(tuple)?;
+        for (rel, tuples) in &self.facts {
+            let rel_schema = schema.require_relation_id(*rel)?;
+            for tuple in tuples {
+                rel_schema.validate_tuple(tuple)?;
+            }
         }
         Ok(())
     }
@@ -215,8 +284,8 @@ impl fmt::Display for Instance {
     }
 }
 
-impl FromIterator<(String, Tuple)> for Instance {
-    fn from_iter<T: IntoIterator<Item = (String, Tuple)>>(iter: T) -> Self {
+impl<R: Into<RelId>> FromIterator<(R, Tuple)> for Instance {
+    fn from_iter<T: IntoIterator<Item = (R, Tuple)>>(iter: T) -> Self {
         let mut inst = Instance::new();
         inst.extend_facts(iter);
         inst
@@ -280,13 +349,23 @@ mod tests {
     #[test]
     fn restriction_and_renaming() {
         let inst = sample();
-        let only_address = inst.restrict_to(&BTreeSet::from(["Address".to_owned()]));
+        let only_address = inst.restrict_to(&BTreeSet::from([RelId::new("Address")]));
         assert_eq!(only_address.relation_size("Address"), 2);
         assert_eq!(only_address.relation_size("Mobile#"), 0);
 
-        let renamed = inst.rename_relations(&|r| format!("{r}_pre"));
+        let renamed = inst.rename_relations(|r| format!("{r}_pre"));
         assert_eq!(renamed.relation_size("Address_pre"), 2);
         assert_eq!(renamed.relation_size("Address"), 0);
+
+        let by_id = inst.rename_relations_by(|r| {
+            if r == "Address" {
+                RelId::new("Addr2")
+            } else {
+                r
+            }
+        });
+        assert_eq!(by_id.relation_size("Addr2"), 2);
+        assert_eq!(by_id.relation_size("Mobile#"), 1);
     }
 
     #[test]

@@ -9,19 +9,22 @@
 //! database-theory machinery.  This crate provides all of it, from scratch:
 //!
 //! * values, types, relation schemas and instances ([`value`], [`schema`],
-//!   [`tuple`], [`instance`]);
+//!   [`mod@tuple`], [`instance`]);
 //! * conjunctive queries, unions of conjunctive queries and positive
 //!   existential first-order formulas, with evaluation, homomorphisms and
-//!   canonical databases ([`cq`], [`ucq`]);
+//!   canonical databases ([`mod@cq`], [`ucq`]);
 //! * conjunctive queries with inequalities, used by the paper's Section 5
 //!   extensions ([`inequality`]);
 //! * query containment for CQs and UCQs ([`containment`]);
 //! * integrity constraints — functional dependencies, inclusion dependencies
 //!   and disjointness constraints — together with the chase ([`constraints`],
-//!   [`chase`]);
+//!   [`mod@chase`]);
 //! * a Datalog engine with semi-naive evaluation ([`datalog`]) and the
 //!   containment test of a Datalog program in a positive query used by the
-//!   paper's A-automaton emptiness reduction ([`datalog_containment`]).
+//!   paper's A-automaton emptiness reduction ([`datalog_containment`]);
+//! * interned symbols ([`symbols`]): copyable `u32` ids for relation names,
+//!   variable names and text constants, so the search inner loops compare and
+//!   hash integers instead of heap strings.
 //!
 //! Everything is deterministic: collections are ordered (`BTreeMap`/`BTreeSet`)
 //! so that repeated runs, tests and benchmarks produce identical results.
@@ -40,6 +43,7 @@ pub mod error;
 pub mod inequality;
 pub mod instance;
 pub mod schema;
+pub mod symbols;
 pub mod term;
 pub mod tuple;
 pub mod ucq;
@@ -51,13 +55,14 @@ pub use constraints::{
     Constraint, DisjointnessConstraint, FunctionalDependency, InclusionDependency,
 };
 pub use containment::{cq_contained_in_cq, cq_contained_in_ucq, ucq_contained_in_ucq};
-pub use cq::ConjunctiveQuery;
+pub use cq::{Assignment, ConjunctiveQuery};
 pub use datalog::{DatalogProgram, DatalogRule};
 pub use datalog_containment::{datalog_contained_in_ucq, ContainmentVerdict, UnfoldingConfig};
 pub use error::RelationalError;
 pub use inequality::InequalityCq;
 pub use instance::Instance;
 pub use schema::{RelationSchema, Schema};
+pub use symbols::{IdMap, RelId, RelKey, Sym, SymKey, SymbolTable, VarId, VarKey};
 pub use term::Term;
 pub use tuple::Tuple;
 pub use ucq::{PosFormula, UnionOfCqs};

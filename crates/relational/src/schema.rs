@@ -4,11 +4,16 @@
 //! `1..n_i` to datatypes.  Access methods live one level up, in the
 //! `accltl-paths` crate; this module only knows about the purely relational
 //! part.
+//!
+//! Relation names are resolved to interned [`RelId`]s at build time; the
+//! schema owns a [`SymbolTable`] assigning its relations dense local indices
+//! for per-schema arrays (see the `symbols` module for the ownership rule).
 
 use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::error::RelationalError;
+use crate::symbols::{RelId, SymbolTable};
 use crate::tuple::Tuple;
 use crate::value::DataType;
 use crate::Result;
@@ -19,14 +24,14 @@ use crate::Result;
 /// helpers that keep the two views consistent.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RelationSchema {
-    name: String,
+    name: RelId,
     column_types: Vec<DataType>,
 }
 
 impl RelationSchema {
     /// Creates a relation schema with the given name and column types.
     #[must_use]
-    pub fn new(name: impl Into<String>, column_types: Vec<DataType>) -> Self {
+    pub fn new(name: impl Into<RelId>, column_types: Vec<DataType>) -> Self {
         Self {
             name: name.into(),
             column_types,
@@ -38,14 +43,20 @@ impl RelationSchema {
     /// The paper's examples (phone directory, dependency gadgets) are
     /// homogeneous, so this is the most common constructor in practice.
     #[must_use]
-    pub fn text(name: impl Into<String>, arity: usize) -> Self {
+    pub fn text(name: impl Into<RelId>, arity: usize) -> Self {
         Self::new(name, vec![DataType::Text; arity])
     }
 
     /// The relation name.
     #[must_use]
-    pub fn name(&self) -> &str {
-        &self.name
+    pub fn name(&self) -> &'static str {
+        self.name.as_str()
+    }
+
+    /// The interned relation id.
+    #[must_use]
+    pub fn rel_id(&self) -> RelId {
+        self.name
     }
 
     /// The arity (number of positions).
@@ -68,7 +79,7 @@ impl RelationSchema {
     pub fn validate_tuple(&self, tuple: &Tuple) -> Result<()> {
         if tuple.arity() != self.arity() {
             return Err(RelationalError::ArityMismatch {
-                relation: self.name.clone(),
+                relation: self.name().to_owned(),
                 expected: self.arity(),
                 found: tuple.arity(),
             });
@@ -79,7 +90,7 @@ impl RelationSchema {
             }
             if value.data_type() != *ty {
                 return Err(RelationalError::TypeMismatch {
-                    relation: self.name.clone(),
+                    relation: self.name().to_owned(),
                     position: i + 1,
                 });
             }
@@ -102,10 +113,24 @@ impl fmt::Display for RelationSchema {
 }
 
 /// A database schema: a collection of named relation schemas.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct Schema {
-    relations: BTreeMap<String, RelationSchema>,
+    /// Keyed by interned id; iterated in name order (RelId orders by name).
+    relations: BTreeMap<RelId, RelationSchema>,
+    symbols: SymbolTable,
 }
+
+/// Schemas are equal when they declare the same relations; the symbol table's
+/// dense indices record registration order, which is bookkeeping, not
+/// identity (two schemas built in different orders compare equal, as with the
+/// pre-interning `BTreeMap`-only representation).
+impl PartialEq for Schema {
+    fn eq(&self, other: &Self) -> bool {
+        self.relations == other.relations
+    }
+}
+
+impl Eq for Schema {}
 
 impl Schema {
     /// Creates an empty schema.
@@ -132,19 +157,27 @@ impl Schema {
     /// # Errors
     /// Returns [`RelationalError::DuplicateRelation`] if the name is taken.
     pub fn add_relation(&mut self, relation: RelationSchema) -> Result<()> {
-        if self.relations.contains_key(relation.name()) {
+        let id = relation.rel_id();
+        if self.relations.contains_key(&id) {
             return Err(RelationalError::DuplicateRelation(
                 relation.name().to_owned(),
             ));
         }
-        self.relations.insert(relation.name().to_owned(), relation);
+        self.symbols.add_relation(id);
+        self.relations.insert(id, relation);
         Ok(())
     }
 
-    /// Looks up a relation by name.
+    /// Looks up a relation by name (without growing the intern pool).
     #[must_use]
     pub fn relation(&self, name: &str) -> Option<&RelationSchema> {
-        self.relations.get(name)
+        RelId::try_get(name).and_then(|id| self.relations.get(&id))
+    }
+
+    /// Looks up a relation by interned id.
+    #[must_use]
+    pub fn relation_by_id(&self, id: RelId) -> Option<&RelationSchema> {
+        self.relations.get(&id)
     }
 
     /// Looks up a relation by name, failing with an error when absent.
@@ -153,14 +186,32 @@ impl Schema {
             .ok_or_else(|| RelationalError::UnknownRelation(name.to_owned()))
     }
 
+    /// Looks up a relation by id, failing with an error when absent.
+    pub fn require_relation_id(&self, id: RelId) -> Result<&RelationSchema> {
+        self.relation_by_id(id)
+            .ok_or_else(|| RelationalError::UnknownRelation(id.as_str().to_owned()))
+    }
+
+    /// The schema's symbol table: its relations with dense local indices,
+    /// resolved at build time.
+    #[must_use]
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
+    }
+
     /// Iterates over the relations in name order.
     pub fn relations(&self) -> impl Iterator<Item = &RelationSchema> {
         self.relations.values()
     }
 
     /// The relation names, in order.
-    pub fn relation_names(&self) -> impl Iterator<Item = &str> {
-        self.relations.keys().map(String::as_str)
+    pub fn relation_names(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.relations.keys().map(|id| id.as_str())
+    }
+
+    /// The relation ids, in name order.
+    pub fn relation_ids(&self) -> impl Iterator<Item = RelId> + '_ {
+        self.relations.keys().copied()
     }
 
     /// The number of relations.
@@ -270,10 +321,24 @@ mod tests {
             Err(RelationalError::DuplicateRelation(_))
         ));
         assert!(schema.relation("R").is_some());
-        assert!(schema.relation("S").is_none());
-        assert!(schema.require_relation("S").is_err());
+        assert!(schema.relation("S-definitely-not-declared").is_none());
+        assert!(schema
+            .require_relation("S-definitely-not-declared")
+            .is_err());
         assert_eq!(schema.len(), 1);
         assert!(!schema.is_empty());
+    }
+
+    #[test]
+    fn symbol_table_is_populated_at_build_time() {
+        let schema = phone_directory_schema();
+        let table = schema.symbols();
+        assert_eq!(table.relation_count(), 2);
+        assert!(table.relation_index(RelId::new("Mobile#")).is_some());
+        assert!(table.relation_index(RelId::new("Address")).is_some());
+        // Dense indices follow registration order.
+        assert_eq!(table.relation_index(RelId::new("Mobile#")), Some(0));
+        assert_eq!(table.relation_index(RelId::new("Address")), Some(1));
     }
 
     #[test]

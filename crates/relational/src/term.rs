@@ -2,14 +2,16 @@
 
 use std::fmt;
 
+use crate::symbols::VarId;
 use crate::value::Value;
 
-/// A term in a query atom: either a variable (identified by name) or a
-/// constant value.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+/// A term in a query atom: either a variable (identified by interned name) or
+/// a constant value.  Terms are `Copy`: cloning one in the homomorphism and
+/// unification inner loops is free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Term {
     /// A first-order variable.
-    Var(String),
+    Var(VarId),
     /// A constant value.
     Const(Value),
 }
@@ -17,7 +19,7 @@ pub enum Term {
 impl Term {
     /// Convenience constructor for variables.
     #[must_use]
-    pub fn var(name: impl Into<String>) -> Self {
+    pub fn var(name: impl Into<VarId>) -> Self {
         Term::Var(name.into())
     }
 
@@ -29,9 +31,18 @@ impl Term {
 
     /// Returns the variable name if this term is a variable.
     #[must_use]
-    pub fn as_var(&self) -> Option<&str> {
+    pub fn as_var(&self) -> Option<&'static str> {
         match self {
-            Term::Var(name) => Some(name),
+            Term::Var(name) => Some(name.as_str()),
+            Term::Const(_) => None,
+        }
+    }
+
+    /// Returns the variable id if this term is a variable.
+    #[must_use]
+    pub fn as_var_id(&self) -> Option<VarId> {
+        match self {
+            Term::Var(name) => Some(*name),
             Term::Const(_) => None,
         }
     }
@@ -53,10 +64,10 @@ impl Term {
 
     /// Renames the variable (if any) using the provided function.
     #[must_use]
-    pub fn rename_var(&self, f: &dyn Fn(&str) -> String) -> Term {
+    pub fn rename_var(&self, f: impl Fn(&str) -> String) -> Term {
         match self {
-            Term::Var(name) => Term::Var(f(name)),
-            Term::Const(v) => Term::Const(v.clone()),
+            Term::Var(name) => Term::Var(VarId::new(&f(name.as_str()))),
+            Term::Const(v) => Term::Const(*v),
         }
     }
 }
@@ -131,6 +142,7 @@ mod tests {
         assert!(v.is_var());
         assert!(!c.is_var());
         assert_eq!(v.as_var(), Some("x"));
+        assert_eq!(v.as_var_id(), Some(VarId::new("x")));
         assert_eq!(c.as_const(), Some(&Value::str("Jones")));
         assert_eq!(v.as_const(), None);
         assert_eq!(c.as_var(), None);
@@ -138,8 +150,8 @@ mod tests {
 
     #[test]
     fn renaming_only_touches_variables() {
-        let v = Term::var("x").rename_var(&|n| format!("{n}_1"));
-        let c = Term::constant(3).rename_var(&|n| format!("{n}_1"));
+        let v = Term::var("x").rename_var(|n| format!("{n}_1"));
+        let c = Term::constant(3).rename_var(|n| format!("{n}_1"));
         assert_eq!(v, Term::var("x_1"));
         assert_eq!(c, Term::constant(3));
     }

@@ -48,7 +48,7 @@ impl Tuple {
         Tuple(
             positions
                 .iter()
-                .filter_map(|&p| self.0.get(p).cloned())
+                .filter_map(|&p| self.0.get(p).copied())
                 .collect(),
         )
     }
@@ -145,7 +145,7 @@ mod tests {
         let t = tuple![1, 2];
         let doubled = t.map_values(|v| match v {
             Value::Int(i) => Value::Int(i * 2),
-            other => other.clone(),
+            other => *other,
         });
         assert_eq!(doubled, tuple![2, 4]);
     }

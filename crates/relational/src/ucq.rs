@@ -16,6 +16,7 @@ use crate::cq::ConjunctiveQuery;
 use crate::error::RelationalError;
 use crate::inequality::InequalityCq;
 use crate::instance::Instance;
+use crate::symbols::{RelId, VarId};
 use crate::term::Term;
 use crate::tuple::Tuple;
 use crate::value::Value;
@@ -41,7 +42,7 @@ pub enum PosFormula {
     /// Disjunction.
     Or(Vec<PosFormula>),
     /// Existential quantification.
-    Exists(Vec<String>, Box<PosFormula>),
+    Exists(Vec<VarId>, Box<PosFormula>),
     /// The formula that is always true (empty conjunction).
     True,
     /// The formula that is always false (empty disjunction).
@@ -95,8 +96,8 @@ impl PosFormula {
 
     /// Existential quantification constructor.
     #[must_use]
-    pub fn exists(vars: Vec<impl Into<String>>, body: PosFormula) -> Self {
-        let vars: Vec<String> = vars.into_iter().map(Into::into).collect();
+    pub fn exists(vars: Vec<impl Into<VarId>>, body: PosFormula) -> Self {
+        let vars: Vec<VarId> = vars.into_iter().map(Into::into).collect();
         if vars.is_empty() {
             body
         } else {
@@ -108,7 +109,7 @@ impl PosFormula {
     /// producing a sentence.
     #[must_use]
     pub fn existential_closure(self) -> Self {
-        let free: Vec<String> = self.free_variables().into_iter().collect();
+        let free: Vec<VarId> = self.free_variables().into_iter().collect();
         PosFormula::exists(free, self)
     }
 
@@ -137,18 +138,18 @@ impl PosFormula {
         }
     }
 
-    /// The predicate names mentioned in the formula.
+    /// The predicates mentioned in the formula.
     #[must_use]
-    pub fn predicates(&self) -> BTreeSet<String> {
+    pub fn predicates(&self) -> BTreeSet<RelId> {
         let mut out = BTreeSet::new();
         self.collect_predicates(&mut out);
         out
     }
 
-    fn collect_predicates(&self, out: &mut BTreeSet<String>) {
+    fn collect_predicates(&self, out: &mut BTreeSet<RelId>) {
         match self {
             PosFormula::Atom(a) => {
-                out.insert(a.predicate.clone());
+                out.insert(a.predicate);
             }
             PosFormula::And(ps) | PosFormula::Or(ps) => {
                 for p in ps {
@@ -174,7 +175,7 @@ impl PosFormula {
             PosFormula::Eq(l, r) | PosFormula::Neq(l, r) => {
                 for t in [l, r] {
                     if let Term::Const(c) = t {
-                        out.insert(c.clone());
+                        out.insert(*c);
                     }
                 }
             }
@@ -190,13 +191,12 @@ impl PosFormula {
 
     /// The free variables of the formula.
     #[must_use]
-    pub fn free_variables(&self) -> BTreeSet<String> {
+    pub fn free_variables(&self) -> BTreeSet<VarId> {
         match self {
             PosFormula::Atom(a) => a.variables(),
-            PosFormula::Eq(l, r) | PosFormula::Neq(l, r) => [l, r]
-                .into_iter()
-                .filter_map(|t| t.as_var().map(str::to_owned))
-                .collect(),
+            PosFormula::Eq(l, r) | PosFormula::Neq(l, r) => {
+                [l, r].into_iter().filter_map(Term::as_var_id).collect()
+            }
             PosFormula::And(ps) | PosFormula::Or(ps) => {
                 ps.iter().flat_map(PosFormula::free_variables).collect()
             }
@@ -213,23 +213,24 @@ impl PosFormula {
 
     /// Renames every predicate of the formula with `f`.
     #[must_use]
-    pub fn rename_predicates(&self, f: &dyn Fn(&str) -> String) -> PosFormula {
-        match self {
-            PosFormula::Atom(a) => PosFormula::Atom(a.with_predicate(f(&a.predicate))),
-            PosFormula::Eq(l, r) => PosFormula::Eq(l.clone(), r.clone()),
-            PosFormula::Neq(l, r) => PosFormula::Neq(l.clone(), r.clone()),
-            PosFormula::And(ps) => {
-                PosFormula::And(ps.iter().map(|p| p.rename_predicates(f)).collect())
+    pub fn rename_predicates(&self, f: impl Fn(&str) -> String) -> PosFormula {
+        fn go<F: Fn(&str) -> String>(this: &PosFormula, f: &F) -> PosFormula {
+            match this {
+                PosFormula::Atom(a) => {
+                    PosFormula::Atom(a.with_predicate(RelId::new(&f(a.predicate.as_str()))))
+                }
+                PosFormula::Eq(l, r) => PosFormula::Eq(*l, *r),
+                PosFormula::Neq(l, r) => PosFormula::Neq(*l, *r),
+                PosFormula::And(ps) => PosFormula::And(ps.iter().map(|p| go(p, f)).collect()),
+                PosFormula::Or(ps) => PosFormula::Or(ps.iter().map(|p| go(p, f)).collect()),
+                PosFormula::Exists(vars, body) => {
+                    PosFormula::Exists(vars.clone(), Box::new(go(body, f)))
+                }
+                PosFormula::True => PosFormula::True,
+                PosFormula::False => PosFormula::False,
             }
-            PosFormula::Or(ps) => {
-                PosFormula::Or(ps.iter().map(|p| p.rename_predicates(f)).collect())
-            }
-            PosFormula::Exists(vars, body) => {
-                PosFormula::Exists(vars.clone(), Box::new(body.rename_predicates(f)))
-            }
-            PosFormula::True => PosFormula::True,
-            PosFormula::False => PosFormula::False,
         }
+        go(self, &f)
     }
 
     /// Compiles the (inequality-free) formula into a union of conjunctive
@@ -255,7 +256,7 @@ impl PosFormula {
     /// inequalities (DNF).  Free variables become the head of every disjunct.
     #[must_use]
     pub fn to_inequality_union(&self) -> Vec<InequalityCq> {
-        let head: Vec<String> = self.free_variables().into_iter().collect();
+        let head: Vec<VarId> = self.free_variables().into_iter().collect();
         let mut counter = 0usize;
         let disjuncts = dnf(self, &mut counter);
         disjuncts
@@ -316,7 +317,8 @@ impl fmt::Display for PosFormula {
                 write!(f, ")")
             }
             PosFormula::Exists(vars, body) => {
-                write!(f, "∃{} {body}", vars.join(" "))
+                let names: Vec<&str> = vars.iter().map(|v| v.as_str()).collect();
+                write!(f, "∃{} {body}", names.join(" "))
             }
             PosFormula::True => write!(f, "⊤"),
             PosFormula::False => write!(f, "⊥"),
@@ -343,7 +345,7 @@ impl Disjunct {
     /// Resolves equality atoms by substitution and produces a conjunctive
     /// query with inequalities; returns `None` if an equality between two
     /// distinct constants makes the disjunct unsatisfiable.
-    fn into_inequality_cq(self, head: &[String]) -> Option<InequalityCq> {
+    fn into_inequality_cq(self, head: &[VarId]) -> Option<InequalityCq> {
         let mut atoms = self.atoms;
         let mut neqs = self.neqs;
         let mut eqs = self.eqs;
@@ -360,16 +362,16 @@ impl Disjunct {
                     // another variable; prefer replacing the non-head one.
                     let (from, to) = match &t {
                         Term::Var(other) if head.contains(&v) && !head.contains(other) => {
-                            (other.clone(), Term::Var(v))
+                            (*other, Term::Var(v))
                         }
                         _ => (v, t),
                     };
-                    let subst = |name: &str| -> Option<Term> { (name == from).then(|| to.clone()) };
-                    atoms = atoms.iter().map(|a| a.substitute(&subst)).collect();
+                    let subst = |name: VarId| -> Option<Term> { (name == from).then_some(to) };
+                    atoms = atoms.iter().map(|a| a.substitute(subst)).collect();
                     let map_term = |term: &Term| -> Term {
                         match term {
-                            Term::Var(name) if *name == from => to.clone(),
-                            other => other.clone(),
+                            Term::Var(name) if *name == from => to,
+                            other => *other,
                         }
                     };
                     eqs = eqs
@@ -410,11 +412,11 @@ fn dnf(formula: &PosFormula, counter: &mut usize) -> Vec<Disjunct> {
             ..Disjunct::default()
         }],
         PosFormula::Eq(l, r) => vec![Disjunct {
-            eqs: vec![(l.clone(), r.clone())],
+            eqs: vec![(*l, *r)],
             ..Disjunct::default()
         }],
         PosFormula::Neq(l, r) => vec![Disjunct {
-            neqs: vec![(l.clone(), r.clone())],
+            neqs: vec![(*l, *r)],
             ..Disjunct::default()
         }],
         PosFormula::True => vec![Disjunct::default()],
@@ -445,9 +447,9 @@ fn dnf(formula: &PosFormula, counter: &mut usize) -> Vec<Disjunct> {
     }
 }
 
-fn rename_bound(body: &PosFormula, vars: &[String], tag: usize) -> PosFormula {
+fn rename_bound(body: &PosFormula, vars: &[VarId], tag: usize) -> PosFormula {
     let rename = |name: &str| -> String {
-        if vars.iter().any(|v| v == name) {
+        if vars.iter().any(|v| *v == name) {
             format!("{name}\u{B7}{tag}")
         } else {
             name.to_owned()
@@ -456,7 +458,7 @@ fn rename_bound(body: &PosFormula, vars: &[String], tag: usize) -> PosFormula {
     map_vars(body, &rename)
 }
 
-fn map_vars(formula: &PosFormula, rename: &dyn Fn(&str) -> String) -> PosFormula {
+fn map_vars<F: Fn(&str) -> String>(formula: &PosFormula, rename: &F) -> PosFormula {
     match formula {
         PosFormula::Atom(a) => PosFormula::Atom(a.rename_vars(rename)),
         PosFormula::Eq(l, r) => PosFormula::Eq(l.rename_var(rename), r.rename_var(rename)),
@@ -465,7 +467,10 @@ fn map_vars(formula: &PosFormula, rename: &dyn Fn(&str) -> String) -> PosFormula
         PosFormula::Or(ps) => PosFormula::Or(ps.iter().map(|p| map_vars(p, rename)).collect()),
         PosFormula::Exists(vars, body) => {
             // Bound variables of inner quantifiers are renamed consistently.
-            let new_vars: Vec<String> = vars.iter().map(|v| rename(v)).collect();
+            let new_vars: Vec<VarId> = vars
+                .iter()
+                .map(|v| VarId::new(&rename(v.as_str())))
+                .collect();
             PosFormula::Exists(new_vars, Box::new(map_vars(body, rename)))
         }
         PosFormula::True => PosFormula::True,
@@ -706,7 +711,7 @@ mod tests {
         assert_eq!(f.size(), 3);
         assert_eq!(
             f.predicates(),
-            BTreeSet::from(["R".to_owned(), "S".to_owned()])
+            BTreeSet::from([RelId::new("R"), RelId::new("S")])
         );
         assert_eq!(
             f.constants(),
@@ -723,10 +728,10 @@ mod tests {
                 PosFormula::atom(atom!("S"; x)),
             ]),
         );
-        let renamed = f.rename_predicates(&|p| format!("{p}_post"));
+        let renamed = f.rename_predicates(|p| format!("{p}_post"));
         assert_eq!(
             renamed.predicates(),
-            BTreeSet::from(["R_post".to_owned(), "S_post".to_owned()])
+            BTreeSet::from([RelId::new("R_post"), RelId::new("S_post")])
         );
     }
 

@@ -4,8 +4,16 @@
 //! and booleans (Section 2).  We additionally support text values since the
 //! running example (a Web telephone directory) binds names, street names and
 //! postcodes.
+//!
+//! Text values are interned ([`Sym`]): a [`Value`] is a small `Copy`-friendly
+//! enum whose equality and hashing are integer operations, which is what the
+//! chase, homomorphism search and product-emptiness inner loops spend their
+//! time on.  Labelled nulls (the placeholders invented by the chase) get a
+//! dedicated variant so creating one never touches the intern pool.
 
 use std::fmt;
+
+use crate::symbols::Sym;
 
 /// A datatype for a relation position.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -30,57 +38,111 @@ impl fmt::Display for DataType {
 
 /// A concrete data value stored in a tuple or used in a binding.
 ///
-/// Values are totally ordered (lexicographically across variants) so that
-/// instances can be kept in ordered sets and all algorithms are deterministic.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+/// Values are `Copy`, totally ordered and hashable.  The ordering of text
+/// values is lexicographic on the *resolved strings* (not on intern ids), so
+/// that ordered collections iterate deterministically across runs — for
+/// ordinary data, the same order the previous `String`-backed representation
+/// produced.  Labelled nulls are the one deliberate exception: they now form
+/// their own variant ordered numerically after all text (previously they were
+/// `⊥n…`-prefixed strings sorted lexicographically among the other strings),
+/// which keeps chase-generated placeholders in creation order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Value {
     /// An integer value.
     Int(i64),
-    /// A text value.
-    Str(String),
+    /// A text value (interned).
+    Str(Sym),
+    /// A labelled null `⊥n<id>` produced by the chase or by canonical-database
+    /// freezing.
+    Null(u64),
     /// A boolean value.
     Bool(bool),
 }
 
 impl Value {
-    /// Returns the datatype of this value.
+    /// Returns the datatype of this value.  Labelled nulls are typed as text
+    /// placeholders (they are accepted at any position by schema validation).
     #[must_use]
     pub fn data_type(&self) -> DataType {
         match self {
             Value::Int(_) => DataType::Integer,
-            Value::Str(_) => DataType::Text,
+            Value::Str(_) | Value::Null(_) => DataType::Text,
             Value::Bool(_) => DataType::Boolean,
         }
     }
 
     /// Convenience constructor for text values.
+    ///
+    /// The labelled-null spelling `⊥n<digits>` ([`NULL_PREFIX`]) is reserved:
+    /// a text constant spelled that way is normalised to the corresponding
+    /// [`Value::Null`], preserving the pre-interning behaviour where nulls
+    /// were recognised by prefix inspection of ordinary strings.
     #[must_use]
-    pub fn str(s: impl Into<String>) -> Self {
-        Value::Str(s.into())
+    pub fn str(s: impl AsRef<str> + Into<Sym>) -> Self {
+        match parse_null(s.as_ref()) {
+            Some(id) => Value::Null(id),
+            None => Value::Str(s.into()),
+        }
     }
 
     /// True if this value is a "labelled null" produced by the chase or by
-    /// canonical-database freezing (reserved `⊥` prefix).
+    /// canonical-database freezing.
     #[must_use]
     pub fn is_labelled_null(&self) -> bool {
-        matches!(self, Value::Str(s) if s.starts_with(NULL_PREFIX))
+        matches!(self, Value::Null(_))
     }
 
     /// Creates a fresh labelled null with the given numeric identifier.
     #[must_use]
     pub fn labelled_null(id: u64) -> Self {
-        Value::Str(format!("{NULL_PREFIX}{id}"))
+        Value::Null(id)
+    }
+
+    fn rank(&self) -> u8 {
+        match self {
+            Value::Int(_) => 0,
+            Value::Str(_) => 1,
+            Value::Null(_) => 2,
+            Value::Bool(_) => 3,
+        }
     }
 }
 
-/// Reserved prefix identifying labelled nulls.
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (Value::Null(a), Value::Null(b)) => a.cmp(b),
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            _ => self.rank().cmp(&other.rank()),
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Reserved prefix identifying labelled nulls in their rendered form.
+/// Text constants spelled `⊥n<digits>` are normalised to [`Value::Null`] by
+/// every string-accepting constructor.
 pub const NULL_PREFIX: &str = "\u{22a5}n";
+
+/// Parses the reserved labelled-null spelling, if `s` uses it.
+fn parse_null(s: &str) -> Option<u64> {
+    s.strip_prefix(NULL_PREFIX)
+        .and_then(|rest| rest.parse::<u64>().ok())
+}
 
 impl fmt::Display for Value {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Value::Int(i) => write!(f, "{i}"),
-            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Str(s) => write!(f, "{:?}", s.as_str()),
+            Value::Null(id) => write!(f, "\"{NULL_PREFIX}{id}\""),
             Value::Bool(b) => write!(f, "{b}"),
         }
     }
@@ -94,13 +156,22 @@ impl From<i64> for Value {
 
 impl From<&str> for Value {
     fn from(v: &str) -> Self {
-        Value::Str(v.to_owned())
+        match parse_null(v) {
+            Some(id) => Value::Null(id),
+            None => Value::Str(Sym::new(v)),
+        }
     }
 }
 
 impl From<String> for Value {
     fn from(v: String) -> Self {
-        Value::Str(v)
+        Value::from(v.as_str())
+    }
+}
+
+impl From<Sym> for Value {
+    fn from(v: Sym) -> Self {
+        Value::str(v)
     }
 }
 
@@ -124,8 +195,11 @@ mod tests {
     #[test]
     fn conversions_produce_expected_variants() {
         assert_eq!(Value::from(7), Value::Int(7));
-        assert_eq!(Value::from("abc"), Value::Str("abc".into()));
-        assert_eq!(Value::from(String::from("abc")), Value::Str("abc".into()));
+        assert_eq!(Value::from("abc"), Value::Str(Sym::new("abc")));
+        assert_eq!(
+            Value::from(String::from("abc")),
+            Value::Str(Sym::new("abc"))
+        );
         assert_eq!(Value::from(false), Value::Bool(false));
     }
 
@@ -135,6 +209,17 @@ mod tests {
         assert!(n.is_labelled_null());
         assert!(!Value::str("ordinary").is_labelled_null());
         assert!(!Value::Int(17).is_labelled_null());
+    }
+
+    #[test]
+    fn reserved_null_spelling_normalises_to_null() {
+        // Pre-interning, nulls were strings recognised by prefix; the
+        // dedicated variant must keep that spelling reserved.
+        assert_eq!(Value::str("\u{22a5}n5"), Value::labelled_null(5));
+        assert_eq!(Value::from("\u{22a5}n5"), Value::labelled_null(5));
+        assert!(Value::from(String::from("\u{22a5}n7")).is_labelled_null());
+        // Non-numeric suffixes are ordinary text.
+        assert!(!Value::str("\u{22a5}nabc").is_labelled_null());
     }
 
     #[test]
@@ -156,10 +241,19 @@ mod tests {
     }
 
     #[test]
+    fn text_ordering_is_lexicographic_regardless_of_intern_order() {
+        // Interned in reverse order on purpose.
+        let z = Value::str("zz-value-order");
+        let a = Value::str("aa-value-order");
+        assert!(a < z);
+    }
+
+    #[test]
     fn display_renders_each_variant() {
         assert_eq!(Value::Int(5).to_string(), "5");
         assert_eq!(Value::str("hi").to_string(), "\"hi\"");
         assert_eq!(Value::Bool(true).to_string(), "true");
+        assert_eq!(Value::labelled_null(17).to_string(), "\"\u{22a5}n17\"");
         assert_eq!(DataType::Integer.to_string(), "int");
         assert_eq!(DataType::Text.to_string(), "text");
         assert_eq!(DataType::Boolean.to_string(), "bool");

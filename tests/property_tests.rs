@@ -181,3 +181,73 @@ proptest! {
         }
     }
 }
+
+/// Strategy: a short random lowercase identifier (the shim has no string
+/// `Arbitrary`, so identifiers are built from random bytes).
+fn small_ident() -> impl Strategy<Value = String> {
+    proptest::collection::vec(any::<u8>(), 1..16)
+        .prop_map(|bytes| bytes.iter().map(|b| char::from(b'a' + (b % 26))).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Interning round-trips: resolving an interned string gives the string
+    /// back, and re-interning gives the same id.
+    #[test]
+    fn interning_round_trips(s in small_ident()) {
+        let table = SymbolTable::new();
+        let sym = table.intern(&s);
+        prop_assert_eq!(table.resolve(sym), s.as_str());
+        prop_assert_eq!(table.intern(&s), sym);
+        // Ids are shared by the typed wrappers over the same pool.
+        prop_assert_eq!(RelId::new(&s).sym(), sym);
+        prop_assert_eq!(VarId::new(&s).sym(), sym);
+    }
+
+    /// Interned symbols order exactly like the strings they replace — every
+    /// ordered collection in the workspace depends on this.
+    #[test]
+    fn symbol_order_matches_string_order(a in small_ident(), b in small_ident()) {
+        prop_assert_eq!(Sym::new(&a).cmp(&Sym::new(&b)), a.as_str().cmp(b.as_str()));
+        prop_assert_eq!(
+            Value::str(a.as_str()).cmp(&Value::str(b.as_str())),
+            a.as_str().cmp(b.as_str())
+        );
+    }
+
+    /// An instance built through the string API equals one built through raw
+    /// interned ids: the representation change is invisible to equality.
+    #[test]
+    fn string_api_and_id_api_build_equal_instances(instance in small_instance()) {
+        let mut by_id = Instance::new();
+        for (rel, tuple) in instance.facts() {
+            // Re-key through a freshly interned id resolved from the name.
+            by_id.add_fact(RelId::new(rel.as_str()), tuple.clone());
+        }
+        prop_assert_eq!(&by_id, &instance);
+        prop_assert!(by_id.is_subinstance_of(&instance));
+        prop_assert!(instance.is_subinstance_of(&by_id));
+    }
+}
+
+/// Display output is unchanged by the interning refactor for the paper's
+/// running example (Figure 1 hidden instance and phone-directory schema).
+#[test]
+fn paper_example_display_is_stable() {
+    let hidden = phone_directory_hidden_instance();
+    assert_eq!(
+        hidden.to_string(),
+        "Address(\"Parks Rd\", \"OX13QD\", \"Jones\", 16)\n\
+         Address(\"Parks Rd\", \"OX13QD\", \"Smith\", 13)\n\
+         Mobile#(\"Smith\", \"OX13QD\", \"Parks Rd\", 5551212)"
+    );
+    let schema = phone_directory_access_schema();
+    assert_eq!(
+        schema.schema().to_string(),
+        "Address(text, text, text, int)\nMobile#(text, text, text, int)"
+    );
+    let q = cq!([n] <- atom!("Address"; s, p, n, h));
+    assert_eq!(q.to_string(), "Q(n) :- Address(s, p, n, h)");
+    assert_eq!(Instance::new().to_string(), "∅");
+}
