@@ -6,7 +6,7 @@ use std::fmt;
 
 use accltl_logic::vocabulary::{mentions_isbind, path_structures};
 use accltl_paths::Transition;
-use accltl_relational::{Instance, PosFormula, Value};
+use accltl_relational::{CompiledSentence, Instance, InstanceView, PosFormula, Value};
 
 /// A transition guard `ψ− ∧ ψ+`: a positive boolean combination of *negated*
 /// `FO∃+Acc` sentences that must not mention `IsBind` (`negated`), conjoined
@@ -43,9 +43,11 @@ impl Guard {
         self.negated.iter().all(|s| !mentions_isbind(s))
     }
 
-    /// Evaluates the guard on a transition structure.
+    /// Evaluates the guard on a transition structure (an [`Instance`] or any
+    /// [`InstanceView`], such as the emptiness search's per-candidate
+    /// overlays).
     #[must_use]
-    pub fn satisfied_by(&self, structure: &Instance) -> bool {
+    pub fn satisfied_by(&self, structure: &impl InstanceView) -> bool {
         self.positive.holds(structure) && self.negated.iter().all(|s| !s.holds(structure))
     }
 
@@ -53,6 +55,35 @@ impl Guard {
     #[must_use]
     pub fn size(&self) -> usize {
         self.positive.size() + self.negated.iter().map(PosFormula::size).sum::<usize>()
+    }
+
+    /// DNF-compiles the guard's sentences once for repeated evaluation (the
+    /// emptiness search checks the same guards against thousands of
+    /// candidate structures).
+    #[must_use]
+    pub fn compile(&self) -> CompiledGuard {
+        CompiledGuard {
+            positive: CompiledSentence::compile(&self.positive),
+            negated: self.negated.iter().map(CompiledSentence::compile).collect(),
+        }
+    }
+}
+
+/// A [`Guard`] with its sentences DNF-compiled once (see [`Guard::compile`]).
+/// Agrees with [`Guard::satisfied_by`] by construction — the evaluation rule
+/// (`positive holds ∧ no negated sentence holds`) lives here and in `Guard`
+/// only.
+#[derive(Debug, Clone)]
+pub struct CompiledGuard {
+    positive: CompiledSentence,
+    negated: Vec<CompiledSentence>,
+}
+
+impl CompiledGuard {
+    /// Evaluates the compiled guard on a transition structure.
+    #[must_use]
+    pub fn satisfied_by(&self, structure: &impl InstanceView) -> bool {
+        self.positive.holds(structure) && self.negated.iter().all(|s| !s.holds(structure))
     }
 }
 

@@ -12,22 +12,26 @@
 //! `Background` relations are populated by homomorphic images of the guard
 //! queries).  A witness path returned by the search is always genuine;
 //! emptiness verdicts are exact relative to the configured caps.
+//!
+//! The product search runs on the shared frontier engine
+//! ([`accltl_paths::engine`]): this module contributes the `AutomatonOracle`
+//! (pre-compiled guards, per-candidate transition-structure overlays), while
+//! universe indexing, frontier dedup, parent links and parallel layer
+//! expansion are the engine's.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::collections::BTreeSet;
+use std::sync::Arc;
 
 use accltl_logic::vocabulary::{base_relation, TransitionVocab};
-use accltl_paths::{Access, AccessPath, AccessSchema, Response};
-use accltl_relational::{Instance, RelId, Sym, Tuple, Value};
+use accltl_paths::engine::{
+    Candidate, EmptyBindingMode, EngineConfig, EngineOutcome, FactUniverse, FrontierEngine,
+    StepOracle, StepOutcome,
+};
+use accltl_paths::{AccessPath, AccessSchema};
+use accltl_relational::{Instance, InstanceOverlay, RelId, Sym, Tuple, Value};
 
-use crate::a_automaton::AAutomaton;
+use crate::a_automaton::{AAutomaton, CompiledGuard};
 use crate::progressive::chain_decomposition;
-
-/// A search state: the automaton state plus the set of revealed fact indices.
-type SearchState = (usize, BTreeSet<usize>);
-/// Parent links of the product search, used to reconstruct witness paths.
-/// Hashed, not ordered: product states are only deduplicated and chased
-/// backwards, never iterated, so the BFS queue alone fixes exploration order.
-type SearchParents = HashMap<SearchState, Option<(SearchState, Access, Vec<usize>)>>;
 
 /// Configuration for the bounded emptiness search.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,6 +47,10 @@ pub struct EmptinessConfig {
     /// exceeding it yields [`EmptinessOutcome::Unknown`], never a wrong
     /// verdict.
     pub max_guard_checks: usize,
+    /// Worker threads for frontier expansion; `0` reads the
+    /// `ACCLTL_SEARCH_THREADS` environment variable (default 1).  Verdicts
+    /// and witnesses do not depend on the thread count.
+    pub threads: usize,
 }
 
 impl Default for EmptinessConfig {
@@ -52,6 +60,7 @@ impl Default for EmptinessConfig {
             max_response_size: 3,
             max_empty_bindings: 16,
             max_guard_checks: 500_000,
+            threads: 0,
         }
     }
 }
@@ -103,8 +112,7 @@ pub fn bounded_emptiness(
         ..*config
     };
     for chain in &chains {
-        let mut guard_checks = 0usize;
-        match search_chain(chain, schema, initial, &chain_config, &mut guard_checks) {
+        match search_chain(chain, schema, initial, &chain_config) {
             EmptinessOutcome::NonEmpty { witness } => {
                 return EmptinessOutcome::NonEmpty { witness }
             }
@@ -119,12 +127,91 @@ pub fn bounded_emptiness(
     }
 }
 
+/// The [`StepOracle`] of the product emptiness search: the logical state is
+/// the automaton state; a candidate fires every outgoing transition whose
+/// (pre-compiled) guard holds on the candidate's transition-structure
+/// overlay.
+struct AutomatonOracle<'a> {
+    automaton: &'a AAutomaton,
+    vocab: TransitionVocab,
+    /// Per-transition compiled guards, indexed like `automaton.transitions`.
+    compiled: Vec<CompiledGuard>,
+    /// Automaton state → indices of its outgoing transitions.
+    outgoing: Vec<Vec<usize>>,
+}
+
+impl<'a> AutomatonOracle<'a> {
+    fn new(automaton: &'a AAutomaton, schema: &AccessSchema) -> Self {
+        let compiled = automaton
+            .transitions
+            .iter()
+            .map(|t| t.guard.compile())
+            .collect();
+        let mut outgoing = vec![Vec::new(); automaton.state_count];
+        for (index, transition) in automaton.transitions.iter().enumerate() {
+            outgoing[transition.from].push(index);
+        }
+        AutomatonOracle {
+            automaton,
+            vocab: TransitionVocab::new(schema),
+            compiled,
+            outgoing,
+        }
+    }
+}
+
+impl StepOracle for AutomatonOracle<'_> {
+    type State = usize;
+    type StateCtx = Arc<Instance>;
+
+    fn prepare(&self, before: &InstanceOverlay) -> Arc<Instance> {
+        Arc::new(self.vocab.state_structure(before))
+    }
+
+    fn step(
+        &self,
+        state: &usize,
+        ctx: &Arc<Instance>,
+        candidate: &Candidate<'_>,
+        universe: &FactUniverse,
+    ) -> StepOutcome<usize> {
+        let structure = self.vocab.structure_overlay(
+            ctx,
+            candidate.added.iter().map(|&i| {
+                let (rel, tuple) = universe.fact(i);
+                (rel, tuple.clone())
+            }),
+            candidate.method.name_sym(),
+            Some(candidate.binding),
+        );
+        let mut successors = Vec::new();
+        let mut cost = 0usize;
+        let mut accept = false;
+        for &index in &self.outgoing[*state] {
+            cost += 1;
+            if !self.compiled[index].satisfied_by(&structure) {
+                continue;
+            }
+            let to = self.automaton.transitions[index].to;
+            if self.automaton.accepting.contains(&to) {
+                accept = true;
+                break;
+            }
+            successors.push(to);
+        }
+        StepOutcome {
+            successors,
+            accept,
+            cost,
+        }
+    }
+}
+
 fn search_chain(
     automaton: &AAutomaton,
     schema: &AccessSchema,
     initial: &Instance,
     config: &EmptinessConfig,
-    guard_checks: &mut usize,
 ) -> EmptinessOutcome {
     // The empty path is accepted iff the initial state is accepting.
     if automaton.accepting.contains(&automaton.initial) {
@@ -133,65 +220,34 @@ fn search_chain(
         };
     }
 
-    let universe = guard_fact_universe(automaton, schema, initial);
+    let universe = FactUniverse::new(guard_fact_universe(automaton, schema, initial));
     let constants: BTreeSet<Value> = automaton.constants.clone();
-    let vocab = TransitionVocab::new(schema);
-
-    let start: SearchState = (
-        automaton.initial,
-        universe
-            .iter()
-            .enumerate()
-            .filter(|(_, f)| initial.contains(f.0, &f.1))
-            .map(|(i, _)| i)
-            .collect(),
+    let oracle = AutomatonOracle::new(automaton, schema);
+    let engine = FrontierEngine::new(
+        schema,
+        &oracle,
+        universe,
+        Arc::new(initial.clone()),
+        &constants,
+        EngineConfig {
+            max_states: config.max_states,
+            max_response_size: config.max_response_size,
+            max_empty_bindings: config.max_empty_bindings,
+            max_step_cost: config.max_guard_checks,
+            grounded: false,
+            empty_bindings: EmptyBindingMode::Enumerate,
+            threads: config.threads,
+        },
     );
-    let mut parents: SearchParents = SearchParents::new();
-    let mut queue = VecDeque::new();
-    parents.insert(start.clone(), None);
-    queue.push_back(start);
-
-    while let Some(state) = queue.pop_front() {
-        let (automaton_state, revealed) = &state;
-        let before = instance_of(initial, &universe, revealed);
-        for (method, binding, added) in
-            candidate_transitions(schema, &universe, revealed, &constants, config)
-        {
-            let mut after = before.clone();
-            for &i in &added {
-                after.add_fact(universe[i].0, universe[i].1.clone());
-            }
-            let structure = vocab.structure(&before, &after, method, Some(&binding));
-            for transition in automaton.outgoing(*automaton_state) {
-                *guard_checks += 1;
-                if *guard_checks > config.max_guard_checks {
-                    return EmptinessOutcome::Unknown;
-                }
-                if !transition.guard.satisfied_by(&structure) {
-                    continue;
-                }
-                let access = Access::new(method, binding.clone());
-                if automaton.accepting.contains(&transition.to) {
-                    let mut witness = reconstruct(&parents, &state, &universe);
-                    let response: Response = added.iter().map(|&i| universe[i].1.clone()).collect();
-                    witness.push(access, response);
-                    return EmptinessOutcome::NonEmpty { witness };
-                }
-                let mut new_revealed = revealed.clone();
-                new_revealed.extend(added.iter().copied());
-                let next: SearchState = (transition.to, new_revealed);
-                if parents.contains_key(&next) {
-                    continue;
-                }
-                parents.insert(next.clone(), Some((state.clone(), access, added.clone())));
-                if parents.len() >= config.max_states {
-                    return EmptinessOutcome::Unknown;
-                }
-                queue.push_back(next);
-            }
-        }
+    match engine.run(automaton.initial) {
+        EngineOutcome::Witness { witness } => EmptinessOutcome::NonEmpty { witness },
+        EngineOutcome::Exhausted => EmptinessOutcome::Empty,
+        // A truncated witness space (over-wide response groups) proves
+        // nothing, exactly like an exhausted budget.
+        EngineOutcome::Truncated { .. }
+        | EngineOutcome::OutOfStates { .. }
+        | EngineOutcome::OutOfBudget { .. } => EmptinessOutcome::Unknown,
     }
-    EmptinessOutcome::Empty
 }
 
 /// The canonical fact universe of an automaton: canonical databases of every
@@ -255,98 +311,6 @@ fn guard_fact_universe(
         }
     }
     facts.into_iter().collect()
-}
-
-fn instance_of(
-    initial: &Instance,
-    universe: &[(RelId, Tuple)],
-    revealed: &BTreeSet<usize>,
-) -> Instance {
-    let mut instance = initial.clone();
-    for &i in revealed {
-        instance.add_fact(universe[i].0, universe[i].1.clone());
-    }
-    instance
-}
-
-fn candidate_transitions(
-    schema: &AccessSchema,
-    universe: &[(RelId, Tuple)],
-    revealed: &BTreeSet<usize>,
-    constants: &BTreeSet<Value>,
-    config: &EmptinessConfig,
-) -> Vec<(Sym, Tuple, Vec<usize>)> {
-    let mut candidates = Vec::new();
-    let universe_values: BTreeSet<Value> = universe
-        .iter()
-        .flat_map(|(_, t)| t.values().iter().copied())
-        .collect();
-    for method in schema.methods() {
-        let mut groups: BTreeMap<Tuple, Vec<usize>> = BTreeMap::new();
-        for (i, (relation, tuple)) in universe.iter().enumerate() {
-            if *relation != method.relation_id() || revealed.contains(&i) {
-                continue;
-            }
-            groups
-                .entry(tuple.project(method.input_positions()))
-                .or_default()
-                .push(i);
-        }
-        for (binding, members) in &groups {
-            let size = members.len().min(12);
-            for mask in 1u32..(1 << size) {
-                if (mask.count_ones() as usize) > config.max_response_size {
-                    continue;
-                }
-                let added: Vec<usize> = (0..size)
-                    .filter(|i| mask & (1 << i) != 0)
-                    .map(|i| members[i])
-                    .collect();
-                candidates.push((method.name_sym(), binding.clone(), added));
-            }
-        }
-        // Empty responses with bounded candidate bindings.
-        let mut values: BTreeSet<Value> = universe_values.clone();
-        values.extend(constants.iter().copied());
-        values.insert(Value::str("\u{2606}any"));
-        let values: Vec<Value> = values.into_iter().collect();
-        let mut bindings: Vec<Vec<Value>> = vec![Vec::new()];
-        for _ in 0..method.input_arity() {
-            let mut next = Vec::new();
-            for prefix in &bindings {
-                for v in &values {
-                    if next.len() >= config.max_empty_bindings {
-                        break;
-                    }
-                    let mut extended = prefix.clone();
-                    extended.push(*v);
-                    next.push(extended);
-                }
-            }
-            bindings = next;
-        }
-        bindings.truncate(config.max_empty_bindings);
-        for binding in bindings {
-            candidates.push((method.name_sym(), Tuple::new(binding), Vec::new()));
-        }
-    }
-    candidates
-}
-
-fn reconstruct(
-    parents: &SearchParents,
-    end: &SearchState,
-    universe: &[(RelId, Tuple)],
-) -> AccessPath {
-    let mut steps: Vec<(Access, Response)> = Vec::new();
-    let mut cursor = end.clone();
-    while let Some(Some((previous, access, added))) = parents.get(&cursor) {
-        let response: Response = added.iter().map(|&i| universe[i].1.clone()).collect();
-        steps.push((access.clone(), response));
-        cursor = previous.clone();
-    }
-    steps.reverse();
-    AccessPath::from_steps(steps)
 }
 
 #[cfg(test)]

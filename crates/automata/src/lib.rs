@@ -29,7 +29,7 @@ pub mod emptiness;
 pub mod progressive;
 pub mod translate;
 
-pub use a_automaton::{AAutomaton, Guard, GuardedTransition};
+pub use a_automaton::{AAutomaton, CompiledGuard, Guard, GuardedTransition};
 pub use emptiness::{bounded_emptiness, EmptinessConfig, EmptinessOutcome};
 pub use progressive::{chain_decomposition, condensation, is_progressive_chain};
 pub use translate::accltl_plus_to_automaton;

@@ -26,23 +26,28 @@
 //! space without finding one is a completeness certificate only for the
 //! fragments covered by the Boundedness Lemma, which is how the solver
 //! front-ends in [`crate::solver`] report their verdicts.
+//!
+//! The frontier machinery — universe indexing, candidate enumeration,
+//! deduplication, arena parent links, parallel layer expansion — is the
+//! shared [`accltl_paths::engine`]; this module contributes the
+//! `FormulaOracle` that progresses obligations over per-candidate
+//! transition-structure overlays (compiled sentences, `O(|response|)` per
+//! step, no configuration clones).
 
-use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
-use accltl_paths::{Access, AccessPath, AccessSchema, Response};
-use accltl_relational::{Instance, PosFormula, RelId, Sym, Tuple, Value};
+use accltl_paths::engine::{
+    Candidate, EmptyBindingMode, EngineConfig, EngineOutcome, FactUniverse, FrontierEngine,
+    StepOracle, StepOutcome,
+};
+use accltl_paths::{AccessPath, AccessSchema};
+use accltl_relational::{
+    CompiledSentence, Instance, InstanceOverlay, PosFormula, RelId, Tuple, Value,
+};
 
 use crate::accltl::AccLtl;
 use crate::vocabulary::{self, erase_isbind, TransitionVocab};
-
-/// A bounded-search state: revealed universe-fact indices plus the formula
-/// still to satisfy.
-type SearchState = (BTreeSet<usize>, AccLtl);
-/// Parent links of the bounded search, used to reconstruct witness paths.
-/// Hashed (not ordered): states are only deduplicated and chased backwards,
-/// and interned ids hash as integers — exploration order stays the BFS queue
-/// order, so determinism is unaffected.
-type SearchParents = HashMap<SearchState, Option<(SearchState, Access, Vec<usize>)>>;
 
 /// Configuration of the bounded satisfiability search.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,6 +63,10 @@ pub struct BoundedSearchConfig {
     /// Restrict the search to grounded paths (every binding value must occur
     /// in the initial instance or in an earlier response).
     pub grounded: bool,
+    /// Worker threads for frontier expansion; `0` reads the
+    /// `ACCLTL_SEARCH_THREADS` environment variable (default 1).  Verdicts
+    /// and witnesses do not depend on the thread count.
+    pub threads: usize,
 }
 
 impl Default for BoundedSearchConfig {
@@ -68,6 +77,7 @@ impl Default for BoundedSearchConfig {
             max_empty_bindings: 16,
             allow_empty_path: false,
             grounded: false,
+            threads: 0,
         }
     }
 }
@@ -101,24 +111,12 @@ impl SatOutcome {
     }
 }
 
-/// One fact of the bounded universe.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
-struct UniverseFact {
-    relation: RelId,
-    tuple: Tuple,
-}
-
 /// Builds the bounded fact universe of a formula: the canonical databases of
 /// its IsBind-erased positive sentences, mapped to base relations, together
 /// with the facts of the initial instance.
-fn fact_universe(formula: &AccLtl, initial: &Instance) -> Vec<UniverseFact> {
-    let mut facts: BTreeSet<UniverseFact> = initial
-        .facts()
-        .map(|(rel, tuple)| UniverseFact {
-            relation: rel,
-            tuple: tuple.clone(),
-        })
-        .collect();
+fn fact_universe(formula: &AccLtl, initial: &Instance) -> Vec<(RelId, Tuple)> {
+    let mut facts: BTreeSet<(RelId, Tuple)> =
+        initial.facts().map(|(rel, t)| (rel, t.clone())).collect();
 
     for (sentence_index, sentence) in formula.atom_sentences().iter().enumerate() {
         let erased = erase_isbind(sentence);
@@ -131,10 +129,7 @@ fn fact_universe(formula: &AccLtl, initial: &Instance) -> Vec<UniverseFact> {
             let (canonical, _) = renamed.canonical_instance();
             for (predicate, tuple) in canonical.facts() {
                 if let Some(base) = vocabulary::base_relation(predicate.as_str()) {
-                    facts.insert(UniverseFact {
-                        relation: RelId::new(base),
-                        tuple: tuple.clone(),
-                    });
+                    facts.insert((RelId::new(base), tuple.clone()));
                 }
             }
         }
@@ -175,23 +170,25 @@ fn normalize(formula: &AccLtl) -> AccLtl {
     }
 }
 
-/// Progresses an `AccLTL` formula through one transition structure.
-fn progress(formula: &AccLtl, structure: &Instance) -> AccLtl {
+/// Progresses an `AccLTL` formula through one transition structure, whose
+/// atoms are decided by `eval` (a compiled-sentence evaluator in the search's
+/// hot loop).
+fn progress(formula: &AccLtl, eval: &impl Fn(&PosFormula) -> bool) -> AccLtl {
     match formula {
         AccLtl::Atom(sentence) => {
-            if sentence.holds(structure) {
+            if eval(sentence) {
                 AccLtl::top()
             } else {
                 AccLtl::bottom()
             }
         }
-        AccLtl::Not(inner) => AccLtl::not(progress(inner, structure)),
-        AccLtl::And(parts) => AccLtl::and(parts.iter().map(|p| progress(p, structure)).collect()),
-        AccLtl::Or(parts) => AccLtl::or(parts.iter().map(|p| progress(p, structure)).collect()),
+        AccLtl::Not(inner) => AccLtl::not(progress(inner, eval)),
+        AccLtl::And(parts) => AccLtl::and(parts.iter().map(|p| progress(p, eval)).collect()),
+        AccLtl::Or(parts) => AccLtl::or(parts.iter().map(|p| progress(p, eval)).collect()),
         AccLtl::Next(inner) => inner.as_ref().clone(),
         AccLtl::Until(l, r) => AccLtl::or(vec![
-            progress(r, structure),
-            AccLtl::and(vec![progress(l, structure), formula.clone()]),
+            progress(r, eval),
+            AccLtl::and(vec![progress(l, eval), formula.clone()]),
         ]),
     }
 }
@@ -208,12 +205,96 @@ fn accepts_empty(formula: &AccLtl) -> bool {
     }
 }
 
-/// A candidate transition produced by the enumerator.
-#[derive(Debug, Clone)]
-struct CandidateTransition {
-    method: Sym,
-    binding: Tuple,
-    added: Vec<usize>,
+/// The [`StepOracle`] of the bounded satisfiability search: the logical state
+/// is the normalized obligation still to satisfy, advanced by formula
+/// progression over the candidate's transition structure.
+struct FormulaOracle {
+    vocab: TransitionVocab,
+    /// Atom sentences of the formula, DNF-compiled once: progression
+    /// evaluates the same handful of sentences against every candidate
+    /// structure.
+    compiled: BTreeMap<PosFormula, CompiledSentence>,
+    zero_ary: bool,
+}
+
+impl FormulaOracle {
+    fn new(schema: &AccessSchema, formula: &AccLtl, zero_ary: bool) -> Self {
+        let compiled = formula
+            .atom_sentences()
+            .into_iter()
+            .map(|sentence| {
+                let compiled = CompiledSentence::compile(&sentence);
+                (sentence, compiled)
+            })
+            .collect();
+        FormulaOracle {
+            vocab: TransitionVocab::new(schema),
+            compiled,
+            zero_ary,
+        }
+    }
+
+    fn eval(&self, sentence: &PosFormula, structure: &InstanceOverlay) -> bool {
+        match sentence {
+            PosFormula::True => true,
+            PosFormula::False => false,
+            _ => match self.compiled.get(sentence) {
+                Some(compiled) => compiled.holds(structure),
+                // Progression only ever produces atoms of the original
+                // formula (plus ⊤/⊥); this fallback keeps the oracle total.
+                None => sentence.holds(structure),
+            },
+        }
+    }
+}
+
+impl StepOracle for FormulaOracle {
+    type State = AccLtl;
+    type StateCtx = Arc<Instance>;
+
+    fn prepare(&self, before: &InstanceOverlay) -> Arc<Instance> {
+        Arc::new(self.vocab.state_structure(before))
+    }
+
+    fn step(
+        &self,
+        state: &AccLtl,
+        ctx: &Arc<Instance>,
+        candidate: &Candidate<'_>,
+        universe: &FactUniverse,
+    ) -> StepOutcome<AccLtl> {
+        let structure = self.vocab.structure_overlay(
+            ctx,
+            candidate.added.iter().map(|&i| {
+                let (rel, tuple) = universe.fact(i);
+                (rel, tuple.clone())
+            }),
+            candidate.method.name_sym(),
+            (!self.zero_ary).then_some(candidate.binding),
+        );
+        let progressed = normalize(&progress(state, &|sentence| {
+            self.eval(sentence, &structure)
+        }));
+        if progressed == AccLtl::bottom() {
+            return StepOutcome::dead(1);
+        }
+        if accepts_empty(&progressed) {
+            // The path leading to the current state, extended by this
+            // transition, is a witness (reported before deduplication: the
+            // successor state may coincide with an earlier one, e.g. when an
+            // obligation like `G ψ` is already dischargeable).
+            return StepOutcome {
+                successors: Vec::new(),
+                accept: true,
+                cost: 1,
+            };
+        }
+        StepOutcome {
+            successors: vec![progressed],
+            accept: false,
+            cost: 1,
+        }
+    }
 }
 
 /// The bounded satisfiability search.
@@ -242,232 +323,53 @@ impl<'a> BoundedSearcher<'a> {
         }
     }
 
-    /// Runs the search for the given formula.
+    /// Runs the search for the given formula through the shared frontier
+    /// engine ([`accltl_paths::engine`]).
     #[must_use]
     pub fn search(&self, formula: &AccLtl) -> SatOutcome {
-        let universe = fact_universe(formula, &self.initial);
-        let constants = formula_constants(formula);
         let start_formula = normalize(formula);
-        let vocab = TransitionVocab::new(self.schema);
-
-        let initially_revealed: BTreeSet<usize> = universe
-            .iter()
-            .enumerate()
-            .filter(|(_, f)| self.initial.contains(f.relation, &f.tuple))
-            .map(|(i, _)| i)
-            .collect();
-
         if self.config.allow_empty_path && accepts_empty(&start_formula) {
             return SatOutcome::Satisfiable {
                 witness: AccessPath::new(),
             };
         }
 
-        // parent: state -> (previous state, access, response fact indices)
-        let mut parents: SearchParents = SearchParents::new();
-        let mut queue: VecDeque<SearchState> = VecDeque::new();
-        let start: SearchState = (initially_revealed, start_formula);
-        parents.insert(start.clone(), None);
-        queue.push_back(start);
-
-        while let Some(state) = queue.pop_front() {
-            let (revealed, obligation) = &state;
-            let current_instance = self.instance_of(&universe, revealed);
-            for candidate in
-                self.candidate_transitions(&universe, revealed, &current_instance, &constants)
-            {
-                let mut new_revealed = revealed.clone();
-                let mut after = current_instance.clone();
-                for &index in &candidate.added {
-                    new_revealed.insert(index);
-                    after.add_fact(universe[index].relation, universe[index].tuple.clone());
-                }
-                let binding = (!self.zero_ary).then_some(&candidate.binding);
-                let structure =
-                    vocab.structure(&current_instance, &after, candidate.method, binding);
-                let progressed = normalize(&progress(obligation, &structure));
-                if progressed == AccLtl::bottom() {
-                    continue;
-                }
-                let access = Access::new(candidate.method, candidate.binding.clone());
-                if accepts_empty(&progressed) {
-                    // The path leading to the current state, extended by this
-                    // transition, is a witness (checked before deduplication:
-                    // the successor state may coincide with an earlier one,
-                    // e.g. when an obligation like `G ψ` is already
-                    // dischargeable).
-                    let mut witness = self.reconstruct(&parents, &state, &universe);
-                    let response: Response = candidate
-                        .added
-                        .iter()
-                        .map(|&i| universe[i].tuple.clone())
-                        .collect();
-                    witness.push(access, response);
-                    return SatOutcome::Satisfiable { witness };
-                }
-                let next_state: SearchState = (new_revealed, progressed.clone());
-                if parents.contains_key(&next_state) {
-                    continue;
-                }
-                parents.insert(
-                    next_state.clone(),
-                    Some((state.clone(), access, candidate.added.clone())),
-                );
-                if parents.len() >= self.config.max_states {
-                    return SatOutcome::Unknown {
-                        explored: parents.len(),
-                    };
-                }
-                queue.push_back(next_state);
-            }
+        let universe = FactUniverse::new(fact_universe(formula, &self.initial));
+        let constants = formula_constants(formula);
+        let oracle = FormulaOracle::new(self.schema, formula, self.zero_ary);
+        let engine = FrontierEngine::new(
+            self.schema,
+            &oracle,
+            universe,
+            Arc::new(self.initial.clone()),
+            &constants,
+            EngineConfig {
+                max_states: self.config.max_states,
+                max_response_size: self.config.max_response_size,
+                max_empty_bindings: self.config.max_empty_bindings,
+                max_step_cost: usize::MAX,
+                grounded: self.config.grounded,
+                empty_bindings: if self.zero_ary {
+                    // In the 0-ary interpretation the binding carries no
+                    // information, so one placeholder binding per method
+                    // suffices for empty responses.
+                    EmptyBindingMode::Placeholder
+                } else {
+                    EmptyBindingMode::Enumerate
+                },
+                threads: self.config.threads,
+            },
+        );
+        match engine.run(start_formula) {
+            EngineOutcome::Witness { witness } => SatOutcome::Satisfiable { witness },
+            EngineOutcome::Exhausted => SatOutcome::Unsatisfiable,
+            // A truncated witness space (over-wide response groups) proves
+            // nothing, exactly like an exhausted budget.
+            EngineOutcome::Truncated { explored }
+            | EngineOutcome::OutOfStates { explored }
+            | EngineOutcome::OutOfBudget { explored } => SatOutcome::Unknown { explored },
         }
-        SatOutcome::Unsatisfiable
     }
-
-    fn instance_of(&self, universe: &[UniverseFact], revealed: &BTreeSet<usize>) -> Instance {
-        let mut instance = self.initial.clone();
-        for &index in revealed {
-            instance.add_fact(universe[index].relation, universe[index].tuple.clone());
-        }
-        instance
-    }
-
-    fn candidate_transitions(
-        &self,
-        universe: &[UniverseFact],
-        revealed: &BTreeSet<usize>,
-        current: &Instance,
-        constants: &BTreeSet<Value>,
-    ) -> Vec<CandidateTransition> {
-        let mut candidates = Vec::new();
-        let known_values: BTreeSet<Value> = current.active_domain();
-
-        for method in self.schema.methods() {
-            let relation = method.relation_id();
-            // Group unrevealed facts of the relation by their projection onto
-            // the method's input positions (a well-formed response must agree
-            // with the binding on those positions).
-            let mut groups: BTreeMap<Tuple, Vec<usize>> = BTreeMap::new();
-            for (index, fact) in universe.iter().enumerate() {
-                if fact.relation != relation || revealed.contains(&index) {
-                    continue;
-                }
-                let projection = fact.tuple.project(method.input_positions());
-                groups.entry(projection).or_default().push(index);
-            }
-            for (binding, members) in &groups {
-                if self.config.grounded
-                    && !binding.values().iter().all(|v| known_values.contains(v))
-                {
-                    continue;
-                }
-                // Enumerate non-empty subsets of the group up to the response
-                // size cap.
-                let size = members.len().min(12);
-                for mask in 1u32..(1 << size) {
-                    if (mask.count_ones() as usize) > self.config.max_response_size {
-                        continue;
-                    }
-                    let added: Vec<usize> = (0..size)
-                        .filter(|i| mask & (1 << i) != 0)
-                        .map(|i| members[i])
-                        .collect();
-                    candidates.push(CandidateTransition {
-                        method: method.name_sym(),
-                        binding: binding.clone(),
-                        added,
-                    });
-                }
-            }
-            // Empty responses: the access is made but reveals nothing.  In the
-            // 0-ary interpretation the binding is irrelevant; otherwise
-            // enumerate a bounded set of candidate bindings.
-            if self.zero_ary {
-                candidates.push(CandidateTransition {
-                    method: method.name_sym(),
-                    binding: dummy_binding(method.input_arity()),
-                    added: Vec::new(),
-                });
-            } else {
-                for binding in
-                    self.empty_response_bindings(universe, method, constants, &known_values)
-                {
-                    candidates.push(CandidateTransition {
-                        method: method.name_sym(),
-                        binding,
-                        added: Vec::new(),
-                    });
-                }
-            }
-        }
-        candidates
-    }
-
-    fn empty_response_bindings(
-        &self,
-        universe: &[UniverseFact],
-        method: &accltl_paths::AccessMethod,
-        constants: &BTreeSet<Value>,
-        known_values: &BTreeSet<Value>,
-    ) -> Vec<Tuple> {
-        // Candidate values per input position: every value occurring anywhere
-        // in the universe (any of them may flow into a binding via dataflow
-        // atoms), the formula constants, and (when not grounded) one fresh
-        // placeholder value.
-        let universe_values: BTreeSet<Value> = universe
-            .iter()
-            .flat_map(|f| f.tuple.values().iter().copied())
-            .collect();
-        let mut per_position: Vec<Vec<Value>> = Vec::new();
-        for _position in method.input_positions() {
-            let mut values: BTreeSet<Value> = universe_values.clone();
-            values.extend(constants.iter().copied());
-            if self.config.grounded {
-                values.retain(|v| known_values.contains(v));
-            } else {
-                values.insert(Value::str("\u{2606}any"));
-            }
-            per_position.push(values.into_iter().collect());
-        }
-        let mut bindings: Vec<Vec<Value>> = vec![Vec::new()];
-        for values in &per_position {
-            let mut next = Vec::new();
-            for prefix in &bindings {
-                for v in values {
-                    if next.len() >= self.config.max_empty_bindings {
-                        break;
-                    }
-                    let mut extended = prefix.clone();
-                    extended.push(*v);
-                    next.push(extended);
-                }
-            }
-            bindings = next;
-        }
-        bindings.truncate(self.config.max_empty_bindings);
-        bindings.into_iter().map(Tuple::new).collect()
-    }
-
-    fn reconstruct(
-        &self,
-        parents: &SearchParents,
-        end: &(BTreeSet<usize>, AccLtl),
-        universe: &[UniverseFact],
-    ) -> AccessPath {
-        let mut steps: Vec<(Access, Response)> = Vec::new();
-        let mut cursor = end.clone();
-        while let Some(Some((previous, access, added))) = parents.get(&cursor) {
-            let response: Response = added.iter().map(|&i| universe[i].tuple.clone()).collect();
-            steps.push((access.clone(), response));
-            cursor = previous.clone();
-        }
-        steps.reverse();
-        AccessPath::from_steps(steps)
-    }
-}
-
-fn dummy_binding(arity: usize) -> Tuple {
-    Tuple::new(vec![Value::str("\u{2606}any"); arity])
 }
 
 #[cfg(test)]

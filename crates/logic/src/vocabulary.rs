@@ -13,9 +13,13 @@
 //! empty).  Formulas of the transition language are then ordinary positive
 //! existential sentences evaluated over that instance by `accltl-relational`.
 
+use std::sync::Arc;
+
 use accltl_paths::{AccessSchema, Transition};
-use accltl_relational::symbols::IdMap;
-use accltl_relational::{Atom, Instance, PosFormula, RelId, Sym, Term, Tuple};
+use accltl_relational::symbols::SymbolTable;
+use accltl_relational::{
+    Atom, Instance, InstanceOverlay, InstanceView, PosFormula, RelId, Sym, Term, Tuple,
+};
 
 /// The `Rpre` predicate name for relation `relation`.
 #[must_use]
@@ -82,37 +86,43 @@ pub fn isbind_rel(method: Sym) -> RelId {
 /// The bounded searches build one transition structure per candidate
 /// transition, in their innermost loop; with this table the whole
 /// construction — `Rpre`/`Rpost` renames and the `IsBind` predicate — is a
-/// `u32` binary search per relation, with no string formatting or pool
-/// traffic.  Unknown relations (extended vocabularies) fall back to interning.
+/// direct dense-array index per relation ([`SymbolTable`] local indices), with
+/// no string formatting, pool traffic or binary search.  Unknown relations
+/// (extended vocabularies) fall back to interning.
 #[derive(Debug, Clone)]
 pub struct TransitionVocab {
-    /// Base relation raw id → `(pre id, post id)`.
-    relations: IdMap<(RelId, RelId)>,
-    /// Method name raw id → `IsBind` id.
-    methods: IdMap<RelId>,
+    /// The schema's symbol table: raw ids resolve to dense indices in O(1).
+    symbols: SymbolTable,
+    /// Dense relation index → `Rpre` id.
+    rel_pre: Vec<RelId>,
+    /// Dense relation index → `Rpost` id.
+    rel_post: Vec<RelId>,
+    /// Dense method index → `IsBind` id.
+    method_isbind: Vec<RelId>,
 }
 
 impl TransitionVocab {
     /// Resolves the pre/post/IsBind ids for every relation and method of the
-    /// schema.
+    /// schema into dense per-schema arrays.
     #[must_use]
     pub fn new(schema: &AccessSchema) -> Self {
-        let mut relations = IdMap::new();
-        for &rel in schema.symbols().relations() {
-            relations.insert(rel.id(), (pre_rel(rel), post_rel(rel)));
+        let symbols = schema.symbols().clone();
+        let rel_pre = symbols.relations().iter().map(|&r| pre_rel(r)).collect();
+        let rel_post = symbols.relations().iter().map(|&r| post_rel(r)).collect();
+        let method_isbind = symbols.methods().iter().map(|&m| isbind_rel(m)).collect();
+        TransitionVocab {
+            symbols,
+            rel_pre,
+            rel_post,
+            method_isbind,
         }
-        let mut methods = IdMap::new();
-        for &m in schema.symbols().methods() {
-            methods.insert(m.id(), isbind_rel(m));
-        }
-        TransitionVocab { relations, methods }
     }
 
     /// The `Rpre` id of a base relation.
     #[must_use]
     pub fn pre(&self, relation: RelId) -> RelId {
-        match self.relations.get(relation.id()) {
-            Some(&(pre, _)) => pre,
+        match self.symbols.relation_index(relation) {
+            Some(dense) => self.rel_pre[dense],
             None => pre_rel(relation),
         }
     }
@@ -120,8 +130,8 @@ impl TransitionVocab {
     /// The `Rpost` id of a base relation.
     #[must_use]
     pub fn post(&self, relation: RelId) -> RelId {
-        match self.relations.get(relation.id()) {
-            Some(&(_, post)) => post,
+        match self.symbols.relation_index(relation) {
+            Some(dense) => self.rel_post[dense],
             None => post_rel(relation),
         }
     }
@@ -129,8 +139,8 @@ impl TransitionVocab {
     /// The `IsBind` id of a method.
     #[must_use]
     pub fn isbind(&self, method: Sym) -> RelId {
-        match self.methods.get(method.id()) {
-            Some(&isbind) => isbind,
+        match self.symbols.method_index(method) {
+            Some(dense) => self.method_isbind[dense],
             None => isbind_rel(method),
         }
     }
@@ -152,6 +162,49 @@ impl TransitionVocab {
         match binding {
             Some(binding) => structure.add_fact(bind_predicate, binding.clone()),
             None => structure.add_fact(bind_predicate, Tuple::default()),
+        };
+        structure
+    }
+
+    /// The `pre ∪ post` image of a configuration: every fact of `before` as
+    /// both its `Rpre` and its `Rpost` copy.
+    ///
+    /// This is the *per-state* base of the transition structures of all
+    /// candidate transitions out of one search state: a candidate only adds
+    /// its response (post copies) and its `IsBind` fact on top, which
+    /// [`TransitionVocab::structure_overlay`] does in `O(|response|)` without
+    /// cloning the configuration.
+    #[must_use]
+    pub fn state_structure<V: InstanceView>(&self, before: &V) -> Instance {
+        let mut structure = Instance::new();
+        before.each_fact(&mut |rel, tuple| {
+            structure.add_fact(self.pre(rel), tuple.clone());
+            structure.add_fact(self.post(rel), tuple.clone());
+        });
+        structure
+    }
+
+    /// Builds the transition structure of one candidate transition as an
+    /// overlay over the state's `pre ∪ post` base (from
+    /// [`TransitionVocab::state_structure`]): the response facts as `Rpost`
+    /// copies plus the `IsBind` fact.  `binding` is `None` for the 0-ary
+    /// `Sch0−Acc` interpretation.
+    #[must_use]
+    pub fn structure_overlay(
+        &self,
+        base: &Arc<Instance>,
+        response: impl IntoIterator<Item = (RelId, Tuple)>,
+        method: Sym,
+        binding: Option<&Tuple>,
+    ) -> InstanceOverlay {
+        let mut structure = InstanceOverlay::new(base.clone());
+        for (rel, tuple) in response {
+            structure.push_fact(self.post(rel), tuple);
+        }
+        let bind_predicate = self.isbind(method);
+        match binding {
+            Some(binding) => structure.push_fact(bind_predicate, binding.clone()),
+            None => structure.push_fact(bind_predicate, Tuple::default()),
         };
         structure
     }

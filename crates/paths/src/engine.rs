@@ -1,0 +1,951 @@
+//! The shared bounded-frontier search engine behind the decision procedures.
+//!
+//! Both `accltl-logic`'s bounded satisfiability search and
+//! `accltl-automata`'s A-automaton emptiness search explore the same witness
+//! space: breadth-first over *configurations* drawn from a finite fact
+//! universe, where a step performs one access and reveals a subset of the
+//! universe facts compatible with the binding.  Historically each crate
+//! carried its own copy of the universe/frontier/parent-map/reconstruction
+//! machinery; this module is the single implementation, parameterized over a
+//! [`StepOracle`] that supplies the domain-specific part — how a candidate
+//! transition advances the logical state (progressing an `AccLTL` obligation,
+//! or firing an automaton transition whose guard holds).
+//!
+//! Engine responsibilities:
+//!
+//! * **compact frontier states** — the revealed-fact component of a search
+//!   state is a bitset over universe indices, so cloning, hashing and
+//!   deduplicating states is a few word operations instead of a
+//!   `BTreeSet<usize>` walk;
+//! * **arena parent links** — discovered states live in a flat arena and
+//!   parents are plain indices, replacing the per-crate
+//!   `HashMap<State, Option<(State, Access, Vec<usize>)>>` clones;
+//! * **candidate-access enumeration** — grouping unrevealed facts by their
+//!   projection onto a method's input positions, bounded response subsets,
+//!   and bounded empty-response binding enumeration (with the grounded and
+//!   0-ary variants both searches need);
+//! * **parallel layer expansion** — each BFS layer is sharded across worker
+//!   threads (`std::thread::scope`); expansion results are merged on the
+//!   driving thread *in frontier order*, so verdicts, budget cutoffs and
+//!   witness paths are identical for every thread count (single-thread
+//!   determinism is part of the contract, not an accident of scheduling);
+//! * **witness reconstruction** — walking the parent arena back to the root.
+//!
+//! Per candidate transition the engine never clones a configuration: the
+//! *before* configuration is an [`InstanceOverlay`] over the shared initial
+//! instance, and oracles receive the candidate's delta (universe indices) to
+//! push onto their own per-state overlay — a step costs `O(|response|)`.
+//!
+//! The worker count comes from the per-search config, falling back to the
+//! `ACCLTL_SEARCH_THREADS` environment variable (default: 1).
+
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::hash::Hash;
+use std::sync::Arc;
+use std::thread;
+
+use accltl_relational::{Instance, InstanceOverlay, RelId, Tuple, Value};
+
+use crate::access::{Access, AccessMethod, AccessSchema};
+use crate::path::{AccessPath, Response};
+
+/// The environment variable consulted for the default worker count.
+pub const THREADS_ENV_VAR: &str = "ACCLTL_SEARCH_THREADS";
+
+/// The finite fact universe a search draws its responses from.
+#[derive(Debug, Clone, Default)]
+pub struct FactUniverse {
+    facts: Vec<(RelId, Tuple)>,
+}
+
+impl FactUniverse {
+    /// Wraps an ordered list of `(relation, tuple)` facts.
+    #[must_use]
+    pub fn new(facts: Vec<(RelId, Tuple)>) -> Self {
+        FactUniverse { facts }
+    }
+
+    /// The number of facts.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// True if the universe has no facts.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
+    }
+
+    /// The fact at a universe index.
+    #[must_use]
+    pub fn fact(&self, index: u32) -> (RelId, &Tuple) {
+        let (rel, tuple) = &self.facts[index as usize];
+        (*rel, tuple)
+    }
+
+    /// Iterates over `(index, relation, tuple)`.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, RelId, &Tuple)> {
+        self.facts
+            .iter()
+            .enumerate()
+            .map(|(i, (rel, tuple))| (i as u32, *rel, tuple))
+    }
+
+    /// Every value occurring in some universe fact.
+    #[must_use]
+    pub fn values(&self) -> BTreeSet<Value> {
+        self.facts
+            .iter()
+            .flat_map(|(_, t)| t.values().iter().copied())
+            .collect()
+    }
+}
+
+/// One candidate transition handed to the [`StepOracle`].
+#[derive(Debug, Clone, Copy)]
+pub struct Candidate<'a> {
+    /// The access method performing the transition.
+    pub method: &'a AccessMethod,
+    /// The binding of the access.
+    pub binding: &'a Tuple,
+    /// Universe indices of the facts revealed by the response.
+    pub added: &'a [u32],
+}
+
+/// The oracle's verdict on one candidate transition from one state.
+#[derive(Debug, Clone)]
+pub struct StepOutcome<S> {
+    /// Logical successor states reached by this transition (deduplicated
+    /// against the frontier by the engine).  Empty when the transition is
+    /// dead.
+    pub successors: Vec<S>,
+    /// True if this transition completes a witness: the path to the current
+    /// state extended by this access is returned immediately.
+    pub accept: bool,
+    /// Abstract cost consumed (e.g. guard evaluations), accumulated by the
+    /// engine in deterministic frontier order against
+    /// [`EngineConfig::max_step_cost`].
+    pub cost: usize,
+}
+
+impl<S> StepOutcome<S> {
+    /// A dead transition: no successors, no witness.
+    #[must_use]
+    pub fn dead(cost: usize) -> Self {
+        StepOutcome {
+            successors: Vec::new(),
+            accept: false,
+            cost,
+        }
+    }
+}
+
+/// The domain-specific half of a bounded frontier search.
+///
+/// The engine drives the frontier; the oracle says what a candidate
+/// transition does to the *logical* component of a search state.  `prepare`
+/// is called once per expanded state with the before-configuration (an
+/// overlay over the shared initial instance) so implementations can
+/// precompute their per-state transition-structure base; `step` is then
+/// called once per candidate and must not clone the configuration — push the
+/// candidate's delta onto an overlay instead.
+pub trait StepOracle: Sync {
+    /// The logical component of a search state (a progressed formula, an
+    /// automaton state, ...).
+    type State: Clone + Eq + Hash + Send + Sync;
+    /// Per-expanded-state precomputation, built by [`StepOracle::prepare`]
+    /// and handed back to every [`StepOracle::step`] call for that state.
+    type StateCtx;
+
+    /// Precomputes whatever the oracle needs to evaluate candidates from a
+    /// state whose configuration is `before`.
+    fn prepare(&self, before: &InstanceOverlay) -> Self::StateCtx;
+
+    /// Evaluates one candidate transition.
+    fn step(
+        &self,
+        state: &Self::State,
+        ctx: &Self::StateCtx,
+        candidate: &Candidate<'_>,
+        universe: &FactUniverse,
+    ) -> StepOutcome<Self::State>;
+}
+
+/// How bindings for empty responses are enumerated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EmptyBindingMode {
+    /// One placeholder binding per method (the `Sch0−Acc` interpretation,
+    /// where the binding carries no information).
+    Placeholder,
+    /// Bounded enumeration over universe values, search constants and a
+    /// fresh placeholder (the full-binding interpretation).
+    Enumerate,
+}
+
+/// Configuration of the shared frontier engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Maximum number of distinct search states (the start state counts).
+    pub max_states: usize,
+    /// Maximum number of tuples revealed by a single response.
+    pub max_response_size: usize,
+    /// Cap on candidate bindings enumerated per method for empty responses.
+    pub max_empty_bindings: usize,
+    /// Budget on accumulated [`StepOutcome::cost`]; exceeding it aborts the
+    /// search with [`EngineOutcome::OutOfBudget`].
+    pub max_step_cost: usize,
+    /// Restrict candidates to grounded accesses (every binding value must
+    /// occur in the configuration).
+    pub grounded: bool,
+    /// Empty-response binding enumeration mode.
+    pub empty_bindings: EmptyBindingMode,
+    /// Worker threads for layer expansion; `0` means "read
+    /// [`THREADS_ENV_VAR`], default 1".  Verdicts and witnesses do not
+    /// depend on this value.
+    pub threads: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            max_states: 200_000,
+            max_response_size: 3,
+            max_empty_bindings: 16,
+            max_step_cost: usize::MAX,
+            grounded: false,
+            empty_bindings: EmptyBindingMode::Enumerate,
+            threads: 0,
+        }
+    }
+}
+
+/// Result of a frontier search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineOutcome {
+    /// A witness access path was found (its final transition is the accepting
+    /// one reported by the oracle).
+    Witness {
+        /// The witness path.
+        witness: AccessPath,
+    },
+    /// The bounded witness space was exhausted without finding a witness.
+    /// This is a *complete* enumeration of the witness space induced by the
+    /// configured caps — callers may report a definitive negative verdict.
+    Exhausted,
+    /// The witness space was exhausted, but the per-binding response-group
+    /// cap ([`MAX_RESPONSE_GROUP`]) truncated it: some universe facts could
+    /// never be revealed, so "no witness found" is not a completeness
+    /// certificate.  Callers must report an indefinite verdict.
+    Truncated {
+        /// Number of states discovered.
+        explored: usize,
+    },
+    /// The state budget was reached.
+    OutOfStates {
+        /// Number of states discovered before giving up.
+        explored: usize,
+    },
+    /// The accumulated step cost exceeded [`EngineConfig::max_step_cost`].
+    OutOfBudget {
+        /// Number of states discovered before giving up.
+        explored: usize,
+    },
+}
+
+/// Cap on the number of same-binding unrevealed facts considered for one
+/// response subset enumeration (subsets are masks over a `u32`, and response
+/// sizes beyond [`EngineConfig::max_response_size`] are filtered anyway).
+/// When any method's binding group exceeds this, exhausting the frontier is
+/// reported as [`EngineOutcome::Truncated`] instead of
+/// [`EngineOutcome::Exhausted`].
+pub const MAX_RESPONSE_GROUP: usize = 12;
+
+/// Resolves a configured worker count: explicit values win, `0` falls back to
+/// the [`THREADS_ENV_VAR`] environment variable, default 1.
+#[must_use]
+pub fn resolve_threads(configured: usize) -> usize {
+    if configured > 0 {
+        return configured;
+    }
+    std::env::var(THREADS_ENV_VAR)
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(1)
+}
+
+/// The placeholder value used for guessed binding positions (a value that can
+/// never occur in real data or formula constants).
+#[must_use]
+pub fn placeholder_value() -> Value {
+    Value::str("\u{2606}any")
+}
+
+/// A revealed-fact set: a fixed-width bitset over universe indices.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct FactSet {
+    words: Vec<u64>,
+}
+
+impl FactSet {
+    fn empty(universe_len: usize) -> Self {
+        FactSet {
+            words: vec![0; universe_len.div_ceil(64)],
+        }
+    }
+
+    fn insert(&mut self, index: u32) {
+        self.words[(index / 64) as usize] |= 1u64 << (index % 64);
+    }
+
+    fn contains(&self, index: u32) -> bool {
+        (self.words[(index / 64) as usize] >> (index % 64)) & 1 == 1
+    }
+
+    /// Iterates over the set indices in ascending order.
+    fn ones(&self) -> impl Iterator<Item = u32> + '_ {
+        self.words.iter().enumerate().flat_map(|(word, &bits)| {
+            std::iter::successors((bits != 0).then_some(bits), |&x| {
+                let rest = x & (x - 1);
+                (rest != 0).then_some(rest)
+            })
+            .map(move |x| (word as u32) * 64 + x.trailing_zeros())
+        })
+    }
+}
+
+/// One discovered search state in the arena.
+struct Node<S> {
+    revealed: FactSet,
+    state: S,
+    /// Arena index of the parent (meaningless for the root).
+    parent: u32,
+    /// The access and response indices that produced this state (`None` for
+    /// the root).
+    step: Option<(Access, Vec<u32>)>,
+}
+
+/// A candidate transition owned by the expansion phase.
+struct OwnedCandidate {
+    method: usize,
+    binding: Tuple,
+    added: Vec<u32>,
+}
+
+type Expansion<S> = Vec<(OwnedCandidate, StepOutcome<S>)>;
+
+/// The shared frontier search engine.  See the module docs for the division
+/// of labour between engine and [`StepOracle`].
+pub struct FrontierEngine<'a, O: StepOracle> {
+    oracle: &'a O,
+    universe: FactUniverse,
+    initial: Arc<Instance>,
+    methods: Vec<&'a AccessMethod>,
+    /// Per method (same order as `methods`): the universe indices of its
+    /// relation's facts — candidate enumeration per state only walks these.
+    method_facts: Vec<Vec<u32>>,
+    /// True if some method has more than [`MAX_RESPONSE_GROUP`] universe
+    /// facts sharing one binding, i.e. the subset enumeration is truncated
+    /// and exhausting the frontier proves nothing.
+    truncated: bool,
+    /// Sorted candidate values for empty-response bindings: universe values
+    /// plus search constants.
+    binding_pool: Vec<Value>,
+    config: EngineConfig,
+}
+
+impl<'a, O: StepOracle> FrontierEngine<'a, O> {
+    /// Creates an engine over a schema, universe and initial instance.
+    /// `constants` are extra values (formula or automaton constants) eligible
+    /// as guessed binding values.
+    pub fn new(
+        schema: &'a AccessSchema,
+        oracle: &'a O,
+        universe: FactUniverse,
+        initial: Arc<Instance>,
+        constants: &BTreeSet<Value>,
+        config: EngineConfig,
+    ) -> Self {
+        let mut pool = universe.values();
+        pool.extend(constants.iter().copied());
+        let methods: Vec<&AccessMethod> = schema.methods().collect();
+        let mut truncated = false;
+        let method_facts: Vec<Vec<u32>> = methods
+            .iter()
+            .map(|method| {
+                let indices: Vec<u32> = universe
+                    .iter()
+                    .filter(|(_, rel, _)| *rel == method.relation_id())
+                    .map(|(index, _, _)| index)
+                    .collect();
+                // Revealed sets only grow from the root's (the initial
+                // instance's facts), so grouping the facts unrevealed *at the
+                // root* bounds every per-state group the enumeration will
+                // ever see.
+                let mut groups: BTreeMap<Tuple, usize> = BTreeMap::new();
+                for &index in &indices {
+                    let (rel, tuple) = universe.fact(index);
+                    if initial.contains(rel, tuple) {
+                        continue;
+                    }
+                    let projection = tuple.project(method.input_positions());
+                    *groups.entry(projection).or_default() += 1;
+                }
+                truncated |= groups.values().any(|&size| size > MAX_RESPONSE_GROUP);
+                indices
+            })
+            .collect();
+        FrontierEngine {
+            oracle,
+            methods,
+            method_facts,
+            truncated,
+            universe,
+            initial,
+            binding_pool: pool.into_iter().collect(),
+            config,
+        }
+    }
+
+    /// The universe the engine searches over.
+    #[must_use]
+    pub fn universe(&self) -> &FactUniverse {
+        &self.universe
+    }
+
+    /// Runs the breadth-first search from the given logical start state.
+    #[must_use]
+    pub fn run(&self, start: O::State) -> EngineOutcome {
+        let threads = resolve_threads(self.config.threads);
+        let mut revealed = FactSet::empty(self.universe.len());
+        for (index, rel, tuple) in self.universe.iter() {
+            if self.initial.contains(rel, tuple) {
+                revealed.insert(index);
+            }
+        }
+
+        let mut nodes: Vec<Node<O::State>> = vec![Node {
+            revealed: revealed.clone(),
+            state: start.clone(),
+            parent: 0,
+            step: None,
+        }];
+        let mut seen: HashSet<(FactSet, O::State)> = HashSet::new();
+        seen.insert((revealed, start));
+        let mut frontier: Vec<u32> = vec![0];
+        let mut spent = 0usize;
+        // Small chunks bound the work wasted past a terminal verdict while
+        // keeping every thread busy; chunk merging runs in frontier order, so
+        // results are independent of the thread count.
+        let chunk_len = if threads > 1 { threads * 4 } else { 1 };
+
+        while !frontier.is_empty() {
+            let mut next: Vec<u32> = Vec::new();
+            for chunk in frontier.chunks(chunk_len) {
+                let expansions = self.expand_many(chunk, &nodes, threads);
+                for (&node_id, expansion) in chunk.iter().zip(expansions) {
+                    for (candidate, outcome) in expansion {
+                        spent = spent.saturating_add(outcome.cost);
+                        if spent > self.config.max_step_cost {
+                            return EngineOutcome::OutOfBudget {
+                                explored: nodes.len(),
+                            };
+                        }
+                        let access = Access::new(
+                            self.methods[candidate.method].name_sym(),
+                            candidate.binding,
+                        );
+                        if outcome.accept {
+                            return EngineOutcome::Witness {
+                                witness: self.reconstruct(
+                                    &nodes,
+                                    node_id,
+                                    access,
+                                    &candidate.added,
+                                ),
+                            };
+                        }
+                        for successor in outcome.successors {
+                            let mut new_revealed = nodes[node_id as usize].revealed.clone();
+                            for &index in &candidate.added {
+                                new_revealed.insert(index);
+                            }
+                            let key = (new_revealed, successor);
+                            if seen.contains(&key) {
+                                continue;
+                            }
+                            seen.insert(key.clone());
+                            nodes.push(Node {
+                                revealed: key.0,
+                                state: key.1,
+                                parent: node_id,
+                                step: Some((access.clone(), candidate.added.clone())),
+                            });
+                            if nodes.len() >= self.config.max_states {
+                                return EngineOutcome::OutOfStates {
+                                    explored: nodes.len(),
+                                };
+                            }
+                            next.push((nodes.len() - 1) as u32);
+                        }
+                    }
+                }
+            }
+            frontier = next;
+        }
+        if self.truncated {
+            EngineOutcome::Truncated {
+                explored: nodes.len(),
+            }
+        } else {
+            EngineOutcome::Exhausted
+        }
+    }
+
+    /// Expands a chunk of frontier nodes, across worker threads when
+    /// configured.  Results come back in chunk order.
+    fn expand_many(
+        &self,
+        ids: &[u32],
+        nodes: &[Node<O::State>],
+        threads: usize,
+    ) -> Vec<Expansion<O::State>> {
+        if threads <= 1 || ids.len() <= 1 {
+            return ids
+                .iter()
+                .map(|&id| self.expand(&nodes[id as usize]))
+                .collect();
+        }
+        let share = ids.len().div_ceil(threads);
+        thread::scope(|scope| {
+            let handles: Vec<_> = ids
+                .chunks(share)
+                .map(|slice| {
+                    scope.spawn(move || {
+                        slice
+                            .iter()
+                            .map(|&id| self.expand(&nodes[id as usize]))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|handle| handle.join().expect("search worker panicked"))
+                .collect()
+        })
+    }
+
+    /// Expands one node: builds the before-overlay, lets the oracle prepare,
+    /// and evaluates every candidate transition.
+    fn expand(&self, node: &Node<O::State>) -> Expansion<O::State> {
+        let mut before = InstanceOverlay::new(self.initial.clone());
+        for index in node.revealed.ones() {
+            let (rel, tuple) = self.universe.fact(index);
+            before.push_fact(rel, tuple.clone());
+        }
+        let ctx = self.oracle.prepare(&before);
+        let known = self.config.grounded.then(|| before.active_domain());
+        let candidates = self.candidates(&node.revealed, known.as_ref());
+        candidates
+            .into_iter()
+            .map(|candidate| {
+                let outcome = self.oracle.step(
+                    &node.state,
+                    &ctx,
+                    &Candidate {
+                        method: self.methods[candidate.method],
+                        binding: &candidate.binding,
+                        added: &candidate.added,
+                    },
+                    &self.universe,
+                );
+                (candidate, outcome)
+            })
+            .collect()
+    }
+
+    /// Enumerates the candidate transitions available from a state: per
+    /// method, non-empty responses grouped by the binding they are compatible
+    /// with (bounded subsets), then empty responses with guessed bindings.
+    fn candidates(
+        &self,
+        revealed: &FactSet,
+        known_values: Option<&BTreeSet<Value>>,
+    ) -> Vec<OwnedCandidate> {
+        let mut candidates = Vec::new();
+        for (method_index, method) in self.methods.iter().enumerate() {
+            // Group this method's unrevealed facts (precomputed indices) by
+            // their projection onto the input positions (a well-formed
+            // response must agree with the binding on those positions).
+            let mut groups: BTreeMap<Tuple, Vec<u32>> = BTreeMap::new();
+            for &index in &self.method_facts[method_index] {
+                if revealed.contains(index) {
+                    continue;
+                }
+                let projection = self
+                    .universe
+                    .fact(index)
+                    .1
+                    .project(method.input_positions());
+                groups.entry(projection).or_default().push(index);
+            }
+            for (binding, members) in &groups {
+                if let Some(known) = known_values {
+                    if !binding.values().iter().all(|v| known.contains(v)) {
+                        continue;
+                    }
+                }
+                // Enumerate non-empty subsets of the group up to the response
+                // size cap.
+                let size = members.len().min(MAX_RESPONSE_GROUP);
+                for mask in 1u32..(1u32 << size) {
+                    if (mask.count_ones() as usize) > self.config.max_response_size {
+                        continue;
+                    }
+                    candidates.push(OwnedCandidate {
+                        method: method_index,
+                        binding: binding.clone(),
+                        added: (0..size)
+                            .filter(|i| mask & (1 << i) != 0)
+                            .map(|i| members[i])
+                            .collect(),
+                    });
+                }
+            }
+            // Empty responses: the access is made but reveals nothing.
+            match self.config.empty_bindings {
+                EmptyBindingMode::Placeholder => candidates.push(OwnedCandidate {
+                    method: method_index,
+                    binding: Tuple::new(vec![placeholder_value(); method.input_arity()]),
+                    added: Vec::new(),
+                }),
+                EmptyBindingMode::Enumerate => {
+                    for binding in self.empty_response_bindings(method, known_values) {
+                        candidates.push(OwnedCandidate {
+                            method: method_index,
+                            binding,
+                            added: Vec::new(),
+                        });
+                    }
+                }
+            }
+        }
+        candidates
+    }
+
+    /// Candidate bindings for empty responses: every universe value and
+    /// search constant (any of them may flow into a binding via dataflow
+    /// atoms) plus, when not grounded, one fresh placeholder; under grounded
+    /// semantics only values of the configuration qualify.
+    fn empty_response_bindings(
+        &self,
+        method: &AccessMethod,
+        known_values: Option<&BTreeSet<Value>>,
+    ) -> Vec<Tuple> {
+        let values: Vec<Value> = match known_values {
+            Some(known) => self
+                .binding_pool
+                .iter()
+                .filter(|v| known.contains(v))
+                .copied()
+                .collect(),
+            None => {
+                let mut pool = self.binding_pool.clone();
+                let fresh = placeholder_value();
+                if let Err(slot) = pool.binary_search(&fresh) {
+                    pool.insert(slot, fresh);
+                }
+                pool
+            }
+        };
+        let mut bindings: Vec<Vec<Value>> = vec![Vec::new()];
+        for _position in method.input_positions() {
+            let mut next = Vec::new();
+            for prefix in &bindings {
+                for v in &values {
+                    if next.len() >= self.config.max_empty_bindings {
+                        break;
+                    }
+                    let mut extended = prefix.clone();
+                    extended.push(*v);
+                    next.push(extended);
+                }
+            }
+            bindings = next;
+        }
+        bindings.truncate(self.config.max_empty_bindings);
+        bindings.into_iter().map(Tuple::new).collect()
+    }
+
+    /// Rebuilds the witness path from the parent arena, appending the final
+    /// accepting transition.
+    fn reconstruct(
+        &self,
+        nodes: &[Node<O::State>],
+        end: u32,
+        final_access: Access,
+        final_added: &[u32],
+    ) -> AccessPath {
+        let mut steps: Vec<(Access, Response)> = Vec::new();
+        let mut cursor = end;
+        while let Some((access, added)) = &nodes[cursor as usize].step {
+            steps.push((access.clone(), self.response_of(added)));
+            cursor = nodes[cursor as usize].parent;
+        }
+        steps.reverse();
+        steps.push((final_access, self.response_of(final_added)));
+        AccessPath::from_steps(steps)
+    }
+
+    fn response_of(&self, added: &[u32]) -> Response {
+        added
+            .iter()
+            .map(|&index| self.universe.fact(index).1.clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::phone_directory_access_schema;
+    use accltl_relational::tuple;
+
+    /// A trivial oracle: the logical state counts remaining steps; a step
+    /// that reveals at least one fact decrements it, and reaching zero
+    /// accepts.  Enough to exercise frontier, dedup, parents and
+    /// reconstruction without the logic/automata layers.
+    struct CountdownOracle;
+
+    impl StepOracle for CountdownOracle {
+        type State = u8;
+        type StateCtx = ();
+
+        fn prepare(&self, _before: &InstanceOverlay) {}
+
+        fn step(
+            &self,
+            state: &u8,
+            _ctx: &(),
+            candidate: &Candidate<'_>,
+            _universe: &FactUniverse,
+        ) -> StepOutcome<u8> {
+            if candidate.added.is_empty() {
+                return StepOutcome::dead(1);
+            }
+            if *state == 1 {
+                return StepOutcome {
+                    successors: Vec::new(),
+                    accept: true,
+                    cost: 1,
+                };
+            }
+            StepOutcome {
+                successors: vec![state - 1],
+                accept: false,
+                cost: 1,
+            }
+        }
+    }
+
+    fn universe() -> FactUniverse {
+        FactUniverse::new(vec![
+            (
+                RelId::new("Mobile#"),
+                tuple!["Smith", "OX13QD", "Parks Rd", 5551212],
+            ),
+            (
+                RelId::new("Address"),
+                tuple!["Parks Rd", "OX13QD", "Jones", 16],
+            ),
+        ])
+    }
+
+    fn engine_outcome(config: EngineConfig, start: u8) -> EngineOutcome {
+        let schema = phone_directory_access_schema();
+        let oracle = CountdownOracle;
+        let engine = FrontierEngine::new(
+            &schema,
+            &oracle,
+            universe(),
+            Arc::new(Instance::new()),
+            &BTreeSet::new(),
+            config,
+        );
+        engine.run(start)
+    }
+
+    #[test]
+    fn finds_a_minimal_witness_and_reconstructs_it() {
+        let outcome = engine_outcome(EngineConfig::default(), 2);
+        let EngineOutcome::Witness { witness } = outcome else {
+            panic!("expected a witness, got {outcome:?}");
+        };
+        assert_eq!(witness.len(), 2);
+        let schema = phone_directory_access_schema();
+        assert!(witness.validate(&schema).is_ok());
+    }
+
+    #[test]
+    fn exhausts_when_the_universe_is_too_small() {
+        // Three revealing steps needed, but only two facts exist and each can
+        // be revealed once.
+        assert_eq!(
+            engine_outcome(EngineConfig::default(), 3),
+            EngineOutcome::Exhausted
+        );
+    }
+
+    #[test]
+    fn state_budget_aborts_the_search() {
+        let config = EngineConfig {
+            max_states: 1,
+            ..EngineConfig::default()
+        };
+        assert!(matches!(
+            engine_outcome(config, 2),
+            EngineOutcome::OutOfStates { .. }
+        ));
+    }
+
+    #[test]
+    fn cost_budget_aborts_the_search() {
+        let config = EngineConfig {
+            max_step_cost: 3,
+            ..EngineConfig::default()
+        };
+        assert!(matches!(
+            engine_outcome(config, 2),
+            EngineOutcome::OutOfBudget { .. }
+        ));
+    }
+
+    #[test]
+    fn verdicts_and_witnesses_are_thread_count_independent() {
+        for start in [1u8, 2, 3] {
+            let single = engine_outcome(
+                EngineConfig {
+                    threads: 1,
+                    ..EngineConfig::default()
+                },
+                start,
+            );
+            let quad = engine_outcome(
+                EngineConfig {
+                    threads: 4,
+                    ..EngineConfig::default()
+                },
+                start,
+            );
+            assert_eq!(single, quad);
+        }
+    }
+
+    #[test]
+    fn over_wide_response_groups_downgrade_exhaustion_to_truncated() {
+        // An oracle for which every transition is dead: the frontier
+        // exhausts right after the root.
+        struct DeadOracle;
+        impl StepOracle for DeadOracle {
+            type State = u8;
+            type StateCtx = ();
+            fn prepare(&self, _before: &InstanceOverlay) {}
+            fn step(
+                &self,
+                _state: &u8,
+                _ctx: &(),
+                _candidate: &Candidate<'_>,
+                _universe: &FactUniverse,
+            ) -> StepOutcome<u8> {
+                StepOutcome::dead(1)
+            }
+        }
+
+        let schema = phone_directory_access_schema();
+        let run_with = |fact_count: i64| {
+            // `fact_count` Mobile# facts all share the binding "Same".
+            let facts: Vec<(RelId, Tuple)> = (0..fact_count)
+                .map(|i| {
+                    (
+                        RelId::new("Mobile#"),
+                        tuple!["Same", "OX13QD", "Parks Rd", 5_551_000 + i],
+                    )
+                })
+                .collect();
+            let oracle = DeadOracle;
+            FrontierEngine::new(
+                &schema,
+                &oracle,
+                FactUniverse::new(facts),
+                Arc::new(Instance::new()),
+                &BTreeSet::new(),
+                EngineConfig::default(),
+            )
+            .run(0)
+        };
+        // Within the group cap, exhaustion is a completeness certificate...
+        assert_eq!(run_with(12), EngineOutcome::Exhausted);
+        // ...beyond it (13th same-binding fact can never be revealed) the
+        // engine must not certify anything.
+        assert!(matches!(run_with(13), EngineOutcome::Truncated { .. }));
+
+        // Facts already in the initial instance are revealed at the root and
+        // never enumerated, so they must not count towards truncation.
+        let facts: Vec<(RelId, Tuple)> = (0..13)
+            .map(|i| {
+                (
+                    RelId::new("Mobile#"),
+                    tuple!["Same", "OX13QD", "Parks Rd", 5_551_000 + i],
+                )
+            })
+            .collect();
+        let mut initial = Instance::new();
+        for (rel, tuple) in &facts {
+            initial.add_fact(*rel, tuple.clone());
+        }
+        let oracle = DeadOracle;
+        let outcome = FrontierEngine::new(
+            &schema,
+            &oracle,
+            FactUniverse::new(facts),
+            Arc::new(initial),
+            &BTreeSet::new(),
+            EngineConfig::default(),
+        )
+        .run(0);
+        assert_eq!(outcome, EngineOutcome::Exhausted);
+    }
+
+    #[test]
+    fn grounded_mode_filters_unknown_binding_values() {
+        let config = EngineConfig {
+            grounded: true,
+            ..EngineConfig::default()
+        };
+        // Over the empty initial instance no binding value is known, so no
+        // revealing access is ever possible.
+        assert_eq!(engine_outcome(config, 1), EngineOutcome::Exhausted);
+    }
+
+    #[test]
+    fn placeholder_mode_emits_one_empty_binding_per_method() {
+        let schema = phone_directory_access_schema();
+        let oracle = CountdownOracle;
+        let engine = FrontierEngine::new(
+            &schema,
+            &oracle,
+            FactUniverse::default(),
+            Arc::new(Instance::new()),
+            &BTreeSet::new(),
+            EngineConfig {
+                empty_bindings: EmptyBindingMode::Placeholder,
+                ..EngineConfig::default()
+            },
+        );
+        let candidates = engine.candidates(&FactSet::empty(0), None);
+        assert_eq!(candidates.len(), schema.method_count());
+        assert!(candidates.iter().all(|c| c.added.is_empty()));
+    }
+}

@@ -39,6 +39,7 @@
 
 pub mod access;
 pub mod answerability;
+pub mod engine;
 pub mod error;
 pub mod generator;
 pub mod lts;
@@ -49,6 +50,10 @@ pub mod sanity;
 
 pub use access::{Access, AccessMethod, AccessSchema};
 pub use answerability::{accessible_part, maximal_answers, AnswerabilityReport};
+pub use engine::{
+    Candidate, EmptyBindingMode, EngineConfig, EngineOutcome, FactUniverse, FrontierEngine,
+    StepOracle, StepOutcome,
+};
 pub use error::PathError;
 pub use lts::{LtsExplorer, LtsOptions, LtsTree, ResponsePolicy};
 pub use path::{AccessPath, Response, Transition};

@@ -3,8 +3,9 @@
 
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::Arc;
 
-use accltl_relational::{Instance, Tuple};
+use accltl_relational::{Instance, InstanceOverlay, Tuple};
 
 use crate::access::{Access, AccessSchema};
 use crate::Result;
@@ -112,34 +113,59 @@ impl AccessPath {
     }
 
     /// The sequence of configurations `I0 = Conf(ε), Conf(p[..1]), ...,
-    /// Conf(p)` induced by the path over the initial instance `I0`.
+    /// Conf(p)` induced by the path over the initial instance `I0`, as
+    /// copy-on-write overlays sharing `base`.
     ///
     /// `Conf(p, I0)` unions `I0` with every tuple returned by an access, added
-    /// to the relation of that access's method (paper, Section 2).
-    pub fn configurations(
+    /// to the relation of that access's method (paper, Section 2).  Each step
+    /// costs `O(|response|)` on top of the accumulated delta; materialize an
+    /// overlay only where a standalone [`Instance`] is genuinely needed.
+    pub fn overlay_configurations(
         &self,
         schema: &AccessSchema,
-        initial: &Instance,
-    ) -> Result<Vec<Instance>> {
+        base: &Arc<Instance>,
+    ) -> Result<Vec<InstanceOverlay>> {
         let mut configs = Vec::with_capacity(self.steps.len() + 1);
-        let mut current = initial.clone();
+        let mut current = InstanceOverlay::new(base.clone());
         configs.push(current.clone());
         for (access, response) in &self.steps {
             let relation = schema.require_method(access.method)?.relation_id();
             for tuple in response {
-                current.add_fact(relation, tuple.clone());
+                current.push_fact(relation, tuple.clone());
             }
             configs.push(current.clone());
         }
         Ok(configs)
     }
 
-    /// The final configuration `Conf(p, I0)`.
-    pub fn configuration(&self, schema: &AccessSchema, initial: &Instance) -> Result<Instance> {
+    /// The configuration sequence as eagerly materialized instances (one
+    /// full instance per step; prefer [`AccessPath::overlay_configurations`]
+    /// on hot paths).
+    pub fn configurations(
+        &self,
+        schema: &AccessSchema,
+        initial: &Instance,
+    ) -> Result<Vec<Instance>> {
+        let base = Arc::new(initial.clone());
         Ok(self
-            .configurations(schema, initial)?
-            .pop()
-            .expect("configurations always returns at least the initial instance"))
+            .overlay_configurations(schema, &base)?
+            .iter()
+            .map(InstanceOverlay::materialize)
+            .collect())
+    }
+
+    /// The final configuration `Conf(p, I0)`, computed directly — one clone
+    /// of the initial instance plus one insert per response tuple, never
+    /// materializing the intermediate configurations.
+    pub fn configuration(&self, schema: &AccessSchema, initial: &Instance) -> Result<Instance> {
+        let mut current = initial.clone();
+        for (access, response) in &self.steps {
+            let relation = schema.require_method(access.method)?.relation_id();
+            for tuple in response {
+                current.add_fact(relation, tuple.clone());
+            }
+        }
+        Ok(current)
     }
 
     /// The transitions of the path (before/access/response/after), the
@@ -149,16 +175,17 @@ impl AccessPath {
         schema: &AccessSchema,
         initial: &Instance,
     ) -> Result<Vec<Transition>> {
-        let configs = self.configurations(schema, initial)?;
+        let base = Arc::new(initial.clone());
+        let configs = self.overlay_configurations(schema, &base)?;
         Ok(self
             .steps
             .iter()
             .enumerate()
             .map(|(i, (access, response))| Transition {
-                before: configs[i].clone(),
+                before: configs[i].materialize(),
                 access: access.clone(),
                 response: response.clone(),
-                after: configs[i + 1].clone(),
+                after: configs[i + 1].materialize(),
             })
             .collect())
     }

@@ -27,10 +27,12 @@
 //! [`LtrVerdict::Unknown`] rather than silently answering `NotRelevant`.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 use accltl_relational::cq::Assignment;
 use accltl_relational::{
-    Atom, ConjunctiveQuery, Instance, RelId, Sym, Term, Tuple, UnionOfCqs, Value, VarId,
+    Atom, ConjunctiveQuery, Instance, InstanceOverlay, RelId, Sym, Term, Tuple, UnionOfCqs, Value,
+    VarId,
 };
 
 use crate::access::{Access, AccessSchema};
@@ -99,15 +101,20 @@ pub fn long_term_relevant(
     let method = schema.require_method(access.method)?;
     let relation = method.relation_id();
 
+    // The active domain is needed by every candidate below (and by the
+    // grounded saturation per assignment); compute it exactly once.
+    let domain = initial.active_domain();
+
     // A grounded witness path must itself start with a grounded access.
-    if options.grounded {
-        let known = initial.active_domain();
-        if !access.binding.values().iter().all(|v| known.contains(v)) {
-            return Ok(LtrVerdict::NotRelevant);
-        }
+    if options.grounded && !access.binding.values().iter().all(|v| domain.contains(v)) {
+        return Ok(LtrVerdict::NotRelevant);
     }
 
     let mut cap_hit = false;
+    // At most one clone for the whole check, created only when some critical
+    // atom actually matches; every candidate witness below is an overlay over
+    // this shared base instead of a fresh copy of the initial instance.
+    let mut shared_initial: Option<Arc<Instance>> = None;
 
     for disjunct in &query.disjuncts {
         for (atom_index, atom) in disjunct.atoms.iter().enumerate() {
@@ -120,8 +127,9 @@ pub fn long_term_relevant(
             else {
                 continue;
             };
+            let base = shared_initial.get_or_insert_with(|| Arc::new(initial.clone()));
             match search_assignments(
-                schema, access, disjunct, atom_index, &forced, query, initial, options,
+                schema, access, disjunct, atom_index, &forced, query, base, &domain, options,
             )? {
                 SearchOutcome::Found(witness) => {
                     return Ok(LtrVerdict::Relevant { witness });
@@ -182,7 +190,8 @@ fn search_assignments(
     critical_atom: usize,
     forced: &Assignment,
     query: &UnionOfCqs,
-    initial: &Instance,
+    initial: &Arc<Instance>,
+    domain: &BTreeSet<Value>,
     options: &LtrOptions,
 ) -> Result<SearchOutcome> {
     let variables: Vec<VarId> = disjunct
@@ -194,7 +203,7 @@ fn search_assignments(
     // Candidate values: active domain of the initial instance, the binding
     // values, and one fresh value per remaining variable (fresh values are
     // interchangeable, so one per variable suffices for completeness).
-    let mut candidates: Vec<Value> = initial.active_domain().into_iter().collect();
+    let mut candidates: Vec<Value> = domain.iter().copied().collect();
     candidates.extend(access.binding.values().iter().copied());
     for (i, _) in variables.iter().enumerate() {
         candidates.push(Value::str(format!("\u{2605}fresh{i}")));
@@ -245,6 +254,7 @@ fn search_assignments(
             &assignment,
             query,
             initial,
+            domain,
             options,
         )? {
             return Ok(SearchOutcome::Found(witness));
@@ -270,7 +280,8 @@ fn try_witness(
     critical_atom: usize,
     assignment: &Assignment,
     query: &UnionOfCqs,
-    initial: &Instance,
+    initial: &Arc<Instance>,
+    domain: &BTreeSet<Value>,
     options: &LtrOptions,
 ) -> Result<Option<AccessPath>> {
     // The image of the disjunct under the assignment.
@@ -290,14 +301,23 @@ fn try_witness(
         return Ok(None);
     }
 
-    // Q must fail when the critical fact is withheld.
-    let mut without_critical = initial.clone();
+    // Q must fail when the critical fact is withheld.  The candidate
+    // configuration is an overlay over the shared initial instance, so this
+    // costs O(|disjunct|) per assignment instead of a full instance clone.
+    let mut without_critical = InstanceOverlay::new(initial.clone());
     for (rel, tuple) in &facts {
         if (rel, tuple) != (&critical.0, &critical.1) {
-            without_critical.add_fact(*rel, tuple.clone());
+            without_critical.push_fact(*rel, tuple.clone());
         }
     }
-    if query.holds(&without_critical) {
+    // With an empty delta (single-atom disjuncts) evaluate on the plain
+    // instance: same facts, cheaper iteration.
+    let holds = if without_critical.delta().is_empty() {
+        query.holds(initial.as_ref())
+    } else {
+        query.holds(&without_critical)
+    };
+    if holds {
         return Ok(None);
     }
 
@@ -311,7 +331,7 @@ fn try_witness(
         .collect();
 
     let ordered = if options.grounded {
-        reveal_order_grounded(schema, access, &critical, &remaining, initial)
+        reveal_order_grounded(schema, access, &critical, &remaining, domain)
     } else {
         reveal_order_unrestricted(schema, &remaining)
     };
@@ -366,10 +386,10 @@ fn reveal_order_grounded(
     access_under_test: &Access,
     critical: &(RelId, Tuple),
     remaining: &[(RelId, Tuple)],
-    initial: &Instance,
+    domain: &BTreeSet<Value>,
 ) -> Option<Vec<(Sym, Tuple)>> {
-    let mut known: BTreeSet<Value> = initial.active_domain();
-    known.extend(access_under_test.binding.values().iter().copied());
+    // Values revealed on top of the (precomputed) initial active domain.
+    let mut known: BTreeSet<Value> = access_under_test.binding.values().iter().copied().collect();
     known.extend(critical.1.values().iter().copied());
 
     let mut pending: BTreeMap<usize, (RelId, Tuple)> =
@@ -380,10 +400,11 @@ fn reveal_order_grounded(
         let mut progressed = None;
         'outer: for (&index, (relation, tuple)) in &pending {
             for method in schema.methods_for_relation(*relation) {
-                let groundable = method
-                    .input_positions()
-                    .iter()
-                    .all(|&p| tuple.get(p).is_some_and(|v| known.contains(v)));
+                let groundable = method.input_positions().iter().all(|&p| {
+                    tuple
+                        .get(p)
+                        .is_some_and(|v| domain.contains(v) || known.contains(v))
+                });
                 if groundable {
                     progressed = Some((index, method.name_sym()));
                     break 'outer;

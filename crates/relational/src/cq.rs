@@ -17,6 +17,7 @@ use std::ops::Index;
 use crate::atom::Atom;
 use crate::error::RelationalError;
 use crate::instance::Instance;
+use crate::overlay::InstanceView;
 use crate::symbols::{IdMap, RelId, VarId, VarKey};
 use crate::term::Term;
 use crate::tuple::Tuple;
@@ -223,11 +224,12 @@ impl ConjunctiveQuery {
         }
     }
 
-    /// Evaluates the query on an instance, returning the set of head-variable
-    /// bindings projected as tuples.  A boolean query returns either the empty
-    /// set or the singleton set containing the empty tuple.
+    /// Evaluates the query on an instance (or any [`InstanceView`], such as a
+    /// configuration overlay), returning the set of head-variable bindings
+    /// projected as tuples.  A boolean query returns either the empty set or
+    /// the singleton set containing the empty tuple.
     #[must_use]
-    pub fn evaluate(&self, instance: &Instance) -> BTreeSet<Tuple> {
+    pub fn evaluate(&self, instance: &impl InstanceView) -> BTreeSet<Tuple> {
         let mut results = BTreeSet::new();
         for_each_homomorphism(
             &self.atoms,
@@ -255,7 +257,7 @@ impl ConjunctiveQuery {
     /// True if the (boolean) query holds on the instance.  For a non-boolean
     /// query this means "has at least one answer".
     #[must_use]
-    pub fn holds(&self, instance: &Instance) -> bool {
+    pub fn holds(&self, instance: &impl InstanceView) -> bool {
         exists_homomorphism(&self.atoms, instance, &Assignment::new())
     }
 
@@ -264,7 +266,7 @@ impl ConjunctiveQuery {
     #[must_use]
     pub fn find_homomorphism(
         &self,
-        instance: &Instance,
+        instance: &impl InstanceView,
         initial: &Assignment,
     ) -> Option<Assignment> {
         let mut found = None;
@@ -331,11 +333,13 @@ impl fmt::Display for ConjunctiveQuery {
 
 /// Enumerates homomorphisms from `atoms` into `instance` extending `initial`.
 ///
+/// Generic over [`InstanceView`], so the same search runs on a plain
+/// [`Instance`] and on a configuration overlay without materializing it.
 /// The callback is invoked once per homomorphism; returning `true` stops the
 /// enumeration early (used by existence checks).
-pub fn for_each_homomorphism(
+pub fn for_each_homomorphism<V: InstanceView + ?Sized>(
     atoms: &[Atom],
-    instance: &Instance,
+    instance: &V,
     initial: &Assignment,
     callback: &mut dyn FnMut(&Assignment) -> bool,
 ) {
@@ -343,14 +347,14 @@ pub fn for_each_homomorphism(
     // Order atoms so that the most constrained (fewest candidate tuples) come
     // first; a cheap heuristic that materially helps on larger instances.
     let mut order: Vec<&Atom> = atoms.iter().collect();
-    order.sort_by_key(|a| instance.relation_size(a.predicate));
+    order.sort_by_key(|a| instance.count_of(a.predicate));
     search(&order, 0, instance, &mut assignment, callback);
 }
 
-fn search(
+fn search<V: InstanceView + ?Sized>(
     atoms: &[&Atom],
     index: usize,
-    instance: &Instance,
+    instance: &V,
     assignment: &mut Assignment,
     callback: &mut dyn FnMut(&Assignment) -> bool,
 ) -> bool {
@@ -358,7 +362,7 @@ fn search(
         return callback(assignment);
     }
     let atom = atoms[index];
-    let candidates: Vec<&Tuple> = instance.tuples(atom.predicate).collect();
+    let candidates: Vec<&Tuple> = instance.tuples_of(atom.predicate).collect();
     'tuples: for tuple in candidates {
         if tuple.arity() != atom.arity() {
             continue;
@@ -403,7 +407,11 @@ fn undo(assignment: &mut Assignment, newly_bound: &[VarId]) {
 /// True if there is a homomorphism from `atoms` into `instance` extending
 /// `initial`.
 #[must_use]
-pub fn exists_homomorphism(atoms: &[Atom], instance: &Instance, initial: &Assignment) -> bool {
+pub fn exists_homomorphism<V: InstanceView + ?Sized>(
+    atoms: &[Atom],
+    instance: &V,
+    initial: &Assignment,
+) -> bool {
     let mut found = false;
     for_each_homomorphism(atoms, instance, initial, &mut |_| {
         found = true;

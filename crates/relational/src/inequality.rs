@@ -9,7 +9,7 @@ use std::collections::BTreeSet;
 use std::fmt;
 
 use crate::cq::{for_each_homomorphism, Assignment, ConjunctiveQuery};
-use crate::instance::Instance;
+use crate::overlay::InstanceView;
 use crate::term::Term;
 use crate::tuple::Tuple;
 use crate::value::Value;
@@ -71,9 +71,10 @@ impl InequalityCq {
         })
     }
 
-    /// True if the query has a satisfying homomorphism on the instance.
+    /// True if the query has a satisfying homomorphism on the instance (or
+    /// any [`InstanceView`]).
     #[must_use]
-    pub fn holds(&self, instance: &Instance) -> bool {
+    pub fn holds(&self, instance: &impl InstanceView) -> bool {
         let mut found = false;
         for_each_homomorphism(
             &self.cq.atoms,
@@ -93,7 +94,7 @@ impl InequalityCq {
 
     /// Evaluates the query, projecting satisfying assignments onto the head.
     #[must_use]
-    pub fn evaluate(&self, instance: &Instance) -> BTreeSet<Tuple> {
+    pub fn evaluate(&self, instance: &impl InstanceView) -> BTreeSet<Tuple> {
         let mut results = BTreeSet::new();
         for_each_homomorphism(
             &self.cq.atoms,
@@ -131,6 +132,7 @@ impl fmt::Display for InequalityCq {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::instance::Instance;
     use crate::{atom, cq, tuple};
 
     fn inst() -> Instance {

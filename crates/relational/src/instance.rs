@@ -45,6 +45,11 @@ impl Instance {
         Self::default()
     }
 
+    /// The raw name-sorted relation slots, for the overlay merge-join.
+    pub(crate) fn entries(&self) -> &[(RelId, BTreeSet<Tuple>)] {
+        &self.facts
+    }
+
     fn slot(&self, relation: RelId) -> std::result::Result<usize, usize> {
         self.facts.binary_search_by(|(r, _)| r.cmp(&relation))
     }

@@ -24,7 +24,13 @@
 //!   paper's A-automaton emptiness reduction ([`datalog_containment`]);
 //! * interned symbols ([`symbols`]): copyable `u32` ids for relation names,
 //!   variable names and text constants, so the search inner loops compare and
-//!   hash integers instead of heap strings.
+//!   hash integers instead of heap strings;
+//! * copy-on-write instance overlays ([`overlay`]): an `Arc`-shared base
+//!   instance plus a delta of added facts, with the same read surface and
+//!   iteration order as [`Instance`] — query evaluation is generic over the
+//!   [`overlay::InstanceView`] trait, so configurations that only ever grow
+//!   (the paper's `Conf(p, I0)`) are extended in `O(|response|)` instead of
+//!   cloned.
 //!
 //! Everything is deterministic: collections are ordered (`BTreeMap`/`BTreeSet`)
 //! so that repeated runs, tests and benchmarks produce identical results.
@@ -42,6 +48,7 @@ pub mod datalog_containment;
 pub mod error;
 pub mod inequality;
 pub mod instance;
+pub mod overlay;
 pub mod schema;
 pub mod symbols;
 pub mod term;
@@ -61,11 +68,12 @@ pub use datalog_containment::{datalog_contained_in_ucq, ContainmentVerdict, Unfo
 pub use error::RelationalError;
 pub use inequality::InequalityCq;
 pub use instance::Instance;
+pub use overlay::{InstanceOverlay, InstanceView, TupleIter};
 pub use schema::{RelationSchema, Schema};
 pub use symbols::{IdMap, RelId, RelKey, Sym, SymKey, SymbolTable, VarId, VarKey};
 pub use term::Term;
 pub use tuple::Tuple;
-pub use ucq::{PosFormula, UnionOfCqs};
+pub use ucq::{CompiledSentence, PosFormula, UnionOfCqs};
 pub use value::{DataType, Value};
 
 /// Result alias used across the crate.

@@ -1,0 +1,499 @@
+//! Copy-on-write instance overlays: a shared base [`Instance`] plus a small
+//! delta of added facts.
+//!
+//! The paper's decision procedures all walk *configurations* `Conf(p, I0)` —
+//! instances that only ever **grow** along an access path.  Materializing a
+//! fresh `Instance` per step makes a step cost `O(|Conf|)`; an
+//! [`InstanceOverlay`] shares the base behind an [`Arc`] and records only the
+//! step's delta, so constructing the next configuration costs
+//! `O(|response|)`.
+//!
+//! Overlays present the same read surface as [`Instance`] — `contains`,
+//! `tuples`, `relation_size`, `facts`, `active_domain`, `Display` — with the
+//! **same iteration order** (relations in name order, tuples in value order),
+//! so every deterministic algorithm built on instance iteration behaves
+//! identically on an overlay.  The [`InstanceView`] trait abstracts exactly
+//! that read surface; the homomorphism search in [`mod@crate::cq`] (and with it
+//! CQ/UCQ/positive-formula evaluation) is generic over it, which is what lets
+//! the bounded searches evaluate guards against an overlay without ever
+//! cloning the underlying configuration.
+
+use std::collections::btree_set;
+use std::collections::BTreeSet;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::iter::Peekable;
+use std::sync::Arc;
+
+use crate::instance::Instance;
+use crate::symbols::{RelId, RelKey};
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// A read-only view of a set of facts, presented exactly like an
+/// [`Instance`]: relations in name order, tuples in value order.
+///
+/// Implemented by [`Instance`] itself and by [`InstanceOverlay`].  Query
+/// evaluation ([`mod@crate::cq`], [`crate::inequality`], [`crate::ucq`]) is
+/// generic over this trait, so formulas can be checked against a
+/// configuration overlay without materializing it.
+pub trait InstanceView {
+    /// Iterates over the tuples of one relation, in tuple order.
+    fn tuples_of(&self, relation: RelId) -> TupleIter<'_>;
+
+    /// The number of tuples in one relation.
+    fn count_of(&self, relation: RelId) -> usize;
+
+    /// True if the view contains the fact.
+    fn has_fact(&self, relation: RelId, tuple: &Tuple) -> bool;
+
+    /// Calls `f` once per fact, in canonical (relation name, tuple) order.
+    fn each_fact(&self, f: &mut dyn FnMut(RelId, &Tuple));
+
+    /// The active domain: every value appearing in some fact.
+    fn view_active_domain(&self) -> BTreeSet<Value> {
+        let mut dom = BTreeSet::new();
+        self.each_fact(&mut |_, tuple| {
+            dom.extend(tuple.values().iter().copied());
+        });
+        dom
+    }
+}
+
+impl InstanceView for Instance {
+    fn tuples_of(&self, relation: RelId) -> TupleIter<'_> {
+        match self.relation(relation) {
+            Some(set) => TupleIter::Set(set.iter()),
+            None => TupleIter::Empty,
+        }
+    }
+
+    fn count_of(&self, relation: RelId) -> usize {
+        self.relation_size(relation)
+    }
+
+    fn has_fact(&self, relation: RelId, tuple: &Tuple) -> bool {
+        self.contains(relation, tuple)
+    }
+
+    fn each_fact(&self, f: &mut dyn FnMut(RelId, &Tuple)) {
+        for (rel, tuple) in self.facts() {
+            f(rel, tuple);
+        }
+    }
+
+    fn view_active_domain(&self) -> BTreeSet<Value> {
+        self.active_domain()
+    }
+}
+
+/// An iterator over the tuples of one relation of an [`InstanceView`].
+#[derive(Debug, Clone)]
+pub enum TupleIter<'a> {
+    /// The relation is absent.
+    Empty,
+    /// A plain instance relation.
+    Set(btree_set::Iter<'a, Tuple>),
+    /// An overlay relation: base and delta merged in tuple order.
+    Merged(MergedTuples<'a>),
+}
+
+impl<'a> Iterator for TupleIter<'a> {
+    type Item = &'a Tuple;
+
+    fn next(&mut self) -> Option<&'a Tuple> {
+        match self {
+            TupleIter::Empty => None,
+            TupleIter::Set(iter) => iter.next(),
+            TupleIter::Merged(merged) => merged.next(),
+        }
+    }
+}
+
+/// Merges two ordered tuple sets into one ordered stream (duplicates, which a
+/// well-formed overlay never produces, are yielded once).
+#[derive(Debug, Clone)]
+pub struct MergedTuples<'a> {
+    base: Peekable<btree_set::Iter<'a, Tuple>>,
+    delta: Peekable<btree_set::Iter<'a, Tuple>>,
+}
+
+impl<'a> MergedTuples<'a> {
+    fn new(base: &'a BTreeSet<Tuple>, delta: &'a BTreeSet<Tuple>) -> Self {
+        MergedTuples {
+            base: base.iter().peekable(),
+            delta: delta.iter().peekable(),
+        }
+    }
+}
+
+impl<'a> Iterator for MergedTuples<'a> {
+    type Item = &'a Tuple;
+
+    fn next(&mut self) -> Option<&'a Tuple> {
+        match (self.base.peek(), self.delta.peek()) {
+            (Some(b), Some(d)) => match b.cmp(d) {
+                std::cmp::Ordering::Less => self.base.next(),
+                std::cmp::Ordering::Greater => self.delta.next(),
+                std::cmp::Ordering::Equal => {
+                    self.delta.next();
+                    self.base.next()
+                }
+            },
+            (Some(_), None) => self.base.next(),
+            (None, _) => self.delta.next(),
+        }
+    }
+}
+
+/// A configuration as a copy-on-write overlay: an [`Arc`]-shared base
+/// instance plus the facts added on top of it.
+///
+/// The delta never contains a fact that is already in the base (pushes of
+/// such facts are no-ops), so `fact_count` is a constant-time sum and two
+/// overlays over the same base are equal iff their deltas are.
+///
+/// # Equality and hashing
+///
+/// `Eq`/`Hash` are *representation*-structural: two overlays are equal when
+/// their bases hold the same facts (checked by pointer first) **and** their
+/// deltas hold the same facts.  For overlays sharing one base `Arc` — the
+/// frontier-set use case — this coincides with configuration equality and
+/// costs only a delta comparison; hashing never touches the base beyond its
+/// fact count.  Overlays that split the same fact set differently between
+/// base and delta compare unequal; compare [`InstanceOverlay::materialize`]
+/// outputs when set equality across different bases is needed.
+#[derive(Debug, Clone)]
+pub struct InstanceOverlay {
+    base: Arc<Instance>,
+    delta: Instance,
+}
+
+impl InstanceOverlay {
+    /// An overlay with no added facts over the given base.
+    #[must_use]
+    pub fn new(base: Arc<Instance>) -> Self {
+        InstanceOverlay {
+            base,
+            delta: Instance::new(),
+        }
+    }
+
+    /// The shared base instance.
+    #[must_use]
+    pub fn base(&self) -> &Arc<Instance> {
+        &self.base
+    }
+
+    /// The facts added on top of the base.
+    #[must_use]
+    pub fn delta(&self) -> &Instance {
+        &self.delta
+    }
+
+    /// Adds a fact on top of the base.  Returns `true` if the fact was not
+    /// already present (in the base or the delta).
+    pub fn push_fact(&mut self, relation: impl Into<RelId>, tuple: Tuple) -> bool {
+        let relation = relation.into();
+        if self.base.contains(relation, &tuple) {
+            return false;
+        }
+        self.delta.add_fact(relation, tuple)
+    }
+
+    /// True if the overlay contains the fact (in the base or the delta).
+    #[must_use]
+    pub fn contains(&self, relation: impl RelKey, tuple: &Tuple) -> bool {
+        let Some(relation) = relation.resolve_rel() else {
+            return false;
+        };
+        self.base.contains(relation, tuple) || self.delta.contains(relation, tuple)
+    }
+
+    /// Iterates over the tuples of a relation in tuple order (matching the
+    /// materialized instance).
+    #[must_use]
+    pub fn tuples(&self, relation: impl RelKey) -> TupleIter<'_> {
+        let Some(relation) = relation.resolve_rel() else {
+            return TupleIter::Empty;
+        };
+        match (self.base.relation(relation), self.delta.relation(relation)) {
+            (Some(base), Some(delta)) => TupleIter::Merged(MergedTuples::new(base, delta)),
+            (Some(set), None) | (None, Some(set)) => TupleIter::Set(set.iter()),
+            (None, None) => TupleIter::Empty,
+        }
+    }
+
+    /// The number of facts in one relation.
+    #[must_use]
+    pub fn relation_size(&self, relation: impl RelKey) -> usize {
+        let Some(relation) = relation.resolve_rel() else {
+            return 0;
+        };
+        self.base.relation_size(relation) + self.delta.relation_size(relation)
+    }
+
+    /// The number of facts across all relations (constant time: the delta is
+    /// disjoint from the base).
+    #[must_use]
+    pub fn fact_count(&self) -> usize {
+        self.base.fact_count() + self.delta.fact_count()
+    }
+
+    /// True if the overlay holds no facts at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.base.is_empty() && self.delta.is_empty()
+    }
+
+    /// Iterates over all facts as `(relation, tuple)` pairs, in exactly the
+    /// order [`Instance::facts`] would produce on the materialized instance.
+    pub fn facts(&self) -> impl Iterator<Item = (RelId, &Tuple)> {
+        RelationSlots {
+            base: self.base.entries(),
+            delta: self.delta.entries(),
+        }
+        .flat_map(|(rel, base, delta)| {
+            let iter = match (base, delta) {
+                (Some(b), Some(d)) => TupleIter::Merged(MergedTuples::new(b, d)),
+                (Some(set), None) | (None, Some(set)) => TupleIter::Set(set.iter()),
+                (None, None) => TupleIter::Empty,
+            };
+            iter.map(move |t| (rel, t))
+        })
+    }
+
+    /// The active domain of the overlaid configuration.
+    #[must_use]
+    pub fn active_domain(&self) -> BTreeSet<Value> {
+        let mut dom = self.base.active_domain();
+        dom.extend(self.delta.active_domain());
+        dom
+    }
+
+    /// Materializes the overlay into a standalone [`Instance`].
+    #[must_use]
+    pub fn materialize(&self) -> Instance {
+        let mut instance = self.base.as_ref().clone();
+        instance.union_in_place(&self.delta);
+        instance
+    }
+}
+
+impl From<Instance> for InstanceOverlay {
+    fn from(instance: Instance) -> Self {
+        InstanceOverlay::new(Arc::new(instance))
+    }
+}
+
+impl PartialEq for InstanceOverlay {
+    fn eq(&self, other: &Self) -> bool {
+        (Arc::ptr_eq(&self.base, &other.base) || self.base == other.base)
+            && self.delta == other.delta
+    }
+}
+
+impl Eq for InstanceOverlay {}
+
+impl Hash for InstanceOverlay {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Equal overlays have equal base fact sets (hence counts) and equal
+        // deltas, so this stays consistent with `Eq` while never walking the
+        // shared base.
+        self.base.fact_count().hash(state);
+        self.delta.hash(state);
+    }
+}
+
+impl fmt::Display for InstanceOverlay {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "∅");
+        }
+        let mut first = true;
+        let mut result = Ok(());
+        self.each_fact(&mut |rel, tuple| {
+            if result.is_err() {
+                return;
+            }
+            if !first {
+                result = writeln!(f);
+            }
+            first = false;
+            if result.is_ok() {
+                result = write!(f, "{rel}{tuple}");
+            }
+        });
+        result
+    }
+}
+
+impl InstanceView for InstanceOverlay {
+    fn tuples_of(&self, relation: RelId) -> TupleIter<'_> {
+        self.tuples(relation)
+    }
+
+    fn count_of(&self, relation: RelId) -> usize {
+        self.relation_size(relation)
+    }
+
+    fn has_fact(&self, relation: RelId, tuple: &Tuple) -> bool {
+        self.contains(relation, tuple)
+    }
+
+    fn each_fact(&self, f: &mut dyn FnMut(RelId, &Tuple)) {
+        for (rel, tuple) in self.facts() {
+            f(rel, tuple);
+        }
+    }
+
+    fn view_active_domain(&self) -> BTreeSet<Value> {
+        self.active_domain()
+    }
+}
+
+/// Merge-join over the relation slots of base and delta, in relation-name
+/// order (both inputs are name-sorted).
+struct RelationSlots<'a> {
+    base: &'a [(RelId, BTreeSet<Tuple>)],
+    delta: &'a [(RelId, BTreeSet<Tuple>)],
+}
+
+impl<'a> Iterator for RelationSlots<'a> {
+    type Item = (
+        RelId,
+        Option<&'a BTreeSet<Tuple>>,
+        Option<&'a BTreeSet<Tuple>>,
+    );
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match (self.base.first(), self.delta.first()) {
+            (Some((b_rel, b_set)), Some((d_rel, d_set))) => match b_rel.cmp(d_rel) {
+                std::cmp::Ordering::Less => {
+                    self.base = &self.base[1..];
+                    Some((*b_rel, Some(b_set), None))
+                }
+                std::cmp::Ordering::Greater => {
+                    self.delta = &self.delta[1..];
+                    Some((*d_rel, None, Some(d_set)))
+                }
+                std::cmp::Ordering::Equal => {
+                    self.base = &self.base[1..];
+                    self.delta = &self.delta[1..];
+                    Some((*b_rel, Some(b_set), Some(d_set)))
+                }
+            },
+            (Some((rel, set)), None) => {
+                self.base = &self.base[1..];
+                Some((*rel, Some(set), None))
+            }
+            (None, Some((rel, set))) => {
+                self.delta = &self.delta[1..];
+                Some((*rel, None, Some(set)))
+            }
+            (None, None) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    fn base() -> Arc<Instance> {
+        let mut inst = Instance::new();
+        inst.add_fact("Mobile#", tuple!["Smith", "OX13QD", "Parks Rd", 5551212]);
+        inst.add_fact("Address", tuple!["Parks Rd", "OX13QD", "Smith", 13]);
+        Arc::new(inst)
+    }
+
+    #[test]
+    fn push_fact_skips_base_and_delta_duplicates() {
+        let mut overlay = InstanceOverlay::new(base());
+        assert!(!overlay.push_fact("Address", tuple!["Parks Rd", "OX13QD", "Smith", 13]));
+        assert!(overlay.push_fact("Address", tuple!["Parks Rd", "OX13QD", "Jones", 16]));
+        assert!(!overlay.push_fact("Address", tuple!["Parks Rd", "OX13QD", "Jones", 16]));
+        assert_eq!(overlay.fact_count(), 3);
+        assert_eq!(overlay.delta().fact_count(), 1);
+    }
+
+    #[test]
+    fn lookup_api_matches_materialized_instance() {
+        let mut overlay = InstanceOverlay::new(base());
+        overlay.push_fact("Address", tuple!["Parks Rd", "OX13QD", "Jones", 16]);
+        overlay.push_fact("Extra", tuple![1]);
+        let materialized = overlay.materialize();
+
+        assert_eq!(overlay.fact_count(), materialized.fact_count());
+        assert!(overlay.contains("Address", &tuple!["Parks Rd", "OX13QD", "Jones", 16]));
+        assert!(overlay.contains("Mobile#", &tuple!["Smith", "OX13QD", "Parks Rd", 5551212]));
+        assert!(!overlay.contains("Nope", &tuple![1]));
+        assert_eq!(overlay.relation_size("Address"), 2);
+        assert_eq!(overlay.active_domain(), materialized.active_domain());
+        assert_eq!(overlay.to_string(), materialized.to_string());
+
+        let overlay_facts: Vec<(RelId, Tuple)> = overlay
+            .facts()
+            .map(|(rel, tuple)| (rel, tuple.clone()))
+            .collect();
+        let eager_facts: Vec<(RelId, Tuple)> = materialized
+            .facts()
+            .map(|(rel, tuple)| (rel, tuple.clone()))
+            .collect();
+        assert_eq!(overlay_facts, eager_facts);
+    }
+
+    #[test]
+    fn merged_relation_iteration_is_tuple_ordered() {
+        let mut overlay = InstanceOverlay::new(base());
+        overlay.push_fact("Address", tuple!["Abbey Rd", "NW80AA", "Zed", 3]);
+        let tuples: Vec<&Tuple> = overlay.tuples("Address").collect();
+        let materialized = overlay.materialize();
+        let eager: Vec<&Tuple> = materialized.tuples("Address").collect();
+        assert_eq!(tuples, eager);
+        // The delta tuple sorts first.
+        assert_eq!(tuples[0], &tuple!["Abbey Rd", "NW80AA", "Zed", 3]);
+    }
+
+    #[test]
+    fn equality_and_hash_are_cheap_on_a_shared_base() {
+        use std::collections::HashSet;
+        let shared = base();
+        let mut a = InstanceOverlay::new(shared.clone());
+        let mut b = InstanceOverlay::new(shared.clone());
+        assert_eq!(a, b);
+        a.push_fact("Extra", tuple![1]);
+        assert_ne!(a, b);
+        b.push_fact("Extra", tuple![1]);
+        assert_eq!(a, b);
+
+        let mut set = HashSet::new();
+        set.insert(a.clone());
+        assert!(set.contains(&b));
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn empty_overlay_displays_like_empty_instance() {
+        let overlay = InstanceOverlay::new(Arc::new(Instance::new()));
+        assert!(overlay.is_empty());
+        assert_eq!(overlay.to_string(), "∅");
+    }
+
+    #[test]
+    fn view_trait_agrees_between_instance_and_overlay() {
+        let mut overlay = InstanceOverlay::new(base());
+        overlay.push_fact("Address", tuple!["Parks Rd", "OX13QD", "Jones", 16]);
+        let materialized = overlay.materialize();
+        let rel = RelId::new("Address");
+        assert_eq!(overlay.count_of(rel), materialized.count_of(rel));
+        let a: Vec<&Tuple> = overlay.tuples_of(rel).collect();
+        let b: Vec<&Tuple> = materialized.tuples_of(rel).collect();
+        assert_eq!(a, b);
+        assert_eq!(
+            overlay.view_active_domain(),
+            materialized.view_active_domain()
+        );
+    }
+}

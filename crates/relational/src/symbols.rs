@@ -543,9 +543,31 @@ impl<V> IdMap<V> {
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SymbolTable {
     relations: Vec<RelId>,
-    relation_index: IdMap<usize>,
+    /// Raw pool id → dense relation index, [`NO_DENSE_INDEX`] when absent.
+    /// A direct array rather than a sorted map: the search inner loops
+    /// resolve ids to dense indices on every structure build, and raw ids are
+    /// small process-wide integers, so trading a few bytes per unused id for
+    /// branch-free O(1) lookups is the right call.
+    relation_dense: Vec<u32>,
     methods: Vec<Sym>,
-    method_index: IdMap<usize>,
+    method_dense: Vec<u32>,
+}
+
+/// Sentinel for "this raw id is not registered in the table".
+const NO_DENSE_INDEX: u32 = u32::MAX;
+
+fn dense_get(dense: &[u32], id: u32) -> Option<usize> {
+    match dense.get(id as usize) {
+        Some(&index) if index != NO_DENSE_INDEX => Some(index as usize),
+        _ => None,
+    }
+}
+
+fn dense_set(dense: &mut Vec<u32>, id: u32, index: usize) {
+    if dense.len() <= id as usize {
+        dense.resize(id as usize + 1, NO_DENSE_INDEX);
+    }
+    dense[id as usize] = u32::try_from(index).expect("dense index overflow");
 }
 
 impl SymbolTable {
@@ -572,23 +594,23 @@ impl SymbolTable {
     /// Registers a relation, returning its dense index (existing index if the
     /// relation is already registered).
     pub fn add_relation(&mut self, relation: RelId) -> usize {
-        if let Some(&dense) = self.relation_index.get(relation.id()) {
+        if let Some(dense) = dense_get(&self.relation_dense, relation.id()) {
             return dense;
         }
         let dense = self.relations.len();
         self.relations.push(relation);
-        self.relation_index.insert(relation.id(), dense);
+        dense_set(&mut self.relation_dense, relation.id(), dense);
         dense
     }
 
     /// Registers an access-method name, returning its dense index.
     pub fn add_method(&mut self, method: Sym) -> usize {
-        if let Some(&dense) = self.method_index.get(method.id()) {
+        if let Some(dense) = dense_get(&self.method_dense, method.id()) {
             return dense;
         }
         let dense = self.methods.len();
         self.methods.push(method);
-        self.method_index.insert(method.id(), dense);
+        dense_set(&mut self.method_dense, method.id(), dense);
         dense
     }
 
@@ -604,16 +626,17 @@ impl SymbolTable {
         &self.methods
     }
 
-    /// The dense index of a relation in this table, if registered.
+    /// The dense index of a relation in this table, if registered.  A direct
+    /// array lookup by raw id — constant time, no binary search.
     #[must_use]
     pub fn relation_index(&self, relation: RelId) -> Option<usize> {
-        self.relation_index.get(relation.id()).copied()
+        dense_get(&self.relation_dense, relation.id())
     }
 
     /// The dense index of a method name in this table, if registered.
     #[must_use]
     pub fn method_index(&self, method: Sym) -> Option<usize> {
-        self.method_index.get(method.id()).copied()
+        dense_get(&self.method_dense, method.id())
     }
 
     /// Number of registered relations.

@@ -15,7 +15,7 @@ use crate::atom::Atom;
 use crate::cq::ConjunctiveQuery;
 use crate::error::RelationalError;
 use crate::inequality::InequalityCq;
-use crate::instance::Instance;
+use crate::overlay::InstanceView;
 use crate::symbols::{RelId, VarId};
 use crate::term::Term;
 use crate::tuple::Tuple;
@@ -265,24 +265,24 @@ impl PosFormula {
             .collect()
     }
 
-    /// Evaluates the *sentence* (closed formula) on an instance.
+    /// Evaluates the *sentence* (closed formula) on an instance (or any
+    /// [`InstanceView`], such as a configuration overlay).
     ///
     /// Formulas with free variables are existentially closed first, matching
     /// the paper's convention that `L` atoms inside `AccLTL` are sentences.
+    /// Hot loops that evaluate the same sentence against many structures
+    /// should go through [`CompiledSentence`], which performs the DNF
+    /// compilation once.
     #[must_use]
-    pub fn holds(&self, instance: &Instance) -> bool {
-        let closed = self.clone().existential_closure();
-        closed
-            .to_inequality_union()
-            .iter()
-            .any(|icq| icq.holds(instance))
+    pub fn holds(&self, instance: &impl InstanceView) -> bool {
+        CompiledSentence::compile(self).holds(instance)
     }
 
     /// Evaluates the formula's free variables on an instance, returning the
     /// set of satisfying assignments projected onto the sorted free-variable
     /// list.
     #[must_use]
-    pub fn evaluate(&self, instance: &Instance) -> BTreeSet<Tuple> {
+    pub fn evaluate(&self, instance: &impl InstanceView) -> BTreeSet<Tuple> {
         self.to_inequality_union()
             .iter()
             .flat_map(|icq| icq.evaluate(instance))
@@ -478,6 +478,37 @@ fn map_vars<F: Fn(&str) -> String>(formula: &PosFormula, rename: &F) -> PosFormu
     }
 }
 
+/// A positive sentence compiled to its DNF of conjunctive queries with
+/// inequalities, ready for repeated evaluation.
+///
+/// [`PosFormula::holds`] existentially closes and DNF-compiles the formula on
+/// every call; the bounded searches evaluate the *same* handful of sentences
+/// against thousands of transition structures, so they compile each sentence
+/// once up front and reuse it through this type.
+#[derive(Debug, Clone)]
+pub struct CompiledSentence {
+    disjuncts: Vec<InequalityCq>,
+}
+
+impl CompiledSentence {
+    /// Existentially closes and DNF-compiles a formula.
+    #[must_use]
+    pub fn compile(formula: &PosFormula) -> Self {
+        let closed = formula.clone().existential_closure();
+        CompiledSentence {
+            disjuncts: closed.to_inequality_union(),
+        }
+    }
+
+    /// True if the compiled sentence holds on the instance (or any
+    /// [`InstanceView`]).  Agrees with [`PosFormula::holds`] on the source
+    /// formula by construction.
+    #[must_use]
+    pub fn holds(&self, instance: &impl InstanceView) -> bool {
+        self.disjuncts.iter().any(|icq| icq.holds(instance))
+    }
+}
+
 /// A union of conjunctive queries (all sharing the same head arity).
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct UnionOfCqs {
@@ -500,15 +531,15 @@ impl UnionOfCqs {
         }
     }
 
-    /// True if some disjunct holds on the instance.
+    /// True if some disjunct holds on the instance (or any [`InstanceView`]).
     #[must_use]
-    pub fn holds(&self, instance: &Instance) -> bool {
+    pub fn holds(&self, instance: &impl InstanceView) -> bool {
         self.disjuncts.iter().any(|d| d.holds(instance))
     }
 
     /// Evaluates all disjuncts and unions their answers.
     #[must_use]
-    pub fn evaluate(&self, instance: &Instance) -> BTreeSet<Tuple> {
+    pub fn evaluate(&self, instance: &impl InstanceView) -> BTreeSet<Tuple> {
         self.disjuncts
             .iter()
             .flat_map(|d| d.evaluate(instance))
@@ -549,6 +580,7 @@ impl fmt::Display for UnionOfCqs {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::instance::Instance;
     use crate::{atom, tuple};
 
     fn inst() -> Instance {

@@ -1,0 +1,236 @@
+//! Property tests for the copy-on-write configuration overlays and the
+//! shared parallel frontier engine: overlays must be observationally
+//! identical to eagerly materialized configurations, and search verdicts must
+//! not depend on the worker-thread count.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use accltl_core::automata::{accltl_plus_to_automaton, bounded_emptiness, EmptinessConfig};
+use accltl_core::prelude::*;
+use accltl_core::relational::overlay::InstanceOverlay;
+
+/// Strategy: a random access path over the phone-directory schema — each step
+/// is an AcM1 or AcM2 access whose response reveals zero or more compatible
+/// tuples.
+fn random_path() -> impl Strategy<Value = AccessPath> {
+    let name = prop_oneof![Just("Smith"), Just("Jones"), Just("Doe")];
+    let step = (name, any::<bool>(), 0usize..3).prop_map(|(name, use_acm1, hits)| {
+        if use_acm1 {
+            let response: BTreeSet<Tuple> = (0..hits)
+                .map(|i| tuple![name, "OX13QD", "Parks Rd", 5_551_212 + i as i64])
+                .collect();
+            (Access::new("AcM1", tuple![name]), response)
+        } else {
+            let response: BTreeSet<Tuple> = (0..hits)
+                .map(|i| tuple!["Parks Rd", "OX13QD", name, i as i64])
+                .collect();
+            (Access::new("AcM2", tuple!["Parks Rd", "OX13QD"]), response)
+        }
+    });
+    proptest::collection::vec(step, 0..5).prop_map(AccessPath::from_steps)
+}
+
+/// Strategy: a random initial instance sharing values with the paths above.
+fn random_initial() -> impl Strategy<Value = Instance> {
+    proptest::collection::vec(any::<bool>(), 0..3).prop_map(|picks| {
+        let mut initial = Instance::new();
+        for (i, pick) in picks.into_iter().enumerate() {
+            if pick {
+                initial.add_fact("Address", tuple!["High St", "OX26NN", "Seed", i as i64]);
+            } else {
+                initial.add_fact("Mobile#", tuple!["Smith", "OX13QD", "Parks Rd", 5_551_212]);
+            }
+        }
+        initial
+    })
+}
+
+/// Strategy: a small zero-ary-fragment formula over the phone-directory
+/// vocabulary (satisfiable and unsatisfiable shapes mixed).
+fn random_zero_ary_formula() -> impl Strategy<Value = AccLtl> {
+    let jones = || {
+        AccLtl::atom(PosFormula::exists(
+            vec!["s", "p", "h"],
+            post_atom(
+                "Address",
+                vec![
+                    Term::var("s"),
+                    Term::var("p"),
+                    Term::constant("Jones"),
+                    Term::var("h"),
+                ],
+            ),
+        ))
+    };
+    let mobile = || {
+        AccLtl::atom(PosFormula::exists(
+            vec!["n", "p", "s", "ph"],
+            pre_atom(
+                "Mobile#",
+                vec![
+                    Term::var("n"),
+                    Term::var("p"),
+                    Term::var("s"),
+                    Term::var("ph"),
+                ],
+            ),
+        ))
+    };
+    prop_oneof![
+        Just(AccLtl::finally(jones())),
+        Just(AccLtl::next(mobile())),
+        Just(AccLtl::and(vec![
+            AccLtl::finally(jones()),
+            AccLtl::finally(mobile()),
+        ])),
+        Just(AccLtl::and(vec![
+            AccLtl::globally(AccLtl::not(jones())),
+            AccLtl::finally(jones()),
+        ])),
+        Just(AccLtl::until(
+            AccLtl::not(mobile()),
+            AccLtl::atom(isbind_prop("AcM2")),
+        )),
+    ]
+}
+
+fn verdict_discriminant(outcome: &SatOutcome) -> u8 {
+    match outcome {
+        SatOutcome::Satisfiable { .. } => 0,
+        SatOutcome::Unsatisfiable => 1,
+        SatOutcome::Unknown { .. } => 2,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The overlay configuration sequence is observationally identical to the
+    /// eagerly materialized one: fact set, iteration order and Display.
+    #[test]
+    fn overlay_configurations_match_materialized_instances(
+        path in random_path(),
+        initial in random_initial(),
+    ) {
+        let schema = phone_directory_access_schema();
+        let base = Arc::new(initial.clone());
+        let overlays = path.overlay_configurations(&schema, &base).unwrap();
+        let eager = path.configurations(&schema, &initial).unwrap();
+        prop_assert_eq!(overlays.len(), eager.len());
+        for (overlay, instance) in overlays.iter().zip(&eager) {
+            // Same fact set (materialization equality covers set equality).
+            prop_assert_eq!(&overlay.materialize(), instance);
+            // Same iteration order, fact by fact.
+            let overlay_facts: Vec<_> = overlay
+                .facts()
+                .map(|(rel, t)| (rel, t.clone()))
+                .collect();
+            let eager_facts: Vec<_> = instance
+                .facts()
+                .map(|(rel, t)| (rel, t.clone()))
+                .collect();
+            prop_assert_eq!(overlay_facts, eager_facts);
+            // Same Display.
+            prop_assert_eq!(overlay.to_string(), instance.to_string());
+            // Same lookup surface.
+            prop_assert_eq!(overlay.fact_count(), instance.fact_count());
+            prop_assert_eq!(overlay.active_domain(), instance.active_domain());
+        }
+        // The final configuration is computed directly by `configuration`.
+        let direct = path.configuration(&schema, &initial).unwrap();
+        prop_assert_eq!(&direct, eager.last().unwrap());
+    }
+
+    /// Overlays over a shared base key hash sets exactly like their deltas.
+    #[test]
+    fn overlay_equality_follows_fact_sets(path in random_path()) {
+        let schema = phone_directory_access_schema();
+        let base = Arc::new(Instance::new());
+        let overlays = path.overlay_configurations(&schema, &base).unwrap();
+        let set: std::collections::HashSet<InstanceOverlay> =
+            overlays.iter().cloned().collect();
+        let distinct: std::collections::HashSet<Instance> =
+            overlays.iter().map(InstanceOverlay::materialize).collect();
+        prop_assert_eq!(set.len(), distinct.len());
+    }
+
+    /// The bounded satisfiability search returns the same verdict on 1 and 4
+    /// worker threads, and every witness validates and satisfies the formula.
+    #[test]
+    fn bounded_search_verdicts_are_thread_count_independent(
+        formula in random_zero_ary_formula(),
+        initial in random_initial(),
+    ) {
+        let schema = phone_directory_access_schema();
+        let outcomes: Vec<SatOutcome> = [1usize, 4]
+            .iter()
+            .map(|&threads| {
+                let config = BoundedSearchConfig { threads, ..BoundedSearchConfig::default() };
+                accltl_core::logic::solver::sat_zero_fragment(
+                    &formula, &schema, &initial, &config,
+                )
+                .expect("formula is in the 0-ary fragment")
+            })
+            .collect();
+        prop_assert_eq!(
+            verdict_discriminant(&outcomes[0]),
+            verdict_discriminant(&outcomes[1])
+        );
+        for outcome in &outcomes {
+            if let SatOutcome::Satisfiable { witness } = outcome {
+                prop_assert!(witness.validate(&schema).is_ok());
+                prop_assert!(formula
+                    .holds_on_path(witness, &schema, &initial, true)
+                    .unwrap());
+            }
+        }
+    }
+
+    /// The A-automaton emptiness search agrees across thread counts, with
+    /// genuine witnesses.
+    #[test]
+    fn emptiness_verdicts_are_thread_count_independent(
+        satisfiable in any::<bool>(),
+        initial in random_initial(),
+    ) {
+        let schema = phone_directory_access_schema();
+        let jones = AccLtl::atom(PosFormula::exists(
+            vec!["s", "p", "h"],
+            post_atom(
+                "Address",
+                vec![
+                    Term::var("s"),
+                    Term::var("p"),
+                    Term::constant("Jones"),
+                    Term::var("h"),
+                ],
+            ),
+        ));
+        let formula = if satisfiable {
+            AccLtl::finally(jones)
+        } else {
+            AccLtl::and(vec![
+                AccLtl::globally(AccLtl::not(jones.clone())),
+                AccLtl::finally(jones),
+            ])
+        };
+        let automaton = accltl_plus_to_automaton(&formula);
+        let outcomes: Vec<_> = [1usize, 4]
+            .iter()
+            .map(|&threads| {
+                let config = EmptinessConfig { threads, ..EmptinessConfig::default() };
+                bounded_emptiness(&automaton, &schema, &initial, &config)
+            })
+            .collect();
+        prop_assert_eq!(&outcomes[0], &outcomes[1]);
+        for outcome in &outcomes {
+            if let accltl_core::automata::EmptinessOutcome::NonEmpty { witness } = outcome {
+                let transitions = witness.transitions(&schema, &initial).unwrap();
+                prop_assert!(automaton.accepts_transitions(&transitions));
+            }
+        }
+    }
+}

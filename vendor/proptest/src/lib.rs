@@ -207,6 +207,23 @@ pub mod strategy {
         }
     }
 
+    impl Strategy for Range<usize> {
+        type Value = usize;
+
+        fn generate(&self, rng: &mut TestRng) -> usize {
+            self.start + rng.below(self.end - self.start)
+        }
+    }
+
+    impl Strategy for Range<i64> {
+        type Value = i64;
+
+        fn generate(&self, rng: &mut TestRng) -> i64 {
+            let width = (self.end - self.start) as usize;
+            self.start + rng.below(width) as i64
+        }
+    }
+
     impl<A: Strategy, B: Strategy> Strategy for (A, B) {
         type Value = (A::Value, B::Value);
 
