@@ -62,8 +62,9 @@ pub mod prelude {
         Access, AccessMethod, AccessPath, AccessSchema, LtsExplorer, LtsOptions, ResponsePolicy,
     };
     pub use accltl_relational::{
-        atom, cq, tuple, Atom, ConjunctiveQuery, DisjointnessConstraint, FunctionalDependency,
-        Instance, PosFormula, RelId, Schema, Sym, SymbolTable, Term, Tuple, UnionOfCqs, Value,
+        atom, cq, tuple, Atom, ConjunctiveQuery, DatalogProgram, DatalogRule,
+        DisjointnessConstraint, FunctionalDependency, Instance, InstanceOverlay, InstanceView,
+        PosFormula, RelId, ScanView, Schema, Sym, SymbolTable, Term, Tuple, UnionOfCqs, Value,
         VarId,
     };
 }

@@ -337,6 +337,17 @@ impl fmt::Display for ConjunctiveQuery {
 /// [`Instance`] and on a configuration overlay without materializing it.
 /// The callback is invoked once per homomorphism; returning `true` stops the
 /// enumeration early (used by existence checks).
+///
+/// Atom order is chosen *dynamically*: at every level the search picks the
+/// remaining atom with the fewest estimated candidates — the relation size
+/// for unconstrained atoms, the minimum per-position selectivity
+/// ([`InstanceView::selectivity`]) over its bound positions (constants and
+/// already-assigned variables) for constrained ones — then enumerates that
+/// atom's candidates via [`InstanceView::tuples_matching_all`], which
+/// intersects posting
+/// lists when the relation is indexed and falls back to a filtered scan
+/// otherwise.  Estimates are exact in both modes, so the enumeration order
+/// is identical whether indexes are enabled or not.
 pub fn for_each_homomorphism<V: InstanceView + ?Sized>(
     atoms: &[Atom],
     instance: &V,
@@ -344,26 +355,39 @@ pub fn for_each_homomorphism<V: InstanceView + ?Sized>(
     callback: &mut dyn FnMut(&Assignment) -> bool,
 ) {
     let mut assignment = initial.clone();
-    // Order atoms so that the most constrained (fewest candidate tuples) come
-    // first; a cheap heuristic that materially helps on larger instances.
-    let mut order: Vec<&Atom> = atoms.iter().collect();
-    order.sort_by_key(|a| instance.count_of(a.predicate));
-    search(&order, 0, instance, &mut assignment, callback);
+    // When every mentioned relation is below the index cutoff, per-node
+    // selectivity estimates all degenerate to the (static) relation counts,
+    // so the dynamic argmin provably reproduces the stable ascending-count
+    // order — take it directly and skip the per-node machinery.  The guard
+    // evaluations of the bounded searches live entirely on this path.  The
+    // predicate depends only on relation sizes, never on whether indexes are
+    // enabled, so indexed and scan evaluation still branch identically.
+    let mut order: Vec<(usize, &Atom)> = atoms
+        .iter()
+        .map(|a| (instance.count_of(a.predicate), a))
+        .collect();
+    if order.iter().all(|&(c, _)| c < crate::index::INDEX_CUTOFF) {
+        order.sort_by_key(|&(c, _)| c);
+        search_static(&order, 0, instance, &mut assignment, callback);
+        return;
+    }
+    let mut remaining: Vec<&Atom> = atoms.iter().collect();
+    search(&mut remaining, instance, &mut assignment, callback);
 }
 
-fn search<V: InstanceView + ?Sized>(
-    atoms: &[&Atom],
-    index: usize,
+/// The small-instance fast path: fixed ascending-count atom order, plain
+/// relation scans, per-tuple arity checks.
+fn search_static<V: InstanceView + ?Sized>(
+    atoms: &[(usize, &Atom)],
+    at: usize,
     instance: &V,
     assignment: &mut Assignment,
     callback: &mut dyn FnMut(&Assignment) -> bool,
 ) -> bool {
-    if index == atoms.len() {
+    let Some((_, atom)) = atoms.get(at) else {
         return callback(assignment);
-    }
-    let atom = atoms[index];
-    let candidates: Vec<&Tuple> = instance.tuples_of(atom.predicate).collect();
-    'tuples: for tuple in candidates {
+    };
+    'tuples: for tuple in instance.tuples_of(atom.predicate) {
         if tuple.arity() != atom.arity() {
             continue;
         }
@@ -390,7 +414,138 @@ fn search<V: InstanceView + ?Sized>(
                 },
             }
         }
-        if search(atoms, index + 1, instance, assignment, callback) {
+        if search_static(atoms, at + 1, instance, assignment, callback) {
+            return true;
+        }
+        undo(assignment, &newly_bound);
+    }
+    false
+}
+
+/// Collects the bound `(position, value)` pairs of `atom` under `assignment`
+/// into `bound`, and returns the candidate-count estimate used for atom
+/// selection: the relation size when nothing is bound (or the relation is
+/// small enough that a scan wins anyway), the minimum bound-position
+/// selectivity otherwise.
+fn atom_estimate<V: InstanceView + ?Sized>(
+    atom: &Atom,
+    instance: &V,
+    assignment: &Assignment,
+    bound: &mut Vec<(usize, Value)>,
+) -> usize {
+    bound.clear();
+    for (position, term) in atom.terms.iter().enumerate() {
+        match term {
+            Term::Const(c) => bound.push((position, *c)),
+            Term::Var(v) => {
+                if let Some(value) = assignment.get(*v) {
+                    bound.push((position, *value));
+                }
+            }
+        }
+    }
+    let count = instance.count_of(atom.predicate);
+    if bound.is_empty() || count < crate::index::INDEX_CUTOFF {
+        return count;
+    }
+    bound
+        .iter()
+        .map(|(position, value)| instance.selectivity(atom.predicate, *position, value))
+        .min()
+        .unwrap_or(count)
+}
+
+fn search<V: InstanceView + ?Sized>(
+    remaining: &mut Vec<&Atom>,
+    instance: &V,
+    assignment: &mut Assignment,
+    callback: &mut dyn FnMut(&Assignment) -> bool,
+) -> bool {
+    if remaining.is_empty() {
+        return callback(assignment);
+    }
+    // Pick the most constrained remaining atom (ties keep the earliest, so
+    // on small instances the order degenerates to the former static
+    // ascending-count sort).
+    let mut scratch: Vec<(usize, Value)> = Vec::new();
+    let mut best_bound: Vec<(usize, Value)> = Vec::new();
+    let mut best = 0usize;
+    let mut best_estimate = usize::MAX;
+    for (i, atom) in remaining.iter().enumerate() {
+        let estimate = atom_estimate(atom, instance, assignment, &mut scratch);
+        if estimate < best_estimate {
+            best = i;
+            best_estimate = estimate;
+            std::mem::swap(&mut best_bound, &mut scratch);
+        }
+    }
+    // `remove` (not `swap_remove`) keeps the original relative order of the
+    // rest, so tie-breaking stays stable down the tree.
+    let atom = remaining.remove(best);
+    let known_arity = instance.known_uniform_arity(atom.predicate);
+    let stopped = if known_arity.is_some_and(|a| a != atom.arity()) {
+        // Arity check hoisted to the relation level: nothing can match.
+        false
+    } else {
+        let check_arity = known_arity != Some(atom.arity());
+        let candidates = if best_bound.is_empty() {
+            crate::index::MatchIter::all(instance.tuples_of(atom.predicate))
+        } else {
+            instance.tuples_matching_all(atom.predicate, &best_bound)
+        };
+        extend_with_candidates(
+            atom,
+            candidates,
+            check_arity,
+            remaining,
+            instance,
+            assignment,
+            callback,
+        )
+    };
+    remaining.insert(best, atom);
+    stopped
+}
+
+/// Tries every candidate tuple for `atom`, binding its variables and
+/// recursing; returns `true` if the callback stopped the enumeration.
+fn extend_with_candidates<V: InstanceView + ?Sized>(
+    atom: &Atom,
+    candidates: crate::index::MatchIter<'_>,
+    check_arity: bool,
+    remaining: &mut Vec<&Atom>,
+    instance: &V,
+    assignment: &mut Assignment,
+    callback: &mut dyn FnMut(&Assignment) -> bool,
+) -> bool {
+    'tuples: for tuple in candidates {
+        if check_arity && tuple.arity() != atom.arity() {
+            continue;
+        }
+        let mut newly_bound: Vec<VarId> = Vec::new();
+        for (term, value) in atom.terms.iter().zip(tuple.values()) {
+            match term {
+                Term::Const(c) => {
+                    if c != value {
+                        undo(assignment, &newly_bound);
+                        continue 'tuples;
+                    }
+                }
+                Term::Var(v) => match assignment.get(*v) {
+                    Some(bound) => {
+                        if bound != value {
+                            undo(assignment, &newly_bound);
+                            continue 'tuples;
+                        }
+                    }
+                    None => {
+                        assignment.insert(*v, *value);
+                        newly_bound.push(*v);
+                    }
+                },
+            }
+        }
+        if search(remaining, instance, assignment, callback) {
             return true;
         }
         undo(assignment, &newly_bound);

@@ -13,7 +13,7 @@ use crate::atom::Atom;
 use crate::cq::{for_each_homomorphism, Assignment};
 use crate::error::RelationalError;
 use crate::instance::Instance;
-use crate::symbols::{IdMap, RelId};
+use crate::symbols::RelId;
 use crate::term::Term;
 use crate::tuple::Tuple;
 use crate::Result;
@@ -174,140 +174,142 @@ impl DatalogProgram {
     /// Computes the least fixpoint of the program over the given extensional
     /// database using semi-naive evaluation.  The result contains both the
     /// extensional facts and all derived intensional facts.
+    ///
+    /// Evaluation is an index-to-index hash join: each semi-naive round
+    /// seeds one body atom from the previous round's delta instance and
+    /// joins the remaining atoms against the accumulating total through the
+    /// per-position value indexes (see [`crate::index`]), which the total
+    /// maintains incrementally across rounds.  No combined Δ-view instance
+    /// is ever materialized.
     #[must_use]
     pub fn fixpoint(&self, edb: &Instance) -> Instance {
-        let mut total = edb.clone();
-        let vocab = DeltaVocab::new(&self.rules);
-        // Initial round: naive application of every rule on the EDB.
-        let mut delta = Instance::new();
-        for rule in &self.rules {
-            for fact in apply_rule(rule, &total, None, &vocab) {
-                if !total.contains(fact.0, &fact.1) {
-                    delta.add_fact(fact.0, fact.1);
-                }
-            }
-        }
-        for (rel, tuple) in delta.facts() {
-            total.add_fact(rel, tuple.clone());
-        }
-
-        // Semi-naive rounds: each new derivation must use at least one fact
-        // from the previous round's delta.
-        while !delta.is_empty() {
-            let mut next_delta = Instance::new();
-            for rule in &self.rules {
-                for fact in apply_rule(rule, &total, Some(&delta), &vocab) {
-                    if !total.contains(fact.0, &fact.1) {
-                        next_delta.add_fact(fact.0, fact.1);
-                    }
-                }
-            }
-            for (rel, tuple) in next_delta.facts() {
-                total.add_fact(rel, tuple.clone());
-            }
-            delta = next_delta;
-        }
-        total
+        self.saturate(edb, false).0
     }
 
     /// True if the goal predicate is non-empty in the fixpoint over `edb`.
+    /// Short-circuits: the fixpoint stops as soon as a goal fact is derived
+    /// (or is already present in `edb`), without saturating the rest.
     #[must_use]
     pub fn accepts(&self, edb: &Instance) -> bool {
-        // Short-circuit: stop as soon as a goal fact appears.
-        let fixpoint = self.fixpoint(edb);
-        fixpoint.relation_size(self.goal) > 0
+        self.saturate(edb, true).1
     }
-}
 
-impl fmt::Display for DatalogProgram {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "goal: {}", self.goal)?;
+    /// Runs semi-naive evaluation.  With `stop_at_goal`, returns as soon as
+    /// a goal fact is seen; the returned instance is then only partially
+    /// saturated.  The second component reports whether the goal relation is
+    /// non-empty.
+    fn saturate(&self, edb: &Instance, stop_at_goal: bool) -> (Instance, bool) {
+        let mut total = edb.clone();
+        if stop_at_goal && total.relation_size(self.goal) > 0 {
+            return (total, true);
+        }
+        // Per rule, the Δ-seeded variants: body atom `i` is matched against
+        // the delta, the remaining atoms join against the full total.
+        let variants: Vec<Vec<(&Atom, Vec<Atom>)>> = self
+            .rules
+            .iter()
+            .map(|rule| {
+                (0..rule.body.len())
+                    .map(|i| {
+                        let rest: Vec<Atom> = rule
+                            .body
+                            .iter()
+                            .enumerate()
+                            .filter(|&(j, _)| j != i)
+                            .map(|(_, atom)| atom.clone())
+                            .collect();
+                        (&rule.body[i], rest)
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // Initial round: naive application of every rule on the EDB.
+        let mut delta = Instance::new();
         for rule in &self.rules {
-            writeln!(f, "{rule}")?;
+            let stopped = derive(rule, &rule.body, &total, &Assignment::new(), &mut {
+                let total = &total;
+                let delta = &mut delta;
+                move |rel, tuple| {
+                    let is_goal = stop_at_goal && rel == self.goal;
+                    if !total.contains(rel, &tuple) {
+                        delta.add_fact(rel, tuple);
+                    }
+                    is_goal
+                }
+            });
+            if stopped {
+                merge(&mut total, &delta);
+                return (total, true);
+            }
         }
-        Ok(())
-    }
-}
+        merge(&mut total, &delta);
 
-/// Marker prefix for the "delta view" of a predicate used during semi-naive
-/// evaluation.
-const DELTA_PREFIX: &str = "\u{0394}";
-
-/// The interned id of the Δ-view of a predicate.  Interning is memoised by the
-/// process-wide pool; [`DeltaVocab`] additionally caches the mapping per
-/// fixpoint run so the semi-naive inner loop never formats a string.
-fn delta_rel(rel: RelId) -> RelId {
-    RelId::new(&format!("{DELTA_PREFIX}{rel}"))
-}
-
-/// Per-fixpoint cache of `R → ΔR` ids, resolved once for every predicate the
-/// program mentions.
-struct DeltaVocab {
-    map: IdMap<RelId>,
-}
-
-impl DeltaVocab {
-    fn new(rules: &[DatalogRule]) -> Self {
-        let mut map = IdMap::new();
-        for rule in rules {
-            for atom in std::iter::once(&rule.head).chain(&rule.body) {
-                if map.get(atom.predicate.id()).is_none() {
-                    map.insert(atom.predicate.id(), delta_rel(atom.predicate));
+        // Semi-naive rounds: each new derivation must use at least one fact
+        // from the previous round's delta (`total` already contains it).
+        while !delta.is_empty() {
+            let mut next = Instance::new();
+            for (rule, seeded) in self.rules.iter().zip(&variants) {
+                for (seed, rest) in seeded {
+                    if delta.relation_size(seed.predicate) == 0 {
+                        continue;
+                    }
+                    let mut stopped = false;
+                    // Seed the Δ-atom from the delta's index, then join the
+                    // rest of the body against the total's index.
+                    for_each_homomorphism(
+                        std::slice::from_ref(seed),
+                        &delta,
+                        &Assignment::new(),
+                        &mut |seed_assignment| {
+                            stopped = derive(rule, rest, &total, seed_assignment, &mut {
+                                let total = &total;
+                                let next = &mut next;
+                                move |rel, tuple| {
+                                    let is_goal = stop_at_goal && rel == self.goal;
+                                    if !total.contains(rel, &tuple) {
+                                        next.add_fact(rel, tuple);
+                                    }
+                                    is_goal
+                                }
+                            });
+                            stopped
+                        },
+                    );
+                    if stopped {
+                        merge(&mut total, &next);
+                        return (total, true);
+                    }
                 }
             }
+            merge(&mut total, &next);
+            delta = next;
         }
-        DeltaVocab { map }
-    }
-
-    fn of(&self, rel: RelId) -> RelId {
-        match self.map.get(rel.id()) {
-            Some(delta) => *delta,
-            None => delta_rel(rel),
-        }
+        let accepted = total.relation_size(self.goal) > 0;
+        (total, accepted)
     }
 }
 
-/// Applies a rule against `total`, optionally requiring that at least one body
-/// atom is matched against `delta` (semi-naive restriction).
-fn apply_rule(
-    rule: &DatalogRule,
-    total: &Instance,
-    delta: Option<&Instance>,
-    vocab: &DeltaVocab,
-) -> Vec<(RelId, Tuple)> {
-    let mut derived = Vec::new();
-    match delta {
-        None => {
-            collect_heads(rule, &rule.body, total, &mut derived);
-        }
-        Some(delta) => {
-            // Build a combined instance where delta facts are additionally
-            // visible under Δ-prefixed predicate names, then for each body
-            // position i rewrite that atom to use the Δ view.
-            let mut combined = total.clone();
-            for (rel, tuple) in delta.facts() {
-                combined.add_fact(vocab.of(rel), tuple.clone());
-            }
-            for i in 0..rule.body.len() {
-                if delta.relation_size(rule.body[i].predicate) == 0 {
-                    continue;
-                }
-                let mut body = rule.body.clone();
-                body[i] = body[i].with_predicate(vocab.of(body[i].predicate));
-                collect_heads(rule, &body, &combined, &mut derived);
-            }
-        }
+/// Adds every fact of `delta` to `total` (via [`Instance::add_fact`], so the
+/// total's incremental index stays live).
+fn merge(total: &mut Instance, delta: &Instance) {
+    for (rel, tuple) in delta.facts() {
+        total.add_fact(rel, tuple.clone());
     }
-    derived
 }
 
-fn collect_heads(
+/// Enumerates homomorphisms of `body` into `instance` extending `initial`
+/// and feeds every instantiated head to `sink`; stops (returning `true`) as
+/// soon as the sink asks to.
+fn derive(
     rule: &DatalogRule,
     body: &[Atom],
     instance: &Instance,
-    derived: &mut Vec<(RelId, Tuple)>,
-) {
-    for_each_homomorphism(body, instance, &Assignment::new(), &mut |assignment| {
+    initial: &Assignment,
+    sink: &mut dyn FnMut(RelId, Tuple) -> bool,
+) -> bool {
+    let mut stopped = false;
+    for_each_homomorphism(body, instance, initial, &mut |assignment| {
         let tuple: Tuple = rule
             .head
             .terms
@@ -320,9 +322,20 @@ fn collect_heads(
                     .expect("safe rule: head variables bound by body"),
             })
             .collect();
-        derived.push((rule.head.predicate, tuple));
-        false
+        stopped = sink(rule.head.predicate, tuple);
+        stopped
     });
+    stopped
+}
+
+impl fmt::Display for DatalogProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "goal: {}", self.goal)?;
+        for rule in &self.rules {
+            writeln!(f, "{rule}")?;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

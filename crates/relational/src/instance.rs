@@ -2,7 +2,10 @@
 
 use std::collections::BTreeSet;
 use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::OnceLock;
 
+use crate::index::{indexing_enabled, InstanceIndex, RelationIndex, INDEX_CUTOFF};
 use crate::schema::Schema;
 use crate::symbols::{RelId, RelKey};
 use crate::tuple::Tuple;
@@ -30,12 +33,67 @@ use crate::Result;
 /// Datalog `Background`/`View` predicates) that are derived from a base
 /// schema.  Relation ids are process-wide (see [`crate::symbols`]), so
 /// instances from different schemas can be unioned and compared safely.
-#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Default)]
 pub struct Instance {
     /// Sorted by relation name (`RelId` order); never contains an empty tuple
     /// set (so that structural equality coincides with set-of-facts
-    /// equality, and the derived `Ord`/`Hash` are canonical).
+    /// equality, and `Ord`/`Hash` are canonical).
     facts: Vec<(RelId, BTreeSet<Tuple>)>,
+    /// Lazily built per-position value index (see [`crate::index`]):
+    /// populated on the first indexed lookup against a relation of at least
+    /// [`INDEX_CUTOFF`] tuples, maintained incrementally by
+    /// [`Instance::add_fact`], and dropped by every other mutation (and by
+    /// `Clone`).  Never consulted by `Eq`/`Ord`/`Hash`, which remain pure
+    /// fact-set comparisons.
+    index: OnceLock<InstanceIndex>,
+}
+
+impl fmt::Debug for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Only the fact sets: the derived index is build-state-dependent and
+        // its posting maps print in hash order, so including it would make
+        // `{:?}` output differ between `Eq`-equal instances.
+        f.debug_struct("Instance")
+            .field("facts", &self.facts)
+            .finish()
+    }
+}
+
+impl Clone for Instance {
+    fn clone(&self) -> Self {
+        // The index is derived data; clones rebuild it lazily on demand
+        // rather than paying an eager deep copy.
+        Instance {
+            facts: self.facts.clone(),
+            index: OnceLock::new(),
+        }
+    }
+}
+
+impl PartialEq for Instance {
+    fn eq(&self, other: &Self) -> bool {
+        self.facts == other.facts
+    }
+}
+
+impl Eq for Instance {}
+
+impl PartialOrd for Instance {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Instance {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.facts.cmp(&other.facts)
+    }
+}
+
+impl Hash for Instance {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.facts.hash(state);
+    }
 }
 
 impl Instance {
@@ -58,19 +116,74 @@ impl Instance {
         self.slot(relation).ok().map(|i| &self.facts[i].1)
     }
 
-    fn tuple_set_mut(&mut self, relation: RelId) -> &mut BTreeSet<Tuple> {
-        match self.slot(relation) {
-            Ok(found) => &mut self.facts[found].1,
+    /// The mutable tuple set of a relation, creating the slot on demand.  An
+    /// associated function over the raw slots so callers can hold the
+    /// instance's other fields (the index) mutably at the same time.
+    fn tuple_set_mut(
+        facts: &mut Vec<(RelId, BTreeSet<Tuple>)>,
+        relation: RelId,
+    ) -> &mut BTreeSet<Tuple> {
+        match facts.binary_search_by(|(r, _)| r.cmp(&relation)) {
+            Ok(found) => &mut facts[found].1,
             Err(insert_at) => {
-                self.facts.insert(insert_at, (relation, BTreeSet::new()));
-                &mut self.facts[insert_at].1
+                facts.insert(insert_at, (relation, BTreeSet::new()));
+                &mut facts[insert_at].1
             }
         }
     }
 
-    /// Adds a fact. Returns `true` if the fact was not already present.
+    /// Drops the derived index; called by every mutation that does not
+    /// maintain it incrementally.
+    fn invalidate_index(&mut self) {
+        self.index.take();
+    }
+
+    /// The per-position index of `relation`, if indexing is enabled and the
+    /// relation is large enough to be worth it.  Builds the whole-instance
+    /// index on first demand; afterwards [`Instance::add_fact`] maintains it
+    /// incrementally.
+    pub(crate) fn query_index(&self, relation: RelId) -> Option<&RelationIndex> {
+        if !indexing_enabled() {
+            return None;
+        }
+        if let Some(built) = self.index.get() {
+            return built.relation(relation);
+        }
+        if self.relation_size(relation) < INDEX_CUTOFF {
+            return None;
+        }
+        self.index
+            .get_or_init(|| InstanceIndex::build(&self.facts))
+            .relation(relation)
+    }
+
+    /// The already-built whole-instance index, if any (never triggers a
+    /// build).
+    pub(crate) fn built_index(&self) -> Option<&InstanceIndex> {
+        if indexing_enabled() {
+            self.index.get()
+        } else {
+            None
+        }
+    }
+
+    /// Adds a fact. Returns `true` if the fact was not already present.  When
+    /// the per-position index has been built it is maintained incrementally,
+    /// so fixpoints that only ever add facts keep their index live.
     pub fn add_fact(&mut self, relation: impl Into<RelId>, tuple: Tuple) -> bool {
-        self.tuple_set_mut(relation.into()).insert(tuple)
+        let relation = relation.into();
+        if self.index.get().is_some() {
+            let indexed_copy = tuple.clone();
+            let inserted = Self::tuple_set_mut(&mut self.facts, relation).insert(tuple);
+            if inserted {
+                if let Some(index) = self.index.get_mut() {
+                    index.insert_fact(relation, indexed_copy);
+                }
+            }
+            inserted
+        } else {
+            Self::tuple_set_mut(&mut self.facts, relation).insert(tuple)
+        }
     }
 
     /// Adds every fact from an iterator of `(relation, tuple)` pairs.
@@ -91,6 +204,9 @@ impl Instance {
                 let removed = self.facts[found].1.remove(tuple);
                 if self.facts[found].1.is_empty() {
                     self.facts.remove(found);
+                }
+                if removed {
+                    self.invalidate_index();
                 }
                 removed
             }
@@ -188,8 +304,9 @@ impl Instance {
 
     /// Unions `other` into `self`.
     pub fn union_in_place(&mut self, other: &Instance) {
+        self.invalidate_index();
         for (rel, tuples) in &other.facts {
-            let entry = self.tuple_set_mut(*rel);
+            let entry = Self::tuple_set_mut(&mut self.facts, *rel);
             entry.extend(tuples.iter().cloned());
         }
     }
@@ -238,7 +355,7 @@ impl Instance {
     pub fn rename_relations_by(&self, rename: impl Fn(RelId) -> RelId) -> Instance {
         let mut result = Instance::new();
         for (rel, tuples) in &self.facts {
-            let entry = result.tuple_set_mut(rename(*rel));
+            let entry = Self::tuple_set_mut(&mut result.facts, rename(*rel));
             entry.extend(tuples.iter().cloned());
         }
         result
@@ -251,7 +368,7 @@ impl Instance {
         let mut result = Instance::new();
         for (rel, tuples) in &self.facts {
             let mapped: BTreeSet<Tuple> = tuples.iter().map(|t| t.map_values(&f)).collect();
-            result.tuple_set_mut(*rel).extend(mapped);
+            Self::tuple_set_mut(&mut result.facts, *rel).extend(mapped);
         }
         result
     }

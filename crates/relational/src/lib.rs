@@ -30,7 +30,13 @@
 //!   iteration order as [`Instance`] — query evaluation is generic over the
 //!   [`overlay::InstanceView`] trait, so configurations that only ever grow
 //!   (the paper's `Conf(p, I0)`) are extended in `O(|response|)` instead of
-//!   cloned.
+//!   cloned;
+//! * per-position value indexes ([`mod@index`]): lazily built, incrementally
+//!   maintained `(relation, position, value) → tuple-id` posting lists behind
+//!   [`Instance`] and layered by [`InstanceOverlay`], driving hash-join
+//!   Datalog evaluation and most-selective-bound-position homomorphism
+//!   search — with a scanning fallback (`ACCLTL_DISABLE_INDEXES=1`) that is
+//!   byte-identical by contract.
 //!
 //! Everything is deterministic: collections are ordered (`BTreeMap`/`BTreeSet`)
 //! so that repeated runs, tests and benchmarks produce identical results.
@@ -46,6 +52,7 @@ pub mod cq;
 pub mod datalog;
 pub mod datalog_containment;
 pub mod error;
+pub mod index;
 pub mod inequality;
 pub mod instance;
 pub mod overlay;
@@ -66,6 +73,10 @@ pub use cq::{Assignment, ConjunctiveQuery};
 pub use datalog::{DatalogProgram, DatalogRule};
 pub use datalog_containment::{datalog_contained_in_ucq, ContainmentVerdict, UnfoldingConfig};
 pub use error::RelationalError;
+pub use index::{
+    indexing_enabled, set_indexing_enabled, InstanceIndex, MatchIter, RelationIndex, ScanView,
+    DISABLE_INDEXES_ENV_VAR, INDEX_CUTOFF,
+};
 pub use inequality::InequalityCq;
 pub use instance::Instance;
 pub use overlay::{InstanceOverlay, InstanceView, TupleIter};

@@ -25,6 +25,7 @@ use std::hash::{Hash, Hasher};
 use std::iter::Peekable;
 use std::sync::Arc;
 
+use crate::index::MatchIter;
 use crate::instance::Instance;
 use crate::symbols::{RelId, RelKey};
 use crate::tuple::Tuple;
@@ -37,6 +38,13 @@ use crate::value::Value;
 /// evaluation ([`mod@crate::cq`], [`crate::inequality`], [`crate::ucq`]) is
 /// generic over this trait, so formulas can be checked against a
 /// configuration overlay without materializing it.
+///
+/// The `tuples_matching` / `selectivity` / `tuples_matching_all` /
+/// `known_uniform_arity` methods surface the per-position value indexes of
+/// [`crate::index`].  Their defaults *scan*, and every override must return
+/// exactly the same tuples in exactly the same (tuple) order — that contract
+/// is what keeps indexed and scanning evaluation byte-identical (see
+/// [`crate::index::ScanView`] and `tests/index_props.rs`).
 pub trait InstanceView {
     /// Iterates over the tuples of one relation, in tuple order.
     fn tuples_of(&self, relation: RelId) -> TupleIter<'_>;
@@ -57,6 +65,46 @@ pub trait InstanceView {
             dom.extend(tuple.values().iter().copied());
         });
         dom
+    }
+
+    /// The tuples of `relation` holding `value` at `position`, in tuple
+    /// order.  The default scans; [`Instance`] and [`InstanceOverlay`]
+    /// answer from posting lists when the relation is indexed.
+    fn tuples_matching(&self, relation: RelId, position: usize, value: &Value) -> MatchIter<'_> {
+        MatchIter::scan_one(self.tuples_of(relation), position, value)
+    }
+
+    /// The exact number of tuples of `relation` holding `value` at
+    /// `position` — the posting-list length when indexed, a filtered count
+    /// otherwise.  Drives the homomorphism search's
+    /// most-selective-bound-position atom ordering, so every implementation
+    /// must return the same number the default scan would.
+    fn selectivity(&self, relation: RelId, position: usize, value: &Value) -> usize {
+        MatchIter::scan_one(self.tuples_of(relation), position, value).count()
+    }
+
+    /// The tuples of `relation` matching *every* `(position, value)` pair,
+    /// in tuple order.  Indexed implementations intersect posting lists; the
+    /// default filters a scan.  An empty `bound` yields the whole relation.
+    fn tuples_matching_all<'a>(
+        &'a self,
+        relation: RelId,
+        bound: &'a [(usize, Value)],
+    ) -> MatchIter<'a> {
+        match bound {
+            [] => MatchIter::all(self.tuples_of(relation)),
+            [(position, value)] => self.tuples_matching(relation, *position, value),
+            _ => MatchIter::scan_all(self.tuples_of(relation), bound),
+        }
+    }
+
+    /// `Some(a)` when the view can answer *for free* that every tuple of
+    /// `relation` has arity `a` (index arenas track this; the default
+    /// answers `None` rather than scan).  Lets the homomorphism search hoist
+    /// its arity check to the relation level.
+    fn known_uniform_arity(&self, relation: RelId) -> Option<usize> {
+        let _ = relation;
+        None
     }
 }
 
@@ -84,6 +132,45 @@ impl InstanceView for Instance {
 
     fn view_active_domain(&self) -> BTreeSet<Value> {
         self.active_domain()
+    }
+
+    fn tuples_matching(&self, relation: RelId, position: usize, value: &Value) -> MatchIter<'_> {
+        match self.query_index(relation) {
+            Some(index) => index.matching(position, value),
+            None => MatchIter::scan_one(self.tuples_of(relation), position, value),
+        }
+    }
+
+    fn selectivity(&self, relation: RelId, position: usize, value: &Value) -> usize {
+        match self.query_index(relation) {
+            Some(index) => index.selectivity(position, value),
+            None => MatchIter::scan_one(self.tuples_of(relation), position, value).count(),
+        }
+    }
+
+    fn tuples_matching_all<'a>(
+        &'a self,
+        relation: RelId,
+        bound: &'a [(usize, Value)],
+    ) -> MatchIter<'a> {
+        if bound.is_empty() {
+            return MatchIter::all(self.tuples_of(relation));
+        }
+        match self.query_index(relation) {
+            Some(index) => index.matching_all(bound),
+            None => match bound {
+                [(position, value)] => {
+                    MatchIter::scan_one(self.tuples_of(relation), *position, value)
+                }
+                _ => MatchIter::scan_all(self.tuples_of(relation), bound),
+            },
+        }
+    }
+
+    fn known_uniform_arity(&self, relation: RelId) -> Option<usize> {
+        // Free only when the index is already built; never triggers a build
+        // (tiny relations stay on the per-tuple check).
+        self.built_index()?.relation(relation)?.uniform_arity()
     }
 }
 
@@ -349,6 +436,44 @@ impl InstanceView for InstanceOverlay {
 
     fn view_active_domain(&self) -> BTreeSet<Value> {
         self.active_domain()
+    }
+
+    fn tuples_matching(&self, relation: RelId, position: usize, value: &Value) -> MatchIter<'_> {
+        MatchIter::merged(
+            self.base.tuples_matching(relation, position, value),
+            self.delta.tuples_matching(relation, position, value),
+        )
+    }
+
+    fn selectivity(&self, relation: RelId, position: usize, value: &Value) -> usize {
+        // Exact, not an estimate: the delta is disjoint from the base.
+        self.base.selectivity(relation, position, value)
+            + self.delta.selectivity(relation, position, value)
+    }
+
+    fn tuples_matching_all<'a>(
+        &'a self,
+        relation: RelId,
+        bound: &'a [(usize, Value)],
+    ) -> MatchIter<'a> {
+        MatchIter::merged(
+            self.base.tuples_matching_all(relation, bound),
+            self.delta.tuples_matching_all(relation, bound),
+        )
+    }
+
+    fn known_uniform_arity(&self, relation: RelId) -> Option<usize> {
+        match (
+            self.base.count_of(relation) == 0,
+            self.delta.count_of(relation) == 0,
+        ) {
+            (_, true) => self.base.known_uniform_arity(relation),
+            (true, false) => self.delta.known_uniform_arity(relation),
+            (false, false) => {
+                let arity = self.base.known_uniform_arity(relation)?;
+                (self.delta.known_uniform_arity(relation) == Some(arity)).then_some(arity)
+            }
+        }
     }
 }
 

@@ -507,6 +507,15 @@ impl<V> IdMap<V> {
             .map(|found| &self.entries[found].1)
     }
 
+    /// Mutable access to the value for an id, if present.
+    #[must_use]
+    pub fn get_mut(&mut self, id: u32) -> Option<&mut V> {
+        self.entries
+            .binary_search_by_key(&id, |&(k, _)| k)
+            .ok()
+            .map(|found| &mut self.entries[found].1)
+    }
+
     /// Removes the value for an id, if present.
     pub fn remove(&mut self, id: u32) -> Option<V> {
         match self.entries.binary_search_by_key(&id, |&(k, _)| k) {

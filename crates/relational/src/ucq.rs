@@ -484,7 +484,11 @@ fn map_vars<F: Fn(&str) -> String>(formula: &PosFormula, rename: &F) -> PosFormu
 /// [`PosFormula::holds`] existentially closes and DNF-compiles the formula on
 /// every call; the bounded searches evaluate the *same* handful of sentences
 /// against thousands of transition structures, so they compile each sentence
-/// once up front and reuse it through this type.
+/// once up front and reuse it through this type.  Each disjunct evaluates
+/// through [`crate::cq::for_each_homomorphism`], so guard checks pick up the
+/// per-position value indexes ([`crate::index`]) of whatever view they run
+/// against — for overlay-backed transition structures that means posting
+/// lists shared with every other overlay over the same `Arc` base.
 #[derive(Debug, Clone)]
 pub struct CompiledSentence {
     disjuncts: Vec<InequalityCq>,

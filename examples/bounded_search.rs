@@ -5,7 +5,10 @@
 //! The frontier engine behind the search shards each BFS layer across worker
 //! threads (`ACCLTL_SEARCH_THREADS`, default 1) with verdicts and witnesses
 //! guaranteed independent of the thread count — CI runs this example with 1
-//! and 4 threads and diffs the output.
+//! and 4 threads and diffs the output.  Guard evaluation goes through the
+//! per-position value indexes of `relational::index`; setting
+//! `ACCLTL_DISABLE_INDEXES=1` falls back to relation scans with byte-identical
+//! output (CI diffs that too).
 //!
 //! Run with `cargo run --example bounded_search`.
 

@@ -5,7 +5,10 @@
 //! The emptiness search runs on the same shared frontier engine as the
 //! bounded satisfiability search; `ACCLTL_SEARCH_THREADS` (default 1) selects
 //! the worker count without affecting any output — CI runs this example with
-//! 1 and 4 threads and diffs the output.
+//! 1 and 4 threads and diffs the output.  Per-transition guards evaluate
+//! through the per-position value indexes of `relational::index`;
+//! `ACCLTL_DISABLE_INDEXES=1` selects the scan fallback, again without
+//! affecting any output (CI diffs that too).
 //!
 //! Run with `cargo run --example emptiness`.
 

@@ -43,7 +43,16 @@ fn prelude_facade_resolves() {
     assert!(!workload.queries.is_empty());
     let t: Tuple = tuple!["Smith", 1];
     assert_eq!(t.arity(), 2);
-    let _: Instance = phone_directory_hidden_instance();
+    let hidden: Instance = phone_directory_hidden_instance();
+
+    // The index subsystem surfaces through the prelude: the scan wrapper
+    // must agree with the (possibly indexed) view, and the knob resolves.
+    let wrapped = ScanView(&hidden);
+    assert_eq!(
+        hidden.count_of("Address".into()),
+        wrapped.count_of("Address".into())
+    );
+    let _ = accltl_core::relational::indexing_enabled();
 }
 
 #[test]
