@@ -6,7 +6,7 @@ use std::fmt;
 
 use accltl_logic::vocabulary::{mentions_isbind, path_structures};
 use accltl_paths::Transition;
-use accltl_relational::{CompiledSentence, Instance, InstanceView, PosFormula, Value};
+use accltl_relational::{CompiledSentence, GuardCache, Instance, InstanceView, PosFormula, Value};
 
 /// A transition guard `ψ− ∧ ψ+`: a positive boolean combination of *negated*
 /// `FO∃+Acc` sentences that must not mention `IsBind` (`negated`), conjoined
@@ -84,6 +84,26 @@ impl CompiledGuard {
     #[must_use]
     pub fn satisfied_by(&self, structure: &impl InstanceView) -> bool {
         self.positive.holds(structure) && self.negated.iter().all(|s| !s.holds(structure))
+    }
+
+    /// [`CompiledGuard::satisfied_by`] with every sentence memoized through
+    /// a guard-verdict cache ([`CompiledSentence::holds_cached`]; `memoize`
+    /// is the caller's per-state size gate).  Verdicts — and the sentence
+    /// consult sequence, since `&&`/`all` short-circuit on identical
+    /// verdicts identically — match the uncached evaluation by
+    /// construction.
+    #[must_use]
+    pub fn satisfied_by_cached(
+        &self,
+        structure: &impl InstanceView,
+        cache: &GuardCache,
+        memoize: bool,
+    ) -> bool {
+        self.positive.holds_cached(structure, cache, memoize)
+            && self
+                .negated
+                .iter()
+                .all(|s| !s.holds_cached(structure, cache, memoize))
     }
 }
 

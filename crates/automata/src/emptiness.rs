@@ -17,7 +17,16 @@
 //! ([`accltl_paths::engine`]): this module contributes the `AutomatonOracle`
 //! (pre-compiled guards, per-candidate transition-structure overlays), while
 //! universe indexing, frontier dedup, parent links and parallel layer
-//! expansion are the engine's.
+//! expansion are the engine's.  Per-transition guard sentences are memoized
+//! through one `accltl_relational::GuardCache` shared across all chains of a
+//! [`bounded_emptiness`] call (sentence ids are structural, so the repeated
+//! guards the chain decomposition produces share entries); candidates
+//! differing only in facts a sentence never mentions — typically the
+//! `IsBind` fact — share one homomorphism search.
+//! `ACCLTL_DISABLE_GUARD_CACHE=1` selects the uncached path with
+//! byte-identical verdicts, witnesses and guard-budget accounting
+//! ([`EmptinessConfig::max_guard_checks`] counts consults, cached or not);
+//! [`bounded_emptiness_with_stats`] surfaces the hit/miss counters.
 
 use std::collections::BTreeSet;
 use std::sync::Arc;
@@ -28,7 +37,9 @@ use accltl_paths::engine::{
     StepOracle, StepOutcome,
 };
 use accltl_paths::{AccessPath, AccessSchema};
-use accltl_relational::{Instance, InstanceOverlay, RelId, Sym, Tuple, Value};
+use accltl_relational::{
+    GuardCache, GuardCacheStats, Instance, InstanceOverlay, RelId, Sym, Tuple, Value,
+};
 
 use crate::a_automaton::{AAutomaton, CompiledGuard};
 use crate::progressive::chain_decomposition;
@@ -42,10 +53,11 @@ pub struct EmptinessConfig {
     pub max_response_size: usize,
     /// Cap on candidate bindings for empty responses, per method.
     pub max_empty_bindings: usize,
-    /// Cap on total guard evaluations across the whole search.  Guard
-    /// evaluation is a homomorphism test, so this bounds the dominant cost;
-    /// exceeding it yields [`EmptinessOutcome::Unknown`], never a wrong
-    /// verdict.
+    /// Cap on total guard *consults* across the whole search.  A consult is
+    /// a homomorphism test (or a verdict-cache hit replaying one — the count
+    /// is identical either way, keeping budget cutoffs cache-independent),
+    /// so this bounds the dominant cost; exceeding it yields
+    /// [`EmptinessOutcome::Unknown`], never a wrong verdict.
     pub max_guard_checks: usize,
     /// Worker threads for frontier expansion; `0` reads the
     /// `ACCLTL_SEARCH_THREADS` environment variable (default 1).  Verdicts
@@ -100,9 +112,25 @@ pub fn bounded_emptiness(
     initial: &Instance,
     config: &EmptinessConfig,
 ) -> EmptinessOutcome {
+    bounded_emptiness_with_stats(automaton, schema, initial, config).0
+}
+
+/// [`bounded_emptiness`], also returning the guard-verdict cache counters
+/// accumulated across all chains (every consult counts as a miss when the
+/// cache is disabled, so cached and uncached runs report the same total).
+#[must_use]
+pub fn bounded_emptiness_with_stats(
+    automaton: &AAutomaton,
+    schema: &AccessSchema,
+    initial: &Instance,
+    config: &EmptinessConfig,
+) -> (EmptinessOutcome, GuardCacheStats) {
+    // One cache for every chain: sentence ids are structural, so the guard
+    // copies the decomposition spreads over chains share entries.
+    let cache = GuardCache::new();
     let chains = chain_decomposition(automaton);
     if chains.is_empty() {
-        return EmptinessOutcome::Empty;
+        return (EmptinessOutcome::Empty, cache.stats());
     }
     let mut any_unknown = false;
     // Split the guard budget evenly across chains so one expensive chain
@@ -112,19 +140,20 @@ pub fn bounded_emptiness(
         ..*config
     };
     for chain in &chains {
-        match search_chain(chain, schema, initial, &chain_config) {
+        match search_chain(chain, schema, initial, &chain_config, &cache) {
             EmptinessOutcome::NonEmpty { witness } => {
-                return EmptinessOutcome::NonEmpty { witness }
+                return (EmptinessOutcome::NonEmpty { witness }, cache.stats())
             }
             EmptinessOutcome::Unknown => any_unknown = true,
             EmptinessOutcome::Empty => {}
         }
     }
-    if any_unknown {
+    let outcome = if any_unknown {
         EmptinessOutcome::Unknown
     } else {
         EmptinessOutcome::Empty
-    }
+    };
+    (outcome, cache.stats())
 }
 
 /// The [`StepOracle`] of the product emptiness search: the logical state is
@@ -138,10 +167,13 @@ struct AutomatonOracle<'a> {
     compiled: Vec<CompiledGuard>,
     /// Automaton state → indices of its outgoing transitions.
     outgoing: Vec<Vec<usize>>,
+    /// The search's guard-verdict cache, shared across chains and worker
+    /// threads; disabled it only counts consults.
+    cache: &'a GuardCache,
 }
 
 impl<'a> AutomatonOracle<'a> {
-    fn new(automaton: &'a AAutomaton, schema: &AccessSchema) -> Self {
+    fn new(automaton: &'a AAutomaton, schema: &AccessSchema, cache: &'a GuardCache) -> Self {
         let compiled = automaton
             .transitions
             .iter()
@@ -156,27 +188,41 @@ impl<'a> AutomatonOracle<'a> {
             vocab: TransitionVocab::new(schema),
             compiled,
             outgoing,
+            cache,
         }
     }
 }
 
+/// Per-state context of the [`AutomatonOracle`]: the `pre ∪ post` base of
+/// all candidate structures out of one state, plus the state's verdict-cache
+/// size gate (decided once here, so the per-consult fast path is a branch).
+struct AutomatonCtx {
+    base: Arc<Instance>,
+    memoize: bool,
+}
+
 impl StepOracle for AutomatonOracle<'_> {
     type State = usize;
-    type StateCtx = Arc<Instance>;
+    type StateCtx = AutomatonCtx;
 
-    fn prepare(&self, before: &InstanceOverlay) -> Arc<Instance> {
-        Arc::new(self.vocab.state_structure(before))
+    fn prepare(&self, before: &InstanceOverlay) -> AutomatonCtx {
+        let base = Arc::new(self.vocab.state_structure(before));
+        // Size-gate memoization per state and pin the base so verdicts
+        // fingerprinted against its address stay replayable (see
+        // `relational::guard_cache`).
+        let memoize = self.cache.gate_and_pin(&base);
+        AutomatonCtx { base, memoize }
     }
 
     fn step(
         &self,
         state: &usize,
-        ctx: &Arc<Instance>,
+        ctx: &AutomatonCtx,
         candidate: &Candidate<'_>,
         universe: &FactUniverse,
     ) -> StepOutcome<usize> {
         let structure = self.vocab.structure_overlay(
-            ctx,
+            &ctx.base,
             candidate.added.iter().map(|&i| {
                 let (rel, tuple) = universe.fact(i);
                 (rel, tuple.clone())
@@ -189,7 +235,7 @@ impl StepOracle for AutomatonOracle<'_> {
         let mut accept = false;
         for &index in &self.outgoing[*state] {
             cost += 1;
-            if !self.compiled[index].satisfied_by(&structure) {
+            if !self.compiled[index].satisfied_by_cached(&structure, self.cache, ctx.memoize) {
                 continue;
             }
             let to = self.automaton.transitions[index].to;
@@ -205,6 +251,10 @@ impl StepOracle for AutomatonOracle<'_> {
             cost,
         }
     }
+
+    fn cache_stats(&self) -> Option<GuardCacheStats> {
+        Some(self.cache.stats())
+    }
 }
 
 fn search_chain(
@@ -212,6 +262,7 @@ fn search_chain(
     schema: &AccessSchema,
     initial: &Instance,
     config: &EmptinessConfig,
+    cache: &GuardCache,
 ) -> EmptinessOutcome {
     // The empty path is accepted iff the initial state is accepting.
     if automaton.accepting.contains(&automaton.initial) {
@@ -222,7 +273,7 @@ fn search_chain(
 
     let universe = FactUniverse::new(guard_fact_universe(automaton, schema, initial));
     let constants: BTreeSet<Value> = automaton.constants.clone();
-    let oracle = AutomatonOracle::new(automaton, schema);
+    let oracle = AutomatonOracle::new(automaton, schema, cache);
     let engine = FrontierEngine::new(
         schema,
         &oracle,

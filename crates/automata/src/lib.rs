@@ -30,6 +30,8 @@ pub mod progressive;
 pub mod translate;
 
 pub use a_automaton::{AAutomaton, CompiledGuard, Guard, GuardedTransition};
-pub use emptiness::{bounded_emptiness, EmptinessConfig, EmptinessOutcome};
+pub use emptiness::{
+    bounded_emptiness, bounded_emptiness_with_stats, EmptinessConfig, EmptinessOutcome,
+};
 pub use progressive::{chain_decomposition, condensation, is_progressive_chain};
 pub use translate::accltl_plus_to_automaton;

@@ -32,7 +32,13 @@
 //! shared [`accltl_paths::engine`]; this module contributes the
 //! `FormulaOracle` that progresses obligations over per-candidate
 //! transition-structure overlays (compiled sentences, `O(|response|)` per
-//! step, no configuration clones).
+//! step, no configuration clones).  Obligation checks are memoized through a
+//! per-search `accltl_relational::GuardCache` (sentence id × restricted
+//! `StructureKey`), so candidates that differ only in facts a sentence never
+//! mentions — typically the `IsBind` fact — share one homomorphism search;
+//! `ACCLTL_DISABLE_GUARD_CACHE=1` selects the uncached path with
+//! byte-identical verdicts, witnesses and budget accounting, and
+//! [`BoundedSearcher::search_with_stats`] surfaces the hit/miss counters.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
@@ -43,7 +49,8 @@ use accltl_paths::engine::{
 };
 use accltl_paths::{AccessPath, AccessSchema};
 use accltl_relational::{
-    CompiledSentence, Instance, InstanceOverlay, PosFormula, RelId, Tuple, Value,
+    CompiledSentence, GuardCache, GuardCacheStats, Instance, InstanceOverlay, PosFormula, RelId,
+    Tuple, Value,
 };
 
 use crate::accltl::AccLtl;
@@ -208,17 +215,22 @@ fn accepts_empty(formula: &AccLtl) -> bool {
 /// The [`StepOracle`] of the bounded satisfiability search: the logical state
 /// is the normalized obligation still to satisfy, advanced by formula
 /// progression over the candidate's transition structure.
-struct FormulaOracle {
+struct FormulaOracle<'c> {
     vocab: TransitionVocab,
     /// Atom sentences of the formula, DNF-compiled once: progression
     /// evaluates the same handful of sentences against every candidate
     /// structure.
     compiled: BTreeMap<PosFormula, CompiledSentence>,
+    /// The search's guard-verdict cache: obligation checks consult it before
+    /// any homomorphism search (and repeated occurrences of one atom inside
+    /// a single progression hit it immediately).  Shared by all worker
+    /// threads; disabled it only counts consults.
+    cache: &'c GuardCache,
     zero_ary: bool,
 }
 
-impl FormulaOracle {
-    fn new(schema: &AccessSchema, formula: &AccLtl, zero_ary: bool) -> Self {
+impl<'c> FormulaOracle<'c> {
+    fn new(schema: &AccessSchema, formula: &AccLtl, zero_ary: bool, cache: &'c GuardCache) -> Self {
         let compiled = formula
             .atom_sentences()
             .into_iter()
@@ -230,41 +242,59 @@ impl FormulaOracle {
         FormulaOracle {
             vocab: TransitionVocab::new(schema),
             compiled,
+            cache,
             zero_ary,
         }
     }
 
-    fn eval(&self, sentence: &PosFormula, structure: &InstanceOverlay) -> bool {
+    fn eval(&self, sentence: &PosFormula, structure: &InstanceOverlay, memoize: bool) -> bool {
         match sentence {
             PosFormula::True => true,
             PosFormula::False => false,
             _ => match self.compiled.get(sentence) {
-                Some(compiled) => compiled.holds(structure),
+                Some(compiled) => compiled.holds_cached(structure, self.cache, memoize),
                 // Progression only ever produces atoms of the original
-                // formula (plus ⊤/⊥); this fallback keeps the oracle total.
-                None => sentence.holds(structure),
+                // formula (plus ⊤/⊥); this fallback keeps the oracle total
+                // (counted, but never memoized).
+                None => {
+                    self.cache.note_uncached();
+                    sentence.holds(structure)
+                }
             },
         }
     }
 }
 
-impl StepOracle for FormulaOracle {
-    type State = AccLtl;
-    type StateCtx = Arc<Instance>;
+/// Per-state context of the [`FormulaOracle`]: the `pre ∪ post` base of all
+/// candidate structures out of one state, plus the state's verdict-cache
+/// size gate (decided once here, so the per-consult fast path is a branch).
+struct FormulaCtx {
+    base: Arc<Instance>,
+    memoize: bool,
+}
 
-    fn prepare(&self, before: &InstanceOverlay) -> Arc<Instance> {
-        Arc::new(self.vocab.state_structure(before))
+impl StepOracle for FormulaOracle<'_> {
+    type State = AccLtl;
+    type StateCtx = FormulaCtx;
+
+    fn prepare(&self, before: &InstanceOverlay) -> FormulaCtx {
+        let base = Arc::new(self.vocab.state_structure(before));
+        // Size-gate memoization per state and pin the base so verdicts
+        // fingerprinted against its address stay replayable (see
+        // `relational::guard_cache`).
+        let memoize = self.cache.gate_and_pin(&base);
+        FormulaCtx { base, memoize }
     }
 
     fn step(
         &self,
         state: &AccLtl,
-        ctx: &Arc<Instance>,
+        ctx: &FormulaCtx,
         candidate: &Candidate<'_>,
         universe: &FactUniverse,
     ) -> StepOutcome<AccLtl> {
         let structure = self.vocab.structure_overlay(
-            ctx,
+            &ctx.base,
             candidate.added.iter().map(|&i| {
                 let (rel, tuple) = universe.fact(i);
                 (rel, tuple.clone())
@@ -273,7 +303,7 @@ impl StepOracle for FormulaOracle {
             (!self.zero_ary).then_some(candidate.binding),
         );
         let progressed = normalize(&progress(state, &|sentence| {
-            self.eval(sentence, &structure)
+            self.eval(sentence, &structure, ctx.memoize)
         }));
         if progressed == AccLtl::bottom() {
             return StepOutcome::dead(1);
@@ -294,6 +324,10 @@ impl StepOracle for FormulaOracle {
             accept: false,
             cost: 1,
         }
+    }
+
+    fn cache_stats(&self) -> Option<GuardCacheStats> {
+        Some(self.cache.stats())
     }
 }
 
@@ -327,16 +361,28 @@ impl<'a> BoundedSearcher<'a> {
     /// engine ([`accltl_paths::engine`]).
     #[must_use]
     pub fn search(&self, formula: &AccLtl) -> SatOutcome {
+        self.search_with_stats(formula).0
+    }
+
+    /// [`BoundedSearcher::search`], also returning the guard-verdict cache
+    /// counters of the run (all consults count as misses when the cache is
+    /// disabled, so cached and uncached runs report the same total).
+    #[must_use]
+    pub fn search_with_stats(&self, formula: &AccLtl) -> (SatOutcome, GuardCacheStats) {
+        let cache = GuardCache::new();
         let start_formula = normalize(formula);
         if self.config.allow_empty_path && accepts_empty(&start_formula) {
-            return SatOutcome::Satisfiable {
-                witness: AccessPath::new(),
-            };
+            return (
+                SatOutcome::Satisfiable {
+                    witness: AccessPath::new(),
+                },
+                cache.stats(),
+            );
         }
 
         let universe = FactUniverse::new(fact_universe(formula, &self.initial));
         let constants = formula_constants(formula);
-        let oracle = FormulaOracle::new(self.schema, formula, self.zero_ary);
+        let oracle = FormulaOracle::new(self.schema, formula, self.zero_ary, &cache);
         let engine = FrontierEngine::new(
             self.schema,
             &oracle,
@@ -360,7 +406,7 @@ impl<'a> BoundedSearcher<'a> {
                 threads: self.config.threads,
             },
         );
-        match engine.run(start_formula) {
+        let outcome = match engine.run(start_formula) {
             EngineOutcome::Witness { witness } => SatOutcome::Satisfiable { witness },
             EngineOutcome::Exhausted => SatOutcome::Unsatisfiable,
             // A truncated witness space (over-wide response groups) proves
@@ -368,7 +414,8 @@ impl<'a> BoundedSearcher<'a> {
             EngineOutcome::Truncated { explored }
             | EngineOutcome::OutOfStates { explored }
             | EngineOutcome::OutOfBudget { explored } => SatOutcome::Unknown { explored },
-        }
+        };
+        (outcome, cache.stats())
     }
 }
 

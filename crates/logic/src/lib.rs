@@ -38,7 +38,7 @@ pub mod undecidability;
 pub mod vocabulary;
 
 pub use accltl::AccLtl;
-pub use bounded::{BoundedSearchConfig, SatOutcome};
+pub use bounded::{BoundedSearchConfig, BoundedSearcher, SatOutcome};
 pub use fragment::{classify, FormulaTraits, Fragment};
 pub use ltl::Ltl;
 pub use solver::{

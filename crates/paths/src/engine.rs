@@ -36,6 +36,19 @@
 //! instance, and oracles receive the candidate's delta (universe indices) to
 //! push onto their own per-state overlay — a step costs `O(|response|)`.
 //!
+//! Both production oracles additionally memoize guard verdicts through a
+//! per-search `accltl_relational::GuardCache`: `prepare` pins the per-state
+//! base `Arc` and `step` consults the cache (sentence id × restricted
+//! `StructureKey`) before any homomorphism search.  The cache is shared by
+//! all worker threads; verdicts — and with them witnesses and budget
+//! accounting, since [`StepOutcome::cost`] counts guard *consults*, not
+//! evaluations — are byte-identical with the cache disabled
+//! (`ACCLTL_DISABLE_GUARD_CACHE=1`).  Hit/miss counters surface through
+//! [`StepOracle::cache_stats`] / [`FrontierEngine::cache_stats`]; note that
+//! with several workers the hit/miss *split* may vary run to run (racing
+//! workers can evaluate the same key twice) even though the total and every
+//! verdict stay deterministic.
+//!
 //! The worker count comes from the per-search config, falling back to the
 //! `ACCLTL_SEARCH_THREADS` environment variable (default: 1).
 
@@ -44,7 +57,9 @@ use std::hash::Hash;
 use std::sync::Arc;
 use std::thread;
 
-use accltl_relational::{Instance, InstanceOverlay, RelId, Tuple, Value};
+use accltl_relational::{
+    DataType, GuardCacheStats, Instance, InstanceOverlay, RelId, Tuple, Value,
+};
 
 use crate::access::{Access, AccessMethod, AccessSchema};
 use crate::path::{AccessPath, Response};
@@ -170,6 +185,13 @@ pub trait StepOracle: Sync {
         candidate: &Candidate<'_>,
         universe: &FactUniverse,
     ) -> StepOutcome<Self::State>;
+
+    /// Hit/miss counters of the oracle's guard-verdict cache, when it has
+    /// one (the default answers `None`).  Surfaced by
+    /// [`FrontierEngine::cache_stats`] for benchmarks and regression tests.
+    fn cache_stats(&self) -> Option<GuardCacheStats> {
+        None
+    }
 }
 
 /// How bindings for empty responses are enumerated.
@@ -282,6 +304,35 @@ pub fn placeholder_value() -> Value {
     Value::str("\u{2606}any")
 }
 
+/// Deterministic *type-appropriate* fresh guesses for a binding position of
+/// the given declared type, none of which occur in `pool`: any witness
+/// binding value outside the pool can be renamed to a fresh one, so a single
+/// fresh representative per type keeps the bounded enumeration complete —
+/// while staying a *valid* access value (an ill-typed guess could only ever
+/// produce witnesses that fail `AccessSchema::validate_access`).
+///
+/// Text positions (and positions of unknown type) use [`placeholder_value`];
+/// integer positions use one past the largest pool integer; boolean
+/// positions enumerate both values (the domain is finite, so "fresh" may not
+/// exist — completeness needs both).
+fn fresh_guesses(expected: Option<DataType>, pool: &[Value]) -> Vec<Value> {
+    match expected {
+        None | Some(DataType::Text) => vec![placeholder_value()],
+        Some(DataType::Integer) => {
+            let next = pool
+                .iter()
+                .filter_map(|v| match v {
+                    Value::Int(i) => Some(*i),
+                    _ => None,
+                })
+                .max()
+                .map_or(0, |max| max.saturating_add(1));
+            vec![Value::Int(next)]
+        }
+        Some(DataType::Boolean) => vec![Value::Bool(false), Value::Bool(true)],
+    }
+}
+
 /// A revealed-fact set: a fixed-width bitset over universe indices.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct FactSet {
@@ -345,6 +396,12 @@ pub struct FrontierEngine<'a, O: StepOracle> {
     /// Per method (same order as `methods`): the universe indices of its
     /// relation's facts — candidate enumeration per state only walks these.
     method_facts: Vec<Vec<u32>>,
+    /// Per method: the declared column types of its input positions
+    /// (`None` when the relation is unknown to the schema).  Empty-response
+    /// binding enumeration only guesses type-correct values, so witnesses
+    /// always pass `AccessSchema::validate_access` — an ill-typed binding
+    /// could never be a real access.
+    method_input_types: Vec<Option<Vec<DataType>>>,
     /// True if some method has more than [`MAX_RESPONSE_GROUP`] universe
     /// facts sharing one binding, i.e. the subset enumeration is truncated
     /// and exhausting the frontier proves nothing.
@@ -396,10 +453,27 @@ impl<'a, O: StepOracle> FrontierEngine<'a, O> {
                 indices
             })
             .collect();
+        let method_input_types = methods
+            .iter()
+            .map(|method| {
+                let relation = schema
+                    .schema()
+                    .require_relation_id(method.relation_id())
+                    .ok()?;
+                Some(
+                    method
+                        .input_positions()
+                        .iter()
+                        .map(|&position| relation.column_types()[position])
+                        .collect(),
+                )
+            })
+            .collect();
         FrontierEngine {
             oracle,
             methods,
             method_facts,
+            method_input_types,
             truncated,
             universe,
             initial,
@@ -412,6 +486,13 @@ impl<'a, O: StepOracle> FrontierEngine<'a, O> {
     #[must_use]
     pub fn universe(&self) -> &FactUniverse {
         &self.universe
+    }
+
+    /// The oracle's guard-verdict cache counters, if it keeps any
+    /// (see [`StepOracle::cache_stats`]).
+    #[must_use]
+    pub fn cache_stats(&self) -> Option<GuardCacheStats> {
+        self.oracle.cache_stats()
     }
 
     /// Runs the breadth-first search from the given logical start state.
@@ -618,11 +699,11 @@ impl<'a, O: StepOracle> FrontierEngine<'a, O> {
             match self.config.empty_bindings {
                 EmptyBindingMode::Placeholder => candidates.push(OwnedCandidate {
                     method: method_index,
-                    binding: Tuple::new(vec![placeholder_value(); method.input_arity()]),
+                    binding: self.placeholder_binding(method_index),
                     added: Vec::new(),
                 }),
                 EmptyBindingMode::Enumerate => {
-                    for binding in self.empty_response_bindings(method, known_values) {
+                    for binding in self.empty_response_bindings(method_index, known_values) {
                         candidates.push(OwnedCandidate {
                             method: method_index,
                             binding,
@@ -637,34 +718,47 @@ impl<'a, O: StepOracle> FrontierEngine<'a, O> {
 
     /// Candidate bindings for empty responses: every universe value and
     /// search constant (any of them may flow into a binding via dataflow
-    /// atoms) plus, when not grounded, one fresh placeholder; under grounded
-    /// semantics only values of the configuration qualify.
+    /// atoms) plus, when not grounded, fresh guesses; under grounded
+    /// semantics only values of the configuration qualify.  Each input
+    /// position only draws values of its declared column type (labelled
+    /// nulls aside) — an ill-typed binding can never be a real access, so
+    /// guessing one could only ever produce invalid witnesses — and the
+    /// fresh guesses are type-appropriate too ([`fresh_guesses`]), keeping
+    /// the enumeration complete for non-text positions.
     fn empty_response_bindings(
         &self,
-        method: &AccessMethod,
+        method_index: usize,
         known_values: Option<&BTreeSet<Value>>,
     ) -> Vec<Tuple> {
-        let values: Vec<Value> = match known_values {
+        let method = self.methods[method_index];
+        let input_types = self.method_input_types[method_index].as_deref();
+        let base_pool: Vec<Value> = match known_values {
             Some(known) => self
                 .binding_pool
                 .iter()
                 .filter(|v| known.contains(v))
                 .copied()
                 .collect(),
-            None => {
-                let mut pool = self.binding_pool.clone();
-                let fresh = placeholder_value();
-                if let Err(slot) = pool.binary_search(&fresh) {
-                    pool.insert(slot, fresh);
-                }
-                pool
-            }
+            None => self.binding_pool.clone(),
         };
         let mut bindings: Vec<Vec<Value>> = vec![Vec::new()];
-        for _position in method.input_positions() {
+        for slot in 0..method.input_positions().len() {
+            let expected = input_types.map(|types| types[slot]);
+            let mut slot_values: Vec<Value> = base_pool
+                .iter()
+                .filter(|v| !expected.is_some_and(|t| !v.is_labelled_null() && v.data_type() != t))
+                .copied()
+                .collect();
+            if known_values.is_none() {
+                for fresh in fresh_guesses(expected, &slot_values) {
+                    if let Err(at) = slot_values.binary_search(&fresh) {
+                        slot_values.insert(at, fresh);
+                    }
+                }
+            }
             let mut next = Vec::new();
             for prefix in &bindings {
-                for v in &values {
+                for v in &slot_values {
                     if next.len() >= self.config.max_empty_bindings {
                         break;
                     }
@@ -677,6 +771,23 @@ impl<'a, O: StepOracle> FrontierEngine<'a, O> {
         }
         bindings.truncate(self.config.max_empty_bindings);
         bindings.into_iter().map(Tuple::new).collect()
+    }
+
+    /// The placeholder binding of a method under the `Sch0−Acc`
+    /// interpretation: one type-appropriate fresh value per input position
+    /// (the binding carries no information, but an ill-typed one would make
+    /// every witness fail `AccessSchema::validate_access`).
+    fn placeholder_binding(&self, method_index: usize) -> Tuple {
+        let method = self.methods[method_index];
+        let input_types = self.method_input_types[method_index].as_deref();
+        Tuple::new(
+            (0..method.input_arity())
+                .map(|slot| {
+                    let expected = input_types.map(|types| types[slot]);
+                    fresh_guesses(expected, &self.binding_pool)[0]
+                })
+                .collect(),
+        )
     }
 
     /// Rebuilds the witness path from the parent arena, appending the final
@@ -927,6 +1038,126 @@ mod tests {
         // Over the empty initial instance no binding value is known, so no
         // revealing access is ever possible.
         assert_eq!(engine_outcome(config, 1), EngineOutcome::Exhausted);
+    }
+
+    #[test]
+    fn empty_binding_guesses_respect_declared_column_types() {
+        use accltl_relational::{DataType, RelationSchema, Schema};
+
+        // `NumRel(int, text)` accessed by binding the *integer* position:
+        // the binding pool mixes text and int values, but only the ints (and
+        // never the text placeholder) may be guessed for empty responses.
+        let schema = Schema::from_relations([RelationSchema::new(
+            "NumRel",
+            vec![DataType::Integer, DataType::Text],
+        )])
+        .unwrap();
+        let access = crate::access::AccessSchema::new(schema)
+            .with_method(AccessMethod::new("AcNum", "NumRel", vec![0]))
+            .unwrap();
+        let universe = FactUniverse::new(vec![
+            (RelId::new("NumRel"), tuple![7, "seven"]),
+            (RelId::new("NumRel"), tuple![9, "nine"]),
+        ]);
+        let oracle = CountdownOracle;
+        let engine = FrontierEngine::new(
+            &access,
+            &oracle,
+            universe,
+            Arc::new(Instance::new()),
+            &BTreeSet::new(),
+            EngineConfig::default(),
+        );
+        let empty_bindings: Vec<_> = engine
+            .candidates(&FactSet::empty(2), None)
+            .into_iter()
+            .filter(|c| c.added.is_empty())
+            .collect();
+        assert!(!empty_bindings.is_empty());
+        for candidate in &empty_bindings {
+            for value in candidate.binding.values() {
+                assert_eq!(
+                    value.data_type(),
+                    accltl_relational::DataType::Integer,
+                    "ill-typed empty-binding guess {value} can never be a valid access"
+                );
+            }
+            let access_obj = Access::new("AcNum", candidate.binding.clone());
+            assert!(access.validate_access(&access_obj).is_ok());
+        }
+    }
+
+    #[test]
+    fn fresh_guesses_keep_non_text_positions_complete() {
+        use accltl_relational::{DataType, RelationSchema, Schema};
+
+        // The pool holds no integer at all: the enumeration must still guess
+        // a fresh *integer* for the int-typed input position (dropping the
+        // text placeholder without a typed replacement would make
+        // "Exhausted" a wrong completeness certificate).
+        let schema = Schema::from_relations([
+            RelationSchema::new("NumRel", vec![DataType::Integer, DataType::Text]),
+            RelationSchema::new("TxtRel", vec![DataType::Text]),
+        ])
+        .unwrap();
+        let access = crate::access::AccessSchema::new(schema)
+            .with_method(AccessMethod::new("AcNum", "NumRel", vec![0]))
+            .unwrap();
+        let universe = FactUniverse::new(vec![(RelId::new("TxtRel"), tuple!["only-text"])]);
+        let oracle = CountdownOracle;
+        let engine = FrontierEngine::new(
+            &access,
+            &oracle,
+            universe,
+            Arc::new(Instance::new()),
+            &BTreeSet::new(),
+            EngineConfig::default(),
+        );
+        let empty_bindings: Vec<_> = engine
+            .candidates(&FactSet::empty(1), None)
+            .into_iter()
+            .filter(|c| c.added.is_empty())
+            .collect();
+        assert!(
+            empty_bindings
+                .iter()
+                .any(|c| matches!(c.binding.values(), [Value::Int(_)])),
+            "no fresh integer guess for the int-typed input position"
+        );
+    }
+
+    #[test]
+    fn placeholder_bindings_are_type_correct() {
+        use accltl_relational::{DataType, RelationSchema, Schema};
+
+        let schema = Schema::from_relations([RelationSchema::new(
+            "NumRel",
+            vec![DataType::Integer, DataType::Text],
+        )])
+        .unwrap();
+        let access = crate::access::AccessSchema::new(schema)
+            .with_method(AccessMethod::new("AcNum", "NumRel", vec![0, 1]))
+            .unwrap();
+        let oracle = CountdownOracle;
+        let engine = FrontierEngine::new(
+            &access,
+            &oracle,
+            FactUniverse::default(),
+            Arc::new(Instance::new()),
+            &BTreeSet::new(),
+            EngineConfig {
+                empty_bindings: EmptyBindingMode::Placeholder,
+                ..EngineConfig::default()
+            },
+        );
+        let candidates = engine.candidates(&FactSet::empty(0), None);
+        assert_eq!(candidates.len(), 1);
+        let access_obj = Access::new("AcNum", candidates[0].binding.clone());
+        assert!(
+            access.validate_access(&access_obj).is_ok(),
+            "Sch0−Acc placeholder binding must be a valid access: {:?}",
+            candidates[0].binding
+        );
     }
 
     #[test]

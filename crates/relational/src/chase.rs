@@ -293,6 +293,113 @@ mod tests {
     }
 
     #[test]
+    fn fd_merge_of_two_nulls_rewrites_the_first_into_the_second() {
+        // Both sides of the FD violation are chase nulls: `equate` must
+        // rewrite the tuple-order-first null into the second, everywhere in
+        // the instance (including other relations mentioning it).
+        let mut inst = Instance::new();
+        inst.add_fact(
+            "R",
+            Tuple::new(vec![Value::str("a"), Value::labelled_null(1)]),
+        );
+        inst.add_fact(
+            "R",
+            Tuple::new(vec![Value::str("a"), Value::labelled_null(2)]),
+        );
+        inst.add_fact("S", Tuple::new(vec![Value::labelled_null(1)]));
+        let constraints = vec![Constraint::Fd(FunctionalDependency::new("R", vec![0], 1))];
+        let result = chase(&inst, &constraints, &ChaseConfig::default())
+            .completed()
+            .expect("null-null merges never hard-fail");
+        // The two R-tuples collapse into one, carrying the surviving null.
+        assert_eq!(result.relation_size("R"), 1);
+        assert!(result.contains(
+            "R",
+            &Tuple::new(vec![Value::str("a"), Value::labelled_null(2)])
+        ));
+        // The merge propagated into S: ⊥1 no longer occurs anywhere.
+        assert!(result.contains("S", &Tuple::new(vec![Value::labelled_null(2)])));
+        assert!(!result.active_domain().contains(&Value::labelled_null(1)));
+    }
+
+    #[test]
+    fn ind_repair_pads_unknown_target_positions_with_fresh_nulls() {
+        // The target relation is empty, so its arity is inferred from the
+        // highest target position; uncovered positions get fresh nulls.
+        let mut inst = Instance::new();
+        inst.add_fact("R", tuple!["a"]);
+        let constraints = vec![Constraint::Ind(InclusionDependency::new(
+            "R",
+            vec![0],
+            "S",
+            vec![1],
+        ))];
+        let result = chase(&inst, &constraints, &ChaseConfig::default())
+            .completed()
+            .expect("one repair step suffices");
+        let repaired: Vec<&Tuple> = result.tuples("S").collect();
+        assert_eq!(repaired.len(), 1);
+        assert_eq!(repaired[0].arity(), 2);
+        assert_eq!(repaired[0].get(1), Some(&Value::str("a")));
+        assert!(repaired[0].get(0).unwrap().is_labelled_null());
+        assert!(constraints.iter().all(|c| c.satisfied(&result)));
+    }
+
+    #[test]
+    fn ind_repairs_cascade_in_constraint_order() {
+        // R[1] ⊆ S[0] fires first (constraints are applied in list order,
+        // one repair per pass), then the repaired S-fact triggers
+        // S[0] ⊆ T[0] on the next pass.
+        let mut inst = Instance::new();
+        inst.add_fact("R", tuple!["a", "b"]);
+        let constraints = vec![
+            Constraint::Ind(InclusionDependency::new("R", vec![1], "S", vec![0])),
+            Constraint::Ind(InclusionDependency::new("S", vec![0], "T", vec![0])),
+        ];
+        let result = chase(&inst, &constraints, &ChaseConfig::default())
+            .completed()
+            .expect("the cascade terminates");
+        assert!(result.contains("S", &tuple!["b"]));
+        assert!(result.contains("T", &tuple!["b"]));
+        assert_eq!(result.fact_count(), 3);
+        assert!(constraints.iter().all(|c| c.satisfied(&result)));
+
+        // Reversing the constraint list reaches the same fixpoint here (one
+        // extra pass), exercising the opposite discovery order.
+        let reversed: Vec<Constraint> = constraints.iter().rev().cloned().collect();
+        let reversed_result = chase(&inst, &reversed, &ChaseConfig::default())
+            .completed()
+            .expect("the cascade terminates");
+        assert_eq!(reversed_result, result);
+    }
+
+    #[test]
+    fn second_chase_pass_is_idempotent() {
+        // Chasing a chase result must be a fixpoint: `Completed` with the
+        // instance unchanged, for both repair kinds (FD null merges and IND
+        // tuple additions).
+        let mut inst = Instance::new();
+        inst.add_fact(
+            "R",
+            Tuple::new(vec![Value::str("a"), Value::labelled_null(7)]),
+        );
+        inst.add_fact("R", Tuple::new(vec![Value::str("a"), Value::str("b")]));
+        inst.add_fact("R", Tuple::new(vec![Value::str("c"), Value::str("d")]));
+        let constraints = vec![
+            Constraint::Fd(FunctionalDependency::new("R", vec![0], 1)),
+            Constraint::Ind(InclusionDependency::new("R", vec![1], "S", vec![0])),
+        ];
+        let first = chase(&inst, &constraints, &ChaseConfig::default())
+            .completed()
+            .expect("repairs terminate");
+        assert!(constraints.iter().all(|c| c.satisfied(&first)));
+        let second = chase(&first, &constraints, &ChaseConfig::default())
+            .completed()
+            .expect("a satisfied instance chases to itself");
+        assert_eq!(second, first);
+    }
+
+    #[test]
     fn chase_detects_disjointness_violation() {
         let mut inst = Instance::new();
         inst.add_fact("R", tuple!["x"]);

@@ -1,0 +1,448 @@
+//! Guard-verdict memoization over structure fingerprints.
+//!
+//! The bounded decision procedures spend almost all their time re-deciding
+//! the same guard sentences: within one frontier layer the candidate
+//! transition structures share a per-state base and differ only in a tiny
+//! delta — often only in the `IsBind` fact, which most guards never mention.
+//! Yet every `CompiledSentence::holds` call re-runs a full homomorphism
+//! search.  This module supplies the two pieces that turn those repeats into
+//! hash lookups:
+//!
+//! * [`StructureKey`] — a cheap, `Copy` fingerprint of an
+//!   [`InstanceOverlay`](crate::InstanceOverlay)-shaped structure: the
+//!   address of the `Arc`-shared base plus a canonical 128-bit hash of the
+//!   (sorted) delta facts, optionally *restricted to the predicates a
+//!   sentence mentions* so structures that differ only in irrelevant facts
+//!   share one key;
+//! * [`GuardCache`] — a sharded `(sentence id, StructureKey) → verdict` map
+//!   shared by all of a search's worker threads, with hit/miss counters for
+//!   benchmarking and regression tests.
+//!
+//! Consumers go through
+//! [`CompiledSentence::holds_cached`](crate::CompiledSentence::holds_cached),
+//! which consults the cache before any homomorphism search and falls back to
+//! the uncached path — with byte-identical verdicts by construction — when
+//! the cache is disabled ([`DISABLE_GUARD_CACHE_ENV_VAR`], mirroring the
+//! `ACCLTL_DISABLE_INDEXES` contract of [`crate::index`]) or when the view
+//! cannot produce a key.
+//!
+//! # Why base-pointer + delta-hash is a sound cache key
+//!
+//! A verdict may be replayed for a key only if the keyed structures are
+//! guaranteed to hold the same facts (restricted to the sentence's
+//! predicates).  Three ingredients make the fingerprint sound:
+//!
+//! 1. **Copy-on-write bases are immutable once shared.**  An overlay's base
+//!    sits behind an `Arc` and the overlay only ever *adds* facts to its own
+//!    delta; no code path mutates a base once it is shared (that is the
+//!    overlay contract of [`crate::overlay`]).  So equal base *addresses*
+//!    imply equal base fact sets — as long as the allocation is still alive.
+//! 2. **The cache pins every base it has seen.**  [`GuardCache::pin_base`]
+//!    retains a clone of the `Arc` for the cache's lifetime, so a base
+//!    address can never be freed and reused by a different instance while
+//!    entries fingerprinted against it are replayable (and `Arc::get_mut` on
+//!    a pinned base fails, closing the one mutation loophole).  The cost is
+//!    that a cache's memory is proportional to the number of pinned bases —
+//!    which is why caches are created per search and dropped with it.
+//! 3. **The delta hash is canonical and collision-resistant in practice.**
+//!    Delta facts are hashed in their sorted iteration order into two
+//!    independently seeded 64-bit lanes plus a fact count.  Two different
+//!    restricted deltas colliding requires defeating both lanes at once
+//!    (~2⁻¹²⁸); the differential harness (`tests/guard_cache_props.rs`) and
+//!    the CI smoke diff cached against uncached output to keep the whole
+//!    construction honest.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+
+use crate::index::FxHasher;
+use crate::instance::Instance;
+use crate::symbols::RelId;
+use crate::ucq::PosFormula;
+
+/// Environment variable disabling the guard-verdict cache when set to `1` —
+/// every sentence evaluation falls back to the uncached path, which produces
+/// byte-identical verdicts, witnesses and budget accounting (CI diffs the
+/// search examples both ways, mirroring `ACCLTL_DISABLE_INDEXES`).
+pub const DISABLE_GUARD_CACHE_ENV_VAR: &str = "ACCLTL_DISABLE_GUARD_CACHE";
+
+fn cache_override() -> &'static AtomicBool {
+    static FLAG: OnceLock<AtomicBool> = OnceLock::new();
+    FLAG.get_or_init(|| {
+        let disabled = std::env::var(DISABLE_GUARD_CACHE_ENV_VAR).is_ok_and(|v| v == "1");
+        AtomicBool::new(disabled)
+    })
+}
+
+/// True if guard-verdict caching is in use (the default).  Initialised from
+/// [`DISABLE_GUARD_CACHE_ENV_VAR`] on first call; flipped by
+/// [`set_guard_cache_enabled`].
+#[must_use]
+pub fn guard_cache_enabled() -> bool {
+    !cache_override().load(Ordering::Relaxed)
+}
+
+/// Process-wide override of [`guard_cache_enabled`], for A/B comparisons in
+/// tests and benches.  Cached and uncached evaluation produce identical
+/// verdicts by contract, so flipping this mid-run changes performance paths
+/// only, never answers.  The flag is sampled when a [`GuardCache`] is
+/// created, so a cache in flight keeps its mode.
+pub fn set_guard_cache_enabled(enabled: bool) {
+    cache_override().store(!enabled, Ordering::Relaxed);
+}
+
+/// A cheap fingerprint of an overlay-shaped structure: the address of the
+/// `Arc`-shared base plus a canonical two-lane hash of the delta facts.
+///
+/// Produced by
+/// [`InstanceOverlay::structure_key`](crate::InstanceOverlay::structure_key)
+/// (full delta) and
+/// [`InstanceOverlay::structure_key_for`](crate::InstanceOverlay::structure_key_for)
+/// (delta restricted to a sorted predicate list, the form the guard cache
+/// uses so that structures differing only in facts a sentence never reads —
+/// typically the `IsBind` fact — share one key).  Keys are only comparable
+/// when built over the same base kind and the same restriction; the module
+/// docs spell out why the combination is a sound cache key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StructureKey {
+    /// Address of the shared base instance (pinned by the consulted
+    /// [`GuardCache`] so it cannot be freed and reused).
+    base: usize,
+    /// First hash lane over the (restricted) delta facts.
+    lane_a: u64,
+    /// Second, independently seeded hash lane over the same facts.
+    lane_b: u64,
+}
+
+const LANE_A_SEED: u64 = 0x243f_6a88_85a3_08d3;
+const LANE_B_SEED: u64 = 0x1319_8a2e_0370_7344;
+
+impl StructureKey {
+    /// Fingerprints `delta` over a base at address `base`.  When
+    /// `relations` is given, only facts of those relations are hashed (the
+    /// list must be sorted and deduplicated for keys to be canonical).
+    pub(crate) fn fingerprint(base: usize, delta: &Instance, relations: Option<&[RelId]>) -> Self {
+        let mut lane_a = FxHasher::seeded(LANE_A_SEED);
+        let mut lane_b = FxHasher::seeded(LANE_B_SEED);
+        let mut count = 0u64;
+        {
+            let mut hash_fact = |rel: RelId, tuple: &crate::tuple::Tuple| {
+                rel.hash(&mut lane_a);
+                tuple.hash(&mut lane_a);
+                rel.hash(&mut lane_b);
+                tuple.hash(&mut lane_b);
+                count += 1;
+            };
+            match relations {
+                None => {
+                    for (rel, tuple) in delta.facts() {
+                        hash_fact(rel, tuple);
+                    }
+                }
+                Some(relations) => {
+                    for &rel in relations {
+                        for tuple in delta.tuples(rel) {
+                            hash_fact(rel, tuple);
+                        }
+                    }
+                }
+            }
+        }
+        lane_a.write_u64(count);
+        lane_b.write_u64(count);
+        StructureKey {
+            base,
+            lane_a: lane_a.finish(),
+            lane_b: lane_b.finish(),
+        }
+    }
+}
+
+/// Hit/miss counters of a [`GuardCache`].
+///
+/// The invariant the regression tests lean on: `hits + misses` equals the
+/// number of guard consults, whether caching is enabled or not (a disabled
+/// cache records every consult as a miss) — so a cached and an uncached run
+/// of the same search agree on the total, and a silently dead cache shows up
+/// as `hits == 0` instead of just benching flat.
+///
+/// With more than one worker thread the split between hits and misses can
+/// vary run to run (two workers may race to evaluate the same key); the
+/// *total* and every verdict stay deterministic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GuardCacheStats {
+    /// Consults answered from the cache.
+    pub hits: u64,
+    /// Consults that had to evaluate the sentence (including every consult
+    /// of a disabled cache).
+    pub misses: u64,
+}
+
+impl GuardCacheStats {
+    /// Total number of guard consults.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
+/// Guard structures with fewer facts than this are evaluated directly even
+/// when the cache is enabled: for a handful of tuples the homomorphism
+/// search is cheaper than fingerprinting the delta and probing a shard.
+/// The search oracles decide this *once per expanded state* through
+/// [`GuardCache::gate_and_pin`] (the per-state transition-structure base
+/// bounds every candidate structure of that state) and pass the verdict as
+/// the `memoize` flag of [`crate::CompiledSentence::holds_cached`].
+/// Mirrors [`crate::index::INDEX_CUTOFF`]; never affects verdicts, only
+/// which code path produces them.
+pub const GUARD_CACHE_CUTOFF: usize = 16;
+
+/// Number of shards; must be a power of two.
+const SHARDS: usize = 16;
+
+type Shard = RwLock<HashMap<(u32, StructureKey), bool, BuildHasherDefault<FxHasher>>>;
+
+/// A sharded guard-verdict cache: `(sentence id, StructureKey) → bool`,
+/// shared by all worker threads of one search.
+///
+/// Created per search (one per `BoundedSearcher::search` call, one per
+/// `bounded_emptiness` call shared across its chains) and dropped with it —
+/// the cache pins every base `Arc` it is told about (see the module docs),
+/// so its memory is proportional to the number of expanded search states
+/// times the configuration size, reclaimed when the search returns.
+///
+/// Whether the cache actually caches is sampled from
+/// [`guard_cache_enabled`] at construction; a disabled cache only counts
+/// consults (all as misses), so hit/miss totals stay comparable across
+/// modes.
+#[derive(Debug)]
+pub struct GuardCache {
+    enabled: bool,
+    /// Initialised on the first probe: searches whose states all sit below
+    /// the consumers' size cutoff (or that run with the cache disabled)
+    /// never pay for the shard maps — `GuardCache::new` is in every
+    /// search's setup path, including µs-scale ones.
+    shards: OnceLock<Vec<Shard>>,
+    /// Base address → retained `Arc`, keeping every fingerprinted base alive
+    /// (and thus its address unique) for the cache's lifetime.
+    pinned: Mutex<HashMap<usize, Arc<Instance>, BuildHasherDefault<FxHasher>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for GuardCache {
+    fn default() -> Self {
+        GuardCache::new()
+    }
+}
+
+impl GuardCache {
+    /// Creates an empty cache, sampling [`guard_cache_enabled`] for its
+    /// mode.
+    #[must_use]
+    pub fn new() -> Self {
+        GuardCache {
+            enabled: guard_cache_enabled(),
+            shards: OnceLock::new(),
+            pinned: Mutex::default(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// True if this cache memoizes (false: it only counts consults).
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The per-state memoization gate shared by the search oracles: decides
+    /// whether candidates over `base` should be memoized (the cache is
+    /// enabled and the base holds at least [`GUARD_CACHE_CUTOFF`] facts —
+    /// below that, a homomorphism search beats a fingerprint-and-probe) and
+    /// pins the base when they should.  Called once per expanded state from
+    /// the oracles' `prepare`, so the per-consult fast path stays a branch;
+    /// the returned flag is the `memoize` argument of
+    /// [`crate::CompiledSentence::holds_cached`].
+    #[must_use]
+    pub fn gate_and_pin(&self, base: &Arc<Instance>) -> bool {
+        let memoize = self.enabled && base.fact_count() >= GUARD_CACHE_CUTOFF;
+        if memoize {
+            self.pin_base(base);
+        }
+        memoize
+    }
+
+    /// Pins a base instance for the cache's lifetime.  Must be called (once
+    /// per base; repeats are cheap no-ops) before verdicts fingerprinted
+    /// against that base are inserted — the oracles do this in their
+    /// per-state `prepare`.
+    pub fn pin_base(&self, base: &Arc<Instance>) {
+        if !self.enabled {
+            return;
+        }
+        let address = Arc::as_ptr(base) as usize;
+        self.pinned
+            .lock()
+            .expect("guard cache pin table poisoned")
+            .entry(address)
+            .or_insert_with(|| base.clone());
+    }
+
+    fn shard(&self, sentence: u32, key: &StructureKey) -> &Shard {
+        let shards = self
+            .shards
+            .get_or_init(|| (0..SHARDS).map(|_| Shard::default()).collect());
+        let mut hasher = FxHasher::seeded(LANE_A_SEED);
+        sentence.hash(&mut hasher);
+        key.hash(&mut hasher);
+        &shards[(hasher.finish() as usize) & (SHARDS - 1)]
+    }
+
+    /// Looks up a memoized verdict, counting the consult as a hit or a miss.
+    #[must_use]
+    pub fn lookup(&self, sentence: u32, key: &StructureKey) -> Option<bool> {
+        let verdict = self
+            .shard(sentence, key)
+            .read()
+            .expect("guard cache shard poisoned")
+            .get(&(sentence, *key))
+            .copied();
+        match verdict {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        verdict
+    }
+
+    /// Memoizes a verdict (the consult was already counted by the
+    /// preceding [`GuardCache::lookup`] miss).  Racing inserts of the same
+    /// key are benign: evaluation is deterministic, so both store the same
+    /// verdict.
+    pub fn insert(&self, sentence: u32, key: StructureKey, verdict: bool) {
+        self.shard(sentence, &key)
+            .write()
+            .expect("guard cache shard poisoned")
+            .insert((sentence, key), verdict);
+    }
+
+    /// Counts a consult that bypassed the cache (cache disabled, or the view
+    /// cannot produce a key), as a miss — keeping consult totals comparable
+    /// between cached and uncached runs.
+    pub fn note_uncached(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The hit/miss counters accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> GuardCacheStats {
+        GuardCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The process-wide structural sentence-id registry: equal (closed) formulas
+/// get equal ids, so sentences compiled independently — e.g. the same guard
+/// on many automaton transitions — share cache entries.
+pub(crate) fn sentence_cache_id(closed: &PosFormula) -> u32 {
+    static REGISTRY: OnceLock<Mutex<HashMap<PosFormula, u32>>> = OnceLock::new();
+    let registry = REGISTRY.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut registry = registry.lock().expect("sentence id registry poisoned");
+    let next = u32::try_from(registry.len()).expect("sentence id overflow");
+    *registry.entry(closed.clone()).or_insert(next)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::overlay::InstanceOverlay;
+    use crate::tuple;
+
+    fn base() -> Arc<Instance> {
+        let mut inst = Instance::new();
+        inst.add_fact("R", tuple!["a", "b"]);
+        Arc::new(inst)
+    }
+
+    #[test]
+    fn keys_separate_deltas_and_share_restricted_ones() {
+        let shared = base();
+        let mut x = InstanceOverlay::new(shared.clone());
+        let mut y = InstanceOverlay::new(shared.clone());
+        assert_eq!(x.structure_key(), y.structure_key());
+        x.push_fact("S", tuple![1]);
+        assert_ne!(x.structure_key(), y.structure_key());
+        y.push_fact("S", tuple![2]);
+        assert_ne!(x.structure_key(), y.structure_key());
+
+        // Restricted to a predicate neither delta touches, the keys agree.
+        let only_r = [RelId::new("R")];
+        assert_eq!(x.structure_key_for(&only_r), y.structure_key_for(&only_r));
+        // Restricted to the differing predicate, they do not.
+        let only_s = [RelId::new("S")];
+        assert_ne!(x.structure_key_for(&only_s), y.structure_key_for(&only_s));
+    }
+
+    #[test]
+    fn keys_distinguish_bases_by_address() {
+        let a = InstanceOverlay::new(base());
+        let b = InstanceOverlay::new(base());
+        // Equal fact sets, distinct allocations: the fingerprint is
+        // per-shared-base, not per-fact-set.
+        assert_ne!(a.structure_key(), b.structure_key());
+    }
+
+    #[test]
+    fn cache_round_trips_verdicts_and_counts_consults() {
+        let cache = GuardCache::new();
+        assert!(cache.enabled());
+        let overlay = InstanceOverlay::new(base());
+        cache.pin_base(overlay.base());
+        let key = overlay.structure_key();
+        assert_eq!(cache.lookup(7, &key), None);
+        cache.insert(7, key, true);
+        assert_eq!(cache.lookup(7, &key), Some(true));
+        // A different sentence id misses on the same structure.
+        assert_eq!(cache.lookup(8, &key), None);
+        cache.note_uncached();
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 3);
+        assert_eq!(stats.total(), 4);
+    }
+
+    #[test]
+    fn pinning_keeps_base_addresses_unique() {
+        let cache = GuardCache::new();
+        let mut keys = std::collections::HashSet::new();
+        for i in 0..64 {
+            let mut inst = Instance::new();
+            inst.add_fact("R", tuple![i]);
+            let arc = Arc::new(inst);
+            cache.pin_base(&arc);
+            let overlay = InstanceOverlay::new(arc);
+            // Addresses of pinned bases are never reused, so every key is
+            // fresh even though the `Arc`s are dropped as we go.
+            assert!(keys.insert(overlay.structure_key()));
+        }
+    }
+
+    #[test]
+    fn sentence_ids_are_structural() {
+        let f = PosFormula::exists(
+            vec!["x"],
+            PosFormula::atom(crate::atom::Atom::new(
+                RelId::new("R"),
+                vec![crate::term::Term::var("x")],
+            )),
+        );
+        let g = f.clone();
+        assert_eq!(sentence_cache_id(&f), sentence_cache_id(&g));
+        let other = PosFormula::True;
+        assert_ne!(sentence_cache_id(&f), sentence_cache_id(&other));
+    }
+}

@@ -47,15 +47,24 @@ use crate::value::Value;
 /// default SipHash would eat most of the gain over a small-relation scan.
 /// Not DoS-resistant, which is fine for derived per-instance indexes keyed
 /// by already-interned values; and never iterated, so the weaker
-/// distribution cannot leak into any deterministic output.
+/// distribution cannot leak into any deterministic output.  Also reused by
+/// [`crate::guard_cache`] for its shard maps and (seeded twice, via
+/// [`FxHasher::seeded`]) for the two lanes of the `StructureKey` delta
+/// fingerprint.
 #[derive(Default)]
-struct FxHasher {
+pub(crate) struct FxHasher {
     hash: u64,
 }
 
 const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
 
 impl FxHasher {
+    /// A hasher with a non-zero initial state, so independently seeded
+    /// lanes over the same input produce independent hashes.
+    pub(crate) fn seeded(seed: u64) -> Self {
+        FxHasher { hash: seed }
+    }
+
     #[inline]
     fn add(&mut self, word: u64) {
         self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED);

@@ -36,7 +36,14 @@
 //!   [`Instance`] and layered by [`InstanceOverlay`], driving hash-join
 //!   Datalog evaluation and most-selective-bound-position homomorphism
 //!   search — with a scanning fallback (`ACCLTL_DISABLE_INDEXES=1`) that is
-//!   byte-identical by contract.
+//!   byte-identical by contract;
+//! * guard-verdict memoization ([`guard_cache`]): [`StructureKey`]
+//!   fingerprints (`Arc` base address + canonical delta hash, restricted per
+//!   sentence to the predicates it mentions) and a sharded [`GuardCache`]
+//!   consulted by [`CompiledSentence::holds_cached`], so the bounded
+//!   searches never repeat a homomorphism search for a guard they have
+//!   already decided on an equivalent structure — with an uncached fallback
+//!   (`ACCLTL_DISABLE_GUARD_CACHE=1`) that is byte-identical by contract.
 //!
 //! Everything is deterministic: collections are ordered (`BTreeMap`/`BTreeSet`)
 //! so that repeated runs, tests and benchmarks produce identical results.
@@ -52,6 +59,7 @@ pub mod cq;
 pub mod datalog;
 pub mod datalog_containment;
 pub mod error;
+pub mod guard_cache;
 pub mod index;
 pub mod inequality;
 pub mod instance;
@@ -73,6 +81,10 @@ pub use cq::{Assignment, ConjunctiveQuery};
 pub use datalog::{DatalogProgram, DatalogRule};
 pub use datalog_containment::{datalog_contained_in_ucq, ContainmentVerdict, UnfoldingConfig};
 pub use error::RelationalError;
+pub use guard_cache::{
+    guard_cache_enabled, set_guard_cache_enabled, GuardCache, GuardCacheStats, StructureKey,
+    DISABLE_GUARD_CACHE_ENV_VAR, GUARD_CACHE_CUTOFF,
+};
 pub use index::{
     indexing_enabled, set_indexing_enabled, InstanceIndex, MatchIter, RelationIndex, ScanView,
     DISABLE_INDEXES_ENV_VAR, INDEX_CUTOFF,

@@ -25,6 +25,7 @@ use std::hash::{Hash, Hasher};
 use std::iter::Peekable;
 use std::sync::Arc;
 
+use crate::guard_cache::StructureKey;
 use crate::index::MatchIter;
 use crate::instance::Instance;
 use crate::symbols::{RelId, RelKey};
@@ -104,6 +105,19 @@ pub trait InstanceView {
     /// its arity check to the relation level.
     fn known_uniform_arity(&self, relation: RelId) -> Option<usize> {
         let _ = relation;
+        None
+    }
+
+    /// A [`StructureKey`] fingerprinting this view restricted to the given
+    /// (sorted, deduplicated) relations, when the view can produce one
+    /// cheaply — i.e. when it is an overlay over an `Arc`-shared immutable
+    /// base, so the base contributes an address and only the delta needs
+    /// hashing.  The default answers `None`: plain instances are mutable,
+    /// so they have no sound cheap fingerprint, and consumers
+    /// ([`crate::CompiledSentence::holds_cached`]) fall back to uncached
+    /// evaluation.
+    fn guard_key(&self, relations: &[RelId]) -> Option<StructureKey> {
+        let _ = relations;
         None
     }
 }
@@ -365,6 +379,30 @@ impl InstanceOverlay {
         instance.union_in_place(&self.delta);
         instance
     }
+
+    /// The overlay's [`StructureKey`]: base address plus a canonical hash of
+    /// the whole delta.  Sound as a cache key only while the base `Arc` is
+    /// pinned alive and unmutated — see [`crate::guard_cache`] for the full
+    /// argument.
+    #[must_use]
+    pub fn structure_key(&self) -> StructureKey {
+        StructureKey::fingerprint(Arc::as_ptr(&self.base) as usize, &self.delta, None)
+    }
+
+    /// The overlay's [`StructureKey`] restricted to the given relations
+    /// (which must be sorted and deduplicated for keys to be canonical):
+    /// only delta facts of those relations are hashed, so overlays differing
+    /// solely in facts outside the list — e.g. in the `IsBind` fact a guard
+    /// never mentions — share one key.  This is the form the guard cache
+    /// uses, keyed per sentence by the sentence's own predicate list.
+    #[must_use]
+    pub fn structure_key_for(&self, relations: &[RelId]) -> StructureKey {
+        StructureKey::fingerprint(
+            Arc::as_ptr(&self.base) as usize,
+            &self.delta,
+            Some(relations),
+        )
+    }
 }
 
 impl From<Instance> for InstanceOverlay {
@@ -460,6 +498,10 @@ impl InstanceView for InstanceOverlay {
             self.base.tuples_matching_all(relation, bound),
             self.delta.tuples_matching_all(relation, bound),
         )
+    }
+
+    fn guard_key(&self, relations: &[RelId]) -> Option<StructureKey> {
+        Some(self.structure_key_for(relations))
     }
 
     fn known_uniform_arity(&self, relation: RelId) -> Option<usize> {

@@ -10,10 +10,12 @@
 
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::OnceLock;
 
 use crate::atom::Atom;
 use crate::cq::ConjunctiveQuery;
 use crate::error::RelationalError;
+use crate::guard_cache::{sentence_cache_id, GuardCache};
 use crate::inequality::InequalityCq;
 use crate::overlay::InstanceView;
 use crate::symbols::{RelId, VarId};
@@ -492,6 +494,26 @@ fn map_vars<F: Fn(&str) -> String>(formula: &PosFormula, rename: &F) -> PosFormu
 #[derive(Debug, Clone)]
 pub struct CompiledSentence {
     disjuncts: Vec<InequalityCq>,
+    /// The closed source formula (kept for the lazy cache metadata below).
+    closed: PosFormula,
+    /// Cache metadata, resolved on the first [`CompiledSentence::holds_cached`]
+    /// call — plain [`CompiledSentence::holds`] users (and with them
+    /// [`PosFormula::holds`], which compiles per call) never touch the
+    /// process-wide id registry.
+    meta: OnceLock<CacheMeta>,
+}
+
+/// Lazily computed memoization metadata of a [`CompiledSentence`].
+#[derive(Debug, Clone)]
+struct CacheMeta {
+    /// Structural cache id: equal closed formulas resolve to equal ids
+    /// (process-wide registry), so independently compiled copies of one
+    /// guard share verdict-cache entries.
+    id: u32,
+    /// The predicates the closed formula mentions, sorted — the restriction
+    /// list for [`CompiledSentence::holds_cached`] fingerprints (a verdict
+    /// depends only on the facts of these relations).
+    predicates: Vec<RelId>,
 }
 
 impl CompiledSentence {
@@ -501,6 +523,8 @@ impl CompiledSentence {
         let closed = formula.clone().existential_closure();
         CompiledSentence {
             disjuncts: closed.to_inequality_union(),
+            closed,
+            meta: OnceLock::new(),
         }
     }
 
@@ -510,6 +534,66 @@ impl CompiledSentence {
     #[must_use]
     pub fn holds(&self, instance: &impl InstanceView) -> bool {
         self.disjuncts.iter().any(|icq| icq.holds(instance))
+    }
+
+    fn meta(&self) -> &CacheMeta {
+        self.meta.get_or_init(|| CacheMeta {
+            id: sentence_cache_id(&self.closed),
+            predicates: self.closed.predicates().into_iter().collect(),
+        })
+    }
+
+    /// The structural cache id of the sentence (equal closed formulas share
+    /// one id, process-wide).
+    #[must_use]
+    pub fn id(&self) -> u32 {
+        self.meta().id
+    }
+
+    /// The sorted predicate list of the sentence.
+    #[must_use]
+    pub fn predicates(&self) -> &[RelId] {
+        &self.meta().predicates
+    }
+
+    /// [`CompiledSentence::holds`], memoized through a [`GuardCache`].
+    ///
+    /// The cache key is the sentence's id paired with the view's
+    /// [`StructureKey`](crate::guard_cache::StructureKey) *restricted to the
+    /// sentence's predicates* — a positive existential sentence only ever
+    /// reads facts of relations it mentions, so structures differing
+    /// elsewhere (typically only in the `IsBind` fact) legitimately share a
+    /// verdict.  Falls back to plain evaluation, with identical verdicts by
+    /// construction, when `memoize` is false (the caller's per-state
+    /// [`crate::guard_cache::GUARD_CACHE_CUTOFF`] size gate, usually
+    /// [`GuardCache::gate_and_pin`] — tiny evaluations beat a probe),
+    /// when the cache is disabled, or when the view cannot produce a key;
+    /// every consult is counted either way, so cached and uncached runs
+    /// report the same `hits + misses` total.
+    ///
+    /// Callers passing `memoize = true` must have pinned the view's shared
+    /// base into `cache` ([`GuardCache::pin_base`]) — the search oracles do
+    /// this once per expanded state.
+    #[must_use]
+    pub fn holds_cached(
+        &self,
+        structure: &impl InstanceView,
+        cache: &GuardCache,
+        memoize: bool,
+    ) -> bool {
+        if memoize && cache.enabled() {
+            let meta = self.meta();
+            if let Some(key) = structure.guard_key(&meta.predicates) {
+                if let Some(verdict) = cache.lookup(meta.id, &key) {
+                    return verdict;
+                }
+                let verdict = self.holds(structure);
+                cache.insert(meta.id, key, verdict);
+                return verdict;
+            }
+        }
+        cache.note_uncached();
+        self.holds(structure)
     }
 }
 

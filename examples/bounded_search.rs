@@ -8,7 +8,10 @@
 //! and 4 threads and diffs the output.  Guard evaluation goes through the
 //! per-position value indexes of `relational::index`; setting
 //! `ACCLTL_DISABLE_INDEXES=1` falls back to relation scans with byte-identical
-//! output (CI diffs that too).
+//! output (CI diffs that too).  Obligation checks are additionally memoized
+//! through the guard-verdict cache of `relational::guard_cache`; setting
+//! `ACCLTL_DISABLE_GUARD_CACHE=1` selects the uncached path, again with
+//! byte-identical output (CI diffs that as well).
 //!
 //! Run with `cargo run --example bounded_search`.
 

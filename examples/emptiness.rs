@@ -8,7 +8,10 @@
 //! 1 and 4 threads and diffs the output.  Per-transition guards evaluate
 //! through the per-position value indexes of `relational::index`;
 //! `ACCLTL_DISABLE_INDEXES=1` selects the scan fallback, again without
-//! affecting any output (CI diffs that too).
+//! affecting any output (CI diffs that too).  Guard verdicts are memoized
+//! through the cache of `relational::guard_cache`;
+//! `ACCLTL_DISABLE_GUARD_CACHE=1` selects the uncached path, once more with
+//! byte-identical output (CI diffs that as well).
 //!
 //! Run with `cargo run --example emptiness`.
 

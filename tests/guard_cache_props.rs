@@ -1,0 +1,345 @@
+//! Differential property tests for the guard-verdict cache
+//! (`relational::guard_cache`): cached and uncached evaluation must be
+//! *byte-identical* — the same verdicts, the same witnesses, the same
+//! guard-consult totals — for the bounded satisfiability search and the
+//! A-automaton emptiness search, on 1 and on 4 worker threads; and on the
+//! Fig-1 workload at ×4 scale the cache must demonstrably *work* (nonzero
+//! hits, consult totals matching the uncached run), so a silently dead cache
+//! fails here instead of just benching flat.
+
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+
+use proptest::prelude::*;
+
+use accltl_core::automata::{
+    accltl_plus_to_automaton, bounded_emptiness, bounded_emptiness_with_stats, EmptinessConfig,
+};
+use accltl_core::logic::bounded::BoundedSearcher;
+use accltl_core::prelude::*;
+use accltl_core::relational::{guard_cache_enabled, set_guard_cache_enabled};
+
+/// All tests in this file flip the process-wide cache flag; serialize them so
+/// an A/B comparison never observes another test's flip mid-run.
+fn flag_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Runs `f` with the guard cache disabled, restoring the previous mode.
+fn with_cache_disabled<T>(f: impl FnOnce() -> T) -> T {
+    let was_enabled = guard_cache_enabled();
+    set_guard_cache_enabled(false);
+    let result = f();
+    set_guard_cache_enabled(was_enabled);
+    result
+}
+
+/// Strategy: a random initial instance over the phone-directory schema.
+fn random_initial() -> impl Strategy<Value = Instance> {
+    proptest::collection::vec(any::<bool>(), 0..3).prop_map(|picks| {
+        let mut initial = Instance::new();
+        for (i, pick) in picks.into_iter().enumerate() {
+            if pick {
+                initial.add_fact("Address", tuple!["High St", "OX26NN", "Seed", i as i64]);
+            } else {
+                initial.add_fact("Mobile#", tuple!["Smith", "OX13QD", "Parks Rd", 5_551_212]);
+            }
+        }
+        initial
+    })
+}
+
+fn jones_post() -> AccLtl {
+    AccLtl::atom(PosFormula::exists(
+        vec!["s", "p", "h"],
+        post_atom(
+            "Address",
+            vec![
+                Term::var("s"),
+                Term::var("p"),
+                Term::constant("Jones"),
+                Term::var("h"),
+            ],
+        ),
+    ))
+}
+
+fn mobile_pre() -> AccLtl {
+    AccLtl::atom(PosFormula::exists(
+        vec!["n", "p", "s", "ph"],
+        pre_atom(
+            "Mobile#",
+            vec![
+                Term::var("n"),
+                Term::var("p"),
+                Term::var("s"),
+                Term::var("ph"),
+            ],
+        ),
+    ))
+}
+
+/// The paper's dataflow property: eventually an AcM1 access is bound to a
+/// name already revealed in `Address^pre` (binding-aware, so the `IsBind`
+/// restriction of the cache keys is genuinely exercised).
+fn dataflow_formula() -> AccLtl {
+    AccLtl::finally(AccLtl::atom(PosFormula::exists(
+        vec!["n"],
+        PosFormula::and(vec![
+            isbind_atom("AcM1", vec![Term::var("n")]),
+            PosFormula::exists(
+                vec!["s", "p", "h"],
+                pre_atom(
+                    "Address",
+                    vec![
+                        Term::var("s"),
+                        Term::var("p"),
+                        Term::var("n"),
+                        Term::var("h"),
+                    ],
+                ),
+            ),
+        ]),
+    )))
+}
+
+/// Strategy: small formulas mixing satisfiable, unsatisfiable and
+/// binding-aware shapes over the phone-directory vocabulary.
+fn random_formula() -> impl Strategy<Value = AccLtl> {
+    prop_oneof![
+        Just(AccLtl::finally(jones_post())),
+        Just(AccLtl::next(mobile_pre())),
+        Just(AccLtl::and(vec![
+            AccLtl::finally(jones_post()),
+            AccLtl::finally(mobile_pre()),
+        ])),
+        Just(AccLtl::and(vec![
+            AccLtl::globally(AccLtl::not(jones_post())),
+            AccLtl::finally(jones_post()),
+        ])),
+        Just(AccLtl::until(
+            AccLtl::not(mobile_pre()),
+            AccLtl::atom(isbind_prop("AcM2")),
+        )),
+        Just(dataflow_formula()),
+    ]
+}
+
+/// The Fig-1 workload scaled: `scale` streets, each with a looked-up mobile
+/// entry and four address-page residents (the shape the `overlay` and
+/// `guard_cache` benches use).
+fn scaled_initial(scale: usize) -> Instance {
+    let mut hidden = Instance::new();
+    for s in 0..scale {
+        let street = format!("Street{s}");
+        let postcode = format!("OX{s}QD");
+        hidden.add_fact(
+            "Mobile#",
+            tuple![
+                format!("Resident{s}_0").as_str(),
+                postcode.as_str(),
+                street.as_str(),
+                5_551_000 + s as i64
+            ],
+        );
+        for h in 0..4usize {
+            hidden.add_fact(
+                "Address",
+                tuple![
+                    street.as_str(),
+                    postcode.as_str(),
+                    format!("Resident{s}_{h}").as_str(),
+                    h as i64
+                ],
+            );
+        }
+    }
+    hidden
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Bounded search: cached vs uncached runs agree exactly — verdict,
+    /// witness and guard-consult total (an uncached run records every
+    /// consult as a miss).
+    #[test]
+    fn bounded_search_is_cache_independent(
+        formula in random_formula(),
+        initial in random_initial(),
+        zero_ary in any::<bool>(),
+    ) {
+        let _guard = flag_lock();
+        let schema = phone_directory_access_schema();
+        let searcher = BoundedSearcher::new(
+            &schema,
+            &initial,
+            zero_ary,
+            BoundedSearchConfig { threads: 1, ..BoundedSearchConfig::default() },
+        );
+        let (cached, cached_stats) = searcher.search_with_stats(&formula);
+        let (uncached, uncached_stats) =
+            with_cache_disabled(|| searcher.search_with_stats(&formula));
+        prop_assert_eq!(&cached, &uncached);
+        prop_assert_eq!(uncached_stats.hits, 0);
+        prop_assert_eq!(cached_stats.total(), uncached_stats.total());
+        if let SatOutcome::Satisfiable { witness } = &cached {
+            prop_assert!(witness.validate(&schema).is_ok());
+        }
+    }
+
+    /// Emptiness: cached vs uncached runs agree exactly, and witnesses are
+    /// genuinely accepted.
+    #[test]
+    fn emptiness_is_cache_independent(
+        satisfiable in any::<bool>(),
+        initial in random_initial(),
+    ) {
+        let _guard = flag_lock();
+        let schema = phone_directory_access_schema();
+        let formula = if satisfiable {
+            AccLtl::finally(jones_post())
+        } else {
+            AccLtl::and(vec![
+                AccLtl::globally(AccLtl::not(jones_post())),
+                AccLtl::finally(jones_post()),
+            ])
+        };
+        let automaton = accltl_plus_to_automaton(&formula);
+        let config = EmptinessConfig { threads: 1, ..EmptinessConfig::default() };
+        let (cached, cached_stats) =
+            bounded_emptiness_with_stats(&automaton, &schema, &initial, &config);
+        let (uncached, uncached_stats) = with_cache_disabled(|| {
+            bounded_emptiness_with_stats(&automaton, &schema, &initial, &config)
+        });
+        prop_assert_eq!(&cached, &uncached);
+        prop_assert_eq!(uncached_stats.hits, 0);
+        prop_assert_eq!(cached_stats.total(), uncached_stats.total());
+        if let accltl_core::automata::EmptinessOutcome::NonEmpty { witness } = &cached {
+            let transitions = witness.transitions(&schema, &initial).unwrap();
+            prop_assert!(automaton.accepts_transitions(&transitions));
+        }
+    }
+
+    /// With the cache on, the shared-cache parallel search returns exactly
+    /// the single-thread result (the cache is shared by the workers; the
+    /// engine's determinism contract must survive it).
+    #[test]
+    fn shared_cache_search_is_thread_deterministic(
+        formula in random_formula(),
+        initial in random_initial(),
+    ) {
+        let _guard = flag_lock();
+        let schema = phone_directory_access_schema();
+        let outcomes: Vec<SatOutcome> = [1usize, 4]
+            .iter()
+            .map(|&threads| {
+                BoundedSearcher::new(
+                    &schema,
+                    &initial,
+                    false,
+                    BoundedSearchConfig { threads, ..BoundedSearchConfig::default() },
+                )
+                .search(&formula)
+            })
+            .collect();
+        prop_assert_eq!(&outcomes[0], &outcomes[1]);
+    }
+
+    /// Same shared-cache determinism for the emptiness product search.
+    #[test]
+    fn shared_cache_emptiness_is_thread_deterministic(
+        initial in random_initial(),
+    ) {
+        let _guard = flag_lock();
+        let schema = phone_directory_access_schema();
+        let automaton = accltl_plus_to_automaton(&dataflow_formula());
+        let outcomes: Vec<_> = [1usize, 4]
+            .iter()
+            .map(|&threads| {
+                let config = EmptinessConfig { threads, ..EmptinessConfig::default() };
+                bounded_emptiness(&automaton, &schema, &initial, &config)
+            })
+            .collect();
+        prop_assert_eq!(&outcomes[0], &outcomes[1]);
+    }
+}
+
+/// Cache-effectiveness regression: on the Fig-1 workload at ×4 scale the
+/// cache must record real hits, and `hits + misses` must equal the uncached
+/// guard-check count — a dead cache (never consulted, or keyed so nothing
+/// ever repeats) fails this instead of just benching flat.
+#[test]
+fn fig1_x4_cache_is_alive_and_accounted() {
+    let _guard = flag_lock();
+    let schema = phone_directory_access_schema();
+    let initial = scaled_initial(4);
+    let formula = dataflow_formula();
+
+    let searcher = BoundedSearcher::new(
+        &schema,
+        &initial,
+        false,
+        BoundedSearchConfig {
+            threads: 1,
+            ..BoundedSearchConfig::default()
+        },
+    );
+    let (cached, cached_stats) = searcher.search_with_stats(&formula);
+    let (uncached, uncached_stats) = with_cache_disabled(|| searcher.search_with_stats(&formula));
+    assert_eq!(cached, uncached);
+    assert!(
+        cached_stats.hits > 0,
+        "guard cache recorded no hits on the ×4 layered workload: {cached_stats:?}"
+    );
+    assert_eq!(uncached_stats.hits, 0);
+    assert_eq!(
+        cached_stats.total(),
+        uncached_stats.misses,
+        "hit+miss must equal the uncached guard-check count"
+    );
+
+    let automaton = accltl_plus_to_automaton(&formula);
+    let config = EmptinessConfig {
+        threads: 1,
+        ..EmptinessConfig::default()
+    };
+    let (cached, cached_stats) =
+        bounded_emptiness_with_stats(&automaton, &schema, &initial, &config);
+    let (uncached, uncached_stats) = with_cache_disabled(|| {
+        bounded_emptiness_with_stats(&automaton, &schema, &initial, &config)
+    });
+    assert_eq!(cached, uncached);
+    assert!(
+        cached_stats.hits > 0,
+        "emptiness guard cache recorded no hits on the ×4 layered workload: {cached_stats:?}"
+    );
+    assert_eq!(uncached_stats.hits, 0);
+    assert_eq!(cached_stats.total(), uncached_stats.misses);
+}
+
+/// The structural sentence-id registry and the per-search caches must not
+/// leak verdicts across searches: running a satisfiable and a contradictory
+/// formula back to back in one process (same sentences, same ids) keeps
+/// their verdicts apart.
+#[test]
+fn verdicts_do_not_leak_across_searches() {
+    let _guard = flag_lock();
+    let schema = phone_directory_access_schema();
+    let satisfiable = AccLtl::finally(jones_post());
+    let contradiction = AccLtl::and(vec![
+        AccLtl::globally(AccLtl::not(jones_post())),
+        AccLtl::finally(jones_post()),
+    ]);
+    let searcher = BoundedSearcher::new(
+        &schema,
+        &Instance::new(),
+        true,
+        BoundedSearchConfig::default(),
+    );
+    assert!(searcher.search(&satisfiable).is_satisfiable());
+    assert_eq!(searcher.search(&contradiction), SatOutcome::Unsatisfiable);
+    assert!(searcher.search(&satisfiable).is_satisfiable());
+}
