@@ -23,22 +23,33 @@
 //! guards the chain decomposition produces share entries); candidates
 //! differing only in facts a sentence never mentions — typically the
 //! `IsBind` fact — share one homomorphism search.
-//! `ACCLTL_DISABLE_GUARD_CACHE=1` selects the uncached path with
-//! byte-identical verdicts, witnesses and guard-budget accounting
+//! `ACCLTL_DISABLE_GUARD_CACHE=1` (read once, by
+//! `accltl_paths::engine::EngineConfig::from_env`) selects the uncached path
+//! with byte-identical verdicts, witnesses and guard-budget accounting
 //! ([`EmptinessConfig::max_guard_checks`] counts consults, cached or not);
-//! [`bounded_emptiness_with_stats`] surfaces the hit/miss counters.
+//! [`bounded_emptiness_report`] surfaces the hit/miss counters in its
+//! [`SearchReport`].
+//!
+//! [`bounded_emptiness_batch`] checks many automata through one
+//! [`BatchEngine`]: chains are scheduled in waves (every live automaton's
+//! current chain searches concurrently, then advances), so overlay bases,
+//! prepared transition structures and one root guard cache are shared across
+//! the whole batch, while each automaton's chain order, early exit on a
+//! witness, per-chain budget split and consult totals stay byte-identical to
+//! a standalone [`bounded_emptiness_report`] call.
 
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use accltl_logic::vocabulary::{base_relation, TransitionVocab};
 use accltl_paths::engine::{
-    Candidate, EmptyBindingMode, EngineConfig, EngineOutcome, FactUniverse, FrontierEngine,
-    StepOracle, StepOutcome,
+    BatchEngine, Candidate, EmptyBindingMode, EngineConfig, EngineOutcome, FactUniverse,
+    PropertySpec, SearchReport, StepOracle, StepOutcome,
 };
 use accltl_paths::{AccessPath, AccessSchema};
 use accltl_relational::{
-    GuardCache, GuardCacheStats, Instance, InstanceOverlay, RelId, Sym, Tuple, Value,
+    GuardCache, GuardCacheStats, Instance, InstanceOverlay, InstanceView, RelId, ScanView, Sym,
+    Tuple, Value,
 };
 
 use crate::a_automaton::{AAutomaton, CompiledGuard};
@@ -99,12 +110,176 @@ impl EmptinessOutcome {
     }
 }
 
-/// Checks emptiness of the automaton over access paths of the given schema,
-/// starting from the given initial instance.
+/// Checks emptiness of one automaton, returning the verdict with budget and
+/// guard-cache accounting.
 ///
 /// The automaton is first decomposed into progressive chains (Lemma 4.9); the
 /// language is non-empty iff some chain is non-empty, and the chains are
-/// searched in order.
+/// searched in order with the guard budget split evenly across them.
+#[must_use]
+pub fn bounded_emptiness_report(
+    automaton: &AAutomaton,
+    schema: &AccessSchema,
+    initial: &Instance,
+    config: &EmptinessConfig,
+) -> SearchReport<EmptinessOutcome> {
+    bounded_emptiness_batch(&[automaton], schema, initial, config)
+        .pop()
+        .expect("one automaton in, one report out")
+}
+
+/// Checks emptiness of many automata through one [`BatchEngine`] (see the
+/// module docs for the sharing and determinism contract).  Reports come back
+/// in input order; each is byte-identical to a standalone
+/// [`bounded_emptiness_report`] of that automaton, apart from the
+/// non-contractual cache hit/miss split.
+#[must_use]
+pub fn bounded_emptiness_batch(
+    automata: &[&AAutomaton],
+    schema: &AccessSchema,
+    initial: &Instance,
+    config: &EmptinessConfig,
+) -> Vec<SearchReport<EmptinessOutcome>> {
+    let mut engine = EngineConfig::from_env()
+        .max_states(config.max_states)
+        .max_response_size(config.max_response_size)
+        .max_empty_bindings(config.max_empty_bindings)
+        .max_guard_checks(config.max_guard_checks);
+    if config.threads > 0 {
+        engine = engine.threads(config.threads);
+    }
+    bounded_emptiness_batch_with_config(automata, schema, initial, engine)
+}
+
+/// [`bounded_emptiness_batch`] driven by an explicit [`EngineConfig`] (the
+/// batch-request path): budgets, threads and the index/guard-cache ablation
+/// flags are taken verbatim; `max_guard_checks` is the *total* per-automaton
+/// guard budget, split evenly across its chains.
+#[must_use]
+pub fn bounded_emptiness_batch_with_config(
+    automata: &[&AAutomaton],
+    schema: &AccessSchema,
+    initial: &Instance,
+    engine: EngineConfig,
+) -> Vec<SearchReport<EmptinessOutcome>> {
+    // One root cache for the whole batch: sentence ids are structural, so
+    // guard copies shared between chains — and between automata — share
+    // entries.  Every automaton consults through its own share handle, so
+    // per-automaton totals equal the sequential ones.
+    let cache = GuardCache::with_enabled(!engine.disable_guard_cache);
+    let handles: Vec<GuardCache> = automata.iter().map(|_| cache.share()).collect();
+    let chains: Vec<Vec<AAutomaton>> = automata
+        .iter()
+        .map(|automaton| chain_decomposition(automaton))
+        .collect();
+    // Split each automaton's guard budget evenly across its chains so one
+    // expensive chain cannot starve a cheaply non-empty later chain into
+    // Unknown.
+    let budgets: Vec<usize> = chains
+        .iter()
+        .map(|chains| (engine.max_guard_checks / chains.len().max(1)).max(1))
+        .collect();
+
+    struct Slot {
+        cursor: usize,
+        any_unknown: bool,
+        explored: usize,
+        cost: usize,
+        verdict: Option<EmptinessOutcome>,
+    }
+    let mut slots: Vec<Slot> = chains
+        .iter()
+        .map(|chains| Slot {
+            cursor: 0,
+            any_unknown: false,
+            explored: 0,
+            cost: 0,
+            verdict: chains.is_empty().then_some(EmptinessOutcome::Empty),
+        })
+        .collect();
+
+    // Wave scheduling: every live automaton's *current* chain runs in one
+    // batch (sharing configuration-space work), then each advances to its
+    // next chain — or its verdict — exactly as the sequential chain loop
+    // would.
+    let mut batch: BatchEngine<'_, AutomatonOracle<'_>> =
+        BatchEngine::new(schema, Arc::new(initial.clone()));
+    loop {
+        let mut specs = Vec::new();
+        let mut wave_slots = Vec::new();
+        for (index, slot) in slots.iter_mut().enumerate() {
+            if slot.verdict.is_some() {
+                continue;
+            }
+            if slot.cursor >= chains[index].len() {
+                slot.verdict = Some(if slot.any_unknown {
+                    EmptinessOutcome::Unknown
+                } else {
+                    EmptinessOutcome::Empty
+                });
+                continue;
+            }
+            let chain = &chains[index][slot.cursor];
+            // The empty path is accepted iff the chain's initial state is
+            // accepting.
+            if chain.accepting.contains(&chain.initial) {
+                slot.verdict = Some(EmptinessOutcome::NonEmpty {
+                    witness: AccessPath::new(),
+                });
+                continue;
+            }
+            let universe = FactUniverse::new(guard_fact_universe(chain, schema, initial));
+            let oracle =
+                AutomatonOracle::new(chain, schema, &handles[index], engine.disable_indexes);
+            specs.push(PropertySpec {
+                oracle,
+                start: chain.initial,
+                universe,
+                constants: chain.constants.clone(),
+                config: engine
+                    .max_guard_checks(budgets[index])
+                    .grounded(false)
+                    .empty_bindings(EmptyBindingMode::Enumerate),
+            });
+            wave_slots.push(index);
+        }
+        if specs.is_empty() {
+            break;
+        }
+        for (index, report) in wave_slots.into_iter().zip(batch.run(specs)) {
+            let slot = &mut slots[index];
+            slot.explored += report.explored;
+            slot.cost += report.cost;
+            match report.outcome {
+                EngineOutcome::Witness { witness } => {
+                    slot.verdict = Some(EmptinessOutcome::NonEmpty { witness });
+                }
+                EngineOutcome::Exhausted => slot.cursor += 1,
+                // A truncated witness space (over-wide response groups)
+                // proves nothing, exactly like an exhausted budget.
+                EngineOutcome::Truncated { .. }
+                | EngineOutcome::OutOfStates { .. }
+                | EngineOutcome::OutOfBudget { .. } => {
+                    slot.any_unknown = true;
+                    slot.cursor += 1;
+                }
+            }
+        }
+    }
+    slots
+        .into_iter()
+        .zip(&handles)
+        .map(|(slot, handle)| SearchReport {
+            verdict: slot.verdict.expect("every automaton reached a verdict"),
+            explored: slot.explored,
+            cost: slot.cost,
+            cache: handle.stats(),
+        })
+        .collect()
+}
+
+/// Deprecated alias of [`bounded_emptiness_report`] returning the verdict
+/// alone; kept so existing callers compile unchanged.
 #[must_use]
 pub fn bounded_emptiness(
     automaton: &AAutomaton,
@@ -112,12 +287,13 @@ pub fn bounded_emptiness(
     initial: &Instance,
     config: &EmptinessConfig,
 ) -> EmptinessOutcome {
-    bounded_emptiness_with_stats(automaton, schema, initial, config).0
+    bounded_emptiness_report(automaton, schema, initial, config).verdict
 }
 
-/// [`bounded_emptiness`], also returning the guard-verdict cache counters
-/// accumulated across all chains (every consult counts as a miss when the
-/// cache is disabled, so cached and uncached runs report the same total).
+/// Deprecated alias of [`bounded_emptiness_report`] returning the historical
+/// `(verdict, stats)` pair; kept so existing callers compile unchanged.
+/// Every consult counts as a miss when the cache is disabled, so cached and
+/// uncached runs report the same total.
 #[must_use]
 pub fn bounded_emptiness_with_stats(
     automaton: &AAutomaton,
@@ -125,35 +301,8 @@ pub fn bounded_emptiness_with_stats(
     initial: &Instance,
     config: &EmptinessConfig,
 ) -> (EmptinessOutcome, GuardCacheStats) {
-    // One cache for every chain: sentence ids are structural, so the guard
-    // copies the decomposition spreads over chains share entries.
-    let cache = GuardCache::new();
-    let chains = chain_decomposition(automaton);
-    if chains.is_empty() {
-        return (EmptinessOutcome::Empty, cache.stats());
-    }
-    let mut any_unknown = false;
-    // Split the guard budget evenly across chains so one expensive chain
-    // cannot starve a cheaply non-empty later chain into Unknown.
-    let chain_config = EmptinessConfig {
-        max_guard_checks: (config.max_guard_checks / chains.len()).max(1),
-        ..*config
-    };
-    for chain in &chains {
-        match search_chain(chain, schema, initial, &chain_config, &cache) {
-            EmptinessOutcome::NonEmpty { witness } => {
-                return (EmptinessOutcome::NonEmpty { witness }, cache.stats())
-            }
-            EmptinessOutcome::Unknown => any_unknown = true,
-            EmptinessOutcome::Empty => {}
-        }
-    }
-    let outcome = if any_unknown {
-        EmptinessOutcome::Unknown
-    } else {
-        EmptinessOutcome::Empty
-    };
-    (outcome, cache.stats())
+    let report = bounded_emptiness_report(automaton, schema, initial, config);
+    (report.verdict, report.cache)
 }
 
 /// The [`StepOracle`] of the product emptiness search: the logical state is
@@ -170,10 +319,18 @@ struct AutomatonOracle<'a> {
     /// The search's guard-verdict cache, shared across chains and worker
     /// threads; disabled it only counts consults.
     cache: &'a GuardCache,
+    /// Evaluate guards by scanning instead of through value indexes
+    /// ([`EngineConfig::disable_indexes`]); guard caching is unaffected.
+    scan: bool,
 }
 
 impl<'a> AutomatonOracle<'a> {
-    fn new(automaton: &'a AAutomaton, schema: &AccessSchema, cache: &'a GuardCache) -> Self {
+    fn new(
+        automaton: &'a AAutomaton,
+        schema: &AccessSchema,
+        cache: &'a GuardCache,
+        scan: bool,
+    ) -> Self {
         let compiled = automaton
             .transitions
             .iter()
@@ -189,7 +346,19 @@ impl<'a> AutomatonOracle<'a> {
             compiled,
             outgoing,
             cache,
+            scan,
         }
+    }
+
+    fn guard_holds(&self, index: usize, structure: &impl InstanceView, memoize: bool) -> bool {
+        if self.scan {
+            return self.compiled[index].satisfied_by_cached(
+                &ScanView(structure),
+                self.cache,
+                memoize,
+            );
+        }
+        self.compiled[index].satisfied_by_cached(structure, self.cache, memoize)
     }
 }
 
@@ -204,6 +373,11 @@ struct AutomatonCtx {
 impl StepOracle for AutomatonOracle<'_> {
     type State = usize;
     type StateCtx = AutomatonCtx;
+    /// The candidate's transition structure: its response pushed as `Rpost`
+    /// facts (plus the `IsBind` fact) onto the state's `pre ∪ post` base.
+    /// Independent of the automaton state being stepped, so the engine
+    /// shares it across states and across batched automata.
+    type CandidateCtx = InstanceOverlay;
 
     fn prepare(&self, before: &InstanceOverlay) -> AutomatonCtx {
         let base = Arc::new(self.vocab.state_structure(before));
@@ -214,14 +388,13 @@ impl StepOracle for AutomatonOracle<'_> {
         AutomatonCtx { base, memoize }
     }
 
-    fn step(
+    fn prepare_candidate(
         &self,
-        state: &usize,
         ctx: &AutomatonCtx,
         candidate: &Candidate<'_>,
         universe: &FactUniverse,
-    ) -> StepOutcome<usize> {
-        let structure = self.vocab.structure_overlay(
+    ) -> InstanceOverlay {
+        self.vocab.structure_overlay(
             &ctx.base,
             candidate.added.iter().map(|&i| {
                 let (rel, tuple) = universe.fact(i);
@@ -229,13 +402,23 @@ impl StepOracle for AutomatonOracle<'_> {
             }),
             candidate.method.name_sym(),
             Some(candidate.binding),
-        );
+        )
+    }
+
+    fn step(
+        &self,
+        state: &usize,
+        ctx: &AutomatonCtx,
+        structure: &InstanceOverlay,
+        _candidate: &Candidate<'_>,
+        _universe: &FactUniverse,
+    ) -> StepOutcome<usize> {
         let mut successors = Vec::new();
         let mut cost = 0usize;
         let mut accept = false;
         for &index in &self.outgoing[*state] {
             cost += 1;
-            if !self.compiled[index].satisfied_by_cached(&structure, self.cache, ctx.memoize) {
+            if !self.guard_holds(index, structure, ctx.memoize) {
                 continue;
             }
             let to = self.automaton.transitions[index].to;
@@ -255,49 +438,12 @@ impl StepOracle for AutomatonOracle<'_> {
     fn cache_stats(&self) -> Option<GuardCacheStats> {
         Some(self.cache.stats())
     }
-}
 
-fn search_chain(
-    automaton: &AAutomaton,
-    schema: &AccessSchema,
-    initial: &Instance,
-    config: &EmptinessConfig,
-    cache: &GuardCache,
-) -> EmptinessOutcome {
-    // The empty path is accepted iff the initial state is accepting.
-    if automaton.accepting.contains(&automaton.initial) {
-        return EmptinessOutcome::NonEmpty {
-            witness: AccessPath::new(),
-        };
-    }
-
-    let universe = FactUniverse::new(guard_fact_universe(automaton, schema, initial));
-    let constants: BTreeSet<Value> = automaton.constants.clone();
-    let oracle = AutomatonOracle::new(automaton, schema, cache);
-    let engine = FrontierEngine::new(
-        schema,
-        &oracle,
-        universe,
-        Arc::new(initial.clone()),
-        &constants,
-        EngineConfig {
-            max_states: config.max_states,
-            max_response_size: config.max_response_size,
-            max_empty_bindings: config.max_empty_bindings,
-            max_step_cost: config.max_guard_checks,
-            grounded: false,
-            empty_bindings: EmptyBindingMode::Enumerate,
-            threads: config.threads,
-        },
-    );
-    match engine.run(automaton.initial) {
-        EngineOutcome::Witness { witness } => EmptinessOutcome::NonEmpty { witness },
-        EngineOutcome::Exhausted => EmptinessOutcome::Empty,
-        // A truncated witness space (over-wide response groups) proves
-        // nothing, exactly like an exhausted budget.
-        EngineOutcome::Truncated { .. }
-        | EngineOutcome::OutOfStates { .. }
-        | EngineOutcome::OutOfBudget { .. } => EmptinessOutcome::Unknown,
+    /// `prepare` is a pure function of the revealed configuration given the
+    /// batch-shared vocabulary and root-pinned cache, so contexts may be
+    /// shared across properties that reach the same configuration.
+    fn shares_ctx(&self) -> bool {
+        true
     }
 }
 

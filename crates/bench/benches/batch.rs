@@ -1,0 +1,177 @@
+//! Batched multi-property search benchmark: N dataflow properties sharing
+//! the Fig-1 FD obligation, checked over the phone-directory schema with the
+//! hidden workload scaled 1×/4×/16×, batched through one
+//! `paths::engine::BatchEngine` run vs property-by-property
+//! (`BoundedSearcher::run_batch` vs N × `run`).
+//!
+//! Every property conjoins the same quadratic `G ¬[FD violation in
+//! Address^pre]` obligation with its own dataflow eventuality, so a batched
+//! run pays the expensive join once per shared configuration (one prepared
+//! state context, one structurally-keyed cache verdict) where the sequential
+//! runs pay it N times.  Verdicts, witnesses and per-property consult totals
+//! are byte-identical by contract (`tests/batch_props.rs`); this bench
+//! records the wall-clock side.  Before/after medians are recorded in
+//! `CHANGES.md`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use accltl_core::logic::bounded::BoundedSearcher;
+use accltl_core::prelude::*;
+
+/// The Figure-1-shaped hidden instance at the given scale: per round, one
+/// looked-up mobile entry and an address page with four residents (the same
+/// shape as the `overlay` and `guard_cache` bench workloads).
+fn scaled_initial(scale: usize) -> Instance {
+    let mut hidden = Instance::new();
+    for s in 0..scale {
+        let street = format!("Street{s}");
+        let postcode = format!("OX{s}QD");
+        hidden.add_fact(
+            "Mobile#",
+            tuple![
+                format!("Resident{s}_0").as_str(),
+                postcode.as_str(),
+                street.as_str(),
+                5_551_000 + s as i64
+            ],
+        );
+        for h in 0..4usize {
+            hidden.add_fact(
+                "Address",
+                tuple![
+                    street.as_str(),
+                    postcode.as_str(),
+                    format!("Resident{s}_{h}").as_str(),
+                    h as i64
+                ],
+            );
+        }
+    }
+    hidden
+}
+
+/// The running dataflow sentence: an AcM1 access bound to a name already
+/// revealed in `Address^pre`.
+fn dataflow_atom() -> PosFormula {
+    PosFormula::exists(
+        vec!["n"],
+        PosFormula::and(vec![
+            isbind_atom("AcM1", vec![Term::var("n")]),
+            PosFormula::exists(
+                vec!["s", "p", "h"],
+                pre_atom(
+                    "Address",
+                    vec![
+                        Term::var("s"),
+                        Term::var("p"),
+                        Term::var("n"),
+                        Term::var("h"),
+                    ],
+                ),
+            ),
+        ]),
+    )
+}
+
+/// Property k of the batch: the street→postcode and postcode→street FDs
+/// must keep holding while the dataflow eventuality is pursued — as a plain
+/// `F` or an `¬φ U φ` until-shape, deferred by up to two `X`s.  The N
+/// properties differ temporally but mention the same atom sentences, so they
+/// share one fact universe — and hence one configuration space: a batched
+/// run prepares each reached configuration and evaluates the quadratic FD
+/// join once for all N, where the sequential runs pay it N times.
+fn property(schema: &AccessSchema, k: usize) -> AccLtl {
+    let street_to_postcode = properties::functional_dependency_formula(
+        schema,
+        &FunctionalDependency::new("Address", vec![0], 1),
+    );
+    let postcode_to_street = properties::functional_dependency_formula(
+        schema,
+        &FunctionalDependency::new("Address", vec![1], 0),
+    );
+    let df = AccLtl::atom(dataflow_atom());
+    let mut eventuality = if k % 2 == 0 {
+        AccLtl::finally(df)
+    } else {
+        AccLtl::until(AccLtl::not(df.clone()), df)
+    };
+    for _ in 0..(k / 2) % 3 {
+        eventuality = AccLtl::next(eventuality);
+    }
+    AccLtl::and(vec![street_to_postcode, postcode_to_street, eventuality])
+}
+
+fn print_consult_totals() {
+    let schema = phone_directory_access_schema();
+    println!("\n=== batched vs sequential consult totals (must match) ===");
+    println!(
+        "{:>6} {:>3} {:>14} {:>14}",
+        "scale", "N", "batched", "sequential"
+    );
+    for scale in [1usize, 4, 16] {
+        let initial = scaled_initial(scale);
+        let searcher = BoundedSearcher::new(
+            &schema,
+            &initial,
+            false,
+            BoundedSearchConfig {
+                threads: 1,
+                ..BoundedSearchConfig::default()
+            },
+        );
+        for n in [1usize, 4, 8] {
+            let batch: Vec<AccLtl> = (0..n).map(|k| property(&schema, k)).collect();
+            let batched: u64 = searcher
+                .run_batch(&batch)
+                .iter()
+                .map(|r| r.cache.total())
+                .sum();
+            let sequential: u64 = batch.iter().map(|f| searcher.run(f).cache.total()).sum();
+            assert_eq!(batched, sequential, "consult totals diverged");
+            println!("{scale:>6} {n:>3} {batched:>14} {sequential:>14}");
+        }
+    }
+}
+
+fn bench_batch(c: &mut Criterion) {
+    print_consult_totals();
+    let schema = phone_directory_access_schema();
+    let mut group = c.benchmark_group("batch");
+    group.sample_size(20);
+    for scale in [1usize, 4, 16] {
+        let initial = scaled_initial(scale);
+        let config = BoundedSearchConfig {
+            threads: 1,
+            ..BoundedSearchConfig::default()
+        };
+        for n in [1usize, 4, 8] {
+            let batch: Vec<AccLtl> = (0..n).map(|k| property(&schema, k)).collect();
+            group.bench_with_input(
+                BenchmarkId::new(format!("batched_n{n}"), scale),
+                &scale,
+                |b, _| {
+                    b.iter(|| {
+                        BoundedSearcher::new(&schema, &initial, false, config)
+                            .run_batch(&batch)
+                            .len()
+                    });
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("sequential_n{n}"), scale),
+                &scale,
+                |b, _| {
+                    b.iter(|| {
+                        let searcher = BoundedSearcher::new(&schema, &initial, false, config);
+                        let reports: Vec<_> = batch.iter().map(|f| searcher.run(f)).collect();
+                        reports.len()
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch);
+criterion_main!(benches);

@@ -4,14 +4,15 @@
 
 use accltl_automata::applications::{containment_automaton, ltr_automaton};
 use accltl_automata::{
-    accltl_plus_to_automaton, bounded_emptiness, EmptinessConfig, EmptinessOutcome,
+    accltl_plus_to_automaton, bounded_emptiness, bounded_emptiness_batch,
+    bounded_emptiness_batch_with_config, AAutomaton, EmptinessConfig, EmptinessOutcome,
 };
-use accltl_logic::bounded::{BoundedSearchConfig, SatOutcome};
+use accltl_logic::bounded::{BoundedSearchConfig, BoundedSearcher, SatOutcome};
 use accltl_logic::fragment::{classify, Fragment};
 use accltl_logic::solver;
 use accltl_logic::AccLtl;
 use accltl_paths::relevance::{long_term_relevant, LtrOptions, LtrVerdict};
-use accltl_paths::{Access, AccessPath, AccessSchema};
+use accltl_paths::{Access, AccessPath, AccessSchema, EngineConfig};
 use accltl_relational::{
     cq_contained_in_cq, ConjunctiveQuery, DisjointnessConstraint, Instance, UnionOfCqs,
 };
@@ -56,6 +57,38 @@ impl AnalyzerReport {
             SatOutcome::Satisfiable { witness } => Some(witness),
             _ => None,
         }
+    }
+}
+
+/// A batch of satisfiability questions answered together: properties that
+/// dispatch to the same engine share one frontier run (and one guard-verdict
+/// cache) through the batched back-ends, without changing any per-property
+/// verdict (see [`AccessAnalyzer::check_all`]).
+#[derive(Debug, Clone)]
+pub struct BatchRequest {
+    /// The formulas to check; reports come back in the same order.
+    pub properties: Vec<AccLtl>,
+    /// An explicit engine configuration applied verbatim to every property.
+    /// `None` uses the analyzer's own budgets layered over the `ACCLTL_*`
+    /// environment, exactly like [`AccessAnalyzer::check_satisfiable`].
+    pub config: Option<EngineConfig>,
+}
+
+impl BatchRequest {
+    /// A request for the given properties under the analyzer's own budgets.
+    #[must_use]
+    pub fn new(properties: Vec<AccLtl>) -> Self {
+        BatchRequest {
+            properties,
+            config: None,
+        }
+    }
+
+    /// Overrides the engine configuration for every property in the batch.
+    #[must_use]
+    pub fn with_config(mut self, config: EngineConfig) -> Self {
+        self.config = Some(config);
+        self
     }
 }
 
@@ -198,6 +231,119 @@ impl AccessAnalyzer {
                 engine: Engine::BoundedSearch,
             },
         }
+    }
+
+    /// Checks satisfiability of every property in the request, batching
+    /// properties that dispatch to the same engine through one shared
+    /// configuration-space exploration: zero-ary fragments share one
+    /// [`BoundedSearcher::run_batch`] run, `AccLTL+` formulas share one
+    /// [`bounded_emptiness_batch`] run, and full-language formulas share a
+    /// second bounded batch.  Reports come back in input order, and each is
+    /// identical to what [`AccessAnalyzer::check_satisfiable`] returns for
+    /// that property alone (the engine's determinism contract).
+    ///
+    /// With [`BatchRequest::config`] set, the explicit [`EngineConfig`] is
+    /// used verbatim for every property instead of the analyzer's budgets.
+    #[must_use]
+    pub fn check_all(&self, request: &BatchRequest) -> Vec<AnalyzerReport> {
+        let fragments: Vec<Fragment> = request.properties.iter().map(classify).collect();
+        let mut reports: Vec<Option<AnalyzerReport>> = vec![None; request.properties.len()];
+
+        let mut zero: Vec<usize> = Vec::new();
+        let mut plus: Vec<usize> = Vec::new();
+        let mut full: Vec<usize> = Vec::new();
+        for (index, fragment) in fragments.iter().enumerate() {
+            match fragment {
+                Fragment::XZeroAry | Fragment::ZeroAry | Fragment::ZeroAryWithInequalities => {
+                    zero.push(index);
+                }
+                Fragment::BindingPositive => plus.push(index),
+                Fragment::Full | Fragment::FullWithInequalities => full.push(index),
+            }
+        }
+
+        // The two bounded-search groups: 0-ary interpretation for the
+        // decidable zero fragments, full bindings for the undecidable
+        // languages (whose `Unsatisfiable` is downgraded, as in
+        // `solver::sat_full_bounded`).
+        for (indices, zero_ary) in [(&zero, true), (&full, false)] {
+            if indices.is_empty() {
+                continue;
+            }
+            let searcher = match request.config {
+                Some(engine) => BoundedSearcher::with_engine_config(
+                    &self.schema,
+                    &self.initial,
+                    zero_ary,
+                    engine,
+                ),
+                None => {
+                    BoundedSearcher::new(&self.schema, &self.initial, zero_ary, self.search_config)
+                }
+            };
+            let formulas: Vec<AccLtl> = indices
+                .iter()
+                .map(|&index| request.properties[index].clone())
+                .collect();
+            for (&index, report) in indices.iter().zip(searcher.run_batch(&formulas)) {
+                let fragment = fragments[index];
+                let (outcome, engine) = if zero_ary {
+                    let engine = if fragment == Fragment::XZeroAry {
+                        Engine::XFragment
+                    } else {
+                        Engine::ZeroFragment
+                    };
+                    (report.verdict, engine)
+                } else {
+                    let outcome = match report.verdict {
+                        SatOutcome::Unsatisfiable => SatOutcome::Unknown { explored: 0 },
+                        other => other,
+                    };
+                    (outcome, Engine::BoundedSearch)
+                };
+                reports[index] = Some(AnalyzerReport {
+                    outcome,
+                    fragment,
+                    engine,
+                });
+            }
+        }
+
+        if !plus.is_empty() {
+            let automata: Vec<AAutomaton> = plus
+                .iter()
+                .map(|&index| accltl_plus_to_automaton(&request.properties[index]))
+                .collect();
+            let refs: Vec<&AAutomaton> = automata.iter().collect();
+            let emptiness = match request.config {
+                Some(engine) => {
+                    bounded_emptiness_batch_with_config(&refs, &self.schema, &self.initial, engine)
+                }
+                None => bounded_emptiness_batch(
+                    &refs,
+                    &self.schema,
+                    &self.initial,
+                    &self.emptiness_config,
+                ),
+            };
+            for (&index, report) in plus.iter().zip(emptiness) {
+                let outcome = match report.verdict {
+                    EmptinessOutcome::NonEmpty { witness } => SatOutcome::Satisfiable { witness },
+                    EmptinessOutcome::Empty => SatOutcome::Unsatisfiable,
+                    EmptinessOutcome::Unknown => SatOutcome::Unknown { explored: 0 },
+                };
+                reports[index] = Some(AnalyzerReport {
+                    outcome,
+                    fragment: fragments[index],
+                    engine: Engine::AutomatonPipeline,
+                });
+            }
+        }
+
+        reports
+            .into_iter()
+            .map(|report| report.expect("every property dispatched to exactly one group"))
+            .collect()
     }
 
     /// Checks containment of `q1` in `q2` under the schema's access patterns

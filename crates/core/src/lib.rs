@@ -42,11 +42,11 @@ pub use accltl_logic::properties;
 
 pub mod analyzer;
 
-pub use analyzer::{AccessAnalyzer, AnalyzerReport, ContainmentOutcome};
+pub use analyzer::{AccessAnalyzer, AnalyzerReport, BatchRequest, ContainmentOutcome};
 
 /// A convenience prelude re-exporting the types most programs need.
 pub mod prelude {
-    pub use crate::analyzer::{AccessAnalyzer, AnalyzerReport, ContainmentOutcome};
+    pub use crate::analyzer::{AccessAnalyzer, AnalyzerReport, BatchRequest, ContainmentOutcome};
     pub use accltl_automata::{AAutomaton, Guard};
     pub use accltl_logic::fragment::{classify, Fragment};
     pub use accltl_logic::properties;
@@ -59,7 +59,8 @@ pub mod prelude {
         generate_workload, phone_directory_hidden_instance, Workload, WorkloadConfig,
     };
     pub use accltl_paths::{
-        Access, AccessMethod, AccessPath, AccessSchema, LtsExplorer, LtsOptions, ResponsePolicy,
+        Access, AccessMethod, AccessPath, AccessSchema, EngineConfig, LtsExplorer, LtsOptions,
+        ResponsePolicy, SearchReport,
     };
     pub use accltl_relational::{
         atom, cq, tuple, Atom, ConjunctiveQuery, DatalogProgram, DatalogRule,

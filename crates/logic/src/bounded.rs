@@ -36,21 +36,30 @@
 //! per-search `accltl_relational::GuardCache` (sentence id × restricted
 //! `StructureKey`), so candidates that differ only in facts a sentence never
 //! mentions — typically the `IsBind` fact — share one homomorphism search;
-//! `ACCLTL_DISABLE_GUARD_CACHE=1` selects the uncached path with
-//! byte-identical verdicts, witnesses and budget accounting, and
-//! [`BoundedSearcher::search_with_stats`] surfaces the hit/miss counters.
+//! `ACCLTL_DISABLE_GUARD_CACHE=1` (read once, by
+//! `accltl_paths::engine::EngineConfig::from_env`) selects the uncached path
+//! with byte-identical verdicts, witnesses and budget accounting, and
+//! [`BoundedSearcher::run`] surfaces the hit/miss counters in its
+//! [`SearchReport`].
+//!
+//! [`BoundedSearcher::run_batch`] checks many formulas through one
+//! [`BatchEngine`]: all properties share configuration-space work (overlay
+//! bases, prepared transition structures, and one root guard cache), while
+//! per-formula verdicts, witnesses and budget accounting stay byte-identical
+//! to one-at-a-time [`BoundedSearcher::run`] calls.
 
-use std::collections::{BTreeMap, BTreeSet};
-use std::sync::Arc;
+use std::cell::Cell;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::{Arc, RwLock};
 
 use accltl_paths::engine::{
-    Candidate, EmptyBindingMode, EngineConfig, EngineOutcome, FactUniverse, FrontierEngine,
-    StepOracle, StepOutcome,
+    BatchEngine, Candidate, EmptyBindingMode, EngineConfig, EngineOutcome, FactUniverse,
+    PropertySpec, SearchReport, StepOracle, StepOutcome,
 };
 use accltl_paths::{AccessPath, AccessSchema};
 use accltl_relational::{
     CompiledSentence, GuardCache, GuardCacheStats, Instance, InstanceOverlay, PosFormula, RelId,
-    Tuple, Value,
+    ScanView, Tuple, Value,
 };
 
 use crate::accltl::AccLtl;
@@ -227,10 +236,56 @@ struct FormulaOracle<'c> {
     /// threads; disabled it only counts consults.
     cache: &'c GuardCache,
     zero_ary: bool,
+    /// Evaluate by scanning instead of through value indexes
+    /// ([`EngineConfig::disable_indexes`]); guard caching is unaffected.
+    scan: bool,
+    /// One-step progressions memoized per (obligation, atom-verdict mask):
+    /// the progressed successor is a pure function of the obligation and the
+    /// verdicts of the formula's atom sentences, so candidates whose guards
+    /// agree replay one normalized result instead of re-deriving it.  Shared
+    /// by all worker threads; bypassed for formulas with more than 32 atoms.
+    progress_memo: RwLock<HashMap<AccLtl, HashMap<u32, Progressed>>>,
+}
+
+/// A memoized one-step progression verdict (see
+/// [`FormulaOracle::progress_memo`]).
+#[derive(Clone)]
+enum Progressed {
+    /// The obligation became `⊥`: the transition is dead.
+    Dead,
+    /// The progressed obligation accepts the empty remainder: the path so
+    /// far, extended by this transition, is a witness.
+    Accept,
+    /// The normalized remaining obligation.
+    Step(AccLtl),
+}
+
+impl Progressed {
+    fn outcome(self) -> StepOutcome<AccLtl> {
+        match self {
+            Progressed::Dead => StepOutcome::dead(1),
+            Progressed::Accept => StepOutcome {
+                successors: Vec::new(),
+                accept: true,
+                cost: 1,
+            },
+            Progressed::Step(next) => StepOutcome {
+                successors: vec![next],
+                accept: false,
+                cost: 1,
+            },
+        }
+    }
 }
 
 impl<'c> FormulaOracle<'c> {
-    fn new(schema: &AccessSchema, formula: &AccLtl, zero_ary: bool, cache: &'c GuardCache) -> Self {
+    fn new(
+        schema: &AccessSchema,
+        formula: &AccLtl,
+        zero_ary: bool,
+        cache: &'c GuardCache,
+        scan: bool,
+    ) -> Self {
         let compiled = formula
             .atom_sentences()
             .into_iter()
@@ -244,10 +299,41 @@ impl<'c> FormulaOracle<'c> {
             compiled,
             cache,
             zero_ary,
+            scan,
+            progress_memo: RwLock::new(HashMap::new()),
         }
     }
 
+    /// Progresses an obligation through one transition whose atoms are
+    /// decided by `eval`, classifying the normalized result.
+    fn progress_state(&self, state: &AccLtl, eval: &impl Fn(&PosFormula) -> bool) -> Progressed {
+        let progressed = normalize(&progress(state, eval));
+        if progressed == AccLtl::bottom() {
+            return Progressed::Dead;
+        }
+        if accepts_empty(&progressed) {
+            // The path leading to the current state, extended by this
+            // transition, is a witness (reported before deduplication: the
+            // successor state may coincide with an earlier one, e.g. when an
+            // obligation like `G ψ` is already dischargeable).
+            return Progressed::Accept;
+        }
+        Progressed::Step(progressed)
+    }
+
     fn eval(&self, sentence: &PosFormula, structure: &InstanceOverlay, memoize: bool) -> bool {
+        if self.scan {
+            return self.eval_view(sentence, &ScanView(structure), memoize);
+        }
+        self.eval_view(sentence, structure, memoize)
+    }
+
+    fn eval_view(
+        &self,
+        sentence: &PosFormula,
+        structure: &impl accltl_relational::InstanceView,
+        memoize: bool,
+    ) -> bool {
         match sentence {
             PosFormula::True => true,
             PosFormula::False => false,
@@ -276,6 +362,11 @@ struct FormulaCtx {
 impl StepOracle for FormulaOracle<'_> {
     type State = AccLtl;
     type StateCtx = FormulaCtx;
+    /// The candidate's transition structure: its response pushed as `Rpost`
+    /// facts (plus the `IsBind` fact) onto the state's `pre ∪ post` base.
+    /// Independent of the obligation being progressed, so the engine shares
+    /// it across obligations and across batched formulas.
+    type CandidateCtx = InstanceOverlay;
 
     fn prepare(&self, before: &InstanceOverlay) -> FormulaCtx {
         let base = Arc::new(self.vocab.state_structure(before));
@@ -286,14 +377,13 @@ impl StepOracle for FormulaOracle<'_> {
         FormulaCtx { base, memoize }
     }
 
-    fn step(
+    fn prepare_candidate(
         &self,
-        state: &AccLtl,
         ctx: &FormulaCtx,
         candidate: &Candidate<'_>,
         universe: &FactUniverse,
-    ) -> StepOutcome<AccLtl> {
-        let structure = self.vocab.structure_overlay(
+    ) -> InstanceOverlay {
+        self.vocab.structure_overlay(
             &ctx.base,
             candidate.added.iter().map(|&i| {
                 let (rel, tuple) = universe.fact(i);
@@ -301,33 +391,80 @@ impl StepOracle for FormulaOracle<'_> {
             }),
             candidate.method.name_sym(),
             (!self.zero_ary).then_some(candidate.binding),
-        );
-        let progressed = normalize(&progress(state, &|sentence| {
-            self.eval(sentence, &structure, ctx.memoize)
-        }));
-        if progressed == AccLtl::bottom() {
-            return StepOutcome::dead(1);
+        )
+    }
+
+    fn step(
+        &self,
+        state: &AccLtl,
+        ctx: &FormulaCtx,
+        structure: &InstanceOverlay,
+        _candidate: &Candidate<'_>,
+        _universe: &FactUniverse,
+    ) -> StepOutcome<AccLtl> {
+        // Decide every atom sentence once against the candidate structure
+        // (each decision is a counted guard-cache consult); progression is
+        // then a pure function of the obligation and this verdict mask.
+        if self.compiled.len() > 32 {
+            return self
+                .progress_state(state, &|sentence| {
+                    self.eval(sentence, structure, ctx.memoize)
+                })
+                .outcome();
         }
-        if accepts_empty(&progressed) {
-            // The path leading to the current state, extended by this
-            // transition, is a witness (reported before deduplication: the
-            // successor state may coincide with an earlier one, e.g. when an
-            // obligation like `G ψ` is already dischargeable).
-            return StepOutcome {
-                successors: Vec::new(),
-                accept: true,
-                cost: 1,
-            };
+        let mut mask = 0u32;
+        for (bit, sentence) in self.compiled.keys().enumerate() {
+            if self.eval(sentence, structure, ctx.memoize) {
+                mask |= 1 << bit;
+            }
         }
-        StepOutcome {
-            successors: vec![progressed],
-            accept: false,
-            cost: 1,
+        let hit = self
+            .progress_memo
+            .read()
+            .expect("progress memo poisoned")
+            .get(state)
+            .and_then(|verdicts| verdicts.get(&mask))
+            .cloned();
+        if let Some(progressed) = hit {
+            return progressed.outcome();
         }
+        // Progression only ever produces atoms of the original formula (plus
+        // ⊤/⊥); an atom outside the compiled set falls back to direct
+        // (counted, never memoized) evaluation, and poisons this step for
+        // the memo since the mask does not key its verdict.
+        let unkeyed = Cell::new(false);
+        let progressed = self.progress_state(state, &|sentence| match sentence {
+            PosFormula::True => true,
+            PosFormula::False => false,
+            _ => match self.compiled.keys().position(|k| k == sentence) {
+                Some(bit) => mask >> bit & 1 == 1,
+                None => {
+                    unkeyed.set(true);
+                    self.eval(sentence, structure, ctx.memoize)
+                }
+            },
+        });
+        if !unkeyed.get() {
+            self.progress_memo
+                .write()
+                .expect("progress memo poisoned")
+                .entry(state.clone())
+                .or_default()
+                .insert(mask, progressed.clone());
+        }
+        progressed.outcome()
     }
 
     fn cache_stats(&self) -> Option<GuardCacheStats> {
         Some(self.cache.stats())
+    }
+
+    /// [`FormulaOracle::prepare`] is a pure function of the
+    /// before-configuration (the vocabulary and the cache's size gate are
+    /// shared batch-wide), so prepared transition-structure bases may be
+    /// shared across obligations and across batched formulas.
+    fn shares_ctx(&self) -> bool {
+        true
     }
 }
 
@@ -337,6 +474,10 @@ pub struct BoundedSearcher<'a> {
     initial: Instance,
     zero_ary: bool,
     config: BoundedSearchConfig,
+    /// When set (see [`BoundedSearcher::with_engine_config`]), used verbatim
+    /// as the engine configuration instead of mapping
+    /// [`BoundedSearchConfig`] over [`EngineConfig::from_env`].
+    engine_override: Option<EngineConfig>,
 }
 
 impl<'a> BoundedSearcher<'a> {
@@ -354,68 +495,161 @@ impl<'a> BoundedSearcher<'a> {
             initial: initial.clone(),
             zero_ary,
             config,
+            engine_override: None,
         }
     }
 
-    /// Runs the search for the given formula through the shared frontier
-    /// engine ([`accltl_paths::engine`]).
+    /// A searcher driven by an explicit [`EngineConfig`] (the batch-request
+    /// path): the engine config is used verbatim — budgets, threads and the
+    /// index/guard-cache ablation flags included — instead of mapping
+    /// [`BoundedSearchConfig`] over the environment defaults.  The
+    /// empty-binding mode is still forced by `zero_ary`, and the empty path
+    /// is never accepted as a witness.
+    #[must_use]
+    pub fn with_engine_config(
+        schema: &'a AccessSchema,
+        initial: &Instance,
+        zero_ary: bool,
+        engine: EngineConfig,
+    ) -> Self {
+        BoundedSearcher {
+            schema,
+            initial: initial.clone(),
+            zero_ary,
+            config: BoundedSearchConfig::default(),
+            engine_override: Some(engine),
+        }
+    }
+
+    /// The engine configuration of this searcher's runs: the explicit
+    /// override when given, otherwise [`BoundedSearchConfig`] layered over
+    /// [`EngineConfig::from_env`] (the single `ACCLTL_*` read site).
+    fn engine_config(&self) -> EngineConfig {
+        let mut engine = match self.engine_override {
+            Some(engine) => engine,
+            None => {
+                let mut engine = EngineConfig::from_env()
+                    .max_states(self.config.max_states)
+                    .max_response_size(self.config.max_response_size)
+                    .max_empty_bindings(self.config.max_empty_bindings)
+                    .grounded(self.config.grounded);
+                if self.config.threads > 0 {
+                    engine = engine.threads(self.config.threads);
+                }
+                engine
+            }
+        };
+        engine = engine.empty_bindings(if self.zero_ary {
+            // In the 0-ary interpretation the binding carries no
+            // information, so one placeholder binding per method suffices
+            // for empty responses.
+            EmptyBindingMode::Placeholder
+        } else {
+            EmptyBindingMode::Enumerate
+        });
+        engine
+    }
+
+    /// Runs the search for one formula through the shared frontier engine
+    /// ([`accltl_paths::engine`]), returning the verdict together with
+    /// budget and guard-cache accounting.
+    #[must_use]
+    pub fn run(&self, formula: &AccLtl) -> SearchReport<SatOutcome> {
+        self.run_batch(std::slice::from_ref(formula))
+            .pop()
+            .expect("one formula in, one report out")
+    }
+
+    /// Checks many formulas through one [`BatchEngine`]: configuration
+    /// exploration, prepared transition structures and the guard cache are
+    /// shared batch-wide, while each formula's verdict, witness, explored
+    /// count and consult totals are byte-identical to a standalone
+    /// [`BoundedSearcher::run`] (for any batch partitioning and thread
+    /// count).  Reports come back in input order.
+    #[must_use]
+    pub fn run_batch(&self, formulas: &[AccLtl]) -> Vec<SearchReport<SatOutcome>> {
+        let engine_config = self.engine_config();
+        let cache = GuardCache::with_enabled(!engine_config.disable_guard_cache);
+        // One share-handle per formula: one underlying verdict map, but
+        // per-formula consult counters (so batched totals equal sequential
+        // totals).
+        let handles: Vec<GuardCache> = formulas.iter().map(|_| cache.share()).collect();
+        let mut reports: Vec<Option<SearchReport<SatOutcome>>> =
+            formulas.iter().map(|_| None).collect();
+        let mut specs = Vec::new();
+        let mut spec_slots = Vec::new();
+        for (slot, (formula, handle)) in formulas.iter().zip(&handles).enumerate() {
+            let start = normalize(formula);
+            if self.config.allow_empty_path && accepts_empty(&start) {
+                reports[slot] = Some(SearchReport {
+                    verdict: SatOutcome::Satisfiable {
+                        witness: AccessPath::new(),
+                    },
+                    explored: 0,
+                    cost: 0,
+                    cache: handle.stats(),
+                });
+                continue;
+            }
+            let universe = FactUniverse::new(fact_universe(formula, &self.initial));
+            let constants = formula_constants(formula);
+            let oracle = FormulaOracle::new(
+                self.schema,
+                formula,
+                self.zero_ary,
+                handle,
+                engine_config.disable_indexes,
+            );
+            specs.push(PropertySpec {
+                oracle,
+                start,
+                universe,
+                constants,
+                config: engine_config,
+            });
+            spec_slots.push(slot);
+        }
+        if !specs.is_empty() {
+            let mut batch = BatchEngine::new(self.schema, Arc::new(self.initial.clone()));
+            for (slot, report) in spec_slots.into_iter().zip(batch.run(specs)) {
+                let verdict = match report.outcome {
+                    EngineOutcome::Witness { witness } => SatOutcome::Satisfiable { witness },
+                    EngineOutcome::Exhausted => SatOutcome::Unsatisfiable,
+                    // A truncated witness space (over-wide response groups)
+                    // proves nothing, exactly like an exhausted budget.
+                    EngineOutcome::Truncated { explored }
+                    | EngineOutcome::OutOfStates { explored }
+                    | EngineOutcome::OutOfBudget { explored } => SatOutcome::Unknown { explored },
+                };
+                reports[slot] = Some(SearchReport {
+                    verdict,
+                    explored: report.explored,
+                    cost: report.cost,
+                    cache: report.cache.unwrap_or_default(),
+                });
+            }
+        }
+        reports
+            .into_iter()
+            .map(|report| report.expect("every formula reported"))
+            .collect()
+    }
+
+    /// Deprecated alias of [`BoundedSearcher::run`] returning the verdict
+    /// alone; kept so existing callers compile unchanged.
     #[must_use]
     pub fn search(&self, formula: &AccLtl) -> SatOutcome {
-        self.search_with_stats(formula).0
+        self.run(formula).verdict
     }
 
-    /// [`BoundedSearcher::search`], also returning the guard-verdict cache
-    /// counters of the run (all consults count as misses when the cache is
-    /// disabled, so cached and uncached runs report the same total).
+    /// Deprecated alias of [`BoundedSearcher::run`] returning the historical
+    /// `(verdict, stats)` pair; kept so existing callers compile unchanged.
+    /// All consults count as misses when the cache is disabled, so cached
+    /// and uncached runs report the same total.
     #[must_use]
     pub fn search_with_stats(&self, formula: &AccLtl) -> (SatOutcome, GuardCacheStats) {
-        let cache = GuardCache::new();
-        let start_formula = normalize(formula);
-        if self.config.allow_empty_path && accepts_empty(&start_formula) {
-            return (
-                SatOutcome::Satisfiable {
-                    witness: AccessPath::new(),
-                },
-                cache.stats(),
-            );
-        }
-
-        let universe = FactUniverse::new(fact_universe(formula, &self.initial));
-        let constants = formula_constants(formula);
-        let oracle = FormulaOracle::new(self.schema, formula, self.zero_ary, &cache);
-        let engine = FrontierEngine::new(
-            self.schema,
-            &oracle,
-            universe,
-            Arc::new(self.initial.clone()),
-            &constants,
-            EngineConfig {
-                max_states: self.config.max_states,
-                max_response_size: self.config.max_response_size,
-                max_empty_bindings: self.config.max_empty_bindings,
-                max_step_cost: usize::MAX,
-                grounded: self.config.grounded,
-                empty_bindings: if self.zero_ary {
-                    // In the 0-ary interpretation the binding carries no
-                    // information, so one placeholder binding per method
-                    // suffices for empty responses.
-                    EmptyBindingMode::Placeholder
-                } else {
-                    EmptyBindingMode::Enumerate
-                },
-                threads: self.config.threads,
-            },
-        );
-        let outcome = match engine.run(start_formula) {
-            EngineOutcome::Witness { witness } => SatOutcome::Satisfiable { witness },
-            EngineOutcome::Exhausted => SatOutcome::Unsatisfiable,
-            // A truncated witness space (over-wide response groups) proves
-            // nothing, exactly like an exhausted budget.
-            EngineOutcome::Truncated { explored }
-            | EngineOutcome::OutOfStates { explored }
-            | EngineOutcome::OutOfBudget { explored } => SatOutcome::Unknown { explored },
-        };
-        (outcome, cache.stats())
+        let report = self.run(formula);
+        (report.verdict, report.cache)
     }
 }
 

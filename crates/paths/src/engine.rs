@@ -11,20 +11,40 @@
 //! transition advances the logical state (progressing an `AccLTL` obligation,
 //! or firing an automaton transition whose guard holds).
 //!
+//! # Batched multi-property search
+//!
+//! The paper's experimental suites check *many* properties against *one*
+//! schema, and every property explores (a fragment of) the same
+//! configuration space.  [`BatchEngine`] is the multi-query engine: one
+//! instance interns all properties' fact universes into a shared table,
+//! round-robins one frontier chunk per live property, and shares the
+//! expensive per-configuration work — the before-overlay and the oracle's
+//! prepared context ([`StepOracle::shares_ctx`]) — across every property
+//! (and every logical state of one property) that reaches the same
+//! configuration.  Each property keeps its own frontier, dedup set, budget
+//! and verdict, so it early-exits independently, and per-property results
+//! are **byte-identical** to running the properties one at a time:
+//! candidate enumeration order, chunk structure, budget accounting and
+//! witness choice only ever depend on the property's own universe and
+//! config, never on its batch neighbours.
+//!
+//! [`FrontierEngine`] remains as the single-property front: it is a thin
+//! wrapper that runs a one-property batch.
+//!
 //! Engine responsibilities:
 //!
 //! * **compact frontier states** — the revealed-fact component of a search
-//!   state is a bitset over universe indices, so cloning, hashing and
+//!   state is a bitset over interned fact indices, so cloning, hashing and
 //!   deduplicating states is a few word operations instead of a
 //!   `BTreeSet<usize>` walk;
-//! * **arena parent links** — discovered states live in a flat arena and
-//!   parents are plain indices, replacing the per-crate
+//! * **arena parent links** — discovered states live in a flat per-property
+//!   arena and parents are plain indices, replacing the per-crate
 //!   `HashMap<State, Option<(State, Access, Vec<usize>)>>` clones;
 //! * **candidate-access enumeration** — grouping unrevealed facts by their
 //!   projection onto a method's input positions, bounded response subsets,
 //!   and bounded empty-response binding enumeration (with the grounded and
 //!   0-ary variants both searches need);
-//! * **parallel layer expansion** — each BFS layer is sharded across worker
+//! * **parallel layer expansion** — each BFS chunk is sharded across worker
 //!   threads (`std::thread::scope`); expansion results are merged on the
 //!   driving thread *in frontier order*, so verdicts, budget cutoffs and
 //!   witness paths are identical for every thread count (single-thread
@@ -33,38 +53,43 @@
 //!
 //! Per candidate transition the engine never clones a configuration: the
 //! *before* configuration is an [`InstanceOverlay`] over the shared initial
-//! instance, and oracles receive the candidate's delta (universe indices) to
+//! instance, and oracles receive the candidate's delta (fact indices) to
 //! push onto their own per-state overlay — a step costs `O(|response|)`.
 //!
 //! Both production oracles additionally memoize guard verdicts through a
 //! per-search `accltl_relational::GuardCache`: `prepare` pins the per-state
 //! base `Arc` and `step` consults the cache (sentence id × restricted
-//! `StructureKey`) before any homomorphism search.  The cache is shared by
-//! all worker threads; verdicts — and with them witnesses and budget
-//! accounting, since [`StepOutcome::cost`] counts guard *consults*, not
-//! evaluations — are byte-identical with the cache disabled
-//! (`ACCLTL_DISABLE_GUARD_CACHE=1`).  Hit/miss counters surface through
-//! [`StepOracle::cache_stats`] / [`FrontierEngine::cache_stats`]; note that
-//! with several workers the hit/miss *split* may vary run to run (racing
-//! workers can evaluate the same key twice) even though the total and every
-//! verdict stay deterministic.
+//! `StructureKey`) before any homomorphism search.  In a batch every
+//! property holds a [`accltl_relational::GuardCache::share`] handle of one
+//! root cache, so
+//! structurally-shared guards hit across the whole batch while each
+//! property's consult counters stay its own.  Verdicts — and with them
+//! witnesses and budget accounting, since [`StepOutcome::cost`] counts
+//! guard *consults*, not evaluations — are byte-identical with the cache
+//! disabled ([`EngineConfig::disable_guard_cache`]).  Hit/miss counters
+//! surface through [`StepOracle::cache_stats`] / [`EngineReport::cache`];
+//! note that with several workers (or batch neighbours) the hit/miss
+//! *split* may vary run to run even though the total and every verdict stay
+//! deterministic.
 //!
-//! The worker count comes from the per-search config, falling back to the
-//! `ACCLTL_SEARCH_THREADS` environment variable (default: 1).
+//! All `ACCLTL_*` environment variables are read in exactly one place:
+//! [`EngineConfig::from_env`], which every front-end uses for its defaults.
 
-use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::hash::Hash;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 use std::thread;
 
 use accltl_relational::{
     DataType, GuardCacheStats, Instance, InstanceOverlay, RelId, Tuple, Value,
+    DISABLE_GUARD_CACHE_ENV_VAR, DISABLE_INDEXES_ENV_VAR,
 };
 
 use crate::access::{Access, AccessMethod, AccessSchema};
 use crate::path::{AccessPath, Response};
 
-/// The environment variable consulted for the default worker count.
+/// The environment variable consulted by [`EngineConfig::from_env`] for the
+/// default worker count.
 pub const THREADS_ENV_VAR: &str = "ACCLTL_SEARCH_THREADS";
 
 /// The finite fact universe a search draws its responses from.
@@ -140,7 +165,7 @@ pub struct StepOutcome<S> {
     pub accept: bool,
     /// Abstract cost consumed (e.g. guard evaluations), accumulated by the
     /// engine in deterministic frontier order against
-    /// [`EngineConfig::max_step_cost`].
+    /// [`EngineConfig::max_guard_checks`].
     pub cost: usize,
 }
 
@@ -160,37 +185,113 @@ impl<S> StepOutcome<S> {
 ///
 /// The engine drives the frontier; the oracle says what a candidate
 /// transition does to the *logical* component of a search state.  `prepare`
-/// is called once per expanded state with the before-configuration (an
-/// overlay over the shared initial instance) so implementations can
-/// precompute their per-state transition-structure base; `step` is then
-/// called once per candidate and must not clone the configuration — push the
-/// candidate's delta onto an overlay instead.
+/// is called with the before-configuration (an overlay over the shared
+/// initial instance) so implementations can precompute their per-state
+/// transition-structure base; `step` is then called once per candidate and
+/// must not clone the configuration — push the candidate's delta onto an
+/// overlay instead.
 pub trait StepOracle: Sync {
     /// The logical component of a search state (a progressed formula, an
     /// automaton state, ...).
     type State: Clone + Eq + Hash + Send + Sync;
-    /// Per-expanded-state precomputation, built by [`StepOracle::prepare`]
-    /// and handed back to every [`StepOracle::step`] call for that state.
-    type StateCtx;
+    /// Per-configuration precomputation, built by [`StepOracle::prepare`]
+    /// and handed back to every [`StepOracle::step`] call for a state at
+    /// that configuration.  `Send + Sync` so a batch can share prepared
+    /// contexts across worker threads and properties.
+    type StateCtx: Send + Sync;
+    /// Per-candidate precomputation, built by
+    /// [`StepOracle::prepare_candidate`] and handed back to every
+    /// [`StepOracle::step`] call for that candidate — typically the
+    /// candidate's transition structure, which does not depend on the
+    /// logical state being stepped.  Oracles with nothing to precompute
+    /// use `()`.
+    type CandidateCtx: Send + Sync;
 
     /// Precomputes whatever the oracle needs to evaluate candidates from a
     /// state whose configuration is `before`.
     fn prepare(&self, before: &InstanceOverlay) -> Self::StateCtx;
+
+    /// Precomputes whatever the oracle derives from the (configuration,
+    /// candidate) pair alone, independent of the logical state.  Under
+    /// [`StepOracle::shares_ctx`] this must be a pure function of its
+    /// arguments' content, so the engine builds each configuration's
+    /// candidate contexts once and shares them across logical states and
+    /// across batch properties.
+    fn prepare_candidate(
+        &self,
+        ctx: &Self::StateCtx,
+        candidate: &Candidate<'_>,
+        universe: &FactUniverse,
+    ) -> Self::CandidateCtx;
 
     /// Evaluates one candidate transition.
     fn step(
         &self,
         state: &Self::State,
         ctx: &Self::StateCtx,
+        prepared: &Self::CandidateCtx,
         candidate: &Candidate<'_>,
         universe: &FactUniverse,
     ) -> StepOutcome<Self::State>;
 
     /// Hit/miss counters of the oracle's guard-verdict cache, when it has
     /// one (the default answers `None`).  Surfaced by
-    /// [`FrontierEngine::cache_stats`] for benchmarks and regression tests.
+    /// [`EngineReport::cache`] for benchmarks and regression tests.
     fn cache_stats(&self) -> Option<GuardCacheStats> {
         None
+    }
+
+    /// True asserts that [`StepOracle::prepare`] is a pure function of the
+    /// before-configuration (plus state shared by every oracle in the
+    /// batch, such as one vocabulary and one root guard cache), so the
+    /// engine may build the context once per distinct configuration and
+    /// share it across logical states *and across batch properties*.  The
+    /// default is `false` (always prepare per expansion).
+    ///
+    /// Sharing must not change verdicts, witnesses or budget accounting —
+    /// only cache hit/miss splits may move.
+    fn shares_ctx(&self) -> bool {
+        false
+    }
+}
+
+/// Borrowed oracles are oracles, so a caller can keep ownership while a
+/// batch runs (the single-property [`FrontierEngine`] relies on this).
+impl<O: StepOracle + ?Sized> StepOracle for &O {
+    type State = O::State;
+    type StateCtx = O::StateCtx;
+    type CandidateCtx = O::CandidateCtx;
+
+    fn prepare(&self, before: &InstanceOverlay) -> Self::StateCtx {
+        (**self).prepare(before)
+    }
+
+    fn prepare_candidate(
+        &self,
+        ctx: &Self::StateCtx,
+        candidate: &Candidate<'_>,
+        universe: &FactUniverse,
+    ) -> Self::CandidateCtx {
+        (**self).prepare_candidate(ctx, candidate, universe)
+    }
+
+    fn step(
+        &self,
+        state: &Self::State,
+        ctx: &Self::StateCtx,
+        prepared: &Self::CandidateCtx,
+        candidate: &Candidate<'_>,
+        universe: &FactUniverse,
+    ) -> StepOutcome<Self::State> {
+        (**self).step(state, ctx, prepared, candidate, universe)
+    }
+
+    fn cache_stats(&self) -> Option<GuardCacheStats> {
+        (**self).cache_stats()
+    }
+
+    fn shares_ctx(&self) -> bool {
+        (**self).shares_ctx()
     }
 }
 
@@ -205,7 +306,26 @@ pub enum EmptyBindingMode {
     Enumerate,
 }
 
+/// Default for [`EngineConfig::max_response_group`]: the cap on the number
+/// of same-binding unrevealed facts considered for one response subset
+/// enumeration (subsets are masks over a `u32`, so effective values are
+/// clamped to 31; response sizes beyond [`EngineConfig::max_response_size`]
+/// are filtered anyway).  When any method's binding group exceeds the cap,
+/// exhausting the frontier is reported as [`EngineOutcome::Truncated`]
+/// instead of [`EngineOutcome::Exhausted`].
+pub const MAX_RESPONSE_GROUP: usize = 12;
+
 /// Configuration of the shared frontier engine.
+///
+/// Construct with [`EngineConfig::from_env`] (equivalently
+/// `EngineConfig::default()`), which folds the `ACCLTL_*` environment
+/// variables in as defaults — **the only place in the workspace they are
+/// read** — then override individual knobs with the builder methods:
+///
+/// ```
+/// use accltl_paths::engine::EngineConfig;
+/// let config = EngineConfig::from_env().threads(4).max_guard_checks(10_000);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EngineConfig {
     /// Maximum number of distinct search states (the start state counts).
@@ -214,32 +334,155 @@ pub struct EngineConfig {
     pub max_response_size: usize,
     /// Cap on candidate bindings enumerated per method for empty responses.
     pub max_empty_bindings: usize,
-    /// Budget on accumulated [`StepOutcome::cost`]; exceeding it aborts the
-    /// search with [`EngineOutcome::OutOfBudget`].
-    pub max_step_cost: usize,
+    /// Budget on accumulated [`StepOutcome::cost`] (guard-cache consults in
+    /// both production oracles); exceeding it aborts the search with
+    /// [`EngineOutcome::OutOfBudget`].
+    pub max_guard_checks: usize,
+    /// Per-binding response-group cap (see [`MAX_RESPONSE_GROUP`], the
+    /// default).  Values above `31` are clamped: subsets are `u32` masks.
+    pub max_response_group: usize,
     /// Restrict candidates to grounded accesses (every binding value must
     /// occur in the configuration).
     pub grounded: bool,
     /// Empty-response binding enumeration mode.
     pub empty_bindings: EmptyBindingMode,
-    /// Worker threads for layer expansion; `0` means "read
-    /// [`THREADS_ENV_VAR`], default 1".  Verdicts and witnesses do not
-    /// depend on this value.
+    /// Worker threads for layer expansion (`0` is treated as 1).  Verdicts
+    /// and witnesses do not depend on this value.
     pub threads: usize,
+    /// Evaluate guards by scanning instead of through the per-position
+    /// value indexes (the `ACCLTL_DISABLE_INDEXES=1` ablation, applied
+    /// per-search by the oracles).  Guard caching is unaffected.
+    pub disable_indexes: bool,
+    /// Skip guard-verdict memoization (the `ACCLTL_DISABLE_GUARD_CACHE=1`
+    /// ablation).  Verdicts, witnesses and budget accounting are
+    /// byte-identical either way; only wall-clock moves.
+    pub disable_guard_cache: bool,
 }
 
-impl Default for EngineConfig {
-    fn default() -> Self {
+impl EngineConfig {
+    /// The environment-independent baseline configuration.
+    #[must_use]
+    pub fn base() -> Self {
         EngineConfig {
             max_states: 200_000,
             max_response_size: 3,
             max_empty_bindings: 16,
-            max_step_cost: usize::MAX,
+            max_guard_checks: usize::MAX,
+            max_response_group: MAX_RESPONSE_GROUP,
             grounded: false,
             empty_bindings: EmptyBindingMode::Enumerate,
-            threads: 0,
+            threads: 1,
+            disable_indexes: false,
+            disable_guard_cache: false,
         }
     }
+
+    /// [`EngineConfig::base`] with the `ACCLTL_*` environment variables
+    /// folded in as defaults: [`THREADS_ENV_VAR`] seeds `threads`, and
+    /// `ACCLTL_DISABLE_INDEXES=1` / `ACCLTL_DISABLE_GUARD_CACHE=1` set the
+    /// corresponding ablation flags.  This is the single place the
+    /// workspace reads those variables; every search front-end starts from
+    /// it.
+    #[must_use]
+    pub fn from_env() -> Self {
+        let mut config = EngineConfig::base();
+        if let Some(n) = std::env::var(THREADS_ENV_VAR)
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+        {
+            config.threads = n;
+        }
+        config.disable_indexes = env_flag(DISABLE_INDEXES_ENV_VAR);
+        config.disable_guard_cache = env_flag(DISABLE_GUARD_CACHE_ENV_VAR);
+        config
+    }
+
+    /// Sets the state budget.
+    #[must_use]
+    pub fn max_states(mut self, max_states: usize) -> Self {
+        self.max_states = max_states;
+        self
+    }
+
+    /// Sets the per-response size cap.
+    #[must_use]
+    pub fn max_response_size(mut self, max_response_size: usize) -> Self {
+        self.max_response_size = max_response_size;
+        self
+    }
+
+    /// Sets the empty-response binding cap.
+    #[must_use]
+    pub fn max_empty_bindings(mut self, max_empty_bindings: usize) -> Self {
+        self.max_empty_bindings = max_empty_bindings;
+        self
+    }
+
+    /// Sets the step-cost (guard-consult) budget.
+    #[must_use]
+    pub fn max_guard_checks(mut self, max_guard_checks: usize) -> Self {
+        self.max_guard_checks = max_guard_checks;
+        self
+    }
+
+    /// Sets the per-binding response-group cap (clamped to 31 at use).
+    #[must_use]
+    pub fn max_response_group(mut self, max_response_group: usize) -> Self {
+        self.max_response_group = max_response_group;
+        self
+    }
+
+    /// Restricts candidates to grounded accesses.
+    #[must_use]
+    pub fn grounded(mut self, grounded: bool) -> Self {
+        self.grounded = grounded;
+        self
+    }
+
+    /// Sets the empty-response binding enumeration mode.
+    #[must_use]
+    pub fn empty_bindings(mut self, empty_bindings: EmptyBindingMode) -> Self {
+        self.empty_bindings = empty_bindings;
+        self
+    }
+
+    /// Sets the worker-thread count (`0` is treated as 1).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Forces guard evaluation to scan instead of using value indexes.
+    #[must_use]
+    pub fn disable_indexes(mut self, disable_indexes: bool) -> Self {
+        self.disable_indexes = disable_indexes;
+        self
+    }
+
+    /// Disables guard-verdict memoization.
+    #[must_use]
+    pub fn disable_guard_cache(mut self, disable_guard_cache: bool) -> Self {
+        self.disable_guard_cache = disable_guard_cache;
+        self
+    }
+
+    /// The effective response-group cap (masks are `u32`, so at most 31).
+    fn group_cap(&self) -> usize {
+        self.max_response_group.min(31)
+    }
+}
+
+/// `EngineConfig::default()` is [`EngineConfig::from_env`].
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig::from_env()
+    }
+}
+
+fn env_flag(name: &str) -> bool {
+    std::env::var(name).map(|v| v == "1").unwrap_or(false)
 }
 
 /// Result of a frontier search.
@@ -256,9 +499,10 @@ pub enum EngineOutcome {
     /// configured caps — callers may report a definitive negative verdict.
     Exhausted,
     /// The witness space was exhausted, but the per-binding response-group
-    /// cap ([`MAX_RESPONSE_GROUP`]) truncated it: some universe facts could
-    /// never be revealed, so "no witness found" is not a completeness
-    /// certificate.  Callers must report an indefinite verdict.
+    /// cap ([`EngineConfig::max_response_group`]) truncated it: some
+    /// universe facts could never be revealed, so "no witness found" is not
+    /// a completeness certificate.  Callers must report an indefinite
+    /// verdict.
     Truncated {
         /// Number of states discovered.
         explored: usize,
@@ -268,33 +512,72 @@ pub enum EngineOutcome {
         /// Number of states discovered before giving up.
         explored: usize,
     },
-    /// The accumulated step cost exceeded [`EngineConfig::max_step_cost`].
+    /// The accumulated step cost exceeded [`EngineConfig::max_guard_checks`].
     OutOfBudget {
         /// Number of states discovered before giving up.
         explored: usize,
     },
 }
 
-/// Cap on the number of same-binding unrevealed facts considered for one
-/// response subset enumeration (subsets are masks over a `u32`, and response
-/// sizes beyond [`EngineConfig::max_response_size`] are filtered anyway).
-/// When any method's binding group exceeds this, exhausting the frontier is
-/// reported as [`EngineOutcome::Truncated`] instead of
-/// [`EngineOutcome::Exhausted`].
-pub const MAX_RESPONSE_GROUP: usize = 12;
+/// Per-property result of a [`BatchEngine`] run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineReport {
+    /// The search outcome (witness embedded).
+    pub outcome: EngineOutcome,
+    /// Number of search states discovered (the start state counts).
+    pub explored: usize,
+    /// Accumulated [`StepOutcome::cost`], charged against
+    /// [`EngineConfig::max_guard_checks`].
+    pub cost: usize,
+    /// The property oracle's guard-cache counters, when it keeps any.
+    pub cache: Option<GuardCacheStats>,
+}
 
-/// Resolves a configured worker count: explicit values win, `0` falls back to
-/// the [`THREADS_ENV_VAR`] environment variable, default 1.
-#[must_use]
-pub fn resolve_threads(configured: usize) -> usize {
-    if configured > 0 {
-        return configured;
+/// Per-property report of a search front-end (`logic::bounded`,
+/// `automata::emptiness`): one value replacing the historical
+/// `(result, stats)` pairs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchReport<V> {
+    /// The front-end verdict; witnesses are embedded in it.
+    pub verdict: V,
+    /// Number of search states discovered (summed over sub-searches when
+    /// the front-end decomposes the property, e.g. emptiness chains).
+    pub explored: usize,
+    /// Accumulated step cost (guard consults) charged against the budget.
+    pub cost: usize,
+    /// Guard-cache counters for this property's consults.  The hit/miss
+    /// *split* may vary with threads and batch neighbours; the total
+    /// (`hits + misses`) and the verdict are deterministic.
+    pub cache: GuardCacheStats,
+}
+
+impl<V> SearchReport<V> {
+    /// Maps the verdict, keeping the accounting.
+    pub fn map<W>(self, f: impl FnOnce(V) -> W) -> SearchReport<W> {
+        SearchReport {
+            verdict: f(self.verdict),
+            explored: self.explored,
+            cost: self.cost,
+            cache: self.cache,
+        }
     }
-    std::env::var(THREADS_ENV_VAR)
-        .ok()
-        .and_then(|s| s.trim().parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or(1)
+}
+
+/// One property of a batch: an oracle, its start state, the fact universe
+/// it draws responses from, extra constants eligible as guessed binding
+/// values, and its own engine configuration.
+pub struct PropertySpec<O: StepOracle> {
+    /// The property's step oracle.
+    pub oracle: O,
+    /// The logical start state.
+    pub start: O::State,
+    /// The property's fact universe.
+    pub universe: FactUniverse,
+    /// Extra values (formula or automaton constants) eligible as guessed
+    /// binding values.
+    pub constants: BTreeSet<Value>,
+    /// The property's engine configuration.
+    pub config: EngineConfig,
 }
 
 /// The placeholder value used for guessed binding positions (a value that can
@@ -333,7 +616,7 @@ fn fresh_guesses(expected: Option<DataType>, pool: &[Value]) -> Vec<Value> {
     }
 }
 
-/// A revealed-fact set: a fixed-width bitset over universe indices.
+/// A revealed-fact set: a fixed-width bitset over interned fact indices.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct FactSet {
     words: Vec<u64>,
@@ -364,9 +647,20 @@ impl FactSet {
             .map(move |x| (word as u32) * 64 + x.trailing_zeros())
         })
     }
+
+    /// The same set with trailing zero words dropped: a width-independent
+    /// key, so configurations reached in different batch waves (after the
+    /// intern table has grown) still share one context-cache entry.
+    fn trimmed(&self) -> FactSet {
+        let mut words = self.words.clone();
+        while words.last() == Some(&0) {
+            words.pop();
+        }
+        FactSet { words }
+    }
 }
 
-/// One discovered search state in the arena.
+/// One discovered search state in a property's arena.
 struct Node<S> {
     revealed: FactSet,
     state: S,
@@ -384,75 +678,136 @@ struct OwnedCandidate {
     added: Vec<u32>,
 }
 
-type Expansion<S> = Vec<(OwnedCandidate, StepOutcome<S>)>;
-
-/// The shared frontier search engine.  See the module docs for the division
-/// of labour between engine and [`StepOracle`].
-pub struct FrontierEngine<'a, O: StepOracle> {
-    oracle: &'a O,
-    universe: FactUniverse,
-    initial: Arc<Instance>,
-    methods: Vec<&'a AccessMethod>,
-    /// Per method (same order as `methods`): the universe indices of its
-    /// relation's facts — candidate enumeration per state only walks these.
+/// Everything the candidate enumeration of [`BatchEngine::candidates`]
+/// depends on besides the revealed set: properties with equal signatures
+/// (same universe facts per method, same binding pool, same caps) produce
+/// identical candidate lists at every configuration, so their enumerations
+/// are shared through [`BatchEngine::candidate_cache`].
+#[derive(PartialEq)]
+struct CandidateClass {
     method_facts: Vec<Vec<u32>>,
+    binding_pool: Vec<Value>,
+    group_cap: usize,
+    max_response_size: usize,
+    max_empty_bindings: usize,
+    empty_bindings: EmptyBindingMode,
+    grounded: bool,
+}
+
+type Expansion<S> = (Arc<Vec<OwnedCandidate>>, Vec<StepOutcome<S>>);
+
+/// Interns `(relation, tuple)` facts into one shared index space.  Indices
+/// are stable for the lifetime of the engine, so overlays, revealed sets
+/// and context-cache keys mean the same thing across properties and across
+/// successive [`BatchEngine::run`] calls.
+#[derive(Default)]
+struct FactInterner {
+    table: FactUniverse,
+    ids: HashMap<(RelId, Tuple), u32>,
+}
+
+impl FactInterner {
+    fn intern(&mut self, rel: RelId, tuple: &Tuple) -> u32 {
+        if let Some(&id) = self.ids.get(&(rel, tuple.clone())) {
+            return id;
+        }
+        let id = self.table.facts.len() as u32;
+        self.table.facts.push((rel, tuple.clone()));
+        self.ids.insert((rel, tuple.clone()), id);
+        id
+    }
+}
+
+/// The per-property half of a batch run: everything whose value may differ
+/// between properties — frontier, arena, dedup set, budget, truncation
+/// flag, binding pool — mirroring exactly the state a standalone
+/// single-property search would keep.
+struct PropertyRun<O: StepOracle> {
+    oracle: O,
+    start: O::State,
+    /// The property's own universe (used for oracle `step` calls, candidate
+    /// responses and witness reconstruction, so per-property behaviour never
+    /// depends on batch neighbours' facts).
+    universe: FactUniverse,
+    /// Interned id → index in this property's universe.
+    local_of: HashMap<u32, u32>,
+    /// Per method: interned indices of its relation's universe facts, in
+    /// universe order.
+    method_facts: Vec<Vec<u32>>,
+    truncated: bool,
+    binding_pool: Vec<Value>,
+    config: EngineConfig,
+    chunk_len: usize,
+    shares_ctx: bool,
+    /// Index into the engine's candidate-class registry (properties with
+    /// equal classes share candidate enumerations per configuration).
+    candidate_class: usize,
+    nodes: Vec<Node<O::State>>,
+    seen: HashSet<(FactSet, O::State)>,
+    frontier: Vec<u32>,
+    cursor: usize,
+    next: Vec<u32>,
+    spent: usize,
+    report: Option<EngineReport>,
+}
+
+impl<O: StepOracle> PropertyRun<O> {
+    fn finish(&mut self, outcome: EngineOutcome) {
+        self.report = Some(EngineReport {
+            outcome,
+            explored: self.nodes.len(),
+            cost: self.spent,
+            cache: self.oracle.cache_stats(),
+        });
+    }
+}
+
+/// A by-configuration cache shared across properties: entries are keyed by
+/// (candidate class index, trimmed revealed set) and handed out behind an
+/// `Arc` so concurrent frontier workers clone the handle, not the payload.
+type SharedByConfig<T> = RwLock<HashMap<(usize, FactSet), Arc<Vec<T>>>>;
+
+/// The multi-property frontier engine: interns all properties' universes
+/// into one fact table, shares per-configuration work (overlays, prepared
+/// oracle contexts, and — through shared [`GuardCache`] handles inside the
+/// oracles — guard verdicts) across properties, and drives each property's
+/// own frontier to its own verdict.  See the module docs for the
+/// determinism contract.
+///
+/// [`GuardCache`]: accltl_relational::GuardCache
+pub struct BatchEngine<'a, O: StepOracle> {
+    methods: Vec<&'a AccessMethod>,
     /// Per method: the declared column types of its input positions
     /// (`None` when the relation is unknown to the schema).  Empty-response
     /// binding enumeration only guesses type-correct values, so witnesses
     /// always pass `AccessSchema::validate_access` — an ill-typed binding
     /// could never be a real access.
     method_input_types: Vec<Option<Vec<DataType>>>,
-    /// True if some method has more than [`MAX_RESPONSE_GROUP`] universe
-    /// facts sharing one binding, i.e. the subset enumeration is truncated
-    /// and exhausting the frontier proves nothing.
-    truncated: bool,
-    /// Sorted candidate values for empty-response bindings: universe values
-    /// plus search constants.
-    binding_pool: Vec<Value>,
-    config: EngineConfig,
+    initial: Arc<Instance>,
+    interner: FactInterner,
+    /// Prepared oracle contexts keyed by trimmed revealed set, shared
+    /// across properties and states when the oracle opts in
+    /// ([`StepOracle::shares_ctx`]).
+    ctx_cache: RwLock<HashMap<FactSet, Arc<O::StateCtx>>>,
+    /// Registered candidate classes (see [`CandidateClass`]); indices are
+    /// the cache key half carried by each [`PropertyRun`].
+    candidate_classes: Vec<CandidateClass>,
+    /// Candidate enumerations keyed by (candidate class, trimmed revealed
+    /// set).  The enumeration is a pure function of that key, so sharing it
+    /// across properties — and across obligation states of one property —
+    /// changes no candidate list, only the time spent rebuilding it.
+    candidate_cache: SharedByConfig<OwnedCandidate>,
+    /// Prepared per-candidate oracle contexts (transition structures),
+    /// indexed like the corresponding `candidate_cache` entry and shared
+    /// under the same purity contract when the oracle opts in
+    /// ([`StepOracle::shares_ctx`]).
+    candidate_ctx_cache: SharedByConfig<O::CandidateCtx>,
 }
 
-impl<'a, O: StepOracle> FrontierEngine<'a, O> {
-    /// Creates an engine over a schema, universe and initial instance.
-    /// `constants` are extra values (formula or automaton constants) eligible
-    /// as guessed binding values.
-    pub fn new(
-        schema: &'a AccessSchema,
-        oracle: &'a O,
-        universe: FactUniverse,
-        initial: Arc<Instance>,
-        constants: &BTreeSet<Value>,
-        config: EngineConfig,
-    ) -> Self {
-        let mut pool = universe.values();
-        pool.extend(constants.iter().copied());
+impl<'a, O: StepOracle> BatchEngine<'a, O> {
+    /// Creates a batch engine over a schema and shared initial instance.
+    pub fn new(schema: &'a AccessSchema, initial: Arc<Instance>) -> Self {
         let methods: Vec<&AccessMethod> = schema.methods().collect();
-        let mut truncated = false;
-        let method_facts: Vec<Vec<u32>> = methods
-            .iter()
-            .map(|method| {
-                let indices: Vec<u32> = universe
-                    .iter()
-                    .filter(|(_, rel, _)| *rel == method.relation_id())
-                    .map(|(index, _, _)| index)
-                    .collect();
-                // Revealed sets only grow from the root's (the initial
-                // instance's facts), so grouping the facts unrevealed *at the
-                // root* bounds every per-state group the enumeration will
-                // ever see.
-                let mut groups: BTreeMap<Tuple, usize> = BTreeMap::new();
-                for &index in &indices {
-                    let (rel, tuple) = universe.fact(index);
-                    if initial.contains(rel, tuple) {
-                        continue;
-                    }
-                    let projection = tuple.project(method.input_positions());
-                    *groups.entry(projection).or_default() += 1;
-                }
-                truncated |= groups.values().any(|&size| size > MAX_RESPONSE_GROUP);
-                indices
-            })
-            .collect();
         let method_input_types = methods
             .iter()
             .map(|method| {
@@ -469,134 +824,244 @@ impl<'a, O: StepOracle> FrontierEngine<'a, O> {
                 )
             })
             .collect();
-        FrontierEngine {
-            oracle,
+        BatchEngine {
             methods,
-            method_facts,
             method_input_types,
-            truncated,
-            universe,
             initial,
-            binding_pool: pool.into_iter().collect(),
-            config,
+            interner: FactInterner::default(),
+            ctx_cache: RwLock::new(HashMap::new()),
+            candidate_classes: Vec::new(),
+            candidate_cache: RwLock::new(HashMap::new()),
+            candidate_ctx_cache: RwLock::new(HashMap::new()),
         }
     }
 
-    /// The universe the engine searches over.
-    #[must_use]
-    pub fn universe(&self) -> &FactUniverse {
-        &self.universe
-    }
-
-    /// The oracle's guard-verdict cache counters, if it keeps any
-    /// (see [`StepOracle::cache_stats`]).
-    #[must_use]
-    pub fn cache_stats(&self) -> Option<GuardCacheStats> {
-        self.oracle.cache_stats()
-    }
-
-    /// Runs the breadth-first search from the given logical start state.
-    #[must_use]
-    pub fn run(&self, start: O::State) -> EngineOutcome {
-        let threads = resolve_threads(self.config.threads);
-        let mut revealed = FactSet::empty(self.universe.len());
-        for (index, rel, tuple) in self.universe.iter() {
+    /// Runs every property to its own verdict, sharing configuration-space
+    /// work, and returns one report per property in input order.
+    ///
+    /// May be called repeatedly on one engine: interned facts and shared
+    /// contexts persist, so later calls (e.g. successive emptiness-chain
+    /// waves) keep hitting earlier calls' work.
+    pub fn run(&mut self, properties: Vec<PropertySpec<O>>) -> Vec<EngineReport> {
+        let mut runs: Vec<PropertyRun<O>> = properties
+            .into_iter()
+            .map(|spec| self.register(spec))
+            .collect();
+        // The root revealed set spans the whole intern table: every interned
+        // fact already present in the initial instance.  For any single
+        // property this is its own "universe ∩ initial" root plus bits for
+        // facts outside its universe — bits its candidate enumeration never
+        // inspects and whose overlay pushes are no-ops (the base instance
+        // already contains them), so per-property behaviour is unchanged
+        // while all properties agree on what a configuration *is*.
+        let mut root = FactSet::empty(self.interner.table.len());
+        for (id, rel, tuple) in self.interner.table.iter() {
             if self.initial.contains(rel, tuple) {
-                revealed.insert(index);
+                root.insert(id);
             }
         }
+        for run in &mut runs {
+            let key = (root.clone(), run.start.clone());
+            run.nodes.push(Node {
+                revealed: key.0.clone(),
+                state: key.1.clone(),
+                parent: 0,
+                step: None,
+            });
+            run.seen.insert(key);
+            run.frontier.push(0);
+        }
+        // Round-robin one frontier chunk per live property: every property
+        // advances in BFS order exactly as it would alone, while properties
+        // at similar depths reach shared configurations close together in
+        // time (maximizing context- and guard-cache reuse).
+        loop {
+            let mut live = false;
+            for run in &mut runs {
+                if run.report.is_some() {
+                    continue;
+                }
+                self.pump(run);
+                live |= run.report.is_none();
+            }
+            if !live {
+                break;
+            }
+        }
+        runs.into_iter()
+            .map(|run| run.report.expect("every finished run has a report"))
+            .collect()
+    }
 
-        let mut nodes: Vec<Node<O::State>> = vec![Node {
-            revealed: revealed.clone(),
-            state: start.clone(),
-            parent: 0,
-            step: None,
-        }];
-        let mut seen: HashSet<(FactSet, O::State)> = HashSet::new();
-        seen.insert((revealed, start));
-        let mut frontier: Vec<u32> = vec![0];
-        let mut spent = 0usize;
-        // Small chunks bound the work wasted past a terminal verdict while
-        // keeping every thread busy; chunk merging runs in frontier order, so
-        // results are independent of the thread count.
-        let chunk_len = if threads > 1 { threads * 4 } else { 1 };
-
-        while !frontier.is_empty() {
-            let mut next: Vec<u32> = Vec::new();
-            for chunk in frontier.chunks(chunk_len) {
-                let expansions = self.expand_many(chunk, &nodes, threads);
-                for (&node_id, expansion) in chunk.iter().zip(expansions) {
-                    for (candidate, outcome) in expansion {
-                        spent = spent.saturating_add(outcome.cost);
-                        if spent > self.config.max_step_cost {
-                            return EngineOutcome::OutOfBudget {
-                                explored: nodes.len(),
-                            };
-                        }
-                        let access = Access::new(
-                            self.methods[candidate.method].name_sym(),
-                            candidate.binding,
-                        );
-                        if outcome.accept {
-                            return EngineOutcome::Witness {
-                                witness: self.reconstruct(
-                                    &nodes,
-                                    node_id,
-                                    access,
-                                    &candidate.added,
-                                ),
-                            };
-                        }
-                        for successor in outcome.successors {
-                            let mut new_revealed = nodes[node_id as usize].revealed.clone();
-                            for &index in &candidate.added {
-                                new_revealed.insert(index);
-                            }
-                            let key = (new_revealed, successor);
-                            if seen.contains(&key) {
-                                continue;
-                            }
-                            seen.insert(key.clone());
-                            nodes.push(Node {
-                                revealed: key.0,
-                                state: key.1,
-                                parent: node_id,
-                                step: Some((access.clone(), candidate.added.clone())),
-                            });
-                            if nodes.len() >= self.config.max_states {
-                                return EngineOutcome::OutOfStates {
-                                    explored: nodes.len(),
-                                };
-                            }
-                            next.push((nodes.len() - 1) as u32);
-                        }
+    /// Interns a property's universe and sets up its run state.
+    fn register(&mut self, spec: PropertySpec<O>) -> PropertyRun<O> {
+        let PropertySpec {
+            oracle,
+            start,
+            universe,
+            constants,
+            config,
+        } = spec;
+        let fact_ids: Vec<u32> = universe
+            .iter()
+            .map(|(_, rel, tuple)| self.interner.intern(rel, tuple))
+            .collect();
+        let local_of: HashMap<u32, u32> = fact_ids
+            .iter()
+            .enumerate()
+            .map(|(local, &id)| (id, local as u32))
+            .collect();
+        let group_cap = config.group_cap();
+        let mut truncated = false;
+        let method_facts: Vec<Vec<u32>> = self
+            .methods
+            .iter()
+            .map(|method| {
+                let ids: Vec<u32> = universe
+                    .iter()
+                    .zip(&fact_ids)
+                    .filter(|((_, rel, _), _)| *rel == method.relation_id())
+                    .map(|(_, &id)| id)
+                    .collect();
+                // Revealed sets only grow from the root's (the initial
+                // instance's facts), so grouping the facts unrevealed *at the
+                // root* bounds every per-state group the enumeration will
+                // ever see.
+                let mut groups: BTreeMap<Tuple, usize> = BTreeMap::new();
+                for &id in &ids {
+                    let (rel, tuple) = self.interner.table.fact(id);
+                    if self.initial.contains(rel, tuple) {
+                        continue;
                     }
+                    let projection = tuple.project(method.input_positions());
+                    *groups.entry(projection).or_default() += 1;
+                }
+                truncated |= groups.values().any(|&size| size > group_cap);
+                ids
+            })
+            .collect();
+        let mut pool = universe.values();
+        pool.extend(constants.iter().copied());
+        let binding_pool: Vec<Value> = pool.into_iter().collect();
+        let class = CandidateClass {
+            method_facts: method_facts.clone(),
+            binding_pool: binding_pool.clone(),
+            group_cap,
+            max_response_size: config.max_response_size,
+            max_empty_bindings: config.max_empty_bindings,
+            empty_bindings: config.empty_bindings,
+            grounded: config.grounded,
+        };
+        let candidate_class = match self.candidate_classes.iter().position(|c| *c == class) {
+            Some(index) => index,
+            None => {
+                self.candidate_classes.push(class);
+                self.candidate_classes.len() - 1
+            }
+        };
+        let threads = config.threads.max(1);
+        let shares_ctx = oracle.shares_ctx();
+        PropertyRun {
+            oracle,
+            start,
+            universe,
+            local_of,
+            method_facts,
+            truncated,
+            binding_pool,
+            config,
+            // Small chunks bound the work wasted past a terminal verdict
+            // while keeping every thread busy; chunk merging runs in
+            // frontier order, so results are independent of the thread
+            // count.
+            chunk_len: if threads > 1 { threads * 4 } else { 1 },
+            shares_ctx,
+            candidate_class,
+            nodes: Vec::new(),
+            seen: HashSet::new(),
+            frontier: Vec::new(),
+            cursor: 0,
+            next: Vec::new(),
+            spent: 0,
+            report: None,
+        }
+    }
+
+    /// Advances one property by one frontier chunk: expand (across worker
+    /// threads), then merge in frontier order, applying budget, witness and
+    /// state-cap cutoffs exactly as a standalone search would.
+    fn pump(&self, run: &mut PropertyRun<O>) {
+        let end = (run.cursor + run.chunk_len).min(run.frontier.len());
+        let chunk: Vec<u32> = run.frontier[run.cursor..end].to_vec();
+        run.cursor = end;
+        let expansions = self.expand_many(run, &chunk);
+        for (&node_id, (candidates, outcomes)) in chunk.iter().zip(expansions) {
+            for (candidate, outcome) in candidates.iter().zip(outcomes) {
+                run.spent = run.spent.saturating_add(outcome.cost);
+                if run.spent > run.config.max_guard_checks {
+                    let explored = run.nodes.len();
+                    run.finish(EngineOutcome::OutOfBudget { explored });
+                    return;
+                }
+                if !outcome.accept && outcome.successors.is_empty() {
+                    continue;
+                }
+                let access = Access::new(
+                    self.methods[candidate.method].name_sym(),
+                    candidate.binding.clone(),
+                );
+                if outcome.accept {
+                    let witness = self.reconstruct(run, node_id, access, &candidate.added);
+                    run.finish(EngineOutcome::Witness { witness });
+                    return;
+                }
+                for successor in outcome.successors {
+                    let mut new_revealed = run.nodes[node_id as usize].revealed.clone();
+                    for &index in &candidate.added {
+                        new_revealed.insert(index);
+                    }
+                    let key = (new_revealed, successor);
+                    if run.seen.contains(&key) {
+                        continue;
+                    }
+                    run.seen.insert(key.clone());
+                    run.nodes.push(Node {
+                        revealed: key.0,
+                        state: key.1,
+                        parent: node_id,
+                        step: Some((access.clone(), candidate.added.clone())),
+                    });
+                    if run.nodes.len() >= run.config.max_states {
+                        let explored = run.nodes.len();
+                        run.finish(EngineOutcome::OutOfStates { explored });
+                        return;
+                    }
+                    run.next.push((run.nodes.len() - 1) as u32);
                 }
             }
-            frontier = next;
         }
-        if self.truncated {
-            EngineOutcome::Truncated {
-                explored: nodes.len(),
+        if run.cursor >= run.frontier.len() {
+            run.frontier = std::mem::take(&mut run.next);
+            run.cursor = 0;
+            if run.frontier.is_empty() {
+                let outcome = if run.truncated {
+                    EngineOutcome::Truncated {
+                        explored: run.nodes.len(),
+                    }
+                } else {
+                    EngineOutcome::Exhausted
+                };
+                run.finish(outcome);
             }
-        } else {
-            EngineOutcome::Exhausted
         }
     }
 
-    /// Expands a chunk of frontier nodes, across worker threads when
-    /// configured.  Results come back in chunk order.
-    fn expand_many(
-        &self,
-        ids: &[u32],
-        nodes: &[Node<O::State>],
-        threads: usize,
-    ) -> Vec<Expansion<O::State>> {
+    /// Expands a chunk of one property's frontier nodes, across worker
+    /// threads when configured.  Results come back in chunk order.
+    fn expand_many(&self, run: &PropertyRun<O>, ids: &[u32]) -> Vec<Expansion<O::State>> {
+        let threads = run.config.threads.max(1);
         if threads <= 1 || ids.len() <= 1 {
-            return ids
-                .iter()
-                .map(|&id| self.expand(&nodes[id as usize]))
-                .collect();
+            return ids.iter().map(|&id| self.expand(run, id)).collect();
         }
         let share = ids.len().div_ceil(threads);
         thread::scope(|scope| {
@@ -606,7 +1071,7 @@ impl<'a, O: StepOracle> FrontierEngine<'a, O> {
                     scope.spawn(move || {
                         slice
                             .iter()
-                            .map(|&id| self.expand(&nodes[id as usize]))
+                            .map(|&id| self.expand(run, id))
                             .collect::<Vec<_>>()
                     })
                 })
@@ -618,40 +1083,188 @@ impl<'a, O: StepOracle> FrontierEngine<'a, O> {
         })
     }
 
-    /// Expands one node: builds the before-overlay, lets the oracle prepare,
-    /// and evaluates every candidate transition.
-    fn expand(&self, node: &Node<O::State>) -> Expansion<O::State> {
+    /// Materializes the before-configuration of a revealed set as an
+    /// overlay over the shared initial instance.  Pushes run in ascending
+    /// interned-index order; pushes of facts the base already contains are
+    /// no-ops, so the result is exactly the configuration a standalone
+    /// search would build.
+    fn overlay_of(&self, revealed: &FactSet) -> InstanceOverlay {
         let mut before = InstanceOverlay::new(self.initial.clone());
-        for index in node.revealed.ones() {
-            let (rel, tuple) = self.universe.fact(index);
+        for index in revealed.ones() {
+            let (rel, tuple) = self.interner.table.fact(index);
             before.push_fact(rel, tuple.clone());
         }
-        let ctx = self.oracle.prepare(&before);
-        let known = self.config.grounded.then(|| before.active_domain());
-        let candidates = self.candidates(&node.revealed, known.as_ref());
-        candidates
-            .into_iter()
-            .map(|candidate| {
-                let outcome = self.oracle.step(
-                    &node.state,
-                    &ctx,
-                    &Candidate {
-                        method: self.methods[candidate.method],
-                        binding: &candidate.binding,
-                        added: &candidate.added,
-                    },
-                    &self.universe,
-                );
-                (candidate, outcome)
-            })
-            .collect()
+        before
+    }
+
+    /// Expands one node: obtains the oracle context for its configuration
+    /// (shared across properties/states when the oracle allows), and
+    /// evaluates every candidate transition.
+    fn expand(&self, run: &PropertyRun<O>, node_id: u32) -> Expansion<O::State> {
+        let node = &run.nodes[node_id as usize];
+        enum Ctx<C> {
+            Shared(Arc<C>),
+            Owned(C),
+        }
+        let mut before: Option<InstanceOverlay> = None;
+        let ctx = if run.shares_ctx {
+            let key = node.revealed.trimmed();
+            let cached = self
+                .ctx_cache
+                .read()
+                .expect("ctx cache poisoned")
+                .get(&key)
+                .cloned();
+            let shared = match cached {
+                Some(ctx) => ctx,
+                None => {
+                    let overlay = self.overlay_of(&node.revealed);
+                    let prepared = Arc::new(run.oracle.prepare(&overlay));
+                    before = Some(overlay);
+                    // A racing worker may have prepared the same
+                    // configuration; keep the first insertion so every
+                    // later expansion shares one context.
+                    self.ctx_cache
+                        .write()
+                        .expect("ctx cache poisoned")
+                        .entry(key)
+                        .or_insert(prepared)
+                        .clone()
+                }
+            };
+            Ctx::Shared(shared)
+        } else {
+            let overlay = self.overlay_of(&node.revealed);
+            let prepared = run.oracle.prepare(&overlay);
+            before = Some(overlay);
+            Ctx::Owned(prepared)
+        };
+        let known = run.config.grounded.then(|| {
+            before
+                .get_or_insert_with(|| self.overlay_of(&node.revealed))
+                .active_domain()
+        });
+        let ctx_ref: &O::StateCtx = match &ctx {
+            Ctx::Shared(arc) => arc,
+            Ctx::Owned(owned) => owned,
+        };
+        let candidates = self.shared_candidates(run, &node.revealed, known.as_ref());
+        let prepared = run
+            .shares_ctx
+            .then(|| self.shared_candidate_ctxs(run, ctx_ref, &candidates, &node.revealed));
+        let mut local_added: Vec<u32> = Vec::new();
+        let mut outcomes = Vec::with_capacity(candidates.len());
+        for (index, candidate) in candidates.iter().enumerate() {
+            local_added.clear();
+            local_added.extend(candidate.added.iter().map(|id| run.local_of[id]));
+            let borrowed = Candidate {
+                method: self.methods[candidate.method],
+                binding: &candidate.binding,
+                added: &local_added,
+            };
+            let outcome = match &prepared {
+                Some(ctxs) => {
+                    run.oracle
+                        .step(&node.state, ctx_ref, &ctxs[index], &borrowed, &run.universe)
+                }
+                None => {
+                    let ctx = run
+                        .oracle
+                        .prepare_candidate(ctx_ref, &borrowed, &run.universe);
+                    run.oracle
+                        .step(&node.state, ctx_ref, &ctx, &borrowed, &run.universe)
+                }
+            };
+            outcomes.push(outcome);
+        }
+        (candidates, outcomes)
+    }
+
+    /// The prepared per-candidate contexts of a configuration, indexed like
+    /// its [`BatchEngine::shared_candidates`] list; computed once per
+    /// (candidate class, configuration) and shared across properties and
+    /// logical states.  Only called for oracles asserting
+    /// [`StepOracle::shares_ctx`], whose candidate preparation is a pure
+    /// function of the candidate's content; first insertion wins under a
+    /// race, so every expansion sees one context vector.
+    fn shared_candidate_ctxs(
+        &self,
+        run: &PropertyRun<O>,
+        ctx: &O::StateCtx,
+        candidates: &[OwnedCandidate],
+        revealed: &FactSet,
+    ) -> Arc<Vec<O::CandidateCtx>> {
+        let key = (run.candidate_class, revealed.trimmed());
+        let cached = self
+            .candidate_ctx_cache
+            .read()
+            .expect("candidate ctx cache poisoned")
+            .get(&key)
+            .cloned();
+        if let Some(ctxs) = cached {
+            return ctxs;
+        }
+        let mut local_added: Vec<u32> = Vec::new();
+        let mut built = Vec::with_capacity(candidates.len());
+        for candidate in candidates {
+            local_added.clear();
+            local_added.extend(candidate.added.iter().map(|id| run.local_of[id]));
+            built.push(run.oracle.prepare_candidate(
+                ctx,
+                &Candidate {
+                    method: self.methods[candidate.method],
+                    binding: &candidate.binding,
+                    added: &local_added,
+                },
+                &run.universe,
+            ));
+        }
+        self.candidate_ctx_cache
+            .write()
+            .expect("candidate ctx cache poisoned")
+            .entry(key)
+            .or_insert(Arc::new(built))
+            .clone()
+    }
+
+    /// The candidate enumeration of a configuration, computed once per
+    /// (candidate class, configuration) and shared across properties and
+    /// obligation states ([`CandidateClass`]); first insertion wins under a
+    /// race, so every expansion of the configuration sees one list.
+    fn shared_candidates(
+        &self,
+        run: &PropertyRun<O>,
+        revealed: &FactSet,
+        known_values: Option<&BTreeSet<Value>>,
+    ) -> Arc<Vec<OwnedCandidate>> {
+        let key = (run.candidate_class, revealed.trimmed());
+        let cached = self
+            .candidate_cache
+            .read()
+            .expect("candidate cache poisoned")
+            .get(&key)
+            .cloned();
+        match cached {
+            Some(candidates) => candidates,
+            None => {
+                let computed = Arc::new(self.candidates(run, revealed, known_values));
+                self.candidate_cache
+                    .write()
+                    .expect("candidate cache poisoned")
+                    .entry(key)
+                    .or_insert(computed)
+                    .clone()
+            }
+        }
     }
 
     /// Enumerates the candidate transitions available from a state: per
     /// method, non-empty responses grouped by the binding they are compatible
     /// with (bounded subsets), then empty responses with guessed bindings.
+    /// `added` holds *interned* indices.
     fn candidates(
         &self,
+        run: &PropertyRun<O>,
         revealed: &FactSet,
         known_values: Option<&BTreeSet<Value>>,
     ) -> Vec<OwnedCandidate> {
@@ -661,17 +1274,19 @@ impl<'a, O: StepOracle> FrontierEngine<'a, O> {
             // their projection onto the input positions (a well-formed
             // response must agree with the binding on those positions).
             let mut groups: BTreeMap<Tuple, Vec<u32>> = BTreeMap::new();
-            for &index in &self.method_facts[method_index] {
-                if revealed.contains(index) {
+            for &id in &run.method_facts[method_index] {
+                if revealed.contains(id) {
                     continue;
                 }
                 let projection = self
-                    .universe
-                    .fact(index)
+                    .interner
+                    .table
+                    .fact(id)
                     .1
                     .project(method.input_positions());
-                groups.entry(projection).or_default().push(index);
+                groups.entry(projection).or_default().push(id);
             }
+            let group_cap = run.config.group_cap();
             for (binding, members) in &groups {
                 if let Some(known) = known_values {
                     if !binding.values().iter().all(|v| known.contains(v)) {
@@ -680,9 +1295,9 @@ impl<'a, O: StepOracle> FrontierEngine<'a, O> {
                 }
                 // Enumerate non-empty subsets of the group up to the response
                 // size cap.
-                let size = members.len().min(MAX_RESPONSE_GROUP);
+                let size = members.len().min(group_cap);
                 for mask in 1u32..(1u32 << size) {
-                    if (mask.count_ones() as usize) > self.config.max_response_size {
+                    if (mask.count_ones() as usize) > run.config.max_response_size {
                         continue;
                     }
                     candidates.push(OwnedCandidate {
@@ -696,14 +1311,14 @@ impl<'a, O: StepOracle> FrontierEngine<'a, O> {
                 }
             }
             // Empty responses: the access is made but reveals nothing.
-            match self.config.empty_bindings {
+            match run.config.empty_bindings {
                 EmptyBindingMode::Placeholder => candidates.push(OwnedCandidate {
                     method: method_index,
-                    binding: self.placeholder_binding(method_index),
+                    binding: self.placeholder_binding(run, method_index),
                     added: Vec::new(),
                 }),
                 EmptyBindingMode::Enumerate => {
-                    for binding in self.empty_response_bindings(method_index, known_values) {
+                    for binding in self.empty_response_bindings(run, method_index, known_values) {
                         candidates.push(OwnedCandidate {
                             method: method_index,
                             binding,
@@ -727,19 +1342,20 @@ impl<'a, O: StepOracle> FrontierEngine<'a, O> {
     /// the enumeration complete for non-text positions.
     fn empty_response_bindings(
         &self,
+        run: &PropertyRun<O>,
         method_index: usize,
         known_values: Option<&BTreeSet<Value>>,
     ) -> Vec<Tuple> {
         let method = self.methods[method_index];
         let input_types = self.method_input_types[method_index].as_deref();
         let base_pool: Vec<Value> = match known_values {
-            Some(known) => self
+            Some(known) => run
                 .binding_pool
                 .iter()
                 .filter(|v| known.contains(v))
                 .copied()
                 .collect(),
-            None => self.binding_pool.clone(),
+            None => run.binding_pool.clone(),
         };
         let mut bindings: Vec<Vec<Value>> = vec![Vec::new()];
         for slot in 0..method.input_positions().len() {
@@ -759,7 +1375,7 @@ impl<'a, O: StepOracle> FrontierEngine<'a, O> {
             let mut next = Vec::new();
             for prefix in &bindings {
                 for v in &slot_values {
-                    if next.len() >= self.config.max_empty_bindings {
+                    if next.len() >= run.config.max_empty_bindings {
                         break;
                     }
                     let mut extended = prefix.clone();
@@ -769,7 +1385,7 @@ impl<'a, O: StepOracle> FrontierEngine<'a, O> {
             }
             bindings = next;
         }
-        bindings.truncate(self.config.max_empty_bindings);
+        bindings.truncate(run.config.max_empty_bindings);
         bindings.into_iter().map(Tuple::new).collect()
     }
 
@@ -777,14 +1393,14 @@ impl<'a, O: StepOracle> FrontierEngine<'a, O> {
     /// interpretation: one type-appropriate fresh value per input position
     /// (the binding carries no information, but an ill-typed one would make
     /// every witness fail `AccessSchema::validate_access`).
-    fn placeholder_binding(&self, method_index: usize) -> Tuple {
+    fn placeholder_binding(&self, run: &PropertyRun<O>, method_index: usize) -> Tuple {
         let method = self.methods[method_index];
         let input_types = self.method_input_types[method_index].as_deref();
         Tuple::new(
             (0..method.input_arity())
                 .map(|slot| {
                     let expected = input_types.map(|types| types[slot]);
-                    fresh_guesses(expected, &self.binding_pool)[0]
+                    fresh_guesses(expected, &run.binding_pool)[0]
                 })
                 .collect(),
         )
@@ -794,16 +1410,16 @@ impl<'a, O: StepOracle> FrontierEngine<'a, O> {
     /// accepting transition.
     fn reconstruct(
         &self,
-        nodes: &[Node<O::State>],
+        run: &PropertyRun<O>,
         end: u32,
         final_access: Access,
         final_added: &[u32],
     ) -> AccessPath {
         let mut steps: Vec<(Access, Response)> = Vec::new();
         let mut cursor = end;
-        while let Some((access, added)) = &nodes[cursor as usize].step {
+        while let Some((access, added)) = &run.nodes[cursor as usize].step {
             steps.push((access.clone(), self.response_of(added)));
-            cursor = nodes[cursor as usize].parent;
+            cursor = run.nodes[cursor as usize].parent;
         }
         steps.reverse();
         steps.push((final_access, self.response_of(final_added)));
@@ -813,8 +1429,79 @@ impl<'a, O: StepOracle> FrontierEngine<'a, O> {
     fn response_of(&self, added: &[u32]) -> Response {
         added
             .iter()
-            .map(|&index| self.universe.fact(index).1.clone())
+            .map(|&id| self.interner.table.fact(id).1.clone())
             .collect()
+    }
+}
+
+/// The single-property frontier engine: a thin front over a one-property
+/// [`BatchEngine`].  See the module docs for the division of labour between
+/// engine and [`StepOracle`].
+pub struct FrontierEngine<'a, O: StepOracle> {
+    schema: &'a AccessSchema,
+    oracle: &'a O,
+    universe: FactUniverse,
+    initial: Arc<Instance>,
+    constants: BTreeSet<Value>,
+    config: EngineConfig,
+}
+
+impl<'a, O: StepOracle> FrontierEngine<'a, O> {
+    /// Creates an engine over a schema, universe and initial instance.
+    /// `constants` are extra values (formula or automaton constants) eligible
+    /// as guessed binding values.
+    pub fn new(
+        schema: &'a AccessSchema,
+        oracle: &'a O,
+        universe: FactUniverse,
+        initial: Arc<Instance>,
+        constants: &BTreeSet<Value>,
+        config: EngineConfig,
+    ) -> Self {
+        FrontierEngine {
+            schema,
+            oracle,
+            universe,
+            initial,
+            constants: constants.clone(),
+            config,
+        }
+    }
+
+    /// The universe the engine searches over.
+    #[must_use]
+    pub fn universe(&self) -> &FactUniverse {
+        &self.universe
+    }
+
+    /// The oracle's guard-verdict cache counters, if it keeps any
+    /// (see [`StepOracle::cache_stats`]).
+    #[must_use]
+    pub fn cache_stats(&self) -> Option<GuardCacheStats> {
+        self.oracle.cache_stats()
+    }
+
+    /// Runs the breadth-first search from the given logical start state.
+    #[must_use]
+    pub fn run(&self, start: O::State) -> EngineOutcome {
+        self.report(start).outcome
+    }
+
+    /// Runs the search and returns the full [`EngineReport`] (outcome plus
+    /// budget and cache accounting).
+    #[must_use]
+    pub fn report(&self, start: O::State) -> EngineReport {
+        let mut batch: BatchEngine<'_, &O> = BatchEngine::new(self.schema, self.initial.clone());
+        batch
+            .run(vec![PropertySpec {
+                oracle: self.oracle,
+                start,
+                universe: self.universe.clone(),
+                constants: self.constants.clone(),
+                config: self.config,
+            }])
+            .pop()
+            .expect("one property in, one report out")
     }
 }
 
@@ -833,13 +1520,23 @@ mod tests {
     impl StepOracle for CountdownOracle {
         type State = u8;
         type StateCtx = ();
+        type CandidateCtx = ();
 
         fn prepare(&self, _before: &InstanceOverlay) {}
+
+        fn prepare_candidate(
+            &self,
+            _ctx: &(),
+            _candidate: &Candidate<'_>,
+            _universe: &FactUniverse,
+        ) {
+        }
 
         fn step(
             &self,
             state: &u8,
             _ctx: &(),
+            _prepared: &(),
             candidate: &Candidate<'_>,
             _universe: &FactUniverse,
         ) -> StepOutcome<u8> {
@@ -888,6 +1585,28 @@ mod tests {
         engine.run(start)
     }
 
+    /// Registers a one-property batch and returns the candidates of its
+    /// root-like revealed set (nothing revealed): the enumeration unit the
+    /// binding-guess tests below inspect.
+    fn root_candidates(
+        schema: &AccessSchema,
+        universe: FactUniverse,
+        config: EngineConfig,
+    ) -> Vec<OwnedCandidate> {
+        let oracle = CountdownOracle;
+        let mut batch: BatchEngine<'_, &CountdownOracle> =
+            BatchEngine::new(schema, Arc::new(Instance::new()));
+        let run = batch.register(PropertySpec {
+            oracle: &oracle,
+            start: 1u8,
+            universe,
+            constants: BTreeSet::new(),
+            config,
+        });
+        let revealed = FactSet::empty(batch.interner.table.len());
+        batch.candidates(&run, &revealed, None)
+    }
+
     #[test]
     fn finds_a_minimal_witness_and_reconstructs_it() {
         let outcome = engine_outcome(EngineConfig::default(), 2);
@@ -923,10 +1642,7 @@ mod tests {
 
     #[test]
     fn cost_budget_aborts_the_search() {
-        let config = EngineConfig {
-            max_step_cost: 3,
-            ..EngineConfig::default()
-        };
+        let config = EngineConfig::base().max_guard_checks(3);
         assert!(matches!(
             engine_outcome(config, 2),
             EngineOutcome::OutOfBudget { .. }
@@ -936,22 +1652,69 @@ mod tests {
     #[test]
     fn verdicts_and_witnesses_are_thread_count_independent() {
         for start in [1u8, 2, 3] {
-            let single = engine_outcome(
-                EngineConfig {
-                    threads: 1,
-                    ..EngineConfig::default()
-                },
-                start,
-            );
-            let quad = engine_outcome(
-                EngineConfig {
-                    threads: 4,
-                    ..EngineConfig::default()
-                },
-                start,
-            );
+            let single = engine_outcome(EngineConfig::base().threads(1), start);
+            let quad = engine_outcome(EngineConfig::base().threads(4), start);
             assert_eq!(single, quad);
         }
+    }
+
+    #[test]
+    fn batched_runs_match_standalone_runs_per_property() {
+        // One batch carrying three countdown properties over the same
+        // universe must reproduce each standalone outcome and report.
+        let schema = phone_directory_access_schema();
+        let oracle = CountdownOracle;
+        let spec = |start: u8| PropertySpec {
+            oracle: &oracle,
+            start,
+            universe: universe(),
+            constants: BTreeSet::new(),
+            config: EngineConfig::base(),
+        };
+        let mut batch: BatchEngine<'_, &CountdownOracle> =
+            BatchEngine::new(&schema, Arc::new(Instance::new()));
+        let batched = batch.run(vec![spec(1), spec(2), spec(3)]);
+        for (start, report) in [1u8, 2, 3].into_iter().zip(&batched) {
+            let standalone = FrontierEngine::new(
+                &schema,
+                &oracle,
+                universe(),
+                Arc::new(Instance::new()),
+                &BTreeSet::new(),
+                EngineConfig::base(),
+            )
+            .report(start);
+            assert_eq!(report, &standalone, "property with start {start} diverged");
+        }
+    }
+
+    #[test]
+    fn per_property_budgets_cut_off_independently() {
+        let schema = phone_directory_access_schema();
+        let oracle = CountdownOracle;
+        let mut batch: BatchEngine<'_, &CountdownOracle> =
+            BatchEngine::new(&schema, Arc::new(Instance::new()));
+        let reports = batch.run(vec![
+            PropertySpec {
+                oracle: &oracle,
+                start: 2u8,
+                universe: universe(),
+                constants: BTreeSet::new(),
+                config: EngineConfig::base().max_guard_checks(3),
+            },
+            PropertySpec {
+                oracle: &oracle,
+                start: 2u8,
+                universe: universe(),
+                constants: BTreeSet::new(),
+                config: EngineConfig::base(),
+            },
+        ]);
+        assert!(matches!(
+            reports[0].outcome,
+            EngineOutcome::OutOfBudget { .. }
+        ));
+        assert!(matches!(reports[1].outcome, EngineOutcome::Witness { .. }));
     }
 
     #[test]
@@ -962,11 +1725,20 @@ mod tests {
         impl StepOracle for DeadOracle {
             type State = u8;
             type StateCtx = ();
+            type CandidateCtx = ();
             fn prepare(&self, _before: &InstanceOverlay) {}
+            fn prepare_candidate(
+                &self,
+                _ctx: &(),
+                _candidate: &Candidate<'_>,
+                _universe: &FactUniverse,
+            ) {
+            }
             fn step(
                 &self,
                 _state: &u8,
                 _ctx: &(),
+                _prepared: &(),
                 _candidate: &Candidate<'_>,
                 _universe: &FactUniverse,
             ) -> StepOutcome<u8> {
@@ -975,7 +1747,7 @@ mod tests {
         }
 
         let schema = phone_directory_access_schema();
-        let run_with = |fact_count: i64| {
+        let run_with = |fact_count: i64, config: EngineConfig| {
             // `fact_count` Mobile# facts all share the binding "Same".
             let facts: Vec<(RelId, Tuple)> = (0..fact_count)
                 .map(|i| {
@@ -992,15 +1764,28 @@ mod tests {
                 FactUniverse::new(facts),
                 Arc::new(Instance::new()),
                 &BTreeSet::new(),
-                EngineConfig::default(),
+                config,
             )
             .run(0)
         };
         // Within the group cap, exhaustion is a completeness certificate...
-        assert_eq!(run_with(12), EngineOutcome::Exhausted);
+        assert_eq!(run_with(12, EngineConfig::base()), EngineOutcome::Exhausted);
         // ...beyond it (13th same-binding fact can never be revealed) the
         // engine must not certify anything.
-        assert!(matches!(run_with(13), EngineOutcome::Truncated { .. }));
+        assert!(matches!(
+            run_with(13, EngineConfig::base()),
+            EngineOutcome::Truncated { .. }
+        ));
+        // The cap is a config knob now: raising it restores the certificate,
+        // lowering it withdraws one.
+        assert_eq!(
+            run_with(13, EngineConfig::base().max_response_group(13)),
+            EngineOutcome::Exhausted
+        );
+        assert!(matches!(
+            run_with(12, EngineConfig::base().max_response_group(11)),
+            EngineOutcome::Truncated { .. }
+        ));
 
         // Facts already in the initial instance are revealed at the root and
         // never enumerated, so they must not count towards truncation.
@@ -1023,7 +1808,7 @@ mod tests {
             FactUniverse::new(facts),
             Arc::new(initial),
             &BTreeSet::new(),
-            EngineConfig::default(),
+            EngineConfig::base(),
         )
         .run(0);
         assert_eq!(outcome, EngineOutcome::Exhausted);
@@ -1031,10 +1816,7 @@ mod tests {
 
     #[test]
     fn grounded_mode_filters_unknown_binding_values() {
-        let config = EngineConfig {
-            grounded: true,
-            ..EngineConfig::default()
-        };
+        let config = EngineConfig::base().grounded(true);
         // Over the empty initial instance no binding value is known, so no
         // revealing access is ever possible.
         assert_eq!(engine_outcome(config, 1), EngineOutcome::Exhausted);
@@ -1059,17 +1841,7 @@ mod tests {
             (RelId::new("NumRel"), tuple![7, "seven"]),
             (RelId::new("NumRel"), tuple![9, "nine"]),
         ]);
-        let oracle = CountdownOracle;
-        let engine = FrontierEngine::new(
-            &access,
-            &oracle,
-            universe,
-            Arc::new(Instance::new()),
-            &BTreeSet::new(),
-            EngineConfig::default(),
-        );
-        let empty_bindings: Vec<_> = engine
-            .candidates(&FactSet::empty(2), None)
+        let empty_bindings: Vec<_> = root_candidates(&access, universe, EngineConfig::base())
             .into_iter()
             .filter(|c| c.added.is_empty())
             .collect();
@@ -1104,17 +1876,7 @@ mod tests {
             .with_method(AccessMethod::new("AcNum", "NumRel", vec![0]))
             .unwrap();
         let universe = FactUniverse::new(vec![(RelId::new("TxtRel"), tuple!["only-text"])]);
-        let oracle = CountdownOracle;
-        let engine = FrontierEngine::new(
-            &access,
-            &oracle,
-            universe,
-            Arc::new(Instance::new()),
-            &BTreeSet::new(),
-            EngineConfig::default(),
-        );
-        let empty_bindings: Vec<_> = engine
-            .candidates(&FactSet::empty(1), None)
+        let empty_bindings: Vec<_> = root_candidates(&access, universe, EngineConfig::base())
             .into_iter()
             .filter(|c| c.added.is_empty())
             .collect();
@@ -1138,19 +1900,11 @@ mod tests {
         let access = crate::access::AccessSchema::new(schema)
             .with_method(AccessMethod::new("AcNum", "NumRel", vec![0, 1]))
             .unwrap();
-        let oracle = CountdownOracle;
-        let engine = FrontierEngine::new(
+        let candidates = root_candidates(
             &access,
-            &oracle,
             FactUniverse::default(),
-            Arc::new(Instance::new()),
-            &BTreeSet::new(),
-            EngineConfig {
-                empty_bindings: EmptyBindingMode::Placeholder,
-                ..EngineConfig::default()
-            },
+            EngineConfig::base().empty_bindings(EmptyBindingMode::Placeholder),
         );
-        let candidates = engine.candidates(&FactSet::empty(0), None);
         assert_eq!(candidates.len(), 1);
         let access_obj = Access::new("AcNum", candidates[0].binding.clone());
         assert!(
@@ -1163,20 +1917,25 @@ mod tests {
     #[test]
     fn placeholder_mode_emits_one_empty_binding_per_method() {
         let schema = phone_directory_access_schema();
-        let oracle = CountdownOracle;
-        let engine = FrontierEngine::new(
+        let candidates = root_candidates(
             &schema,
-            &oracle,
             FactUniverse::default(),
-            Arc::new(Instance::new()),
-            &BTreeSet::new(),
-            EngineConfig {
-                empty_bindings: EmptyBindingMode::Placeholder,
-                ..EngineConfig::default()
-            },
+            EngineConfig::base().empty_bindings(EmptyBindingMode::Placeholder),
         );
-        let candidates = engine.candidates(&FactSet::empty(0), None);
         assert_eq!(candidates.len(), schema.method_count());
         assert!(candidates.iter().all(|c| c.added.is_empty()));
+    }
+
+    #[test]
+    fn from_env_is_the_single_env_read_site() {
+        // Nothing else in the workspace may call std::env::var for the
+        // ACCLTL_* knobs; this test pins the defaults when the variables
+        // are unset (the harness does not set them).
+        let config = EngineConfig::base();
+        assert_eq!(config.threads, 1);
+        assert!(!config.disable_indexes);
+        assert!(!config.disable_guard_cache);
+        assert_eq!(config.max_response_group, MAX_RESPONSE_GROUP);
+        assert_eq!(config.max_guard_checks, usize::MAX);
     }
 }

@@ -51,8 +51,8 @@ pub mod sanity;
 pub use access::{Access, AccessMethod, AccessSchema};
 pub use answerability::{accessible_part, maximal_answers, AnswerabilityReport};
 pub use engine::{
-    Candidate, EmptyBindingMode, EngineConfig, EngineOutcome, FactUniverse, FrontierEngine,
-    StepOracle, StepOutcome,
+    BatchEngine, Candidate, EmptyBindingMode, EngineConfig, EngineOutcome, EngineReport,
+    FactUniverse, FrontierEngine, PropertySpec, SearchReport, StepOracle, StepOutcome,
 };
 pub use error::PathError;
 pub use lts::{LtsExplorer, LtsOptions, LtsTree, ResponsePolicy};

@@ -66,18 +66,20 @@ use crate::ucq::PosFormula;
 /// every sentence evaluation falls back to the uncached path, which produces
 /// byte-identical verdicts, witnesses and budget accounting (CI diffs the
 /// search examples both ways, mirroring `ACCLTL_DISABLE_INDEXES`).
+///
+/// The variable is *read* in exactly one place: `EngineConfig::from_env` in
+/// `accltl-paths`, which feeds the per-search `disable_guard_cache` flag the
+/// search front-ends pass to [`GuardCache::with_enabled`].  This module only
+/// defines the name and the process-wide [`set_guard_cache_enabled`]
+/// override used by tests and benches.
 pub const DISABLE_GUARD_CACHE_ENV_VAR: &str = "ACCLTL_DISABLE_GUARD_CACHE";
 
 fn cache_override() -> &'static AtomicBool {
-    static FLAG: OnceLock<AtomicBool> = OnceLock::new();
-    FLAG.get_or_init(|| {
-        let disabled = std::env::var(DISABLE_GUARD_CACHE_ENV_VAR).is_ok_and(|v| v == "1");
-        AtomicBool::new(disabled)
-    })
+    static FLAG: AtomicBool = AtomicBool::new(false);
+    &FLAG
 }
 
-/// True if guard-verdict caching is in use (the default).  Initialised from
-/// [`DISABLE_GUARD_CACHE_ENV_VAR`] on first call; flipped by
+/// True if guard-verdict caching is in use (the default); flipped by
 /// [`set_guard_cache_enabled`].
 #[must_use]
 pub fn guard_cache_enabled() -> bool {
@@ -204,21 +206,10 @@ const SHARDS: usize = 16;
 
 type Shard = RwLock<HashMap<(u32, StructureKey), bool, BuildHasherDefault<FxHasher>>>;
 
-/// A sharded guard-verdict cache: `(sentence id, StructureKey) → bool`,
-/// shared by all worker threads of one search.
-///
-/// Created per search (one per `BoundedSearcher::search` call, one per
-/// `bounded_emptiness` call shared across its chains) and dropped with it —
-/// the cache pins every base `Arc` it is told about (see the module docs),
-/// so its memory is proportional to the number of expanded search states
-/// times the configuration size, reclaimed when the search returns.
-///
-/// Whether the cache actually caches is sampled from
-/// [`guard_cache_enabled`] at construction; a disabled cache only counts
-/// consults (all as misses), so hit/miss totals stay comparable across
-/// modes.
+/// The verdict maps and pin table shared by every handle of one cache (see
+/// [`GuardCache::share`]).
 #[derive(Debug)]
-pub struct GuardCache {
+struct SharedCache {
     enabled: bool,
     /// Initialised on the first probe: searches whose states all sit below
     /// the consumers' size cutoff (or that run with the cache disabled)
@@ -228,6 +219,30 @@ pub struct GuardCache {
     /// Base address → retained `Arc`, keeping every fingerprinted base alive
     /// (and thus its address unique) for the cache's lifetime.
     pinned: Mutex<HashMap<usize, Arc<Instance>, BuildHasherDefault<FxHasher>>>,
+}
+
+/// A sharded guard-verdict cache: `(sentence id, StructureKey) → bool`,
+/// shared by all worker threads of one search.
+///
+/// Created per search (one per `BoundedSearcher` run, one per emptiness
+/// check shared across its chains, one per batch shared across all its
+/// properties) and dropped with it — the cache pins every base `Arc` it is
+/// told about (see the module docs), so its memory is proportional to the
+/// number of expanded search states times the configuration size, reclaimed
+/// when the search returns.
+///
+/// A cache value is a *handle*: [`GuardCache::share`] returns a second
+/// handle over the same verdict maps and pin table but with fresh hit/miss
+/// counters, which is how a batched search gives every property its own
+/// consult accounting while all properties share one memo table.
+///
+/// Whether the cache actually caches is decided at construction
+/// ([`GuardCache::with_enabled`] composed with the process-wide
+/// [`guard_cache_enabled`] override); a disabled cache only counts consults
+/// (all as misses), so hit/miss totals stay comparable across modes.
+#[derive(Debug)]
+pub struct GuardCache {
+    shared: Arc<SharedCache>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -239,14 +254,39 @@ impl Default for GuardCache {
 }
 
 impl GuardCache {
-    /// Creates an empty cache, sampling [`guard_cache_enabled`] for its
-    /// mode.
+    /// Creates an empty, enabled cache (subject to the process-wide
+    /// [`guard_cache_enabled`] override).
     #[must_use]
     pub fn new() -> Self {
+        GuardCache::with_enabled(true)
+    }
+
+    /// Creates an empty cache.  The effective mode is `enabled` composed
+    /// with the process-wide [`guard_cache_enabled`] override — the search
+    /// front-ends pass `!disable_guard_cache` from their engine config here,
+    /// so the `ACCLTL_DISABLE_GUARD_CACHE` variable (read once by
+    /// `EngineConfig::from_env`) and the programmatic override both apply.
+    #[must_use]
+    pub fn with_enabled(enabled: bool) -> Self {
         GuardCache {
-            enabled: guard_cache_enabled(),
-            shards: OnceLock::new(),
-            pinned: Mutex::default(),
+            shared: Arc::new(SharedCache {
+                enabled: enabled && guard_cache_enabled(),
+                shards: OnceLock::new(),
+                pinned: Mutex::default(),
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// A second handle over the same verdict maps and pin table, with fresh
+    /// hit/miss counters.  Entries inserted through any handle are visible
+    /// to all of them; each handle's [`GuardCache::stats`] only counts its
+    /// own consults.
+    #[must_use]
+    pub fn share(&self) -> GuardCache {
+        GuardCache {
+            shared: Arc::clone(&self.shared),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
@@ -255,7 +295,7 @@ impl GuardCache {
     /// True if this cache memoizes (false: it only counts consults).
     #[must_use]
     pub fn enabled(&self) -> bool {
-        self.enabled
+        self.shared.enabled
     }
 
     /// The per-state memoization gate shared by the search oracles: decides
@@ -268,7 +308,7 @@ impl GuardCache {
     /// [`crate::CompiledSentence::holds_cached`].
     #[must_use]
     pub fn gate_and_pin(&self, base: &Arc<Instance>) -> bool {
-        let memoize = self.enabled && base.fact_count() >= GUARD_CACHE_CUTOFF;
+        let memoize = self.shared.enabled && base.fact_count() >= GUARD_CACHE_CUTOFF;
         if memoize {
             self.pin_base(base);
         }
@@ -280,11 +320,12 @@ impl GuardCache {
     /// against that base are inserted — the oracles do this in their
     /// per-state `prepare`.
     pub fn pin_base(&self, base: &Arc<Instance>) {
-        if !self.enabled {
+        if !self.shared.enabled {
             return;
         }
         let address = Arc::as_ptr(base) as usize;
-        self.pinned
+        self.shared
+            .pinned
             .lock()
             .expect("guard cache pin table poisoned")
             .entry(address)
@@ -293,6 +334,7 @@ impl GuardCache {
 
     fn shard(&self, sentence: u32, key: &StructureKey) -> &Shard {
         let shards = self
+            .shared
             .shards
             .get_or_init(|| (0..SHARDS).map(|_| Shard::default()).collect());
         let mut hasher = FxHasher::seeded(LANE_A_SEED);
@@ -413,6 +455,31 @@ mod tests {
         assert_eq!(stats.hits, 1);
         assert_eq!(stats.misses, 3);
         assert_eq!(stats.total(), 4);
+    }
+
+    #[test]
+    fn shared_handles_see_one_map_but_count_their_own_consults() {
+        let root = GuardCache::new();
+        let handle = root.share();
+        let overlay = InstanceOverlay::new(base());
+        root.pin_base(overlay.base());
+        let key = overlay.structure_key();
+        assert_eq!(root.lookup(3, &key), None);
+        root.insert(3, key, true);
+        // The entry is visible through the other handle...
+        assert_eq!(handle.lookup(3, &key), Some(true));
+        // ...but each handle's counters only reflect its own consults.
+        assert_eq!(root.stats(), GuardCacheStats { hits: 0, misses: 1 });
+        assert_eq!(handle.stats(), GuardCacheStats { hits: 1, misses: 0 });
+    }
+
+    #[test]
+    fn disabled_at_construction_never_memoizes() {
+        let cache = GuardCache::with_enabled(false);
+        assert!(!cache.enabled());
+        assert!(!cache.gate_and_pin(&base()));
+        // Shared handles inherit the mode.
+        assert!(!cache.share().enabled());
     }
 
     #[test]

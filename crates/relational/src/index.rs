@@ -34,8 +34,8 @@ use std::collections::{BTreeSet, HashMap};
 use std::hash::{BuildHasherDefault, Hasher};
 use std::slice;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::OnceLock;
 
+use crate::guard_cache::StructureKey;
 use crate::overlay::{InstanceView, TupleIter};
 use crate::symbols::{IdMap, RelId};
 use crate::tuple::Tuple;
@@ -115,6 +115,12 @@ type PostingMap = HashMap<(u32, Value), Vec<u32>, BuildHasherDefault<FxHasher>>;
 /// Environment variable disabling all index builds and lookups when set to
 /// `1` — every query falls back to the scanning defaults, which produce
 /// byte-identical results (CI diffs the search examples both ways).
+///
+/// The variable is *read* in exactly one place: `EngineConfig::from_env` in
+/// `accltl-paths`, which feeds the per-search `disable_indexes` flag the
+/// search oracles honour by wrapping their evaluation views in [`ScanView`].
+/// This module only defines the name and the process-wide
+/// [`set_indexing_enabled`] override used by tests and benches.
 pub const DISABLE_INDEXES_ENV_VAR: &str = "ACCLTL_DISABLE_INDEXES";
 
 /// Relations with fewer tuples than this are answered by scanning even when
@@ -125,15 +131,11 @@ pub const DISABLE_INDEXES_ENV_VAR: &str = "ACCLTL_DISABLE_INDEXES";
 pub const INDEX_CUTOFF: usize = 8;
 
 fn scan_override() -> &'static AtomicBool {
-    static FLAG: OnceLock<AtomicBool> = OnceLock::new();
-    FLAG.get_or_init(|| {
-        let disabled = std::env::var(DISABLE_INDEXES_ENV_VAR).is_ok_and(|v| v == "1");
-        AtomicBool::new(disabled)
-    })
+    static FLAG: AtomicBool = AtomicBool::new(false);
+    &FLAG
 }
 
-/// True if per-position indexes are in use (the default).  Initialised from
-/// [`DISABLE_INDEXES_ENV_VAR`] on first call; flipped by
+/// True if per-position indexes are in use (the default); flipped by
 /// [`set_indexing_enabled`].
 #[must_use]
 pub fn indexing_enabled() -> bool {
@@ -563,6 +565,12 @@ impl<V: InstanceView + ?Sized> InstanceView for ScanView<'_, V> {
 
     fn view_active_domain(&self) -> BTreeSet<Value> {
         self.0.view_active_domain()
+    }
+
+    fn guard_key(&self, relations: &[RelId]) -> Option<StructureKey> {
+        // Guard-verdict fingerprints are index-free, so hiding the index
+        // overrides must not also disable guard caching.
+        self.0.guard_key(relations)
     }
     // `tuples_matching` / `selectivity` / `tuples_matching_all` /
     // `known_uniform_arity` deliberately keep their scanning defaults.
