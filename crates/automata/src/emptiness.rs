@@ -229,8 +229,13 @@ pub fn bounded_emptiness_batch_with_config(
                 continue;
             }
             let universe = FactUniverse::new(guard_fact_universe(chain, schema, initial));
-            let oracle =
-                AutomatonOracle::new(chain, schema, &handles[index], engine.disable_indexes);
+            let oracle = AutomatonOracle::new(
+                chain,
+                schema,
+                &handles[index],
+                engine.disable_indexes,
+                engine.index_cutoff,
+            );
             specs.push(PropertySpec {
                 oracle,
                 start: chain.initial,
@@ -266,6 +271,9 @@ pub fn bounded_emptiness_batch_with_config(
             }
         }
     }
+    // One engine drove every wave, so its cache counters accumulate across
+    // waves; snapshot them once for all reports.
+    let engine_cache = batch.engine_cache_stats();
     slots
         .into_iter()
         .zip(&handles)
@@ -274,6 +282,7 @@ pub fn bounded_emptiness_batch_with_config(
             explored: slot.explored,
             cost: slot.cost,
             cache: handle.stats(),
+            engine_cache,
         })
         .collect()
 }
@@ -322,6 +331,10 @@ struct AutomatonOracle<'a> {
     /// Evaluate guards by scanning instead of through value indexes
     /// ([`EngineConfig::disable_indexes`]); guard caching is unaffected.
     scan: bool,
+    /// Per-relation size below which transition-structure bases are scanned
+    /// rather than indexed ([`EngineConfig::index_cutoff`]), stamped onto
+    /// each state's base in `prepare`.
+    index_cutoff: usize,
 }
 
 impl<'a> AutomatonOracle<'a> {
@@ -330,6 +343,7 @@ impl<'a> AutomatonOracle<'a> {
         schema: &AccessSchema,
         cache: &'a GuardCache,
         scan: bool,
+        index_cutoff: usize,
     ) -> Self {
         let compiled = automaton
             .transitions
@@ -347,6 +361,7 @@ impl<'a> AutomatonOracle<'a> {
             outgoing,
             cache,
             scan,
+            index_cutoff,
         }
     }
 
@@ -380,12 +395,15 @@ impl StepOracle for AutomatonOracle<'_> {
     type CandidateCtx = InstanceOverlay;
 
     fn prepare(&self, before: &InstanceOverlay) -> AutomatonCtx {
-        let base = Arc::new(self.vocab.state_structure(before));
-        // Size-gate memoization per state and pin the base so verdicts
-        // fingerprinted against its address stay replayable (see
-        // `relational::guard_cache`).
-        let memoize = self.cache.gate_and_pin(&base);
-        AutomatonCtx { base, memoize }
+        let mut base = self.vocab.state_structure(before);
+        base.set_index_cutoff(self.index_cutoff);
+        // Size-gate memoization per state (content-addressed keys need no
+        // pinning — see `relational::guard_cache`).
+        let memoize = self.cache.memoize_gate(&base);
+        AutomatonCtx {
+            base: Arc::new(base),
+            memoize,
+        }
     }
 
     fn prepare_candidate(

@@ -53,8 +53,8 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::{Arc, RwLock};
 
 use accltl_paths::engine::{
-    BatchEngine, Candidate, EmptyBindingMode, EngineConfig, EngineOutcome, FactUniverse,
-    PropertySpec, SearchReport, StepOracle, StepOutcome,
+    BatchEngine, Candidate, EmptyBindingMode, EngineCacheStats, EngineConfig, EngineOutcome,
+    FactUniverse, PropertySpec, SearchReport, StepOracle, StepOutcome,
 };
 use accltl_paths::{AccessPath, AccessSchema};
 use accltl_relational::{
@@ -239,6 +239,10 @@ struct FormulaOracle<'c> {
     /// Evaluate by scanning instead of through value indexes
     /// ([`EngineConfig::disable_indexes`]); guard caching is unaffected.
     scan: bool,
+    /// Per-relation size below which transition-structure bases are scanned
+    /// rather than indexed ([`EngineConfig::index_cutoff`]), stamped onto
+    /// each state's base in `prepare`.
+    index_cutoff: usize,
     /// One-step progressions memoized per (obligation, atom-verdict mask):
     /// the progressed successor is a pure function of the obligation and the
     /// verdicts of the formula's atom sentences, so candidates whose guards
@@ -285,6 +289,7 @@ impl<'c> FormulaOracle<'c> {
         zero_ary: bool,
         cache: &'c GuardCache,
         scan: bool,
+        index_cutoff: usize,
     ) -> Self {
         let compiled = formula
             .atom_sentences()
@@ -300,6 +305,7 @@ impl<'c> FormulaOracle<'c> {
             cache,
             zero_ary,
             scan,
+            index_cutoff,
             progress_memo: RwLock::new(HashMap::new()),
         }
     }
@@ -369,12 +375,15 @@ impl StepOracle for FormulaOracle<'_> {
     type CandidateCtx = InstanceOverlay;
 
     fn prepare(&self, before: &InstanceOverlay) -> FormulaCtx {
-        let base = Arc::new(self.vocab.state_structure(before));
-        // Size-gate memoization per state and pin the base so verdicts
-        // fingerprinted against its address stay replayable (see
-        // `relational::guard_cache`).
-        let memoize = self.cache.gate_and_pin(&base);
-        FormulaCtx { base, memoize }
+        let mut base = self.vocab.state_structure(before);
+        base.set_index_cutoff(self.index_cutoff);
+        // Size-gate memoization per state (content-addressed keys need no
+        // pinning — see `relational::guard_cache`).
+        let memoize = self.cache.memoize_gate(&base);
+        FormulaCtx {
+            base: Arc::new(base),
+            memoize,
+        }
     }
 
     fn prepare_candidate(
@@ -588,6 +597,7 @@ impl<'a> BoundedSearcher<'a> {
                     explored: 0,
                     cost: 0,
                     cache: handle.stats(),
+                    engine_cache: EngineCacheStats::default(),
                 });
                 continue;
             }
@@ -599,6 +609,7 @@ impl<'a> BoundedSearcher<'a> {
                 self.zero_ary,
                 handle,
                 engine_config.disable_indexes,
+                engine_config.index_cutoff,
             );
             specs.push(PropertySpec {
                 oracle,
@@ -626,6 +637,7 @@ impl<'a> BoundedSearcher<'a> {
                     explored: report.explored,
                     cost: report.cost,
                     cache: report.cache.unwrap_or_default(),
+                    engine_cache: report.engine_cache,
                 });
             }
         }

@@ -44,11 +44,14 @@
 //!   projection onto a method's input positions, bounded response subsets,
 //!   and bounded empty-response binding enumeration (with the grounded and
 //!   0-ary variants both searches need);
-//! * **parallel layer expansion** — each BFS chunk is sharded across worker
-//!   threads (`std::thread::scope`); expansion results are merged on the
-//!   driving thread *in frontier order*, so verdicts, budget cutoffs and
-//!   witness paths are identical for every thread count (single-thread
-//!   determinism is part of the contract, not an accident of scheduling);
+//! * **parallel layer expansion** — every global round submits the union of
+//!   all live properties' frontier chunks to one persistent work-stealing
+//!   worker set ([`crate::pool`], spawned once per [`BatchEngine::run`]
+//!   call, so small layers pay no per-layer spawn); expansion results are
+//!   merged on the driving thread *in frontier order*, so verdicts, budget
+//!   cutoffs and witness paths are identical for every thread count
+//!   (single-thread determinism is part of the contract, not an accident of
+//!   scheduling);
 //! * **witness reconstruction** — walking the parent arena back to the root.
 //!
 //! Per candidate transition the engine never clones a configuration: the
@@ -57,9 +60,10 @@
 //! push onto their own per-state overlay — a step costs `O(|response|)`.
 //!
 //! Both production oracles additionally memoize guard verdicts through a
-//! per-search `accltl_relational::GuardCache`: `prepare` pins the per-state
-//! base `Arc` and `step` consults the cache (sentence id × restricted
-//! `StructureKey`) before any homomorphism search.  In a batch every
+//! per-search `accltl_relational::GuardCache`: `prepare` size-gates
+//! memoization per state and `step` consults the cache (sentence id ×
+//! restricted content-addressed `StructureKey`) before any homomorphism
+//! search.  In a batch every
 //! property holds a [`accltl_relational::GuardCache::share`] handle of one
 //! root cache, so
 //! structurally-shared guards hit across the whole batch while each
@@ -77,20 +81,30 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
-use std::thread;
 
 use accltl_relational::{
     DataType, GuardCacheStats, Instance, InstanceOverlay, RelId, Tuple, Value,
-    DISABLE_GUARD_CACHE_ENV_VAR, DISABLE_INDEXES_ENV_VAR,
+    DISABLE_GUARD_CACHE_ENV_VAR, DISABLE_INDEXES_ENV_VAR, INDEX_CUTOFF,
 };
 
 use crate::access::{Access, AccessMethod, AccessSchema};
 use crate::path::{AccessPath, Response};
+use crate::pool;
 
 /// The environment variable consulted by [`EngineConfig::from_env`] for the
 /// default worker count.
 pub const THREADS_ENV_VAR: &str = "ACCLTL_SEARCH_THREADS";
+
+/// The environment variable consulted by [`EngineConfig::from_env`] for the
+/// default [`EngineConfig::index_cutoff`] (`0` is meaningful: index every
+/// relation).
+pub const INDEX_CUTOFF_ENV_VAR: &str = "ACCLTL_INDEX_CUTOFF";
+
+/// The environment variable consulted by [`EngineConfig::from_env`] for the
+/// default [`EngineConfig::steal_batch`].
+pub const STEAL_BATCH_ENV_VAR: &str = "ACCLTL_STEAL_BATCH";
 
 /// The finite fact universe a search draws its responses from.
 #[derive(Debug, Clone, Default)]
@@ -190,7 +204,11 @@ impl<S> StepOutcome<S> {
 /// transition-structure base; `step` is then called once per candidate and
 /// must not clone the configuration — push the candidate's delta onto an
 /// overlay instead.
-pub trait StepOracle: Sync {
+///
+/// `Send + Sync` because a batch's property runs (each owning its oracle)
+/// sit behind the lock the [`pool`] workers read expansion
+/// tasks through.
+pub trait StepOracle: Send + Sync {
     /// The logical component of a search state (a progressed formula, an
     /// automaton state, ...).
     type State: Clone + Eq + Hash + Send + Sync;
@@ -357,6 +375,17 @@ pub struct EngineConfig {
     /// ablation).  Verdicts, witnesses and budget accounting are
     /// byte-identical either way; only wall-clock moves.
     pub disable_guard_cache: bool,
+    /// Per-relation size below which transition-structure relations are
+    /// scanned rather than indexed (default
+    /// [`accltl_relational::INDEX_CUTOFF`]; stamped by the oracles onto each
+    /// state's base via `Instance::set_index_cutoff`).  A performance knob:
+    /// never affects verdicts.
+    pub index_cutoff: usize,
+    /// Number of frontier tasks a pool worker claims (or steals) at a time
+    /// (`0` is treated as 1).  Larger batches amortize deque locking on tiny
+    /// tasks at the cost of coarser stealing.  Verdicts and witnesses do not
+    /// depend on this value.
+    pub steal_batch: usize,
 }
 
 impl EngineConfig {
@@ -374,11 +403,15 @@ impl EngineConfig {
             threads: 1,
             disable_indexes: false,
             disable_guard_cache: false,
+            index_cutoff: INDEX_CUTOFF,
+            steal_batch: 1,
         }
     }
 
     /// [`EngineConfig::base`] with the `ACCLTL_*` environment variables
-    /// folded in as defaults: [`THREADS_ENV_VAR`] seeds `threads`, and
+    /// folded in as defaults: [`THREADS_ENV_VAR`] seeds `threads`,
+    /// [`INDEX_CUTOFF_ENV_VAR`] seeds `index_cutoff`,
+    /// [`STEAL_BATCH_ENV_VAR`] seeds `steal_batch`, and
     /// `ACCLTL_DISABLE_INDEXES=1` / `ACCLTL_DISABLE_GUARD_CACHE=1` set the
     /// corresponding ablation flags.  This is the single place the
     /// workspace reads those variables; every search front-end starts from
@@ -386,12 +419,17 @@ impl EngineConfig {
     #[must_use]
     pub fn from_env() -> Self {
         let mut config = EngineConfig::base();
-        if let Some(n) = std::env::var(THREADS_ENV_VAR)
+        if let Some(n) = env_usize(THREADS_ENV_VAR) {
+            config.threads = n;
+        }
+        if let Some(n) = env_usize(STEAL_BATCH_ENV_VAR) {
+            config.steal_batch = n;
+        }
+        if let Some(n) = std::env::var(INDEX_CUTOFF_ENV_VAR)
             .ok()
             .and_then(|s| s.trim().parse::<usize>().ok())
-            .filter(|&n| n > 0)
         {
-            config.threads = n;
+            config.index_cutoff = n;
         }
         config.disable_indexes = env_flag(DISABLE_INDEXES_ENV_VAR);
         config.disable_guard_cache = env_flag(DISABLE_GUARD_CACHE_ENV_VAR);
@@ -468,6 +506,20 @@ impl EngineConfig {
         self
     }
 
+    /// Sets the per-relation indexing cutoff.
+    #[must_use]
+    pub fn index_cutoff(mut self, index_cutoff: usize) -> Self {
+        self.index_cutoff = index_cutoff;
+        self
+    }
+
+    /// Sets the pool steal-batch size (`0` is treated as 1).
+    #[must_use]
+    pub fn steal_batch(mut self, steal_batch: usize) -> Self {
+        self.steal_batch = steal_batch;
+        self
+    }
+
     /// The effective response-group cap (masks are `u32`, so at most 31).
     fn group_cap(&self) -> usize {
         self.max_response_group.min(31)
@@ -483,6 +535,13 @@ impl Default for EngineConfig {
 
 fn env_flag(name: &str) -> bool {
     std::env::var(name).map(|v| v == "1").unwrap_or(false)
+}
+
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
 }
 
 /// Result of a frontier search.
@@ -519,8 +578,43 @@ pub enum EngineOutcome {
     },
 }
 
+/// Counters for the engine-level shared caches (prepared state contexts,
+/// candidate enumerations and per-candidate contexts), summed over the
+/// three maps.  Each map is size-capped: when an insert would grow a full
+/// map, the map is cleared first and the dropped entries are counted as
+/// evictions (generation eviction — constant-time bookkeeping, and a busy
+/// engine promptly re-fills with its current working set).
+///
+/// These counters describe *work saved*, not the answer: the hit/miss
+/// split varies with thread interleaving and batch composition, so the
+/// field is deliberately excluded from [`EngineReport`] / [`SearchReport`]
+/// equality.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineCacheStats {
+    /// Lookups answered from a shared cache.
+    pub hits: u64,
+    /// Lookups that had to compute (and then insert) their entry.
+    pub misses: u64,
+    /// Entries dropped by clear-on-full eviction.
+    pub evictions: u64,
+    /// Entries resident across the three maps when the snapshot was taken.
+    pub entries: u64,
+}
+
+impl EngineCacheStats {
+    /// Total lookups (`hits + misses`).
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
 /// Per-property result of a [`BatchEngine`] run.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Equality ignores [`EngineReport::engine_cache`]: those counters are
+/// engine-wide and scheduling-dependent, while every other field is
+/// per-property and deterministic.
+#[derive(Debug, Clone)]
 pub struct EngineReport {
     /// The search outcome (witness embedded).
     pub outcome: EngineOutcome,
@@ -531,12 +625,30 @@ pub struct EngineReport {
     pub cost: usize,
     /// The property oracle's guard-cache counters, when it keeps any.
     pub cache: Option<GuardCacheStats>,
+    /// Engine-level shared-cache counters at the end of the run (the same
+    /// snapshot on every report of one [`BatchEngine::run`] call).
+    pub engine_cache: EngineCacheStats,
 }
+
+impl PartialEq for EngineReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.outcome == other.outcome
+            && self.explored == other.explored
+            && self.cost == other.cost
+            && self.cache == other.cache
+    }
+}
+
+impl Eq for EngineReport {}
 
 /// Per-property report of a search front-end (`logic::bounded`,
 /// `automata::emptiness`): one value replacing the historical
 /// `(result, stats)` pairs.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Equality ignores [`SearchReport::engine_cache`] for the same reason as
+/// [`EngineReport`]: the engine-wide counters depend on scheduling and
+/// batch composition, the per-property fields do not.
+#[derive(Debug, Clone)]
 pub struct SearchReport<V> {
     /// The front-end verdict; witnesses are embedded in it.
     pub verdict: V,
@@ -549,7 +661,21 @@ pub struct SearchReport<V> {
     /// *split* may vary with threads and batch neighbours; the total
     /// (`hits + misses`) and the verdict are deterministic.
     pub cache: GuardCacheStats,
+    /// Engine-level shared-cache counters for the run that produced this
+    /// report (summed over waves when the front-end runs several batches).
+    pub engine_cache: EngineCacheStats,
 }
+
+impl<V: PartialEq> PartialEq for SearchReport<V> {
+    fn eq(&self, other: &Self) -> bool {
+        self.verdict == other.verdict
+            && self.explored == other.explored
+            && self.cost == other.cost
+            && self.cache == other.cache
+    }
+}
+
+impl<V: Eq> Eq for SearchReport<V> {}
 
 impl<V> SearchReport<V> {
     /// Maps the verdict, keeping the accounting.
@@ -559,6 +685,7 @@ impl<V> SearchReport<V> {
             explored: self.explored,
             cost: self.cost,
             cache: self.cache,
+            engine_cache: self.engine_cache,
         }
     }
 }
@@ -753,11 +880,14 @@ struct PropertyRun<O: StepOracle> {
 
 impl<O: StepOracle> PropertyRun<O> {
     fn finish(&mut self, outcome: EngineOutcome) {
+        // `engine_cache` is engine-wide; `BatchEngine::run` stamps the
+        // final snapshot over this placeholder on every report it returns.
         self.report = Some(EngineReport {
             outcome,
             explored: self.nodes.len(),
             cost: self.spent,
             cache: self.oracle.cache_stats(),
+            engine_cache: EngineCacheStats::default(),
         });
     }
 }
@@ -766,6 +896,15 @@ impl<O: StepOracle> PropertyRun<O> {
 /// (candidate class index, trimmed revealed set) and handed out behind an
 /// `Arc` so concurrent frontier workers clone the handle, not the payload.
 type SharedByConfig<T> = RwLock<HashMap<(usize, FactSet), Arc<Vec<T>>>>;
+
+/// Resident-entry cap for each of the engine's three shared caches.  When
+/// an insert would grow a full map, the map is cleared first (generation
+/// eviction) and the dropped entries are counted in
+/// [`EngineCacheStats::evictions`].  Configuration spaces that fit below
+/// the cap — every workload in the test and bench suites — never evict;
+/// the cap only bounds memory on adversarial reveal spaces, where the
+/// configuration count is exponential in the universe.
+const ENGINE_CACHE_CAP: usize = 8192;
 
 /// The multi-property frontier engine: interns all properties' universes
 /// into one fact table, shares per-configuration work (overlays, prepared
@@ -802,6 +941,12 @@ pub struct BatchEngine<'a, O: StepOracle> {
     /// under the same purity contract when the oracle opts in
     /// ([`StepOracle::shares_ctx`]).
     candidate_ctx_cache: SharedByConfig<O::CandidateCtx>,
+    /// Shared-cache lookup counters, summed over the three maps (see
+    /// [`EngineCacheStats`]); relaxed atomics, since they are counters
+    /// rather than synchronization.
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    cache_evictions: AtomicU64,
 }
 
 impl<'a, O: StepOracle> BatchEngine<'a, O> {
@@ -833,7 +978,53 @@ impl<'a, O: StepOracle> BatchEngine<'a, O> {
             candidate_classes: Vec::new(),
             candidate_cache: RwLock::new(HashMap::new()),
             candidate_ctx_cache: RwLock::new(HashMap::new()),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            cache_evictions: AtomicU64::new(0),
         }
+    }
+
+    /// A snapshot of the engine's shared-cache counters.  [`BatchEngine::run`]
+    /// stamps this onto every report it returns; front-ends that drive
+    /// several runs through one engine (emptiness waves) read it once at
+    /// the end instead.
+    #[must_use]
+    pub fn engine_cache_stats(&self) -> EngineCacheStats {
+        let entries = self.ctx_cache.read().expect("ctx cache poisoned").len()
+            + self
+                .candidate_cache
+                .read()
+                .expect("candidate cache poisoned")
+                .len()
+            + self
+                .candidate_ctx_cache
+                .read()
+                .expect("candidate ctx cache poisoned")
+                .len();
+        EngineCacheStats {
+            hits: self.cache_hits.load(Ordering::Relaxed),
+            misses: self.cache_misses.load(Ordering::Relaxed),
+            evictions: self.cache_evictions.load(Ordering::Relaxed),
+            entries: entries as u64,
+        }
+    }
+
+    /// First-insertion-wins insert into one of the shared cache maps,
+    /// clearing the map first when the insert would grow it past
+    /// [`ENGINE_CACHE_CAP`] (the cleared entries count as evictions).
+    fn insert_capped<K: Eq + Hash, V: Clone>(
+        &self,
+        cache: &RwLock<HashMap<K, V>>,
+        key: K,
+        value: V,
+    ) -> V {
+        let mut map = cache.write().expect("engine cache poisoned");
+        if map.len() >= ENGINE_CACHE_CAP && !map.contains_key(&key) {
+            self.cache_evictions
+                .fetch_add(map.len() as u64, Ordering::Relaxed);
+            map.clear();
+        }
+        map.entry(key).or_insert(value).clone()
     }
 
     /// Runs every property to its own verdict, sharing configuration-space
@@ -871,25 +1062,81 @@ impl<'a, O: StepOracle> BatchEngine<'a, O> {
             run.seen.insert(key);
             run.frontier.push(0);
         }
-        // Round-robin one frontier chunk per live property: every property
-        // advances in BFS order exactly as it would alone, while properties
-        // at similar depths reach shared configurations close together in
-        // time (maximizing context- and guard-cache reuse).
-        loop {
-            let mut live = false;
-            for run in &mut runs {
-                if run.report.is_some() {
-                    continue;
+        // Round-robin one frontier chunk per live property per global
+        // round: every property advances in BFS order exactly as it would
+        // alone, while properties at similar depths reach shared
+        // configurations close together in time (maximizing context- and
+        // guard-cache reuse).  One persistent worker set (see
+        // [`crate::pool`]) expands the union of all properties' chunks, so
+        // idle workers steal across properties; results merge per property
+        // in frontier order, so verdicts, witnesses, budget cutoffs and
+        // consult totals are independent of `threads` and `steal_batch`.
+        let threads = runs
+            .iter()
+            .map(|run| run.config.threads.max(1))
+            .max()
+            .unwrap_or(1);
+        let steal_batch = runs
+            .iter()
+            .map(|run| run.config.steal_batch.max(1))
+            .max()
+            .unwrap_or(1);
+        let this: &BatchEngine<'a, O> = self;
+        let runs = RwLock::new(runs);
+        pool::scoped(
+            threads,
+            steal_batch,
+            |&(run_index, node_id): &(usize, u32)| {
+                // EXPAND phase: read-locked, so any number of workers
+                // expand concurrently; the write-locked SELECT/MERGE
+                // phases never overlap with it.
+                let runs = runs.read().expect("batch runs poisoned");
+                this.expand(&runs[run_index], node_id)
+            },
+            |pool| loop {
+                // SELECT: take one frontier chunk per live property.
+                let mut tasks: Vec<(usize, u32)> = Vec::new();
+                let mut spans: Vec<(usize, std::ops::Range<usize>)> = Vec::new();
+                {
+                    let mut runs = runs.write().expect("batch runs poisoned");
+                    for (run_index, run) in runs.iter_mut().enumerate() {
+                        if run.report.is_some() {
+                            continue;
+                        }
+                        let begin = tasks.len();
+                        let end = (run.cursor + run.chunk_len).min(run.frontier.len());
+                        tasks.extend(
+                            run.frontier[run.cursor..end]
+                                .iter()
+                                .map(|&node_id| (run_index, node_id)),
+                        );
+                        run.cursor = end;
+                        spans.push((run_index, begin..tasks.len()));
+                    }
                 }
-                self.pump(run);
-                live |= run.report.is_none();
-            }
-            if !live {
-                break;
-            }
-        }
-        runs.into_iter()
-            .map(|run| run.report.expect("every finished run has a report"))
+                if spans.is_empty() {
+                    break;
+                }
+                // EXPAND: all properties' tasks through one pool round.
+                let node_ids: Vec<u32> = tasks.iter().map(|&(_, node_id)| node_id).collect();
+                let mut expansions = pool.run(tasks).into_iter();
+                // MERGE: per property, in frontier order.
+                let mut runs = runs.write().expect("batch runs poisoned");
+                for (run_index, span) in spans {
+                    let chunk: Vec<_> = expansions.by_ref().take(span.len()).collect();
+                    this.merge_chunk(&mut runs[run_index], &node_ids[span], chunk);
+                }
+            },
+        );
+        let stats = self.engine_cache_stats();
+        runs.into_inner()
+            .expect("batch runs poisoned")
+            .into_iter()
+            .map(|run| {
+                let mut report = run.report.expect("every finished run has a report");
+                report.engine_cache = stats;
+                report
+            })
             .collect()
     }
 
@@ -987,15 +1234,19 @@ impl<'a, O: StepOracle> BatchEngine<'a, O> {
         }
     }
 
-    /// Advances one property by one frontier chunk: expand (across worker
-    /// threads), then merge in frontier order, applying budget, witness and
-    /// state-cap cutoffs exactly as a standalone search would.
-    fn pump(&self, run: &mut PropertyRun<O>) {
-        let end = (run.cursor + run.chunk_len).min(run.frontier.len());
-        let chunk: Vec<u32> = run.frontier[run.cursor..end].to_vec();
-        run.cursor = end;
-        let expansions = self.expand_many(run, &chunk);
-        for (&node_id, (candidates, outcomes)) in chunk.iter().zip(expansions) {
+    /// Merges one property's chunk of expansion results in frontier order,
+    /// applying budget, witness and state-cap cutoffs exactly as a
+    /// standalone search would, then swaps in the next BFS layer when the
+    /// frontier is spent.  `node_ids` are the chunk's frontier nodes in
+    /// selection order; `expansions` align with them positionally (the
+    /// [`crate::pool`] contract).
+    fn merge_chunk(
+        &self,
+        run: &mut PropertyRun<O>,
+        node_ids: &[u32],
+        expansions: Vec<Expansion<O::State>>,
+    ) {
+        for (&node_id, (candidates, outcomes)) in node_ids.iter().zip(expansions) {
             for (candidate, outcome) in candidates.iter().zip(outcomes) {
                 run.spent = run.spent.saturating_add(outcome.cost);
                 if run.spent > run.config.max_guard_checks {
@@ -1056,33 +1307,6 @@ impl<'a, O: StepOracle> BatchEngine<'a, O> {
         }
     }
 
-    /// Expands a chunk of one property's frontier nodes, across worker
-    /// threads when configured.  Results come back in chunk order.
-    fn expand_many(&self, run: &PropertyRun<O>, ids: &[u32]) -> Vec<Expansion<O::State>> {
-        let threads = run.config.threads.max(1);
-        if threads <= 1 || ids.len() <= 1 {
-            return ids.iter().map(|&id| self.expand(run, id)).collect();
-        }
-        let share = ids.len().div_ceil(threads);
-        thread::scope(|scope| {
-            let handles: Vec<_> = ids
-                .chunks(share)
-                .map(|slice| {
-                    scope.spawn(move || {
-                        slice
-                            .iter()
-                            .map(|&id| self.expand(run, id))
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|handle| handle.join().expect("search worker panicked"))
-                .collect()
-        })
-    }
-
     /// Materializes the before-configuration of a revealed set as an
     /// overlay over the shared initial instance.  Pushes run in ascending
     /// interned-index order; pushes of facts the base already contains are
@@ -1116,20 +1340,19 @@ impl<'a, O: StepOracle> BatchEngine<'a, O> {
                 .get(&key)
                 .cloned();
             let shared = match cached {
-                Some(ctx) => ctx,
+                Some(ctx) => {
+                    self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    ctx
+                }
                 None => {
+                    self.cache_misses.fetch_add(1, Ordering::Relaxed);
                     let overlay = self.overlay_of(&node.revealed);
                     let prepared = Arc::new(run.oracle.prepare(&overlay));
                     before = Some(overlay);
                     // A racing worker may have prepared the same
                     // configuration; keep the first insertion so every
                     // later expansion shares one context.
-                    self.ctx_cache
-                        .write()
-                        .expect("ctx cache poisoned")
-                        .entry(key)
-                        .or_insert(prepared)
-                        .clone()
+                    self.insert_capped(&self.ctx_cache, key, prepared)
                 }
             };
             Ctx::Shared(shared)
@@ -1202,8 +1425,10 @@ impl<'a, O: StepOracle> BatchEngine<'a, O> {
             .get(&key)
             .cloned();
         if let Some(ctxs) = cached {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
             return ctxs;
         }
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
         let mut local_added: Vec<u32> = Vec::new();
         let mut built = Vec::with_capacity(candidates.len());
         for candidate in candidates {
@@ -1219,12 +1444,7 @@ impl<'a, O: StepOracle> BatchEngine<'a, O> {
                 &run.universe,
             ));
         }
-        self.candidate_ctx_cache
-            .write()
-            .expect("candidate ctx cache poisoned")
-            .entry(key)
-            .or_insert(Arc::new(built))
-            .clone()
+        self.insert_capped(&self.candidate_ctx_cache, key, Arc::new(built))
     }
 
     /// The candidate enumeration of a configuration, computed once per
@@ -1245,15 +1465,14 @@ impl<'a, O: StepOracle> BatchEngine<'a, O> {
             .get(&key)
             .cloned();
         match cached {
-            Some(candidates) => candidates,
+            Some(candidates) => {
+                self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                candidates
+            }
             None => {
+                self.cache_misses.fetch_add(1, Ordering::Relaxed);
                 let computed = Arc::new(self.candidates(run, revealed, known_values));
-                self.candidate_cache
-                    .write()
-                    .expect("candidate cache poisoned")
-                    .entry(key)
-                    .or_insert(computed)
-                    .clone()
+                self.insert_capped(&self.candidate_cache, key, computed)
             }
         }
     }
@@ -1937,5 +2156,7 @@ mod tests {
         assert!(!config.disable_guard_cache);
         assert_eq!(config.max_response_group, MAX_RESPONSE_GROUP);
         assert_eq!(config.max_guard_checks, usize::MAX);
+        assert_eq!(config.index_cutoff, INDEX_CUTOFF);
+        assert_eq!(config.steal_batch, 1);
     }
 }

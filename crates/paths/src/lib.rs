@@ -44,6 +44,7 @@ pub mod error;
 pub mod generator;
 pub mod lts;
 pub mod path;
+pub mod pool;
 pub mod relevance;
 pub mod rng;
 pub mod sanity;
@@ -51,8 +52,9 @@ pub mod sanity;
 pub use access::{Access, AccessMethod, AccessSchema};
 pub use answerability::{accessible_part, maximal_answers, AnswerabilityReport};
 pub use engine::{
-    BatchEngine, Candidate, EmptyBindingMode, EngineConfig, EngineOutcome, EngineReport,
-    FactUniverse, FrontierEngine, PropertySpec, SearchReport, StepOracle, StepOutcome,
+    BatchEngine, Candidate, EmptyBindingMode, EngineCacheStats, EngineConfig, EngineOutcome,
+    EngineReport, FactUniverse, FrontierEngine, PropertySpec, SearchReport, StepOracle,
+    StepOutcome,
 };
 pub use error::PathError;
 pub use lts::{LtsExplorer, LtsOptions, LtsTree, ResponsePolicy};

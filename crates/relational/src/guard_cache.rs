@@ -8,10 +8,10 @@
 //! search.  This module supplies the two pieces that turn those repeats into
 //! hash lookups:
 //!
-//! * [`StructureKey`] — a cheap, `Copy` fingerprint of an
-//!   [`InstanceOverlay`](crate::InstanceOverlay)-shaped structure: the
-//!   address of the `Arc`-shared base plus a canonical 128-bit hash of the
-//!   (sorted) delta facts, optionally *restricted to the predicates a
+//! * [`StructureKey`] — a cheap, `Copy`, *content-addressed* fingerprint of
+//!   an [`InstanceOverlay`](crate::InstanceOverlay)-shaped structure: an
+//!   order-independent two-lane digest (plus exact fact count) of the facts
+//!   the structure holds, optionally *restricted to the predicates a
 //!   sentence mentions* so structures that differ only in irrelevant facts
 //!   share one key;
 //! * [`GuardCache`] — a sharded `(sentence id, StructureKey) → verdict` map
@@ -26,31 +26,34 @@
 //! `ACCLTL_DISABLE_INDEXES` contract of [`crate::index`]) or when the view
 //! cannot produce a key.
 //!
-//! # Why base-pointer + delta-hash is a sound cache key
+//! # Why a content digest is a sound cache key
 //!
 //! A verdict may be replayed for a key only if the keyed structures are
 //! guaranteed to hold the same facts (restricted to the sentence's
-//! predicates).  Three ingredients make the fingerprint sound:
+//! predicates).  The key *is* a canonical digest of exactly those facts:
 //!
-//! 1. **Copy-on-write bases are immutable once shared.**  An overlay's base
-//!    sits behind an `Arc` and the overlay only ever *adds* facts to its own
-//!    delta; no code path mutates a base once it is shared (that is the
-//!    overlay contract of [`crate::overlay`]).  So equal base *addresses*
-//!    imply equal base fact sets — as long as the allocation is still alive.
-//! 2. **The cache pins every base it has seen.**  [`GuardCache::pin_base`]
-//!    retains a clone of the `Arc` for the cache's lifetime, so a base
-//!    address can never be freed and reused by a different instance while
-//!    entries fingerprinted against it are replayable (and `Arc::get_mut` on
-//!    a pinned base fails, closing the one mutation loophole).  The cost is
-//!    that a cache's memory is proportional to the number of pinned bases —
-//!    which is why caches are created per search and dropped with it.
-//! 3. **The delta hash is canonical and collision-resistant in practice.**
-//!    Delta facts are hashed in their sorted iteration order into two
-//!    independently seeded 64-bit lanes plus a fact count.  Two different
-//!    restricted deltas colliding requires defeating both lanes at once
-//!    (~2⁻¹²⁸); the differential harness (`tests/guard_cache_props.rs`) and
-//!    the CI smoke diff cached against uncached output to keep the whole
-//!    construction honest.
+//! 1. **The digest is order-independent.**  Each fact is hashed into two
+//!    independently seeded 64-bit lanes, and a relation's digest is the
+//!    wrapping *sum* of its facts' lane values plus an exact fact count
+//!    (`RelationDigest`).  Sums commute, so the digest of a fact set does
+//!    not depend on which overlay chain produced it, how the facts split
+//!    between an overlay's base and its delta, or which `Arc` allocation
+//!    holds the base — equal restricted fact sets get equal keys.  That is
+//!    what unlocks cross-state, cross-chain and cross-property cache hits
+//!    (an earlier revision keyed on the base `Arc`'s address, which made
+//!    every chain an island and forced the cache to pin every base alive).
+//! 2. **Base digests are computed once and deltas folded in per fact.**
+//!    [`Instance`] caches its per-relation digests the way it caches its
+//!    per-position index: built lazily on first demand, maintained
+//!    incrementally by `add_fact` (the only mutation on an overlay delta's
+//!    hot path), dropped by any other mutation.  So keying a candidate
+//!    structure costs a table sum over the sentence's few predicates, not a
+//!    rehash of the configuration.
+//! 3. **Collisions require defeating both lanes at once.**  Two different
+//!    restricted fact sets only collide if both 64-bit lane sums *and* the
+//!    fact count coincide (~2⁻¹²⁸ for the lanes); the differential harness
+//!    (`tests/guard_cache_props.rs`) and the CI smoke diff cached against
+//!    uncached output to keep the whole construction honest.
 
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hash, Hasher};
@@ -95,70 +98,76 @@ pub fn set_guard_cache_enabled(enabled: bool) {
     cache_override().store(!enabled, Ordering::Relaxed);
 }
 
-/// A cheap fingerprint of an overlay-shaped structure: the address of the
-/// `Arc`-shared base plus a canonical two-lane hash of the delta facts.
+/// A cheap, content-addressed fingerprint of an overlay-shaped structure: an
+/// order-independent two-lane digest (plus exact fact count) of the facts it
+/// holds.
 ///
 /// Produced by
 /// [`InstanceOverlay::structure_key`](crate::InstanceOverlay::structure_key)
-/// (full delta) and
+/// (all facts) and
 /// [`InstanceOverlay::structure_key_for`](crate::InstanceOverlay::structure_key_for)
-/// (delta restricted to a sorted predicate list, the form the guard cache
-/// uses so that structures differing only in facts a sentence never reads —
-/// typically the `IsBind` fact — share one key).  Keys are only comparable
-/// when built over the same base kind and the same restriction; the module
-/// docs spell out why the combination is a sound cache key.
+/// (restricted to a sorted predicate list, the form the guard cache uses so
+/// that structures differing only in facts a sentence never reads —
+/// typically the `IsBind` fact — share one key).  Equal (restricted) fact
+/// sets produce equal keys no matter which overlay chain, base/delta split
+/// or `Arc` allocation produced them; keys are only comparable when built
+/// over the same restriction.  The module docs spell out why the digest is a
+/// sound cache key.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct StructureKey {
-    /// Address of the shared base instance (pinned by the consulted
-    /// [`GuardCache`] so it cannot be freed and reused).
-    base: usize,
-    /// First hash lane over the (restricted) delta facts.
+    /// First lane sum over the (restricted) facts.
     lane_a: u64,
-    /// Second, independently seeded hash lane over the same facts.
+    /// Second, independently seeded lane sum over the same facts.
     lane_b: u64,
+    /// Exact number of (restricted) facts.
+    count: u64,
 }
 
 const LANE_A_SEED: u64 = 0x243f_6a88_85a3_08d3;
 const LANE_B_SEED: u64 = 0x1319_8a2e_0370_7344;
 
-impl StructureKey {
-    /// Fingerprints `delta` over a base at address `base`.  When
-    /// `relations` is given, only facts of those relations are hashed (the
-    /// list must be sorted and deduplicated for keys to be canonical).
-    pub(crate) fn fingerprint(base: usize, delta: &Instance, relations: Option<&[RelId]>) -> Self {
+impl From<RelationDigest> for StructureKey {
+    fn from(digest: RelationDigest) -> Self {
+        StructureKey {
+            lane_a: digest.lane_a,
+            lane_b: digest.lane_b,
+            count: digest.count,
+        }
+    }
+}
+
+/// An order-independent digest of a multiset of facts: two independently
+/// seeded 64-bit lane *sums* plus an exact fact count.  Addition commutes,
+/// so digests of disjoint fact sets combine with [`RelationDigest::merge`]
+/// in any order — which is how an overlay's key is assembled from its base's
+/// cached per-relation digests plus its delta's, and why equal fact sets
+/// digest equal regardless of representation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct RelationDigest {
+    lane_a: u64,
+    lane_b: u64,
+    count: u64,
+}
+
+impl RelationDigest {
+    /// Folds one fact into the digest.
+    pub(crate) fn add(&mut self, relation: RelId, tuple: &crate::tuple::Tuple) {
         let mut lane_a = FxHasher::seeded(LANE_A_SEED);
         let mut lane_b = FxHasher::seeded(LANE_B_SEED);
-        let mut count = 0u64;
-        {
-            let mut hash_fact = |rel: RelId, tuple: &crate::tuple::Tuple| {
-                rel.hash(&mut lane_a);
-                tuple.hash(&mut lane_a);
-                rel.hash(&mut lane_b);
-                tuple.hash(&mut lane_b);
-                count += 1;
-            };
-            match relations {
-                None => {
-                    for (rel, tuple) in delta.facts() {
-                        hash_fact(rel, tuple);
-                    }
-                }
-                Some(relations) => {
-                    for &rel in relations {
-                        for tuple in delta.tuples(rel) {
-                            hash_fact(rel, tuple);
-                        }
-                    }
-                }
-            }
-        }
-        lane_a.write_u64(count);
-        lane_b.write_u64(count);
-        StructureKey {
-            base,
-            lane_a: lane_a.finish(),
-            lane_b: lane_b.finish(),
-        }
+        relation.hash(&mut lane_a);
+        tuple.hash(&mut lane_a);
+        relation.hash(&mut lane_b);
+        tuple.hash(&mut lane_b);
+        self.lane_a = self.lane_a.wrapping_add(lane_a.finish());
+        self.lane_b = self.lane_b.wrapping_add(lane_b.finish());
+        self.count += 1;
+    }
+
+    /// Combines the digest of a disjoint fact set into this one.
+    pub(crate) fn merge(&mut self, other: RelationDigest) {
+        self.lane_a = self.lane_a.wrapping_add(other.lane_a);
+        self.lane_b = self.lane_b.wrapping_add(other.lane_b);
+        self.count += other.count;
     }
 }
 
@@ -194,7 +203,7 @@ impl GuardCacheStats {
 /// when the cache is enabled: for a handful of tuples the homomorphism
 /// search is cheaper than fingerprinting the delta and probing a shard.
 /// The search oracles decide this *once per expanded state* through
-/// [`GuardCache::gate_and_pin`] (the per-state transition-structure base
+/// [`GuardCache::memoize_gate`] (the per-state transition-structure base
 /// bounds every candidate structure of that state) and pass the verdict as
 /// the `memoize` flag of [`crate::CompiledSentence::holds_cached`].
 /// Mirrors [`crate::index::INDEX_CUTOFF`]; never affects verdicts, only
@@ -206,7 +215,7 @@ const SHARDS: usize = 16;
 
 type Shard = RwLock<HashMap<(u32, StructureKey), bool, BuildHasherDefault<FxHasher>>>;
 
-/// The verdict maps and pin table shared by every handle of one cache (see
+/// The verdict maps shared by every handle of one cache (see
 /// [`GuardCache::share`]).
 #[derive(Debug)]
 struct SharedCache {
@@ -216,9 +225,6 @@ struct SharedCache {
     /// never pay for the shard maps — `GuardCache::new` is in every
     /// search's setup path, including µs-scale ones.
     shards: OnceLock<Vec<Shard>>,
-    /// Base address → retained `Arc`, keeping every fingerprinted base alive
-    /// (and thus its address unique) for the cache's lifetime.
-    pinned: Mutex<HashMap<usize, Arc<Instance>, BuildHasherDefault<FxHasher>>>,
 }
 
 /// A sharded guard-verdict cache: `(sentence id, StructureKey) → bool`,
@@ -226,9 +232,9 @@ struct SharedCache {
 ///
 /// Created per search (one per `BoundedSearcher` run, one per emptiness
 /// check shared across its chains, one per batch shared across all its
-/// properties) and dropped with it — the cache pins every base `Arc` it is
-/// told about (see the module docs), so its memory is proportional to the
-/// number of expanded search states times the configuration size, reclaimed
+/// properties) and dropped with it — keys are content-addressed (see the
+/// module docs), so the cache holds verdict maps only and its memory is
+/// proportional to the number of *distinct* structures decided, reclaimed
 /// when the search returns.
 ///
 /// A cache value is a *handle*: [`GuardCache::share`] returns a second
@@ -272,15 +278,14 @@ impl GuardCache {
             shared: Arc::new(SharedCache {
                 enabled: enabled && guard_cache_enabled(),
                 shards: OnceLock::new(),
-                pinned: Mutex::default(),
             }),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
     }
 
-    /// A second handle over the same verdict maps and pin table, with fresh
-    /// hit/miss counters.  Entries inserted through any handle are visible
+    /// A second handle over the same verdict maps, with fresh hit/miss
+    /// counters.  Entries inserted through any handle are visible
     /// to all of them; each handle's [`GuardCache::stats`] only counts its
     /// own consults.
     #[must_use]
@@ -299,37 +304,17 @@ impl GuardCache {
     }
 
     /// The per-state memoization gate shared by the search oracles: decides
-    /// whether candidates over `base` should be memoized (the cache is
-    /// enabled and the base holds at least [`GUARD_CACHE_CUTOFF`] facts —
-    /// below that, a homomorphism search beats a fingerprint-and-probe) and
-    /// pins the base when they should.  Called once per expanded state from
-    /// the oracles' `prepare`, so the per-consult fast path stays a branch;
-    /// the returned flag is the `memoize` argument of
-    /// [`crate::CompiledSentence::holds_cached`].
+    /// whether candidates over `base` should be memoized — the cache is
+    /// enabled and the base holds at least [`GUARD_CACHE_CUTOFF`] facts
+    /// (below that, a homomorphism search beats a digest-and-probe).
+    /// Called once per expanded state from the oracles' `prepare`, so the
+    /// per-consult fast path stays a branch; the returned flag is the
+    /// `memoize` argument of
+    /// [`crate::CompiledSentence::holds_cached`].  Purely a size/enablement
+    /// gate: content-addressed keys need no base pinning.
     #[must_use]
-    pub fn gate_and_pin(&self, base: &Arc<Instance>) -> bool {
-        let memoize = self.shared.enabled && base.fact_count() >= GUARD_CACHE_CUTOFF;
-        if memoize {
-            self.pin_base(base);
-        }
-        memoize
-    }
-
-    /// Pins a base instance for the cache's lifetime.  Must be called (once
-    /// per base; repeats are cheap no-ops) before verdicts fingerprinted
-    /// against that base are inserted — the oracles do this in their
-    /// per-state `prepare`.
-    pub fn pin_base(&self, base: &Arc<Instance>) {
-        if !self.shared.enabled {
-            return;
-        }
-        let address = Arc::as_ptr(base) as usize;
-        self.shared
-            .pinned
-            .lock()
-            .expect("guard cache pin table poisoned")
-            .entry(address)
-            .or_insert_with(|| base.clone());
+    pub fn memoize_gate(&self, base: &Instance) -> bool {
+        self.shared.enabled && base.fact_count() >= GUARD_CACHE_CUTOFF
     }
 
     fn shard(&self, sentence: u32, key: &StructureKey) -> &Shard {
@@ -430,12 +415,35 @@ mod tests {
     }
 
     #[test]
-    fn keys_distinguish_bases_by_address() {
+    fn keys_are_content_addressed_across_allocations() {
         let a = InstanceOverlay::new(base());
         let b = InstanceOverlay::new(base());
-        // Equal fact sets, distinct allocations: the fingerprint is
-        // per-shared-base, not per-fact-set.
-        assert_ne!(a.structure_key(), b.structure_key());
+        // Equal fact sets, distinct allocations: the digest is per-fact-set,
+        // not per-allocation.
+        assert_eq!(a.structure_key(), b.structure_key());
+        let mut c = InstanceOverlay::new(base());
+        c.push_fact("S", tuple![1]);
+        assert_ne!(a.structure_key(), c.structure_key());
+    }
+
+    #[test]
+    fn keys_ignore_how_facts_split_between_base_and_delta() {
+        let mut full = Instance::new();
+        full.add_fact("R", tuple!["a", "b"]);
+        full.add_fact("S", tuple![1]);
+        // Chain A: everything in the base, empty delta.
+        let a = InstanceOverlay::new(Arc::new(full.clone()));
+        // Chain B: the base holds R only, the delta pushes S.
+        let mut b = InstanceOverlay::new(base());
+        b.push_fact("S", tuple![1]);
+        assert_eq!(a.materialize(), b.materialize());
+        assert_eq!(a.structure_key(), b.structure_key());
+        let rels = {
+            let mut rels = [RelId::new("R"), RelId::new("S")];
+            rels.sort_unstable();
+            rels
+        };
+        assert_eq!(a.structure_key_for(&rels), b.structure_key_for(&rels));
     }
 
     #[test]
@@ -443,7 +451,6 @@ mod tests {
         let cache = GuardCache::new();
         assert!(cache.enabled());
         let overlay = InstanceOverlay::new(base());
-        cache.pin_base(overlay.base());
         let key = overlay.structure_key();
         assert_eq!(cache.lookup(7, &key), None);
         cache.insert(7, key, true);
@@ -462,7 +469,6 @@ mod tests {
         let root = GuardCache::new();
         let handle = root.share();
         let overlay = InstanceOverlay::new(base());
-        root.pin_base(overlay.base());
         let key = overlay.structure_key();
         assert_eq!(root.lookup(3, &key), None);
         root.insert(3, key, true);
@@ -477,23 +483,33 @@ mod tests {
     fn disabled_at_construction_never_memoizes() {
         let cache = GuardCache::with_enabled(false);
         assert!(!cache.enabled());
-        assert!(!cache.gate_and_pin(&base()));
+        assert!(!cache.memoize_gate(&base()));
         // Shared handles inherit the mode.
         assert!(!cache.share().enabled());
     }
 
     #[test]
-    fn pinning_keeps_base_addresses_unique() {
+    fn memoize_gate_requires_enough_facts() {
         let cache = GuardCache::new();
+        let mut small = Instance::new();
+        small.add_fact("R", tuple![0]);
+        assert!(!cache.memoize_gate(&small));
+        let mut big = Instance::new();
+        for i in 0..GUARD_CACHE_CUTOFF {
+            big.add_fact("R", tuple![i as i64]);
+        }
+        assert!(cache.memoize_gate(&big));
+    }
+
+    #[test]
+    fn distinct_fact_sets_get_distinct_keys() {
         let mut keys = std::collections::HashSet::new();
         for i in 0..64 {
             let mut inst = Instance::new();
             inst.add_fact("R", tuple![i]);
-            let arc = Arc::new(inst);
-            cache.pin_base(&arc);
-            let overlay = InstanceOverlay::new(arc);
-            // Addresses of pinned bases are never reused, so every key is
-            // fresh even though the `Arc`s are dropped as we go.
+            let overlay = InstanceOverlay::new(Arc::new(inst));
+            // Distinct contents digest apart (up to two-lane collision),
+            // even though allocations come and go.
             assert!(keys.insert(overlay.structure_key()));
         }
     }

@@ -5,6 +5,7 @@ use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::sync::OnceLock;
 
+use crate::guard_cache::RelationDigest;
 use crate::index::{indexing_enabled, InstanceIndex, RelationIndex, INDEX_CUTOFF};
 use crate::schema::Schema;
 use crate::symbols::{RelId, RelKey};
@@ -41,11 +42,25 @@ pub struct Instance {
     facts: Vec<(RelId, BTreeSet<Tuple>)>,
     /// Lazily built per-position value index (see [`crate::index`]):
     /// populated on the first indexed lookup against a relation of at least
-    /// [`INDEX_CUTOFF`] tuples, maintained incrementally by
-    /// [`Instance::add_fact`], and dropped by every other mutation (and by
-    /// `Clone`).  Never consulted by `Eq`/`Ord`/`Hash`, which remain pure
-    /// fact-set comparisons.
+    /// the index cutoff, maintained incrementally by [`Instance::add_fact`],
+    /// and dropped by every other mutation (and by `Clone`).  Never
+    /// consulted by `Eq`/`Ord`/`Hash`, which remain pure fact-set
+    /// comparisons.
     index: OnceLock<InstanceIndex>,
+    /// Lazily built per-relation content digests (see
+    /// [`crate::guard_cache`]), name-sorted like `facts`: computed on the
+    /// first structure-key request, maintained incrementally by
+    /// [`Instance::add_fact`], and dropped by every other mutation (and by
+    /// `Clone`) — the exact lifecycle of `index`.  Derived data: never
+    /// consulted by `Eq`/`Ord`/`Hash`/`Debug`.
+    digests: OnceLock<Vec<(RelId, RelationDigest)>>,
+    /// Per-instance override of [`INDEX_CUTOFF`], set by
+    /// [`Instance::set_index_cutoff`] on transition-structure bases so
+    /// `EngineConfig::index_cutoff` reaches the indexed-lookup decision.  A
+    /// performance knob, not content: excluded from `Eq`/`Ord`/`Hash`/
+    /// `Debug`, but preserved by `Clone` so unions built from a configured
+    /// base keep the configuration.
+    index_cutoff: Option<usize>,
 }
 
 impl fmt::Debug for Instance {
@@ -61,11 +76,13 @@ impl fmt::Debug for Instance {
 
 impl Clone for Instance {
     fn clone(&self) -> Self {
-        // The index is derived data; clones rebuild it lazily on demand
-        // rather than paying an eager deep copy.
+        // Index and digests are derived data; clones rebuild them lazily on
+        // demand rather than paying an eager deep copy.
         Instance {
             facts: self.facts.clone(),
             index: OnceLock::new(),
+            digests: OnceLock::new(),
+            index_cutoff: self.index_cutoff,
         }
     }
 }
@@ -132,10 +149,21 @@ impl Instance {
         }
     }
 
-    /// Drops the derived index; called by every mutation that does not
-    /// maintain it incrementally.
+    /// Drops the derived index and digests; called by every mutation that
+    /// does not maintain them incrementally.
     fn invalidate_index(&mut self) {
         self.index.take();
+        self.digests.take();
+    }
+
+    /// Sets this instance's index cutoff: relations with fewer facts are
+    /// scanned rather than indexed.  Search front-ends call this on the
+    /// transition-structure bases they build, threading
+    /// `EngineConfig::index_cutoff` through; instances never touched by it
+    /// use the [`INDEX_CUTOFF`] default.  Purely a performance knob — it
+    /// never affects which facts exist, so it is excluded from equality.
+    pub fn set_index_cutoff(&mut self, cutoff: usize) {
+        self.index_cutoff = Some(cutoff);
     }
 
     /// The per-position index of `relation`, if indexing is enabled and the
@@ -149,12 +177,47 @@ impl Instance {
         if let Some(built) = self.index.get() {
             return built.relation(relation);
         }
-        if self.relation_size(relation) < INDEX_CUTOFF {
+        if self.relation_size(relation) < self.index_cutoff.unwrap_or(INDEX_CUTOFF) {
             return None;
         }
         self.index
             .get_or_init(|| InstanceIndex::build(&self.facts))
             .relation(relation)
+    }
+
+    /// The name-sorted per-relation digest table, built on first demand.
+    fn digest_table(&self) -> &[(RelId, RelationDigest)] {
+        self.digests.get_or_init(|| {
+            self.facts
+                .iter()
+                .map(|(rel, tuples)| {
+                    let mut digest = RelationDigest::default();
+                    for tuple in tuples {
+                        digest.add(*rel, tuple);
+                    }
+                    (*rel, digest)
+                })
+                .collect()
+        })
+    }
+
+    /// The content digest of one relation's facts (empty digest when the
+    /// relation is absent).  Cached per instance; see `digests`.
+    pub(crate) fn relation_digest(&self, relation: RelId) -> RelationDigest {
+        let table = self.digest_table();
+        match table.binary_search_by(|(r, _)| r.cmp(&relation)) {
+            Ok(found) => table[found].1,
+            Err(_) => RelationDigest::default(),
+        }
+    }
+
+    /// The content digest of all facts.
+    pub(crate) fn content_digest(&self) -> RelationDigest {
+        let mut total = RelationDigest::default();
+        for (_, digest) in self.digest_table() {
+            total.merge(*digest);
+        }
+        total
     }
 
     /// The already-built whole-instance index, if any (never triggers a
@@ -168,22 +231,34 @@ impl Instance {
     }
 
     /// Adds a fact. Returns `true` if the fact was not already present.  When
-    /// the per-position index has been built it is maintained incrementally,
-    /// so fixpoints that only ever add facts keep their index live.
+    /// the per-position index or the digest table has been built it is
+    /// maintained incrementally, so fixpoints (and overlay deltas) that only
+    /// ever add facts keep their derived data live.
     pub fn add_fact(&mut self, relation: impl Into<RelId>, tuple: Tuple) -> bool {
         let relation = relation.into();
-        if self.index.get().is_some() {
-            let indexed_copy = tuple.clone();
-            let inserted = Self::tuple_set_mut(&mut self.facts, relation).insert(tuple);
-            if inserted {
+        let fact_digest = self.digests.get().is_some().then(|| {
+            let mut digest = RelationDigest::default();
+            digest.add(relation, &tuple);
+            digest
+        });
+        let indexed_copy = self.index.get().is_some().then(|| tuple.clone());
+        let inserted = Self::tuple_set_mut(&mut self.facts, relation).insert(tuple);
+        if inserted {
+            if let Some(copy) = indexed_copy {
                 if let Some(index) = self.index.get_mut() {
-                    index.insert_fact(relation, indexed_copy);
+                    index.insert_fact(relation, copy);
                 }
             }
-            inserted
-        } else {
-            Self::tuple_set_mut(&mut self.facts, relation).insert(tuple)
+            if let Some(digest) = fact_digest {
+                if let Some(table) = self.digests.get_mut() {
+                    match table.binary_search_by(|(r, _)| r.cmp(&relation)) {
+                        Ok(found) => table[found].1.merge(digest),
+                        Err(insert_at) => table.insert(insert_at, (relation, digest)),
+                    }
+                }
+            }
         }
+        inserted
     }
 
     /// Adds every fact from an iterator of `(relation, tuple)` pairs.
@@ -506,5 +581,41 @@ mod tests {
     #[test]
     fn display_of_empty_instance_is_empty_set_symbol() {
         assert_eq!(Instance::new().to_string(), "∅");
+    }
+
+    #[test]
+    fn digests_maintained_incrementally_match_fresh_builds() {
+        let mut incremental = sample();
+        // Force the digest table, then add more facts through the
+        // incremental path (including a brand-new relation slot).
+        let _ = incremental.content_digest();
+        incremental.add_fact("Address", tuple!["High St", "OX14AB", "Lee", 2]);
+        incremental.add_fact("Extra", tuple![42]);
+        let mut fresh = sample();
+        fresh.add_fact("Address", tuple!["High St", "OX14AB", "Lee", 2]);
+        fresh.add_fact("Extra", tuple![42]);
+        assert_eq!(incremental.content_digest(), fresh.content_digest());
+        assert_eq!(
+            incremental.relation_digest(RelId::new("Extra")),
+            fresh.relation_digest(RelId::new("Extra"))
+        );
+        // Duplicate adds leave the digest untouched.
+        assert!(!incremental.add_fact("Extra", tuple![42]));
+        assert_eq!(incremental.content_digest(), fresh.content_digest());
+        // Removal drops the table; the rebuild agrees with a fresh instance.
+        assert!(incremental.remove_fact("Extra", &tuple![42]));
+        assert!(fresh.remove_fact("Extra", &tuple![42]));
+        assert_eq!(incremental.content_digest(), fresh.content_digest());
+    }
+
+    #[test]
+    fn index_cutoff_is_a_perf_knob_not_content() {
+        let mut configured = sample();
+        configured.set_index_cutoff(1);
+        assert_eq!(configured, sample());
+        // Clones keep the configuration.
+        let clone = configured.clone();
+        assert_eq!(format!("{configured:?}"), format!("{:?}", sample()));
+        drop(clone);
     }
 }

@@ -25,7 +25,7 @@ use std::hash::{Hash, Hasher};
 use std::iter::Peekable;
 use std::sync::Arc;
 
-use crate::guard_cache::StructureKey;
+use crate::guard_cache::{RelationDigest, StructureKey};
 use crate::index::MatchIter;
 use crate::instance::Instance;
 use crate::symbols::{RelId, RelKey};
@@ -380,28 +380,34 @@ impl InstanceOverlay {
         instance
     }
 
-    /// The overlay's [`StructureKey`]: base address plus a canonical hash of
-    /// the whole delta.  Sound as a cache key only while the base `Arc` is
-    /// pinned alive and unmutated — see [`crate::guard_cache`] for the full
-    /// argument.
+    /// The overlay's [`StructureKey`]: a content digest of all facts the
+    /// overlay holds.  The base's per-relation digests are computed once per
+    /// shared base and cached on it; the delta's are maintained fact by fact
+    /// as `push_fact` adds them — so the key costs a table sum, never a
+    /// rehash of the configuration.  Equal fact sets get equal keys no
+    /// matter which chain or allocation produced them — see
+    /// [`crate::guard_cache`] for why that makes it a sound cache key.
     #[must_use]
     pub fn structure_key(&self) -> StructureKey {
-        StructureKey::fingerprint(Arc::as_ptr(&self.base) as usize, &self.delta, None)
+        let mut digest = self.base.content_digest();
+        digest.merge(self.delta.content_digest());
+        StructureKey::from(digest)
     }
 
     /// The overlay's [`StructureKey`] restricted to the given relations
     /// (which must be sorted and deduplicated for keys to be canonical):
-    /// only delta facts of those relations are hashed, so overlays differing
+    /// only facts of those relations are digested, so overlays differing
     /// solely in facts outside the list — e.g. in the `IsBind` fact a guard
     /// never mentions — share one key.  This is the form the guard cache
     /// uses, keyed per sentence by the sentence's own predicate list.
     #[must_use]
     pub fn structure_key_for(&self, relations: &[RelId]) -> StructureKey {
-        StructureKey::fingerprint(
-            Arc::as_ptr(&self.base) as usize,
-            &self.delta,
-            Some(relations),
-        )
+        let mut digest = RelationDigest::default();
+        for &rel in relations {
+            digest.merge(self.base.relation_digest(rel));
+            digest.merge(self.delta.relation_digest(rel));
+        }
+        StructureKey::from(digest)
     }
 }
 

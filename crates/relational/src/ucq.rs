@@ -563,17 +563,15 @@ impl CompiledSentence {
     /// sentence's predicates* — a positive existential sentence only ever
     /// reads facts of relations it mentions, so structures differing
     /// elsewhere (typically only in the `IsBind` fact) legitimately share a
-    /// verdict.  Falls back to plain evaluation, with identical verdicts by
-    /// construction, when `memoize` is false (the caller's per-state
+    /// verdict.  Keys are content-addressed, so structurally equal
+    /// configurations share entries across states, overlay chains and batch
+    /// properties.  Falls back to plain evaluation, with identical verdicts
+    /// by construction, when `memoize` is false (the caller's per-state
     /// [`crate::guard_cache::GUARD_CACHE_CUTOFF`] size gate, usually
-    /// [`GuardCache::gate_and_pin`] — tiny evaluations beat a probe),
+    /// [`GuardCache::memoize_gate`] — tiny evaluations beat a probe),
     /// when the cache is disabled, or when the view cannot produce a key;
     /// every consult is counted either way, so cached and uncached runs
     /// report the same `hits + misses` total.
-    ///
-    /// Callers passing `memoize = true` must have pinned the view's shared
-    /// base into `cache` ([`GuardCache::pin_base`]) — the search oracles do
-    /// this once per expanded state.
     #[must_use]
     pub fn holds_cached(
         &self,

@@ -320,6 +320,56 @@ fn fig1_x4_cache_is_alive_and_accounted() {
     assert_eq!(cached_stats.total(), uncached_stats.misses);
 }
 
+/// Cross-chain regression for the content-addressed `StructureKey`: one
+/// guard cache must share verdicts between two overlay chains whose bases
+/// are *different `Arc` allocations* and whose facts split differently
+/// between base and delta, as long as their content is the same Fig-1 ×4
+/// workload.  The address-keyed cache of earlier revisions keyed on the
+/// base allocation's address, so this exact scenario scored 0 hits (every
+/// chain was an island); content keys make the second consult a hit.
+#[test]
+fn equal_content_chains_hit_across_allocations() {
+    use accltl_core::relational::{CompiledSentence, GuardCache, GuardCacheStats};
+    use std::sync::Arc;
+
+    let _guard = flag_lock();
+    let sentence = CompiledSentence::compile(&PosFormula::exists(
+        vec!["s", "p", "n", "h"],
+        PosFormula::atom(atom!("Address"; s, p, n, h)),
+    ));
+
+    // Chain A: every ×4 fact lives in the base, the delta is empty.
+    let chain_a = InstanceOverlay::new(Arc::new(scaled_initial(4)));
+    // Chain B: a fresh ×3 base allocation, with street 3's facts pushed
+    // through the overlay delta — same materialized content as chain A,
+    // reached over a different base and a different base/delta split.
+    let mut chain_b = InstanceOverlay::new(Arc::new(scaled_initial(3)));
+    for (rel, tuple) in scaled_initial(4).facts() {
+        chain_b.push_fact(rel, tuple.clone());
+    }
+    assert_eq!(chain_a.materialize(), chain_b.materialize());
+
+    let cache = GuardCache::new();
+    let first = sentence.holds_cached(&chain_a, &cache, true);
+    assert_eq!(
+        cache.stats(),
+        GuardCacheStats { hits: 0, misses: 1 },
+        "the first consult must be the only homomorphism search"
+    );
+    let second = sentence.holds_cached(&chain_b, &cache, true);
+    assert_eq!(first, second);
+    let stats = cache.stats();
+    assert!(
+        stats.hits > 0,
+        "equal-content chains over distinct allocations must share a cache \
+         entry (address-keyed caches scored 0 hits here): {stats:?}"
+    );
+    assert_eq!(stats.misses, 1);
+
+    // The replayed verdict matches an uncached evaluation on either chain.
+    assert_eq!(second, sentence.holds(&chain_b));
+}
+
 /// The structural sentence-id registry and the per-search caches must not
 /// leak verdicts across searches: running a satisfiable and a contradictory
 /// formula back to back in one process (same sentences, same ids) keeps

@@ -144,6 +144,43 @@ proptest! {
         prop_assert_eq!(&direct, eager.last().unwrap());
     }
 
+    /// `StructureKey`s are content-addressed: however a fact set splits
+    /// between the base allocation and the overlay delta, equal content
+    /// gives equal keys — across distinct `Arc` allocations and distinct
+    /// overlay chains — while adding any fact changes the key.
+    #[test]
+    fn structure_keys_are_content_addressed(
+        path in random_path(),
+        initial in random_initial(),
+        split_seed in any::<u8>(),
+    ) {
+        let schema = phone_directory_access_schema();
+        let all: Instance = path.configuration(&schema, &initial).unwrap();
+        let facts: Vec<_> = all.facts().map(|(rel, t)| (rel, t.clone())).collect();
+        let split = split_seed as usize % (facts.len() + 1);
+
+        // Chain A: every fact lives in its own base allocation.
+        let chain_a = InstanceOverlay::new(Arc::new(all.clone()));
+        // Chain B: a fresh allocation holds the first `split` facts, the
+        // rest arrive through the delta.
+        let mut base_b = Instance::new();
+        for (rel, tuple) in &facts[..split] {
+            base_b.add_fact(*rel, tuple.clone());
+        }
+        let mut chain_b = InstanceOverlay::new(Arc::new(base_b));
+        for (rel, tuple) in &facts[split..] {
+            chain_b.push_fact(*rel, tuple.clone());
+        }
+
+        prop_assert_eq!(&chain_a.materialize(), &chain_b.materialize());
+        prop_assert_eq!(chain_a.structure_key(), chain_b.structure_key());
+
+        // Any extra fact separates the keys.
+        let mut grown = chain_b.clone();
+        grown.push_fact("Address", tuple!["New St", "OX00XX", "Nobody", 99]);
+        prop_assert!(chain_a.structure_key() != grown.structure_key());
+    }
+
     /// Overlays over a shared base key hash sets exactly like their deltas.
     #[test]
     fn overlay_equality_follows_fact_sets(path in random_path()) {

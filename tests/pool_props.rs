@@ -1,0 +1,302 @@
+//! Determinism property tests for the persistent work-stealing frontier
+//! pool (`paths::pool`): per-property verdicts, witnesses, explored counts
+//! and charged costs must be identical for every worker-thread count —
+//! including thread counts beyond the frontier size and beyond the
+//! machine's cores — and at a fixed thread count the *full* report
+//! (guard-consult totals included) must be byte-identical for every
+//! steal-batch size, because the pool merges expansion results in frontier
+//! order no matter who ran or stole which task.  (Consult totals across
+//! *different* thread counts follow the chunk structure, which scales with
+//! the thread count — see `core_digest`.)
+
+use proptest::prelude::*;
+
+use accltl_core::automata::{
+    accltl_plus_to_automaton, bounded_emptiness_batch_with_config, EmptinessOutcome,
+};
+use accltl_core::logic::bounded::BoundedSearcher;
+use accltl_core::prelude::*;
+
+/// The digest that must be byte-identical at a *fixed* thread count:
+/// verdict, explored states, cost and the consult total.  (The hit/miss
+/// split is non-contractual — physical interleaving moves consults between
+/// hits and misses without changing their number.)
+fn digest<V: Clone>(report: &SearchReport<V>) -> (V, usize, usize, u64) {
+    (
+        report.verdict.clone(),
+        report.explored,
+        report.cost,
+        report.cache.total(),
+    )
+}
+
+/// The digest that must additionally survive *changing* the thread count:
+/// verdict, explored states and charged cost.  Consult totals are
+/// chunk-structure-dependent (the frontier chunk length scales with the
+/// thread count, and every expanded node consults guards even when an
+/// earlier chunk neighbour's witness ends the merge early), so they are
+/// compared within a thread count, never across — same convention as
+/// `tests/batch_props.rs`.
+fn core_digest<V: Clone>(report: &SearchReport<V>) -> (V, usize, usize) {
+    (report.verdict.clone(), report.explored, report.cost)
+}
+
+/// Strategy: a random initial instance over the phone-directory schema.
+fn random_initial() -> impl Strategy<Value = Instance> {
+    proptest::collection::vec(any::<bool>(), 0..3).prop_map(|picks| {
+        let mut initial = Instance::new();
+        for (i, pick) in picks.into_iter().enumerate() {
+            if pick {
+                initial.add_fact("Address", tuple!["High St", "OX26NN", "Seed", i as i64]);
+            } else {
+                initial.add_fact("Mobile#", tuple!["Smith", "OX13QD", "Parks Rd", 5_551_212]);
+            }
+        }
+        initial
+    })
+}
+
+fn jones_post() -> AccLtl {
+    AccLtl::atom(PosFormula::exists(
+        vec!["s", "p", "h"],
+        post_atom(
+            "Address",
+            vec![
+                Term::var("s"),
+                Term::var("p"),
+                Term::constant("Jones"),
+                Term::var("h"),
+            ],
+        ),
+    ))
+}
+
+fn mobile_pre() -> AccLtl {
+    AccLtl::atom(PosFormula::exists(
+        vec!["n", "p", "s", "ph"],
+        pre_atom(
+            "Mobile#",
+            vec![
+                Term::var("n"),
+                Term::var("p"),
+                Term::var("s"),
+                Term::var("ph"),
+            ],
+        ),
+    ))
+}
+
+/// The paper's dataflow property (binding-aware, deep frontier).
+fn dataflow_formula() -> AccLtl {
+    AccLtl::finally(AccLtl::atom(PosFormula::exists(
+        vec!["n"],
+        PosFormula::and(vec![
+            isbind_atom("AcM1", vec![Term::var("n")]),
+            PosFormula::exists(
+                vec!["s", "p", "h"],
+                pre_atom(
+                    "Address",
+                    vec![
+                        Term::var("s"),
+                        Term::var("p"),
+                        Term::var("n"),
+                        Term::var("h"),
+                    ],
+                ),
+            ),
+        ]),
+    )))
+}
+
+/// Strategy: small formulas mixing satisfiable, unsatisfiable and
+/// binding-aware shapes.
+fn random_formula() -> impl Strategy<Value = AccLtl> {
+    prop_oneof![
+        Just(AccLtl::finally(jones_post())),
+        Just(AccLtl::next(mobile_pre())),
+        Just(AccLtl::and(vec![
+            AccLtl::globally(AccLtl::not(jones_post())),
+            AccLtl::finally(jones_post()),
+        ])),
+        Just(dataflow_formula()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// One batch, every (threads, steal_batch) combination: verdicts,
+    /// explored counts and costs match the single-threaded reference, and
+    /// at each thread count the full report (consult totals included) is
+    /// byte-identical for every steal-batch size.
+    #[test]
+    fn searches_are_thread_and_steal_batch_independent(
+        batch in proptest::collection::vec(random_formula(), 2..4),
+        initial in random_initial(),
+    ) {
+        let schema = phone_directory_access_schema();
+        let reference: Vec<_> = BoundedSearcher::with_engine_config(
+            &schema,
+            &initial,
+            false,
+            EngineConfig::base().threads(1),
+        )
+        .run_batch(&batch)
+        .iter()
+        .map(core_digest)
+        .collect();
+        for threads in [2usize, 4, 8] {
+            let mut per_steal_batch: Vec<Vec<_>> = Vec::new();
+            for steal_batch in [1usize, 4] {
+                let engine = EngineConfig::base().threads(threads).steal_batch(steal_batch);
+                let searcher =
+                    BoundedSearcher::with_engine_config(&schema, &initial, false, engine);
+                let reports = searcher.run_batch(&batch);
+                let core: Vec<_> = reports.iter().map(core_digest).collect();
+                prop_assert_eq!(
+                    &core, &reference,
+                    "threads={} steal_batch={}", threads, steal_batch
+                );
+                per_steal_batch.push(reports.iter().map(digest).collect());
+            }
+            prop_assert_eq!(
+                &per_steal_batch[0], &per_steal_batch[1],
+                "steal_batch must not change any report at threads={}", threads
+            );
+        }
+    }
+
+    /// The emptiness front-end is likewise pool-schedule independent.
+    #[test]
+    fn emptiness_is_thread_and_steal_batch_independent(
+        initial in random_initial(),
+        satisfiable in any::<bool>(),
+    ) {
+        let schema = phone_directory_access_schema();
+        let formula = if satisfiable {
+            AccLtl::finally(jones_post())
+        } else {
+            AccLtl::and(vec![
+                AccLtl::globally(AccLtl::not(jones_post())),
+                AccLtl::finally(jones_post()),
+            ])
+        };
+        let automata = [
+            accltl_plus_to_automaton(&formula),
+            accltl_plus_to_automaton(&dataflow_formula()),
+        ];
+        let refs: Vec<_> = automata.iter().collect();
+        let reference: Vec<_> = bounded_emptiness_batch_with_config(
+            &refs,
+            &schema,
+            &initial,
+            EngineConfig::base().threads(1),
+        )
+        .iter()
+        .map(core_digest)
+        .collect();
+        for threads in [2usize, 8] {
+            let mut per_steal_batch: Vec<Vec<_>> = Vec::new();
+            for steal_batch in [1usize, 3] {
+                let engine = EngineConfig::base().threads(threads).steal_batch(steal_batch);
+                let reports =
+                    bounded_emptiness_batch_with_config(&refs, &schema, &initial, engine);
+                let core: Vec<_> = reports.iter().map(core_digest).collect();
+                prop_assert_eq!(
+                    &core, &reference,
+                    "threads={} steal_batch={}", threads, steal_batch
+                );
+                per_steal_batch.push(reports.iter().map(digest).collect());
+            }
+            prop_assert_eq!(
+                &per_steal_batch[0], &per_steal_batch[1],
+                "steal_batch must not change any report at threads={}", threads
+            );
+        }
+    }
+}
+
+/// Thread counts far beyond both the frontier size and the machine's cores
+/// change nothing: idle workers park, the merge order is still the frontier
+/// order, and a found witness still validates.
+#[test]
+fn oversubscribed_threads_are_deterministic() {
+    let schema = phone_directory_access_schema();
+    let initial = Instance::new();
+    let batch = vec![AccLtl::finally(jones_post()), dataflow_formula()];
+    let reference: Vec<_> = BoundedSearcher::with_engine_config(
+        &schema,
+        &initial,
+        false,
+        EngineConfig::base().threads(1),
+    )
+    .run_batch(&batch)
+    .iter()
+    .map(core_digest)
+    .collect();
+    // 32 workers over frontier layers that hold a handful of nodes — far
+    // more threads than tasks, and more than the CI machines have cores.
+    let engine = EngineConfig::base().threads(32).steal_batch(2);
+    let reports =
+        BoundedSearcher::with_engine_config(&schema, &initial, false, engine).run_batch(&batch);
+    let got: Vec<_> = reports.iter().map(core_digest).collect();
+    assert_eq!(got, reference);
+    if let SatOutcome::Satisfiable { witness } = &reports[0].verdict {
+        assert!(witness.validate(&schema).is_ok());
+    } else {
+        panic!("expected a witness: {:?}", reports[0].verdict);
+    }
+}
+
+/// Budget cutoffs bite at the same point on every pool schedule: with a
+/// guard budget small enough to abort mid-search, oversubscribed runs
+/// report exactly the single-threaded cutoffs.
+#[test]
+fn budget_cutoffs_are_pool_schedule_independent() {
+    let schema = phone_directory_access_schema();
+    let initial = Instance::new();
+    let batch = vec![dataflow_formula(), AccLtl::finally(jones_post())];
+    for budget in [1usize, 7, 50] {
+        let reference: Vec<_> = BoundedSearcher::with_engine_config(
+            &schema,
+            &initial,
+            false,
+            EngineConfig::base().threads(1).max_guard_checks(budget),
+        )
+        .run_batch(&batch)
+        .iter()
+        .map(core_digest)
+        .collect();
+        for threads in [4usize, 16] {
+            let engine = EngineConfig::base()
+                .threads(threads)
+                .max_guard_checks(budget);
+            let got: Vec<_> = BoundedSearcher::with_engine_config(&schema, &initial, false, engine)
+                .run_batch(&batch)
+                .iter()
+                .map(core_digest)
+                .collect();
+            assert_eq!(got, reference, "budget {budget} threads {threads}");
+        }
+    }
+}
+
+/// Emptiness chains keep their wave order under the pool: a satisfiable
+/// automaton's witness is genuine on every thread count.
+#[test]
+fn emptiness_witnesses_survive_oversubscription() {
+    let schema = phone_directory_access_schema();
+    let initial = Instance::new();
+    let automaton = accltl_plus_to_automaton(&AccLtl::finally(jones_post()));
+    for threads in [1usize, 16] {
+        let engine = EngineConfig::base().threads(threads);
+        let report = bounded_emptiness_batch_with_config(&[&automaton], &schema, &initial, engine)
+            .pop()
+            .expect("one report");
+        let EmptinessOutcome::NonEmpty { witness } = &report.verdict else {
+            panic!("expected a witness, got {:?}", report.verdict);
+        };
+        let transitions = witness.transitions(&schema, &initial).unwrap();
+        assert!(automaton.accepts_transitions(&transitions));
+    }
+}
