@@ -1,0 +1,153 @@
+//! Chase microbench: scan-based vs incremental violation discovery on the
+//! phone-directory schema scaled 1×/4×/16×.
+//!
+//! Three workloads cover the chase's cost regimes: `satisfied` (pure
+//! re-verification, no repairs), `ind_repair` (one inclusion repair per
+//! mobile entry — the scan baseline re-walks source and target every pass),
+//! and `fd_merge` (null-postcode merges — the scan baseline rebuilds the
+//! whole instance per merge, the incremental chase rewrites only the facts
+//! mentioning the merged null and keeps the per-position index alive).
+//! Before/after medians for the incremental rewrite are recorded in
+//! `CHANGES.md`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use accltl_core::prelude::*;
+use accltl_core::relational::{
+    chase, ChaseConfig, Constraint, FunctionalDependency, InclusionDependency,
+};
+
+fn constraints() -> Vec<Constraint> {
+    vec![
+        Constraint::Ind(InclusionDependency::new(
+            "Mobile#",
+            vec![2, 1],
+            "Address",
+            vec![0, 1],
+        )),
+        Constraint::Fd(FunctionalDependency::new("Address", vec![0], 1)),
+    ]
+}
+
+/// `scale` streets with eight address rows and four mobile entries each;
+/// satisfies both constraints as built.
+fn satisfied_instance(scale: usize) -> Instance {
+    let mut inst = Instance::new();
+    for s in 0..scale {
+        let street = format!("Street{s}");
+        let postcode = format!("OX{s}QD");
+        for h in 0..8usize {
+            let name = format!("Resident{s}_{h}");
+            inst.add_fact(
+                "Address",
+                tuple![street.as_str(), postcode.as_str(), name.as_str(), h as i64],
+            );
+            if h % 2 == 0 {
+                inst.add_fact(
+                    "Mobile#",
+                    tuple![
+                        name.as_str(),
+                        postcode.as_str(),
+                        street.as_str(),
+                        5_551_000 + (s * 4 + h) as i64
+                    ],
+                );
+            }
+        }
+    }
+    inst
+}
+
+/// Mobile entries with no address rows at all: every entry needs an
+/// inclusion repair, one per chase pass.
+fn ind_repair_instance(scale: usize) -> Instance {
+    let mut inst = Instance::new();
+    for s in 0..scale {
+        let street = format!("Street{s}");
+        let postcode = format!("OX{s}QD");
+        for h in 0..8usize {
+            let name = format!("Resident{s}_{h}");
+            inst.add_fact(
+                "Mobile#",
+                tuple![
+                    name.as_str(),
+                    postcode.as_str(),
+                    street.as_str(),
+                    5_551_000 + (s * 4 + h) as i64
+                ],
+            );
+        }
+    }
+    inst
+}
+
+/// Address rows whose postcodes are distinct labelled nulls: the FD
+/// `street → postcode` forces seven null merges per street.
+fn fd_merge_instance(scale: usize) -> Instance {
+    let mut inst = Instance::new();
+    let mut null_id = 0u64;
+    for s in 0..scale {
+        let street = format!("Street{s}");
+        for h in 0..8usize {
+            null_id += 1;
+            let name = format!("Resident{s}_{h}");
+            inst.add_fact(
+                "Address",
+                Tuple::new(vec![
+                    Value::str(street.as_str()),
+                    Value::labelled_null(null_id),
+                    Value::str(name.as_str()),
+                    Value::Int(h as i64),
+                ]),
+            );
+        }
+    }
+    inst
+}
+
+fn bench_chase(c: &mut Criterion) {
+    let cs = constraints();
+    let incremental = ChaseConfig {
+        max_steps: 100_000,
+        incremental: true,
+    };
+    let scan = ChaseConfig {
+        max_steps: 100_000,
+        incremental: false,
+    };
+    // The two modes must reach identical outcomes on every workload.
+    for scale in [1usize, 4, 16] {
+        for inst in [
+            satisfied_instance(scale),
+            ind_repair_instance(scale),
+            fd_merge_instance(scale),
+        ] {
+            assert_eq!(chase(&inst, &cs, &incremental), chase(&inst, &cs, &scan));
+        }
+    }
+
+    let mut group = c.benchmark_group("chase");
+    group.sample_size(10);
+    for scale in [1usize, 4, 16] {
+        for (label, inst) in [
+            ("satisfied", satisfied_instance(scale)),
+            ("ind_repair", ind_repair_instance(scale)),
+            ("fd_merge", fd_merge_instance(scale)),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{label}/incremental"), scale),
+                &scale,
+                |b, _| b.iter(|| chase(&inst, &cs, &incremental)),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("{label}/scan"), scale),
+                &scale,
+                |b, _| b.iter(|| chase(&inst, &cs, &scan)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_chase);
+criterion_main!(benches);

@@ -2,7 +2,10 @@
 //!
 //! Prints the node/edge counts per depth (the shape of Figure 1) and measures
 //! the cost of materialising the LTS fragment as the depth and the response
-//! policy vary.
+//! policy vary.  The `scaled` group compares overlay-backed exploration
+//! against per-node materialisation on a hidden instance scaled 1×/4×/16×
+//! (×16 is the headline acceptance scale); before/after medians are recorded
+//! in `CHANGES.md`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -23,9 +26,62 @@ fn explore(depth: usize, partial_responses: bool) -> accltl_core::paths::LtsTree
         },
         max_bindings_per_method: 6,
         max_nodes: 20_000,
+        ..LtsOptions::default()
     };
     LtsExplorer::new(&schema, &hidden, options)
         .explore(&Instance::new())
+        .expect("phone-directory schema is well-formed")
+}
+
+/// A phone-directory-shaped hidden instance scaled by `scale`: `scale`
+/// streets, four houses per street, one mobile entry per even house.
+fn scaled_hidden(scale: usize) -> Instance {
+    let mut inst = Instance::new();
+    for s in 0..scale {
+        let street = format!("Street{s}");
+        let postcode = format!("OX{s}QD");
+        for h in 0..4usize {
+            let name = format!("Resident{s}_{h}");
+            inst.add_fact(
+                "Address",
+                tuple![street.as_str(), postcode.as_str(), name.as_str(), h as i64],
+            );
+            if h % 2 == 0 {
+                inst.add_fact(
+                    "Mobile#",
+                    tuple![
+                        name.as_str(),
+                        postcode.as_str(),
+                        street.as_str(),
+                        5_551_000 + (s * 4 + h) as i64
+                    ],
+                );
+            }
+        }
+    }
+    inst
+}
+
+/// Exploration at the scaled setting: every address row is already revealed
+/// (a large configuration at the root), depth-2 exact responses.  Overlay
+/// nodes share the root instance and hoist the binding domain; materialised
+/// nodes clone and rescan it.
+fn explore_scaled(scale: usize, use_overlays: bool) -> accltl_core::paths::LtsTree {
+    let schema = phone_directory_access_schema();
+    let hidden = scaled_hidden(scale);
+    let mut initial = Instance::new();
+    for tuple in hidden.tuples("Address") {
+        initial.add_fact("Address", tuple.clone());
+    }
+    let options = LtsOptions {
+        max_depth: 2,
+        max_bindings_per_method: 6,
+        max_nodes: 20_000,
+        use_overlays,
+        ..LtsOptions::base()
+    };
+    LtsExplorer::new(&schema, &hidden, options)
+        .explore(&initial)
         .expect("phone-directory schema is well-formed")
 }
 
@@ -52,6 +108,11 @@ fn print_figure1_shape() {
 
 fn bench_lts(c: &mut Criterion) {
     print_figure1_shape();
+    // Overlay-backed and materialising exploration must build one tree.
+    for scale in [1usize, 4, 16] {
+        assert_eq!(explore_scaled(scale, true), explore_scaled(scale, false));
+    }
+
     let mut group = c.benchmark_group("fig1_lts_tree");
     group.sample_size(10);
     for depth in 1..=3usize {
@@ -61,6 +122,18 @@ fn bench_lts(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("partial", depth), &depth, |b, &d| {
             b.iter(|| explore(d, true).node_count());
         });
+    }
+    for scale in [1usize, 4, 16] {
+        group.bench_with_input(
+            BenchmarkId::new("scaled/overlay", scale),
+            &scale,
+            |b, &s| b.iter(|| explore_scaled(s, true).node_count()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("scaled/materialized", scale),
+            &scale,
+            |b, &s| b.iter(|| explore_scaled(s, false).node_count()),
+        );
     }
     group.finish();
 }

@@ -96,10 +96,10 @@ pub fn satisfied_at_edge(
     let node = &tree.nodes[node_index];
     let (access, response, child) = &node.edges[edge_index];
     let transition = Transition {
-        before: node.instance.clone(),
+        before: node.instance(),
         access: access.clone(),
         response: response.clone(),
-        after: tree.nodes[*child].instance.clone(),
+        after: tree.nodes[*child].instance(),
     };
     let structure = crate::vocabulary::transition_structure(&transition, true);
     satisfied(formula, tree, *child, &structure)

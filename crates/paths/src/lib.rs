@@ -57,7 +57,7 @@ pub use engine::{
     StepOutcome,
 };
 pub use error::PathError;
-pub use lts::{LtsExplorer, LtsOptions, LtsTree, ResponsePolicy};
+pub use lts::{LtsExplorer, LtsOptions, LtsTree, ResponsePolicy, DISABLE_LTS_OVERLAY_ENV_VAR};
 pub use path::{AccessPath, Response, Transition};
 pub use relevance::{long_term_relevant, LtrOptions, LtrVerdict};
 pub use sanity::{is_exact_for, is_grounded, is_idempotent, PathSemantics};

@@ -7,15 +7,41 @@
 //! phone-directory schema; [`LtsExplorer`] materialises a bounded fragment of
 //! it, which is what the `fig1_lts_tree` benchmark and the `lts_explorer`
 //! example regenerate.
+//!
+//! # Overlay-backed exploration
+//!
+//! Configurations only ever *grow* along an access path, so each node of the
+//! tree is stored as an [`InstanceOverlay`]: an [`Arc`]-shared base (the
+//! initial instance) plus the facts revealed on the path to the node.
+//! Creating a child then costs `O(|response| + |delta|)` instead of
+//! `O(|Conf|)`, and — since every revealed fact comes out of the hidden
+//! instance — the binding domain per access method can be computed **once**
+//! per exploration rather than once per node.  The pre-overlay path, which
+//! materialises a full `Instance` per node and recomputes domains from it,
+//! is kept behind [`LtsOptions::use_overlays`] /
+//! [`DISABLE_LTS_OVERLAY_ENV_VAR`] and produces a byte-identical tree
+//! (nodes, labels, iteration and `Display` order) — property-tested in
+//! `tests/lts_overlay_props.rs` and CI-enforced by diffing the
+//! `lts_explorer` example both ways.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::Arc;
 
-use accltl_relational::{Instance, Tuple, Value};
+use accltl_relational::{DataType, Instance, InstanceOverlay, Tuple, Value};
 
 use crate::access::{Access, AccessSchema};
 use crate::path::Response;
 use crate::Result;
+
+/// Environment variable disabling overlay-backed LTS exploration when set to
+/// `1`: [`LtsOptions::from_env`] (and therefore `LtsOptions::default()`)
+/// falls back to materialising a full instance per node, which produces a
+/// byte-identical tree (CI diffs the `lts_explorer` example both ways).
+///
+/// The variable is *read* in exactly one place, [`LtsOptions::from_env`];
+/// this module only defines the name.
+pub const DISABLE_LTS_OVERLAY_ENV_VAR: &str = "ACCLTL_DISABLE_LTS_OVERLAY";
 
 /// How responses are enumerated when expanding a node of the LTS.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,31 +72,95 @@ pub struct LtsOptions {
     pub max_bindings_per_method: usize,
     /// Cap on the total number of nodes in the materialised tree.
     pub max_nodes: usize,
+    /// Whether nodes are built as copy-on-write overlays over the shared
+    /// initial instance (the default), or materialised as full instances.
+    /// The tree is byte-identical either way; this is purely a performance
+    /// switch.
+    pub use_overlays: bool,
 }
 
-impl Default for LtsOptions {
-    fn default() -> Self {
+impl LtsOptions {
+    /// The environment-independent baseline options.
+    #[must_use]
+    pub fn base() -> Self {
         LtsOptions {
             max_depth: 3,
             grounded_only: false,
             response_policy: ResponsePolicy::ExactFromHidden,
             max_bindings_per_method: 32,
             max_nodes: 10_000,
+            use_overlays: true,
+        }
+    }
+
+    /// The baseline with [`DISABLE_LTS_OVERLAY_ENV_VAR`] applied — the single
+    /// place that variable is read.
+    #[must_use]
+    pub fn from_env() -> Self {
+        let disabled = std::env::var(DISABLE_LTS_OVERLAY_ENV_VAR)
+            .map(|v| v == "1")
+            .unwrap_or(false);
+        LtsOptions {
+            use_overlays: !disabled,
+            ..LtsOptions::base()
         }
     }
 }
 
+impl Default for LtsOptions {
+    fn default() -> Self {
+        LtsOptions::from_env()
+    }
+}
+
 /// A node of the materialised LTS tree.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// The node's configuration (the information revealed so far) is held as an
+/// [`InstanceOverlay`] — under the default overlay-backed exploration all
+/// nodes share the initial instance as their base and own only their path's
+/// delta.  Equality is configuration equality (same facts, depth and edges),
+/// independent of how the facts are split between base and delta.
+#[derive(Debug, Clone)]
 pub struct LtsNode {
-    /// The instance (revealed information) at this node.
-    pub instance: Instance,
+    /// The configuration (revealed information) at this node.
+    conf: InstanceOverlay,
     /// Distance from the root in accesses.
     pub depth: usize,
     /// Outgoing edges: the access, its response, and the index of the child
     /// node in [`LtsTree::nodes`].
     pub edges: Vec<(Access, Response, usize)>,
 }
+
+impl LtsNode {
+    /// The configuration at this node, as a copy-on-write overlay.
+    #[must_use]
+    pub fn configuration(&self) -> &InstanceOverlay {
+        &self.conf
+    }
+
+    /// The configuration materialised into a standalone [`Instance`].
+    #[must_use]
+    pub fn instance(&self) -> Instance {
+        self.conf.materialize()
+    }
+
+    /// The number of facts known at this node.
+    #[must_use]
+    pub fn fact_count(&self) -> usize {
+        self.conf.fact_count()
+    }
+}
+
+impl PartialEq for LtsNode {
+    fn eq(&self, other: &Self) -> bool {
+        self.depth == other.depth
+            && self.edges == other.edges
+            && self.conf.fact_count() == other.conf.fact_count()
+            && self.conf.facts().eq(other.conf.facts())
+    }
+}
+
+impl Eq for LtsNode {}
 
 /// A bounded fragment of the LTS, materialised as a tree rooted at the initial
 /// instance (Figure 1 of the paper).
@@ -135,7 +225,7 @@ impl LtsTree {
         out.push_str(&format!(
             "[depth {}] known facts: {}\n",
             node.depth,
-            node.instance.fact_count()
+            node.fact_count()
         ));
         *lines += 1;
         for (access, response, child) in &node.edges {
@@ -156,12 +246,57 @@ impl fmt::Display for LtsTree {
     }
 }
 
+/// Sorted candidate values per column type, used to enumerate bindings.
+type DomainByType = BTreeMap<DataType, Vec<Value>>;
+
+fn domain_by_type(domain: &BTreeSet<Value>) -> DomainByType {
+    let mut by_type: DomainByType = BTreeMap::new();
+    for value in domain {
+        by_type.entry(value.data_type()).or_default().push(*value);
+    }
+    by_type
+}
+
+/// Merges two sorted, deduplicated value lists into one (deduplicating).
+fn merge_sorted(a: &[Value], b: &[Value]) -> Vec<Value> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
 /// Bounded explorer of the LTS of a schema with access restrictions.
 ///
 /// The LTS itself is infinite (every access has infinitely many well-formed
 /// responses); the explorer bounds it by drawing responses from a *hidden
 /// instance* (the actual content of the data source) and bindings from a
 /// finite value domain, exactly the way Figure 1 is drawn in the paper.
+///
+/// Under the default overlay-backed mode ([`LtsOptions::use_overlays`])
+/// every node shares the initial instance behind an [`Arc`] and owns only
+/// its path's revealed facts, and the binding domains are hoisted out of the
+/// per-node loop (every response tuple comes from the hidden instance, so
+/// the non-grounded domain `adom(Conf) ∪ adom(hidden)` is constant across
+/// the tree).  The materialising mode recomputes both per node; the trees
+/// are identical.
 #[derive(Debug, Clone)]
 pub struct LtsExplorer<'a> {
     schema: &'a AccessSchema,
@@ -183,8 +318,24 @@ impl<'a> LtsExplorer<'a> {
     /// Explores the LTS from the given initial instance, producing a bounded
     /// tree fragment.
     pub fn explore(&self, initial: &Instance) -> Result<LtsTree> {
+        // Hoisted binding domain (overlay mode): every response tuple is
+        // drawn from the hidden instance, so values revealed along any path
+        // are a subset of `adom(initial) ∪ adom(hidden)`.  Non-grounded
+        // exploration therefore sees one constant domain; grounded
+        // exploration merges each node's (small) delta domain on top of the
+        // initial instance's.
+        let static_domain = if self.options.use_overlays {
+            let mut domain = initial.active_domain();
+            if !self.options.grounded_only {
+                domain.extend(self.hidden.active_domain());
+            }
+            Some(domain_by_type(&domain))
+        } else {
+            None
+        };
+
         let mut nodes = vec![LtsNode {
-            instance: initial.clone(),
+            conf: InstanceOverlay::new(Arc::new(initial.clone())),
             depth: 0,
             edges: Vec::new(),
         }];
@@ -192,16 +343,29 @@ impl<'a> LtsExplorer<'a> {
         let mut frontier = vec![0usize];
 
         while let Some(index) = frontier.pop() {
-            let (depth, instance) = {
+            let (depth, conf) = {
                 let node = &nodes[index];
-                (node.depth, node.instance.clone())
+                (node.depth, node.conf.clone())
             };
             if depth >= self.options.max_depth {
                 continue;
             }
+            // Grounded overlay exploration: the node's domain beyond the
+            // initial instance is exactly its delta's.
+            let delta_domain = match &static_domain {
+                Some(_) if self.options.grounded_only => {
+                    Some(domain_by_type(&conf.delta().active_domain()))
+                }
+                _ => None,
+            };
             let mut edges = Vec::new();
             for method in self.schema.methods() {
-                let bindings = self.candidate_bindings(method, &instance)?;
+                let bindings = match &static_domain {
+                    Some(by_type) => {
+                        self.candidate_bindings_hoisted(method, by_type, delta_domain.as_ref())?
+                    }
+                    None => self.candidate_bindings_scanned(method, &conf)?,
+                };
                 if bindings.len() >= self.options.max_bindings_per_method {
                     truncated = true;
                 }
@@ -212,10 +376,19 @@ impl<'a> LtsExplorer<'a> {
                             truncated = true;
                             break;
                         }
-                        let mut successor = instance.clone();
-                        for tuple in &response {
-                            successor.add_fact(method.relation_id(), tuple.clone());
-                        }
+                        let successor = if self.options.use_overlays {
+                            let mut successor = conf.clone();
+                            for tuple in &response {
+                                successor.push_fact(method.relation_id(), tuple.clone());
+                            }
+                            successor
+                        } else {
+                            let mut instance = conf.materialize();
+                            for tuple in &response {
+                                instance.add_fact(method.relation_id(), tuple.clone());
+                            }
+                            InstanceOverlay::from(instance)
+                        };
                         edges.push((access.clone(), response, successor));
                     }
                 }
@@ -223,7 +396,7 @@ impl<'a> LtsExplorer<'a> {
             for (access, response, successor) in edges {
                 let child_index = nodes.len();
                 nodes.push(LtsNode {
-                    instance: successor,
+                    conf: successor,
                     depth: depth + 1,
                     edges: Vec::new(),
                 });
@@ -239,15 +412,43 @@ impl<'a> LtsExplorer<'a> {
         Ok(LtsTree { nodes, truncated })
     }
 
-    /// Enumerates candidate bindings for an access method at a node.
-    ///
-    /// Values are drawn from the active domain of the current instance plus
-    /// (unless `grounded_only`) the active domain of the hidden instance, and
-    /// filtered by the declared column type of each input position.
-    fn candidate_bindings(
+    /// Binding enumeration against the hoisted domain (overlay mode): the
+    /// per-type value lists were computed once for the whole exploration;
+    /// grounded exploration merges the node's delta domain on top.
+    fn candidate_bindings_hoisted(
         &self,
         method: &crate::access::AccessMethod,
-        current: &Instance,
+        by_type: &DomainByType,
+        delta: Option<&DomainByType>,
+    ) -> Result<Vec<Tuple>> {
+        static EMPTY: Vec<Value> = Vec::new();
+        let relation = self
+            .schema
+            .schema()
+            .require_relation_id(method.relation_id())?;
+        let per_position: Vec<Vec<Value>> = method
+            .input_positions()
+            .iter()
+            .map(|&p| {
+                let ty = relation.column_types()[p];
+                let base = by_type.get(&ty).unwrap_or(&EMPTY);
+                match delta.and_then(|d| d.get(&ty)) {
+                    Some(extra) => merge_sorted(base, extra),
+                    None => base.clone(),
+                }
+            })
+            .collect();
+        Ok(self.capped_binding_product(&per_position))
+    }
+
+    /// Binding enumeration recomputed from the node's configuration
+    /// (materialising mode): values are drawn from the active domain of the
+    /// configuration plus (unless `grounded_only`) the active domain of the
+    /// hidden instance.
+    fn candidate_bindings_scanned(
+        &self,
+        method: &crate::access::AccessMethod,
+        current: &InstanceOverlay,
     ) -> Result<Vec<Tuple>> {
         let relation = self
             .schema
@@ -269,9 +470,16 @@ impl<'a> LtsExplorer<'a> {
                     .collect()
             })
             .collect();
-        // Cartesian product, capped.
+        Ok(self.capped_binding_product(&per_position))
+    }
+
+    /// Cartesian product of the per-position candidate lists, capped at
+    /// `max_bindings_per_method` (with the historical over-enumeration
+    /// buffer of 4× during construction, preserved so both binding
+    /// enumeration paths truncate identically).
+    fn capped_binding_product(&self, per_position: &[Vec<Value>]) -> Vec<Tuple> {
         let mut bindings: Vec<Vec<Value>> = vec![Vec::new()];
-        for values in &per_position {
+        for values in per_position {
             let mut next = Vec::new();
             for prefix in &bindings {
                 for v in values {
@@ -286,7 +494,7 @@ impl<'a> LtsExplorer<'a> {
             bindings = next;
         }
         bindings.truncate(self.options.max_bindings_per_method);
-        Ok(bindings.into_iter().map(Tuple::new).collect())
+        bindings.into_iter().map(Tuple::new).collect()
     }
 
     /// Enumerates candidate responses for an access according to the response
@@ -346,7 +554,7 @@ mod tests {
             LtsOptions {
                 max_depth: 2,
                 max_bindings_per_method: 64,
-                ..LtsOptions::default()
+                ..LtsOptions::base()
             },
         );
         let tree = explorer.explore(&Instance::new()).unwrap();
@@ -357,7 +565,7 @@ mod tests {
         assert!(tree
             .nodes
             .iter()
-            .any(|n| n.depth == 2 && n.instance.fact_count() == 3));
+            .any(|n| n.depth == 2 && n.fact_count() == 3));
     }
 
     #[test]
@@ -370,7 +578,7 @@ mod tests {
             LtsOptions {
                 grounded_only: true,
                 max_depth: 2,
-                ..LtsOptions::default()
+                ..LtsOptions::base()
             },
         );
         // With an empty initial instance there are no known values, so no
@@ -400,7 +608,7 @@ mod tests {
                     max_response_size: 2,
                 },
                 max_bindings_per_method: 8,
-                ..LtsOptions::default()
+                ..LtsOptions::base()
             },
         );
         let tree = explorer.explore(&Instance::new()).unwrap();
@@ -413,7 +621,7 @@ mod tests {
             LtsOptions {
                 max_depth: 1,
                 max_bindings_per_method: 8,
-                ..LtsOptions::default()
+                ..LtsOptions::base()
             },
         )
         .explore(&Instance::new())
@@ -432,7 +640,7 @@ mod tests {
                 max_depth: 4,
                 max_nodes: 10,
                 max_bindings_per_method: 64,
-                ..LtsOptions::default()
+                ..LtsOptions::base()
             },
         );
         let tree = explorer.explore(&Instance::new()).unwrap();
@@ -444,7 +652,7 @@ mod tests {
     fn nodes_per_depth_and_render() {
         let schema = phone_directory_access_schema();
         let hidden = hidden();
-        let explorer = LtsExplorer::new(&schema, &hidden, LtsOptions::default());
+        let explorer = LtsExplorer::new(&schema, &hidden, LtsOptions::base());
         let tree = explorer.explore(&Instance::new()).unwrap();
         let per_depth = tree.nodes_per_depth();
         assert_eq!(per_depth[0], 1);
@@ -452,5 +660,80 @@ mod tests {
         let rendering = tree.render(40);
         assert!(rendering.contains("known facts"));
         assert!(rendering.contains("AcM"));
+    }
+
+    #[test]
+    fn overlay_and_materialized_exploration_agree() {
+        let schema = phone_directory_access_schema();
+        let hidden = hidden();
+        let mut initial = Instance::new();
+        initial.add_fact("Address", tuple!["Parks Rd", "OX13QD", "Smith", 13]);
+        for options in [
+            LtsOptions {
+                max_depth: 2,
+                max_bindings_per_method: 16,
+                ..LtsOptions::base()
+            },
+            LtsOptions {
+                max_depth: 1,
+                response_policy: ResponsePolicy::SubsetsOfHidden {
+                    max_response_size: 2,
+                },
+                max_bindings_per_method: 8,
+                ..LtsOptions::base()
+            },
+            LtsOptions {
+                grounded_only: true,
+                max_depth: 2,
+                ..LtsOptions::base()
+            },
+        ] {
+            let overlay_tree = LtsExplorer::new(&schema, &hidden, options.clone())
+                .explore(&initial)
+                .unwrap();
+            let materialized_tree = LtsExplorer::new(
+                &schema,
+                &hidden,
+                LtsOptions {
+                    use_overlays: false,
+                    ..options
+                },
+            )
+            .explore(&initial)
+            .unwrap();
+            assert_eq!(overlay_tree, materialized_tree);
+            assert_eq!(
+                overlay_tree.render(500),
+                materialized_tree.render(500),
+                "render order must be identical"
+            );
+        }
+    }
+
+    #[test]
+    fn overlay_nodes_share_the_initial_base() {
+        let schema = phone_directory_access_schema();
+        let hidden = hidden();
+        let explorer = LtsExplorer::new(
+            &schema,
+            &hidden,
+            LtsOptions {
+                max_depth: 2,
+                max_bindings_per_method: 16,
+                ..LtsOptions::base()
+            },
+        );
+        let tree = explorer.explore(&Instance::new()).unwrap();
+        let root_base = Arc::clone(tree.nodes[0].configuration().base());
+        assert!(tree
+            .nodes
+            .iter()
+            .all(|n| Arc::ptr_eq(n.configuration().base(), &root_base)));
+    }
+
+    #[test]
+    fn overlays_are_the_baseline_and_env_name_is_stable() {
+        assert!(LtsOptions::base().use_overlays);
+        assert_eq!(DISABLE_LTS_OVERLAY_ENV_VAR, "ACCLTL_DISABLE_LTS_OVERLAY");
     }
 }

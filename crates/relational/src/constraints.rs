@@ -72,6 +72,12 @@ impl FunctionalDependency {
     }
 
     /// Returns a pair of tuples violating the dependency, if any.
+    ///
+    /// The choice is deterministic: the first tuple (in tuple order) that
+    /// belongs to a violating LHS-group, paired with the first group member
+    /// disagreeing with it on the RHS.  The incremental chase
+    /// ([`crate::chase()`]) reproduces exactly this choice from per-position
+    /// indexes and dirty-tuple worklists instead of this nested scan.
     #[must_use]
     pub fn find_violation(
         &self,
@@ -162,6 +168,11 @@ impl InclusionDependency {
     }
 
     /// Returns a source tuple with no matching target tuple, if any.
+    ///
+    /// The choice is deterministic: the first unwitnessed source in tuple
+    /// order.  The incremental chase ([`crate::chase()`]) reproduces exactly
+    /// this choice by probing target witnesses through per-position indexes
+    /// over a dirty-source worklist instead of this scan.
     #[must_use]
     pub fn find_violation(&self, instance: &Instance) -> Option<crate::tuple::Tuple> {
         for src_tuple in instance.tuples(self.source) {

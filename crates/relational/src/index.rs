@@ -20,6 +20,14 @@
 //! or not; it is property-tested in `tests/index_props.rs` and CI-enforced by
 //! diffing example outputs with [`DISABLE_INDEXES_ENV_VAR`] set.
 //!
+//! Maintenance is two-sided: [`crate::Instance::add_fact`] inserts into the
+//! posting lists and [`crate::Instance::remove_fact`] deletes from them, so
+//! the incremental chase can rewrite facts across repair steps without ever
+//! rebuilding the index.  Removal leaves the arena slot in place as an
+//! unreferenced tombstone (no posting list points at it any more), which
+//! keeps every id stable and every binary search valid; tombstones are
+//! bounded by the number of insertions, which the chase already budgets.
+//!
 //! # Scan fallback
 //!
 //! Setting `ACCLTL_DISABLE_INDEXES=1` (see [`DISABLE_INDEXES_ENV_VAR`])
@@ -174,6 +182,17 @@ pub struct RelationIndex {
     arena: Vec<Tuple>,
     postings: PostingMap,
     shape: ArityShape,
+    /// Indexed tuples still present (arena length minus removal tombstones).
+    live: usize,
+    /// Live `(position, value)` posting entries: the sum of live tuples'
+    /// arities.  `slots / postings.len()` is the exact average posting-list
+    /// length, which [`RelationIndex::discriminating`] compares against the
+    /// relation size to decide whether probing beats scanning.
+    slots: usize,
+    /// Live zero-arity tuples.  The empty tuple owns no posting entry, so
+    /// removal cannot locate it through a posting list; it is tracked by
+    /// count instead (a tuple set holds at most one).
+    nullary: usize,
 }
 
 impl RelationIndex {
@@ -184,12 +203,20 @@ impl RelationIndex {
             arena,
             postings,
             shape,
+            live,
+            slots,
+            nullary,
         } = self;
         *shape = match *shape {
             ArityShape::Empty => ArityShape::Uniform(tuple.arity()),
             ArityShape::Uniform(a) if a == tuple.arity() => ArityShape::Uniform(a),
             _ => ArityShape::Mixed,
         };
+        *live += 1;
+        *slots += tuple.arity();
+        if tuple.arity() == 0 {
+            *nullary += 1;
+        }
         let id = u32::try_from(arena.len()).expect("relation index arena overflow");
         for (position, value) in tuple.values().iter().enumerate() {
             let position = u32::try_from(position).expect("tuple arity overflow");
@@ -203,16 +230,81 @@ impl RelationIndex {
         arena.push(tuple);
     }
 
-    /// The number of indexed tuples.
-    #[must_use]
-    pub fn len(&self) -> usize {
-        self.arena.len()
+    /// Unindexes one tuple, returning whether it was present.
+    ///
+    /// The tuple's id is removed from every posting list it appears in; the
+    /// arena slot stays behind as an unreferenced tombstone (ids must remain
+    /// stable for the other lists' binary searches).  The arity shape is kept
+    /// as-is — a conservative summary stays sound under deletion.
+    pub(crate) fn remove(&mut self, tuple: &Tuple) -> bool {
+        let RelationIndex {
+            arena,
+            postings,
+            live,
+            slots,
+            nullary,
+            ..
+        } = self;
+        if tuple.arity() == 0 {
+            if *nullary == 0 {
+                return false;
+            }
+            *nullary -= 1;
+            *live -= 1;
+            return true;
+        }
+        // Locate the arena id through the first position's posting list.
+        let first_key = (0u32, tuple.values()[0]);
+        let id = {
+            let Some(list) = postings.get(&first_key) else {
+                return false;
+            };
+            let Ok(at) = list.binary_search_by(|&j| arena[j as usize].cmp(tuple)) else {
+                return false;
+            };
+            list[at]
+        };
+        for (position, value) in tuple.values().iter().enumerate() {
+            let position = u32::try_from(position).expect("tuple arity overflow");
+            let key = (position, *value);
+            let mut emptied = false;
+            if let Some(list) = postings.get_mut(&key) {
+                if let Ok(at) = list.binary_search_by(|&j| arena[j as usize].cmp(tuple)) {
+                    debug_assert_eq!(list[at], id, "posting lists agree on tuple ids");
+                    list.remove(at);
+                }
+                emptied = list.is_empty();
+            }
+            if emptied {
+                postings.remove(&key);
+            }
+        }
+        *live -= 1;
+        *slots -= tuple.arity();
+        true
     }
 
-    /// True if no tuples are indexed.
+    /// The number of indexed tuples still present.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True if no tuples are indexed (or all were removed).
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.arena.is_empty()
+        self.live == 0
+    }
+
+    /// Whether this relation's posting lists actually discriminate: probing
+    /// pays off only when the average posting list is at most half the
+    /// relation (`2·slots ≤ live·keys`).  Wide tuples that differ in few
+    /// positions produce near-degenerate lists for which a scan wins; the
+    /// adaptive cutoff in `Instance::query_index` consults this to fall back
+    /// per relation.  Never affects results, only which path produces them.
+    #[must_use]
+    pub fn discriminating(&self) -> bool {
+        2 * self.slots <= self.live * self.postings.len()
     }
 
     /// The uniform arity of the indexed tuples, if they all agree.
@@ -329,6 +421,13 @@ impl InstanceIndex {
                 index.insert(tuple);
                 self.relations.insert(relation.id(), index);
             }
+        }
+    }
+
+    /// Incremental maintenance: unindexes one removed fact.
+    pub(crate) fn remove_fact(&mut self, relation: RelId, tuple: &Tuple) {
+        if let Some(index) = self.relations.get_mut(relation.id()) {
+            index.remove(tuple);
         }
     }
 }
@@ -624,6 +723,54 @@ mod tests {
             hits,
             vec![&tuple!["a", 1], &tuple!["m", 1], &tuple!["z", 1]]
         );
+    }
+
+    #[test]
+    fn removal_unindexes_and_reinsertion_reindexes() {
+        let mut index = sample_index();
+        assert!(index.remove(&tuple!["a", 1]));
+        assert!(!index.remove(&tuple!["a", 1]), "second removal is a no-op");
+        assert!(!index.remove(&tuple!["q", 9]), "absent tuples report false");
+        assert_eq!(index.len(), 2);
+        assert_eq!(index.selectivity(0, &Value::str("a")), 1);
+        assert_eq!(index.selectivity(1, &Value::Int(1)), 1);
+        let hits: Vec<&Tuple> = index.matching(0, &Value::str("a")).collect();
+        assert_eq!(hits, vec![&tuple!["a", 2]]);
+        // Re-inserting after removal restores the exact posting state.
+        index.insert(tuple!["a", 1]);
+        assert_eq!(index.len(), 3);
+        let hits: Vec<&Tuple> = index.matching(0, &Value::str("a")).collect();
+        assert_eq!(hits, vec![&tuple!["a", 1], &tuple!["a", 2]]);
+        let bound = vec![(0, Value::str("a")), (1, Value::Int(1))];
+        let both: Vec<&Tuple> = index.matching_all(&bound).collect();
+        assert_eq!(both, vec![&tuple!["a", 1]]);
+    }
+
+    #[test]
+    fn nullary_tuples_are_tracked_by_count() {
+        let mut index = RelationIndex::default();
+        index.insert(Tuple::new(vec![]));
+        assert_eq!(index.len(), 1);
+        assert!(index.remove(&Tuple::new(vec![])));
+        assert!(index.is_empty());
+        assert!(!index.remove(&Tuple::new(vec![])));
+    }
+
+    #[test]
+    fn discrimination_tracks_posting_list_shape() {
+        // Distinct values per column: lists are short, probing pays off.
+        let mut sharp = RelationIndex::default();
+        for i in 0..8i64 {
+            sharp.insert(tuple![i, i + 100]);
+        }
+        assert!(sharp.discriminating());
+        // A constant column plus three binary ones: every posting list holds
+        // at least half the relation, so scanning wins.
+        let mut blunt = RelationIndex::default();
+        for i in 0..8i64 {
+            blunt.insert(tuple!["x", i & 1, (i >> 1) & 1, (i >> 2) & 1]);
+        }
+        assert!(!blunt.discriminating());
     }
 
     #[test]

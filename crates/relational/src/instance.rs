@@ -42,10 +42,10 @@ pub struct Instance {
     facts: Vec<(RelId, BTreeSet<Tuple>)>,
     /// Lazily built per-position value index (see [`crate::index`]):
     /// populated on the first indexed lookup against a relation of at least
-    /// the index cutoff, maintained incrementally by [`Instance::add_fact`],
-    /// and dropped by every other mutation (and by `Clone`).  Never
-    /// consulted by `Eq`/`Ord`/`Hash`, which remain pure fact-set
-    /// comparisons.
+    /// the index cutoff, maintained incrementally by [`Instance::add_fact`]
+    /// and [`Instance::remove_fact`], and dropped by every other mutation
+    /// (and by `Clone`).  Never consulted by `Eq`/`Ord`/`Hash`, which remain
+    /// pure fact-set comparisons.
     index: OnceLock<InstanceIndex>,
     /// Lazily built per-relation content digests (see
     /// [`crate::guard_cache`]), name-sorted like `facts`: computed on the
@@ -168,14 +168,25 @@ impl Instance {
 
     /// The per-position index of `relation`, if indexing is enabled and the
     /// relation is large enough to be worth it.  Builds the whole-instance
-    /// index on first demand; afterwards [`Instance::add_fact`] maintains it
-    /// incrementally.
+    /// index on first demand; afterwards [`Instance::add_fact`] and
+    /// [`Instance::remove_fact`] maintain it incrementally.
+    ///
+    /// With no explicit cutoff configured (neither [`Instance::set_index_cutoff`]
+    /// nor `ACCLTL_INDEX_CUTOFF` threaded through a search front-end), the
+    /// size gate is adaptive: past the [`INDEX_CUTOFF`] floor, a relation is
+    /// answered from its posting lists only while they actually discriminate
+    /// ([`RelationIndex::discriminating`]); degenerate relations fall back to
+    /// the scan defaults.  An explicit cutoff keeps the pure size-threshold
+    /// behaviour, so the env knob still means what it says.  Either way the
+    /// decision only picks a code path — results are identical by contract.
     pub(crate) fn query_index(&self, relation: RelId) -> Option<&RelationIndex> {
         if !indexing_enabled() {
             return None;
         }
+        let adaptive = self.index_cutoff.is_none();
+        let worth_it = |index: &RelationIndex| !adaptive || index.discriminating();
         if let Some(built) = self.index.get() {
-            return built.relation(relation);
+            return built.relation(relation).filter(|idx| worth_it(idx));
         }
         if self.relation_size(relation) < self.index_cutoff.unwrap_or(INDEX_CUTOFF) {
             return None;
@@ -183,6 +194,7 @@ impl Instance {
         self.index
             .get_or_init(|| InstanceIndex::build(&self.facts))
             .relation(relation)
+            .filter(|idx| worth_it(idx))
     }
 
     /// The name-sorted per-relation digest table, built on first demand.
@@ -270,6 +282,12 @@ impl Instance {
 
     /// Removes a fact. Returns `true` if it was present.  String keys resolve
     /// without growing the intern pool (absent names answer `false`).
+    ///
+    /// A built per-position index is maintained incrementally (the chase
+    /// removes and re-adds facts across repair steps, and rebuilding per
+    /// step is exactly what the incremental chase exists to avoid); the
+    /// digest table is add-only and is dropped instead, to be rebuilt
+    /// lazily.
     pub fn remove_fact(&mut self, relation: impl RelKey, tuple: &Tuple) -> bool {
         let Some(relation) = relation.resolve_rel() else {
             return false;
@@ -281,7 +299,10 @@ impl Instance {
                     self.facts.remove(found);
                 }
                 if removed {
-                    self.invalidate_index();
+                    if let Some(index) = self.index.get_mut() {
+                        index.remove_fact(relation, tuple);
+                    }
+                    self.digests.take();
                 }
                 removed
             }
@@ -606,6 +627,64 @@ mod tests {
         assert!(incremental.remove_fact("Extra", &tuple![42]));
         assert!(fresh.remove_fact("Extra", &tuple![42]));
         assert_eq!(incremental.content_digest(), fresh.content_digest());
+    }
+
+    #[test]
+    fn index_maintained_across_removal_matches_fresh_build() {
+        let mut incremental = Instance::new();
+        for i in 0..20i64 {
+            incremental.add_fact("R", tuple![i % 4, i]);
+        }
+        // Force the index, then mutate through the incremental paths.
+        let rel = RelId::new("R");
+        assert!(incremental.query_index(rel).is_some());
+        assert!(incremental.remove_fact("R", &tuple![1, 5]));
+        assert!(incremental.remove_fact("R", &tuple![2, 14]));
+        incremental.add_fact("R", tuple![1, 5]);
+        let mut fresh = Instance::new();
+        for i in 0..20i64 {
+            if i != 14 {
+                fresh.add_fact("R", tuple![i % 4, i]);
+            }
+        }
+        assert_eq!(incremental, fresh);
+        let maintained: Vec<Tuple> = incremental
+            .query_index(rel)
+            .expect("index stays live across removals")
+            .matching(0, &Value::Int(1))
+            .cloned()
+            .collect();
+        let scanned: Vec<Tuple> = fresh
+            .tuples("R")
+            .filter(|t| t.get(0) == Some(&Value::Int(1)))
+            .cloned()
+            .collect();
+        assert_eq!(maintained, scanned);
+    }
+
+    #[test]
+    fn adaptive_cutoff_vetoes_degenerate_relations_unless_configured() {
+        // A constant column plus two binary ones: posting lists average more
+        // than half the relation, so the adaptive gate prefers scanning.
+        let mut inst = Instance::new();
+        for i in 0..16i64 {
+            inst.add_fact("Blunt", tuple!["x", i & 1, (i >> 1) & 1, i]);
+        }
+        // ... except this one has a distinct last column, which keeps it
+        // discriminating; drop to the genuinely degenerate shape.
+        let mut blunt = Instance::new();
+        for i in 0..8i64 {
+            blunt.add_fact("Blunt", tuple!["x", i & 1, (i >> 1) & 1, (i >> 2) & 1]);
+        }
+        let rel = RelId::new("Blunt");
+        assert!(blunt.query_index(rel).is_none(), "adaptive gate scans");
+        // An explicit cutoff keeps the historical pure size-threshold
+        // behaviour (the env knob must keep meaning what it says).
+        let mut configured = blunt.clone();
+        configured.set_index_cutoff(4);
+        assert!(configured.query_index(rel).is_some());
+        // The sharp relation is indexed either way.
+        assert!(inst.query_index(rel).is_some());
     }
 
     #[test]

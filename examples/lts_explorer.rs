@@ -19,6 +19,7 @@ fn main() {
         },
         max_bindings_per_method: 6,
         max_nodes: 2_000,
+        ..LtsOptions::default()
     };
     let explorer = LtsExplorer::new(&schema, &hidden, options);
     let tree = explorer
