@@ -162,6 +162,8 @@ pub fn bounded_emptiness_batch_with_config(
     initial: &Instance,
     engine: EngineConfig,
 ) -> Vec<SearchReport<EmptinessOutcome>> {
+    let _batch_span =
+        accltl_obs::trace::span_fields("emptiness.batch", &[("automata", automata.len() as u64)]);
     // One root cache for the whole batch: sentence ids are structural, so
     // guard copies shared between chains — and between automata — share
     // entries.  Every automaton consults through its own share handle, so
@@ -274,7 +276,7 @@ pub fn bounded_emptiness_batch_with_config(
     // One engine drove every wave, so its cache counters accumulate across
     // waves; snapshot them once for all reports.
     let engine_cache = batch.engine_cache_stats();
-    slots
+    let reports: Vec<SearchReport<EmptinessOutcome>> = slots
         .into_iter()
         .zip(&handles)
         .map(|(slot, handle)| SearchReport {
@@ -284,7 +286,27 @@ pub fn bounded_emptiness_batch_with_config(
             cache: handle.stats(),
             engine_cache,
         })
-        .collect()
+        .collect();
+    // Reconcile the per-report legacy counters into the process-wide
+    // registry — once per report, at assembly time, matching the bounded
+    // front-end so `search.*`/`guard_cache.*` registry deltas equal summed
+    // report structs regardless of which front-end ran.
+    for report in &reports {
+        accltl_obs::metrics::add("search.explored", report.explored as u64);
+        accltl_obs::metrics::add("search.cost", report.cost as u64);
+        accltl_obs::metrics::add("guard_cache.hits", report.cache.hits);
+        accltl_obs::metrics::add("guard_cache.misses", report.cache.misses);
+        accltl_obs::trace::event(
+            "emptiness.report",
+            &[
+                ("explored", report.explored as u64),
+                ("cost", report.cost as u64),
+                ("cache_hits", report.cache.hits),
+                ("cache_misses", report.cache.misses),
+            ],
+        );
+    }
+    reports
 }
 
 /// Deprecated alias of [`bounded_emptiness_report`] returning the verdict

@@ -5,17 +5,21 @@
 use accltl_automata::applications::{containment_automaton, ltr_automaton};
 use accltl_automata::{
     accltl_plus_to_automaton, bounded_emptiness, bounded_emptiness_batch,
-    bounded_emptiness_batch_with_config, AAutomaton, EmptinessConfig, EmptinessOutcome,
+    bounded_emptiness_batch_with_config, bounded_emptiness_report, AAutomaton, EmptinessConfig,
+    EmptinessOutcome,
 };
 use accltl_logic::bounded::{BoundedSearchConfig, BoundedSearcher, SatOutcome};
 use accltl_logic::fragment::{classify, Fragment};
-use accltl_logic::solver;
 use accltl_logic::AccLtl;
+use accltl_obs::trace;
 use accltl_paths::relevance::{long_term_relevant, LtrOptions, LtrVerdict};
 use accltl_paths::{Access, AccessPath, AccessSchema, EngineConfig};
 use accltl_relational::{
-    cq_contained_in_cq, ConjunctiveQuery, DisjointnessConstraint, Instance, UnionOfCqs,
+    chase_with_stats, cq_contained_in_cq, ChaseConfig, ChaseOutcome, ChaseStats, ConjunctiveQuery,
+    Constraint, DisjointnessConstraint, Instance, UnionOfCqs,
 };
+
+use crate::report::RunReport;
 
 /// Which engine answered a question (reported for transparency and used by
 /// the pipeline-ablation benchmark).
@@ -32,8 +36,13 @@ pub enum Engine {
 }
 
 /// The outcome of an analyzer question, together with the engine that
-/// produced it.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// produced it and the run accounting ([`RunReport`]) behind it.
+///
+/// Equality compares the verdict surface only (outcome, fragment, engine):
+/// the [`AnalyzerReport::run`] counters describe *work*, which legitimately
+/// varies with caches, thread counts and environment knobs, while verdicts
+/// are deterministic.
+#[derive(Debug, Clone)]
 pub struct AnalyzerReport {
     /// The satisfiability outcome.
     pub outcome: SatOutcome,
@@ -41,7 +50,21 @@ pub struct AnalyzerReport {
     pub fragment: Fragment,
     /// The engine used.
     pub engine: Engine,
+    /// Machine-readable accounting for the run that answered the question:
+    /// search counters, cache activity and (when the analyzer chased
+    /// constraints) the chase counters.
+    pub run: RunReport,
 }
+
+impl PartialEq for AnalyzerReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.outcome == other.outcome
+            && self.fragment == other.fragment
+            && self.engine == other.engine
+    }
+}
+
+impl Eq for AnalyzerReport {}
 
 impl AnalyzerReport {
     /// True if a witness path was found.
@@ -107,12 +130,14 @@ pub enum ContainmentOutcome {
 }
 
 /// The analyzer: a schema with access methods, an initial instance, the
-/// disjointness constraints assumed on the data, and engine budgets.
+/// constraints assumed on the data, and engine budgets.
 #[derive(Debug, Clone)]
 pub struct AccessAnalyzer {
     schema: AccessSchema,
     initial: Instance,
     disjointness: Vec<DisjointnessConstraint>,
+    constraints: Vec<Constraint>,
+    chase_stats: Option<ChaseStats>,
     search_config: BoundedSearchConfig,
     emptiness_config: EmptinessConfig,
 }
@@ -126,6 +151,8 @@ impl AccessAnalyzer {
             schema,
             initial: Instance::new(),
             disjointness: Vec::new(),
+            constraints: Vec::new(),
+            chase_stats: None,
             search_config: BoundedSearchConfig::default(),
             emptiness_config: EmptinessConfig::default(),
         }
@@ -142,6 +169,28 @@ impl AccessAnalyzer {
     #[must_use]
     pub fn with_disjointness(mut self, constraint: DisjointnessConstraint) -> Self {
         self.disjointness.push(constraint);
+        self
+    }
+
+    /// Supplies integrity constraints (functional and inclusion
+    /// dependencies) assumed on the accessible data: the current initial
+    /// instance is repaired immediately by the chase
+    /// (`accltl_relational::chase`), and the chase counters are attached to
+    /// the [`RunReport`] of every subsequent analyzer question.
+    ///
+    /// The chase runs at the time of this call, so in a builder chain it
+    /// must come *after* [`AccessAnalyzer::with_initial`].  If the chase
+    /// fails or exhausts its budget the initial instance is left untouched
+    /// (the counters are still recorded).
+    #[must_use]
+    pub fn with_constraints(mut self, constraints: Vec<Constraint>) -> Self {
+        let (outcome, stats) =
+            chase_with_stats(&self.initial, &constraints, &ChaseConfig::default());
+        if let ChaseOutcome::Completed(repaired) = outcome {
+            self.initial = repaired;
+        }
+        self.chase_stats = Some(stats);
+        self.constraints = constraints;
         self
     }
 
@@ -165,10 +214,25 @@ impl AccessAnalyzer {
         &self.schema
     }
 
-    /// The initial instance.
+    /// The initial instance (after constraint repair, when
+    /// [`AccessAnalyzer::with_constraints`] was used).
     #[must_use]
     pub fn initial(&self) -> &Instance {
         &self.initial
+    }
+
+    /// The integrity constraints supplied via
+    /// [`AccessAnalyzer::with_constraints`].
+    #[must_use]
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// The counters of the constraint-repair chase, when constraints were
+    /// supplied.
+    #[must_use]
+    pub fn chase_stats(&self) -> Option<ChaseStats> {
+        self.chase_stats
     }
 
     /// Checks satisfiability of an `AccLTL` formula over the schema's access
@@ -178,38 +242,39 @@ impl AccessAnalyzer {
     /// else falls back to the (sound, incomplete) bounded search.
     #[must_use]
     pub fn check_satisfiable(&self, formula: &AccLtl) -> AnalyzerReport {
+        let _span = trace::span("analyzer.check_satisfiable");
         let fragment = classify(formula);
         match fragment {
-            Fragment::XZeroAry => AnalyzerReport {
-                outcome: solver::sat_x_fragment(
-                    formula,
-                    &self.schema,
-                    &self.initial,
-                    &self.search_config,
-                )
-                .expect("fragment checked by classify"),
-                fragment,
-                engine: Engine::XFragment,
-            },
-            Fragment::ZeroAry | Fragment::ZeroAryWithInequalities => AnalyzerReport {
-                outcome: solver::sat_zero_fragment(
-                    formula,
-                    &self.schema,
-                    &self.initial,
-                    &self.search_config,
-                )
-                .expect("fragment checked by classify"),
-                fragment,
-                engine: Engine::ZeroFragment,
-            },
+            // The zero fragments run under the 0-ary interpretation, as in
+            // `solver::sat_x_fragment` / `solver::sat_zero_fragment` (the
+            // fragment has already been checked by `classify`).
+            Fragment::XZeroAry | Fragment::ZeroAry | Fragment::ZeroAryWithInequalities => {
+                let report =
+                    BoundedSearcher::new(&self.schema, &self.initial, true, self.search_config)
+                        .run(formula);
+                let run = RunReport::from_search(&report).with_chase(self.chase_stats);
+                let engine = if fragment == Fragment::XZeroAry {
+                    Engine::XFragment
+                } else {
+                    Engine::ZeroFragment
+                };
+                AnalyzerReport {
+                    outcome: report.verdict,
+                    fragment,
+                    engine,
+                    run,
+                }
+            }
             Fragment::BindingPositive => {
                 let automaton = accltl_plus_to_automaton(formula);
-                let outcome = match bounded_emptiness(
+                let report = bounded_emptiness_report(
                     &automaton,
                     &self.schema,
                     &self.initial,
                     &self.emptiness_config,
-                ) {
+                );
+                let run = RunReport::from_search(&report).with_chase(self.chase_stats);
+                let outcome = match report.verdict {
                     EmptinessOutcome::NonEmpty { witness } => SatOutcome::Satisfiable { witness },
                     EmptinessOutcome::Empty => SatOutcome::Unsatisfiable,
                     EmptinessOutcome::Unknown => SatOutcome::Unknown { explored: 0 },
@@ -218,18 +283,27 @@ impl AccessAnalyzer {
                     outcome,
                     fragment,
                     engine: Engine::AutomatonPipeline,
+                    run,
                 }
             }
-            Fragment::Full | Fragment::FullWithInequalities => AnalyzerReport {
-                outcome: solver::sat_full_bounded(
-                    formula,
-                    &self.schema,
-                    &self.initial,
-                    &self.search_config,
-                ),
-                fragment,
-                engine: Engine::BoundedSearch,
-            },
+            // Full bindings for the undecidable languages; `Unsatisfiable`
+            // is downgraded, as in `solver::sat_full_bounded`.
+            Fragment::Full | Fragment::FullWithInequalities => {
+                let report =
+                    BoundedSearcher::new(&self.schema, &self.initial, false, self.search_config)
+                        .run(formula);
+                let run = RunReport::from_search(&report).with_chase(self.chase_stats);
+                let outcome = match report.verdict {
+                    SatOutcome::Unsatisfiable => SatOutcome::Unknown { explored: 0 },
+                    other => other,
+                };
+                AnalyzerReport {
+                    outcome,
+                    fragment,
+                    engine: Engine::BoundedSearch,
+                    run,
+                }
+            }
         }
     }
 
@@ -246,6 +320,10 @@ impl AccessAnalyzer {
     /// used verbatim for every property instead of the analyzer's budgets.
     #[must_use]
     pub fn check_all(&self, request: &BatchRequest) -> Vec<AnalyzerReport> {
+        let _span = trace::span_fields(
+            "analyzer.check_all",
+            &[("properties", request.properties.len() as u64)],
+        );
         let fragments: Vec<Fragment> = request.properties.iter().map(classify).collect();
         let mut reports: Vec<Option<AnalyzerReport>> = vec![None; request.properties.len()];
 
@@ -287,6 +365,7 @@ impl AccessAnalyzer {
                 .collect();
             for (&index, report) in indices.iter().zip(searcher.run_batch(&formulas)) {
                 let fragment = fragments[index];
+                let run = RunReport::from_search(&report).with_chase(self.chase_stats);
                 let (outcome, engine) = if zero_ary {
                     let engine = if fragment == Fragment::XZeroAry {
                         Engine::XFragment
@@ -305,6 +384,7 @@ impl AccessAnalyzer {
                     outcome,
                     fragment,
                     engine,
+                    run,
                 });
             }
         }
@@ -327,6 +407,7 @@ impl AccessAnalyzer {
                 ),
             };
             for (&index, report) in plus.iter().zip(emptiness) {
+                let run = RunReport::from_search(&report).with_chase(self.chase_stats);
                 let outcome = match report.verdict {
                     EmptinessOutcome::NonEmpty { witness } => SatOutcome::Satisfiable { witness },
                     EmptinessOutcome::Empty => SatOutcome::Unsatisfiable,
@@ -336,6 +417,7 @@ impl AccessAnalyzer {
                     outcome,
                     fragment: fragments[index],
                     engine: Engine::AutomatonPipeline,
+                    run,
                 });
             }
         }
@@ -530,6 +612,44 @@ mod tests {
             plain.long_term_relevant(&irrelevant, &jones, false),
             LtrVerdict::NotRelevant
         );
+    }
+
+    #[test]
+    fn reports_carry_run_accounting() {
+        let a = analyzer();
+        let jones = cq!(<- atom!("Address"; s, p, @"Jones", h));
+        let formula = properties::eventually_answered_formula(&jones);
+        let report = a.check_satisfiable(&formula);
+        assert!(report.run.explored > 0);
+        assert!(report.run.cost > 0);
+        assert!(report.run.chase.is_none());
+        // The batched path carries the same accounting surface.
+        let batch = a.check_all(&BatchRequest::new(vec![formula.clone()]));
+        assert_eq!(batch[0], report);
+        assert_eq!(batch[0].run.explored, report.run.explored);
+    }
+
+    #[test]
+    fn constraints_chase_the_initial_instance_and_flow_into_reports() {
+        use accltl_relational::FunctionalDependency;
+
+        // Address(street, postcode, name, houseno): make postcode
+        // functionally determined by street, so two facts with the same
+        // street merge their postcodes.
+        let mut initial = Instance::new();
+        initial.add_fact("Address", tuple!["Parks Rd", "OX13QD", "Jones", "1"]);
+        initial.add_fact("Address", tuple!["Parks Rd", "??", "Jones", "1"]);
+        let fd = Constraint::Fd(FunctionalDependency::new("Address", vec![0], 1));
+
+        let a = analyzer().with_initial(initial).with_constraints(vec![fd]);
+        let stats = a.chase_stats().expect("constraints were chased");
+        assert!(stats.passes >= 1);
+        assert_eq!(a.constraints().len(), 1);
+
+        let formula = AccLtl::finally(AccLtl::atom(isbind_prop("AcM1")));
+        let report = a.check_satisfiable(&formula);
+        let chase = report.run.chase.expect("chase counters attached");
+        assert_eq!(chase.passes, stats.passes);
     }
 
     #[test]

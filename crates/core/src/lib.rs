@@ -35,18 +35,22 @@
 
 pub use accltl_automata as automata;
 pub use accltl_logic as logic;
+pub use accltl_obs as obs;
 pub use accltl_paths as paths;
 pub use accltl_relational as relational;
 
 pub use accltl_logic::properties;
 
 pub mod analyzer;
+pub mod report;
 
 pub use analyzer::{AccessAnalyzer, AnalyzerReport, BatchRequest, ContainmentOutcome};
+pub use report::RunReport;
 
 /// A convenience prelude re-exporting the types most programs need.
 pub mod prelude {
     pub use crate::analyzer::{AccessAnalyzer, AnalyzerReport, BatchRequest, ContainmentOutcome};
+    pub use crate::report::RunReport;
     pub use accltl_automata::{AAutomaton, Guard};
     pub use accltl_logic::fragment::{classify, Fragment};
     pub use accltl_logic::properties;
@@ -63,9 +67,9 @@ pub mod prelude {
         ResponsePolicy, SearchReport,
     };
     pub use accltl_relational::{
-        atom, cq, tuple, Atom, ConjunctiveQuery, DatalogProgram, DatalogRule,
-        DisjointnessConstraint, FunctionalDependency, Instance, InstanceOverlay, InstanceView,
-        PosFormula, RelId, ScanView, Schema, Sym, SymbolTable, Term, Tuple, UnionOfCqs, Value,
-        VarId,
+        atom, cq, tuple, Atom, ChaseStats, ConjunctiveQuery, Constraint, DatalogProgram,
+        DatalogRule, DisjointnessConstraint, FunctionalDependency, InclusionDependency, Instance,
+        InstanceOverlay, InstanceView, PosFormula, RelId, ScanView, Schema, Sym, SymbolTable, Term,
+        Tuple, UnionOfCqs, Value, VarId,
     };
 }

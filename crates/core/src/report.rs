@@ -1,0 +1,134 @@
+//! Unified machine-readable run reports: one accounting value combining the
+//! engine-side counters of a [`SearchReport`] with the constraint-repair
+//! counters of a [`ChaseStats`], plus its JSON rendering.
+//!
+//! Every [`crate::AnalyzerReport`] carries a [`RunReport`], so one
+//! [`crate::AccessAnalyzer::check_all`] call returns engine *and* chase
+//! counters per property — the per-request introspection surface the
+//! analysis-as-a-service direction needs.
+
+use accltl_obs::json::JsonObject;
+use accltl_paths::engine::{EngineCacheStats, SearchReport};
+use accltl_relational::{ChaseStats, GuardCacheStats};
+
+/// Accounting for one analyzer question: search-side counters (explored
+/// states, step cost, guard-/engine-cache activity) plus the chase counters
+/// of the analyzer's constraint-repair preprocessing, when constraints were
+/// supplied.
+///
+/// Like `SearchReport`, equality of the surrounding [`crate::AnalyzerReport`]
+/// deliberately ignores this value: the counters describe *work*, which
+/// varies with caches, threads and environment, while verdicts do not.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunReport {
+    /// Search states discovered (zero for questions answered without a
+    /// search, e.g. empty-path short-circuits).
+    pub explored: usize,
+    /// Accumulated step cost (guard consults) charged against the budget.
+    pub cost: usize,
+    /// Guard-cache counters for this question's consults.
+    pub guard_cache: GuardCacheStats,
+    /// Engine-level shared-cache counters of the run that answered it.
+    pub engine_cache: EngineCacheStats,
+    /// Chase counters of the analyzer's constraint-repair preprocessing
+    /// ([`crate::AccessAnalyzer::with_constraints`]); `None` when the
+    /// analyzer holds no chase-repairable constraints.
+    pub chase: Option<ChaseStats>,
+}
+
+impl RunReport {
+    /// Lifts a search front-end report, discarding its verdict.
+    #[must_use]
+    pub fn from_search<V>(report: &SearchReport<V>) -> Self {
+        RunReport {
+            explored: report.explored,
+            cost: report.cost,
+            guard_cache: report.cache,
+            engine_cache: report.engine_cache,
+            chase: None,
+        }
+    }
+
+    /// Attaches the analyzer's chase counters.
+    #[must_use]
+    pub fn with_chase(mut self, chase: Option<ChaseStats>) -> Self {
+        self.chase = chase;
+        self
+    }
+
+    /// Renders the report as a single-line JSON object with stable key
+    /// order; `chase` is `null` when no constraints were chased.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let chase = match &self.chase {
+            Some(stats) => stats.to_json(),
+            None => "null".to_owned(),
+        };
+        JsonObject::new()
+            .num("explored", self.explored as u64)
+            .num("cost", self.cost as u64)
+            .raw(
+                "guard_cache",
+                JsonObject::new()
+                    .num("hits", self.guard_cache.hits)
+                    .num("misses", self.guard_cache.misses)
+                    .build(),
+            )
+            .raw(
+                "engine_cache",
+                JsonObject::new()
+                    .num("hits", self.engine_cache.hits)
+                    .num("misses", self.engine_cache.misses)
+                    .num("evictions", self.engine_cache.evictions)
+                    .num("entries", self.engine_cache.entries)
+                    .build(),
+            )
+            .raw("chase", chase)
+            .build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accltl_obs::json::{parse, JsonValue};
+
+    #[test]
+    fn to_json_round_trips_with_and_without_chase() {
+        let bare = RunReport {
+            explored: 12,
+            cost: 34,
+            guard_cache: GuardCacheStats { hits: 5, misses: 6 },
+            engine_cache: EngineCacheStats {
+                hits: 1,
+                misses: 2,
+                evictions: 0,
+                entries: 3,
+            },
+            chase: None,
+        };
+        let value = parse(&bare.to_json()).unwrap();
+        assert_eq!(value.get("explored").unwrap().as_int(), Some(12));
+        assert_eq!(value.get("chase"), Some(&JsonValue::Null));
+
+        let chased = bare.with_chase(Some(ChaseStats {
+            passes: 2,
+            violation_checks: 4,
+            ..ChaseStats::default()
+        }));
+        let value = parse(&chased.to_json()).unwrap();
+        assert_eq!(
+            value.get("chase").unwrap().get("passes").unwrap().as_int(),
+            Some(2)
+        );
+        assert_eq!(
+            value
+                .get("guard_cache")
+                .unwrap()
+                .get("hits")
+                .unwrap()
+                .as_int(),
+            Some(5)
+        );
+    }
+}

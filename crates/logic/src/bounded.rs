@@ -577,6 +577,10 @@ impl<'a> BoundedSearcher<'a> {
     /// count).  Reports come back in input order.
     #[must_use]
     pub fn run_batch(&self, formulas: &[AccLtl]) -> Vec<SearchReport<SatOutcome>> {
+        let _batch_span = accltl_obs::trace::span_fields(
+            "bounded.run_batch",
+            &[("formulas", formulas.len() as u64)],
+        );
         let engine_config = self.engine_config();
         let cache = GuardCache::with_enabled(!engine_config.disable_guard_cache);
         // One share-handle per formula: one underlying verdict map, but
@@ -641,10 +645,29 @@ impl<'a> BoundedSearcher<'a> {
                 });
             }
         }
-        reports
+        let reports: Vec<SearchReport<SatOutcome>> = reports
             .into_iter()
             .map(|report| report.expect("every formula reported"))
-            .collect()
+            .collect();
+        // Reconcile the per-report legacy counters into the process-wide
+        // registry — exactly once per report, here at assembly time, so
+        // registry deltas equal summed report structs (see `obs_props`).
+        for report in &reports {
+            accltl_obs::metrics::add("search.explored", report.explored as u64);
+            accltl_obs::metrics::add("search.cost", report.cost as u64);
+            accltl_obs::metrics::add("guard_cache.hits", report.cache.hits);
+            accltl_obs::metrics::add("guard_cache.misses", report.cache.misses);
+            accltl_obs::trace::event(
+                "bounded.report",
+                &[
+                    ("explored", report.explored as u64),
+                    ("cost", report.cost as u64),
+                    ("cache_hits", report.cache.hits),
+                    ("cache_misses", report.cache.misses),
+                ],
+            );
+        }
+        reports
     }
 
     /// Deprecated alias of [`BoundedSearcher::run`] returning the verdict

@@ -1,0 +1,51 @@
+//! Observability substrate for the accltl decision-procedure stack.
+//!
+//! Every optimization layer in the workspace ships its own counter struct
+//! ([`EngineCacheStats`](https://docs.rs/accltl-paths), `GuardCacheStats`,
+//! `ChaseStats`) but, before this crate, nothing tied them together: there
+//! was no timing, no phase attribution, and no machine-readable export.
+//! `accltl-obs` sits at the bottom of the workspace dependency DAG (it
+//! depends on nothing, every other crate may depend on it) and provides
+//! three pieces:
+//!
+//! * [`metrics`] — a process-wide registry of named monotonic counters and
+//!   gauges.  Search and chase front-ends reconcile their legacy stats
+//!   structs into it at report-assembly time, so registry deltas equal the
+//!   per-report struct totals exactly (property-tested in the suite).
+//! * [`trace`] — structured spans (enter/exit events with wall-clock
+//!   durations, parent links and per-thread attribution) plus point events,
+//!   exported as JSONL when `ACCLTL_TRACE=<path>` is set.  The disabled
+//!   path is zero-overhead by construction: one relaxed atomic load, no
+//!   allocation, no branching beyond that load.
+//! * [`summary`] — the `ACCLTL_STATS=1` human-readable end-of-run summary
+//!   (explored/cost totals, cache hit-rates, span phase timings) shared by
+//!   all examples.
+//!
+//! [`json`] is the zero-dependency JSON builder/parser both the exporter
+//! and the trace validator use; the workspace is vendored-only, so no
+//! serde.
+//!
+//! # Environment
+//!
+//! Both knobs follow the workspace convention (`EngineConfig::from_env` in
+//! `accltl-paths` documents it): each variable is read **once per process**,
+//! here on first use of the trace/summary layer.
+//!
+//! | variable | effect |
+//! |---|---|
+//! | `ACCLTL_TRACE=<path>` | append JSONL span/event records to `<path>` |
+//! | `ACCLTL_STATS=1` | print a human-readable metrics summary via [`summary::print_if_enabled`] |
+//!
+//! With both unset, all instrumented code paths are byte-identical to the
+//! uninstrumented build's output — the same contract every `ACCLTL_*`
+//! ablation flag in the workspace honours.
+
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod metrics;
+pub mod summary;
+pub mod trace;
+
+pub use metrics::{add, counter, gauge, snapshot, Counter, Gauge, LazyCounter, MetricsSnapshot};
+pub use trace::{event, span, span_fields, stats_enabled, tracing, Span};

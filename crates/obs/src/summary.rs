@@ -1,0 +1,125 @@
+//! The `ACCLTL_STATS=1` human-readable end-of-run summary.
+//!
+//! All examples call [`print_if_enabled`] as their last statement; with the
+//! variable unset the call is a no-op and stdout stays byte-identical to
+//! the uninstrumented build (the CI determinism smokes diff exactly this).
+//! With `ACCLTL_STATS=1` the process-wide metrics registry is rendered as
+//! one block: search totals, cache hit-rates, and per-span phase timings.
+
+use std::fmt::Write as _;
+
+use crate::metrics::{snapshot, MetricsSnapshot};
+use crate::trace::stats_enabled;
+
+/// Renders the current metrics registry as the human-readable summary
+/// block.  Exposed separately from [`print_if_enabled`] so tests can assert
+/// on the rendering without capturing stdout.
+pub fn render() -> String {
+    render_snapshot(&snapshot())
+}
+
+/// Renders `snap` as the summary block (see [`render`]).
+pub fn render_snapshot(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "── accltl stats ──────────────────────────────");
+
+    let mut plain: Vec<(&str, u64)> = Vec::new();
+    let mut span_ns: Vec<(String, u64, u64)> = Vec::new();
+    for (name, value) in &snap.counters {
+        if let Some(base) = name
+            .strip_prefix("span.")
+            .and_then(|r| r.strip_suffix(".ns"))
+        {
+            let calls = snap.counter(&format!("span.{base}.calls"));
+            span_ns.push((base.to_owned(), *value, calls));
+        } else if name.starts_with("span.") {
+            // .calls counters are folded into the .ns row above.
+        } else {
+            plain.push((name.as_str(), *value));
+        }
+    }
+
+    if !plain.is_empty() {
+        let _ = writeln!(out, "counters:");
+        for (name, value) in &plain {
+            let _ = writeln!(out, "  {name:<34} {value}");
+        }
+        // Hit-rates for every `<base>.hits` / `<base>.misses` pair.
+        let mut rates: Vec<(String, f64, u64)> = Vec::new();
+        for (name, hits) in &plain {
+            if let Some(base) = name.strip_suffix(".hits") {
+                let misses = snap.counter(&format!("{base}.misses"));
+                let total = hits + misses;
+                if total > 0 {
+                    rates.push((base.to_owned(), *hits as f64 / total as f64, total));
+                }
+            }
+        }
+        if !rates.is_empty() {
+            let _ = writeln!(out, "hit rates:");
+            for (base, rate, total) in rates {
+                let _ = writeln!(out, "  {base:<34} {:.1}% of {total}", rate * 100.0);
+            }
+        }
+    }
+
+    if !span_ns.is_empty() {
+        let _ = writeln!(out, "phase timings:");
+        for (base, ns, calls) in &span_ns {
+            let total_ms = *ns as f64 / 1e6;
+            let avg_us = if *calls > 0 {
+                *ns as f64 / 1e3 / *calls as f64
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "  {base:<34} {total_ms:>9.3} ms total  {calls:>6} calls  {avg_us:>9.1} µs/call"
+            );
+        }
+    }
+
+    if !snap.gauges.is_empty() {
+        let _ = writeln!(out, "gauges:");
+        for (name, value) in &snap.gauges {
+            let _ = writeln!(out, "  {name:<34} {value}");
+        }
+    }
+
+    let _ = writeln!(out, "──────────────────────────────────────────────");
+    out
+}
+
+/// Prints the summary block to stdout if `ACCLTL_STATS=1`; otherwise does
+/// nothing (and touches neither stdout nor the clock).
+pub fn print_if_enabled() {
+    if stats_enabled() {
+        print!("{}", render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn render_folds_span_timers_and_hit_rates() {
+        let mut counters = BTreeMap::new();
+        counters.insert("guard_cache.hits".to_owned(), 30u64);
+        counters.insert("guard_cache.misses".to_owned(), 10u64);
+        counters.insert("span.engine.expand.ns".to_owned(), 2_000_000u64);
+        counters.insert("span.engine.expand.calls".to_owned(), 4u64);
+        let snap = MetricsSnapshot {
+            counters,
+            gauges: BTreeMap::new(),
+        };
+        let text = render_snapshot(&snap);
+        assert!(text.contains("guard_cache"));
+        assert!(text.contains("75.0% of 40"));
+        assert!(text.contains("engine.expand"));
+        assert!(text.contains("4 calls"));
+        // The span counters must not also appear as plain counters.
+        assert!(!text.contains("span.engine.expand.ns"));
+    }
+}

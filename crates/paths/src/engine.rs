@@ -94,6 +94,8 @@ use accltl_relational::{
     DISABLE_GUARD_CACHE_ENV_VAR, DISABLE_INDEXES_ENV_VAR, INDEX_CUTOFF,
 };
 
+use accltl_obs::{json::JsonObject, metrics, trace};
+
 use crate::access::{Access, AccessMethod, AccessSchema};
 use crate::path::{AccessPath, Response};
 use crate::pool;
@@ -420,7 +422,8 @@ impl EngineConfig {
     /// `ACCLTL_DISABLE_INDEXES=1` / `ACCLTL_DISABLE_GUARD_CACHE=1` set the
     /// corresponding ablation flags.  This is the single place the
     /// workspace reads those variables; every search front-end starts from
-    /// it.
+    /// it.  (The observability knobs `ACCLTL_TRACE` / `ACCLTL_STATS` follow
+    /// the same read-once convention, in `accltl_obs::trace`.)
     #[must_use]
     pub fn from_env() -> Self {
         let mut config = EngineConfig::base();
@@ -693,6 +696,34 @@ impl<V> SearchReport<V> {
             engine_cache: self.engine_cache,
         }
     }
+
+    /// Renders the report's accounting as a single-line JSON object.
+    /// Verdicts are front-end-specific, so the caller supplies the already
+    /// rendered `verdict` string.
+    #[must_use]
+    pub fn to_json(&self, verdict: &str) -> String {
+        JsonObject::new()
+            .str("verdict", verdict)
+            .num("explored", self.explored as u64)
+            .num("cost", self.cost as u64)
+            .raw(
+                "guard_cache",
+                JsonObject::new()
+                    .num("hits", self.cache.hits)
+                    .num("misses", self.cache.misses)
+                    .build(),
+            )
+            .raw(
+                "engine_cache",
+                JsonObject::new()
+                    .num("hits", self.engine_cache.hits)
+                    .num("misses", self.engine_cache.misses)
+                    .num("evictions", self.engine_cache.evictions)
+                    .num("entries", self.engine_cache.entries)
+                    .build(),
+            )
+            .build()
+    }
 }
 
 /// One property of a batch: an oracle, its start state, the fact universe
@@ -952,6 +983,11 @@ pub struct BatchEngine<'a, O: StepOracle> {
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     cache_evictions: AtomicU64,
+    /// Cache-counter snapshot as of the last [`BatchEngine::run`] return —
+    /// the counters are cumulative across runs (emptiness waves), so the
+    /// process-wide metrics registry is fed per-run *deltas* to keep
+    /// `engine.cache.*` reconcilable with the final report snapshot.
+    reported_cache: EngineCacheStats,
 }
 
 impl<'a, O: StepOracle> BatchEngine<'a, O> {
@@ -986,6 +1022,7 @@ impl<'a, O: StepOracle> BatchEngine<'a, O> {
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
             cache_evictions: AtomicU64::new(0),
+            reported_cache: EngineCacheStats::default(),
         }
     }
 
@@ -1039,6 +1076,8 @@ impl<'a, O: StepOracle> BatchEngine<'a, O> {
     /// contexts persist, so later calls (e.g. successive emptiness-chain
     /// waves) keep hitting earlier calls' work.
     pub fn run(&mut self, properties: Vec<PropertySpec<O>>) -> Vec<EngineReport> {
+        let _run_span =
+            trace::span_fields("engine.run", &[("properties", properties.len() as u64)]);
         let mut runs: Vec<PropertyRun<O>> = properties
             .into_iter()
             .map(|spec| self.register(spec))
@@ -1099,7 +1138,9 @@ impl<'a, O: StepOracle> BatchEngine<'a, O> {
                 this.expand(&runs[run_index], node_id)
             },
             |pool| loop {
+                let _round_span = trace::span("engine.round");
                 // SELECT: take one frontier chunk per live property.
+                let select_span = trace::span("engine.select");
                 let mut tasks: Vec<(usize, u32)> = Vec::new();
                 let mut spans: Vec<(usize, std::ops::Range<usize>)> = Vec::new();
                 {
@@ -1119,13 +1160,18 @@ impl<'a, O: StepOracle> BatchEngine<'a, O> {
                         spans.push((run_index, begin..tasks.len()));
                     }
                 }
+                drop(select_span);
                 if spans.is_empty() {
                     break;
                 }
                 // EXPAND: all properties' tasks through one pool round.
+                let expand_span =
+                    trace::span_fields("engine.expand", &[("tasks", tasks.len() as u64)]);
                 let node_ids: Vec<u32> = tasks.iter().map(|&(_, node_id)| node_id).collect();
                 let mut expansions = pool.run(tasks).into_iter();
+                drop(expand_span);
                 // MERGE: per property, in frontier order.
+                let _merge_span = trace::span("engine.merge");
                 let mut runs = runs.write().expect("batch runs poisoned");
                 for (run_index, span) in spans {
                     let chunk: Vec<_> = expansions.by_ref().take(span.len()).collect();
@@ -1134,7 +1180,8 @@ impl<'a, O: StepOracle> BatchEngine<'a, O> {
             },
         );
         let stats = self.engine_cache_stats();
-        runs.into_inner()
+        let reports: Vec<EngineReport> = runs
+            .into_inner()
             .expect("batch runs poisoned")
             .into_iter()
             .map(|run| {
@@ -1142,7 +1189,46 @@ impl<'a, O: StepOracle> BatchEngine<'a, O> {
                 report.engine_cache = stats;
                 report
             })
-            .collect()
+            .collect();
+        self.reconcile_metrics(stats, &reports);
+        reports
+    }
+
+    /// Feeds one run's aggregates into the process-wide metrics registry:
+    /// per-report explored/cost totals plus the *delta* of the cumulative
+    /// engine cache counters since the previous run (so `engine.cache.*`
+    /// registry deltas reconcile exactly with report snapshots even when
+    /// one engine serves many runs, as in emptiness waves).
+    fn reconcile_metrics(&mut self, stats: EngineCacheStats, reports: &[EngineReport]) {
+        metrics::add("engine.runs", 1);
+        metrics::add("engine.properties", reports.len() as u64);
+        for report in reports {
+            metrics::add("engine.explored", report.explored as u64);
+            metrics::add("engine.cost", report.cost as u64);
+            trace::event(
+                "engine.report",
+                &[
+                    ("explored", report.explored as u64),
+                    ("cost", report.cost as u64),
+                ],
+            );
+        }
+        metrics::add(
+            "engine.cache.hits",
+            stats.hits.saturating_sub(self.reported_cache.hits),
+        );
+        metrics::add(
+            "engine.cache.misses",
+            stats.misses.saturating_sub(self.reported_cache.misses),
+        );
+        metrics::add(
+            "engine.cache.evictions",
+            stats
+                .evictions
+                .saturating_sub(self.reported_cache.evictions),
+        );
+        metrics::gauge("engine.cache.entries").max(stats.entries);
+        self.reported_cache = stats;
     }
 
     /// Interns a property's universe and sets up its run state.

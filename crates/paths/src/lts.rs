@@ -28,6 +28,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::sync::Arc;
 
+use accltl_obs::{metrics, trace};
 use accltl_relational::{DataType, Instance, InstanceOverlay, Tuple, Value};
 
 use crate::access::{Access, AccessSchema};
@@ -318,6 +319,10 @@ impl<'a> LtsExplorer<'a> {
     /// Explores the LTS from the given initial instance, producing a bounded
     /// tree fragment.
     pub fn explore(&self, initial: &Instance) -> Result<LtsTree> {
+        let _explore_span = trace::span_fields(
+            "lts.explore",
+            &[("overlays", u64::from(self.options.use_overlays))],
+        );
         // Hoisted binding domain (overlay mode): every response tuple is
         // drawn from the hidden instance, so values revealed along any path
         // are a subset of `adom(initial) ∪ adom(hidden)`.  Non-grounded
@@ -409,7 +414,28 @@ impl<'a> LtsExplorer<'a> {
             }
         }
 
-        Ok(LtsTree { nodes, truncated })
+        let tree = LtsTree { nodes, truncated };
+        metrics::add("lts.explorations", 1);
+        metrics::add("lts.nodes", tree.nodes.len() as u64);
+        metrics::add("lts.edges", tree.edge_count() as u64);
+        if trace::tracing() {
+            // One record per BFS layer: the exploration's depth profile.
+            for (depth, count) in tree.nodes_per_depth().iter().enumerate() {
+                trace::event(
+                    "lts.layer",
+                    &[("depth", depth as u64), ("nodes", *count as u64)],
+                );
+            }
+            trace::event(
+                "lts.report",
+                &[
+                    ("nodes", tree.nodes.len() as u64),
+                    ("edges", tree.edge_count() as u64),
+                    ("truncated", u64::from(tree.truncated)),
+                ],
+            );
+        }
+        Ok(tree)
     }
 
     /// Binding enumeration against the hoisted domain (overlay mode): the

@@ -53,6 +53,19 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread;
 
+use accltl_obs::metrics::LazyCounter;
+use accltl_obs::trace;
+
+/// Task-index ranges executed by pool workers (own-deque claims plus
+/// steals).  Aggregated once per [`Round::drain`] call, so the always-on
+/// cost is two cached-handle atomic adds per worker per round.
+static POOL_RANGES: LazyCounter = LazyCounter::new("pool.ranges");
+/// Ranges claimed from a *neighbour's* deque — the work-stealing traffic.
+static POOL_STEALS: LazyCounter = LazyCounter::new("pool.steals");
+/// Individual tasks executed by pool workers (multi-worker rounds only;
+/// inline rounds never enter a deque).
+static POOL_TASKS: LazyCounter = LazyCounter::new("pool.tasks");
+
 /// Locks a mutex, recovering the guard if a panicking thread poisoned it —
 /// the pool re-raises the panic itself, so poison adds no information.
 fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -78,14 +91,40 @@ impl<T, U> Round<T, U> {
     /// steal from the back of the neighbours', until no work is left.
     fn drain(&self, job: &impl Fn(&T) -> U, slot: usize) {
         let workers = self.deques.len();
+        let mut ranges = 0u64;
+        let mut steals = 0u64;
+        let mut tasks = 0u64;
         loop {
-            let claimed = lock(&self.deques[slot]).pop_front().or_else(|| {
-                (1..workers)
-                    .find_map(|offset| lock(&self.deques[(slot + offset) % workers]).pop_back())
-            });
-            let Some(range) = claimed else {
+            let claimed = lock(&self.deques[slot])
+                .pop_front()
+                .map(|range| (range, false))
+                .or_else(|| {
+                    (1..workers).find_map(|offset| {
+                        lock(&self.deques[(slot + offset) % workers])
+                            .pop_back()
+                            .map(|range| (range, true))
+                    })
+                });
+            let Some((range, stolen)) = claimed else {
+                if ranges > 0 {
+                    POOL_RANGES.add(ranges);
+                    POOL_STEALS.add(steals);
+                    POOL_TASKS.add(tasks);
+                }
                 return;
             };
+            ranges += 1;
+            steals += u64::from(stolen);
+            tasks += range.len() as u64;
+            let _task_span = trace::span_fields(
+                "pool.task",
+                &[
+                    ("worker", slot as u64),
+                    ("start", range.start as u64),
+                    ("len", range.len() as u64),
+                    ("stolen", u64::from(stolen)),
+                ],
+            );
             for index in range {
                 match panic::catch_unwind(AssertUnwindSafe(|| job(&self.tasks[index]))) {
                     Ok(result) => *lock(&self.results[index]) = Some(result),
@@ -140,6 +179,14 @@ where
     /// Panics raised by tasks are re-raised here, on the calling thread.
     pub fn run(&self, tasks: Vec<T>) -> Vec<U> {
         let count = tasks.len();
+        let inline = self.shared.is_none() || count <= 1;
+        let _round_span = trace::span_fields(
+            "pool.round",
+            &[
+                ("tasks", count as u64),
+                ("workers", if inline { 1 } else { self.threads as u64 }),
+            ],
+        );
         let Some(shared) = self.shared.filter(|_| count > 1) else {
             // Single worker or trivial round: run inline, no coordination.
             return tasks.iter().map(self.job).collect();

@@ -38,6 +38,8 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use accltl_obs::{json::JsonObject, metrics, trace};
+
 use crate::constraints::{Constraint, FunctionalDependency, InclusionDependency};
 use crate::instance::Instance;
 use crate::overlay::InstanceView;
@@ -136,6 +138,22 @@ impl ChaseStats {
     pub fn repairs(&self) -> usize {
         self.fd_merges + self.ind_additions
     }
+
+    /// Renders the counters as a single-line JSON object (the
+    /// machine-readable half of the run-report surface; key order is
+    /// stable).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        JsonObject::new()
+            .num("passes", self.passes as u64)
+            .num("violation_checks", self.violation_checks as u64)
+            .num("tuples_rescanned", self.tuples_rescanned as u64)
+            .num("fd_merges", self.fd_merges as u64)
+            .num("ind_additions", self.ind_additions as u64)
+            .num("facts_rewritten", self.facts_rewritten as u64)
+            .num("index_rebuilds_avoided", self.index_rebuilds_avoided as u64)
+            .build()
+    }
 }
 
 /// The result of running the bounded chase.
@@ -185,12 +203,45 @@ pub fn chase_with_stats(
     constraints: &[Constraint],
     config: &ChaseConfig,
 ) -> (ChaseOutcome, ChaseStats) {
+    let _run_span = trace::span_fields(
+        "chase.run",
+        &[
+            ("constraints", constraints.len() as u64),
+            ("incremental", u64::from(config.incremental)),
+        ],
+    );
     let mut stats = ChaseStats::default();
     let outcome = if config.incremental {
         chase_incremental(instance, constraints, config, &mut stats)
     } else {
         chase_scan(instance, constraints, config, &mut stats)
     };
+    metrics::add("chase.runs", 1);
+    metrics::add("chase.passes", stats.passes as u64);
+    metrics::add("chase.violation_checks", stats.violation_checks as u64);
+    metrics::add("chase.tuples_rescanned", stats.tuples_rescanned as u64);
+    metrics::add("chase.fd_merges", stats.fd_merges as u64);
+    metrics::add("chase.ind_additions", stats.ind_additions as u64);
+    metrics::add("chase.facts_rewritten", stats.facts_rewritten as u64);
+    metrics::add(
+        "chase.index_rebuilds_avoided",
+        stats.index_rebuilds_avoided as u64,
+    );
+    trace::event(
+        "chase.report",
+        &[
+            ("passes", stats.passes as u64),
+            ("violation_checks", stats.violation_checks as u64),
+            ("tuples_rescanned", stats.tuples_rescanned as u64),
+            ("fd_merges", stats.fd_merges as u64),
+            ("ind_additions", stats.ind_additions as u64),
+            ("facts_rewritten", stats.facts_rewritten as u64),
+            (
+                "index_rebuilds_avoided",
+                stats.index_rebuilds_avoided as u64,
+            ),
+        ],
+    );
     (outcome, stats)
 }
 
@@ -212,6 +263,7 @@ fn chase_scan(
             return ChaseOutcome::BudgetExhausted(current);
         }
         stats.passes += 1;
+        let _pass_span = trace::span_fields("chase.pass", &[("pass", stats.passes as u64)]);
         let mut changed = false;
 
         for constraint in constraints {
@@ -327,6 +379,7 @@ fn chase_incremental(
             return ChaseOutcome::BudgetExhausted(current);
         }
         stats.passes += 1;
+        let _pass_span = trace::span_fields("chase.pass", &[("pass", stats.passes as u64)]);
         let mut changed = false;
 
         for ci in 0..constraints.len() {

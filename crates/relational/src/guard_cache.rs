@@ -60,6 +60,8 @@ use std::hash::{BuildHasherDefault, Hash, Hasher};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
+use accltl_obs::trace;
+
 use crate::index::FxHasher;
 use crate::instance::Instance;
 use crate::symbols::RelId;
@@ -341,6 +343,15 @@ impl GuardCache {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
         };
+        // One relaxed load when tracing is off — the consult fast path
+        // stays branch-per-consult, as the cache's own counters are.
+        trace::event(
+            "guard_cache.consult",
+            &[
+                ("sentence", u64::from(sentence)),
+                ("hit", u64::from(verdict.is_some())),
+            ],
+        );
         verdict
     }
 
@@ -360,6 +371,7 @@ impl GuardCache {
     /// between cached and uncached runs.
     pub fn note_uncached(&self) {
         self.misses.fetch_add(1, Ordering::Relaxed);
+        trace::event("guard_cache.consult", &[("uncached", 1), ("hit", 0)]);
     }
 
     /// The hit/miss counters accumulated so far.

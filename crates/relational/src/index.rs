@@ -395,6 +395,20 @@ pub struct InstanceIndex {
 impl InstanceIndex {
     /// Builds the index from the instance's name-sorted relation slots.
     pub(crate) fn build(entries: &[(RelId, BTreeSet<Tuple>)]) -> Self {
+        static INDEX_BUILDS: accltl_obs::metrics::LazyCounter =
+            accltl_obs::metrics::LazyCounter::new("index.builds");
+        static INDEX_TUPLES: accltl_obs::metrics::LazyCounter =
+            accltl_obs::metrics::LazyCounter::new("index.tuples");
+        let tuple_count: usize = entries.iter().map(|(_, tuples)| tuples.len()).sum();
+        let _build_span = accltl_obs::trace::span_fields(
+            "index.build",
+            &[
+                ("relations", entries.len() as u64),
+                ("tuples", tuple_count as u64),
+            ],
+        );
+        INDEX_BUILDS.add(1);
+        INDEX_TUPLES.add(tuple_count as u64);
         let mut relations = IdMap::new();
         for (rel, tuples) in entries {
             let mut index = RelationIndex::default();

@@ -128,4 +128,7 @@ fn main() {
             report.cache.total(),
         );
     }
+
+    // One-shot counter/timing summary, printed only under ACCLTL_STATS=1.
+    accltl_core::obs::summary::print_if_enabled();
 }

@@ -83,4 +83,7 @@ fn main() {
     let outcome = sat_binding_positive_bounded(&dataflow, &schema, &Instance::new(), &config)
         .expect("formula is binding-positive");
     report("F [AcM1 bound to a revealed name]", &outcome);
+
+    // One-shot counter/timing summary, printed only under ACCLTL_STATS=1.
+    accltl_core::obs::summary::print_if_enabled();
 }

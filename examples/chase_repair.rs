@@ -87,4 +87,7 @@ fn main() {
         ChaseOutcome::Failed { violated } => println!("\ndenial detected: {violated}"),
         _ => println!("\nunexpected: denial constraint not detected"),
     }
+
+    // One-shot counter/timing summary, printed only under ACCLTL_STATS=1.
+    accltl_core::obs::summary::print_if_enabled();
 }

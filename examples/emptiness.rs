@@ -101,4 +101,7 @@ fn main() {
         "L(A) of the dataflow automaton",
         &bounded_emptiness(&automaton, &schema, &Instance::new(), &config),
     );
+
+    // One-shot counter/timing summary, printed only under ACCLTL_STATS=1.
+    accltl_core::obs::summary::print_if_enabled();
 }

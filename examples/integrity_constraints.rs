@@ -94,4 +94,7 @@ fn main() {
         "re-asking for Smith's number once one entry is known is relevant: {} (expected false)",
         verdict.is_relevant()
     );
+
+    // One-shot counter/timing summary, printed only under ACCLTL_STATS=1.
+    accltl_core::obs::summary::print_if_enabled();
 }

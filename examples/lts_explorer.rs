@@ -57,4 +57,7 @@ fn main() {
         tree.node_count(),
         tree.edge_count()
     );
+
+    // One-shot counter/timing summary, printed only under ACCLTL_STATS=1.
+    accltl_core::obs::summary::print_if_enabled();
 }

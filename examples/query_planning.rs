@@ -61,4 +61,7 @@ fn main() {
         "\nThe gap between the two columns is the work a relevance-aware planner avoids\n\
          (paper, introduction and Example 2.3)."
     );
+
+    // One-shot counter/timing summary, printed only under ACCLTL_STATS=1.
+    accltl_core::obs::summary::print_if_enabled();
 }

@@ -86,4 +86,7 @@ fn main() {
         report.is_complete(),
         report.accesses_performed
     );
+
+    // One-shot counter/timing summary, printed only under ACCLTL_STATS=1.
+    accltl_core::obs::summary::print_if_enabled();
 }

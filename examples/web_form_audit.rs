@@ -67,4 +67,7 @@ fn main() {
         "\n  forbidding the Address form entirely  ->  satisfiable: {:?} (expected false)",
         report.is_satisfiable()
     );
+
+    // One-shot counter/timing summary, printed only under ACCLTL_STATS=1.
+    accltl_core::obs::summary::print_if_enabled();
 }

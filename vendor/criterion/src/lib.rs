@@ -5,14 +5,22 @@
 //! resolves `criterion` to this path crate.  It is API-compatible with the
 //! calls the benches make (`criterion_group!`/`criterion_main!`, `Criterion`,
 //! `BenchmarkGroup`, `BenchmarkId`, `Bencher::iter`, `black_box`) and runs
-//! each benchmark for a small fixed number of timed iterations, printing a
+//! each benchmark for a small fixed number of timed samples, printing a
 //! `name ... median time` line per benchmark.  Swap the `[workspace.dependencies]`
 //! entry back to the crates.io release for real statistics.
+//!
+//! Besides the per-line output, every case's median is merged into a flat
+//! machine-readable report `{"bench name": median_ns, ...}` — written to
+//! `BENCH_report.json` in the working directory, or to the path named by the
+//! `ACCLTL_BENCH_REPORT` environment variable.  Re-runs merge into the
+//! existing file, so several bench binaries accumulate one report.
 
 #![forbid(unsafe_code)]
 
+use std::collections::BTreeMap;
 use std::fmt::Display;
 use std::hint;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Prevents the compiler from optimising away a benchmarked value.
@@ -70,17 +78,109 @@ impl Bencher {
     }
 }
 
-fn run_case(label: &str, iterations: u64, mut body: impl FnMut(&mut Bencher)) {
-    let mut bencher = Bencher {
-        iterations,
-        elapsed: Duration::ZERO,
+/// Timed samples per case; the reported figure is the median of these.
+const SAMPLES: usize = 3;
+
+/// Environment variable overriding the report path (default
+/// `BENCH_report.json` in the working directory).
+pub const BENCH_REPORT_ENV_VAR: &str = "ACCLTL_BENCH_REPORT";
+
+fn report_path() -> String {
+    std::env::var(BENCH_REPORT_ENV_VAR).unwrap_or_else(|_| "BENCH_report.json".to_owned())
+}
+
+/// The report accumulated by this process, seeded from any existing file so
+/// that successive bench binaries merge instead of clobbering each other.
+fn report_map() -> &'static Mutex<BTreeMap<String, u64>> {
+    static MAP: OnceLock<Mutex<BTreeMap<String, u64>>> = OnceLock::new();
+    MAP.get_or_init(|| Mutex::new(load_report(&report_path())))
+}
+
+/// Parses a previously written flat report (`{"name": ns, ...}`).  The shim
+/// only ever writes this shape, so a small scan over string/number pairs
+/// suffices; any malformed file is treated as empty.
+fn load_report(path: &str) -> BTreeMap<String, u64> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return BTreeMap::new();
     };
-    body(&mut bencher);
-    let per_iter = bencher
-        .elapsed
-        .checked_div(iterations as u32)
-        .unwrap_or_default();
-    println!("bench: {label} ... {per_iter:?}/iter ({iterations} iterations)");
+    let mut map = BTreeMap::new();
+    let mut chars = text.chars().peekable();
+    loop {
+        // Seek the opening quote of the next name.
+        if chars.find(|&c| c == '"').is_none() {
+            return map;
+        }
+        let mut name = String::new();
+        loop {
+            match chars.next() {
+                Some('\\') => match chars.next() {
+                    Some(escaped) => name.push(escaped),
+                    None => return map,
+                },
+                Some('"') => break,
+                Some(c) => name.push(c),
+                None => return map,
+            }
+        }
+        // Expect `:` then digits; anything else abandons the entry.
+        if chars.next() != Some(':') {
+            continue;
+        }
+        let mut digits = String::new();
+        while chars.peek().is_some_and(char::is_ascii_digit) {
+            digits.push(chars.next().expect("peeked"));
+        }
+        if let Ok(ns) = digits.parse::<u64>() {
+            map.insert(name, ns);
+        }
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            _ => vec![c],
+        })
+        .collect()
+}
+
+/// Records one case's median and rewrites the merged report file.  Write
+/// errors are ignored: a read-only working directory must not fail a bench.
+fn record_case(label: &str, median_ns: u64) {
+    let mut map = report_map().lock().expect("bench report lock");
+    map.insert(label.to_owned(), median_ns);
+    let mut text = String::from("{");
+    for (index, (name, ns)) in map.iter().enumerate() {
+        if index > 0 {
+            text.push(',');
+        }
+        text.push_str(&format!("\"{}\":{}", escape(name), ns));
+    }
+    text.push_str("}\n");
+    let _ = std::fs::write(report_path(), text);
+}
+
+fn run_case(label: &str, iterations: u64, mut body: impl FnMut(&mut Bencher)) {
+    let mut per_iter_ns: Vec<u128> = (0..SAMPLES)
+        .map(|_| {
+            let mut bencher = Bencher {
+                iterations,
+                elapsed: Duration::ZERO,
+            };
+            body(&mut bencher);
+            bencher
+                .elapsed
+                .checked_div(iterations as u32)
+                .unwrap_or_default()
+                .as_nanos()
+        })
+        .collect();
+    per_iter_ns.sort_unstable();
+    let median_ns = u64::try_from(per_iter_ns[SAMPLES / 2]).unwrap_or(u64::MAX);
+    let median = Duration::from_nanos(median_ns);
+    println!("bench: {label} ... {median:?}/iter (median of {SAMPLES}x{iterations} iterations)");
+    record_case(label, median_ns);
 }
 
 /// A group of related benchmarks sharing a name prefix and configuration.
