@@ -8,12 +8,15 @@ use accltl_automata::{
     bounded_emptiness_batch_with_config, bounded_emptiness_report, AAutomaton, EmptinessConfig,
     EmptinessOutcome,
 };
-use accltl_logic::bounded::{BoundedSearchConfig, BoundedSearcher, SatOutcome};
+use accltl_logic::bounded::{
+    BoundedSearchConfig, BoundedSearcher, MonitorSession as BoundedSession, SatOutcome,
+    SessionReport,
+};
 use accltl_logic::fragment::{classify, Fragment};
 use accltl_logic::AccLtl;
 use accltl_obs::trace;
 use accltl_paths::relevance::{long_term_relevant, LtrOptions, LtrVerdict};
-use accltl_paths::{Access, AccessPath, AccessSchema, EngineConfig};
+use accltl_paths::{Access, AccessPath, AccessSchema, EngineConfig, Response};
 use accltl_relational::{
     chase_with_stats, cq_contained_in_cq, ChaseConfig, ChaseOutcome, ChaseStats, ConjunctiveQuery,
     Constraint, DisjointnessConstraint, Instance, UnionOfCqs,
@@ -468,24 +471,32 @@ impl AccessAnalyzer {
         query: &UnionOfCqs,
         grounded: bool,
     ) -> LtrVerdict {
+        self.long_term_relevant_in(access, query, grounded, &self.initial)
+    }
+
+    /// [`AccessAnalyzer::long_term_relevant`] against an explicit known
+    /// instance: used by [`MonitorSession::still_relevant`], whose known
+    /// instance grows past the analyzer's initial one.
+    fn long_term_relevant_in(
+        &self,
+        access: &Access,
+        query: &UnionOfCqs,
+        grounded: bool,
+        initial: &Instance,
+    ) -> LtrVerdict {
         if self.disjointness.is_empty() {
             let options = LtrOptions {
                 grounded,
                 ..LtrOptions::default()
             };
-            return long_term_relevant(&self.schema, access, query, &self.initial, &options)
+            return long_term_relevant(&self.schema, access, query, initial, &options)
                 .unwrap_or(LtrVerdict::Unknown);
         }
         // With constraints: build one automaton per disjunct and take the
         // union of verdicts.
         for disjunct in &query.disjuncts {
             let automaton = ltr_automaton(&self.schema, access, disjunct, &self.disjointness);
-            match bounded_emptiness(
-                &automaton,
-                &self.schema,
-                &self.initial,
-                &self.emptiness_config,
-            ) {
+            match bounded_emptiness(&automaton, &self.schema, initial, &self.emptiness_config) {
                 EmptinessOutcome::NonEmpty { witness } => return LtrVerdict::Relevant { witness },
                 EmptinessOutcome::Unknown => return LtrVerdict::Unknown,
                 EmptinessOutcome::Empty => {}
@@ -502,6 +513,222 @@ impl AccessAnalyzer {
         hidden: &Instance,
     ) -> accltl_paths::Result<accltl_paths::AnswerabilityReport> {
         accltl_paths::maximal_answers(&self.schema, query, hidden, &self.initial)
+    }
+
+    /// Opens a long-lived monitoring session over the given properties: each
+    /// [`MonitorSession::step`] extends the known instance by one concrete
+    /// access and re-answers every property, reusing the engine and
+    /// guard-verdict caches the previous steps already paid for (the
+    /// runtime-relevance loop of *"Determining Relevance of Accesses at
+    /// Runtime"*).  Verdicts are contractually byte-identical to re-running
+    /// the analysis from scratch over the grown instance;
+    /// `ACCLTL_DISABLE_SESSION_REUSE=1` makes the session do exactly that,
+    /// which the differential harness in `tests/session_props.rs` uses to
+    /// prove the contract.
+    ///
+    /// Properties are partitioned as in [`AccessAnalyzer::check_all`]: the
+    /// decidable zero fragments run under the 0-ary interpretation, every
+    /// other fragment runs the bounded search under full bindings with
+    /// `Unsatisfiable` downgraded to `Unknown` when read through
+    /// [`MonitorSession::still_satisfiable`].  (For `AccLTL+` that downgrade
+    /// is conservative — [`AccessAnalyzer::check_satisfiable`] routes the
+    /// one-shot question through the automaton pipeline, which can certify
+    /// emptiness.)
+    #[must_use]
+    pub fn monitor(&self, properties: &[AccLtl]) -> MonitorSession<'_> {
+        let _span = trace::span_fields(
+            "analyzer.monitor",
+            &[("properties", properties.len() as u64)],
+        );
+        let fragments: Vec<Fragment> = properties.iter().map(classify).collect();
+        let mut zero: Vec<AccLtl> = Vec::new();
+        let mut other: Vec<AccLtl> = Vec::new();
+        let mut slots: Vec<(bool, usize)> = Vec::with_capacity(properties.len());
+        for (property, fragment) in properties.iter().zip(&fragments) {
+            match fragment {
+                Fragment::XZeroAry | Fragment::ZeroAry | Fragment::ZeroAryWithInequalities => {
+                    slots.push((true, zero.len()));
+                    zero.push(property.clone());
+                }
+                Fragment::BindingPositive | Fragment::Full | Fragment::FullWithInequalities => {
+                    slots.push((false, other.len()));
+                    other.push(property.clone());
+                }
+            }
+        }
+        let open = |formulas: &[AccLtl], zero_ary: bool| {
+            (!formulas.is_empty()).then(|| {
+                BoundedSearcher::new(&self.schema, &self.initial, zero_ary, self.search_config)
+                    .open_session(formulas)
+            })
+        };
+        let mut session = MonitorSession {
+            analyzer: self,
+            properties: properties.to_vec(),
+            fragments,
+            slots,
+            zero: open(&zero, true),
+            other: open(&other, false),
+            current: self.initial.clone(),
+            steps: 0,
+            last: SessionReport::default(),
+        };
+        session.last = session.combined_report();
+        session
+    }
+}
+
+/// A long-lived monitoring session over a set of properties and a growing
+/// instance, opened by [`AccessAnalyzer::monitor`].
+///
+/// Each [`MonitorSession::step`] feeds one concrete access/response pair into
+/// the underlying [`BoundedSearcher`] sessions (one per engine group, exactly
+/// the grouping of [`AccessAnalyzer::check_all`]) and refreshes every
+/// verdict.  [`MonitorSession::still_satisfiable`] reads the latest verdict
+/// for one property; [`MonitorSession::still_relevant`] asks the long-term
+/// relevance question against the *current* instance.  The per-step
+/// accounting ([`SessionReport`]: reused vs. recomputed engine-cache entries,
+/// explored nodes, cost, guard consults) aggregates the groups' reports and
+/// also flows into the `accltl-obs` registry (`session.*` metrics) and trace
+/// spans.
+pub struct MonitorSession<'a> {
+    analyzer: &'a AccessAnalyzer,
+    properties: Vec<AccLtl>,
+    fragments: Vec<Fragment>,
+    /// Property index → (zero-ary group?, position inside that group).
+    slots: Vec<(bool, usize)>,
+    zero: Option<BoundedSession<'a>>,
+    other: Option<BoundedSession<'a>>,
+    current: Instance,
+    steps: usize,
+    last: SessionReport,
+}
+
+impl<'a> MonitorSession<'a> {
+    /// The monitored properties, in input order.
+    #[must_use]
+    pub fn properties(&self) -> &[AccLtl] {
+        &self.properties
+    }
+
+    /// The fragment of the property at `index` (input order).
+    #[must_use]
+    pub fn fragment(&self, index: usize) -> Fragment {
+        self.fragments[index]
+    }
+
+    /// The analyzer's initial instance extended by every response received
+    /// so far.
+    #[must_use]
+    pub fn current(&self) -> &Instance {
+        &self.current
+    }
+
+    /// Number of [`MonitorSession::step`] calls so far.
+    #[must_use]
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// The latest step's aggregated accounting (all engine groups summed).
+    #[must_use]
+    pub fn last_report(&self) -> &SessionReport {
+        &self.last
+    }
+
+    /// Extends the known instance by one access/response pair and re-answers
+    /// every monitored property.  The access must name a schema method and
+    /// the response must be well-formed for its binding, exactly as in
+    /// [`AccessPath::validate`].  Returns the step's aggregated accounting;
+    /// verdicts are read through [`MonitorSession::still_satisfiable`].
+    pub fn step(
+        &mut self,
+        access: &Access,
+        response: &Response,
+    ) -> accltl_paths::Result<&SessionReport> {
+        let method = self.analyzer.schema.require_method(access.method)?;
+        let relation = method.relation_id();
+        AccessPath::from_steps(vec![(access.clone(), response.clone())])
+            .validate(&self.analyzer.schema)?;
+        self.steps += 1;
+        let _span = trace::span_fields("analyzer.session_step", &[("step", self.steps as u64)]);
+        for tuple in response {
+            self.current.add_fact(relation, tuple.clone());
+        }
+        if let Some(session) = self.zero.as_mut() {
+            session.step(access, response)?;
+        }
+        if let Some(session) = self.other.as_mut() {
+            session.step(access, response)?;
+        }
+        self.last = self.combined_report();
+        Ok(&self.last)
+    }
+
+    /// The latest verdict for the property at `index` (input order), with
+    /// the same downgrade as [`AccessAnalyzer::check_satisfiable`]'s bounded
+    /// fallback: outside the decidable zero fragments, `Unsatisfiable` from
+    /// the bounded search is conservatively reported as `Unknown`.
+    #[must_use]
+    pub fn still_satisfiable(&self, index: usize) -> SatOutcome {
+        let (zero_ary, slot) = self.slots[index];
+        if zero_ary {
+            let session = self.zero.as_ref().expect("zero group is non-empty");
+            session.verdict(slot).clone()
+        } else {
+            let session = self.other.as_ref().expect("full group is non-empty");
+            match session.verdict(slot) {
+                SatOutcome::Unsatisfiable => SatOutcome::Unknown { explored: 0 },
+                verdict => verdict.clone(),
+            }
+        }
+    }
+
+    /// Latest verdicts for every monitored property, in input order.
+    #[must_use]
+    pub fn verdicts(&self) -> Vec<SatOutcome> {
+        (0..self.slots.len())
+            .map(|index| self.still_satisfiable(index))
+            .collect()
+    }
+
+    /// Long-term relevance of `access` for `query` against the *current*
+    /// instance (initial plus every response received so far), under the
+    /// analyzer's disjointness constraints — the per-step question of the
+    /// runtime-relevance loop.
+    #[must_use]
+    pub fn still_relevant(
+        &self,
+        access: &Access,
+        query: &UnionOfCqs,
+        grounded: bool,
+    ) -> LtrVerdict {
+        self.analyzer
+            .long_term_relevant_in(access, query, grounded, &self.current)
+    }
+
+    /// Sums the engine groups' latest [`SessionReport`]s into one.
+    fn combined_report(&self) -> SessionReport {
+        let sessions: Vec<&BoundedSession<'a>> = [self.zero.as_ref(), self.other.as_ref()]
+            .into_iter()
+            .flatten()
+            .collect();
+        let mut combined = SessionReport {
+            step: self.steps,
+            replayed: !sessions.is_empty(),
+            ..SessionReport::default()
+        };
+        for session in sessions {
+            let report = session.last_report();
+            combined.replayed &= report.replayed;
+            combined.reused += report.reused;
+            combined.recomputed += report.recomputed;
+            combined.explored += report.explored;
+            combined.cost += report.cost;
+            combined.guard.hits += report.guard.hits;
+            combined.guard.misses += report.guard.misses;
+        }
+        combined
     }
 }
 

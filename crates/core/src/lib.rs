@@ -44,12 +44,16 @@ pub use accltl_logic::properties;
 pub mod analyzer;
 pub mod report;
 
-pub use analyzer::{AccessAnalyzer, AnalyzerReport, BatchRequest, ContainmentOutcome};
+pub use analyzer::{
+    AccessAnalyzer, AnalyzerReport, BatchRequest, ContainmentOutcome, MonitorSession,
+};
 pub use report::RunReport;
 
 /// A convenience prelude re-exporting the types most programs need.
 pub mod prelude {
-    pub use crate::analyzer::{AccessAnalyzer, AnalyzerReport, BatchRequest, ContainmentOutcome};
+    pub use crate::analyzer::{
+        AccessAnalyzer, AnalyzerReport, BatchRequest, ContainmentOutcome, MonitorSession,
+    };
     pub use crate::report::RunReport;
     pub use accltl_automata::{AAutomaton, Guard};
     pub use accltl_logic::fragment::{classify, Fragment};
@@ -57,14 +61,14 @@ pub mod prelude {
     pub use accltl_logic::vocabulary::{
         isbind_atom, isbind_prop, post_atom, pre_atom, query_post, query_pre,
     };
-    pub use accltl_logic::{AccLtl, BoundedSearchConfig, SatOutcome};
+    pub use accltl_logic::{AccLtl, BoundedSearchConfig, SatOutcome, SessionReport};
     pub use accltl_paths::access::phone_directory_access_schema;
     pub use accltl_paths::generator::{
         generate_workload, phone_directory_hidden_instance, Workload, WorkloadConfig,
     };
     pub use accltl_paths::{
-        Access, AccessMethod, AccessPath, AccessSchema, EngineConfig, LtsExplorer, LtsOptions,
-        ResponsePolicy, SearchReport,
+        Access, AccessMethod, AccessPath, AccessSchema, EngineConfig, LtrVerdict, LtsExplorer,
+        LtsOptions, Response, ResponsePolicy, SearchReport,
     };
     pub use accltl_relational::{
         atom, cq, tuple, Atom, ChaseStats, ConjunctiveQuery, Constraint, DatalogProgram,

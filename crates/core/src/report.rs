@@ -7,7 +7,7 @@
 //! counters per property — the per-request introspection surface the
 //! analysis-as-a-service direction needs.
 
-use accltl_obs::json::JsonObject;
+use accltl_obs::json::{parse, JsonObject, JsonValue};
 use accltl_paths::engine::{EngineCacheStats, SearchReport};
 use accltl_relational::{ChaseStats, GuardCacheStats};
 
@@ -86,12 +86,172 @@ impl RunReport {
             .raw("chase", chase)
             .build()
     }
+
+    /// Parses a report previously rendered by [`RunReport::to_json`],
+    /// strictly: every counter must be present as a non-negative integer,
+    /// `chase` must be `null` or carry every chase counter, and unknown
+    /// fields are rejected.  A successfully parsed report re-renders
+    /// byte-identically to its source, so consumers of the
+    /// analysis-as-a-service surface can validate, store and faithfully
+    /// re-emit reports.
+    pub fn from_json(input: &str) -> Result<Self, String> {
+        let value = parse(input)?;
+        require_keys(
+            &value,
+            "run report",
+            &["explored", "cost", "guard_cache", "engine_cache", "chase"],
+        )?;
+        let guard = value
+            .get("guard_cache")
+            .ok_or_else(|| "run report is missing \"guard_cache\"".to_owned())?;
+        require_keys(guard, "guard_cache", &["hits", "misses"])?;
+        let engine = value
+            .get("engine_cache")
+            .ok_or_else(|| "run report is missing \"engine_cache\"".to_owned())?;
+        require_keys(
+            engine,
+            "engine_cache",
+            &["hits", "misses", "evictions", "entries"],
+        )?;
+        let chase = match value.get("chase") {
+            None => return Err("run report is missing \"chase\"".to_owned()),
+            Some(JsonValue::Null) => None,
+            Some(stats) => {
+                require_keys(
+                    stats,
+                    "chase",
+                    &[
+                        "passes",
+                        "violation_checks",
+                        "tuples_rescanned",
+                        "fd_merges",
+                        "ind_additions",
+                        "facts_rewritten",
+                        "index_rebuilds_avoided",
+                    ],
+                )?;
+                Some(ChaseStats {
+                    passes: require_usize(stats, "chase", "passes")?,
+                    violation_checks: require_usize(stats, "chase", "violation_checks")?,
+                    tuples_rescanned: require_usize(stats, "chase", "tuples_rescanned")?,
+                    fd_merges: require_usize(stats, "chase", "fd_merges")?,
+                    ind_additions: require_usize(stats, "chase", "ind_additions")?,
+                    facts_rewritten: require_usize(stats, "chase", "facts_rewritten")?,
+                    index_rebuilds_avoided: require_usize(
+                        stats,
+                        "chase",
+                        "index_rebuilds_avoided",
+                    )?,
+                })
+            }
+        };
+        Ok(RunReport {
+            explored: require_usize(&value, "run report", "explored")?,
+            cost: require_usize(&value, "run report", "cost")?,
+            guard_cache: GuardCacheStats {
+                hits: require_count(guard, "guard_cache", "hits")?,
+                misses: require_count(guard, "guard_cache", "misses")?,
+            },
+            engine_cache: EngineCacheStats {
+                hits: require_count(engine, "engine_cache", "hits")?,
+                misses: require_count(engine, "engine_cache", "misses")?,
+                evictions: require_count(engine, "engine_cache", "evictions")?,
+                entries: require_count(engine, "engine_cache", "entries")?,
+            },
+            chase,
+        })
+    }
+}
+
+/// Rejects non-objects and objects with fields outside `allowed` (missing
+/// fields are caught by the per-field reads).
+fn require_keys(value: &JsonValue, object: &str, allowed: &[&str]) -> Result<(), String> {
+    let JsonValue::Object(map) = value else {
+        return Err(format!("{object} must be a JSON object"));
+    };
+    for key in map.keys() {
+        if !allowed.contains(&key.as_str()) {
+            return Err(format!("{object} has unknown field \"{key}\""));
+        }
+    }
+    Ok(())
+}
+
+/// Reads a required non-negative integer field.
+fn require_count(value: &JsonValue, object: &str, key: &str) -> Result<u64, String> {
+    let field = value
+        .get(key)
+        .ok_or_else(|| format!("{object} is missing \"{key}\""))?;
+    field
+        .as_int()
+        .and_then(|n| u64::try_from(n).ok())
+        .ok_or_else(|| format!("{object}.{key} must be a non-negative integer"))
+}
+
+/// Reads a required non-negative integer field into a `usize`.
+fn require_usize(value: &JsonValue, object: &str, key: &str) -> Result<usize, String> {
+    usize::try_from(require_count(value, object, key)?)
+        .map_err(|_| format!("{object}.{key} does not fit in usize"))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use accltl_obs::json::{parse, JsonValue};
+
+    #[test]
+    fn from_json_round_trips_byte_identically() {
+        // Every optional field populated: the chase block present with all
+        // seven counters nonzero, plus nonzero cache splits.
+        let full = RunReport {
+            explored: 12,
+            cost: 34,
+            guard_cache: GuardCacheStats { hits: 5, misses: 6 },
+            engine_cache: EngineCacheStats {
+                hits: 1,
+                misses: 2,
+                evictions: 3,
+                entries: 4,
+            },
+            chase: Some(ChaseStats {
+                passes: 2,
+                violation_checks: 4,
+                tuples_rescanned: 8,
+                fd_merges: 1,
+                ind_additions: 3,
+                facts_rewritten: 5,
+                index_rebuilds_avoided: 7,
+            }),
+        };
+        let bare = RunReport {
+            chase: None,
+            ..full
+        };
+        for report in [full, bare, RunReport::default()] {
+            let rendered = report.to_json();
+            let rebuilt = RunReport::from_json(&rendered).unwrap();
+            assert_eq!(rebuilt.to_json(), rendered);
+        }
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_reports() {
+        let valid = RunReport::default().to_json();
+        assert!(RunReport::from_json(&valid).is_ok());
+        // Unknown top-level field.
+        assert!(RunReport::from_json(&valid.replacen("\"explored\"", "\"exploded\"", 1)).is_err());
+        // Missing field (drop the leading "explored":0,).
+        assert!(RunReport::from_json(&valid.replacen("\"explored\":0,", "", 1)).is_err());
+        // Wrong type and negative counter.
+        assert!(RunReport::from_json(&valid.replacen("\"cost\":0", "\"cost\":\"0\"", 1)).is_err());
+        assert!(RunReport::from_json(&valid.replacen("\"cost\":0", "\"cost\":-1", 1)).is_err());
+        assert!(RunReport::from_json(&valid.replacen("\"cost\":0", "\"cost\":1.5", 1)).is_err());
+        // Chase must be null or a complete counter object.
+        assert!(RunReport::from_json(&valid.replacen("null", "{}", 1)).is_err());
+        assert!(RunReport::from_json(&valid.replacen("null", "7", 1)).is_err());
+        // Not an object at all / trailing garbage (the parser is strict).
+        assert!(RunReport::from_json("[1,2]").is_err());
+        assert!(RunReport::from_json(&format!("{valid} x")).is_err());
+    }
 
     #[test]
     fn to_json_round_trips_with_and_without_chase() {

@@ -54,9 +54,9 @@ use std::sync::{Arc, RwLock};
 
 use accltl_paths::engine::{
     BatchEngine, Candidate, EmptyBindingMode, EngineCacheStats, EngineConfig, EngineOutcome,
-    FactUniverse, PropertySpec, SearchReport, StepOracle, StepOutcome,
+    EngineReport, FactUniverse, PropertySpec, SearchReport, SessionState, StepOracle, StepOutcome,
 };
-use accltl_paths::{AccessPath, AccessSchema};
+use accltl_paths::{Access, AccessPath, AccessSchema, Response};
 use accltl_relational::{
     CompiledSentence, GuardCache, GuardCacheStats, Instance, InstanceOverlay, PosFormula, RelId,
     ScanView, Tuple, Value,
@@ -224,17 +224,22 @@ fn accepts_empty(formula: &AccLtl) -> bool {
 /// The [`StepOracle`] of the bounded satisfiability search: the logical state
 /// is the normalized obligation still to satisfy, advanced by formula
 /// progression over the candidate's transition structure.
-struct FormulaOracle<'c> {
+struct FormulaOracle {
     vocab: TransitionVocab,
     /// Atom sentences of the formula, DNF-compiled once: progression
     /// evaluates the same handful of sentences against every candidate
     /// structure.
     compiled: BTreeMap<PosFormula, CompiledSentence>,
-    /// The search's guard-verdict cache: obligation checks consult it before
-    /// any homomorphism search (and repeated occurrences of one atom inside
-    /// a single progression hit it immediately).  Shared by all worker
-    /// threads; disabled it only counts consults.
-    cache: &'c GuardCache,
+    /// The search's guard-verdict cache, an owned
+    /// [`GuardCache::share`] handle of the batch's root cache (one shared
+    /// verdict map, per-formula consult counters): obligation checks
+    /// consult it before any homomorphism search (and repeated occurrences
+    /// of one atom inside a single progression hit it immediately).
+    /// Owning the handle — rather than borrowing the root — is what lets a
+    /// monitoring session store its oracles alongside the root cache for
+    /// the session's lifetime.  Shared by all worker threads; disabled it
+    /// only counts consults.
+    cache: GuardCache,
     zero_ary: bool,
     /// Evaluate by scanning instead of through value indexes
     /// ([`EngineConfig::disable_indexes`]); guard caching is unaffected.
@@ -282,12 +287,12 @@ impl Progressed {
     }
 }
 
-impl<'c> FormulaOracle<'c> {
+impl FormulaOracle {
     fn new(
         schema: &AccessSchema,
         formula: &AccLtl,
         zero_ary: bool,
-        cache: &'c GuardCache,
+        cache: GuardCache,
         scan: bool,
         index_cutoff: usize,
     ) -> Self {
@@ -344,7 +349,7 @@ impl<'c> FormulaOracle<'c> {
             PosFormula::True => true,
             PosFormula::False => false,
             _ => match self.compiled.get(sentence) {
-                Some(compiled) => compiled.holds_cached(structure, self.cache, memoize),
+                Some(compiled) => compiled.holds_cached(structure, &self.cache, memoize),
                 // Progression only ever produces atoms of the original
                 // formula (plus ⊤/⊥); this fallback keeps the oracle total
                 // (counted, but never memoized).
@@ -365,7 +370,7 @@ struct FormulaCtx {
     memoize: bool,
 }
 
-impl StepOracle for FormulaOracle<'_> {
+impl StepOracle for FormulaOracle {
     type State = AccLtl;
     type StateCtx = FormulaCtx;
     /// The candidate's transition structure: its response pushed as `Rpost`
@@ -583,91 +588,55 @@ impl<'a> BoundedSearcher<'a> {
         );
         let engine_config = self.engine_config();
         let cache = GuardCache::with_enabled(!engine_config.disable_guard_cache);
-        // One share-handle per formula: one underlying verdict map, but
-        // per-formula consult counters (so batched totals equal sequential
-        // totals).
-        let handles: Vec<GuardCache> = formulas.iter().map(|_| cache.share()).collect();
-        let mut reports: Vec<Option<SearchReport<SatOutcome>>> =
-            formulas.iter().map(|_| None).collect();
-        let mut specs = Vec::new();
-        let mut spec_slots = Vec::new();
-        for (slot, (formula, handle)) in formulas.iter().zip(&handles).enumerate() {
-            let start = normalize(formula);
-            if self.config.allow_empty_path && accepts_empty(&start) {
-                reports[slot] = Some(SearchReport {
-                    verdict: SatOutcome::Satisfiable {
-                        witness: AccessPath::new(),
-                    },
-                    explored: 0,
-                    cost: 0,
-                    cache: handle.stats(),
-                    engine_cache: EngineCacheStats::default(),
-                });
-                continue;
-            }
-            let universe = FactUniverse::new(fact_universe(formula, &self.initial));
-            let constants = formula_constants(formula);
-            let oracle = FormulaOracle::new(
-                self.schema,
-                formula,
-                self.zero_ary,
-                handle,
-                engine_config.disable_indexes,
-                engine_config.index_cutoff,
-            );
-            specs.push(PropertySpec {
-                oracle,
-                start,
-                universe,
-                constants,
-                config: engine_config,
-            });
-            spec_slots.push(slot);
-        }
-        if !specs.is_empty() {
-            let mut batch = BatchEngine::new(self.schema, Arc::new(self.initial.clone()));
-            for (slot, report) in spec_slots.into_iter().zip(batch.run(specs)) {
-                let verdict = match report.outcome {
-                    EngineOutcome::Witness { witness } => SatOutcome::Satisfiable { witness },
-                    EngineOutcome::Exhausted => SatOutcome::Unsatisfiable,
-                    // A truncated witness space (over-wide response groups)
-                    // proves nothing, exactly like an exhausted budget.
-                    EngineOutcome::Truncated { explored }
-                    | EngineOutcome::OutOfStates { explored }
-                    | EngineOutcome::OutOfBudget { explored } => SatOutcome::Unknown { explored },
-                };
-                reports[slot] = Some(SearchReport {
-                    verdict,
-                    explored: report.explored,
-                    cost: report.cost,
-                    cache: report.cache.unwrap_or_default(),
-                    engine_cache: report.engine_cache,
-                });
-            }
-        }
-        let reports: Vec<SearchReport<SatOutcome>> = reports
-            .into_iter()
-            .map(|report| report.expect("every formula reported"))
-            .collect();
-        // Reconcile the per-report legacy counters into the process-wide
-        // registry — exactly once per report, here at assembly time, so
-        // registry deltas equal summed report structs (see `obs_props`).
-        for report in &reports {
-            accltl_obs::metrics::add("search.explored", report.explored as u64);
-            accltl_obs::metrics::add("search.cost", report.cost as u64);
-            accltl_obs::metrics::add("guard_cache.hits", report.cache.hits);
-            accltl_obs::metrics::add("guard_cache.misses", report.cache.misses);
-            accltl_obs::trace::event(
-                "bounded.report",
-                &[
-                    ("explored", report.explored as u64),
-                    ("cost", report.cost as u64),
-                    ("cache_hits", report.cache.hits),
-                    ("cache_misses", report.cache.misses),
-                ],
-            );
-        }
-        reports
+        run_formula_batch(
+            self.schema,
+            &self.initial,
+            self.zero_ary,
+            self.config.allow_empty_path,
+            engine_config,
+            &cache,
+            formulas,
+            |specs| BatchEngine::new(self.schema, Arc::new(self.initial.clone())).run(specs),
+        )
+    }
+
+    /// Opens a long-lived monitoring session over a property batch: an
+    /// opening check (step 0) runs immediately, and every
+    /// [`MonitorSession::step`] extends `Conf(p, I0)` by one access's
+    /// response and re-derives all verdicts on the session's persistent
+    /// engine state.  Verdicts, witnesses, explored counts and
+    /// guard-consult totals of every step are byte-identical to a
+    /// from-scratch [`BoundedSearcher::run_batch`] over the grown instance
+    /// (`ACCLTL_DISABLE_SESSION_REUSE=1` selects exactly that scratch
+    /// path); the session only changes what is *recomputed*, which each
+    /// step's [`SessionReport`] accounts for.  The engine configuration is
+    /// resolved once, here.
+    #[must_use]
+    pub fn open_session(&self, properties: &[AccLtl]) -> MonitorSession<'a> {
+        let _span = accltl_obs::trace::span_fields(
+            "session.open",
+            &[("properties", properties.len() as u64)],
+        );
+        let engine_config = self.engine_config();
+        let root_cache = GuardCache::with_enabled(!engine_config.disable_guard_cache);
+        let state = (!engine_config.disable_session_reuse)
+            .then(|| SessionState::new(self.schema, Arc::new(self.initial.clone())));
+        let mut session = MonitorSession {
+            schema: self.schema,
+            zero_ary: self.zero_ary,
+            search_config: self.config,
+            engine_config,
+            properties: properties.to_vec(),
+            current: self.initial.clone(),
+            root_cache,
+            state,
+            reports: Vec::new(),
+            steps: 0,
+            last: SessionReport::default(),
+        };
+        let delta = session.recheck();
+        session.finish_step(false, delta);
+        session
     }
 
     /// Deprecated alias of [`BoundedSearcher::run`] returning the verdict
@@ -685,6 +654,352 @@ impl<'a> BoundedSearcher<'a> {
     pub fn search_with_stats(&self, formula: &AccLtl) -> (SatOutcome, GuardCacheStats) {
         let report = self.run(formula);
         (report.verdict, report.cache)
+    }
+}
+
+/// Builds the per-formula property specs over `initial`, runs them through
+/// `run` (a fresh [`BatchEngine`] for plain batches, a session's persistent
+/// [`SessionState`] for monitoring steps), and assembles the per-formula
+/// search reports, feeding the per-report counters into the process-wide
+/// registry exactly once.  [`BoundedSearcher::run_batch`] and the session
+/// step path share this verbatim, so their reports are byte-identical by
+/// construction: specs, universes, constants, empty-path short-circuits and
+/// report assembly cannot drift apart.
+#[allow(clippy::too_many_arguments)]
+fn run_formula_batch(
+    schema: &AccessSchema,
+    initial: &Instance,
+    zero_ary: bool,
+    allow_empty_path: bool,
+    engine_config: EngineConfig,
+    root_cache: &GuardCache,
+    formulas: &[AccLtl],
+    run: impl FnOnce(Vec<PropertySpec<FormulaOracle>>) -> Vec<EngineReport>,
+) -> Vec<SearchReport<SatOutcome>> {
+    let mut reports: Vec<Option<SearchReport<SatOutcome>>> =
+        formulas.iter().map(|_| None).collect();
+    let mut specs = Vec::new();
+    let mut spec_slots = Vec::new();
+    for (slot, formula) in formulas.iter().enumerate() {
+        // One share-handle per formula: one underlying verdict map, but
+        // per-formula consult counters (so batched totals equal sequential
+        // totals).
+        let handle = root_cache.share();
+        let start = normalize(formula);
+        if allow_empty_path && accepts_empty(&start) {
+            reports[slot] = Some(SearchReport {
+                verdict: SatOutcome::Satisfiable {
+                    witness: AccessPath::new(),
+                },
+                explored: 0,
+                cost: 0,
+                cache: handle.stats(),
+                engine_cache: EngineCacheStats::default(),
+            });
+            continue;
+        }
+        let universe = FactUniverse::new(fact_universe(formula, initial));
+        let constants = formula_constants(formula);
+        let oracle = FormulaOracle::new(
+            schema,
+            formula,
+            zero_ary,
+            handle,
+            engine_config.disable_indexes,
+            engine_config.index_cutoff,
+        );
+        specs.push(PropertySpec {
+            oracle,
+            start,
+            universe,
+            constants,
+            config: engine_config,
+        });
+        spec_slots.push(slot);
+    }
+    if !specs.is_empty() {
+        for (slot, report) in spec_slots.into_iter().zip(run(specs)) {
+            let verdict = match report.outcome {
+                EngineOutcome::Witness { witness } => SatOutcome::Satisfiable { witness },
+                EngineOutcome::Exhausted => SatOutcome::Unsatisfiable,
+                // A truncated witness space (over-wide response groups)
+                // proves nothing, exactly like an exhausted budget.
+                EngineOutcome::Truncated { explored }
+                | EngineOutcome::OutOfStates { explored }
+                | EngineOutcome::OutOfBudget { explored } => SatOutcome::Unknown { explored },
+            };
+            reports[slot] = Some(SearchReport {
+                verdict,
+                explored: report.explored,
+                cost: report.cost,
+                cache: report.cache.unwrap_or_default(),
+                engine_cache: report.engine_cache,
+            });
+        }
+    }
+    let reports: Vec<SearchReport<SatOutcome>> = reports
+        .into_iter()
+        .map(|report| report.expect("every formula reported"))
+        .collect();
+    // Reconcile the per-report legacy counters into the process-wide
+    // registry — exactly once per report, here at assembly time, so
+    // registry deltas equal summed report structs (see `obs_props`).
+    for report in &reports {
+        accltl_obs::metrics::add("search.explored", report.explored as u64);
+        accltl_obs::metrics::add("search.cost", report.cost as u64);
+        accltl_obs::metrics::add("guard_cache.hits", report.cache.hits);
+        accltl_obs::metrics::add("guard_cache.misses", report.cache.misses);
+        accltl_obs::trace::event(
+            "bounded.report",
+            &[
+                ("explored", report.explored as u64),
+                ("cost", report.cost as u64),
+                ("cache_hits", report.cache.hits),
+                ("cache_misses", report.cache.misses),
+            ],
+        );
+    }
+    reports
+}
+
+/// One step's accounting of a [`MonitorSession`].
+///
+/// `explored`, `cost` and `guard.total()` are contractual — byte-identical
+/// to a from-scratch re-check of the step (the `guard` hit/miss *split* and
+/// the reuse counters are observability, not contract).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SessionReport {
+    /// The step index; the opening check performed by
+    /// [`BoundedSearcher::open_session`] is step 0.
+    pub step: usize,
+    /// True when the step's access revealed no fact the session had not
+    /// already seen, so the previous verdicts were replayed without running
+    /// the engine (determinism makes the replay byte-identical to a
+    /// re-run).  Always false under `ACCLTL_DISABLE_SESSION_REUSE=1`.
+    pub replayed: bool,
+    /// Engine-cache lookups answered from cache during this step's run —
+    /// in session mode including prepared contexts and candidate
+    /// enumerations computed by *earlier* steps (the "reused node" count).
+    pub reused: u64,
+    /// Engine-cache lookups that had to (re)compute their entry this step,
+    /// because no configuration of equal content had been prepared before —
+    /// after a perturbation, exactly the configurations whose content
+    /// mentions the new facts.
+    pub recomputed: u64,
+    /// Search states discovered this step, summed over the property batch.
+    pub explored: usize,
+    /// Guard-consult cost charged this step, summed over the batch.
+    pub cost: usize,
+    /// Guard-cache consults of this step, summed over the batch.  The
+    /// session's persistent root cache turns repeat consults into hits
+    /// across steps; the total matches a from-scratch run exactly.
+    pub guard: GuardCacheStats,
+}
+
+/// A long-lived relevance-monitoring session (see
+/// [`BoundedSearcher::open_session`]): holds the property batch, the
+/// instance grown so far, the persistent root guard cache and the
+/// persistent engine state, and re-derives every property's verdict after
+/// each access/response step.
+///
+/// In session mode (the default) each step runs on one persistent
+/// [`SessionState`]: the step's response facts are assumed revealed at the
+/// root, so configurations keep their content across steps and the
+/// engine's content-addressed caches — and the root guard cache's
+/// restricted `StructureKey`s — only miss where the perturbation actually
+/// changed something.  Under `ACCLTL_DISABLE_SESSION_REUSE=1` every step
+/// constructs a fresh [`BoundedSearcher`] over the grown instance instead;
+/// both modes produce byte-identical verdicts, witnesses, explored counts
+/// and guard-consult totals.
+pub struct MonitorSession<'a> {
+    schema: &'a AccessSchema,
+    zero_ary: bool,
+    search_config: BoundedSearchConfig,
+    /// Resolved once at open (the single env read); every step — session
+    /// or scratch — runs under exactly this configuration.
+    engine_config: EngineConfig,
+    properties: Vec<AccLtl>,
+    /// `I0` extended by every response received so far.
+    current: Instance,
+    /// The session-lifetime guard cache; each step's oracles hold
+    /// [`GuardCache::share`] handles of it.
+    root_cache: GuardCache,
+    /// The persistent engine state; `None` under
+    /// [`EngineConfig::disable_session_reuse`].
+    state: Option<SessionState<'a, FormulaOracle>>,
+    /// Per-property reports of the latest step, in property order.
+    reports: Vec<SearchReport<SatOutcome>>,
+    steps: usize,
+    last: SessionReport,
+}
+
+impl<'a> MonitorSession<'a> {
+    /// The properties being monitored, in report order.
+    #[must_use]
+    pub fn properties(&self) -> &[AccLtl] {
+        &self.properties
+    }
+
+    /// The initial instance extended by every response received so far.
+    #[must_use]
+    pub fn current(&self) -> &Instance {
+        &self.current
+    }
+
+    /// Per-property reports of the latest step, in property order.
+    #[must_use]
+    pub fn reports(&self) -> &[SearchReport<SatOutcome>] {
+        &self.reports
+    }
+
+    /// The latest step's verdict for the property at `index`.
+    #[must_use]
+    pub fn verdict(&self, index: usize) -> &SatOutcome {
+        &self.reports[index].verdict
+    }
+
+    /// The number of steps taken so far (the opening check is step 0, so
+    /// this is 0 until the first [`MonitorSession::step`] call).
+    #[must_use]
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// The latest step's accounting.
+    #[must_use]
+    pub fn last_report(&self) -> &SessionReport {
+        &self.last
+    }
+
+    /// Extends the session by one access and its response, then re-derives
+    /// every property's verdict.  The `(access, response)` pair is
+    /// validated like an access-path step; the response's facts join the
+    /// current instance (and, in session mode, the persistent engine's
+    /// root).  Returns the step's accounting; per-property verdicts are
+    /// read through [`MonitorSession::reports`] /
+    /// [`MonitorSession::verdict`].
+    pub fn step(
+        &mut self,
+        access: &Access,
+        response: &Response,
+    ) -> accltl_paths::Result<&SessionReport> {
+        let method = self.schema.require_method(access.method)?;
+        let relation = method.relation_id();
+        AccessPath::from_steps(vec![(access.clone(), response.clone())]).validate(self.schema)?;
+        let mut fresh = false;
+        for tuple in response {
+            if self.current.add_fact(relation, tuple.clone()) {
+                if let Some(state) = self.state.as_mut() {
+                    state.assume_revealed(relation, tuple);
+                }
+                fresh = true;
+            }
+        }
+        self.steps += 1;
+        let _span = accltl_obs::trace::span_fields(
+            "session.step",
+            &[("step", self.steps as u64), ("fresh", u64::from(fresh))],
+        );
+        if !fresh && self.state.is_some() {
+            // The configuration space is unchanged, so by determinism a
+            // re-run would reproduce the previous reports byte for byte;
+            // replay them instead of exploring.  (Scratch mode re-runs
+            // regardless — that is its contract.)
+            self.finish_step(true, EngineCacheStats::default());
+            return Ok(&self.last);
+        }
+        let delta = self.recheck();
+        self.finish_step(false, delta);
+        Ok(&self.last)
+    }
+
+    /// Re-derives every property's verdict over the current instance and
+    /// returns the step's engine-cache delta.
+    fn recheck(&mut self) -> EngineCacheStats {
+        let (reports, delta) = match self.state.as_mut() {
+            Some(state) => {
+                let mut delta = EngineCacheStats::default();
+                let reports = run_formula_batch(
+                    self.schema,
+                    &self.current,
+                    self.zero_ary,
+                    self.search_config.allow_empty_path,
+                    self.engine_config,
+                    &self.root_cache,
+                    &self.properties,
+                    |specs| {
+                        let (reports, step_delta) = state.run_step(specs);
+                        delta = step_delta;
+                        reports
+                    },
+                );
+                (reports, delta)
+            }
+            None => {
+                // Scratch mode: exactly what a caller without a session
+                // would run — a fresh searcher (fresh root guard cache,
+                // fresh engine) over the grown instance.
+                let searcher = BoundedSearcher {
+                    schema: self.schema,
+                    initial: self.current.clone(),
+                    zero_ary: self.zero_ary,
+                    config: self.search_config,
+                    engine_override: Some(self.engine_config),
+                };
+                let reports = searcher.run_batch(&self.properties);
+                let delta = reports
+                    .first()
+                    .map(|report| report.engine_cache)
+                    .unwrap_or_default();
+                (reports, delta)
+            }
+        };
+        self.reports = reports;
+        delta
+    }
+
+    /// Stamps the step's [`SessionReport`] and feeds the session counters
+    /// into the process-wide registry.
+    fn finish_step(&mut self, replayed: bool, delta: EngineCacheStats) {
+        let mut guard = GuardCacheStats::default();
+        let mut explored = 0usize;
+        let mut cost = 0usize;
+        for report in &self.reports {
+            explored += report.explored;
+            cost += report.cost;
+            guard.hits += report.cache.hits;
+            guard.misses += report.cache.misses;
+        }
+        let (reused, recomputed) = if replayed {
+            (0, 0)
+        } else {
+            (delta.hits, delta.misses)
+        };
+        self.last = SessionReport {
+            step: self.steps,
+            replayed,
+            reused,
+            recomputed,
+            explored,
+            cost,
+            guard,
+        };
+        accltl_obs::metrics::add("session.steps", 1);
+        accltl_obs::metrics::add("session.reused", reused);
+        accltl_obs::metrics::add("session.recomputed", recomputed);
+        if replayed {
+            accltl_obs::metrics::add("session.replayed", 1);
+        }
+        accltl_obs::trace::event(
+            "session.report",
+            &[
+                ("step", self.steps as u64),
+                ("explored", explored as u64),
+                ("cost", cost as u64),
+                ("reused", reused),
+                ("recomputed", recomputed),
+            ],
+        );
     }
 }
 

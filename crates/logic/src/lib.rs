@@ -38,7 +38,9 @@ pub mod undecidability;
 pub mod vocabulary;
 
 pub use accltl::AccLtl;
-pub use bounded::{BoundedSearchConfig, BoundedSearcher, SatOutcome};
+pub use bounded::{
+    BoundedSearchConfig, BoundedSearcher, MonitorSession, SatOutcome, SessionReport,
+};
 pub use fragment::{classify, FormulaTraits, Fragment};
 pub use ltl::Ltl;
 pub use solver::{

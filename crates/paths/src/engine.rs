@@ -113,6 +113,12 @@ pub const INDEX_CUTOFF_ENV_VAR: &str = "ACCLTL_INDEX_CUTOFF";
 /// default [`EngineConfig::steal_batch`].
 pub const STEAL_BATCH_ENV_VAR: &str = "ACCLTL_STEAL_BATCH";
 
+/// `ACCLTL_DISABLE_SESSION_REUSE=1` makes monitoring sessions re-run every
+/// step from scratch instead of reusing the persistent session state (the
+/// ablation behind the byte-identical-verdict contract of
+/// [`SessionState`]).  Read once, by [`EngineConfig::from_env`].
+pub const DISABLE_SESSION_REUSE_ENV_VAR: &str = "ACCLTL_DISABLE_SESSION_REUSE";
+
 /// The finite fact universe a search draws its responses from.
 #[derive(Debug, Clone, Default)]
 pub struct FactUniverse {
@@ -393,6 +399,11 @@ pub struct EngineConfig {
     /// tasks at the cost of coarser stealing.  Verdicts and witnesses do not
     /// depend on this value.
     pub steal_batch: usize,
+    /// Re-run every monitoring-session step from scratch instead of reusing
+    /// the persistent [`SessionState`] (the `ACCLTL_DISABLE_SESSION_REUSE=1`
+    /// ablation).  Verdicts, witnesses, explored counts and consult totals
+    /// are byte-identical either way; only wall-clock moves.
+    pub disable_session_reuse: bool,
 }
 
 impl EngineConfig {
@@ -412,6 +423,7 @@ impl EngineConfig {
             disable_guard_cache: false,
             index_cutoff: INDEX_CUTOFF,
             steal_batch: 1,
+            disable_session_reuse: false,
         }
     }
 
@@ -419,7 +431,8 @@ impl EngineConfig {
     /// folded in as defaults: [`THREADS_ENV_VAR`] seeds `threads`,
     /// [`INDEX_CUTOFF_ENV_VAR`] seeds `index_cutoff`,
     /// [`STEAL_BATCH_ENV_VAR`] seeds `steal_batch`, and
-    /// `ACCLTL_DISABLE_INDEXES=1` / `ACCLTL_DISABLE_GUARD_CACHE=1` set the
+    /// `ACCLTL_DISABLE_INDEXES=1` / `ACCLTL_DISABLE_GUARD_CACHE=1` /
+    /// `ACCLTL_DISABLE_SESSION_REUSE=1` set the
     /// corresponding ablation flags.  This is the single place the
     /// workspace reads those variables; every search front-end starts from
     /// it.  (The observability knobs `ACCLTL_TRACE` / `ACCLTL_STATS` follow
@@ -441,6 +454,7 @@ impl EngineConfig {
         }
         config.disable_indexes = env_flag(DISABLE_INDEXES_ENV_VAR);
         config.disable_guard_cache = env_flag(DISABLE_GUARD_CACHE_ENV_VAR);
+        config.disable_session_reuse = env_flag(DISABLE_SESSION_REUSE_ENV_VAR);
         config
     }
 
@@ -525,6 +539,13 @@ impl EngineConfig {
     #[must_use]
     pub fn steal_batch(mut self, steal_batch: usize) -> Self {
         self.steal_batch = steal_batch;
+        self
+    }
+
+    /// Makes monitoring sessions re-run every step from scratch.
+    #[must_use]
+    pub fn disable_session_reuse(mut self, disable_session_reuse: bool) -> Self {
+        self.disable_session_reuse = disable_session_reuse;
         self
     }
 
@@ -960,6 +981,14 @@ pub struct BatchEngine<'a, O: StepOracle> {
     method_input_types: Vec<Option<Vec<DataType>>>,
     initial: Arc<Instance>,
     interner: FactInterner,
+    /// Interned ids of facts assumed revealed at the root on top of the
+    /// initial instance (a monitoring session's accumulated responses).  A
+    /// run with assumed facts is configuration-for-configuration identical
+    /// to a run whose initial instance contains them: the root reveals
+    /// them, the candidate enumeration never re-reveals them, and the
+    /// overlay materializes them — only the base/delta split differs, which
+    /// the content-addressed caches are built to ignore.
+    assumed: HashSet<u32>,
     /// Prepared oracle contexts keyed by trimmed revealed set, shared
     /// across properties and states when the oracle opts in
     /// ([`StepOracle::shares_ctx`]).
@@ -1015,6 +1044,7 @@ impl<'a, O: StepOracle> BatchEngine<'a, O> {
             method_input_types,
             initial,
             interner: FactInterner::default(),
+            assumed: HashSet::new(),
             ctx_cache: RwLock::new(HashMap::new()),
             candidate_classes: Vec::new(),
             candidate_cache: RwLock::new(HashMap::new()),
@@ -1024,6 +1054,17 @@ impl<'a, O: StepOracle> BatchEngine<'a, O> {
             cache_evictions: AtomicU64::new(0),
             reported_cache: EngineCacheStats::default(),
         }
+    }
+
+    /// Marks a fact as revealed at the root of every subsequent run, on top
+    /// of the initial instance.  This is how a monitoring session extends
+    /// `Conf(p, I0)` by an access's response without rebasing the engine:
+    /// subsequent runs are byte-identical (verdicts, witnesses, explored
+    /// counts, consult totals) to runs of a fresh engine whose initial
+    /// instance additionally contains the assumed facts.
+    pub fn assume_revealed(&mut self, rel: RelId, tuple: &Tuple) {
+        let id = self.interner.intern(rel, tuple);
+        self.assumed.insert(id);
     }
 
     /// A snapshot of the engine's shared-cache counters.  [`BatchEngine::run`]
@@ -1091,7 +1132,7 @@ impl<'a, O: StepOracle> BatchEngine<'a, O> {
         // while all properties agree on what a configuration *is*.
         let mut root = FactSet::empty(self.interner.table.len());
         for (id, rel, tuple) in self.interner.table.iter() {
-            if self.initial.contains(rel, tuple) {
+            if self.initial.contains(rel, tuple) || self.assumed.contains(&id) {
                 root.insert(id);
             }
         }
@@ -1268,7 +1309,7 @@ impl<'a, O: StepOracle> BatchEngine<'a, O> {
                 let mut groups: BTreeMap<Tuple, usize> = BTreeMap::new();
                 for &id in &ids {
                     let (rel, tuple) = self.interner.table.fact(id);
-                    if self.initial.contains(rel, tuple) {
+                    if self.initial.contains(rel, tuple) || self.assumed.contains(&id) {
                         continue;
                     }
                     let projection = tuple.project(method.input_positions());
@@ -1815,6 +1856,72 @@ impl<'a, O: StepOracle> FrontierEngine<'a, O> {
     }
 }
 
+/// The resumable engine state behind a monitoring session: one persistent
+/// [`BatchEngine`] whose interned fact table, prepared-context cache,
+/// candidate enumerations and per-candidate contexts survive across steps,
+/// plus the bookkeeping that turns the engine's cumulative cache counters
+/// into per-step reuse deltas.
+///
+/// A session extends `Conf(p, I0)` by an access's response through
+/// [`SessionState::assume_revealed`]: the facts stay *outside* the engine's
+/// base instance but are revealed at the root of every subsequent run, so
+/// each step's configurations are content-identical to the configurations a
+/// from-scratch search over the grown instance would build — which is what
+/// lets content-addressed cache entries (trimmed revealed bitsets here,
+/// restricted `StructureKey`s in the oracles' guard caches) keep hitting
+/// after a perturbation.  Only entries whose key content actually mentions
+/// the perturbed facts miss; everything else is reused.  Frontier bitsets
+/// and the node arena are rebuilt per step *by contract*: explored counts
+/// are part of the byte-identical-verdict guarantee
+/// ([`EngineConfig::disable_session_reuse`]), so a step must visit exactly
+/// the states a from-scratch run would.
+pub struct SessionState<'a, O: StepOracle> {
+    engine: BatchEngine<'a, O>,
+    /// Engine-cache snapshot as of the previous step, so each step reports
+    /// its own delta.
+    reported: EngineCacheStats,
+}
+
+impl<'a, O: StepOracle> SessionState<'a, O> {
+    /// Opens session state over a schema and the fixed base instance `I0`.
+    #[must_use]
+    pub fn new(schema: &'a AccessSchema, initial: Arc<Instance>) -> Self {
+        SessionState {
+            engine: BatchEngine::new(schema, initial),
+            reported: EngineCacheStats::default(),
+        }
+    }
+
+    /// Marks a response fact as revealed at the root of every subsequent
+    /// step (see [`BatchEngine::assume_revealed`]).
+    pub fn assume_revealed(&mut self, rel: RelId, tuple: &Tuple) {
+        self.engine.assume_revealed(rel, tuple);
+    }
+
+    /// Runs one step's property batch on the persistent engine.  Returns
+    /// the per-property reports plus the step's engine-cache *delta*: the
+    /// delta's `hits` are lookups answered by state surviving from earlier
+    /// steps ("reused"), its `misses` are contexts and candidate lists that
+    /// had to be recomputed because their configuration content changed —
+    /// the per-step reuse/recompute split the logic layer's session report
+    /// surfaces.
+    pub fn run_step(
+        &mut self,
+        specs: Vec<PropertySpec<O>>,
+    ) -> (Vec<EngineReport>, EngineCacheStats) {
+        let reports = self.engine.run(specs);
+        let now = self.engine.engine_cache_stats();
+        let delta = EngineCacheStats {
+            hits: now.hits.saturating_sub(self.reported.hits),
+            misses: now.misses.saturating_sub(self.reported.misses),
+            evictions: now.evictions.saturating_sub(self.reported.evictions),
+            entries: now.entries,
+        };
+        self.reported = now;
+        (reports, delta)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2249,5 +2356,6 @@ mod tests {
         assert_eq!(config.max_guard_checks, usize::MAX);
         assert_eq!(config.index_cutoff, INDEX_CUTOFF);
         assert_eq!(config.steal_batch, 1);
+        assert!(!config.disable_session_reuse);
     }
 }

@@ -1,0 +1,212 @@
+//! Coverage for the two analyzer entry points the paper's Section 2
+//! examples are built on and that were previously exercised only through
+//! examples: `AccessAnalyzer::maximal_answers` (the classical
+//! accessible-part saturation of \[15\]) and
+//! `AccessAnalyzer::contained_under_access_patterns` (Example 2.2 /
+//! Proposition 4.4).  Unit tests pin the paper's phone-directory outcomes;
+//! a property test checks the semantic backbone — maximal answers are
+//! *monotone* under instance growth, because revealing more facts (or
+//! knowing more initially) can only enlarge the accessible part.
+
+mod common;
+
+use proptest::prelude::*;
+
+use accltl_core::prelude::*;
+
+use common::random_initial;
+
+/// Strategy: one of the phone-directory queries the paper's examples ask.
+fn example_query() -> impl Strategy<Value = ConjunctiveQuery> {
+    prop_oneof![
+        // Jones's address (the introduction's unanswerable query).
+        Just(cq!([x, y, z] <- atom!("Address"; x, y, @"Jones", z))),
+        // Every name with a mobile entry.
+        Just(cq!([n] <- atom!("Mobile#"; n, p, s, ph))),
+        // The Smith chain: mobile lookup bootstraps the address page.
+        Just(cq!([s, p, h] <-
+            atom!("Mobile#"; @"Smith", p0, s0, ph),
+            atom!("Address"; s, p, @"Smith", h))),
+        // Full address projection.
+        Just(cq!([s, p, n, h] <- atom!("Address"; s, p, n, h))),
+    ]
+}
+
+/// Strategy: extra phone-directory facts to grow an instance by.
+fn extra_facts() -> impl Strategy<Value = Vec<(&'static str, Tuple)>> {
+    let fact = prop_oneof![
+        Just(("Mobile#", tuple!["Jones", "OX13QD", "Parks Rd", 5_551_999])),
+        Just(("Mobile#", tuple!["Taylor", "OX26NN", "High St", 5_552_000])),
+        Just(("Address", tuple!["High St", "OX26NN", "Taylor", 7])),
+        Just(("Address", tuple!["Parks Rd", "OX13QD", "Dole", 2])),
+    ];
+    proptest::collection::vec(fact, 0..4)
+}
+
+fn grown(base: &Instance, extra: &[(&'static str, Tuple)]) -> Instance {
+    let mut out = base.clone();
+    for (relation, tuple) in extra {
+        out.add_fact(*relation, tuple.clone());
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Monotonicity under instance growth: adding facts to the hidden
+    /// instance and/or the initial knowledge never shrinks the maximal
+    /// answers (nor the unrestricted answers) — the accessible-part
+    /// saturation only ever gains known values and revealed facts.
+    #[test]
+    fn maximal_answers_are_monotone_under_instance_growth(
+        query in example_query(),
+        initial in random_initial(),
+        hidden_extra in extra_facts(),
+        initial_extra in extra_facts(),
+    ) {
+        let schema = phone_directory_access_schema();
+        let hidden = phone_directory_hidden_instance();
+        let small = AccessAnalyzer::new(schema.clone())
+            .with_initial(initial.clone())
+            .maximal_answers(&query, &hidden)
+            .unwrap();
+        let large = AccessAnalyzer::new(schema)
+            .with_initial(grown(&initial, &initial_extra))
+            .maximal_answers(&query, &grown(&hidden, &hidden_extra))
+            .unwrap();
+        prop_assert!(
+            small.answers.is_subset(&large.answers),
+            "maximal answers shrank under growth: {:?} ⊄ {:?}",
+            small.answers,
+            large.answers
+        );
+        prop_assert!(small.full_answers.is_subset(&large.full_answers));
+        // Within one report, the access restrictions only ever lose answers.
+        prop_assert!(small.answers.is_subset(&small.full_answers));
+        prop_assert!(large.answers.is_subset(&large.full_answers));
+    }
+}
+
+/// The introduction's outcome, pinned end-to-end through the analyzer:
+/// Jones's address is *not* answerable from nothing (Jones has no mobile
+/// entry to bootstrap from), while the Smith chain is fully answerable and
+/// even reveals Jones's address tuple along the way.
+#[test]
+fn jones_is_unanswerable_but_the_smith_chain_is_complete() {
+    let analyzer = AccessAnalyzer::new(phone_directory_access_schema());
+    let hidden = phone_directory_hidden_instance();
+
+    let jones = cq!([x, y, z] <- atom!("Address"; x, y, @"Jones", z));
+    let report = analyzer.maximal_answers(&jones, &hidden).unwrap();
+    assert!(report.answers.is_empty());
+    assert!(!report.full_answers.is_empty());
+    assert!(!report.is_complete());
+
+    let smith_chain = cq!([s, p, h] <-
+        atom!("Mobile#"; @"Smith", p0, s0, ph),
+        atom!("Address"; s, p, @"Smith", h));
+    let report = analyzer.maximal_answers(&smith_chain, &hidden).unwrap();
+    assert!(report.is_complete());
+    assert_eq!(report.answers.len(), 1);
+    assert!(report
+        .accessible
+        .contains("Address", &tuple!["Parks Rd", "OX13QD", "Jones", 16]));
+}
+
+/// The analyzer's initial instance flows into the saturation: knowing
+/// Smith's address page up front makes the mobile lookup groundable, so the
+/// name projection gains an answer it did not have from nothing.
+#[test]
+fn initial_knowledge_flows_into_maximal_answers() {
+    let schema = phone_directory_access_schema();
+    let hidden = phone_directory_hidden_instance();
+    let query = cq!([n] <- atom!("Mobile#"; n, p, s, ph));
+
+    let from_nothing = AccessAnalyzer::new(schema.clone())
+        .maximal_answers(&query, &hidden)
+        .unwrap();
+    assert!(from_nothing.answers.is_empty());
+
+    let mut initial = Instance::new();
+    initial.add_fact("Address", tuple!["Parks Rd", "OX13QD", "Smith", 13]);
+    let seeded = AccessAnalyzer::new(schema)
+        .with_initial(initial)
+        .maximal_answers(&query, &hidden)
+        .unwrap();
+    assert!(seeded.answers.contains(&tuple!["Smith"]));
+}
+
+/// The report's bookkeeping is coherent: the witness path validates against
+/// the access schema and records exactly the accesses the saturation
+/// performed, unproductive ones included.
+#[test]
+fn witness_paths_validate_and_account_for_every_access() {
+    let schema = phone_directory_access_schema();
+    let analyzer = AccessAnalyzer::new(schema.clone());
+    let query = cq!([s, p, h] <-
+        atom!("Mobile#"; @"Smith", p0, s0, ph),
+        atom!("Address"; s, p, @"Smith", h));
+    let report = analyzer
+        .maximal_answers(&query, &phone_directory_hidden_instance())
+        .unwrap();
+    assert!(report.witness_path.validate(&schema).is_ok());
+    assert_eq!(report.witness_path.len(), report.accesses_performed);
+    assert!(report.accesses_performed >= 1);
+}
+
+/// Example 2.2, pinned: the Jones-address query is contained in the generic
+/// address query (plain CQ containment already implies it), while the
+/// reverse containment fails with a genuine counterexample access path.
+#[test]
+fn containment_pins_the_paper_example() {
+    let schema = phone_directory_access_schema();
+    let analyzer = AccessAnalyzer::new(schema.clone());
+    let jones = cq!(<- atom!("Address"; s, p, @"Jones", h));
+    let any_address = cq!(<- atom!("Address"; s, p, n, h));
+
+    assert_eq!(
+        analyzer.contained_under_access_patterns(&jones, &any_address),
+        ContainmentOutcome::Contained
+    );
+
+    let ContainmentOutcome::NotContained { counterexample } =
+        analyzer.contained_under_access_patterns(&any_address, &jones)
+    else {
+        panic!("expected the reverse containment to fail");
+    };
+    assert!(counterexample.validate(&schema).is_ok());
+    assert!(!counterexample.is_empty());
+}
+
+/// Containment under access patterns is reflexive and transitive on the
+/// paper's query chain — the outcomes compose the way Figure 2's inclusion
+/// arrows do.
+#[test]
+fn containment_is_reflexive_and_composes_along_the_chain() {
+    let analyzer = AccessAnalyzer::new(phone_directory_access_schema());
+    let jones = cq!(<- atom!("Address"; s, p, @"Jones", h));
+    let parks = cq!(<- atom!("Address"; @"Parks Rd", p, n, h));
+    let any_address = cq!(<- atom!("Address"; s, p, n, h));
+
+    for q in [&jones, &parks, &any_address] {
+        assert_eq!(
+            analyzer.contained_under_access_patterns(q, q),
+            ContainmentOutcome::Contained
+        );
+    }
+    // jones ⊑ any_address and parks ⊑ any_address, but the two specialised
+    // queries are incomparable with each other.
+    assert_eq!(
+        analyzer.contained_under_access_patterns(&parks, &any_address),
+        ContainmentOutcome::Contained
+    );
+    assert!(matches!(
+        analyzer.contained_under_access_patterns(&jones, &parks),
+        ContainmentOutcome::NotContained { .. }
+    ));
+    assert!(matches!(
+        analyzer.contained_under_access_patterns(&parks, &jones),
+        ContainmentOutcome::NotContained { .. }
+    ));
+}

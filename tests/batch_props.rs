@@ -7,7 +7,7 @@
 //! front-end (`check_all`) must likewise reproduce `check_satisfiable`
 //! report-for-report.
 
-use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+mod common;
 
 use proptest::prelude::*;
 
@@ -17,128 +17,11 @@ use accltl_core::automata::{
 };
 use accltl_core::logic::bounded::BoundedSearcher;
 use accltl_core::prelude::*;
-use accltl_core::relational::{guard_cache_enabled, set_guard_cache_enabled};
 
-/// Some tests flip the process-wide cache flag; serialize all of them so an
-/// A/B comparison never observes another test's flip mid-run.
-fn flag_lock() -> MutexGuard<'static, ()> {
-    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
-    LOCK.get_or_init(|| Mutex::new(()))
-        .lock()
-        .unwrap_or_else(PoisonError::into_inner)
-}
-
-/// Runs `f` with the guard cache disabled, restoring the previous mode.
-fn with_cache_disabled<T>(f: impl FnOnce() -> T) -> T {
-    let was_enabled = guard_cache_enabled();
-    set_guard_cache_enabled(false);
-    let result = f();
-    set_guard_cache_enabled(was_enabled);
-    result
-}
-
-/// The contractual part of a search report: verdict, explored states, cost
-/// and the consult *total* (the hit/miss split is explicitly
-/// non-contractual — sharing one cache across a batch moves consults from
-/// misses to hits without changing their number).
-fn digest<V: Clone>(report: &SearchReport<V>) -> (V, usize, usize, u64) {
-    (
-        report.verdict.clone(),
-        report.explored,
-        report.cost,
-        report.cache.total(),
-    )
-}
-
-/// Strategy: a random initial instance over the phone-directory schema.
-fn random_initial() -> impl Strategy<Value = Instance> {
-    proptest::collection::vec(any::<bool>(), 0..3).prop_map(|picks| {
-        let mut initial = Instance::new();
-        for (i, pick) in picks.into_iter().enumerate() {
-            if pick {
-                initial.add_fact("Address", tuple!["High St", "OX26NN", "Seed", i as i64]);
-            } else {
-                initial.add_fact("Mobile#", tuple!["Smith", "OX13QD", "Parks Rd", 5_551_212]);
-            }
-        }
-        initial
-    })
-}
-
-fn jones_post() -> AccLtl {
-    AccLtl::atom(PosFormula::exists(
-        vec!["s", "p", "h"],
-        post_atom(
-            "Address",
-            vec![
-                Term::var("s"),
-                Term::var("p"),
-                Term::constant("Jones"),
-                Term::var("h"),
-            ],
-        ),
-    ))
-}
-
-fn mobile_pre() -> AccLtl {
-    AccLtl::atom(PosFormula::exists(
-        vec!["n", "p", "s", "ph"],
-        pre_atom(
-            "Mobile#",
-            vec![
-                Term::var("n"),
-                Term::var("p"),
-                Term::var("s"),
-                Term::var("ph"),
-            ],
-        ),
-    ))
-}
-
-/// The paper's dataflow property: eventually an AcM1 access is bound to a
-/// name already revealed in `Address^pre`.
-fn dataflow_formula() -> AccLtl {
-    AccLtl::finally(AccLtl::atom(PosFormula::exists(
-        vec!["n"],
-        PosFormula::and(vec![
-            isbind_atom("AcM1", vec![Term::var("n")]),
-            PosFormula::exists(
-                vec!["s", "p", "h"],
-                pre_atom(
-                    "Address",
-                    vec![
-                        Term::var("s"),
-                        Term::var("p"),
-                        Term::var("n"),
-                        Term::var("h"),
-                    ],
-                ),
-            ),
-        ]),
-    )))
-}
-
-/// Strategy: small formulas mixing satisfiable, unsatisfiable and
-/// binding-aware shapes over the phone-directory vocabulary.
-fn random_formula() -> impl Strategy<Value = AccLtl> {
-    prop_oneof![
-        Just(AccLtl::finally(jones_post())),
-        Just(AccLtl::next(mobile_pre())),
-        Just(AccLtl::and(vec![
-            AccLtl::finally(jones_post()),
-            AccLtl::finally(mobile_pre()),
-        ])),
-        Just(AccLtl::and(vec![
-            AccLtl::globally(AccLtl::not(jones_post())),
-            AccLtl::finally(jones_post()),
-        ])),
-        Just(AccLtl::until(
-            AccLtl::not(mobile_pre()),
-            AccLtl::atom(isbind_prop("AcM2")),
-        )),
-        Just(dataflow_formula()),
-    ]
-}
+use common::{
+    dataflow_formula, digest, flag_lock, jones_post, mobile_pre, random_formula, random_initial,
+    with_cache_disabled,
+};
 
 /// Strategy: a batch of 2–4 formulas.
 fn random_batch() -> impl Strategy<Value = Vec<AccLtl>> {

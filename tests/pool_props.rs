@@ -9,6 +9,8 @@
 //! *different* thread counts follow the chunk structure, which scales with
 //! the thread count — see `core_digest`.)
 
+mod common;
+
 use proptest::prelude::*;
 
 use accltl_core::automata::{
@@ -17,110 +19,7 @@ use accltl_core::automata::{
 use accltl_core::logic::bounded::BoundedSearcher;
 use accltl_core::prelude::*;
 
-/// The digest that must be byte-identical at a *fixed* thread count:
-/// verdict, explored states, cost and the consult total.  (The hit/miss
-/// split is non-contractual — physical interleaving moves consults between
-/// hits and misses without changing their number.)
-fn digest<V: Clone>(report: &SearchReport<V>) -> (V, usize, usize, u64) {
-    (
-        report.verdict.clone(),
-        report.explored,
-        report.cost,
-        report.cache.total(),
-    )
-}
-
-/// The digest that must additionally survive *changing* the thread count:
-/// verdict, explored states and charged cost.  Consult totals are
-/// chunk-structure-dependent (the frontier chunk length scales with the
-/// thread count, and every expanded node consults guards even when an
-/// earlier chunk neighbour's witness ends the merge early), so they are
-/// compared within a thread count, never across — same convention as
-/// `tests/batch_props.rs`.
-fn core_digest<V: Clone>(report: &SearchReport<V>) -> (V, usize, usize) {
-    (report.verdict.clone(), report.explored, report.cost)
-}
-
-/// Strategy: a random initial instance over the phone-directory schema.
-fn random_initial() -> impl Strategy<Value = Instance> {
-    proptest::collection::vec(any::<bool>(), 0..3).prop_map(|picks| {
-        let mut initial = Instance::new();
-        for (i, pick) in picks.into_iter().enumerate() {
-            if pick {
-                initial.add_fact("Address", tuple!["High St", "OX26NN", "Seed", i as i64]);
-            } else {
-                initial.add_fact("Mobile#", tuple!["Smith", "OX13QD", "Parks Rd", 5_551_212]);
-            }
-        }
-        initial
-    })
-}
-
-fn jones_post() -> AccLtl {
-    AccLtl::atom(PosFormula::exists(
-        vec!["s", "p", "h"],
-        post_atom(
-            "Address",
-            vec![
-                Term::var("s"),
-                Term::var("p"),
-                Term::constant("Jones"),
-                Term::var("h"),
-            ],
-        ),
-    ))
-}
-
-fn mobile_pre() -> AccLtl {
-    AccLtl::atom(PosFormula::exists(
-        vec!["n", "p", "s", "ph"],
-        pre_atom(
-            "Mobile#",
-            vec![
-                Term::var("n"),
-                Term::var("p"),
-                Term::var("s"),
-                Term::var("ph"),
-            ],
-        ),
-    ))
-}
-
-/// The paper's dataflow property (binding-aware, deep frontier).
-fn dataflow_formula() -> AccLtl {
-    AccLtl::finally(AccLtl::atom(PosFormula::exists(
-        vec!["n"],
-        PosFormula::and(vec![
-            isbind_atom("AcM1", vec![Term::var("n")]),
-            PosFormula::exists(
-                vec!["s", "p", "h"],
-                pre_atom(
-                    "Address",
-                    vec![
-                        Term::var("s"),
-                        Term::var("p"),
-                        Term::var("n"),
-                        Term::var("h"),
-                    ],
-                ),
-            ),
-        ]),
-    )))
-}
-
-/// Strategy: small formulas mixing satisfiable, unsatisfiable and
-/// binding-aware shapes.
-fn random_formula() -> impl Strategy<Value = AccLtl> {
-    prop_oneof![
-        Just(AccLtl::finally(jones_post())),
-        Just(AccLtl::next(mobile_pre())),
-        Just(AccLtl::and(vec![
-            AccLtl::globally(AccLtl::not(jones_post())),
-            AccLtl::finally(jones_post()),
-        ])),
-        Just(dataflow_formula()),
-    ]
-}
+use common::{core_digest, dataflow_formula, digest, jones_post, random_formula, random_initial};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
